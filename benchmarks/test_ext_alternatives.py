@@ -1,0 +1,48 @@
+"""Extension — exposure windows across revocation mechanisms.
+
+Places the paper's protagonist in the design space its Section 3
+surveys: CRLs, soft-fail OCSP, OCSP Must-Staple, and short-lived
+certificates (Topalovic et al.), compared on how long a revoked
+certificate keeps being accepted — with and without a network attacker.
+"""
+
+from conftest import banner
+
+from repro.core import MechanismParameters, compare_mechanisms, render_table
+from repro.simnet import DAY
+
+
+def test_ext_revocation_alternatives(benchmark):
+    parameters = MechanismParameters(ocsp_validity=4 * DAY,
+                                     short_lived_lifetime=3 * DAY)
+    rows = benchmark.pedantic(compare_mechanisms, args=(parameters,),
+                              rounds=1, iterations=1)
+
+    def fmt(seconds):
+        if seconds is None:
+            return "unbounded"
+        return f"{seconds / DAY:.1f} d"
+
+    banner("Extension: exposure window after revocation, by mechanism")
+    print(render_table(
+        ["mechanism", "benign", "attacked", "notes"],
+        [[r.mechanism, fmt(r.benign_window), fmt(r.attacked_window), r.notes]
+         for r in rows],
+    ))
+
+    by_name = {r.mechanism: r for r in rows}
+    crl = by_name["CRL (soft-fail client)"]
+    ocsp = by_name["OCSP (soft-fail client)"]
+    must_staple = by_name["OCSP Must-Staple (hard-fail client)"]
+    short = by_name["Short-lived certificates"]
+
+    # Soft-fail mechanisms collapse under an attacker.
+    assert crl.attacked_window is None
+    assert ocsp.attacked_window is None
+    # Must-Staple bounds the attacker at the staple validity.
+    assert must_staple.attacked_window is not None
+    assert abs(must_staple.attacked_window - parameters.ocsp_validity) <= 3600
+    # Short-lived certificates bound exposure by construction.
+    assert short.attacked_window == parameters.short_lived_lifetime
+    # Under attack, Must-Staple with a sane validity beats soft-fail OCSP.
+    assert must_staple.attacked_window < 10 * DAY

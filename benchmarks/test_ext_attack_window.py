@@ -1,0 +1,104 @@
+"""Extension — attack windows under network adversaries.
+
+Quantifies two of the paper's arguments:
+
+* Section 2.3: against a soft-failing browser, an attacker who strips
+  staples and blocks OCSP keeps a *revoked* certificate working
+  indefinitely; Must-Staple reduces that to zero.
+* Section 5.4: stapled responses carry no nonce, so an attacker can
+  replay the freshest pre-revocation staple until it expires — the
+  attack window *is* the responder's validity period, which is why the
+  1,251-day validity the paper found is "potentially dangerous".
+"""
+
+from conftest import banner
+
+from repro.browser import by_label
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.core import AttackerCapabilities, measure_attack_window
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.webserver import IdealServer
+from repro.x509 import TrustStore
+
+NOW = MEASUREMENT_START
+
+
+def build_site(validity: int):
+    ca = CertificateAuthority.create_root(
+        "ATW CA", "http://ocsp.atw.test", not_before=NOW - 365 * DAY)
+    leaf = ca.issue_leaf("atw.example", generate_keypair(512, rng=6),
+                         not_before=NOW - DAY, must_staple=True,
+                         lifetime=400 * DAY)
+    responder = OCSPResponder(
+        ca, "http://ocsp.atw.test",
+        ResponderProfile(update_interval=None, this_update_margin=0,
+                         validity_period=validity),
+        epoch_start=NOW - 7 * DAY)
+    network = Network()
+    network.bind("ocsp.atw.test",
+                 network.add_origin("atw", "us-east", responder.handle))
+    server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                         network=network)
+    trust = TrustStore([ca.certificate])
+    ca.revoke(leaf, NOW, reason=1)
+    return ca, leaf, server, network, trust
+
+
+def test_ext_replay_window_tracks_validity(benchmark):
+    """Replay window == staple validity, across validity settings."""
+    firefox = by_label()["Firefox 60 (Linux)"]
+    validities = [2 * HOUR, DAY, 7 * DAY]
+
+    def run():
+        windows = {}
+        for validity in validities:
+            ca, leaf, server, network, trust = build_site(validity)
+            outcome = measure_attack_window(
+                firefox, server, leaf, ca.certificate, trust,
+                AttackerCapabilities(replay_staple=True),
+                revoked_at=NOW, horizon=30 * DAY, step=HOUR,
+                network=network, server_tick=server.tick)
+            windows[validity] = outcome.window
+        return windows
+
+    windows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension: staple-replay attack window vs validity period")
+    for validity, window in windows.items():
+        print(f"  validity {validity / 3600:7.0f} h -> replay window "
+              f"{window / 3600:7.1f} h")
+    print("\nimplication: the 1,251-day validity the paper found (Fig 8) is a")
+    print("1,251-day replay window against even a fully compliant browser.")
+
+    for validity, window in windows.items():
+        assert abs(window - validity) <= HOUR  # window tracks validity
+
+
+def test_ext_soft_fail_vs_must_staple(benchmark):
+    """Strip+block: unbounded for Chrome-style, zero for Firefox-style."""
+    firefox = by_label()["Firefox 60 (Linux)"]
+    chrome = by_label()["Chrome 66 (Linux)"]
+    capabilities = AttackerCapabilities(strip_staple=True, block_ocsp=True)
+
+    def run():
+        results = {}
+        for label, policy in (("firefox", firefox), ("chrome", chrome)):
+            ca, leaf, server, network, trust = build_site(DAY)
+            results[label] = measure_attack_window(
+                policy, server, leaf, ca.certificate, trust, capabilities,
+                revoked_at=NOW, horizon=30 * DAY, step=DAY,
+                network=network, server_tick=server.tick)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension: strip-staple + block-OCSP attack (Section 2.3)")
+    for label, outcome in results.items():
+        window = "unbounded (until cert expiry)" if outcome.unbounded \
+            else f"{outcome.window / 3600:.0f} h"
+        print(f"  {label:8s} -> acceptance window: {window}")
+
+    assert results["chrome"].unbounded          # soft failure is fatal
+    assert results["firefox"].window == 0       # hard failure is immediate
+    assert not results["firefox"].unbounded

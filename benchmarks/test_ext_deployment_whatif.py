@@ -1,0 +1,36 @@
+"""Extension — what if every browser enforced Must-Staple today?
+
+Quantifies the paper's Section-8 ordering argument: on today's
+Apache/Nginx software mix with realistically flaky responders, a
+universally-enforcing browser population hard-fails a visible
+percentage of page loads to Must-Staple sites; on the paper's
+recommended (prefetch + retain) server behaviour, the same fleet
+serves every load.  "Until web servers proactively fetch and OCSP
+responders deliver valid responses, clients will have little incentive
+to hard-fail."
+"""
+
+from conftest import banner
+
+from repro.core.whatif import WhatIfConfig, run_whatif
+
+
+def test_ext_universal_enforcement_whatif(benchmark):
+    result = benchmark.pedantic(run_whatif, args=(WhatIfConfig(n_sites=40),),
+                                rounds=1, iterations=1)
+
+    banner("Extension: universal Must-Staple enforcement on today's stack")
+    for software in sorted(result.by_software):
+        failed, total = result.by_software[software]
+        print(f"  {software:16s} hard-failed page loads: {failed:4d}/{total:4d} "
+              f"= {failed / total * 100:5.1f}%")
+    print(f"\nfleet-wide hard-fail rate: {result.overall_failure_rate * 100:.1f}%")
+    print("the ideal (prefetch + retain-on-error) server eliminates the breakage,")
+    print("supporting the paper's 'fix servers and responders first' ordering.")
+
+    # Today's software visibly breaks under enforcement...
+    assert result.failure_rate("apache-2.4.18") > 0.01
+    assert result.failure_rate("nginx-1.13.12") > 0.01
+    # ...while the recommended behaviour does not.
+    assert result.failure_rate("ideal") == 0.0
+    assert 0.005 <= result.overall_failure_rate <= 0.20

@@ -1,0 +1,39 @@
+"""Extension — OCSP lookup latency, direct vs CDN-fronted.
+
+Reproduces the Section-3 survey's before/after: "Stark et al. observed
+that the median latency for OCSP checks is 291 ms in 2012.  In 2016,
+Zhu et al. ... reported a median latency of 20 ms — a significant
+improvement due to 94% of the requests being fronted by CDNs."
+"""
+
+from conftest import banner
+
+from repro.core import measure_cdn_latency, measure_direct_latency
+from repro.datasets import MeasurementWorld, WorldConfig
+
+
+def test_ext_lookup_latency(benchmark):
+    world = MeasurementWorld(WorldConfig(n_responders=60, certs_per_responder=1,
+                                         seed=7))
+
+    def run():
+        direct = measure_direct_latency(world, hours=12)
+        cdn = measure_cdn_latency(world, hours=12)
+        return direct, cdn
+
+    direct, cdn = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension: OCSP lookup latency (Section 3 survey numbers)")
+    print(f"  direct      median {direct.median_ms:6.0f} ms  "
+          f"p90 {direct.percentile_ms(90):6.0f} ms  (paper survey: 291 ms, 2012)")
+    print(f"  CDN-fronted median {cdn.median_ms:6.0f} ms  "
+          f"p90 {cdn.percentile_ms(90):6.0f} ms  (paper survey: 20 ms, 2016)")
+    hit_fraction = sum(1 for s in cdn.samples_ms if s <= 20) / len(cdn)
+    print(f"  CDN lookups answered at the edge: {hit_fraction * 100:.0f}% "
+          f"(Zhu et al.: 94% fronted)")
+
+    # Shape: CDN fronting cuts the median by an order of magnitude.
+    assert 150 <= direct.median_ms <= 500
+    assert cdn.median_ms <= 30
+    assert direct.median_ms / cdn.median_ms > 5
+    assert hit_fraction > 0.80

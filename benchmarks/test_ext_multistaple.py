@@ -1,0 +1,84 @@
+"""Extension — RFC 6961 multi-stapling (Multiple Certificate Status).
+
+Paper Section 2.3: single stapling "only allows the revocation status
+for the leaf certificate to be included"; RFC 6961 fixes that but "has
+yet to see wide adoption".  This experiment shows what adoption buys:
+with a revoked *intermediate*, a single-staple client learns nothing
+while a status_request_v2 client sees the revocation immediately.
+"""
+
+from conftest import banner
+
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.tls import ClientHello
+from repro.webserver import MultiStapleServer, verify_chain_staples
+
+NOW = MEASUREMENT_START
+
+
+def build():
+    root = CertificateAuthority.create_root(
+        "MS Root", "http://ocsp.msroot.test", not_before=NOW - 3 * 365 * DAY)
+    intermediate = root.create_intermediate("MS Intermediate",
+                                            "http://ocsp.msint.test")
+    leaf = intermediate.issue_leaf("multi.example", generate_keypair(512, rng=5),
+                                   not_before=NOW - DAY)
+    network = Network()
+    for name, authority in (("msroot", root), ("msint", intermediate)):
+        responder = OCSPResponder(
+            authority, f"http://ocsp.{name}.test",
+            ResponderProfile(update_interval=None, this_update_margin=HOUR),
+            epoch_start=NOW - 7 * DAY)
+        network.bind(f"ocsp.{name}.test",
+                     network.add_origin(f"{name}-ocsp", "us-east", responder.handle))
+    server = MultiStapleServer(
+        chain=[leaf, intermediate.certificate, root.certificate],
+        issuer=intermediate.certificate, network=network)
+    issuers = [intermediate.certificate, root.certificate, root.certificate]
+    return root, intermediate, leaf, server, issuers
+
+
+def test_ext_multistaple_detects_revoked_intermediate(benchmark):
+    def run():
+        root, intermediate, leaf, server, issuers = build()
+        server.tick(NOW)
+        v1_hello = ClientHello("multi.example", status_request=True)
+        v2_hello = ClientHello("multi.example", status_request=True,
+                               status_request_v2=True)
+
+        before_v2 = verify_chain_staples(
+            server.handle_connection(v2_hello, NOW), issuers, NOW)
+
+        # Intermediate CA compromise: the root revokes it.
+        root.revoke(intermediate.certificate, NOW + HOUR, reason=2)
+        server.cache = None
+        server._chain_cache.clear()
+        server.tick(NOW + 2 * HOUR)
+
+        after_v1 = server.handle_connection(v1_hello, NOW + 2 * HOUR)
+        after_v2 = verify_chain_staples(
+            server.handle_connection(v2_hello, NOW + 2 * HOUR),
+            issuers, NOW + 2 * HOUR)
+        return before_v2, after_v1, after_v2
+
+    before_v2, after_v1, after_v2 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension: RFC 6961 multi-stapling vs a revoked intermediate")
+    print(f"  healthy chain, v2 staple verdicts:   {before_v2}")
+    print(f"  after intermediate revocation, v1:   leaf staple only, "
+          f"present={after_v1.stapled_ocsp is not None} "
+          f"(revocation invisible)")
+    print(f"  after intermediate revocation, v2:   {after_v2} "
+          f"(chain element 1 flagged)")
+
+    # Healthy: leaf + intermediate verified good; root has no staple.
+    assert before_v2[0] is True and before_v2[1] is True and before_v2[2] is None
+    # v1 (single staple): the leaf status is still GOOD — the client
+    # cannot see the intermediate's revocation from the staple.
+    assert after_v1.stapled_ocsp is not None
+    assert after_v1.stapled_ocsp_chain is None
+    # v2: the intermediate's staple reports the revocation.
+    assert after_v2[0] is True
+    assert after_v2[1] is False

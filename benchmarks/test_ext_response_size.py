@@ -1,0 +1,34 @@
+"""Extension — OCSP response size vs embedded certificates.
+
+Quantifies the Figure-6 aside: superfluous certificates "typically
+only serve to make the size of the OCSP response bigger" (the
+cpc.gov.ae responder shipping four chains being the extreme), and
+contrasts the result with the paper's 76 MB CRL observation.
+"""
+
+from conftest import banner
+
+from repro.core import responder_quality, size_by_certificate_count
+
+
+def test_ext_response_size(benchmark, bench_dataset):
+    qualities = benchmark.pedantic(responder_quality, args=(bench_dataset,),
+                                   rounds=1, iterations=1)
+    by_count = size_by_certificate_count(qualities)
+
+    banner("Extension: OCSP response size by embedded-certificate count")
+    for count, size in by_count.items():
+        print(f"  {count} certificate(s): avg {size:7.0f} bytes")
+    baseline = by_count.get(0) or by_count.get(1)
+    heaviest = max(by_count.values())
+    print(f"\nsuperfluous-chain responders inflate responses "
+          f"{heaviest / baseline:.1f}x over the lean baseline")
+    print("(compare: a full CRL download can reach 76 MB — paper Section 2.2)")
+
+    # More embedded certificates => bigger responses, monotonically.
+    counts = sorted(by_count)
+    sizes = [by_count[c] for c in counts]
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    assert heaviest / baseline > 2.0
+    # Even the bloated OCSP responses are tiny next to CRLs.
+    assert heaviest < 10_000

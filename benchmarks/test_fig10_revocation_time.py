@@ -1,0 +1,41 @@
+"""Figure 10 — CDF of (OCSP revocation time - CRL revocation time).
+
+Paper observations: only 0.15% of responses differ at all; 14.7% of the
+differing ones are negative (OCSP earlier), bounded at -43,200 s;
+ocsp.msocsp.com lags its CRL by 7 hours to 9 days for every revoked
+certificate; the tail exceeds 137M seconds (over 4 years).
+"""
+
+from conftest import banner
+
+from repro.core import cdf_points, render_cdf
+from repro.simnet import DAY, HOUR
+
+
+def test_fig10_revocation_time_deltas(benchmark, bench_consistency_report):
+    report = bench_consistency_report
+
+    def analyze():
+        deltas = [d.delta for d in report.time_deltas if d.delta != 0]
+        return deltas, cdf_points(deltas)
+
+    deltas, points = benchmark(analyze)
+
+    banner("Figure 10: OCSP revocation time - CRL revocation time (seconds)")
+    print(render_cdf(points, "nonzero deltas"))
+    differing = report.differing_time_fraction()
+    negative = [d for d in deltas if d < 0]
+    print(f"\nresponses with differing time (paper: 0.15%): {differing * 100:.2f}%")
+    print(f"negative deltas among differing (paper: 14.7%): "
+          f"{len(negative) / len(deltas) * 100:.1f}%")
+    print(f"most negative (paper x-axis starts at -43,200): {min(deltas):,}")
+    print(f"maximum (paper: >137M seconds, over 4 years): {max(deltas):,}")
+
+    msocsp = [d.delta for d in report.time_deltas if "msocsp" in d.ocsp_url]
+
+    assert differing < 0.02               # differing times are rare
+    assert negative                        # the negative tail exists
+    assert min(deltas) >= -43_200          # bounded like the paper's axis
+    assert max(deltas) >= 137_000_000      # the 4-year tail
+    assert msocsp and all(7 * HOUR <= d <= 9 * DAY for d in msocsp)
+    assert 0.05 <= len(negative) / len(deltas) <= 0.40

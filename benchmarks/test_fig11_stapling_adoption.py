@@ -1,0 +1,26 @@
+"""Figure 11 — OCSP Stapling adoption as a function of website popularity.
+
+Paper observations: roughly 35% of OCSP-supporting Alexa domains
+staple, and popular domains are more likely to.
+"""
+
+from conftest import banner
+
+from repro.core import figure11_adoption, render_series
+
+SERIES = "OCSP domains that support OCSP Stapling"
+
+
+def test_fig11_stapling_adoption_by_rank(benchmark, bench_alexa):
+    adoption = benchmark(figure11_adoption, bench_alexa)
+
+    points = adoption.curves[SERIES]
+    banner("Figure 11: OCSP Stapling adoption vs Alexa rank (bins of 10,000)")
+    print(render_series(points, f"{SERIES} (%)"))
+    print(f"\npaper: ~35% overall, higher when popular | "
+          f"measured avg {adoption.average(SERIES):.1f}%, "
+          f"top bin {points[0][1]:.1f}%, bottom bin {points[-1][1]:.1f}%")
+
+    assert 28 <= adoption.average(SERIES) <= 42
+    assert adoption.slope_sign(SERIES) == -1
+    assert points[0][1] > points[-1][1]

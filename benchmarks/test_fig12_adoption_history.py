@@ -1,0 +1,38 @@
+"""Figure 12 — OCSP and OCSP Stapling adoption, May 2016 → September 2018.
+
+Paper observations: both series grow steadily; the stapling series
+jumps in June 2017 when Cloudflare enabled stapling (its stapled
+cruise-liner-certificate domains went from 11,675 on May 18 2017 to
+78,907 by June 15 2017).
+"""
+
+from conftest import banner
+
+from repro.core import figure12_history, render_series
+
+
+def test_fig12_adoption_over_time(benchmark):
+    history = benchmark(figure12_history)
+
+    banner("Figure 12: adoption over time (monthly Censys-substitute snapshots)")
+    print(render_series(history.ocsp_series(), "Certificates with OCSP (%)",
+                        max_points=15))
+    print(render_series(history.stapling_series(), "Domains with OCSP Stapling (%)",
+                        max_points=15))
+    before, after = history.cloudflare_jump()
+    print(f"\nCloudflare stapled domains May->June 2017 "
+          f"(paper: 11,675 -> 78,907): {before:,} -> {after:,}")
+
+    assert history.monotonic_growth("ocsp")
+    assert history.monotonic_growth("stapling")
+    assert after > 6 * before
+    # Ends of the series match the paper's ballparks.
+    assert 85 <= history.ocsp_series()[0][1] <= 90
+    assert 90 <= history.ocsp_series()[-1][1] <= 96
+    assert history.stapling_series()[-1][1] >= 30
+
+    # The June-2017 month-over-month step is the largest in the series.
+    stapling = [pct for _, pct in history.stapling_series()]
+    steps = [b - a for a, b in zip(stapling, stapling[1:])]
+    labels = [label for label, _ in history.stapling_series()][1:]
+    assert labels[steps.index(max(steps))] == "2017-06"

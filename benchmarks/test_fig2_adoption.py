@@ -1,0 +1,31 @@
+"""Figure 2 — OCSP adoption as a function of website popularity.
+
+Paper series: % of Alexa Top-1M domains with a certificate (HTTPS,
+~75%) and % of those supporting OCSP (91.3% average), both slightly
+higher for popular sites.
+"""
+
+from conftest import banner
+
+from repro.core import figure2_adoption, render_series
+
+
+def test_fig2_ocsp_adoption_by_rank(benchmark, bench_alexa):
+    adoption = benchmark(figure2_adoption, bench_alexa)
+
+    https = adoption.curves["Domains with certificate"]
+    ocsp = adoption.curves["Certificates with OCSP responder"]
+
+    banner("Figure 2: OCSP adoption vs Alexa rank (bins of 10,000)")
+    print(render_series(https, "Domains with certificate (%)"))
+    print(render_series(ocsp, "Certificates with OCSP responder (%)"))
+    print(f"\npaper: HTTPS ~75% across the range  | measured avg: "
+          f"{adoption.average('Domains with certificate'):.1f}%")
+    print(f"paper: OCSP 91.3% on average        | measured avg: "
+          f"{adoption.average('Certificates with OCSP responder'):.1f}%")
+
+    assert 70 <= adoption.average("Domains with certificate") <= 80
+    assert 88 <= adoption.average("Certificates with OCSP responder") <= 94
+    # Popular sites adopt more (declining curve).
+    assert adoption.slope_sign("Domains with certificate") == -1
+    assert adoption.slope_sign("Certificates with OCSP responder") == -1

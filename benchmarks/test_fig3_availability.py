@@ -1,0 +1,74 @@
+"""Figure 3 — fraction of successful OCSP requests per vantage point.
+
+Paper observations being regenerated:
+* no hour in which every responder answered from any vantage,
+* average failure rate a few percent, Virginia best, São Paulo worst,
+* two responders never reachable from anywhere,
+* ~36.8% of responders saw at least one transient outage,
+* named events (Comodo Apr 25, Digicert/Seoul Aug 27, Certum/Sydney
+  Aug 9) visible as dips.
+"""
+
+from conftest import banner
+
+from repro.core import analyze_availability, render_series
+from repro.simnet import at
+
+
+def test_fig3_availability(benchmark, bench_dataset):
+    report = benchmark.pedantic(analyze_availability, args=(bench_dataset,),
+                                rounds=1, iterations=1)
+
+    banner("Figure 3: % successful OCSP requests per vantage point")
+    for vantage, points in report.success_series.items():
+        print(render_series(points, f"{vantage} (% success)", max_points=12))
+    print("\nAverage failure rate by vantage (paper: 2.2% Virginia .. 5.7% São Paulo):")
+    for vantage, rate in sorted(report.failure_rate.items(), key=lambda kv: kv[1]):
+        print(f"  {vantage:10s} {rate:.2f}%")
+    print(f"\nresponders never reachable anywhere "
+          f"(paper: 2/536): {len(report.never_successful_anywhere)}/{report.responder_count}")
+    print(f"responders with >=1 vantage never succeeding "
+          f"(paper: 29): {len(report.never_successful_somewhere)}")
+    print(f"always-fail per vantage (paper: Oregon 1, São Paulo 7, Paris 1, Seoul 4):")
+    for vantage, count in report.always_fail_by_vantage.items():
+        print(f"  {vantage:10s} {count}")
+    print(f"responders with >=1 transient outage (paper: 36.8%): "
+          f"{report.outage_fraction * 100:.1f}%")
+
+    # Shape assertions.
+    assert report.failure_rate["Sao-Paulo"] == max(report.failure_rate.values())
+    assert report.failure_rate["Virginia"] == min(report.failure_rate.values())
+    assert 0.5 <= report.overall_failure_rate <= 8.0
+    assert len(report.never_successful_anywhere) >= 1
+    assert report.always_fail_by_vantage["Sao-Paulo"] >= \
+        report.always_fail_by_vantage["Virginia"]
+    assert 0.25 <= report.outage_fraction <= 0.55  # paper: 36.8%
+    # No vantage ever saw a fully clean hour.
+    for vantage, points in report.success_series.items():
+        assert all(success < 100.0 for _, success in points)
+
+
+def test_fig3_comodo_event_dip(benchmark, bench_world):
+    """The April 25 Comodo outage: visible from Oregon/Sydney/Seoul only."""
+    from repro.scanner import HourlyScanner
+    from repro.simnet import HOUR
+
+    scanner = HourlyScanner(bench_world, interval=HOUR)
+    dataset = benchmark.pedantic(
+        scanner.run, args=(at(2018, 4, 25, 18), at(2018, 4, 25, 22)),
+        rounds=1, iterations=1)
+    report = analyze_availability(dataset)
+
+    def success_at(vantage, hour):
+        series = dict(report.success_series[vantage])
+        return series[at(2018, 4, 25, hour)]
+
+    banner("Figure 3 inset: Comodo outage, April 25 2018, 19:00-21:00")
+    for vantage in ("Oregon", "Virginia", "Seoul"):
+        print(f"  {vantage:10s} 18:00 {success_at(vantage, 18):5.1f}%  "
+              f"19:00 {success_at(vantage, 19):5.1f}%  "
+              f"21:00 {success_at(vantage, 21):5.1f}%")
+
+    assert success_at("Oregon", 19) < success_at("Oregon", 18) - 1.0
+    assert success_at("Seoul", 19) < success_at("Seoul", 18) - 1.0
+    assert success_at("Virginia", 19) > success_at("Oregon", 19)

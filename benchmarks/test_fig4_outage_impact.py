@@ -1,0 +1,54 @@
+"""Figure 4 — Alexa Top-1M domains unable to obtain an OCSP response.
+
+Paper observations being regenerated:
+* the April 25 Comodo outage left ~163K domains without OCSP from
+  Oregon/Sydney/Seoul for two hours,
+* the August 27 Digicert outage hit ~77K domains, Seoul only,
+* São Paulo is persistently unable to reach the responders of ~318
+  domains (the *.digitalcertvalidation.com 404s, wellsfargo among them).
+"""
+
+from conftest import banner
+
+from repro.simnet import at
+
+
+def test_fig4_outage_impact(benchmark, bench_alexa_availability):
+    availability = bench_alexa_availability
+
+    comodo_hour = at(2018, 4, 25, 19, 30)
+    digicert_hour = at(2018, 8, 27, 11)
+    quiet_hour = at(2018, 6, 15, 3)
+    floor_hours = [at(2018, 6, day, hour) for day in (5, 12, 19, 26)
+                   for hour in (3, 15)]
+
+    def run():
+        return {
+            "comodo_oregon": availability.domains_unable("Oregon", comodo_hour),
+            "comodo_virginia": availability.domains_unable("Virginia", comodo_hour),
+            "digicert_seoul": availability.domains_unable("Seoul", digicert_hour),
+            "digicert_paris": availability.domains_unable("Paris", digicert_hour),
+            "saopaulo_quiet": availability.persistent_floor("Sao-Paulo", floor_hours),
+            "virginia_quiet": availability.persistent_floor("Virginia", floor_hours),
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Figure 4: Alexa domains unable to fetch OCSP responses")
+    rows = [
+        ("Comodo outage (Apr 25), Oregon", "~163,000", counts["comodo_oregon"]),
+        ("Comodo outage (Apr 25), Virginia", "(unaffected)", counts["comodo_virginia"]),
+        ("Digicert outage (Aug 27), Seoul", "~77,000", counts["digicert_seoul"]),
+        ("Digicert outage (Aug 27), Paris", "(unaffected)", counts["digicert_paris"]),
+        ("persistent floor, São Paulo", "~318", counts["saopaulo_quiet"]),
+        ("persistent floor, Virginia", "0", counts["virginia_quiet"]),
+    ]
+    for label, paper, measured in rows:
+        print(f"  {label:38s} paper {paper:>12s}   measured {measured:>12,.0f}")
+
+    assert counts["comodo_oregon"] > 120_000
+    assert counts["comodo_oregon"] > 5 * counts["comodo_virginia"]
+    assert counts["digicert_seoul"] > 50_000
+    assert counts["digicert_seoul"] > 3 * counts["digicert_paris"]
+    assert 100 <= counts["saopaulo_quiet"] <= 5_000  # paper ~318
+    assert counts["saopaulo_quiet"] > counts["virginia_quiet"]

@@ -1,0 +1,54 @@
+"""Figure 5 — percentage of unusable OCSP responses by error class.
+
+Paper observations being regenerated:
+* malformed-structure errors dominate; correctly-formed responses never
+  have bad signatures or mismatched serials at scale,
+* ~1.6% of responders are persistently malformed (empty / "0" / JS),
+* the sheca "0"-response spikes (Apr 29, Jul 28) and the postsignum
+  episode (from May 1) stand out of the baseline.
+"""
+
+from conftest import banner
+
+from repro.core import (
+    persistently_malformed_responders,
+    render_series,
+    validity_series,
+)
+from repro.scanner import ProbeOutcome
+from repro.simnet import at
+
+
+def test_fig5_unusable_responses(benchmark, bench_dataset):
+    series = benchmark.pedantic(validity_series, args=(bench_dataset,),
+                                rounds=1, iterations=1)
+
+    banner("Figure 5: % of unusable OCSP responses by class")
+    labels = {
+        ProbeOutcome.MALFORMED: "ASN.1 unparseable",
+        ProbeOutcome.SERIAL_MISMATCH: "serial mismatch",
+        ProbeOutcome.BAD_SIGNATURE: "signature invalid",
+    }
+    for outcome, label in labels.items():
+        points = series.series[outcome]
+        print(render_series(points, f"{label} (%)", max_points=10))
+        print(f"  avg {series.average(outcome):.3f}%  peak {series.peak(outcome):.3f}%")
+
+    malformed_urls = persistently_malformed_responders(bench_dataset)
+    total = len(bench_dataset.responder_urls())
+    print(f"\npersistently malformed responders (paper: 8/536 = 1.6%): "
+          f"{len(malformed_urls)}/{total} = {len(malformed_urls) / total * 100:.1f}%")
+
+    # Malformed dominates the other two classes.
+    assert series.average(ProbeOutcome.MALFORMED) > \
+        series.average(ProbeOutcome.SERIAL_MISMATCH)
+    assert series.average(ProbeOutcome.MALFORMED) > \
+        series.average(ProbeOutcome.BAD_SIGNATURE)
+    # Persistent-malformed population near the paper's 1.6%.
+    assert 0.005 <= len(malformed_urls) / total <= 0.06
+    # The postsignum episode raises the malformed rate after May 1.
+    before = [p for t, p in series.series[ProbeOutcome.MALFORMED]
+              if t < at(2018, 4, 30)]
+    after = [p for t, p in series.series[ProbeOutcome.MALFORMED]
+             if at(2018, 5, 2) < t < at(2018, 5, 11)]
+    assert sum(after) / len(after) > sum(before) / len(before)

@@ -1,0 +1,28 @@
+"""Figure 6 — CDF of the average number of certificates per OCSP response.
+
+Paper observations: ~14.5% of responders include more than one
+certificate; one responder (ocsp.cpc.gov.ae) always includes four
+chains up to the root.
+"""
+
+from conftest import banner
+
+from repro.core import certificates_cdf, fraction_at_or_below, render_cdf, responder_quality
+
+
+def test_fig6_certificates_per_response(benchmark, bench_dataset):
+    qualities = benchmark.pedantic(responder_quality, args=(bench_dataset,),
+                                   rounds=1, iterations=1)
+    points = certificates_cdf(qualities)
+    values = [v for v, _ in points]
+
+    banner("Figure 6: CDF of certificates per OCSP response (per responder)")
+    print(render_cdf(points, "avg certificates per response"))
+    multi = 1.0 - fraction_at_or_below(values, 1.0)
+    print(f"\nresponders with >1 certificate (paper: 14.5%): {multi * 100:.1f}%")
+    print(f"maximum (paper: 4, ocsp.cpc.gov.ae): {max(values):.1f}")
+
+    assert 0.08 <= multi <= 0.25
+    assert max(values) >= 3.5  # the cpc.gov.ae-style full chain
+    # Majority of responders send at most one embedded certificate.
+    assert fraction_at_or_below(values, 1.0) > 0.7

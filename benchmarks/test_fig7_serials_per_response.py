@@ -1,0 +1,27 @@
+"""Figure 7 — CDF of the average number of serial numbers per response.
+
+Paper observations: 96.2% of responders answer exactly the one serial
+asked about; 4.8% stuff more; 3.3% always return 20.
+"""
+
+from conftest import banner
+
+from repro.core import fraction_at_or_below, render_cdf, responder_quality, serials_cdf
+
+
+def test_fig7_serials_per_response(benchmark, bench_dataset):
+    qualities = benchmark.pedantic(responder_quality, args=(bench_dataset,),
+                                   rounds=1, iterations=1)
+    points = serials_cdf(qualities)
+    values = [v for v, _ in points]
+
+    banner("Figure 7: CDF of serial numbers per OCSP response (per responder)")
+    print(render_cdf(points, "avg serials per response"))
+    single = fraction_at_or_below(values, 1.01)
+    twenty = 1.0 - fraction_at_or_below(values, 19.5)
+    print(f"\nresponders answering exactly 1 serial (paper: 96.2%): {single * 100:.1f}%")
+    print(f"responders always answering 20 serials (paper: 3.3%): {twenty * 100:.1f}%")
+
+    assert single > 0.90
+    assert 0.01 <= twenty <= 0.08
+    assert max(values) >= 19.5

@@ -1,0 +1,44 @@
+"""Section 4 — deployment status of OCSP Must-Staple.
+
+Paper rows being regenerated:
+* 95.4% of valid certificates support OCSP,
+* 0.02% of valid certificates carry Must-Staple,
+* Must-Staple issuance split: Let's Encrypt 97.3%, DFN, Comodo, UserTrust.
+"""
+
+from conftest import banner
+
+from repro.core import deployment_stats, pct, render_table
+from repro.datasets import MUST_STAPLE_BY_CA
+
+
+def test_sec4_deployment(benchmark, bench_corpus):
+    stats = benchmark(deployment_stats, bench_corpus)
+
+    boost = bench_corpus.config.must_staple_boost
+    unboosted = stats.must_staple_fraction / boost
+
+    banner("Section 4: deployment of OCSP and OCSP Must-Staple")
+    print(render_table(
+        ["metric", "paper", "measured"],
+        [
+            ["valid certificates with OCSP", "95.4%", pct(stats.ocsp_fraction)],
+            ["valid certificates with Must-Staple", "0.02%",
+             pct(unboosted, digits=3)],
+        ],
+    ))
+    shares = stats.must_staple_ca_shares()
+    paper_total = sum(MUST_STAPLE_BY_CA.values())
+    print(render_table(
+        ["CA", "paper share", "measured share"],
+        [
+            [name, pct(count / paper_total), pct(shares.get(name, 0.0))]
+            for name, count in MUST_STAPLE_BY_CA.items()
+        ],
+        title="\nMust-Staple issuance by CA",
+    ))
+
+    # Shape assertions: OCSP ubiquitous, Must-Staple minuscule, LE dominant.
+    assert 0.92 <= stats.ocsp_fraction <= 0.98
+    assert unboosted < 0.001
+    assert shares["Lets Encrypt"] > 0.90

@@ -1,0 +1,34 @@
+"""Section 8 — the concluding verdict.
+
+"Considering OCSP Must-Staple can operate only if each of the
+principals in the PKI performs correctly, we conclude that, currently,
+the web is not ready for OCSP Must-Staple."
+"""
+
+from conftest import banner
+
+from repro.core import assess_readiness
+from repro.datasets import CertificateCorpus, CorpusConfig, MeasurementWorld, WorldConfig
+from repro.simnet import HOUR
+
+
+def test_sec8_readiness_verdict(benchmark):
+    world = MeasurementWorld(WorldConfig(n_responders=70, certs_per_responder=1,
+                                         seed=7))
+    corpus = CertificateCorpus(CorpusConfig(size=5_000, seed=2018))
+
+    report = benchmark.pedantic(
+        assess_readiness,
+        kwargs=dict(world=world, corpus=corpus, scan_days=3,
+                    scan_interval=6 * HOUR),
+        rounds=1, iterations=1,
+    )
+
+    banner("Section 8: readiness verdict")
+    print(report.render())
+
+    assert not report.web_is_ready
+    assert not report.verdict_for("Clients (web browsers)").ready
+    assert not report.verdict_for("Web server software").ready
+    assert not report.verdict_for(
+        "Deployment (certificates with Must-Staple)").ready

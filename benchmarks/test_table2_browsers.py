@@ -1,0 +1,42 @@
+"""Table 2 — browser support for OCSP Must-Staple.
+
+Paper rows: every browser requests a stapled OCSP response; only
+Firefox 60 (desktop, all three OSes) and Firefox on Android hard-fail
+when a Must-Staple certificate arrives without a staple; Firefox on
+iOS does not; no soft-failing browser sends its own OCSP request.
+"""
+
+from conftest import banner
+
+from repro.browser import run_browser_tests
+from repro.core import render_table
+
+
+def test_table2_browser_matrix(benchmark):
+    report = benchmark.pedantic(run_browser_tests, rounds=1, iterations=1)
+
+    banner("Table 2: browser test results (Must-Staple cert, stapling off)")
+    rows = []
+    for row in report.rows:
+        cells = row.cells()
+        rows.append([
+            row.policy.label,
+            cells["Request OCSP response"],
+            cells["Respect OCSP Must-Staple"],
+            cells["Send own OCSP request"],
+        ])
+    print(render_table(
+        ["browser", "request OCSP", "respect Must-Staple", "own OCSP request"],
+        rows,
+    ))
+    print(f"\ncompliant browsers (paper: Firefox desktop x3 + Android): "
+          f"{', '.join(report.compliant_browsers)}")
+
+    assert all(row.requests_ocsp_response for row in report.rows)
+    assert set(report.compliant_browsers) == {
+        "Firefox 60 (OS X)", "Firefox 60 (Linux)", "Firefox 60 (Windows)",
+        "Firefox (Android)",
+    }
+    assert not report.row("Firefox (iOS)").respects_must_staple
+    assert all(row.sends_own_ocsp_request in (None, False)
+               for row in report.rows)

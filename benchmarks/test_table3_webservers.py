@@ -1,0 +1,57 @@
+"""Table 3 — web server OCSP Stapling implementation correctness.
+
+Paper rows: Apache 2.4.18 fails prefetch (pauses the handshake),
+caches, ignores nextUpdate, and drops its cache on responder errors;
+Nginx 1.13.12 fails prefetch (first client gets nothing) but respects
+nextUpdate and retains the cache on errors.  The 'ideal' model
+implements the paper's Section-8 recommendation and passes everything.
+"""
+
+from conftest import banner
+
+from repro.core import render_table
+from repro.webserver import (
+    ApacheServer,
+    EXPERIMENTS,
+    IdealServer,
+    NginxServer,
+    run_conformance,
+)
+
+PAPER = {
+    "apache-2.4.18": ["no (pause conn.)", "yes", "no", "no"],
+    "nginx-1.13.12": ["no (provide no resp.)", "yes", "yes", "yes"],
+}
+
+
+def test_table3_webserver_conformance(benchmark):
+    def run_all():
+        return {cls.software: run_conformance(cls)
+                for cls in (ApacheServer, NginxServer, IdealServer)}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("Table 3: web server stapling conformance")
+    rows = []
+    for software, report in reports.items():
+        cells = report.as_row()
+        rows.append([software, *[cells[name] for name in EXPERIMENTS]])
+    print(render_table(["software", *EXPERIMENTS], rows))
+    print("\npaper: Apache fails 3/4 (pause, expired cache, drop-on-error); "
+          "Nginx fails only prefetch.")
+
+    apache = reports["apache-2.4.18"]
+    assert not apache.result("Prefetch OCSP response").passed
+    assert apache.result("Prefetch OCSP response").note == "pause conn."
+    assert apache.result("Cache OCSP response").passed
+    assert not apache.result("Respect nextUpdate in cache").passed
+    assert not apache.result("Retain OCSP response on error").passed
+
+    nginx = reports["nginx-1.13.12"]
+    assert not nginx.result("Prefetch OCSP response").passed
+    assert nginx.result("Prefetch OCSP response").note == "provide no resp."
+    assert nginx.result("Cache OCSP response").passed
+    assert nginx.result("Respect nextUpdate in cache").passed
+    assert nginx.result("Retain OCSP response on error").passed
+
+    assert all(r.passed for r in reports["ideal"].results)

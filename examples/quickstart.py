@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole OCSP Must-Staple story in one script.
+
+Builds a CA, issues a Must-Staple certificate, serves it from a web
+server, connects with Firefox- and Chrome-like browser models, then
+revokes the certificate and shows how the staple propagates — and what
+happens when an attacker strips it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.browser import by_label, connect, Verdict
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.webserver import IdealServer
+from repro.x509 import TrustStore
+
+NOW = MEASUREMENT_START
+
+
+def main() -> None:
+    # 1. A certificate authority with an OCSP responder.
+    ca = CertificateAuthority.create_root(
+        "Quickstart CA", "http://ocsp.quickstart.test",
+        not_before=NOW - 365 * DAY,
+    )
+    responder = OCSPResponder(
+        ca, "http://ocsp.quickstart.test",
+        ResponderProfile(update_interval=None, this_update_margin=HOUR,
+                         validity_period=DAY),
+        epoch_start=NOW - 7 * DAY,
+    )
+    network = Network()
+    origin = network.add_origin("quickstart-ocsp", "us-east", responder.handle)
+    network.bind("ocsp.quickstart.test", origin)
+
+    # 2. A Must-Staple certificate for a site (opt-in, like Let's Encrypt).
+    site_key = generate_keypair(512, rng=1)
+    leaf = ca.issue_leaf("shop.example", site_key, not_before=NOW - DAY,
+                         must_staple=True)
+    print(f"issued: {leaf!r}")
+    print(f"  OCSP URL: {leaf.ocsp_urls[0]}")
+    print(f"  Must-Staple: {leaf.must_staple}")
+
+    # 3. A web server that prefetches staples (the paper's recommendation).
+    server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                         network=network)
+    server.tick(NOW)  # prefetch
+
+    trust = TrustStore([ca.certificate])
+    firefox = by_label()["Firefox 60 (Linux)"]
+    chrome = by_label()["Chrome 66 (Linux)"]
+
+    # 4. Browse while everything is healthy.
+    print("\n--- healthy site, stapling server ---")
+    for browser in (firefox, chrome):
+        outcome = connect(browser, server, "shop.example", trust, NOW)
+        print(f"  {browser.label:22s} -> {outcome.verdict.value}")
+
+    # 5. The key is compromised; the CA revokes.  The server's next
+    #    staple refresh carries the revocation to every client.
+    print("\n--- certificate revoked (key compromise) ---")
+    ca.revoke(leaf, NOW + HOUR, reason=1)
+    server.cache = None
+    server.tick(NOW + 2 * HOUR)
+    for browser in (firefox, chrome):
+        outcome = connect(browser, server, "shop.example", trust, NOW + 2 * HOUR)
+        print(f"  {browser.label:22s} -> {outcome.verdict.value}")
+
+    # 6. An attacker strips the staple (the soft-failure attack of
+    #    Section 2.3).  Must-Staple + Firefox defeats it; Chrome-style
+    #    soft failure does not.
+    print("\n--- attacker strips the staple ---")
+
+    class StrippingMITM:
+        def handle_connection(self, hello, now):
+            handshake = server.handle_connection(hello, now)
+            handshake.stapled_ocsp = None
+            return handshake
+
+    for browser in (firefox, chrome):
+        outcome = connect(browser, StrippingMITM(), "shop.example", trust,
+                          NOW + 2 * HOUR)
+        verdict = outcome.verdict
+        note = "  <- attack BLOCKED by Must-Staple" \
+            if verdict is Verdict.REJECTED_MUST_STAPLE else \
+            "  <- attack SUCCEEDED (soft failure)"
+        print(f"  {browser.label:22s} -> {verdict.value}{note}")
+
+
+if __name__ == "__main__":
+    main()

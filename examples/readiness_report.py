@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The headline question: is the web ready for OCSP Must-Staple?
+
+Runs the full cross-principal assessment — responder availability and
+quality, browser Must-Staple enforcement, web server conformance, and
+deployment statistics — and prints the verdict.  With the 2018
+parameter set this reproduces the paper's conclusion: NO.
+
+Also prints the Table-2 browser matrix along the way.
+
+Run:  python examples/readiness_report.py
+"""
+
+from repro.browser import run_browser_tests
+from repro.core import assess_readiness, render_table
+
+
+def main() -> None:
+    print("running browser test suite (Section 6)...\n")
+    browser_report = run_browser_tests()
+    rows = []
+    for row in browser_report.rows:
+        cells = row.cells()
+        rows.append([
+            row.policy.label,
+            cells["Request OCSP response"],
+            cells["Respect OCSP Must-Staple"],
+            cells["Send own OCSP request"],
+        ])
+    print(render_table(
+        ["browser", "requests OCSP", "respects Must-Staple", "own OCSP request"],
+        rows, title="Table 2 (reproduced)"))
+
+    print("\nrunning responder scan, server conformance, deployment stats...")
+    report = assess_readiness()
+    print()
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

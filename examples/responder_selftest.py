@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The paper's recommendation #1, as a tool: responder self-testing.
+
+"OCSP responders ought to test the validity of their responses.  Test
+harnesses like ours can help towards this end."  (Section 8.)
+
+Runs the self-test battery — reachability, structure, signature,
+serial matching, thisUpdate margin, nextUpdate policy, stuffing, nonce
+echo, GET support, freshness — against a gallery of responders, each
+exhibiting one pathology the paper measured in the wild, plus the
+high-level :class:`~repro.ocsp.OCSPClient` in action.
+
+Run:  python examples/responder_selftest.py
+"""
+
+from repro.browser import ClientOCSPCache
+from repro.ca import (
+    CertificateAuthority,
+    OCSPResponder,
+    ResponderProfile,
+    blank_next_update_profile,
+    long_validity_profile,
+    non_overlapping_profile,
+    persistent_malformed_profile,
+    serial_stuffing_profile,
+    superfluous_certs_profile,
+    zero_margin_profile,
+    future_this_update_profile,
+)
+from repro.crypto import generate_keypair
+from repro.ocsp import OCSPClient
+from repro.scanner import self_test_responder
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+
+NOW = MEASUREMENT_START
+
+GALLERY = [
+    ("well-behaved", ResponderProfile(this_update_margin=HOUR)),
+    ("zero margin (Fig 9, 17.2%)", zero_margin_profile()),
+    ("future thisUpdate (Fig 9, 3%)", future_this_update_profile()),
+    ("blank nextUpdate (Fig 8, 9.1%)", blank_next_update_profile()),
+    ("1,251-day validity (Fig 8)", long_validity_profile(1251)),
+    ("20-serial stuffing (Fig 7, 3.3%)", serial_stuffing_profile(20)),
+    ("full-chain responses (Fig 6)", superfluous_certs_profile()),
+    ("'0' responses (Fig 5, sheca)", persistent_malformed_profile("zero")),
+    ("validity == update interval (hinet)", non_overlapping_profile(7200)),
+]
+
+
+def main() -> None:
+    network = Network()
+    print("building a gallery of responders, one per measured pathology...\n")
+    sites = []
+    for index, (label, profile) in enumerate(GALLERY):
+        ca = CertificateAuthority.create_root(
+            f"Gallery CA {index}", f"http://ocsp{index}.gallery.test",
+            not_before=NOW - 365 * DAY)
+        leaf = ca.issue_leaf(f"site{index}.example", generate_keypair(512, rng=index),
+                             not_before=NOW - DAY)
+        responder = OCSPResponder(ca, ca.ocsp_url, profile,
+                                  epoch_start=NOW - 7 * DAY)
+        network.bind(f"ocsp{index}.gallery.test",
+                     network.add_origin(f"gallery-{index}", "us-east",
+                                        responder.handle))
+        sites.append((label, ca, leaf))
+
+    now = NOW + HOUR
+    for label, ca, leaf in sites:
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, now)
+        status = "HEALTHY " if report.healthy else "ATTENTION"
+        interesting = report.failures + report.warnings
+        detail = "; ".join(f"{f.check}: {f.detail or f.grade.value}"
+                           for f in interesting[:2]) or "all checks pass"
+        print(f"[{status}] {label:38s} {detail}")
+
+    # The high-level client, with caching.
+    print("\nOCSPClient with a client-side cache:")
+    label, ca, leaf = sites[0]
+    client = OCSPClient(network, vantage="Paris", use_nonce=True,
+                        cache=ClientOCSPCache())
+    first = client.check(leaf, ca.certificate, now)
+    second = client.check(leaf, ca.certificate, now + 600)
+    print(f"  first lookup : status={first.status}, from_cache={first.from_cache}, "
+          f"latency={first.fetch.elapsed_ms:.0f} ms")
+    print(f"  second lookup: status={second.status}, from_cache={second.from_cache} "
+          f"(no network round trip)")
+    print(f"  requests actually sent: {client.requests_sent}")
+
+
+if __name__ == "__main__":
+    main()

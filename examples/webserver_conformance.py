@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Web server conformance: reproduce Table 3 and explore a what-if.
+
+Runs the paper's four stapling-implementation experiments against the
+Apache and Nginx behavioural models (plus the paper's recommended
+'ideal' server), then simulates a day in the life of a Must-Staple
+site behind each server while its OCSP responder suffers an outage —
+showing how many Firefox-like visitors each implementation locks out.
+
+Run:  python examples/webserver_conformance.py
+"""
+
+from repro.browser import by_label, connect, Verdict
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.core import render_table
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, FailureKind, Network, OutageWindow
+from repro.webserver import (
+    ApacheServer,
+    EXPERIMENTS,
+    IdealServer,
+    NginxServer,
+    run_conformance,
+)
+from repro.x509 import TrustStore
+
+NOW = MEASUREMENT_START
+
+
+def table3() -> None:
+    rows = []
+    for cls in (ApacheServer, NginxServer, IdealServer):
+        report = run_conformance(cls)
+        cells = report.as_row()
+        rows.append([report.software, *[cells[name] for name in EXPERIMENTS]])
+    print(render_table(["software", *EXPERIMENTS], rows,
+                       title="Table 3: stapling implementation conformance"))
+
+
+def outage_what_if() -> None:
+    """A Must-Staple site during a 6-hour responder outage."""
+    ca = CertificateAuthority.create_root("WhatIf CA", "http://ocsp.whatif.test",
+                                          not_before=NOW - 365 * DAY)
+    key = generate_keypair(512, rng=4)
+    leaf = ca.issue_leaf("whatif.example", key, not_before=NOW - DAY,
+                         must_staple=True)
+    responder = OCSPResponder(
+        ca, "http://ocsp.whatif.test",
+        ResponderProfile(update_interval=None, this_update_margin=HOUR,
+                         validity_period=DAY),
+        epoch_start=NOW - 7 * DAY,
+    )
+    network = Network()
+    origin = network.add_origin("whatif", "us-east", responder.handle)
+    network.bind("ocsp.whatif.test", origin)
+    # Outage from hour 6 to hour 12.
+    origin.add_outage(OutageWindow(NOW + 6 * HOUR, NOW + 12 * HOUR,
+                                   kind=FailureKind.TCP))
+
+    firefox = by_label()["Firefox 60 (Linux)"]
+    trust = TrustStore([ca.certificate])
+
+    print("\nWhat-if: Firefox visitors to a Must-Staple site, hourly for 24h,")
+    print("with the OCSP responder down from hour 6 to hour 12:\n")
+    header = f"{'server':16s}" + "".join(f"{h:>3d}" for h in range(24))
+    print(header)
+    for cls in (ApacheServer, NginxServer, IdealServer):
+        server = cls(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                     network=network)
+        marks = []
+        locked_out = 0
+        for hour in range(24):
+            now = NOW + hour * HOUR
+            server.tick(now)
+            outcome = connect(firefox, server, "whatif.example", trust, now)
+            ok = outcome.verdict is Verdict.ACCEPTED
+            marks.append(" ." if ok else " X")
+            locked_out += 0 if ok else 1
+        print(f"{server.software:16s}" + "".join(marks) +
+              f"   ({locked_out}/24 h locked out)")
+    print("\n'.' = page loads, 'X' = Firefox hard-fails the Must-Staple cert")
+
+
+def main() -> None:
+    table3()
+    outage_what_if()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a full reproduction of "Is the Web Ready for OCSP Must-Staple?"
+(Chung et al., IMC 2018) as a Python library.
+
+The package is layered bottom-up:
+
+* :mod:`repro.asn1` / :mod:`repro.crypto` — DER codec and RSA, from scratch;
+* :mod:`repro.x509` / :mod:`repro.ocsp` — certificates, CRLs, and OCSP;
+* :mod:`repro.simnet` — the deterministic network simulator;
+* :mod:`repro.ca`, :mod:`repro.tls`, :mod:`repro.webserver`,
+  :mod:`repro.browser` — the PKI's principals;
+* :mod:`repro.datasets` — synthetic stand-ins for Censys/Alexa inputs;
+* :mod:`repro.scanner` — the measurement clients;
+* :mod:`repro.core` — analyses producing every figure and table.
+
+Quick taste::
+
+    from repro.core import assess_readiness
+    print(assess_readiness().render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asn1",
+    "browser",
+    "ca",
+    "core",
+    "crypto",
+    "datasets",
+    "ocsp",
+    "scanner",
+    "simnet",
+    "tls",
+    "webserver",
+    "x509",
+]

@@ -1,0 +1,36 @@
+"""A from-scratch ASN.1 DER codec.
+
+This package is the wire-format substrate for the whole reproduction:
+X.509 certificates, CRLs, and OCSP messages are all encoded and decoded
+through it.  The encoder emits canonical DER only; the decoder is
+strict by default (with a ``lenient`` escape hatch used in the parser
+ablation study).
+"""
+
+from .errors import (
+    ASN1Error,
+    DecodeError,
+    EncodeError,
+    StrictDERError,
+    TagMismatchError,
+    TruncatedError,
+)
+from .oid import ObjectIdentifier
+from .decoder import Reader, decode_integer_content
+from . import encoder, tags, timecodec, oid
+
+__all__ = [
+    "ASN1Error",
+    "DecodeError",
+    "EncodeError",
+    "StrictDERError",
+    "TagMismatchError",
+    "TruncatedError",
+    "ObjectIdentifier",
+    "Reader",
+    "decode_integer_content",
+    "encoder",
+    "tags",
+    "timecodec",
+    "oid",
+]

@@ -1,0 +1,151 @@
+"""An ``openssl asn1parse``-style pretty printer for DER.
+
+Used by the CLI's ``inspect`` command and handy in tests when a
+structure disagrees with expectations.  Output is one line per TLV::
+
+      0:d=0  hl=4 l= 414 cons: SEQUENCE
+      4:d=1  hl=4 l= 263 cons: SEQUENCE
+      8:d=2  hl=2 l=   3 cons: cont [ 0 ]
+     10:d=3  hl=2 l=   1 prim: INTEGER           :02
+"""
+
+from __future__ import annotations
+
+import binascii
+from typing import List
+
+from . import tags
+from .errors import ASN1Error
+from .oid import OID_NAMES, ObjectIdentifier
+from .timecodec import decode_time
+
+_UNIVERSAL_NAMES = {
+    tags.BOOLEAN: "BOOLEAN",
+    tags.INTEGER: "INTEGER",
+    tags.BIT_STRING: "BIT STRING",
+    tags.OCTET_STRING: "OCTET STRING",
+    tags.NULL: "NULL",
+    tags.OBJECT_IDENTIFIER: "OBJECT",
+    tags.ENUMERATED: "ENUMERATED",
+    tags.UTF8_STRING: "UTF8STRING",
+    tags.SEQUENCE: "SEQUENCE",
+    tags.SET: "SET",
+    tags.PRINTABLE_STRING: "PRINTABLESTRING",
+    tags.IA5_STRING: "IA5STRING",
+    tags.UTC_TIME: "UTCTIME",
+    tags.GENERALIZED_TIME: "GENERALIZEDTIME",
+}
+
+#: Nested OCTET STRING / BIT STRING payloads that are themselves DER
+#: (extension values, responseBytes) are descended into when they parse.
+_DESCEND_INTO_STRINGS = True
+
+
+def _header_length(data: bytes, offset: int) -> "tuple[int, int]":
+    """Return (header_len, content_len) for the TLV at *offset*."""
+    first_len = data[offset + 1]
+    if first_len < 0x80:
+        return 2, first_len
+    n = first_len & 0x7F
+    return 2 + n, int.from_bytes(data[offset + 2:offset + 2 + n], "big")
+
+
+def _render_value(tag: int, content: bytes) -> str:
+    try:
+        if tag == tags.OBJECT_IDENTIFIER:
+            oid = ObjectIdentifier.decode_content(content)
+            name = OID_NAMES.get(oid)
+            return f":{oid.dotted}" + (f" ({name})" if name else "")
+        if tag == tags.INTEGER or tag == tags.ENUMERATED:
+            return f":{int.from_bytes(content, 'big', signed=True)}"
+        if tag == tags.BOOLEAN:
+            return ":TRUE" if content and content[0] else ":FALSE"
+        if tag in (tags.UTF8_STRING, tags.PRINTABLE_STRING, tags.IA5_STRING):
+            return ":" + content.decode("utf-8", "replace")
+        if tag in (tags.UTC_TIME, tags.GENERALIZED_TIME):
+            return f":{content.decode('ascii', 'replace')} ({decode_time(tag, content)})"
+        if tag in (tags.OCTET_STRING, tags.BIT_STRING):
+            shown = binascii.hexlify(content[:16]).decode()
+            suffix = "..." if len(content) > 16 else ""
+            return f":[HEX DUMP]:{shown}{suffix}"
+    except (ASN1Error, ValueError):
+        pass
+    return ""
+
+
+def dump_der(data: bytes, max_lines: int = 500) -> str:
+    """Render DER bytes as an indented TLV listing."""
+    lines: List[str] = []
+    _walk(bytes(data), 0, len(data), 0, lines, max_lines)
+    if len(lines) >= max_lines:
+        lines.append("... (truncated)")
+    return "\n".join(lines)
+
+
+def _walk(data: bytes, start: int, end: int, depth: int,
+          lines: List[str], max_lines: int) -> None:
+    offset = start
+    while offset < end and len(lines) < max_lines:
+        if offset + 2 > end:
+            lines.append(f"{offset:5d}:d={depth}  <truncated tag/length>")
+            return
+        tag = data[offset]
+        try:
+            header_len, content_len = _header_length(data, offset)
+        except IndexError:
+            lines.append(f"{offset:5d}:d={depth}  <truncated length>")
+            return
+        content_start = offset + header_len
+        content_end = content_start + content_len
+        if content_end > end:
+            lines.append(f"{offset:5d}:d={depth}  <content overruns buffer>")
+            return
+        content = data[content_start:content_end]
+
+        constructed = tags.is_constructed(tag)
+        if tags.is_context(tag):
+            name = f"cont [ {tags.tag_number(tag)} ]"
+        else:
+            name = _UNIVERSAL_NAMES.get(tag, f"tag 0x{tag:02x}")
+        kind = "cons" if constructed else "prim"
+        value = "" if constructed else _render_value(tag, content)
+        lines.append(
+            f"{offset:5d}:d={depth}  hl={header_len} l={content_len:4d} "
+            f"{kind}: {name:18s}{value}"
+        )
+
+        if constructed:
+            _walk(data, content_start, content_end, depth + 1, lines, max_lines)
+        elif (_DESCEND_INTO_STRINGS and tag == tags.OCTET_STRING and content
+              and content[0] in (tags.SEQUENCE,)):
+            # Heuristic: extension values and responseBytes nest DER.
+            try:
+                header_len2, content_len2 = _header_length(content, 0)
+                if header_len2 + content_len2 == len(content):
+                    _walk(data, content_start, content_end, depth + 1,
+                          lines, max_lines)
+            except IndexError:
+                pass
+        offset = content_end
+
+
+def describe_certificate(der: bytes) -> str:
+    """A short human summary of a certificate's interesting fields."""
+    from ..x509 import Certificate
+    certificate = Certificate.from_der(der)
+    lines = [
+        f"subject:     {certificate.subject.rfc4514()}",
+        f"issuer:      {certificate.issuer.rfc4514()}",
+        f"serial:      {certificate.serial_number:#x}",
+        f"validity:    {certificate.validity.not_before} .. "
+        f"{certificate.validity.not_after}",
+        f"CA:          {'yes' if certificate.is_ca else 'no'}",
+        f"must-staple: {'yes' if certificate.must_staple else 'no'}",
+    ]
+    if certificate.ocsp_urls:
+        lines.append(f"OCSP:        {', '.join(certificate.ocsp_urls)}")
+    if certificate.crl_urls:
+        lines.append(f"CRL:         {', '.join(certificate.crl_urls)}")
+    if certificate.dns_names:
+        lines.append(f"DNS names:   {', '.join(certificate.dns_names)}")
+    return "\n".join(lines)

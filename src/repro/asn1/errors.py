@@ -1,0 +1,43 @@
+"""Exceptions raised by the ASN.1/DER codec.
+
+The decoder distinguishes *structural* problems (truncated data, bad
+length octets) from *strictness* problems (BER constructs that are legal
+in BER but forbidden in DER).  Measurement code in :mod:`repro.scanner`
+catches :class:`ASN1Error` to classify a response as "malformed", which
+is the first error class of Figure 5 in the paper.
+"""
+
+from __future__ import annotations
+
+
+class ASN1Error(ValueError):
+    """Base class for every ASN.1 encoding or decoding failure."""
+
+
+class DecodeError(ASN1Error):
+    """The input bytes are not a well-formed DER structure."""
+
+
+class TruncatedError(DecodeError):
+    """The input ended before the announced length was satisfied."""
+
+
+class StrictDERError(DecodeError):
+    """The input is valid BER but violates DER's canonical-form rules.
+
+    Examples: non-minimal length octets, indefinite lengths, an
+    INTEGER with redundant leading zero octets.
+    """
+
+
+class EncodeError(ASN1Error):
+    """A Python value cannot be represented in the requested ASN.1 type."""
+
+
+class TagMismatchError(DecodeError):
+    """A decoded element carried a different tag than the caller expected."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(f"expected tag 0x{expected:02x}, got 0x{actual:02x}")
+        self.expected = expected
+        self.actual = actual

@@ -1,0 +1,63 @@
+"""ASN.1 tag constants and helpers.
+
+Only the identifier octets needed by X.509, CRL, and OCSP structures are
+defined; all of them fit in a single identifier octet (tag numbers below
+31), which keeps the codec simple without losing any generality needed
+by the paper's artefacts.
+"""
+
+from __future__ import annotations
+
+# Universal class tags (primitive unless noted).
+BOOLEAN = 0x01
+INTEGER = 0x02
+BIT_STRING = 0x03
+OCTET_STRING = 0x04
+NULL = 0x05
+OBJECT_IDENTIFIER = 0x06
+ENUMERATED = 0x0A
+UTF8_STRING = 0x0C
+SEQUENCE = 0x30  # constructed
+SET = 0x31  # constructed
+PRINTABLE_STRING = 0x13
+IA5_STRING = 0x16
+UTC_TIME = 0x17
+GENERALIZED_TIME = 0x18
+
+# Bit masks within the identifier octet.
+CLASS_MASK = 0xC0
+CLASS_UNIVERSAL = 0x00
+CLASS_APPLICATION = 0x40
+CLASS_CONTEXT = 0x80
+CLASS_PRIVATE = 0xC0
+CONSTRUCTED = 0x20
+TAG_NUMBER_MASK = 0x1F
+
+
+def context(number: int, constructed: bool = True) -> int:
+    """Return the identifier octet for a context-specific tag.
+
+    X.509 and OCSP use context tags [0]..[3] extensively (e.g. the
+    EXPLICIT version field of TBSCertificate is ``[0]``).
+    """
+    if not 0 <= number < 31:
+        raise ValueError(f"context tag number out of single-octet range: {number}")
+    octet = CLASS_CONTEXT | number
+    if constructed:
+        octet |= CONSTRUCTED
+    return octet
+
+
+def is_context(tag: int) -> bool:
+    """Return True when *tag* belongs to the context-specific class."""
+    return (tag & CLASS_MASK) == CLASS_CONTEXT
+
+
+def tag_number(tag: int) -> int:
+    """Extract the tag number from a single identifier octet."""
+    return tag & TAG_NUMBER_MASK
+
+
+def is_constructed(tag: int) -> bool:
+    """Return True when the identifier octet has the constructed bit set."""
+    return bool(tag & CONSTRUCTED)

@@ -1,0 +1,107 @@
+"""UTCTime / GeneralizedTime codecs.
+
+X.509 (RFC 5280) requires UTCTime for dates up to 2049 and
+GeneralizedTime from 2050 on, both in Zulu (GMT) form — the paper notes
+"all time values in OCSP responses must be represented as Greenwich
+Mean Time (Zulu)" (footnote 15).  OCSP (RFC 6960) always uses
+GeneralizedTime.  Internally the library represents instants as POSIX
+timestamps (integer seconds) on a simulated clock.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time as _time
+from typing import Tuple
+
+from . import tags
+from .errors import DecodeError, EncodeError
+
+#: Boundary above which RFC 5280 switches from UTCTime to GeneralizedTime.
+_UTCTIME_MAX = calendar.timegm((2049, 12, 31, 23, 59, 59, 0, 0, 0))
+_UTCTIME_MIN = calendar.timegm((1950, 1, 1, 0, 0, 0, 0, 0, 0))
+
+
+def encode_utc_time(timestamp: int) -> bytes:
+    """Encode a POSIX timestamp as UTCTime content octets (YYMMDDHHMMSSZ)."""
+    if not _UTCTIME_MIN <= timestamp <= _UTCTIME_MAX:
+        raise EncodeError(f"timestamp {timestamp} outside UTCTime range")
+    parts = _time.gmtime(timestamp)
+    return (
+        f"{parts.tm_year % 100:02d}{parts.tm_mon:02d}{parts.tm_mday:02d}"
+        f"{parts.tm_hour:02d}{parts.tm_min:02d}{parts.tm_sec:02d}Z"
+    ).encode("ascii")
+
+
+def encode_generalized_time(timestamp: int) -> bytes:
+    """Encode a POSIX timestamp as GeneralizedTime content (YYYYMMDDHHMMSSZ)."""
+    parts = _time.gmtime(timestamp)
+    return (
+        f"{parts.tm_year:04d}{parts.tm_mon:02d}{parts.tm_mday:02d}"
+        f"{parts.tm_hour:02d}{parts.tm_min:02d}{parts.tm_sec:02d}Z"
+    ).encode("ascii")
+
+
+def choose_time_encoding(timestamp: int) -> Tuple[int, bytes]:
+    """Return ``(tag, content)`` per the RFC 5280 UTCTime/GeneralizedTime rule."""
+    if _UTCTIME_MIN <= timestamp <= _UTCTIME_MAX:
+        return tags.UTC_TIME, encode_utc_time(timestamp)
+    return tags.GENERALIZED_TIME, encode_generalized_time(timestamp)
+
+
+def decode_utc_time(content: bytes) -> int:
+    """Decode UTCTime content octets to a POSIX timestamp.
+
+    DER requires the seconds field and the trailing ``Z``; two-digit
+    years map 00-49 to 20xx and 50-99 to 19xx per RFC 5280.
+    """
+    text = _ascii(content)
+    if len(text) != 13 or not text.endswith("Z"):
+        raise DecodeError(f"UTCTime not in DER YYMMDDHHMMSSZ form: {text!r}")
+    digits = text[:-1]
+    if not digits.isdigit():
+        raise DecodeError(f"UTCTime contains non-digits: {text!r}")
+    year2 = int(digits[0:2])
+    year = 2000 + year2 if year2 < 50 else 1900 + year2
+    return _to_timestamp(year, digits[2:], text)
+
+
+def decode_generalized_time(content: bytes) -> int:
+    """Decode GeneralizedTime content octets to a POSIX timestamp."""
+    text = _ascii(content)
+    if len(text) != 15 or not text.endswith("Z"):
+        raise DecodeError(f"GeneralizedTime not in DER YYYYMMDDHHMMSSZ form: {text!r}")
+    digits = text[:-1]
+    if not digits.isdigit():
+        raise DecodeError(f"GeneralizedTime contains non-digits: {text!r}")
+    return _to_timestamp(int(digits[0:4]), digits[4:], text)
+
+
+def decode_time(tag: int, content: bytes) -> int:
+    """Decode either time type based on *tag*."""
+    if tag == tags.UTC_TIME:
+        return decode_utc_time(content)
+    if tag == tags.GENERALIZED_TIME:
+        return decode_generalized_time(content)
+    raise DecodeError(f"tag 0x{tag:02x} is not a time type")
+
+
+def _ascii(content: bytes) -> str:
+    try:
+        return content.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise DecodeError("time value is not ASCII") from exc
+
+
+def _to_timestamp(year: int, rest: str, original: str) -> int:
+    month = int(rest[0:2])
+    day = int(rest[2:4])
+    hour = int(rest[4:6])
+    minute = int(rest[6:8])
+    second = int(rest[8:10])
+    if not (1 <= month <= 12 and 1 <= day <= 31 and hour < 24 and minute < 60 and second < 61):
+        raise DecodeError(f"time fields out of range: {original!r}")
+    try:
+        return calendar.timegm((year, month, day, hour, minute, second, 0, 0, 0))
+    except (ValueError, OverflowError) as exc:
+        raise DecodeError(f"invalid calendar date: {original!r}") from exc

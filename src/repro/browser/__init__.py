@@ -1,0 +1,39 @@
+"""Browser (client) models and the Table-2 test suite.
+
+Reproduces the second principal of the paper: clients must understand
+the Must-Staple extension, solicit stapled responses, and hard-fail
+when none arrive (Section 2.4, item 2).
+"""
+
+from .policy import BrowserPolicy, BrowsingOutcome, Verdict, connect
+from .cache import CachedResult, ClientOCSPCache, staleness_window
+from .crlset import CRLSet, CRLSetDistributor, check_with_crlset
+from .profiles import (
+    ALL_BROWSERS,
+    DESKTOP_BROWSERS,
+    MOBILE_BROWSERS,
+    by_label,
+    hardened_browser,
+)
+from .harness import BrowserTestReport, BrowserTestRow, run_browser_tests
+
+__all__ = [
+    "ALL_BROWSERS",
+    "BrowserPolicy",
+    "CRLSet",
+    "CRLSetDistributor",
+    "CachedResult",
+    "ClientOCSPCache",
+    "check_with_crlset",
+    "staleness_window",
+    "BrowserTestReport",
+    "BrowserTestRow",
+    "BrowsingOutcome",
+    "DESKTOP_BROWSERS",
+    "MOBILE_BROWSERS",
+    "Verdict",
+    "by_label",
+    "connect",
+    "hardened_browser",
+    "run_browser_tests",
+]

@@ -1,0 +1,82 @@
+"""A CRLSet model — Chrome's push-based emergency revocation list.
+
+The paper's related work cites Langley's posts explaining why Chrome
+does not do online revocation checks and ships CRLSets instead
+("Revocation checking and Chrome's CRL", [16]; "No, don't enable
+revocation checking", [17]).  A CRLSet is a small, centrally-curated
+set of (issuer key hash, serial) pairs pushed to browsers: revocations
+on the list are enforced instantly and offline; everything else is
+unprotected.
+
+This model lets the attack analyses compare the mechanism against
+OCSP/Must-Staple: CRLSets are immune to network attackers (no online
+fetch to block) but cover only the entries someone curated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set, Tuple
+
+from ..x509 import Certificate
+
+
+@dataclass
+class CRLSet:
+    """A pushed revocation set with a version number."""
+
+    version: int = 1
+    #: (issuer key SHA-1, serial number) pairs.
+    entries: Set[Tuple[bytes, int]] = field(default_factory=set)
+
+    def add(self, issuer: Certificate, serial_number: int) -> None:
+        """Curate one revocation into the set."""
+        self.entries.add((issuer.key_hash_sha1(), serial_number))
+
+    def covers(self, issuer: Certificate, serial_number: int) -> bool:
+        """True when the pair is on the list."""
+        return (issuer.key_hash_sha1(), serial_number) in self.entries
+
+    def is_revoked(self, certificate: Certificate, issuer: Certificate) -> bool:
+        """The browser-side check: leaf revoked per this CRLSet?"""
+        return self.covers(issuer, certificate.serial_number)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class CRLSetDistributor:
+    """The update channel: browsers poll for fresh CRLSets.
+
+    Chrome updates CRLSets out-of-band every few hours; ``push_delay``
+    models curation + distribution lag between a CA revocation and the
+    entry landing in clients.
+    """
+
+    def __init__(self, push_delay: int = 6 * 3600) -> None:
+        self.push_delay = push_delay
+        self._staged: list = []  # (available_at, issuer_key_hash, serial)
+        self._current = CRLSet(version=1)
+
+    def curate(self, issuer: Certificate, serial_number: int, revoked_at: int) -> None:
+        """A revocation worth pushing (CRLSets only take 'important' ones)."""
+        self._staged.append((revoked_at + self.push_delay,
+                             issuer.key_hash_sha1(), serial_number))
+
+    def fetch(self, now: int) -> CRLSet:
+        """What a browser syncing at *now* receives."""
+        entries = {
+            (key_hash, serial)
+            for available_at, key_hash, serial in self._staged
+            if available_at <= now
+        }
+        version = self._current.version + len(entries)
+        return CRLSet(version=version, entries=entries)
+
+
+def check_with_crlset(crlset: Optional[CRLSet], certificate: Certificate,
+                      issuer: Certificate) -> Optional[bool]:
+    """Tri-state CRLSet verdict: True=revoked, False=not listed, None=no set."""
+    if crlset is None:
+        return None
+    return crlset.is_revoked(certificate, issuer)

@@ -1,0 +1,181 @@
+"""Browser revocation-checking policy and connection pipeline.
+
+A :class:`BrowserPolicy` captures the three behaviours the paper tests
+per browser (Table 2):
+
+1. does it *request* a stapled OCSP response (status_request)?
+2. does it *respect* OCSP Must-Staple (hard-fail without a staple)?
+3. does it *send its own OCSP request* when no staple arrives?
+
+:func:`connect` drives one TLS connection through chain validation,
+staple verification, Must-Staple enforcement, and the optional
+client-side OCSP fallback — returning a :class:`BrowsingOutcome` that
+records what the paper's packet captures observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..ocsp import CertID, OCSPError, OCSPRequest, verify_response
+from ..simnet import Network, ocsp_post
+from ..tls import ClientHello
+from ..x509 import Certificate, TrustStore, validate_chain
+
+
+class Verdict(Enum):
+    """How the browser disposed of the connection."""
+
+    ACCEPTED = "accepted"
+    ACCEPTED_SOFT_FAIL = "accepted without revocation information"
+    REJECTED_CERT_INVALID = "rejected: certificate chain invalid"
+    REJECTED_REVOKED = "rejected: certificate revoked"
+    REJECTED_MUST_STAPLE = "rejected: Must-Staple with no valid staple"
+
+
+@dataclass(frozen=True)
+class BrowserPolicy:
+    """One browser/OS combination's revocation behaviour."""
+
+    name: str
+    os: str
+    mobile: bool = False
+    #: Sends the Certificate Status Request extension (Table 2 row 1).
+    sends_status_request: bool = True
+    #: Hard-fails Must-Staple certificates without a staple (row 2).
+    respects_must_staple: bool = False
+    #: Falls back to its own OCSP fetch when no staple arrives (row 3).
+    fallback_own_ocsp: bool = False
+    #: Consults a pushed CRLSet (Chrome's mechanism, related work [16]).
+    uses_crlset: bool = False
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"Firefox 60 (Linux)"``."""
+        return f"{self.name} ({self.os})"
+
+
+@dataclass
+class BrowsingOutcome:
+    """Everything observable about one connection attempt."""
+
+    verdict: Verdict
+    sent_status_request: bool
+    staple_received: bool = False
+    staple_valid: bool = False
+    own_ocsp_request_sent: bool = False
+    staple_error: Optional[OCSPError] = None
+
+    @property
+    def connected(self) -> bool:
+        """True when the page loaded (with or without revocation info)."""
+        return self.verdict in (Verdict.ACCEPTED, Verdict.ACCEPTED_SOFT_FAIL)
+
+
+def connect(policy: BrowserPolicy, server, hostname: str, trust_store: TrustStore,
+            now: int, network: Optional[Network] = None,
+            vantage: str = "Virginia", crlset=None) -> BrowsingOutcome:
+    """Simulate *policy* connecting to *server* for *hostname*.
+
+    *server* is anything with ``handle_connection(ClientHello, now)``
+    (the web server models).  *network* enables the client-side OCSP
+    fallback path; without it a fallback-configured browser soft-fails.
+    *crlset* supplies a pushed revocation set consulted by
+    ``uses_crlset`` policies (Chrome's out-of-band mechanism).
+    """
+    hello = ClientHello(server_name=hostname,
+                        status_request=policy.sends_status_request)
+    handshake = server.handle_connection(hello, now)
+    chain = handshake.certificate_chain
+    leaf = chain[0]
+
+    validation = validate_chain(chain, trust_store, now, hostname=hostname)
+    if not validation.valid:
+        return BrowsingOutcome(
+            verdict=Verdict.REJECTED_CERT_INVALID,
+            sent_status_request=policy.sends_status_request,
+            staple_received=handshake.stapled_ocsp is not None,
+        )
+
+    issuer = chain[1] if len(chain) > 1 else leaf
+    cert_id = CertID.for_certificate(leaf, issuer)
+
+    # CRLSet check: offline, immune to network attackers, but only as
+    # good as its curated coverage.
+    if policy.uses_crlset and crlset is not None:
+        from .crlset import check_with_crlset
+        if check_with_crlset(crlset, leaf, issuer):
+            return BrowsingOutcome(
+                verdict=Verdict.REJECTED_REVOKED,
+                sent_status_request=policy.sends_status_request,
+                staple_received=handshake.stapled_ocsp is not None,
+            )
+
+    staple_received = handshake.stapled_ocsp is not None
+    staple_valid = False
+    staple_error: Optional[OCSPError] = None
+    if staple_received and policy.sends_status_request:
+        check = verify_response(handshake.stapled_ocsp, cert_id, issuer, now)
+        staple_error = check.error
+        if check.ok:
+            staple_valid = True
+            if check.revoked:
+                return BrowsingOutcome(
+                    verdict=Verdict.REJECTED_REVOKED,
+                    sent_status_request=True,
+                    staple_received=True,
+                    staple_valid=True,
+                )
+            return BrowsingOutcome(
+                verdict=Verdict.ACCEPTED,
+                sent_status_request=True,
+                staple_received=True,
+                staple_valid=True,
+            )
+
+    # No valid staple from here on.
+    if leaf.must_staple and policy.respects_must_staple:
+        return BrowsingOutcome(
+            verdict=Verdict.REJECTED_MUST_STAPLE,
+            sent_status_request=policy.sends_status_request,
+            staple_received=staple_received,
+            staple_valid=False,
+            staple_error=staple_error,
+        )
+
+    if policy.fallback_own_ocsp and network is not None and leaf.ocsp_urls:
+        request = OCSPRequest.for_single(cert_id)
+        result = network.fetch(vantage, ocsp_post(leaf.ocsp_urls[0], request.encode()), now)
+        if result.ok:
+            check = verify_response(result.response.body, cert_id, issuer, now)
+            if check.ok and check.revoked:
+                return BrowsingOutcome(
+                    verdict=Verdict.REJECTED_REVOKED,
+                    sent_status_request=policy.sends_status_request,
+                    staple_received=staple_received,
+                    own_ocsp_request_sent=True,
+                )
+            if check.ok:
+                return BrowsingOutcome(
+                    verdict=Verdict.ACCEPTED,
+                    sent_status_request=policy.sends_status_request,
+                    staple_received=staple_received,
+                    own_ocsp_request_sent=True,
+                )
+        return BrowsingOutcome(
+            verdict=Verdict.ACCEPTED_SOFT_FAIL,
+            sent_status_request=policy.sends_status_request,
+            staple_received=staple_received,
+            own_ocsp_request_sent=True,
+            staple_error=staple_error,
+        )
+
+    return BrowsingOutcome(
+        verdict=Verdict.ACCEPTED_SOFT_FAIL,
+        sent_status_request=policy.sends_status_request,
+        staple_received=staple_received,
+        staple_valid=staple_valid,
+        staple_error=staple_error,
+    )

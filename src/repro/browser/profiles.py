@@ -1,0 +1,58 @@
+"""The browser population of the paper's Table 2.
+
+"We then choose a variety of popular web browsers; Chrome, Firefox,
+Opera, Safari, Internet Explorer, and Microsoft Edge on desktop OSes
+(OS X, Linux, Windows) and mobile OSes (iOS and Android)."
+
+Observed results encoded below: every browser requests a stapled OCSP
+response; only Firefox 60 on the three desktop OSes and on Android
+respects Must-Staple; Firefox on iOS does not (it must use the system
+WebKit stack); and none of the soft-failing browsers sends its own
+OCSP request when the staple is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .policy import BrowserPolicy
+
+DESKTOP_BROWSERS: List[BrowserPolicy] = [
+    BrowserPolicy("Chrome 66", "OS X", uses_crlset=True),
+    BrowserPolicy("Chrome 66", "Linux", uses_crlset=True),
+    BrowserPolicy("Chrome 66", "Windows", uses_crlset=True),
+    BrowserPolicy("Firefox 60", "OS X", respects_must_staple=True),
+    BrowserPolicy("Firefox 60", "Linux", respects_must_staple=True),
+    BrowserPolicy("Firefox 60", "Windows", respects_must_staple=True),
+    BrowserPolicy("Opera", "OS X"),
+    BrowserPolicy("Opera", "Windows"),
+    BrowserPolicy("Safari 11", "OS X"),
+    BrowserPolicy("IE 11", "Windows"),
+    BrowserPolicy("Edge 42", "Windows"),
+]
+
+MOBILE_BROWSERS: List[BrowserPolicy] = [
+    BrowserPolicy("Safari", "iOS", mobile=True),
+    BrowserPolicy("Chrome", "iOS", mobile=True),
+    BrowserPolicy("Chrome", "Android", mobile=True),
+    BrowserPolicy("Firefox", "iOS", mobile=True),  # no Must-Staple on iOS
+    BrowserPolicy("Firefox", "Android", mobile=True, respects_must_staple=True),
+]
+
+ALL_BROWSERS: List[BrowserPolicy] = DESKTOP_BROWSERS + MOBILE_BROWSERS
+
+
+def hardened_browser() -> BrowserPolicy:
+    """A hypothetical browser doing everything right — respects
+    Must-Staple *and* falls back to its own OCSP request otherwise.
+    Used by the what-if analyses and tests, not by Table 2."""
+    return BrowserPolicy(
+        "Hardened", "any",
+        respects_must_staple=True,
+        fallback_own_ocsp=True,
+    )
+
+
+def by_label() -> Dict[str, BrowserPolicy]:
+    """Index the Table-2 population by display label."""
+    return {policy.label: policy for policy in ALL_BROWSERS}

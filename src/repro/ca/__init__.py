@@ -1,0 +1,52 @@
+"""Simulated certificate authorities, OCSP responders, and CRL services.
+
+This package models the first principal the paper studies: CAs must
+"run highly available, correct OCSP responders" (Section 2.4).  Every
+misbehaviour the paper measured is available as a knob on
+:class:`ResponderProfile`.
+"""
+
+from .authority import CertificateAuthority
+from .profiles import (
+    MALFORMED_MODES,
+    MalformedWindow,
+    ResponderProfile,
+    blank_next_update_profile,
+    future_this_update_profile,
+    long_validity_profile,
+    non_overlapping_profile,
+    persistent_malformed_profile,
+    serial_stuffing_profile,
+    superfluous_certs_profile,
+    well_behaved_profile,
+    zero_margin_profile,
+)
+from .registry import (
+    RevocationDatabase,
+    RevocationPolicy,
+    RevocationRecord,
+    RevocationRegistry,
+)
+from .responder import CRLService, OCSPResponder
+
+__all__ = [
+    "CRLService",
+    "CertificateAuthority",
+    "MALFORMED_MODES",
+    "MalformedWindow",
+    "OCSPResponder",
+    "ResponderProfile",
+    "RevocationDatabase",
+    "RevocationPolicy",
+    "RevocationRecord",
+    "RevocationRegistry",
+    "blank_next_update_profile",
+    "future_this_update_profile",
+    "long_validity_profile",
+    "non_overlapping_profile",
+    "persistent_malformed_profile",
+    "serial_stuffing_profile",
+    "superfluous_certs_profile",
+    "well_behaved_profile",
+    "zero_margin_profile",
+]

@@ -1,0 +1,176 @@
+"""Certificate authorities for the simulated PKI.
+
+A :class:`CertificateAuthority` owns a signing key and certificate,
+issues leaf certificates (optionally with OCSP Must-Staple), revokes
+them into a :class:`~repro.ca.registry.RevocationRegistry`, publishes
+CRLs, and can mint delegated OCSP signing certificates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..crypto import KeyPool, RSAPrivateKey
+from ..simnet.clock import DAY, WEEK
+from ..x509 import (
+    CRLBuilder,
+    Certificate,
+    CertificateBuilder,
+    CertificateList,
+    Name,
+    self_signed,
+)
+from .registry import RevocationPolicy, RevocationRegistry
+
+
+class CertificateAuthority:
+    """A CA with its key, certificate, and revocation state."""
+
+    def __init__(self, name: str, key: RSAPrivateKey, certificate: Certificate,
+                 ocsp_url: str, crl_url: Optional[str] = None,
+                 revocation_policy: Optional[RevocationPolicy] = None,
+                 serial_seed: int = 1) -> None:
+        self.name = name
+        self.key = key
+        self.certificate = certificate
+        self.ocsp_url = ocsp_url
+        self.crl_url = crl_url
+        self.registry = RevocationRegistry(revocation_policy)
+        self._next_serial = serial_seed
+        self._issued: List[Certificate] = []
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def create_root(cls, name: str, ocsp_url: str, crl_url: Optional[str] = None,
+                    key_pool: Optional[KeyPool] = None, not_before: int = 0,
+                    lifetime: int = 20 * 365 * DAY,
+                    revocation_policy: Optional[RevocationPolicy] = None,
+                    serial_seed: int = 1) -> "CertificateAuthority":
+        """Create a self-signed root CA."""
+        pool = key_pool or KeyPool(size=1, seed=hash(name) & 0xFFFF)
+        key = pool.fresh()
+        certificate = self_signed(
+            Name.build(name, organization=name),
+            key,
+            serial=1,
+            not_before=not_before,
+            not_after=not_before + lifetime,
+        )
+        return cls(name, key, certificate, ocsp_url, crl_url,
+                   revocation_policy, serial_seed)
+
+    def create_intermediate(self, name: str, ocsp_url: str,
+                            crl_url: Optional[str] = None,
+                            key_pool: Optional[KeyPool] = None,
+                            not_before: Optional[int] = None,
+                            lifetime: int = 10 * 365 * DAY,
+                            revocation_policy: Optional[RevocationPolicy] = None,
+                            ) -> "CertificateAuthority":
+        """Issue an intermediate CA chained under this one."""
+        pool = key_pool or KeyPool(size=1, seed=hash(name) & 0xFFFF)
+        key = pool.fresh()
+        start = self.certificate.validity.not_before if not_before is None else not_before
+        certificate = (
+            CertificateBuilder()
+            .serial_number(self.allocate_serial())
+            .issuer(self.certificate.subject)
+            .subject(Name.build(name, organization=self.name))
+            .public_key(key.public_key)
+            .validity(start, start + lifetime)
+            .ca(path_length=0)
+            # The intermediate's own revocation status is served by the
+            # parent's responder — needed for RFC 6961 multi-stapling.
+            .ocsp_url(self.ocsp_url)
+            .sign(self.key)
+        )
+        return CertificateAuthority(name, key, certificate, ocsp_url, crl_url,
+                                    revocation_policy)
+
+    # -- issuance ---------------------------------------------------------------
+
+    def allocate_serial(self) -> int:
+        """Hand out the next serial number."""
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    def issue_leaf(self, domain: str, key: RSAPrivateKey, not_before: int,
+                   lifetime: int = 90 * DAY, must_staple: bool = False,
+                   extra_domains: Sequence[str] = (),
+                   include_crl_url: bool = True,
+                   ocsp_url: Optional[str] = None) -> Certificate:
+        """Issue an end-entity certificate for *domain*.
+
+        Must-Staple is opt-in, as it is with Let's Encrypt ("domain
+        owners' consent", Section 2.4).  ``include_crl_url=False``
+        models Let's Encrypt, which "only supports OCSP" (footnote 18).
+        *ocsp_url* overrides the CA default — large CAs spread their
+        certificates across many responder hostnames.
+        """
+        builder = (
+            CertificateBuilder()
+            .serial_number(self.allocate_serial())
+            .issuer(self.certificate.subject)
+            .subject(Name.build(domain))
+            .public_key(key.public_key)
+            .validity(not_before, not_before + lifetime)
+            .leaf()
+            .dns_names([domain, *extra_domains])
+            .server_auth()
+            .ocsp_url(ocsp_url or self.ocsp_url)
+        )
+        if include_crl_url and self.crl_url:
+            builder.crl_url(self.crl_url)
+        if must_staple:
+            builder.must_staple()
+        certificate = builder.sign(self.key)
+        self._issued.append(certificate)
+        return certificate
+
+    def issue_ocsp_signer(self, key: RSAPrivateKey, not_before: int,
+                          lifetime: int = 365 * DAY) -> Certificate:
+        """Issue a delegated OCSP signing certificate (RFC 6960 4.2.2.2)."""
+        return (
+            CertificateBuilder()
+            .serial_number(self.allocate_serial())
+            .issuer(self.certificate.subject)
+            .subject(Name.build(f"{self.name} OCSP Signer"))
+            .public_key(key.public_key)
+            .validity(not_before, not_before + lifetime)
+            .leaf()
+            .ocsp_signing()
+            .sign(self.key)
+        )
+
+    @property
+    def issued(self) -> List[Certificate]:
+        """Certificates issued by this CA, in order."""
+        return list(self._issued)
+
+    # -- revocation --------------------------------------------------------------
+
+    def revoke(self, certificate: "Certificate | int", revoked_at: int,
+               reason: Optional[int] = None) -> None:
+        """Revoke a certificate (or raw serial) at *revoked_at*."""
+        serial = certificate if isinstance(certificate, int) else certificate.serial_number
+        self.registry.revoke(serial, revoked_at, reason)
+
+    def build_crl(self, now: int, validity: int = WEEK,
+                  prune_expired_before: Optional[int] = None) -> CertificateList:
+        """Publish a CRL as of *now*.
+
+        *prune_expired_before* models CAs removing expired certificates
+        from CRLs (paper footnote 3): entries for serials revoked before
+        the cutoff are dropped.
+        """
+        builder = CRLBuilder(self.certificate.subject).update_window(now, now + validity)
+        for record in self.registry.crl_entries(now):
+            if prune_expired_before is not None and record.revoked_at < prune_expired_before:
+                continue
+            builder.add_entry(record.serial_number, record.revoked_at, record.reason)
+        return builder.sign(self.key)
+
+    def __repr__(self) -> str:
+        return f"CertificateAuthority({self.name!r}, issued={len(self._issued)})"

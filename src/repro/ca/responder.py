@@ -1,0 +1,273 @@
+"""The simulated OCSP responder (RFC 6960 over HTTP POST).
+
+One :class:`OCSPResponder` serves one responder URL for one CA, with
+its behaviour fully described by a
+:class:`~repro.ca.profiles.ResponderProfile`.  Responses are generated
+deterministically from the simulated time, so pre-generated responses
+are modelled statelessly: two requests in the same update epoch see
+byte-identical responses, exactly like a caching responder.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..asn1.errors import ASN1Error
+from ..crypto import RSAPrivateKey, generate_keypair
+from ..ocsp import (
+    CertID,
+    CertStatus,
+    OCSPRequest,
+    ResponseStatus,
+    RevokedInfo,
+    SingleResponse,
+    encode_error_response,
+    encode_response,
+)
+from ..simnet.http import (
+    OCSP_REQUEST_CONTENT_TYPE,
+    OCSP_RESPONSE_CONTENT_TYPE,
+    HTTPRequest,
+    HTTPResponse,
+)
+from ..x509 import Certificate
+from .authority import CertificateAuthority
+from .profiles import ResponderProfile
+
+_JAVASCRIPT_BODY = (
+    b"<html><head><script>window.location='https://example.test/';"
+    b"</script></head><body>Please enable JavaScript.</body></html>"
+)
+
+
+class OCSPResponder:
+    """Serves OCSP responses for a CA according to a behaviour profile."""
+
+    def __init__(self, authority: CertificateAuthority, url: str,
+                 profile: Optional[ResponderProfile] = None,
+                 epoch_start: int = 0,
+                 chain_to_root: Optional[List[Certificate]] = None) -> None:
+        self.authority = authority
+        self.url = url
+        self.profile = profile or ResponderProfile()
+        self.epoch_start = epoch_start
+        self.request_count = 0
+        self._chain_to_root = list(chain_to_root or [])
+        # Generated responses are cached per (generation epoch, serials,
+        # nonce, revocation generation) — both a fidelity point (a
+        # pre-generating responder *serves the same bytes* all epoch)
+        # and what makes replaying four months of scans fast.
+        self._response_cache: dict = {}
+
+        self._signer_key: RSAPrivateKey = authority.key
+        self._signer_cert: Optional[Certificate] = None
+        if self.profile.delegated_signing:
+            seed = hash((authority.name, url)) & 0x7FFFFFFF
+            self._signer_key = generate_keypair(512, rng=seed)
+            self._signer_cert = authority.issue_ocsp_signer(
+                self._signer_key,
+                not_before=authority.certificate.validity.not_before,
+            )
+        if self.profile.wrong_key:
+            seed = hash(("wrong", authority.name, url)) & 0x7FFFFFFF
+            self._signer_key = generate_keypair(512, rng=seed)
+
+    # -- the Service protocol --------------------------------------------------
+
+    def handle(self, request: HTTPRequest, now: int) -> HTTPResponse:
+        """Handle an HTTP request carrying a DER OCSP request."""
+        self.request_count += 1
+
+        malformed = self._malformed_body(now)
+        if malformed is not None:
+            return HTTPResponse(200, malformed,
+                                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE})
+
+        if request.method == "POST":
+            request_der = request.body
+        elif request.method == "GET":
+            # RFC 6960 appendix A.1: base64 request in the URL path.
+            from ..simnet.http import decode_ocsp_get_path
+            try:
+                request_der = decode_ocsp_get_path(request.path)
+            except ValueError:
+                return HTTPResponse(
+                    200,
+                    encode_error_response(ResponseStatus.MALFORMED_REQUEST),
+                    {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
+                )
+        else:
+            return HTTPResponse(405, b"method not allowed")
+        try:
+            ocsp_request = OCSPRequest.from_der(request_der)
+        except (ASN1Error, ValueError):
+            return HTTPResponse(
+                200,
+                encode_error_response(ResponseStatus.MALFORMED_REQUEST),
+                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
+            )
+
+        if self.profile.always_try_later:
+            return HTTPResponse(
+                200,
+                encode_error_response(ResponseStatus.TRY_LATER),
+                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
+            )
+
+        body = self._build_response(ocsp_request, now)
+        return HTTPResponse(200, body, {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE})
+
+    # -- generation --------------------------------------------------------------
+
+    def generation_time(self, now: int) -> int:
+        """When the response served at *now* was (notionally) generated.
+
+        On-demand responders generate at *now*; pre-generating
+        responders generate at epoch boundaries.  With multiple stale
+        backends, successive requests rotate across backends whose
+        generations lag each other, making producedAt regress between
+        consecutive polls (paper footnote 17).
+        """
+        if self.profile.on_demand:
+            return now
+        interval = self.profile.update_interval
+        start = self.epoch_start
+        if self.profile.stale_backends > 1:
+            # Each backend regenerates on its own grid, shifted by the
+            # skew: responses stay within one interval of age (so never
+            # self-expired) while producedAt regresses between
+            # consecutive requests that land on different backends.
+            backend = self.request_count % self.profile.stale_backends
+            start = start - backend * self.profile.backend_skew
+        elapsed = max(0, now - start)
+        return start + (elapsed // interval) * interval
+
+    def _build_response(self, ocsp_request: OCSPRequest, now: int) -> bytes:
+        generated_at = self.generation_time(now)
+        cache_key = (
+            generated_at,
+            tuple(ocsp_request.serial_numbers),
+            ocsp_request.nonce,
+            self.authority.registry.visible_ocsp_count(now),
+        )
+        cached = self._response_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        this_update = generated_at - self.profile.this_update_margin
+        next_update = None
+        if not self.profile.blank_next_update:
+            next_update = this_update + self.profile.validity_period
+
+        singles: List[SingleResponse] = []
+        for cert_id in ocsp_request.cert_ids:
+            singles.append(self._single_for(cert_id, this_update, next_update, now))
+            # Unsolicited serial stuffing (Figure 7).
+            for offset in range(1, self.profile.serials_per_response):
+                stuffed = CertID(
+                    hash_name=cert_id.hash_name,
+                    issuer_name_hash=cert_id.issuer_name_hash,
+                    issuer_key_hash=cert_id.issuer_key_hash,
+                    serial_number=cert_id.serial_number + offset,
+                )
+                singles.append(self._single_for(stuffed, this_update, next_update, now))
+
+        certificates: List[Certificate] = []
+        if self._signer_cert is not None:
+            certificates.append(self._signer_cert)
+        if self.profile.extra_certs > 0 or self.profile.include_root_chain:
+            chain = [self.authority.certificate, *self._chain_to_root]
+            limit = len(chain) if self.profile.include_root_chain else self.profile.extra_certs
+            certificates.extend(chain[:limit])
+
+        if self._signer_cert is not None:
+            responder_key_hash = self._signer_cert.key_hash_sha1()
+        else:
+            responder_key_hash = self.authority.certificate.key_hash_sha1()
+
+        body = encode_response(
+            single_responses=singles,
+            produced_at=generated_at,
+            signer_key=self._signer_key,
+            responder_key_hash=responder_key_hash,
+            certificates=certificates,
+            nonce=ocsp_request.nonce,
+        )
+        if len(self._response_cache) > 4096:
+            self._response_cache.clear()
+        self._response_cache[cache_key] = body
+        return body
+
+    def _single_for(self, cert_id: CertID, this_update: int,
+                    next_update: Optional[int], now: int) -> SingleResponse:
+        answered_id = cert_id
+        if self.profile.serial_mismatch:
+            answered_id = CertID(
+                hash_name=cert_id.hash_name,
+                issuer_name_hash=cert_id.issuer_name_hash,
+                issuer_key_hash=cert_id.issuer_key_hash,
+                serial_number=cert_id.serial_number + 1,
+            )
+
+        if self.profile.unknown_for_all:
+            return SingleResponse(answered_id, CertStatus.UNKNOWN, this_update, next_update)
+        if not cert_id.matches_issuer(self.authority.certificate):
+            # "the certificate is not served by this responder"
+            return SingleResponse(answered_id, CertStatus.UNKNOWN, this_update, next_update)
+
+        record = self.authority.registry.ocsp_lookup(cert_id.serial_number, now)
+        if record is not None and not self.profile.good_for_revoked:
+            return SingleResponse(
+                answered_id,
+                CertStatus.REVOKED,
+                this_update,
+                next_update,
+                revoked_info=RevokedInfo(record.revoked_at, record.reason),
+            )
+        return SingleResponse(answered_id, CertStatus.GOOD, this_update, next_update)
+
+    def _malformed_body(self, now: int) -> Optional[bytes]:
+        mode = self.profile.malformed_mode
+        if mode is None:
+            for window in self.profile.malformed_windows:
+                if window.active(now):
+                    mode = window.mode
+                    break
+        if mode is None:
+            return None
+        if mode == "empty":
+            return b""
+        if mode == "zero":
+            return b"0"
+        if mode == "javascript":
+            return _JAVASCRIPT_BODY
+        if mode == "truncated":
+            # A structurally broken prefix of a plausible response.
+            return bytes.fromhex("30820120" + "0a0100" + "a082")
+        raise AssertionError(f"unhandled malformed mode {mode!r}")
+
+
+class CRLService:
+    """Serves the CA's current CRL over HTTP GET.
+
+    The CRL is republished every *publication_interval* seconds with a
+    *validity*-long window, regenerated deterministically per epoch.
+    """
+
+    def __init__(self, authority: CertificateAuthority, url: str,
+                 publication_interval: int = 24 * 3600,
+                 validity: int = 7 * 24 * 3600, epoch_start: int = 0) -> None:
+        self.authority = authority
+        self.url = url
+        self.publication_interval = publication_interval
+        self.validity = validity
+        self.epoch_start = epoch_start
+
+    def handle(self, request: HTTPRequest, now: int) -> HTTPResponse:
+        """Return the current CRL DER."""
+        if request.method != "GET":
+            return HTTPResponse(405, b"method not allowed")
+        elapsed = max(0, now - self.epoch_start)
+        epoch = self.epoch_start + (elapsed // self.publication_interval) * self.publication_interval
+        crl = self.authority.build_crl(epoch, validity=self.validity)
+        return HTTPResponse(200, crl.der, {"Content-Type": "application/pkix-crl"})

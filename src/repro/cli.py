@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``readiness``   — the Section-8 verdict across all principals
+* ``browsers``    — Table 2 (browser Must-Staple support)
+* ``servers``     — Table 3 (web server stapling conformance)
+* ``scan``        — run a measurement campaign, optionally save JSON-lines
+* ``analyze``     — availability + quality report over a saved scan
+* ``audit``       — the CRL↔OCSP consistency cross-check (Table 1 / Fig 10)
+* ``experiments`` — the experiment registry (paper artefact → benchmark)
+* ``issue``       — mint a demo Must-Staple certificate chain as PEM
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .simnet import DAY, HOUR, MEASUREMENT_START
+
+
+def _cmd_readiness(args: argparse.Namespace) -> int:
+    from .core import assess_readiness
+    from .datasets import CertificateCorpus, CorpusConfig, MeasurementWorld, WorldConfig
+    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
+                                         certs_per_responder=1, seed=args.seed))
+    corpus = CertificateCorpus(CorpusConfig(size=4_000, seed=args.seed))
+    report = assess_readiness(world=world, corpus=corpus, scan_days=args.days,
+                              scan_interval=6 * HOUR)
+    print(report.render())
+    return 0
+
+
+def _cmd_browsers(args: argparse.Namespace) -> int:
+    from .browser import run_browser_tests
+    from .core import render_table
+    report = run_browser_tests()
+    rows = []
+    for row in report.rows:
+        cells = row.cells()
+        rows.append([row.policy.label, cells["Request OCSP response"],
+                     cells["Respect OCSP Must-Staple"],
+                     cells["Send own OCSP request"]])
+    print(render_table(
+        ["browser", "requests OCSP", "respects Must-Staple", "own OCSP request"],
+        rows, title="Table 2: browser Must-Staple support"))
+    return 0
+
+
+def _cmd_servers(args: argparse.Namespace) -> int:
+    from .core import render_table
+    from .webserver import (ApacheServer, EXPERIMENTS, IdealServer, NginxServer,
+                            run_conformance)
+    rows = []
+    for cls in (ApacheServer, NginxServer, IdealServer):
+        report = run_conformance(cls)
+        cells = report.as_row()
+        rows.append([report.software, *[cells[name] for name in EXPERIMENTS]])
+    print(render_table(["software", *EXPERIMENTS], rows,
+                       title="Table 3: stapling conformance"))
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .datasets import MeasurementWorld, WorldConfig
+    from .scanner import HourlyScanner
+    from .scanner.io import dump_dataset
+    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
+                                         certs_per_responder=args.certs,
+                                         seed=args.seed))
+    scanner = HourlyScanner(world, interval=args.interval * HOUR)
+    print(f"scanning {args.days} days x {len(world.sites)} responders "
+          f"every {args.interval}h from 6 vantages...", file=sys.stderr)
+    dataset = scanner.run(MEASUREMENT_START, MEASUREMENT_START + args.days * DAY)
+    if args.out:
+        with open(args.out, "w") as stream:
+            count = dump_dataset(dataset, stream)
+        print(f"wrote {count} probes to {args.out}", file=sys.stderr)
+    else:
+        from .scanner.io import dump_dataset as dump
+        dump(dataset, sys.stdout)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import analyze_availability, quality_headlines
+    from .scanner.io import load_dataset
+    with open(args.scan_file) as stream:
+        dataset = load_dataset(stream)
+    report = analyze_availability(dataset)
+    print(f"{len(dataset)} probes, {report.responder_count} responders")
+    print("failure rate by vantage:")
+    for vantage, rate in sorted(report.failure_rate.items(), key=lambda kv: kv[1]):
+        print(f"  {vantage:10s} {rate:.2f}%")
+    print(f"never reachable anywhere: {len(report.never_successful_anywhere)}")
+    print(f"responders with >=1 outage: {len(report.responders_with_outage)} "
+          f"({report.outage_fraction * 100:.1f}%)")
+    headlines = quality_headlines(dataset)
+    print(f"zero-margin responders: {headlines.zero_margin}")
+    print(f"blank nextUpdate: {headlines.blank_next_update}")
+    print(f"pre-generated responses: {headlines.not_on_demand}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .core import render_table
+    from .scanner import ConsistencyConfig, ConsistencyWorld, run_consistency_scan
+    world = ConsistencyWorld(ConsistencyConfig(scale=args.scale, seed=args.seed))
+    report = run_consistency_scan(world)
+    rows = [[row.ocsp_url, row.unknown, row.good, row.revoked]
+            for row in report.discrepant_rows()]
+    print(render_table(["OCSP URL", "Unknown", "Good", "Revoked"], rows,
+                       title=f"CRL vs OCSP discrepancies (scale 1:{args.scale})"))
+    print(f"responses: {report.responses_collected}/{report.serials_checked}; "
+          f"differing revocation times: "
+          f"{report.differing_time_fraction() * 100:.2f}%")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .core.experiments import index_table
+    print(index_table())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .core.figures import FigureScale, generate_all
+    scale = FigureScale.full() if args.full else FigureScale.small()
+    scale.seed = args.seed
+    print(f"generating figure/table data into {args.out} "
+          f"({'full' if args.full else 'small'} scale)...", file=sys.stderr)
+    written = generate_all(args.out, scale)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """Run the Section-8 self-test harness against simulated responders."""
+    from .datasets import MeasurementWorld, WorldConfig
+    from .scanner import self_test_responder
+    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
+                                         certs_per_responder=1, seed=args.seed))
+    now = MEASUREMENT_START + HOUR
+    unhealthy = 0
+    for site in world.sites[:args.limit]:
+        report = self_test_responder(world.network, site.url,
+                                     site.certificates[0],
+                                     site.authority.certificate, now)
+        if not report.healthy or (report.warnings and args.verbose):
+            print(report.render())
+            print()
+        if not report.healthy:
+            unhealthy += 1
+    print(f"{unhealthy}/{min(args.limit, len(world.sites))} responders "
+          f"need attention")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .asn1.dump import describe_certificate, dump_der
+    from .x509.pem import decode_pem
+    with open(args.path, "rb") as stream:
+        raw = stream.read()
+    blobs: list = []
+    try:
+        text = raw.decode("ascii")
+        blobs = decode_pem(text)
+    except (UnicodeDecodeError, ValueError):
+        pass
+    if not blobs:
+        blobs = [("DER", raw)]
+    for label, der in blobs:
+        print(f"--- {label} ({len(der)} bytes) ---")
+        if label == "CERTIFICATE":
+            try:
+                print(describe_certificate(der))
+                print()
+            except Exception as exc:  # still dump the raw structure
+                print(f"(certificate summary failed: {exc})")
+        print(dump_der(der, max_lines=args.max_lines))
+    return 0
+
+
+def _cmd_issue(args: argparse.Namespace) -> int:
+    from .ca import CertificateAuthority
+    from .crypto import generate_keypair
+    from .x509.pem import chain_to_pem
+    now = MEASUREMENT_START
+    ca = CertificateAuthority.create_root(
+        "Demo CA", f"http://ocsp.demo.test", not_before=now - 365 * DAY)
+    leaf = ca.issue_leaf(args.domain, generate_keypair(512, rng=args.seed),
+                         not_before=now, must_staple=args.must_staple)
+    sys.stdout.write(chain_to_pem([leaf, ca.certificate]))
+    print(f"issued {args.domain} "
+          f"(must-staple={'yes' if leaf.must_staple else 'no'}, "
+          f"serial={leaf.serial_number})", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Is the Web Ready for OCSP "
+                    "Must-Staple?' (IMC 2018)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="global RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    readiness = commands.add_parser("readiness", help="the Section-8 verdict")
+    readiness.add_argument("--responders", type=int, default=70)
+    readiness.add_argument("--days", type=int, default=3)
+    readiness.set_defaults(func=_cmd_readiness)
+
+    browsers = commands.add_parser("browsers", help="Table 2")
+    browsers.set_defaults(func=_cmd_browsers)
+
+    servers = commands.add_parser("servers", help="Table 3")
+    servers.set_defaults(func=_cmd_servers)
+
+    scan = commands.add_parser("scan", help="run a measurement campaign")
+    scan.add_argument("--responders", type=int, default=70)
+    scan.add_argument("--certs", type=int, default=1)
+    scan.add_argument("--days", type=int, default=7)
+    scan.add_argument("--interval", type=int, default=6, help="hours between scans")
+    scan.add_argument("--out", help="write JSON-lines here (default: stdout)")
+    scan.set_defaults(func=_cmd_scan)
+
+    analyze = commands.add_parser("analyze", help="report over a saved scan")
+    analyze.add_argument("scan_file")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    audit = commands.add_parser("audit", help="CRL vs OCSP cross-check")
+    audit.add_argument("--scale", type=int, default=200)
+    audit.set_defaults(func=_cmd_audit)
+
+    experiments = commands.add_parser("experiments", help="the experiment index")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    issue = commands.add_parser("issue", help="mint a demo certificate chain")
+    issue.add_argument("domain")
+    issue.add_argument("--must-staple", action="store_true")
+    issue.set_defaults(func=_cmd_issue)
+
+    inspect = commands.add_parser("inspect",
+                                  help="asn1parse-style dump of a PEM/DER file")
+    inspect.add_argument("path")
+    inspect.add_argument("--max-lines", type=int, default=200)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    figures = commands.add_parser(
+        "figures", help="write every figure/table's data files")
+    figures.add_argument("--out", default="results")
+    figures.add_argument("--full", action="store_true",
+                         help="benchmark-suite scale (minutes)")
+    figures.set_defaults(func=_cmd_figures)
+
+    selftest = commands.add_parser(
+        "selftest", help="responder self-test harness (Section 8 rec. #1)")
+    selftest.add_argument("--responders", type=int, default=40)
+    selftest.add_argument("--limit", type=int, default=40)
+    selftest.add_argument("--verbose", action="store_true",
+                          help="also print warning-only reports")
+    selftest.set_defaults(func=_cmd_selftest)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

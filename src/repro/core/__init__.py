@@ -1,0 +1,144 @@
+"""Analysis and reporting: the paper's figures/tables as functions.
+
+Mapping to the paper:
+
+========  =====================================================
+Artefact  Entry point
+========  =====================================================
+§4 stats  :func:`deployment_stats`
+Fig 2     :func:`figure2_adoption`
+Fig 3     :func:`analyze_availability`
+Fig 4     :class:`repro.scanner.AlexaAvailability` (+ impact)
+Fig 5     :func:`validity_series`
+Fig 6     :func:`certificates_cdf`
+Fig 7     :func:`serials_cdf`
+Fig 8     :func:`validity_cdf`
+Fig 9     :func:`margin_cdf`
+Tbl 1     :func:`repro.scanner.run_consistency_scan`
+Fig 10    same (time_deltas)
+Tbl 2     :func:`repro.browser.run_browser_tests`
+Fig 11    :func:`figure11_adoption`
+Fig 12    :func:`figure12_history`
+Tbl 3     :func:`repro.webserver.run_conformance`
+Verdict   :func:`assess_readiness`
+========  =====================================================
+"""
+
+from .stats import (
+    bin_by,
+    binned_fraction,
+    cdf_points,
+    fraction_at_or_below,
+    mean,
+    median,
+    percentile,
+)
+from .availability import AvailabilityReport, analyze_availability, failures_by_kind
+from .quality import (
+    ON_DEMAND_THRESHOLD,
+    QualityHeadlines,
+    ResponderQuality,
+    UNUSABLE_CLASSES,
+    ValiditySeries,
+    certificates_cdf,
+    margin_cdf,
+    persistently_malformed_responders,
+    quality_headlines,
+    responder_quality,
+    serials_cdf,
+    size_by_certificate_count,
+    validity_cdf,
+    validity_series,
+)
+from .adoption import (
+    RANK_BIN,
+    DeploymentStats,
+    HistorySeries,
+    RankedAdoption,
+    deployment_stats,
+    figure2_adoption,
+    figure11_adoption,
+    figure12_history,
+)
+from .render import pct, render_cdf, render_series, render_table
+from .report import PrincipalVerdict, ReadinessReport, assess_readiness
+from .attacks import (
+    AttackerCapabilities,
+    AttackOutcome,
+    ManInTheMiddle,
+    measure_attack_window,
+)
+from .latency import LatencyReport, measure_cdn_latency, measure_direct_latency
+from .alternatives import (
+    ExposureRow,
+    MechanismParameters,
+    compare_mechanisms,
+)
+from .whatif import WhatIfConfig, WhatIfResult, run_whatif
+from .experiments import (
+    Experiment,
+    all_experiments,
+    experiment,
+    index_table,
+    paper_artefacts,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AttackerCapabilities",
+    "AvailabilityReport",
+    "Experiment",
+    "ExposureRow",
+    "LatencyReport",
+    "ManInTheMiddle",
+    "MechanismParameters",
+    "all_experiments",
+    "compare_mechanisms",
+    "experiment",
+    "index_table",
+    "measure_attack_window",
+    "measure_cdn_latency",
+    "measure_direct_latency",
+    "paper_artefacts",
+    "WhatIfConfig",
+    "WhatIfResult",
+    "run_whatif",
+    "DeploymentStats",
+    "HistorySeries",
+    "ON_DEMAND_THRESHOLD",
+    "PrincipalVerdict",
+    "QualityHeadlines",
+    "RANK_BIN",
+    "RankedAdoption",
+    "ReadinessReport",
+    "ResponderQuality",
+    "UNUSABLE_CLASSES",
+    "ValiditySeries",
+    "analyze_availability",
+    "assess_readiness",
+    "bin_by",
+    "binned_fraction",
+    "cdf_points",
+    "certificates_cdf",
+    "deployment_stats",
+    "failures_by_kind",
+    "figure11_adoption",
+    "figure12_history",
+    "figure2_adoption",
+    "fraction_at_or_below",
+    "margin_cdf",
+    "mean",
+    "median",
+    "pct",
+    "percentile",
+    "persistently_malformed_responders",
+    "quality_headlines",
+    "render_cdf",
+    "render_series",
+    "render_table",
+    "responder_quality",
+    "serials_cdf",
+    "size_by_certificate_count",
+    "validity_cdf",
+    "validity_series",
+]

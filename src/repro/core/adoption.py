@@ -1,0 +1,158 @@
+"""Adoption analyses: Section 4 deployment, Figure 2, Figure 11, Figure 12.
+
+These read the Censys-substitute corpus and the Alexa model, computing
+exactly what the paper plots: adoption fractions, rank-binned adoption
+curves, and the historical series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets.alexa import AlexaModel
+from ..datasets.corpus import CertificateCorpus
+from ..datasets.history import AdoptionSnapshot, adoption_history
+from .stats import binned_fraction
+
+#: The paper bins Alexa ranks into groups of 10,000.
+RANK_BIN = 10_000
+
+
+@dataclass
+class DeploymentStats:
+    """Section 4's headline deployment numbers, from a corpus."""
+
+    total_records: int
+    ocsp_records: int
+    must_staple_records: int
+    must_staple_by_ca: Dict[str, int]
+
+    @property
+    def ocsp_fraction(self) -> float:
+        """P(OCSP | valid) — paper: 95.4%."""
+        return self.ocsp_records / self.total_records if self.total_records else 0.0
+
+    @property
+    def must_staple_fraction(self) -> float:
+        """P(Must-Staple | valid), *after un-boosting* — see corpus config."""
+        return self.must_staple_records / self.total_records if self.total_records else 0.0
+
+    def must_staple_ca_shares(self) -> Dict[str, float]:
+        """P(CA | Must-Staple) — paper: Let's Encrypt 97.3%."""
+        total = sum(self.must_staple_by_ca.values())
+        if not total:
+            return {}
+        return {name: count / total for name, count in self.must_staple_by_ca.items()}
+
+
+def deployment_stats(corpus: CertificateCorpus) -> DeploymentStats:
+    """Compute Section-4 stats over the valid records of a corpus."""
+    valid = corpus.valid_at()
+    by_ca: Dict[str, int] = {}
+    ocsp = 0
+    staple = 0
+    for record in valid:
+        if record.has_ocsp:
+            ocsp += 1
+        if record.must_staple:
+            staple += 1
+            by_ca[record.ca_name] = by_ca.get(record.ca_name, 0) + 1
+    return DeploymentStats(
+        total_records=len(valid),
+        ocsp_records=ocsp,
+        must_staple_records=staple,
+        must_staple_by_ca=by_ca,
+    )
+
+
+@dataclass
+class RankedAdoption:
+    """One of Figures 2/11: per-rank-bin adoption percentages."""
+
+    #: [(bin_start_rank, percent)] curves keyed by series name.
+    curves: Dict[str, List[Tuple[int, float]]]
+
+    def average(self, name: str) -> float:
+        """Mean percentage across bins."""
+        points = self.curves.get(name, [])
+        if not points:
+            return 0.0
+        return sum(pct for _, pct in points) / len(points)
+
+    def slope_sign(self, name: str) -> int:
+        """-1 when adoption declines with rank (popular sites higher),
+        +1 when it rises, 0 when flat — the figures' qualitative claim."""
+        points = self.curves.get(name, [])
+        if len(points) < 4:
+            return 0
+        quarter = max(1, len(points) // 4)
+        head = sum(p for _, p in points[:quarter]) / quarter
+        tail = sum(p for _, p in points[-quarter:]) / quarter
+        if head > tail + 0.5:
+            return -1
+        if tail > head + 0.5:
+            return 1
+        return 0
+
+
+def figure2_adoption(alexa: AlexaModel, bin_width: int = RANK_BIN) -> RankedAdoption:
+    """Figure 2: % of domains with HTTPS, and % of those with OCSP."""
+    https_curve = binned_fraction(
+        ((record.rank, record.https) for record in alexa.records), bin_width
+    )
+    ocsp_curve = binned_fraction(
+        ((record.rank, record.has_ocsp) for record in alexa.records if record.https),
+        bin_width,
+    )
+    return RankedAdoption(curves={
+        "Domains with certificate": https_curve,
+        "Certificates with OCSP responder": ocsp_curve,
+    })
+
+
+def figure11_adoption(alexa: AlexaModel, bin_width: int = RANK_BIN) -> RankedAdoption:
+    """Figure 11: % of OCSP-supporting domains that staple."""
+    stapling_curve = binned_fraction(
+        ((record.rank, record.stapling) for record in alexa.records if record.has_ocsp),
+        bin_width,
+    )
+    return RankedAdoption(curves={
+        "OCSP domains that support OCSP Stapling": stapling_curve,
+    })
+
+
+@dataclass
+class HistorySeries:
+    """Figure 12: the monthly adoption series."""
+
+    snapshots: List[AdoptionSnapshot]
+
+    def ocsp_series(self) -> List[Tuple[str, float]]:
+        """[(YYYY-MM, %)] for the OCSP curve."""
+        return [(s.label, s.ocsp_pct) for s in self.snapshots]
+
+    def stapling_series(self) -> List[Tuple[str, float]]:
+        """[(YYYY-MM, %)] for the stapling curve."""
+        return [(s.label, s.stapling_pct) for s in self.snapshots]
+
+    def cloudflare_jump(self) -> Tuple[int, int]:
+        """Cloudflare stapled-domain counts straddling June 2017."""
+        before = after = 0
+        for snapshot in self.snapshots:
+            if (snapshot.year, snapshot.month) == (2017, 5):
+                before = snapshot.cloudflare_stapling_domains
+            if (snapshot.year, snapshot.month) == (2017, 6):
+                after = snapshot.cloudflare_stapling_domains
+        return before, after
+
+    def monotonic_growth(self, series: str = "stapling") -> bool:
+        """True when the chosen curve never declines month-over-month."""
+        values = [s.stapling_pct if series == "stapling" else s.ocsp_pct
+                  for s in self.snapshots]
+        return all(b >= a for a, b in zip(values, values[1:]))
+
+
+def figure12_history() -> HistorySeries:
+    """Figure 12's series from the historical snapshot model."""
+    return HistorySeries(snapshots=adoption_history())

@@ -1,0 +1,142 @@
+"""Revocation-mechanism comparison: how long does a compromise live?
+
+The paper's Section 3 surveys the design space: CRLs (large, slow),
+OCSP (soft-fail in practice), OCSP Must-Staple (hard-fail), and
+short-lived certificates ("might be more likely to expire than be
+revoked, and clients simply reject expired certificates", Topalovic et
+al.).  This module compares them on one axis — the *exposure window*:
+how long after a key compromise is revoked/expired does a client keep
+accepting the certificate, with and without a network attacker.
+
+The OCSP/Must-Staple rows are *measured* with the attack machinery in
+:mod:`repro.core.attacks`; the CRL and short-lived rows follow from
+the mechanism's caching parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..browser import BrowserPolicy, by_label, hardened_browser
+from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from ..crypto import generate_keypair
+from ..simnet import DAY, HOUR, MEASUREMENT_START, Network
+from ..webserver import IdealServer
+from ..x509 import TrustStore
+from .attacks import AttackerCapabilities, measure_attack_window
+
+
+@dataclass
+class ExposureRow:
+    """One mechanism's exposure windows, in seconds."""
+
+    mechanism: str
+    #: Exposure with no attacker on the path.
+    benign_window: int
+    #: Exposure against a staple-stripping / OCSP-blocking attacker
+    #: (None = unbounded until certificate expiry).
+    attacked_window: Optional[int]
+    notes: str = ""
+
+
+@dataclass
+class MechanismParameters:
+    """Tunable parameters of the comparison."""
+
+    ocsp_validity: int = 4 * DAY          # median-ish staple validity
+    crl_publication: int = DAY            # CRL republication interval
+    crl_cache: int = 7 * DAY              # client-side CRL cache (nextUpdate)
+    short_lived_lifetime: int = 3 * DAY   # Topalovic-style cert lifetime
+    cert_lifetime: int = 90 * DAY         # normal certificate lifetime
+    horizon: int = 120 * DAY
+    step: int = HOUR
+
+
+def _measured_ocsp_window(policy: BrowserPolicy, validity: int,
+                          capabilities: AttackerCapabilities,
+                          horizon: int, step: int) -> "tuple[int, bool]":
+    now = MEASUREMENT_START
+    ca = CertificateAuthority.create_root(
+        "Alt CA", "http://ocsp.alt.test", not_before=now - 365 * DAY)
+    leaf = ca.issue_leaf("alt.example", generate_keypair(512, rng=31),
+                         not_before=now - DAY, must_staple=True,
+                         lifetime=400 * DAY)
+    responder = OCSPResponder(
+        ca, "http://ocsp.alt.test",
+        ResponderProfile(update_interval=None, this_update_margin=0,
+                         validity_period=validity),
+        epoch_start=now - 7 * DAY,
+    )
+    network = Network()
+    network.bind("ocsp.alt.test",
+                 network.add_origin("alt", "us-east", responder.handle))
+    server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                         network=network)
+    trust = TrustStore([ca.certificate])
+    ca.revoke(leaf, now, reason=1)
+    outcome = measure_attack_window(
+        policy, server, leaf, ca.certificate, trust, capabilities,
+        revoked_at=now, horizon=horizon, step=step,
+        network=network, server_tick=server.tick,
+    )
+    return outcome.window, outcome.unbounded
+
+
+def compare_mechanisms(parameters: Optional[MechanismParameters] = None,
+                       ) -> List[ExposureRow]:
+    """Build the full comparison table."""
+    p = parameters or MechanismParameters()
+    firefox = by_label()["Firefox 60 (Linux)"]
+    chrome = by_label()["Chrome 66 (Linux)"]
+    checker = hardened_browser()
+    rows: List[ExposureRow] = []
+
+    # CRL: the client accepts until its cached CRL expires and a fresh
+    # one (listing the revocation) is fetched.  An attacker who blocks
+    # the CRL download extends this to the certificate lifetime under
+    # soft failure.
+    rows.append(ExposureRow(
+        mechanism="CRL (soft-fail client)",
+        benign_window=p.crl_cache,
+        attacked_window=None,
+        notes="cache lives to nextUpdate; blocking the fetch soft-fails",
+    ))
+
+    # OCSP with a soft-failing browser: benign case bounded by the
+    # response validity; attacked case unbounded (the Section-2.3 attack).
+    benign, _ = _measured_ocsp_window(
+        checker, p.ocsp_validity, AttackerCapabilities(), p.horizon, p.step)
+    _, unbounded = _measured_ocsp_window(
+        chrome, p.ocsp_validity,
+        AttackerCapabilities(strip_staple=True, block_ocsp=True),
+        min(p.horizon, 30 * DAY), DAY)
+    rows.append(ExposureRow(
+        mechanism="OCSP (soft-fail client)",
+        benign_window=benign,
+        attacked_window=None if unbounded else benign,
+        notes="stripping + blocking coaxes acceptance of revoked certs",
+    ))
+
+    # OCSP Must-Staple: the replay of a pre-revocation staple is the
+    # only residue, bounded by the response validity period.
+    replay, _ = _measured_ocsp_window(
+        firefox, p.ocsp_validity, AttackerCapabilities(replay_staple=True),
+        p.horizon, p.step)
+    rows.append(ExposureRow(
+        mechanism="OCSP Must-Staple (hard-fail client)",
+        benign_window=replay,
+        attacked_window=replay,
+        notes="attack window = staple validity period (no nonce in staples)",
+    ))
+
+    # Short-lived certificates: no revocation at all; exposure is the
+    # remaining lifetime, attacker or not.
+    rows.append(ExposureRow(
+        mechanism="Short-lived certificates",
+        benign_window=p.short_lived_lifetime,
+        attacked_window=p.short_lived_lifetime,
+        notes="expiry replaces revocation (Topalovic et al.)",
+    ))
+
+    return rows

@@ -1,0 +1,134 @@
+"""Adversarial analysis of revocation checking.
+
+The paper motivates Must-Staple with an attack (Section 2.3): "an
+attacker who has control over the client's network could block any
+outgoing OCSP requests (and strip any stapled OCSP responses), thereby
+coaxing the client into accepting a revoked certificate."  And it
+flags a residual risk (Section 5.4): long validity periods mean "there
+could be some clients who cache the previous response and would not
+obtain a fresh revocation status for up to 1,251 days!" — the same
+window bounds an attacker *replaying* a pre-revocation staple, since
+stapled responses carry no nonce.
+
+This module makes those arguments quantitative:
+
+* :class:`AttackerCapabilities` — strip staples, block client-side
+  OCSP, and/or replay the freshest pre-revocation staple;
+* :class:`ManInTheMiddle` — wraps any web server model with those
+  capabilities;
+* :func:`measure_attack_window` — how long after revocation a given
+  browser keeps accepting the certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..browser import BrowserPolicy, Verdict, connect
+from ..ocsp import CertID, verify_response
+from ..simnet import Network
+from ..tls import ClientHello, ServerHandshake
+from ..x509 import Certificate, TrustStore
+
+
+@dataclass
+class AttackerCapabilities:
+    """What the on-path adversary can do."""
+
+    #: Remove the CertificateStatus message from handshakes.
+    strip_staple: bool = False
+    #: Block the client's own OCSP fetches (the classic soft-fail attack).
+    block_ocsp: bool = False
+    #: Record GOOD staples and keep serving the freshest one after
+    #: revocation (possible because stapled responses are nonce-free).
+    replay_staple: bool = False
+
+
+class ManInTheMiddle:
+    """An on-path attacker wrapping a real server."""
+
+    def __init__(self, server, capabilities: AttackerCapabilities,
+                 leaf: Certificate, issuer: Certificate) -> None:
+        self.server = server
+        self.capabilities = capabilities
+        self.leaf = leaf
+        self.issuer = issuer
+        self._recorded_staple: Optional[bytes] = None
+
+    def handle_connection(self, hello: ClientHello, now: int) -> ServerHandshake:
+        handshake = self.server.handle_connection(hello, now)
+        staple = handshake.stapled_ocsp
+
+        if self.capabilities.replay_staple:
+            if staple is not None:
+                cert_id = CertID.for_certificate(self.leaf, self.issuer)
+                check = verify_response(staple, cert_id, self.issuer, now)
+                if check.ok and check.good:
+                    # Record only staples that still look fresh later.
+                    self._recorded_staple = staple
+                elif self._recorded_staple is not None:
+                    handshake.stapled_ocsp = self._recorded_staple
+            elif self._recorded_staple is not None:
+                handshake.stapled_ocsp = self._recorded_staple
+        elif self.capabilities.strip_staple:
+            handshake.stapled_ocsp = None
+
+        # Replay beats strip when both are set: serving an old GOOD
+        # staple is strictly stronger than serving none.
+        if (self.capabilities.strip_staple and not self.capabilities.replay_staple):
+            handshake.stapled_ocsp = None
+        return handshake
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack-window measurement."""
+
+    #: Seconds after revocation during which the browser kept accepting.
+    window: int
+    #: True when the browser never rejected within the horizon.
+    unbounded: bool
+    #: Verdict observed at the first post-window connection.
+    final_verdict: Optional[Verdict] = None
+
+
+def measure_attack_window(policy: BrowserPolicy, server, leaf: Certificate,
+                          issuer: Certificate, trust_store: TrustStore,
+                          capabilities: AttackerCapabilities,
+                          revoked_at: int, horizon: int,
+                          step: int = 3600,
+                          network: Optional[Network] = None,
+                          hostname: Optional[str] = None,
+                          server_tick: Optional[Callable[[int], None]] = None,
+                          ) -> AttackOutcome:
+    """How long past *revoked_at* does *policy* keep accepting *leaf*?
+
+    Connects every *step* seconds from the revocation until *horizon*
+    seconds later (or the first rejection).  *server_tick* lets the
+    honest server refresh its staples between connections; the attacker
+    in front of it applies *capabilities*.
+    """
+    mitm = ManInTheMiddle(server, capabilities, leaf, issuer)
+    hostname = hostname or (leaf.dns_names[0] if leaf.dns_names else "site.test")
+    fetch_network = None if capabilities.block_ocsp else network
+
+    # Warm the attacker's staple recorder before the revocation.
+    if capabilities.replay_staple:
+        if server_tick is not None:
+            server_tick(revoked_at - step)
+        connect(policy, mitm, hostname, trust_store, revoked_at - step,
+                network=fetch_network)
+
+    elapsed = 0
+    while elapsed <= horizon:
+        now = revoked_at + elapsed
+        if server_tick is not None:
+            server_tick(now)
+        outcome = connect(policy, mitm, hostname, trust_store, now,
+                          network=fetch_network)
+        if not outcome.connected:
+            return AttackOutcome(window=elapsed, unbounded=False,
+                                 final_verdict=outcome.verdict)
+        elapsed += step
+    return AttackOutcome(window=horizon, unbounded=True)

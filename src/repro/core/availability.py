@@ -1,0 +1,150 @@
+"""Availability analysis (paper Section 5.2, Figure 3).
+
+Turns a :class:`~repro.scanner.ScanDataset` into the paper's
+availability results: the per-vantage success-fraction time series, the
+per-vantage average failure rates, the never-successful responders, the
+per-vantage always-fail counts, and the transient-outage census
+("36.8% of OCSP responders experienced at least one outage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..scanner import ProbeOutcome, ProbeRecord, ScanDataset
+from .stats import mean
+
+
+@dataclass
+class AvailabilityReport:
+    """Everything Figure 3's discussion reports."""
+
+    #: vantage -> [(timestamp, % successful)] — Figure 3's series.
+    success_series: Dict[str, List[Tuple[int, float]]]
+    #: vantage -> average failure percentage over the whole window.
+    failure_rate: Dict[str, float]
+    #: responders for which *no* vantage ever succeeded.
+    never_successful_anywhere: List[str]
+    #: responders with at least one vantage that never succeeded.
+    never_successful_somewhere: List[str]
+    #: vantage -> number of responders that always failed from it.
+    always_fail_by_vantage: Dict[str, int]
+    #: responders that saw at least one transient outage.
+    responders_with_outage: List[str]
+    #: total responders scanned.
+    responder_count: int
+
+    @property
+    def overall_failure_rate(self) -> float:
+        """Mean failure percentage across vantages."""
+        return mean(list(self.failure_rate.values()))
+
+    @property
+    def outage_fraction(self) -> float:
+        """Fraction of responders with ≥1 transient outage (paper: 36.8%)."""
+        if not self.responder_count:
+            return 0.0
+        return len(self.responders_with_outage) / self.responder_count
+
+
+def analyze_availability(dataset: ScanDataset) -> AvailabilityReport:
+    """Compute the availability report from scan records."""
+    # Index: (vantage, time) -> [ok...]; (url, vantage) -> {time: ok}.
+    # Per-responder series bucket by timestamp (a responder may serve
+    # several scanned certificates per tick; one scan tick is one
+    # observation for outage purposes).
+    series_acc: Dict[str, Dict[int, List[bool]]] = {}
+    per_responder_times: Dict[Tuple[str, str], Dict[int, bool]] = {}
+    urls: Dict[str, None] = {}
+
+    for record in dataset.records:
+        ok = record.transport_ok
+        series_acc.setdefault(record.vantage, {}).setdefault(record.timestamp, []).append(ok)
+        bucket = per_responder_times.setdefault(
+            (record.responder_url, record.vantage), {})
+        bucket[record.timestamp] = bucket.get(record.timestamp, False) or ok
+        urls.setdefault(record.responder_url)
+
+    per_responder: Dict[Tuple[str, str], List[bool]] = {
+        key: [ok for _, ok in sorted(bucket.items())]
+        for key, bucket in per_responder_times.items()
+    }
+
+    success_series = {
+        vantage: [
+            (timestamp, 100.0 * sum(oks) / len(oks))
+            for timestamp, oks in sorted(buckets.items())
+        ]
+        for vantage, buckets in series_acc.items()
+    }
+    failure_rate = {
+        vantage: 100.0 - mean([pct for _, pct in points])
+        for vantage, points in success_series.items()
+    }
+
+    vantages = list(success_series)
+    never_anywhere = []
+    never_somewhere = []
+    always_fail_by_vantage = {vantage: 0 for vantage in vantages}
+    with_outage: List[str] = []
+
+    for url in urls:
+        ever_by_vantage = {}
+        for vantage in vantages:
+            oks = per_responder.get((url, vantage), [])
+            ever_by_vantage[vantage] = any(oks)
+            if oks and not any(oks):
+                always_fail_by_vantage[vantage] += 1
+        if not any(ever_by_vantage.values()):
+            never_anywhere.append(url)
+        elif not all(ever_by_vantage.values()):
+            never_somewhere.append(url)
+
+        # Transient outage: a failure run bounded by successes on a
+        # vantage that otherwise works.
+        if _had_transient_outage(url, vantages, per_responder):
+            with_outage.append(url)
+
+    return AvailabilityReport(
+        success_series=success_series,
+        failure_rate=failure_rate,
+        never_successful_anywhere=never_anywhere,
+        never_successful_somewhere=never_somewhere,
+        always_fail_by_vantage=always_fail_by_vantage,
+        responders_with_outage=with_outage,
+        responder_count=len(urls),
+    )
+
+
+def _had_transient_outage(url: str, vantages: Sequence[str],
+                          per_responder: Dict[Tuple[str, str], List[bool]],
+                          min_run: int = 1) -> bool:
+    """An *outage* is a failure run (>= min_run scan ticks) bounded by
+    successes.  Real transient failures concentrate on a minority of
+    flappy responders (see the world's noise model), which is what
+    keeps this fraction near the paper's 36.8% rather than saturating."""
+    for vantage in vantages:
+        oks = per_responder.get((url, vantage), [])
+        if not oks or not any(oks):
+            continue
+        first_ok = oks.index(True)
+        last_ok = len(oks) - 1 - oks[::-1].index(True)
+        run = 0
+        for ok in oks[first_ok:last_ok + 1]:
+            if not ok:
+                run += 1
+                if run >= min_run:
+                    return True
+            else:
+                run = 0
+    return False
+
+
+def failures_by_kind(dataset: ScanDataset) -> Dict[ProbeOutcome, int]:
+    """Count transport failures by kind (the Section-5.2 breakdown)."""
+    counts: Dict[ProbeOutcome, int] = {}
+    for record in dataset.records:
+        if not record.transport_ok:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+    return counts

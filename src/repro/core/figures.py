@@ -1,0 +1,198 @@
+"""Figure/table data generation — the reproduction's "data release".
+
+The paper promises "we will be making our code and data publicly
+available"; this module is that artifact's generator.  It runs every
+analysis at a configurable scale and writes one machine-readable file
+per paper artefact into an output directory:
+
+    from repro.core.figures import FigureScale, generate_all
+    written = generate_all("results/", FigureScale.small())
+
+Exposed through the CLI as ``python -m repro figures --out results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..simnet import DAY, HOUR, MEASUREMENT_START
+
+
+@dataclass
+class FigureScale:
+    """How big a campaign to run for the data files."""
+
+    n_responders: int = 70
+    certs_per_responder: int = 1
+    scan_days: int = 7
+    scan_interval: int = 12 * HOUR
+    alexa_size: int = 8_000
+    corpus_size: int = 8_000
+    consistency_scale: int = 200
+    seed: int = 7
+
+    @classmethod
+    def small(cls) -> "FigureScale":
+        """Finishes in well under a minute."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "FigureScale":
+        """The benchmark-suite scale (minutes)."""
+        return cls(n_responders=134, certs_per_responder=2, scan_days=132,
+                   scan_interval=DAY, alexa_size=20_000, corpus_size=20_000,
+                   consistency_scale=40)
+
+
+def _write_csv(path: str, header: List[str], rows) -> None:
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _write_text(path: str, text: str) -> None:
+    with open(path, "w") as stream:
+        stream.write(text if text.endswith("\n") else text + "\n")
+
+
+def generate_all(outdir: str, scale: Optional[FigureScale] = None) -> List[str]:
+    """Generate every artefact's data file; returns the written paths."""
+    scale = scale or FigureScale.small()
+    os.makedirs(outdir, exist_ok=True)
+    written: List[str] = []
+
+    def out(name: str) -> str:
+        path = os.path.join(outdir, name)
+        written.append(path)
+        return path
+
+    # --- corpora / models -----------------------------------------------------
+    from ..browser import run_browser_tests
+    from ..datasets import (AlexaConfig, AlexaModel, CertificateCorpus,
+                            CorpusConfig, MeasurementWorld, WorldConfig)
+    from ..scanner import (AlexaAvailability, ConsistencyConfig,
+                           ConsistencyWorld, HourlyScanner,
+                           run_consistency_scan)
+    from ..webserver import (ApacheServer, EXPERIMENTS, IdealServer,
+                             NginxServer, run_conformance)
+    from .adoption import (deployment_stats, figure2_adoption,
+                           figure11_adoption, figure12_history)
+    from .availability import analyze_availability
+    from .quality import (certificates_cdf, margin_cdf, responder_quality,
+                          serials_cdf, validity_cdf, validity_series)
+    from .render import render_table
+
+    alexa = AlexaModel(AlexaConfig(size=scale.alexa_size, seed=scale.seed))
+    corpus = CertificateCorpus(CorpusConfig(size=scale.corpus_size,
+                                            seed=scale.seed))
+    world = MeasurementWorld(WorldConfig(
+        n_responders=scale.n_responders,
+        certs_per_responder=scale.certs_per_responder, seed=scale.seed))
+    scanner = HourlyScanner(world, interval=scale.scan_interval)
+    dataset = scanner.run(MEASUREMENT_START,
+                          MEASUREMENT_START + scale.scan_days * DAY)
+
+    # --- Section 4 --------------------------------------------------------------
+    stats = deployment_stats(corpus)
+    boost = corpus.config.must_staple_boost
+    _write_text(out("sec4_deployment.txt"), render_table(
+        ["metric", "value"],
+        [["ocsp_fraction", f"{stats.ocsp_fraction:.4f}"],
+         ["must_staple_fraction_unboosted",
+          f"{stats.must_staple_fraction / boost:.6f}"],
+         *[[f"must_staple_share[{name}]", f"{share:.4f}"]
+           for name, share in stats.must_staple_ca_shares().items()]],
+    ))
+
+    # --- Figures 2 and 11 --------------------------------------------------------
+    fig2 = figure2_adoption(alexa, bin_width=50_000)
+    _write_csv(out("fig2_adoption.csv"),
+               ["rank_bin", "https_pct", "ocsp_pct"],
+               [(bin_start, f"{https:.2f}", f"{ocsp:.2f}")
+                for (bin_start, https), (_, ocsp) in zip(
+                    fig2.curves["Domains with certificate"],
+                    fig2.curves["Certificates with OCSP responder"])])
+    fig11 = figure11_adoption(alexa, bin_width=50_000)
+    _write_csv(out("fig11_stapling_adoption.csv"),
+               ["rank_bin", "stapling_pct"],
+               [(b, f"{pct:.2f}") for b, pct in
+                fig11.curves["OCSP domains that support OCSP Stapling"]])
+
+    # --- Figure 3 ----------------------------------------------------------------
+    availability = analyze_availability(dataset)
+    _write_csv(out("fig3_availability.csv"),
+               ["timestamp", "vantage", "success_pct"],
+               [(ts, vantage, f"{pct:.3f}")
+                for vantage, points in availability.success_series.items()
+                for ts, pct in points])
+
+    # --- Figure 4 ----------------------------------------------------------------
+    alexa_availability = AlexaAvailability(world, seed=scale.seed + 4)
+    times = [MEASUREMENT_START + day * DAY
+             for day in range(0, scale.scan_days, max(1, scale.scan_days // 8))]
+    series = alexa_availability.series(times)
+    _write_csv(out("fig4_domains_unable.csv"),
+               ["timestamp", "vantage", "domains_unable"],
+               [(ts, vantage, f"{count:.0f}")
+                for vantage, points in series.items()
+                for ts, count in points])
+
+    # --- Figure 5 ----------------------------------------------------------------
+    fig5 = validity_series(dataset)
+    _write_csv(out("fig5_unusable.csv"),
+               ["timestamp", "error_class", "pct"],
+               [(ts, outcome.name, f"{pct:.4f}")
+                for outcome, points in fig5.series.items()
+                for ts, pct in points])
+
+    # --- Figures 6-9 ---------------------------------------------------------------
+    qualities = responder_quality(dataset)
+    for name, cdf in (("fig6_certs_cdf", certificates_cdf(qualities)),
+                      ("fig7_serials_cdf", serials_cdf(qualities)),
+                      ("fig8_validity_cdf", validity_cdf(qualities)),
+                      ("fig9_margin_cdf", margin_cdf(qualities))):
+        _write_csv(out(f"{name}.csv"), ["value", "cdf"],
+                   [("inf" if value == math.inf else value, f"{fraction:.4f}")
+                    for value, fraction in cdf])
+
+    # --- Table 1 / Figure 10 ---------------------------------------------------------
+    consistency = run_consistency_scan(ConsistencyWorld(
+        ConsistencyConfig(scale=scale.consistency_scale, seed=scale.seed)))
+    _write_text(out("table1_discrepancies.txt"), render_table(
+        ["ocsp_url", "unknown", "good", "revoked"],
+        [[row.ocsp_url, row.unknown, row.good, row.revoked]
+         for row in consistency.discrepant_rows()]))
+    _write_csv(out("fig10_time_deltas.csv"),
+               ["ocsp_url", "serial", "delta_seconds"],
+               [(d.ocsp_url, d.serial_number, d.delta)
+                for d in consistency.time_deltas if d.delta != 0])
+
+    # --- Table 2 -------------------------------------------------------------------
+    browser_report = run_browser_tests()
+    _write_text(out("table2_browsers.txt"), render_table(
+        ["browser", "request_ocsp", "respect_must_staple", "own_ocsp"],
+        [[row.policy.label, *row.cells().values()]
+         for row in browser_report.rows]))
+
+    # --- Figure 12 ------------------------------------------------------------------
+    history = figure12_history()
+    _write_csv(out("fig12_history.csv"),
+               ["month", "ocsp_pct", "stapling_pct", "cloudflare_domains"],
+               [(s.label, s.ocsp_pct, s.stapling_pct,
+                 s.cloudflare_stapling_domains) for s in history.snapshots])
+
+    # --- Table 3 -------------------------------------------------------------------
+    rows = []
+    for server_class in (ApacheServer, NginxServer, IdealServer):
+        report = run_conformance(server_class)
+        cells = report.as_row()
+        rows.append([report.software, *[cells[name] for name in EXPERIMENTS]])
+    _write_text(out("table3_webservers.txt"),
+                render_table(["software", *EXPERIMENTS], rows))
+
+    return written

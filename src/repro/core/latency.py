@@ -1,0 +1,103 @@
+"""OCSP lookup latency analysis.
+
+Section 3 of the paper surveys the latency line of work: "Stark et al.
+observed that the median latency for OCSP checks is 291 ms in 2012.
+In 2016, Zhu et al., however, reported a median latency of 20 ms — a
+significant improvement due to 94% of the requests being fronted by
+CDNs."  This module measures both configurations over the simulated
+network: direct lookups pay the full client→responder round trips,
+CDN-fronted lookups usually terminate at a nearby edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..datasets.world import MeasurementWorld
+from ..scanner.cdn import CDNCache
+from ..simnet import HOUR, ocsp_post
+from ..simnet.vantage import VANTAGE_POINTS, VANTAGE_REGION, rtt_ms
+from .stats import median, percentile
+
+
+@dataclass
+class LatencyReport:
+    """Latency distributions for one lookup configuration."""
+
+    name: str
+    samples_ms: List[float]
+
+    @property
+    def median_ms(self) -> float:
+        """The headline number both prior studies report."""
+        return median(self.samples_ms)
+
+    def percentile_ms(self, q: float) -> float:
+        """Any percentile of the distribution."""
+        return percentile(self.samples_ms, q)
+
+    def __len__(self) -> int:
+        return len(self.samples_ms)
+
+
+def measure_direct_latency(world: MeasurementWorld,
+                           vantages: Optional[Sequence[str]] = None,
+                           start: Optional[int] = None,
+                           hours: int = 24) -> LatencyReport:
+    """Latency of client→responder OCSP lookups (the 2012 world)."""
+    vantages = list(vantages or VANTAGE_POINTS)
+    start = world.config.start if start is None else start
+    samples: List[float] = []
+    targets = world.scan_targets()
+    for hour in range(hours):
+        now = start + hour * HOUR
+        for target in targets:
+            for vantage in vantages:
+                result = world.network.fetch(
+                    vantage, ocsp_post(target.site.url + "/", target.request_der),
+                    now,
+                )
+                if result.ok:
+                    samples.append(result.elapsed_ms)
+    return LatencyReport(name="direct", samples_ms=samples)
+
+
+def measure_cdn_latency(world: MeasurementWorld,
+                        vantages: Optional[Sequence[str]] = None,
+                        start: Optional[int] = None,
+                        hours: int = 24,
+                        edge_rtt_ms: float = 18.0) -> LatencyReport:
+    """Latency when a CDN edge in the client's region fronts the lookup.
+
+    A cache hit costs one round trip to the nearby edge
+    (*edge_rtt_ms*); a miss additionally pays the edge→origin exchange.
+    One cache per vantage region models per-metro CDN deployments.
+    """
+    vantages = list(vantages or VANTAGE_POINTS)
+    start = world.config.start if start is None else start
+    caches: Dict[str, CDNCache] = {
+        vantage: CDNCache(world.network, vantage=vantage) for vantage in vantages
+    }
+    samples: List[float] = []
+    targets = world.scan_targets()
+    for hour in range(hours):
+        now = start + hour * HOUR
+        for target in targets:
+            for vantage in vantages:
+                cache = caches[vantage]
+                hits_before = cache.cache_hits
+                log_before = len(cache.origin_log)
+                body = cache.lookup(target.site.url, target.request_der, now)
+                if body is None:
+                    continue
+                if cache.cache_hits > hits_before:
+                    samples.append(edge_rtt_ms)
+                else:
+                    # Miss: edge paid the origin exchange from the
+                    # client's region, plus the client↔edge hop.
+                    origin_region = target.site.region
+                    origin_cost = rtt_ms(vantage, origin_region) * 1.5 + 20.0
+                    retries = len(cache.origin_log) - log_before
+                    samples.append(edge_rtt_ms + origin_cost * max(1, retries))
+    return LatencyReport(name="cdn-fronted", samples_ms=samples)

@@ -1,0 +1,297 @@
+"""Response validity and quality analysis (paper Sections 5.3-5.4,
+Figures 5, 6, 7, 8, 9, and the freshness study).
+
+All of these consume the Hourly :class:`~repro.scanner.ScanDataset`:
+
+* Figure 5 — % of transport-successful responses that are unusable,
+  split into malformed / serial mismatch / bad signature, over time;
+* Figure 6 — CDF over responders of the average number of certificates
+  embedded per response;
+* Figure 7 — CDF over responders of the average number of serial
+  numbers per response;
+* Figure 8 — CDF over responders of the average validity period
+  (blank nextUpdate → infinity);
+* Figure 9 — CDF over responders of the margin between thisUpdate and
+  receipt time, plus the zero-margin and future-thisUpdate counts;
+* Section 5.4 freshness — which responders pre-generate responses, and
+  which have non-overlapping validity/update windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..scanner import ProbeOutcome, ProbeRecord, ScanDataset
+from .stats import cdf_points, mean
+
+#: Figure 5's three unusable-response classes.
+UNUSABLE_CLASSES = (
+    ProbeOutcome.MALFORMED,
+    ProbeOutcome.SERIAL_MISMATCH,
+    ProbeOutcome.BAD_SIGNATURE,
+)
+
+
+@dataclass
+class ValiditySeries:
+    """Figure 5: unusable-response percentage over time, per class."""
+
+    #: class -> [(timestamp, % of transport-ok responses)]
+    series: Dict[ProbeOutcome, List[Tuple[int, float]]]
+
+    def peak(self, outcome: ProbeOutcome) -> float:
+        """Largest percentage the class reaches (the sheca spike)."""
+        points = self.series.get(outcome, [])
+        return max((pct for _, pct in points), default=0.0)
+
+    def average(self, outcome: ProbeOutcome) -> float:
+        """Mean percentage over the window."""
+        points = self.series.get(outcome, [])
+        return mean([pct for _, pct in points])
+
+
+def validity_series(dataset: ScanDataset) -> ValiditySeries:
+    """Compute Figure 5 from scan records."""
+    buckets: Dict[int, Dict[ProbeOutcome, int]] = {}
+    totals: Dict[int, int] = {}
+    for record in dataset.records:
+        if not record.transport_ok:
+            continue
+        totals[record.timestamp] = totals.get(record.timestamp, 0) + 1
+        if record.outcome in UNUSABLE_CLASSES:
+            bucket = buckets.setdefault(record.timestamp, {})
+            bucket[record.outcome] = bucket.get(record.outcome, 0) + 1
+    series: Dict[ProbeOutcome, List[Tuple[int, float]]] = {
+        outcome: [] for outcome in UNUSABLE_CLASSES
+    }
+    for timestamp in sorted(totals):
+        total = totals[timestamp]
+        for outcome in UNUSABLE_CLASSES:
+            count = buckets.get(timestamp, {}).get(outcome, 0)
+            series[outcome].append((timestamp, 100.0 * count / total))
+    return ValiditySeries(series=series)
+
+
+def persistently_malformed_responders(dataset: ScanDataset) -> List[str]:
+    """Responders whose every transport-ok response was malformed."""
+    ok_counts: Dict[str, int] = {}
+    bad_counts: Dict[str, int] = {}
+    for record in dataset.records:
+        if not record.transport_ok:
+            continue
+        ok_counts[record.responder_url] = ok_counts.get(record.responder_url, 0) + 1
+        if record.outcome is ProbeOutcome.MALFORMED:
+            bad_counts[record.responder_url] = bad_counts.get(record.responder_url, 0) + 1
+    return [
+        url for url, total in ok_counts.items()
+        if bad_counts.get(url, 0) == total and total > 0
+    ]
+
+
+# -- per-responder averages (Figures 6, 7, 8, 9) --------------------------------
+
+
+@dataclass
+class ResponderQuality:
+    """Per-responder aggregates feeding the Figure 6-9 CDFs."""
+
+    url: str
+    avg_certificates: Optional[float] = None
+    avg_serials: Optional[float] = None
+    avg_validity: Optional[float] = None   # math.inf = blank nextUpdate
+    min_margin: Optional[int] = None
+    avg_margin: Optional[float] = None
+    future_this_update: bool = False
+    produced_at_deltas: List[int] = field(default_factory=list)
+    avg_size: Optional[float] = None
+
+
+def responder_quality(dataset: ScanDataset) -> Dict[str, ResponderQuality]:
+    """Aggregate usable-response metadata per responder."""
+    acc: Dict[str, Dict[str, list]] = {}
+    for record in dataset.records:
+        if record.num_serials is None:
+            continue  # response never parsed
+        slot = acc.setdefault(record.responder_url, {
+            "certs": [], "serials": [], "validity": [], "margins": [],
+            "produced": [], "sizes": [],
+        })
+        if record.num_certificates is not None:
+            slot["certs"].append(record.num_certificates)
+        if record.response_size is not None:
+            slot["sizes"].append(record.response_size)
+        slot["serials"].append(record.num_serials)
+        if record.this_update is not None:
+            if record.next_update is None:
+                slot["validity"].append(math.inf)
+            else:
+                slot["validity"].append(record.next_update - record.this_update)
+            slot["margins"].append(record.timestamp - record.this_update)
+        if record.produced_at is not None:
+            slot["produced"].append((record.timestamp, record.produced_at))
+
+    out: Dict[str, ResponderQuality] = {}
+    for url, slot in acc.items():
+        quality = ResponderQuality(url=url)
+        if slot["certs"]:
+            quality.avg_certificates = mean(slot["certs"])
+        if slot["serials"]:
+            quality.avg_serials = mean(slot["serials"])
+        if slot["validity"]:
+            finite = [v for v in slot["validity"] if v != math.inf]
+            quality.avg_validity = mean(finite) if len(finite) == len(slot["validity"]) else math.inf
+        if slot["margins"]:
+            quality.min_margin = min(slot["margins"])
+            quality.avg_margin = mean(slot["margins"])
+            quality.future_this_update = any(m < 0 for m in slot["margins"])
+        quality.produced_at_deltas = [
+            received - produced for received, produced in slot["produced"]
+        ]
+        if slot["sizes"]:
+            quality.avg_size = mean(slot["sizes"])
+        out[url] = quality
+    return out
+
+
+def size_by_certificate_count(qualities: Dict[str, ResponderQuality]
+                              ) -> Dict[int, float]:
+    """Mean response size (bytes) grouped by embedded-certificate count.
+
+    Quantifies the Figure-6 discussion: superfluous certificates "only
+    serve to make the size of the OCSP response bigger".
+    """
+    buckets: Dict[int, List[float]] = {}
+    for quality in qualities.values():
+        if quality.avg_certificates is None or quality.avg_size is None:
+            continue
+        buckets.setdefault(round(quality.avg_certificates), []).append(quality.avg_size)
+    return {count: mean(sizes) for count, sizes in sorted(buckets.items())}
+
+
+def certificates_cdf(qualities: Dict[str, ResponderQuality]) -> List[Tuple[float, float]]:
+    """Figure 6: CDF over responders of avg certificates per response."""
+    values = [q.avg_certificates for q in qualities.values()
+              if q.avg_certificates is not None]
+    return cdf_points(values)
+
+
+def serials_cdf(qualities: Dict[str, ResponderQuality]) -> List[Tuple[float, float]]:
+    """Figure 7: CDF over responders of avg serials per response."""
+    values = [q.avg_serials for q in qualities.values() if q.avg_serials is not None]
+    return cdf_points(values)
+
+
+def validity_cdf(qualities: Dict[str, ResponderQuality]) -> List[Tuple[float, float]]:
+    """Figure 8: CDF over responders of avg validity period (inf = blank)."""
+    values = [q.avg_validity for q in qualities.values() if q.avg_validity is not None]
+    return cdf_points(values)
+
+
+def margin_cdf(qualities: Dict[str, ResponderQuality]) -> List[Tuple[float, float]]:
+    """Figure 9: CDF over responders of the received-minus-thisUpdate margin."""
+    values = [q.min_margin for q in qualities.values() if q.min_margin is not None]
+    return cdf_points(values)
+
+
+@dataclass
+class QualityHeadlines:
+    """The headline counts Sections 5.3-5.4 quote."""
+
+    responders: int
+    multi_certificate: int        # Fig 6: responders averaging > 1 cert
+    multi_serial: int             # Fig 7: responders averaging > 1 serial
+    serial20: int                 # Fig 7: responders always sending 20
+    blank_next_update: int        # Fig 8: blank nextUpdate
+    over_one_month: int           # Fig 8: validity > 30 days
+    zero_margin: int              # Fig 9: no thisUpdate margin
+    future_this_update: int       # Fig 9: thisUpdate in the future
+    not_on_demand: int            # §5.4: pre-generated responses
+    non_overlapping: int          # §5.4: validity == update interval
+
+    def fractions(self) -> Dict[str, float]:
+        """All headline counts as fractions of responders."""
+        n = self.responders or 1
+        return {
+            "multi_certificate": self.multi_certificate / n,
+            "multi_serial": self.multi_serial / n,
+            "serial20": self.serial20 / n,
+            "blank_next_update": self.blank_next_update / n,
+            "over_one_month": self.over_one_month / n,
+            "zero_margin": self.zero_margin / n,
+            "future_this_update": self.future_this_update / n,
+            "not_on_demand": self.not_on_demand / n,
+            "non_overlapping": self.non_overlapping / n,
+        }
+
+
+#: "we only consider OCSP responses where the difference between
+#: producedAt and the time that we received the response is larger than
+#: 2 minutes, which indicates that the response has not been generated
+#: on demand."
+ON_DEMAND_THRESHOLD = 120
+
+
+def quality_headlines(dataset: ScanDataset) -> QualityHeadlines:
+    """Compute the Section 5.3/5.4 headline counts."""
+    qualities = responder_quality(dataset)
+    multi_certificate = sum(
+        1 for q in qualities.values()
+        if q.avg_certificates is not None and q.avg_certificates > 1
+    )
+    multi_serial = sum(
+        1 for q in qualities.values()
+        if q.avg_serials is not None and q.avg_serials > 1
+    )
+    serial20 = sum(
+        1 for q in qualities.values()
+        if q.avg_serials is not None and q.avg_serials >= 19.5
+    )
+    blank = sum(1 for q in qualities.values() if q.avg_validity == math.inf)
+    month = 30 * 86400
+    over_month = sum(
+        1 for q in qualities.values()
+        if q.avg_validity is not None and q.avg_validity != math.inf
+        and q.avg_validity > month
+    )
+    zero_margin = sum(
+        1 for q in qualities.values()
+        if q.min_margin is not None and q.min_margin <= 0
+    )
+    future = sum(1 for q in qualities.values() if q.future_this_update)
+    # Zero-margin counting includes future ones; separate them like the
+    # paper (85 zero-margin vs 15 future).
+    zero_margin -= future
+
+    not_on_demand = 0
+    non_overlapping = 0
+    # Sparse scans cannot observe producedAt lags finer than their own
+    # cadence; tolerate up to one scan interval when deciding whether a
+    # responder's validity window barely outlives its update interval.
+    granularity = max(ON_DEMAND_THRESHOLD, dataset.interval)
+    for url, quality in qualities.items():
+        deltas = quality.produced_at_deltas
+        if not deltas:
+            continue
+        if max(deltas) > ON_DEMAND_THRESHOLD:
+            not_on_demand += 1
+            if (quality.avg_validity is not None
+                    and quality.avg_validity != math.inf
+                    and max(deltas) >= quality.avg_validity - granularity):
+                # Responses live only as long as the regeneration gap:
+                # the hinet/cnnic non-overlap hazard.
+                non_overlapping += 1
+
+    return QualityHeadlines(
+        responders=len(qualities),
+        multi_certificate=multi_certificate,
+        multi_serial=multi_serial,
+        serial20=serial20,
+        blank_next_update=blank,
+        over_one_month=over_month,
+        zero_margin=zero_margin,
+        future_this_update=future,
+        not_on_demand=not_on_demand,
+        non_overlapping=non_overlapping,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of tables and series for the benchmark output.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width ASCII table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[Tuple[object, float]], name: str,
+                  max_points: int = 24, fmt: str = "{:.2f}") -> str:
+    """A compact one-series dump, downsampled to *max_points* rows."""
+    points = list(points)
+    if len(points) > max_points:
+        step = len(points) / max_points
+        points = [points[int(i * step)] for i in range(max_points)]
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x}: {fmt.format(y)}")
+    return "\n".join(lines)
+
+
+def render_cdf(points: Sequence[Tuple[float, float]], name: str,
+               probes: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+               ) -> str:
+    """Summarize a CDF at fixed quantiles."""
+    points = list(points)
+    lines = [name]
+    if not points:
+        return name + " (empty)"
+    for quantile in probes:
+        index = min(len(points) - 1, int(quantile * len(points)))
+        value = points[index][0]
+        lines.append(f"  p{int(quantile * 100):02d}: {value}")
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

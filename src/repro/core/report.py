@@ -1,0 +1,144 @@
+"""The readiness report — the paper's primary contribution as an API.
+
+"Is the web ready for OCSP Must-Staple?" is answered by checking each
+principal (Section 8):
+
+* **CAs / OCSP responders** — availability and response quality,
+* **Clients (browsers)** — Must-Staple enforcement,
+* **Web server software** — correct stapling implementation,
+* **Deployment** — how many certificates actually carry Must-Staple.
+
+:func:`assess_readiness` runs a (configurably small) end-to-end
+measurement across all of them and renders the verdict, which for the
+2018 parameter set is the paper's: *not ready*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..browser import run_browser_tests
+from ..datasets import CertificateCorpus, CorpusConfig, MeasurementWorld, WorldConfig
+from ..scanner import HourlyScanner
+from ..simnet import DAY, HOUR, MEASUREMENT_START
+from ..webserver import ApacheServer, NginxServer, run_conformance
+from .adoption import deployment_stats
+from .availability import analyze_availability
+from .quality import quality_headlines
+
+
+@dataclass
+class PrincipalVerdict:
+    """One principal's readiness assessment."""
+
+    principal: str
+    ready: bool
+    findings: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReadinessReport:
+    """The combined assessment."""
+
+    verdicts: List[PrincipalVerdict]
+
+    @property
+    def web_is_ready(self) -> bool:
+        """The headline answer (the paper's: False)."""
+        return all(verdict.ready for verdict in self.verdicts)
+
+    def verdict_for(self, principal: str) -> PrincipalVerdict:
+        """Look up one principal."""
+        for verdict in self.verdicts:
+            if verdict.principal == principal:
+                return verdict
+        raise KeyError(principal)
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = ["=== OCSP Must-Staple readiness assessment ==="]
+        for verdict in self.verdicts:
+            status = "READY" if verdict.ready else "NOT READY"
+            lines.append(f"[{status:9s}] {verdict.principal}")
+            for finding in verdict.findings:
+                lines.append(f"    - {finding}")
+        answer = "YES" if self.web_is_ready else "NO"
+        lines.append(f"Is the web ready for OCSP Must-Staple?  {answer}")
+        return "\n".join(lines)
+
+
+def assess_readiness(world: Optional[MeasurementWorld] = None,
+                     corpus: Optional[CertificateCorpus] = None,
+                     scan_days: int = 3,
+                     scan_interval: int = 6 * HOUR) -> ReadinessReport:
+    """Run the full cross-principal assessment.
+
+    Supply a pre-built *world*/*corpus* to control scale; the defaults
+    build a small-but-representative simulation.
+    """
+    world = world or MeasurementWorld(WorldConfig(n_responders=70,
+                                                  certs_per_responder=1))
+    corpus = corpus or CertificateCorpus(CorpusConfig(size=4_000))
+    verdicts: List[PrincipalVerdict] = []
+
+    # 1. CAs: availability + quality.
+    scanner = HourlyScanner(world, interval=scan_interval)
+    dataset = scanner.run(MEASUREMENT_START, MEASUREMENT_START + scan_days * DAY)
+    availability = analyze_availability(dataset)
+    headlines = quality_headlines(dataset)
+    ca_findings = [
+        f"average request failure rate {availability.overall_failure_rate:.1f}%",
+        f"{len(availability.never_successful_anywhere)} responder(s) never reachable",
+        f"{headlines.zero_margin} responder(s) give no thisUpdate margin",
+        f"{headlines.blank_next_update} responder(s) leave nextUpdate blank",
+    ]
+    # The paper's judgement: responders are flawed but cacheable-validity
+    # responses mean they "would not be a barrier" — ready-ish when the
+    # failure rate is low and nothing is permanently dark.
+    ca_ready = (availability.overall_failure_rate < 1.0
+                and not availability.never_successful_anywhere)
+    verdicts.append(PrincipalVerdict("Certificate authorities (OCSP responders)",
+                                     ca_ready, ca_findings))
+
+    # 2. Browsers.
+    browser_report = run_browser_tests()
+    compliant = browser_report.compliant_browsers
+    total = len(browser_report.rows)
+    browsers_ready = len(compliant) == total
+    verdicts.append(PrincipalVerdict(
+        "Clients (web browsers)",
+        browsers_ready,
+        [f"{len(compliant)}/{total} browsers hard-fail on Must-Staple "
+         f"({', '.join(compliant) or 'none'})"],
+    ))
+
+    # 3. Web server software.
+    server_findings = []
+    servers_ready = True
+    for server_class in (ApacheServer, NginxServer):
+        conformance = run_conformance(server_class)
+        failed = [r.name for r in conformance.results if not r.passed]
+        if failed:
+            servers_ready = False
+            server_findings.append(
+                f"{conformance.software}: fails {', '.join(failed)}"
+            )
+        else:
+            server_findings.append(f"{conformance.software}: fully conformant")
+    verdicts.append(PrincipalVerdict("Web server software", servers_ready,
+                                     server_findings))
+
+    # 4. Deployment.
+    stats = deployment_stats(corpus)
+    boost = corpus.config.must_staple_boost
+    unboosted = stats.must_staple_fraction / boost if boost else stats.must_staple_fraction
+    deployment_ready = unboosted > 0.10
+    verdicts.append(PrincipalVerdict(
+        "Deployment (certificates with Must-Staple)",
+        deployment_ready,
+        [f"OCSP support {stats.ocsp_fraction * 100:.1f}% of valid certificates",
+         f"Must-Staple {unboosted * 100:.3f}% of valid certificates (paper: 0.02%)"],
+    ))
+
+    return ReadinessReport(verdicts=verdicts)

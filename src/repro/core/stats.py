@@ -1,0 +1,85 @@
+"""Small statistics helpers shared by the figure analyses."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction ≤ value) points.
+
+    Infinite values (blank nextUpdate validity periods) sort last and
+    appear at y=1.0, matching how the paper plots "infinite seconds".
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points = []
+    for index, value in enumerate(ordered, start=1):
+        points.append((value, index / n))
+    return points
+
+
+def fraction_at_or_below(values: Sequence[float], threshold: float) -> float:
+    """CDF evaluated at *threshold*."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for empty input)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def bin_by(pairs: Iterable[Tuple[int, float]], bin_width: int
+           ) -> Dict[int, List[float]]:
+    """Group (key, value) pairs into fixed-width key bins."""
+    bins: Dict[int, List[float]] = {}
+    for key, value in pairs:
+        bins.setdefault((key // bin_width) * bin_width, []).append(value)
+    return bins
+
+
+def binned_fraction(items: Iterable[Tuple[int, bool]], bin_width: int
+                    ) -> List[Tuple[int, float]]:
+    """Per-bin fraction of True values, as sorted (bin_start, pct) points.
+
+    This is the Figure-2/11 primitive: bucket domains by rank into
+    10,000-rank bins and compute the percentage satisfying a predicate.
+    """
+    bins: Dict[int, List[bool]] = {}
+    for key, flag in items:
+        bins.setdefault((key // bin_width) * bin_width, []).append(flag)
+    return [
+        (start, 100.0 * sum(flags) / len(flags))
+        for start, flags in sorted(bins.items())
+    ]

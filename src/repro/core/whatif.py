@@ -1,0 +1,120 @@
+"""What-if: universal Must-Staple enforcement, today's infrastructure.
+
+The paper's closing argument (Section 8) is an ordering: servers and
+responders must improve *before* browsers hard-fail, because "until
+web servers proactively fetch and OCSP responders deliver valid
+responses, clients will have little incentive to hard-fail".  This
+module quantifies that: deploy a fleet of Must-Staple sites on today's
+software mix (Apache/Nginx, per their real-world shares) against
+responders with the measured reliability, then count how many page
+loads a universally-enforcing browser population would hard-fail —
+versus the same fleet on the paper's recommended server behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..browser import by_label, connect, Verdict
+from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from ..crypto import KeyPool
+from ..simnet import DAY, HOUR, FailureKind, Network, OutageWindow
+from ..webserver import ApacheServer, IdealServer, NginxServer, StaplingWebServer
+from ..x509 import TrustStore
+
+
+@dataclass
+class WhatIfConfig:
+    """Fleet and failure parameters."""
+
+    n_sites: int = 30
+    #: Software mix (April-2018 web server shares, roughly).
+    apache_share: float = 0.45
+    nginx_share: float = 0.40  # remainder: ideal/prefetching servers
+    #: Staple validity the CAs issue.
+    staple_validity: int = 4 * DAY
+    #: Fraction of responders that suffer a multi-hour outage during
+    #: the simulated window (the paper's 36.8% over four months scales
+    #: to a few percent per day; use a day with elevated failures).
+    responder_outage_fraction: float = 0.25
+    outage_duration: int = 5 * HOUR
+    #: Simulated duration and client cadence.
+    days: int = 2
+    connect_interval: int = 2 * HOUR
+    seed: int = 42
+
+
+@dataclass
+class WhatIfResult:
+    """Hard-fail rates by server software."""
+
+    #: software -> (failed page loads, total page loads)
+    by_software: Dict[str, List[int]] = field(default_factory=dict)
+
+    def failure_rate(self, software: str) -> float:
+        """Fraction of page loads hard-failed for one software."""
+        failed, total = self.by_software.get(software, [0, 0])
+        return failed / total if total else 0.0
+
+    @property
+    def overall_failure_rate(self) -> float:
+        """Fleet-wide hard-fail fraction."""
+        failed = sum(f for f, _ in self.by_software.values())
+        total = sum(t for _, t in self.by_software.values())
+        return failed / total if total else 0.0
+
+
+def run_whatif(config: Optional[WhatIfConfig] = None,
+               start: int = 1_524_614_400) -> WhatIfResult:
+    """Simulate universal Must-Staple enforcement over the fleet."""
+    config = config or WhatIfConfig()
+    rng = random.Random(config.seed)
+    pool = KeyPool(size=8, seed=config.seed)
+    network = Network()
+    firefox = by_label()["Firefox 60 (Linux)"]
+
+    result = WhatIfResult()
+    ticks = range(0, config.days * DAY, config.connect_interval)
+
+    for index in range(config.n_sites):
+        draw = rng.random()
+        if draw < config.apache_share:
+            server_class: Type[StaplingWebServer] = ApacheServer
+        elif draw < config.apache_share + config.nginx_share:
+            server_class = NginxServer
+        else:
+            server_class = IdealServer
+
+        ca = CertificateAuthority.create_root(
+            f"WhatIf CA {index}", f"http://ocsp{index}.whatif.test",
+            key_pool=pool, not_before=start - 365 * DAY)
+        leaf = ca.issue_leaf(f"site{index}.example", pool.take(),
+                             not_before=start - DAY, must_staple=True)
+        responder = OCSPResponder(
+            ca, ca.ocsp_url,
+            ResponderProfile(update_interval=None, this_update_margin=HOUR,
+                             validity_period=config.staple_validity),
+            epoch_start=start - 7 * DAY)
+        origin = network.add_origin(f"whatif-{index}", "us-east", responder.handle)
+        network.bind(f"ocsp{index}.whatif.test", origin)
+        if rng.random() < config.responder_outage_fraction:
+            outage_start = start + rng.randrange(0, config.days * DAY)
+            origin.add_outage(OutageWindow(
+                outage_start, outage_start + config.outage_duration,
+                kind=FailureKind.TCP))
+
+        server = server_class(chain=[leaf, ca.certificate],
+                              issuer=ca.certificate, network=network)
+        trust = TrustStore([ca.certificate])
+
+        bucket = result.by_software.setdefault(server.software, [0, 0])
+        for offset in ticks:
+            now = start + offset
+            server.tick(now)
+            outcome = connect(firefox, server, f"site{index}.example", trust, now)
+            bucket[1] += 1
+            if outcome.verdict is not Verdict.ACCEPTED:
+                bucket[0] += 1
+    return result

@@ -1,0 +1,37 @@
+"""Pure-Python RSA crypto substrate (keygen, PKCS#1 v1.5 signatures).
+
+Everything a CA, web server, or OCSP responder in the simulation signs
+or verifies goes through this package; there is no dependency on
+OpenSSL or the ``cryptography`` package.
+"""
+
+from .prime import generate_prime, is_probable_prime
+from .rsa import F4, RSAPrivateKey, RSAPublicKey, generate_keypair
+from .pkcs1 import SignatureError, is_valid, sign, verify
+from .keys import (
+    KeyPool,
+    decode_rsa_public_key,
+    decode_spki,
+    encode_rsa_public_key,
+    encode_spki,
+    shared_pool,
+)
+
+__all__ = [
+    "F4",
+    "KeyPool",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "SignatureError",
+    "decode_rsa_public_key",
+    "decode_spki",
+    "encode_rsa_public_key",
+    "encode_spki",
+    "generate_keypair",
+    "generate_prime",
+    "is_probable_prime",
+    "is_valid",
+    "shared_pool",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,82 @@
+"""RSASSA-PKCS1-v1_5 signatures (RFC 8017) over SHA-1/SHA-256.
+
+This is the signature scheme used by every certificate, CRL, and OCSP
+response in the reproduction.  Verification failures here are what the
+scanner classifies as the "incorrect signature" error class of the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from .rsa import RSAPrivateKey, RSAPublicKey
+
+#: DER DigestInfo prefixes (AlgorithmIdentifier + OCTET STRING header)
+#: for the digests we support, from RFC 8017 section 9.2 notes.
+_DIGEST_INFO_PREFIX = {
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+}
+
+
+class SignatureError(ValueError):
+    """Raised when a signature fails to verify."""
+
+
+def _digest(data: bytes, hash_name: str) -> bytes:
+    try:
+        return hashlib.new(hash_name, data).digest()
+    except ValueError as exc:
+        raise ValueError(f"unsupported hash: {hash_name}") from exc
+
+
+def _emsa_encode(data: bytes, em_len: int, hash_name: str) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of *data* into *em_len* octets."""
+    prefix = _DIGEST_INFO_PREFIX.get(hash_name)
+    if prefix is None:
+        raise ValueError(f"unsupported hash for PKCS#1: {hash_name}")
+    t = prefix + _digest(data, hash_name)
+    if em_len < len(t) + 11:
+        raise ValueError(f"modulus too short for {hash_name} signature")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign(private_key: RSAPrivateKey, data: bytes, hash_name: str = "sha256") -> bytes:
+    """Sign *data*, returning a signature of modulus length."""
+    em = _emsa_encode(data, private_key.byte_length, hash_name)
+    signature_int = private_key.raw_sign(int.from_bytes(em, "big"))
+    return signature_int.to_bytes(private_key.byte_length, "big")
+
+
+def verify(public_key: RSAPublicKey, data: bytes, signature: bytes,
+           hash_name: str = "sha256") -> None:
+    """Verify a signature, raising :class:`SignatureError` on any mismatch."""
+    if len(signature) != public_key.byte_length:
+        raise SignatureError(
+            f"signature length {len(signature)} != modulus length {public_key.byte_length}"
+        )
+    signature_int = int.from_bytes(signature, "big")
+    if signature_int >= public_key.n:
+        raise SignatureError("signature representative out of range")
+    em = public_key.raw_verify(signature_int).to_bytes(public_key.byte_length, "big")
+    try:
+        expected = _emsa_encode(data, public_key.byte_length, hash_name)
+    except ValueError as exc:
+        raise SignatureError(str(exc)) from exc
+    # Constant-time-ish comparison; correctness matters more than timing
+    # in a simulation but the idiom is cheap.
+    if not hmac.compare_digest(em, expected):
+        raise SignatureError("signature does not match data")
+
+
+def is_valid(public_key: RSAPublicKey, data: bytes, signature: bytes,
+             hash_name: str = "sha256") -> bool:
+    """Boolean convenience wrapper around :func:`verify`."""
+    try:
+        verify(public_key, data, signature, hash_name)
+    except SignatureError:
+        return False
+    return True

@@ -1,0 +1,61 @@
+"""Probabilistic prime generation for RSA key material.
+
+Uses deterministic trial division over small primes followed by
+Miller-Rabin.  All randomness flows through a caller-supplied
+``random.Random`` so corpus generation is reproducible; the witnesses
+for Miller-Rabin come from the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+]
+
+
+def is_probable_prime(candidate: int, rng: Optional[random.Random] = None,
+                      rounds: int = 24) -> bool:
+    """Return True if *candidate* passes trial division and Miller-Rabin."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate == prime:
+            return True
+        if candidate % prime == 0:
+            return False
+    rng = rng or random.Random(candidate)
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a probable prime of exactly *bits* bits."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate

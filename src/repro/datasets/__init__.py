@@ -1,0 +1,105 @@
+"""Synthetic datasets replacing the paper's unobtainable raw inputs.
+
+* :mod:`~repro.datasets.marketshare` — the April-2018 CA ecosystem and
+  the paper's exact Section-4 deployment constants,
+* :mod:`~repro.datasets.corpus` — the Censys-substitute certificate
+  population,
+* :mod:`~repro.datasets.alexa` — the Alexa Top-1M popularity model
+  (Figures 2 and 11),
+* :mod:`~repro.datasets.history` — monthly adoption snapshots for
+  Figure 12,
+* :mod:`~repro.datasets.world` — the Section-5 responder population
+  with every measured fault and outage event.
+"""
+
+from .marketshare import (
+    ALEXA_MUST_STAPLE,
+    ALEXA_OCSP_CERTIFICATES,
+    ALEXA_RESPONDERS,
+    CAShare,
+    CA_SHARES_2018,
+    HOURLY_CERTIFICATES,
+    HOURLY_RESPONDERS,
+    MUST_STAPLE_BY_CA,
+    MUST_STAPLE_CERTIFICATES,
+    OCSP_CERTIFICATES,
+    TOTAL_CERTIFICATES,
+    VALID_CERTIFICATES,
+    ca_share,
+    expected_ocsp_fraction,
+    must_staple_weights,
+    normalized_shares,
+)
+from .corpus import CertificateCorpus, CertificateRecord, CorpusConfig
+from .alexa import (
+    ALEXA_POPULATION,
+    AlexaConfig,
+    AlexaModel,
+    DomainRecord,
+    https_probability,
+    ocsp_probability,
+    stapling_probability,
+)
+from .history import (
+    CLOUDFLARE_AFTER,
+    CLOUDFLARE_BEFORE,
+    AdoptionSnapshot,
+    adoption_history,
+    snapshot_for,
+)
+from .world import (
+    ALWAYS_FAIL_TARGETS,
+    EventGroup,
+    MeasurementWorld,
+    PAPER_CERTIFICATES,
+    PAPER_RESPONDERS,
+    PERSISTENT_QUOTAS,
+    ResponderSite,
+    ScanTarget,
+    WorldConfig,
+    default_event_groups,
+)
+
+__all__ = [
+    "ALEXA_MUST_STAPLE",
+    "ALEXA_OCSP_CERTIFICATES",
+    "ALEXA_POPULATION",
+    "ALEXA_RESPONDERS",
+    "ALWAYS_FAIL_TARGETS",
+    "AdoptionSnapshot",
+    "AlexaConfig",
+    "AlexaModel",
+    "CAShare",
+    "CA_SHARES_2018",
+    "CLOUDFLARE_AFTER",
+    "CLOUDFLARE_BEFORE",
+    "CertificateCorpus",
+    "CertificateRecord",
+    "CorpusConfig",
+    "DomainRecord",
+    "EventGroup",
+    "HOURLY_CERTIFICATES",
+    "HOURLY_RESPONDERS",
+    "MUST_STAPLE_BY_CA",
+    "MUST_STAPLE_CERTIFICATES",
+    "MeasurementWorld",
+    "OCSP_CERTIFICATES",
+    "PAPER_CERTIFICATES",
+    "PAPER_RESPONDERS",
+    "PERSISTENT_QUOTAS",
+    "ResponderSite",
+    "ScanTarget",
+    "TOTAL_CERTIFICATES",
+    "VALID_CERTIFICATES",
+    "WorldConfig",
+    "adoption_history",
+    "ca_share",
+    "default_event_groups",
+    "expected_ocsp_fraction",
+    "https_probability",
+    "must_staple_weights",
+    "normalized_shares",
+    "ocsp_probability",
+    "snapshot_for",
+    "stapling_probability",
+]

@@ -1,0 +1,142 @@
+"""The Alexa Top-1M popularity model.
+
+Produces a scaled population of ranked domains with HTTPS / OCSP /
+OCSP-Stapling / Must-Staple attributes whose rank-dependence matches
+the paper's Figures 2 and 11:
+
+* HTTPS support "close to 75% across the entire range", slightly
+  higher for popular sites (Figure 2, "Domains with certificate"),
+* OCSP adoption among HTTPS domains averaging 91.3%, slightly higher
+  for popular sites (Figure 2, "Certificates with OCSP responder"),
+* OCSP Stapling adoption among OCSP domains around 35%, with "the most
+  popular websites that support OCSP tend[ing] to do OCSP Stapling as
+  well" (Figure 11),
+* exactly 100 Must-Staple certificates across the Top-1M (Section 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+ALEXA_POPULATION = 1_000_000
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One ranked domain and its TLS/OCSP posture."""
+
+    rank: int
+    domain: str
+    ca_name: str
+    https: bool
+    has_ocsp: bool
+    stapling: bool
+    must_staple: bool
+
+
+def https_probability(rank: int) -> float:
+    """P(HTTPS | rank): ~78% at the top, ~72% at rank 1M."""
+    return 0.78 - 0.06 * (rank / ALEXA_POPULATION)
+
+
+def ocsp_probability(rank: int) -> float:
+    """P(OCSP | HTTPS, rank): ~93% at the top, ~89.5% at rank 1M."""
+    return 0.93 - 0.035 * (rank / ALEXA_POPULATION)
+
+
+def stapling_probability(rank: int) -> float:
+    """P(Stapling | OCSP, rank): ~45% at the top, ~28% at rank 1M."""
+    return 0.45 - 0.17 * (rank / ALEXA_POPULATION)
+
+
+@dataclass
+class AlexaConfig:
+    """Parameters for the scaled Alexa model."""
+
+    #: Number of sampled domains (ranks are spread over the full 1M).
+    size: int = 20_000
+    seed: int = 404
+    #: Must-Staple domains in the full population (paper: 100).
+    must_staple_population: int = 100
+
+
+class AlexaModel:
+    """A seeded, scaled sample of the Alexa Top-1M."""
+
+    def __init__(self, config: Optional[AlexaConfig] = None,
+                 ca_names: Optional[List[str]] = None,
+                 ca_weights: Optional[List[float]] = None) -> None:
+        self.config = config or AlexaConfig()
+        self.records: List[DomainRecord] = []
+        self._generate(ca_names, ca_weights)
+
+    @property
+    def scale(self) -> float:
+        """Real-world domains represented by one record."""
+        return ALEXA_POPULATION / self.config.size
+
+    def _generate(self, ca_names: Optional[List[str]],
+                  ca_weights: Optional[List[float]]) -> None:
+        if ca_names is None:
+            from .marketshare import normalized_shares
+            shares = normalized_shares()
+            ca_names = [s.name for s in shares]
+            ca_weights = [s.share for s in shares]
+        rng = random.Random(self.config.seed)
+        step = ALEXA_POPULATION / self.config.size
+        # Scale the Must-Staple count down with the sample.
+        staple_quota = max(1, round(self.config.must_staple_population / step))
+        staple_candidates: List[int] = []
+
+        for i in range(self.config.size):
+            rank = int(i * step) + 1
+            https = rng.random() < https_probability(rank)
+            has_ocsp = https and rng.random() < ocsp_probability(rank)
+            stapling = has_ocsp and rng.random() < stapling_probability(rank)
+            ca_name = rng.choices(ca_names, weights=ca_weights)[0] if https else ""
+            self.records.append(DomainRecord(
+                rank=rank,
+                domain=f"rank{rank}.example",
+                ca_name=ca_name,
+                https=https,
+                has_ocsp=has_ocsp,
+                stapling=stapling,
+                must_staple=False,
+            ))
+            if has_ocsp:
+                staple_candidates.append(i)
+
+        for i in rng.sample(staple_candidates, min(staple_quota, len(staple_candidates))):
+            record = self.records[i]
+            self.records[i] = DomainRecord(
+                rank=record.rank, domain=record.domain,
+                ca_name="Lets Encrypt",  # 97.3% of Must-Staple certs
+                https=True, has_ocsp=True, stapling=record.stapling,
+                must_staple=True,
+            )
+
+    # -- selections -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def https_domains(self) -> List[DomainRecord]:
+        """Domains serving HTTPS."""
+        return [r for r in self.records if r.https]
+
+    def ocsp_domains(self) -> List[DomainRecord]:
+        """Domains whose certificates carry an OCSP URL."""
+        return [r for r in self.records if r.has_ocsp]
+
+    def stapling_domains(self) -> List[DomainRecord]:
+        """Domains observed stapling."""
+        return [r for r in self.records if r.stapling]
+
+    def must_staple_domains(self) -> List[DomainRecord]:
+        """Domains with Must-Staple certificates."""
+        return [r for r in self.records if r.must_staple]

@@ -1,0 +1,106 @@
+"""Historical adoption snapshots, May 2016 → September 2018 (Figure 12).
+
+The paper fetched monthly Censys TLS-handshake scans of the Alexa
+Top-1M back to May 21, 2016 and plotted (1) HTTPS domains supporting
+OCSP and (2) those also supporting OCSP Stapling.  Both grow steadily;
+stapling jumps in June 2017 when Cloudflare enabled stapling across its
+"cruise-liner" certificates — "the number of domains that support OCSP
+Stapling and serve certificates containing one of Cloudflare's domains
+is 11,675 on May 18, 2017 but increases to 78,907 by June 15, 2017."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..simnet.clock import at
+
+#: Cloudflare stapling-enabled domain counts around the June-2017 jump.
+CLOUDFLARE_BEFORE = 11_675
+CLOUDFLARE_AFTER = 78_907
+CLOUDFLARE_JUMP_MONTH = (2017, 6)
+
+#: First and last snapshot months.
+HISTORY_START = (2016, 5)
+HISTORY_END = (2018, 9)
+
+
+@dataclass(frozen=True)
+class AdoptionSnapshot:
+    """One monthly data point of Figure 12."""
+
+    year: int
+    month: int
+    #: Percent of HTTPS Alexa domains whose certificates carry OCSP.
+    ocsp_pct: float
+    #: Percent of HTTPS Alexa domains observed stapling.
+    stapling_pct: float
+    #: Cloudflare cruise-liner domains observed stapling.
+    cloudflare_stapling_domains: int
+
+    @property
+    def timestamp(self) -> int:
+        """POSIX time of the snapshot (21st of the month, like the
+        paper's first fetch on May 21, 2016)."""
+        return at(self.year, self.month, 21)
+
+    @property
+    def label(self) -> str:
+        """``YYYY-MM`` label used on the figure's x axis."""
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+def _months() -> List[tuple]:
+    year, month = HISTORY_START
+    months = []
+    while (year, month) <= HISTORY_END:
+        months.append((year, month))
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return months
+
+
+def adoption_history() -> List[AdoptionSnapshot]:
+    """The full monthly series for Figure 12.
+
+    OCSP adoption climbs gently from ~87% to ~93%; stapling from ~22%
+    to ~35% with the Cloudflare step in June 2017.
+    """
+    months = _months()
+    total = len(months) - 1
+    snapshots: List[AdoptionSnapshot] = []
+    cloudflare = CLOUDFLARE_BEFORE * 0.45
+    for index, (year, month) in enumerate(months):
+        progress = index / total
+        ocsp_pct = 87.0 + 6.0 * progress
+        stapling_pct = 22.0 + 9.0 * progress
+        if (year, month) < CLOUDFLARE_JUMP_MONTH:
+            # Cloudflare's stapled-domain count grows slowly pre-jump.
+            cloudflare = CLOUDFLARE_BEFORE * (0.45 + 0.55 * min(1.0, progress / 0.54))
+        elif (year, month) == CLOUDFLARE_JUMP_MONTH:
+            cloudflare = CLOUDFLARE_AFTER
+        else:
+            cloudflare = CLOUDFLARE_AFTER * (1.0 + 0.3 * (progress - 0.54))
+        if (year, month) >= CLOUDFLARE_JUMP_MONTH:
+            # The jump adds (78,907-11,675)/750k HTTPS domains ≈ +2.4 points
+            # to the stapling series, then persists.
+            stapling_pct += 2.4
+        snapshots.append(AdoptionSnapshot(
+            year=year,
+            month=month,
+            ocsp_pct=round(ocsp_pct, 2),
+            stapling_pct=round(stapling_pct, 2),
+            cloudflare_stapling_domains=int(cloudflare),
+        ))
+    return snapshots
+
+
+def snapshot_for(year: int, month: int) -> AdoptionSnapshot:
+    """Look up one month's snapshot."""
+    for snapshot in adoption_history():
+        if (snapshot.year, snapshot.month) == (year, month):
+            return snapshot
+    raise KeyError(f"no snapshot for {year}-{month:02d}")

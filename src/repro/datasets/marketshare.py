@@ -1,0 +1,116 @@
+"""CA market-share model for the April 2018 certificate ecosystem.
+
+The headline constants reproduce Section 4 of the paper:
+
+* Censys snapshot 2018-04-24: 489,580,002 certificates total,
+  112,841,653 valid (trusted by Apple/Microsoft/NSS stores),
+* 107,664,132 valid certificates (95.4%) carry an OCSP URL,
+* 29,709 (0.02%) carry OCSP Must-Staple, split across exactly four
+  CAs: Let's Encrypt 28,919 (97.3%), DFN 716, Comodo 73, UserTrust 1.
+
+Market shares of valid certificates are approximate 2018 values; only
+the *ordering* (Let's Encrypt dominant) and the Must-Staple split are
+load-bearing for the reproduced analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+# -- paper constants (Section 4) ----------------------------------------------
+
+TOTAL_CERTIFICATES = 489_580_002
+VALID_CERTIFICATES = 112_841_653
+OCSP_CERTIFICATES = 107_664_132
+MUST_STAPLE_CERTIFICATES = 29_709
+
+#: Must-Staple issuance by CA (paper Section 4).
+MUST_STAPLE_BY_CA: Dict[str, int] = {
+    "Lets Encrypt": 28_919,
+    "DFN": 716,
+    "Comodo": 73,
+    "UserTrust": 1,
+}
+
+#: Alexa Top-1M certificates carrying Must-Staple.
+ALEXA_MUST_STAPLE = 100
+
+#: Responder population of the Hourly dataset.
+HOURLY_RESPONDERS = 536
+HOURLY_CERTIFICATES = 14_634
+
+#: Alexa1M dataset: domains supporting HTTPS+OCSP and their responders.
+ALEXA_OCSP_CERTIFICATES = 606_367
+ALEXA_RESPONDERS = 128
+
+
+@dataclass(frozen=True)
+class CAShare:
+    """One CA's slice of the valid-certificate population."""
+
+    name: str
+    #: Fraction of valid certificates issued by this CA.
+    share: float
+    #: Fraction of this CA's certificates carrying an OCSP URL.
+    ocsp_rate: float = 1.0
+    #: Whether this CA publishes CRLs (Let's Encrypt does not,
+    #: footnote 18).
+    supports_crl: bool = True
+    #: Number of distinct responder hostnames the CA operates.
+    responder_hostnames: int = 4
+    #: Whether the CA will issue Must-Staple on request.
+    offers_must_staple: bool = False
+
+
+#: Approximate valid-certificate shares, April 2018.
+CA_SHARES_2018: List[CAShare] = [
+    CAShare("Lets Encrypt", 0.44, ocsp_rate=1.0, supports_crl=False,
+            responder_hostnames=2, offers_must_staple=True),
+    CAShare("Comodo", 0.18, responder_hostnames=24, offers_must_staple=True),
+    CAShare("Digicert", 0.11, responder_hostnames=12),
+    CAShare("GoDaddy", 0.06, responder_hostnames=4),
+    CAShare("GlobalSign", 0.05, responder_hostnames=6),
+    CAShare("Certum", 0.02, responder_hostnames=16),
+    CAShare("Sectigo", 0.02, responder_hostnames=4),
+    CAShare("Amazon", 0.02, responder_hostnames=4),
+    CAShare("DFN", 0.01, responder_hostnames=2, offers_must_staple=True),
+    CAShare("UserTrust", 0.01, responder_hostnames=2, offers_must_staple=True),
+    CAShare("Identrust", 0.01, responder_hostnames=2),
+    CAShare("WoSign", 0.01, responder_hostnames=2),
+    CAShare("StartSSL", 0.01, responder_hostnames=2),
+    CAShare("TWCA", 0.01, responder_hostnames=2),
+    # Long tail of small CAs, some with no OCSP at all — these produce
+    # the 4.6% of valid certificates without an OCSP URL.
+    CAShare("Other", 0.05, ocsp_rate=0.10, responder_hostnames=8),
+]
+
+
+def ca_share(name: str) -> CAShare:
+    """Look up one CA's share entry."""
+    for share in CA_SHARES_2018:
+        if share.name == name:
+            return share
+    raise KeyError(name)
+
+
+def normalized_shares() -> List[CAShare]:
+    """Shares rescaled to sum exactly to 1.0."""
+    total = sum(share.share for share in CA_SHARES_2018)
+    return [
+        CAShare(s.name, s.share / total, s.ocsp_rate, s.supports_crl,
+                s.responder_hostnames, s.offers_must_staple)
+        for s in CA_SHARES_2018
+    ]
+
+
+def expected_ocsp_fraction() -> float:
+    """The model's overall P(OCSP | valid) — should be near 0.954."""
+    shares = normalized_shares()
+    return sum(s.share * s.ocsp_rate for s in shares)
+
+
+def must_staple_weights() -> Dict[str, float]:
+    """P(CA | must-staple) from the paper's exact counts."""
+    total = sum(MUST_STAPLE_BY_CA.values())
+    return {name: count / total for name, count in MUST_STAPLE_BY_CA.items()}

@@ -1,0 +1,41 @@
+"""OCSP (RFC 6960) from scratch: requests, responses, verification.
+
+This package produces and consumes the actual DER bytes exchanged
+between the simulation's measurement clients, web servers, and CA
+responders, so every "malformed / serial mismatch / bad signature"
+classification in the reproduced figures is the verdict of a real
+parser and verifier.
+"""
+
+from .certid import CertID
+from .request import OCSPRequest
+from .response import (
+    BasicOCSPResponse,
+    CertStatus,
+    OCSPResponse,
+    ResponseStatus,
+    RevokedInfo,
+    SingleResponse,
+    encode_error_response,
+    encode_response,
+)
+from .verify import OCSPCheckResult, OCSPError, verify_response
+from .client import OCSPClient, OCSPLookupResult
+
+__all__ = [
+    "BasicOCSPResponse",
+    "CertID",
+    "CertStatus",
+    "OCSPCheckResult",
+    "OCSPClient",
+    "OCSPLookupResult",
+    "OCSPError",
+    "OCSPRequest",
+    "OCSPResponse",
+    "ResponseStatus",
+    "RevokedInfo",
+    "SingleResponse",
+    "encode_error_response",
+    "encode_response",
+    "verify_response",
+]

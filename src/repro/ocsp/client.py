@@ -1,0 +1,109 @@
+"""A high-level OCSP client: fetch + verify + cache in one call.
+
+Ties together the pieces a real relying party needs — request
+construction, GET/POST transport over the simulated network, response
+verification, optional nonce enforcement, and optional client-side
+caching — behind one method:
+
+    client = OCSPClient(network, vantage="Paris")
+    status = client.check(leaf, issuer, now)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simnet import FetchResult, Network, ocsp_get, ocsp_post
+from ..x509 import Certificate
+from .certid import CertID
+from .request import OCSPRequest
+from .response import CertStatus
+from .verify import OCSPCheckResult, OCSPError, verify_response
+
+#: RFC 6960 appendix A.1: GET is only for requests that URL-encode
+#: under 255 bytes.
+_GET_LIMIT = 255
+
+
+@dataclass
+class OCSPLookupResult:
+    """Everything one lookup produced."""
+
+    check: Optional[OCSPCheckResult]
+    fetch: Optional[FetchResult]
+    from_cache: bool = False
+
+    @property
+    def status(self) -> Optional[CertStatus]:
+        """The verified certificate status, when one was obtained."""
+        return self.check.cert_status if self.check is not None else None
+
+    @property
+    def ok(self) -> bool:
+        """True when a verified, in-window response was obtained."""
+        return self.check is not None and self.check.ok
+
+
+class OCSPClient:
+    """A relying-party OCSP client over the simulated network."""
+
+    def __init__(self, network: Network, vantage: str = "Virginia",
+                 use_get: bool = False, use_nonce: bool = False,
+                 cache=None, max_clock_skew: int = 0,
+                 nonce_source=None) -> None:
+        self.network = network
+        self.vantage = vantage
+        self.use_get = use_get
+        self.use_nonce = use_nonce
+        self.cache = cache  # a repro.browser.ClientOCSPCache, or None
+        self.max_clock_skew = max_clock_skew
+        self._nonce_source = nonce_source or _default_nonce_source()
+        self.requests_sent = 0
+
+    def check(self, certificate: Certificate, issuer: Certificate,
+              now: int, url: Optional[str] = None) -> OCSPLookupResult:
+        """Look up *certificate*'s revocation status."""
+        cert_id = CertID.for_certificate(certificate, issuer)
+
+        if self.cache is not None:
+            cached = self.cache.lookup(cert_id, now)
+            if cached is not None:
+                synthetic = OCSPCheckResult(ok=True, cert_status=cached.cert_status)
+                return OCSPLookupResult(check=synthetic, fetch=None, from_cache=True)
+
+        urls = [url] if url else certificate.ocsp_urls
+        if not urls:
+            return OCSPLookupResult(check=None, fetch=None)
+
+        nonce = self._nonce_source(cert_id) if self.use_nonce else None
+        request = OCSPRequest.for_single(cert_id, nonce=nonce)
+        request_der = request.encode()
+
+        if self.use_get and len(request_der) * 4 // 3 < _GET_LIMIT and nonce is None:
+            http_request = ocsp_get(urls[0], request_der)
+        else:
+            http_request = ocsp_post(urls[0] + ("" if urls[0].endswith("/") else "/"),
+                                     request_der)
+        self.requests_sent += 1
+        fetch = self.network.fetch(self.vantage, http_request, now)
+        if not fetch.ok:
+            return OCSPLookupResult(check=None, fetch=fetch)
+
+        check = verify_response(
+            fetch.response.body, cert_id, issuer, now,
+            max_clock_skew=self.max_clock_skew,
+            expected_nonce=nonce,
+        )
+        if check.ok and self.cache is not None:
+            self.cache.store(cert_id, check, now)
+        return OCSPLookupResult(check=check, fetch=fetch)
+
+
+def _default_nonce_source():
+    """Deterministic per-CertID nonces (the simulation avoids global RNG)."""
+    def source(cert_id: CertID) -> bytes:
+        material = cert_id.encode() + b"repro-nonce"
+        return hashlib.sha256(material).digest()[:16]
+    return source

@@ -1,0 +1,211 @@
+"""Client-side OCSP response verification.
+
+Implements the checks the paper's measurement client performs (Section
+5.3), producing exactly its error taxonomy:
+
+* **malformed** — the bytes do not parse as a DER OCSPResponse
+  ("Malformed structure ... does not follow the ASN.1 specification"),
+* **serial mismatch** — "the serial number of the certificate in the
+  OCSP response does not match the serial number that our client
+  requested",
+* **incorrect signature** — "the signature in the OCSP response is
+  unable to be verified using (1) certificates in the OCSP response or
+  (2) the issuer's certificate",
+
+plus the time-validity outcomes of Section 5.4 (premature thisUpdate,
+expired nextUpdate) and the delegated-signer path (OCSP Signature
+Authority Delegation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..asn1 import Reader
+from ..asn1.errors import ASN1Error
+from ..x509 import Certificate
+from ..asn1 import oid as _oid
+from .certid import CertID
+from .response import (
+    BasicOCSPResponse,
+    CertStatus,
+    OCSPResponse,
+    ResponseStatus,
+    SingleResponse,
+)
+
+
+class OCSPError(Enum):
+    """Why an OCSP response was unusable (paper Figure 5 + Section 5.4)."""
+
+    MALFORMED = "ASN.1 structure error"
+    ERROR_STATUS = "responder returned an error status"
+    SERIAL_MISMATCH = "serial number does not match request"
+    BAD_SIGNATURE = "signature validation failed"
+    NOT_YET_VALID = "thisUpdate is in the future"
+    EXPIRED = "nextUpdate has passed"
+    NONCE_MISMATCH = "nonce does not match request"
+
+
+@dataclass
+class OCSPCheckResult:
+    """The outcome of verifying one OCSP response for one certificate."""
+
+    ok: bool
+    error: Optional[OCSPError] = None
+    cert_status: Optional[CertStatus] = None
+    response: Optional[OCSPResponse] = None
+    single: Optional[SingleResponse] = None
+    response_status: Optional[ResponseStatus] = None
+    delegated: bool = False
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def revoked(self) -> bool:
+        """True when the verified status is REVOKED."""
+        return self.cert_status is CertStatus.REVOKED
+
+    @property
+    def good(self) -> bool:
+        """True when the verified status is GOOD."""
+        return self.cert_status is CertStatus.GOOD
+
+
+def verify_response(response_der: bytes, cert_id: CertID, issuer: Certificate,
+                    now: int, max_clock_skew: int = 0,
+                    lenient: bool = False,
+                    expected_nonce: Optional[bytes] = None) -> OCSPCheckResult:
+    """Fully verify raw OCSP response bytes against the request context.
+
+    *max_clock_skew* models how tolerant the client's clock comparison
+    is; the paper notes responders "whose 'close' validity time may
+    cause clients with slightly slow clocks to consider the response
+    invalid", which a skew of 0 makes observable.
+
+    *expected_nonce* enables RFC 6960 4.4.1 replay protection: when
+    set, the (signed) nonce echoed in the response must match, which
+    defeats the staple-replay attack analysed in
+    :mod:`repro.core.attacks` — note that *stapled* responses cannot
+    use nonces, which is exactly why their validity period bounds the
+    replay window.
+    """
+    try:
+        response = OCSPResponse.from_der(response_der, lenient=lenient)
+    except (ASN1Error, ValueError) as exc:
+        return OCSPCheckResult(ok=False, error=OCSPError.MALFORMED)
+
+    if not response.is_successful or response.basic is None:
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.ERROR_STATUS,
+            response=response,
+            response_status=response.response_status,
+        )
+
+    basic = response.basic
+    single = basic.find_single(cert_id.serial_number)
+    if single is None or not _certid_matches(single.cert_id, cert_id):
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.SERIAL_MISMATCH,
+            response=response,
+            response_status=response.response_status,
+        )
+
+    delegated = False
+    if basic.verify_signature(issuer.public_key):
+        pass
+    else:
+        delegate = _find_delegate(basic, issuer)
+        if delegate is not None and basic.verify_signature(delegate.public_key):
+            delegated = True
+        else:
+            return OCSPCheckResult(
+                ok=False,
+                error=OCSPError.BAD_SIGNATURE,
+                response=response,
+                single=single,
+                response_status=response.response_status,
+            )
+
+    if expected_nonce is not None and basic.nonce != expected_nonce:
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.NONCE_MISMATCH,
+            response=response,
+            single=single,
+            response_status=response.response_status,
+            delegated=delegated,
+        )
+
+    if single.this_update > now + max_clock_skew:
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.NOT_YET_VALID,
+            response=response,
+            single=single,
+            response_status=response.response_status,
+            delegated=delegated,
+        )
+    if single.next_update is not None and single.next_update < now - max_clock_skew:
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.EXPIRED,
+            response=response,
+            single=single,
+            response_status=response.response_status,
+            delegated=delegated,
+        )
+
+    return OCSPCheckResult(
+        ok=True,
+        cert_status=single.cert_status,
+        response=response,
+        single=single,
+        response_status=response.response_status,
+        delegated=delegated,
+    )
+
+
+def _certid_matches(answered: CertID, requested: CertID) -> bool:
+    """Serial must match; hashes must match when the algorithms agree."""
+    if answered.serial_number != requested.serial_number:
+        return False
+    if answered.hash_name == requested.hash_name:
+        return (
+            answered.issuer_name_hash == requested.issuer_name_hash
+            and answered.issuer_key_hash == requested.issuer_key_hash
+        )
+    return True
+
+
+def _find_delegate(basic: BasicOCSPResponse, issuer: Certificate) -> Optional[Certificate]:
+    """Find a valid delegated OCSP signing certificate in the response.
+
+    The delegate must be signed by the same issuer as the certificate in
+    question and carry the OCSPSigning EKU (RFC 6960 section 4.2.2.2).
+    """
+    for candidate in basic.certificates:
+        if candidate.issuer != issuer.subject:
+            continue
+        if _oid.EKU_OCSP_SIGNING not in candidate.extensions.extended_key_usages:
+            continue
+        if not candidate.verify_signature(issuer.public_key):
+            continue
+        if basic.responder_key_hash is not None:
+            key_bits = _public_key_bits(candidate)
+            if hashlib.sha1(key_bits).digest() != basic.responder_key_hash:
+                continue
+        return candidate
+    return None
+
+
+def _public_key_bits(certificate: Certificate) -> bytes:
+    spki = Reader(certificate.spki_der).read_sequence()
+    spki.read_sequence()
+    return spki.read_bit_string()

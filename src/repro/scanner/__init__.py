@@ -1,0 +1,59 @@
+"""Measurement clients: the active scanning side of the reproduction.
+
+* :mod:`~repro.scanner.hourly` — the Hourly dataset scanner (Figs 3-9),
+* :mod:`~repro.scanner.alexa_scan` — Alexa1M availability/impact (Fig 4),
+* :mod:`~repro.scanner.consistency` — CRL↔OCSP cross-check (Table 1, Fig 10),
+* :mod:`~repro.scanner.cdn` — the Akamai-style CDN perspective,
+* :mod:`~repro.scanner.tls_scan` — stapling detection handshakes (§7.1).
+"""
+
+from .results import ProbeOutcome, ProbeRecord, classify_probe
+from .hourly import HourlyScanner, ScanDataset
+from .alexa_scan import (
+    Alexa1MSummary,
+    AlexaAssignment,
+    AlexaAvailability,
+    alexa1m_scan,
+)
+from .consistency import (
+    ConsistencyConfig,
+    ConsistencyReport,
+    ConsistencyWorld,
+    DiscrepancyRow,
+    ReasonComparison,
+    TABLE1_ROWS,
+    TimeDelta,
+    run_consistency_scan,
+)
+from .cdn import CDNCache, OriginFetchLog
+from .tls_scan import HandshakeObservation, scan_servers, stapling_rate
+from .selftest import Finding, Grade, SelfTestReport, self_test_responder
+
+__all__ = [
+    "Alexa1MSummary",
+    "AlexaAssignment",
+    "AlexaAvailability",
+    "CDNCache",
+    "ConsistencyConfig",
+    "ConsistencyReport",
+    "ConsistencyWorld",
+    "DiscrepancyRow",
+    "HandshakeObservation",
+    "HourlyScanner",
+    "OriginFetchLog",
+    "ProbeOutcome",
+    "ProbeRecord",
+    "ReasonComparison",
+    "ScanDataset",
+    "SelfTestReport",
+    "Grade",
+    "Finding",
+    "self_test_responder",
+    "TABLE1_ROWS",
+    "TimeDelta",
+    "alexa1m_scan",
+    "classify_probe",
+    "run_consistency_scan",
+    "scan_servers",
+    "stapling_rate",
+]

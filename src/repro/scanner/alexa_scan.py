@@ -1,0 +1,165 @@
+"""Alexa-driven availability scans (paper Section 5.1 Alexa1M dataset,
+Section 5.2 "Impact of Outages" / Figure 4).
+
+The paper's Alexa1M dataset maps 606,367 OCSP-supporting Alexa Top-1M
+domains onto 128 responders, then asks: when a responder is
+unreachable from a vantage point, how many popular domains just lost
+their revocation path?  Here, Alexa domains are assigned to the
+measurement world's responder families using the per-family shares
+observed in the paper (Comodo's outage hit ~163K of 606K domains, the
+Digicert/Seoul event ~77K, the São Paulo-persistent set 318).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.alexa import AlexaModel
+from ..datasets.marketshare import ALEXA_OCSP_CERTIFICATES
+from ..datasets.world import MeasurementWorld, ResponderSite, default_event_groups
+from ..simnet import ocsp_post
+from ..simnet.vantage import VANTAGE_POINTS
+
+
+@dataclass
+class AlexaAssignment:
+    """Scaled count of Alexa OCSP domains behind each responder site."""
+
+    site: ResponderSite
+    domain_count: float  # at full Alexa scale (sums to ~606,367)
+
+
+class AlexaAvailability:
+    """Computes Figure 4: popular domains unable to fetch OCSP."""
+
+    def __init__(self, world: MeasurementWorld, seed: int = 11,
+                 total_domains: int = ALEXA_OCSP_CERTIFICATES) -> None:
+        self.world = world
+        self.total_domains = total_domains
+        self.assignments = self._assign(seed)
+
+    def _assign(self, seed: int) -> List[AlexaAssignment]:
+        rng = random.Random(seed)
+        shares = {g.name: g.alexa_share for g in default_event_groups()}
+        by_family: Dict[str, List[ResponderSite]] = {}
+        for site in self.world.sites:
+            by_family.setdefault(site.family, []).append(site)
+
+        assignments: List[AlexaAssignment] = []
+        assigned_share = 0.0
+        for family, sites in by_family.items():
+            share = shares.get(family, 0.0)
+            if family == "generic" or share <= 0:
+                continue
+            assigned_share += share
+            per_site = share * self.total_domains / len(sites)
+            for site in sites:
+                assignments.append(AlexaAssignment(site, per_site))
+
+        generic_sites = by_family.get("generic", [])
+        if generic_sites:
+            remaining = max(0.0, 1.0 - assigned_share) * self.total_domains
+            # Popularity is skewed: draw uneven weights for generic
+            # sites.  Persistently-faulty responders carry almost no
+            # popular domains — the paper's whole São Paulo-persistent
+            # set covers only ~318 of 606K domains.
+            weights = []
+            for site in generic_sites:
+                if "persistent-fault" in site.tags:
+                    weights.append(0.001)
+                else:
+                    # Cap so no single generic responder carries an
+                    # outsized share (keeps one noisy hour from moving
+                    # the whole Figure-4 series).
+                    weights.append(min(5.0, rng.paretovariate(1.2)))
+            total_weight = sum(weights)
+            for site, weight in zip(generic_sites, weights):
+                assignments.append(AlexaAssignment(site, remaining * weight / total_weight))
+        return assignments
+
+    # -- probing --------------------------------------------------------------------
+
+    def site_reachable(self, site: ResponderSite, vantage: str, now: int) -> bool:
+        """One lightweight reachability probe (request for the first cert)."""
+        if not site.certificates:
+            return True
+        from ..ocsp import OCSPRequest
+        request_der = OCSPRequest.for_single(site.cert_ids[0]).encode()
+        fetch = self.world.network.fetch(
+            vantage, ocsp_post(site.url + "/", request_der), now
+        )
+        return fetch.ok
+
+    def domains_unable(self, vantage: str, now: int) -> float:
+        """Scaled count of Alexa domains whose responder fails from
+        *vantage* at *now*."""
+        unable = 0.0
+        for assignment in self.assignments:
+            if not self.site_reachable(assignment.site, vantage, now):
+                unable += assignment.domain_count
+        return unable
+
+    def persistent_floor(self, vantage: str, times: Sequence[int]) -> float:
+        """Domains unable at *every* sampled time from *vantage*.
+
+        Separates the paper's persistent set ("the client in São Paulo
+        is always unable to fetch the OCSP responses of 318 (0.05%)
+        domains' certificates") from transient noise: a domain counts
+        only when its responder fails at all sampled times.
+        """
+        persistent: Optional[set] = None
+        for now in times:
+            failing = {
+                id(assignment) for assignment in self.assignments
+                if not self.site_reachable(assignment.site, vantage, now)
+            }
+            persistent = failing if persistent is None else persistent & failing
+        if not persistent:
+            return 0.0
+        return sum(a.domain_count for a in self.assignments
+                   if id(a) in persistent)
+
+    def series(self, times: Sequence[int],
+               vantages: Optional[Sequence[str]] = None,
+               ) -> Dict[str, List[Tuple[int, float]]]:
+        """The Figure-4 time series per vantage."""
+        vantages = list(vantages or VANTAGE_POINTS)
+        return {
+            vantage: [(now, self.domains_unable(vantage, now)) for now in times]
+            for vantage in vantages
+        }
+
+
+@dataclass
+class Alexa1MSummary:
+    """The one-shot Alexa1M scan result (May 1, 2018)."""
+
+    vantage: str
+    timestamp: int
+    responders_probed: int
+    responders_failing: int
+    domains_unable: float
+
+
+def alexa1m_scan(availability: AlexaAvailability, now: int,
+                 vantages: Optional[Sequence[str]] = None) -> List[Alexa1MSummary]:
+    """Run the one-shot scan from each vantage."""
+    vantages = list(vantages or VANTAGE_POINTS)
+    summaries = []
+    for vantage in vantages:
+        failing = 0
+        unable = 0.0
+        for assignment in availability.assignments:
+            if not availability.site_reachable(assignment.site, vantage, now):
+                failing += 1
+                unable += assignment.domain_count
+        summaries.append(Alexa1MSummary(
+            vantage=vantage,
+            timestamp=now,
+            responders_probed=len(availability.assignments),
+            responders_failing=failing,
+            domains_unable=unable,
+        ))
+    return summaries

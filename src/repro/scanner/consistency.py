@@ -1,0 +1,335 @@
+"""CRL ↔ OCSP consistency measurement (paper Section 5.4, Table 1 and
+Figure 10).
+
+The paper downloaded 1,568 CRLs from Alexa-domain certificates,
+extracted 2,041,345 revoked serials, kept the 728,261 that were
+unexpired and cross-referenced in the Censys corpus, and issued OCSP
+requests for each — finding seven responders whose OCSP status
+contradicted their CA's CRL, and 863 responses (0.15%) whose
+*revocation time* differed between the two channels.
+
+This module builds a scaled "consistency world" with those seven
+misbehaving responders plus a consistent bulk, then replays the
+cross-check through real CRL downloads and real OCSP requests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from ..crypto import KeyPool
+from ..ocsp import CertID, CertStatus, OCSPRequest, verify_response
+from ..simnet import DAY, HOUR, Network, HTTPRequest, ocsp_post
+from ..simnet.clock import ALEXA_SCAN_DATE
+from ..x509 import CertificateList, Name, REASON_KEY_COMPROMISE, REASON_SUPERSEDED, self_signed
+from ..ca.responder import CRLService
+
+#: Paper Table 1 — (OCSP URL, CRL host, #Unknown, #Good, #Revoked).
+TABLE1_ROWS = [
+    ("ocsp.camerfirma.com", "crl1.camerfirma.com", 0, 7, 369),
+    ("ocsp.quovadisglobal.com", "crl.quovadisglobal.com", 0, 1, 514),
+    ("ocsp.startssl.com", "crl.startssl.com", 0, 1, 980),
+    ("ss.symcd.com", "ss.symcb.com", 0, 1, 28_023),
+    ("twcasslocsp.twca.com.tw", "sslserver.twca.com.tw", 0, 1, 122),
+    ("ocsp2.globalsign.com/gsalphasha2g2", "crl2.alphassl.com", 5_375, 0, 0),
+    ("ocsp.firmaprofesional.com", "crl.firmaprofesional.com", 11, 0, 0),
+]
+
+#: Paper totals for the cross-check.
+PAPER_REVOKED_CHECKED = 728_261
+PAPER_TIME_DIFFERING = 863          # 0.15% of responses
+PAPER_TIME_NEGATIVE = 127           # 14.7% of the differing ones
+MSOCSP_MIN_LAG = 7 * HOUR           # msocsp lag lower bound
+MSOCSP_MAX_LAG = 9 * DAY            # and upper bound
+MAX_TAIL_OFFSET = 137_000_000       # "over 4 years!"
+
+
+@dataclass
+class ConsistencyConfig:
+    """Scale and seed for the consistency world."""
+
+    #: Divisor applied to the paper's certificate counts.
+    scale: int = 40
+    seed: int = 17
+    now: int = ALEXA_SCAN_DATE
+    #: Number of fully consistent bulk CAs.
+    consistent_cas: int = 12
+    #: Fraction of revocations carrying a CRL reason code (~15%,
+    #: "the vast majority of the revocations actually include no
+    #: reason code").
+    reason_fraction: float = 0.15
+
+    def scaled(self, count: int) -> int:
+        """Scale a paper count down (minimum 1 when nonzero)."""
+        if count == 0:
+            return 0
+        return max(1, round(count / self.scale))
+
+
+@dataclass
+class ConsistencySite:
+    """One CA in the consistency world."""
+
+    name: str
+    ocsp_url: str
+    crl_url: str
+    authority: CertificateAuthority
+    responder: OCSPResponder
+    crl_service: CRLService
+    #: Serials revoked on the CRL, with per-serial expected OCSP truth.
+    revoked_serials: List[int] = field(default_factory=list)
+    #: serial -> certificate notAfter (for the expiry filter).
+    expiry: Dict[int, int] = field(default_factory=dict)
+
+
+class ConsistencyWorld:
+    """The scaled population of CAs for the Table-1 / Figure-10 study."""
+
+    def __init__(self, config: Optional[ConsistencyConfig] = None) -> None:
+        self.config = config or ConsistencyConfig()
+        self.rng = random.Random(self.config.seed)
+        self.network = Network()
+        self.sites: List[ConsistencySite] = []
+        self._key_pool = KeyPool(size=8, bits=512, seed=self.config.seed)
+        self._serial_cursor = 1000
+        self._build()
+
+    def _make_site(self, name: str, ocsp_url: str, crl_url: str,
+                   profile: Optional[ResponderProfile] = None) -> ConsistencySite:
+        now = self.config.now
+        key = self._key_pool.take()
+        certificate = self_signed(
+            Name.build(f"{name} CA", organization=name), key, serial=1,
+            not_before=now - 5 * 365 * DAY, not_after=now + 10 * 365 * DAY,
+        )
+        authority = CertificateAuthority(name, key, certificate,
+                                         ocsp_url=f"http://{ocsp_url}",
+                                         crl_url=f"http://{crl_url}/ca.crl")
+        responder = OCSPResponder(
+            authority, authority.ocsp_url,
+            profile or ResponderProfile(update_interval=None, this_update_margin=HOUR),
+            epoch_start=now - 30 * DAY,
+        )
+        crl_service = CRLService(authority, authority.crl_url, epoch_start=now - DAY)
+        ocsp_host = ocsp_url.split("/")[0]
+        crl_host = crl_url.split("/")[0]
+        origin = self.network.add_origin(f"{name}-ocsp", "us-east", responder.handle)
+        self.network.bind(ocsp_host, origin)
+        crl_origin = self.network.add_origin(f"{name}-crl", "us-east", crl_service.handle)
+        self.network.bind(crl_host, crl_origin)
+        site = ConsistencySite(name, authority.ocsp_url, authority.crl_url,
+                               authority, responder, crl_service)
+        self.sites.append(site)
+        return site
+
+    def _revoke_population(self, site: ConsistencySite, count: int, *,
+                           drop_from_ocsp: int = 0,
+                           time_offsets: Optional[List[int]] = None) -> None:
+        """Revoke *count* serials on a site; the first *drop_from_ocsp*
+        never reach the OCSP database (→ OCSP says Good)."""
+        now = self.config.now
+        rng = self.rng
+        for i in range(count):
+            serial = self._serial_cursor
+            self._serial_cursor += 1
+            revoked_at = now - rng.randint(1, 300) * DAY
+            reason = None
+            if rng.random() < self.config.reason_fraction:
+                reason = rng.choice([REASON_KEY_COMPROMISE, REASON_SUPERSEDED])
+            offset = time_offsets[i] if time_offsets else 0
+            site.authority.registry.revoke(
+                serial, revoked_at, reason,
+                ocsp_visible=(i >= drop_from_ocsp),
+                ocsp_time_offset=offset,
+            )
+            site.revoked_serials.append(serial)
+            # All checked certificates are unexpired, per the paper's filter.
+            site.expiry[serial] = now + rng.randint(30, 700) * DAY
+
+    def _build(self) -> None:
+        config = self.config
+        rng = self.rng
+
+        # The seven Table-1 responders.
+        for ocsp_url, crl_url, unknown, good, revoked in TABLE1_ROWS:
+            name = ocsp_url.split(".")[1] if ocsp_url.startswith("ocsp") else ocsp_url.split(".")[0]
+            if unknown > 0:
+                profile = ResponderProfile(update_interval=None,
+                                           this_update_margin=HOUR,
+                                           unknown_for_all=True)
+                site = self._make_site(name, ocsp_url, crl_url, profile)
+                self._revoke_population(site, config.scaled(unknown))
+            else:
+                site = self._make_site(name, ocsp_url, crl_url)
+                self._revoke_population(
+                    site, config.scaled(good) + config.scaled(revoked),
+                    drop_from_ocsp=config.scaled(good),
+                )
+
+        # msocsp: every revocation time lags the CRL by 7h - 9d.
+        msocsp_count = config.scaled(700)
+        lags = [rng.randint(MSOCSP_MIN_LAG, MSOCSP_MAX_LAG) for _ in range(msocsp_count)]
+        site = self._make_site("msocsp", "ocsp.msocsp.com", "crl.microsoft.com")
+        self._revoke_population(site, msocsp_count, time_offsets=lags)
+
+        # One responder with OCSP revocation times *earlier* than the
+        # CRL (the 14.7% negative tail, x from -43,200 s).
+        negative_count = config.scaled(PAPER_TIME_NEGATIVE)
+        offsets = [-rng.randint(60, 43_200) for _ in range(negative_count)]
+        site = self._make_site("earlybird", "ocsp.earlybird.test", "crl.earlybird.test")
+        self._revoke_population(site, negative_count, time_offsets=offsets)
+
+        # A couple of extreme positive offsets ("over 4 years!").
+        site = self._make_site("longtail", "ocsp.longtail.test", "crl.longtail.test")
+        self._revoke_population(site, 2, time_offsets=[110_000_000, MAX_TAIL_OFFSET])
+
+        # The consistent bulk.
+        bulk_total = config.scaled(PAPER_REVOKED_CHECKED) - self._total_revoked()
+        per_ca = max(1, bulk_total // config.consistent_cas)
+        for i in range(config.consistent_cas):
+            site = self._make_site(f"bulk{i}", f"ocsp.bulk{i}.test", f"crl.bulk{i}.test")
+            self._revoke_population(site, per_ca)
+
+    def _total_revoked(self) -> int:
+        return sum(len(site.revoked_serials) for site in self.sites)
+
+
+# -- the scan ------------------------------------------------------------------------
+
+
+@dataclass
+class DiscrepancyRow:
+    """One Table-1 row: counts of OCSP answers for CRL-revoked serials."""
+
+    ocsp_url: str
+    crl_url: str
+    unknown: int = 0
+    good: int = 0
+    revoked: int = 0
+
+    @property
+    def has_discrepancy(self) -> bool:
+        """True when any CRL-revoked serial was not Revoked per OCSP."""
+        return self.unknown > 0 or self.good > 0
+
+
+@dataclass
+class TimeDelta:
+    """One (serial, OCSP time - CRL time) pair for Figure 10."""
+
+    ocsp_url: str
+    serial_number: int
+    delta: int
+
+
+@dataclass
+class ReasonComparison:
+    """Reason-code agreement counters (Section 5.4, last paragraph)."""
+
+    total: int = 0
+    differing: int = 0
+    crl_only: int = 0  # CRL has a reason, OCSP does not (the 99.99%)
+
+    @property
+    def differing_fraction(self) -> float:
+        return self.differing / self.total if self.total else 0.0
+
+
+@dataclass
+class ConsistencyReport:
+    """Everything the consistency scan produces."""
+
+    rows: List[DiscrepancyRow]
+    time_deltas: List[TimeDelta]
+    reasons: ReasonComparison
+    responses_collected: int
+    serials_checked: int
+
+    def discrepant_rows(self) -> List[DiscrepancyRow]:
+        """Rows with status discrepancies (Table 1's content)."""
+        return [row for row in self.rows if row.has_discrepancy]
+
+    def differing_time_fraction(self) -> float:
+        """Fraction of responses whose revocation time differs."""
+        nonzero = sum(1 for delta in self.time_deltas if delta.delta != 0)
+        return nonzero / self.responses_collected if self.responses_collected else 0.0
+
+
+def run_consistency_scan(world: ConsistencyWorld,
+                         vantage: str = "Virginia") -> ConsistencyReport:
+    """Replay the paper's CRL↔OCSP cross-check over the world."""
+    now = world.config.now
+    rows: List[DiscrepancyRow] = []
+    deltas: List[TimeDelta] = []
+    reasons = ReasonComparison()
+    collected = 0
+    checked = 0
+
+    for site in world.sites:
+        # 1. Download and parse the CRL.
+        crl_fetch = world.network.fetch(
+            vantage, HTTPRequest("GET", site.crl_url), now
+        )
+        if not crl_fetch.ok:
+            continue
+        crl = CertificateList.from_der(crl_fetch.response.body)
+        if not crl.verify_signature(site.authority.key.public_key):
+            continue
+
+        row = DiscrepancyRow(ocsp_url=site.ocsp_url, crl_url=site.crl_url)
+        for entry in crl.revoked:
+            # 2. Expiry filter: "disregard any certificates that appear
+            # in the CRLs but have already expired".
+            expiry = site.expiry.get(entry.serial_number)
+            if expiry is None or expiry < now:
+                continue
+            checked += 1
+            # 3. OCSP request for the serial.
+            cert_id = CertID(
+                hash_name="sha1",
+                issuer_name_hash=site.authority.certificate.subject.hash_sha1(),
+                issuer_key_hash=site.authority.certificate.key_hash_sha1(),
+                serial_number=entry.serial_number,
+            )
+            request = OCSPRequest.for_single(cert_id)
+            fetch = world.network.fetch(
+                vantage, ocsp_post(site.ocsp_url + "/", request.encode()), now
+            )
+            if not fetch.ok:
+                continue
+            check = verify_response(fetch.response.body, cert_id,
+                                    site.authority.certificate, now)
+            if not check.ok:
+                continue
+            collected += 1
+            if check.cert_status is CertStatus.GOOD:
+                row.good += 1
+            elif check.cert_status is CertStatus.UNKNOWN:
+                row.unknown += 1
+            else:
+                row.revoked += 1
+                info = check.single.revoked_info
+                deltas.append(TimeDelta(
+                    ocsp_url=site.ocsp_url,
+                    serial_number=entry.serial_number,
+                    delta=info.revocation_time - entry.revocation_date,
+                ))
+                reasons.total += 1
+                crl_reason = entry.reason
+                ocsp_reason = info.reason
+                if crl_reason != ocsp_reason:
+                    reasons.differing += 1
+                    if crl_reason is not None and ocsp_reason is None:
+                        reasons.crl_only += 1
+        rows.append(row)
+
+    return ConsistencyReport(
+        rows=rows,
+        time_deltas=deltas,
+        reasons=reasons,
+        responses_collected=collected,
+        serials_checked=checked,
+    )

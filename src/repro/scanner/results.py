@@ -1,0 +1,139 @@
+"""Probe result records and their classification.
+
+A :class:`ProbeRecord` captures one OCSP lookup from one vantage point
+at one time — the unit of the paper's Hourly dataset — carrying both
+the transport outcome and the parsed/verified response metadata that
+Figures 3-9 aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..ocsp import CertStatus, OCSPCheckResult, OCSPError
+from ..simnet import FailureKind, FetchResult
+
+
+class ProbeOutcome(Enum):
+    """Top-level classification of one probe."""
+
+    OK = "usable response"
+    DNS_FAILURE = "DNS failure"
+    TCP_FAILURE = "TCP failure"
+    TLS_FAILURE = "invalid HTTPS certificate"
+    HTTP_ERROR = "HTTP non-200"
+    MALFORMED = "malformed response"
+    ERROR_STATUS = "OCSP error status"
+    SERIAL_MISMATCH = "serial mismatch"
+    BAD_SIGNATURE = "bad signature"
+    NOT_YET_VALID = "thisUpdate in the future"
+    EXPIRED = "nextUpdate passed"
+
+
+_FAILURE_TO_OUTCOME = {
+    FailureKind.DNS: ProbeOutcome.DNS_FAILURE,
+    FailureKind.TCP: ProbeOutcome.TCP_FAILURE,
+    FailureKind.TLS: ProbeOutcome.TLS_FAILURE,
+    FailureKind.HTTP: ProbeOutcome.HTTP_ERROR,
+}
+
+_OCSP_ERROR_TO_OUTCOME = {
+    OCSPError.MALFORMED: ProbeOutcome.MALFORMED,
+    OCSPError.ERROR_STATUS: ProbeOutcome.ERROR_STATUS,
+    OCSPError.SERIAL_MISMATCH: ProbeOutcome.SERIAL_MISMATCH,
+    OCSPError.BAD_SIGNATURE: ProbeOutcome.BAD_SIGNATURE,
+    OCSPError.NOT_YET_VALID: ProbeOutcome.NOT_YET_VALID,
+    OCSPError.EXPIRED: ProbeOutcome.EXPIRED,
+    OCSPError.NONCE_MISMATCH: ProbeOutcome.MALFORMED,
+}
+
+
+@dataclass
+class ProbeRecord:
+    """One OCSP probe: transport result + response quality metadata."""
+
+    vantage: str
+    responder_url: str
+    family: str
+    serial_number: int
+    timestamp: int
+    outcome: ProbeOutcome
+    elapsed_ms: float = 0.0
+    http_status: Optional[int] = None
+    # Response metadata (None unless the response parsed).
+    cert_status: Optional[CertStatus] = None
+    this_update: Optional[int] = None
+    next_update: Optional[int] = None
+    produced_at: Optional[int] = None
+    num_certificates: Optional[int] = None
+    num_serials: Optional[int] = None
+    #: Encoded response size in bytes (the superfluous-certificate
+    #: bloat of Figure 6's discussion shows up here).
+    response_size: Optional[int] = None
+
+    @property
+    def transport_ok(self) -> bool:
+        """The paper's Figure-3 success criterion: HTTP 200 came back."""
+        return self.outcome not in (
+            ProbeOutcome.DNS_FAILURE,
+            ProbeOutcome.TCP_FAILURE,
+            ProbeOutcome.TLS_FAILURE,
+            ProbeOutcome.HTTP_ERROR,
+        )
+
+    @property
+    def usable(self) -> bool:
+        """Fully verified, in-window response (Figure-5 complement)."""
+        return self.outcome is ProbeOutcome.OK
+
+    @property
+    def validity_period(self) -> Optional[int]:
+        """nextUpdate - thisUpdate; None when either is missing/blank."""
+        if self.this_update is None or self.next_update is None:
+            return None
+        return self.next_update - self.this_update
+
+    @property
+    def this_update_margin(self) -> Optional[int]:
+        """Seconds between thisUpdate and receipt (Figure 9's x axis)."""
+        if self.this_update is None:
+            return None
+        return self.timestamp - self.this_update
+
+
+def classify_probe(vantage: str, responder_url: str, family: str,
+                   serial_number: int, timestamp: int, fetch: FetchResult,
+                   check: Optional[OCSPCheckResult]) -> ProbeRecord:
+    """Build a ProbeRecord from a fetch and (optional) verification."""
+    record = ProbeRecord(
+        vantage=vantage,
+        responder_url=responder_url,
+        family=family,
+        serial_number=serial_number,
+        timestamp=timestamp,
+        outcome=ProbeOutcome.OK,
+        elapsed_ms=fetch.elapsed_ms,
+        http_status=fetch.status_code,
+    )
+    if fetch.failure is not None:
+        record.outcome = _FAILURE_TO_OUTCOME[fetch.failure]
+        return record
+    if fetch.response is not None:
+        record.response_size = len(fetch.response.body)
+    if check is None:
+        record.outcome = ProbeOutcome.MALFORMED
+        return record
+    if check.error is not None:
+        record.outcome = _OCSP_ERROR_TO_OUTCOME[check.error]
+    record.cert_status = check.cert_status
+    if check.response is not None and check.response.basic is not None:
+        basic = check.response.basic
+        record.produced_at = basic.produced_at
+        record.num_certificates = len(basic.certificates)
+        record.num_serials = len(basic.single_responses)
+    if check.single is not None:
+        record.this_update = check.single.this_update
+        record.next_update = check.single.next_update
+    return record

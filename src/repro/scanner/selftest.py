@@ -1,0 +1,230 @@
+"""The responder self-test harness — the paper's recommendation #1.
+
+"First, OCSP responders ought to test the validity of their responses.
+Test harnesses like ours can help towards this end (we will be making
+our code and data publicly available)."  (Section 8.)
+
+:func:`self_test_responder` drives one responder through every check
+the measurement campaign applied — reachability from all vantage
+points, structural validity, signature, serial matching, thisUpdate
+margin, nextUpdate policy, response stuffing, nonce echo, GET support,
+and freshness — and grades each, so a CA can catch the Figure 5-9
+pathologies before clients do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..asn1.errors import ASN1Error
+from ..ocsp import (
+    CertID,
+    OCSPError,
+    OCSPRequest,
+    OCSPResponse,
+    verify_response,
+)
+from ..simnet import DAY, HOUR, Network, ocsp_get, ocsp_post
+from ..simnet.vantage import VANTAGE_POINTS
+from ..x509 import Certificate
+
+
+class Grade(Enum):
+    """Severity of a self-test finding."""
+
+    PASS = "pass"
+    WARN = "warn"
+    FAIL = "fail"
+
+
+@dataclass
+class Finding:
+    """One check's outcome."""
+
+    check: str
+    grade: Grade
+    detail: str = ""
+
+
+@dataclass
+class SelfTestReport:
+    """The full report card."""
+
+    responder_url: str
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, check: str, grade: Grade, detail: str = "") -> None:
+        """Record one finding."""
+        self.findings.append(Finding(check, grade, detail))
+
+    @property
+    def failures(self) -> List[Finding]:
+        """Hard failures."""
+        return [f for f in self.findings if f.grade is Grade.FAIL]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Soft findings."""
+        return [f for f in self.findings if f.grade is Grade.WARN]
+
+    @property
+    def healthy(self) -> bool:
+        """No hard failures."""
+        return not self.failures
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"self-test report for {self.responder_url}"]
+        for finding in self.findings:
+            lines.append(f"  [{finding.grade.value:4s}] {finding.check}"
+                         + (f": {finding.detail}" if finding.detail else ""))
+        verdict = "HEALTHY" if self.healthy else "NEEDS ATTENTION"
+        lines.append(f"verdict: {verdict} "
+                     f"({len(self.failures)} failures, {len(self.warnings)} warnings)")
+        return "\n".join(lines)
+
+
+#: Margin below which clients with slow clocks will reject (Figure 9).
+MIN_SAFE_MARGIN = 5 * 60
+#: Validity above which cached responses become dangerous (Figure 8).
+MAX_SAFE_VALIDITY = 30 * DAY
+
+
+def self_test_responder(network: Network, url: str, certificate: Certificate,
+                        issuer: Certificate, now: int,
+                        vantages: Optional[Sequence[str]] = None,
+                        ) -> SelfTestReport:
+    """Run the full check battery against one responder."""
+    report = SelfTestReport(responder_url=url)
+    vantages = list(vantages or VANTAGE_POINTS)
+    cert_id = CertID.for_certificate(certificate, issuer)
+    request_der = OCSPRequest.for_single(cert_id).encode()
+
+    # 1. Reachability from every vantage point.
+    unreachable = []
+    primary_body = None
+    for vantage in vantages:
+        fetch = network.fetch(vantage, ocsp_post(url + "/", request_der), now)
+        if not fetch.ok:
+            unreachable.append(f"{vantage} ({fetch.failure.name if fetch.failure else fetch.status_code})")
+        elif primary_body is None:
+            primary_body = fetch.response.body
+    if unreachable:
+        grade = Grade.FAIL if len(unreachable) == len(vantages) else Grade.WARN
+        report.add("global reachability", grade,
+                   "unreachable from " + ", ".join(unreachable))
+    else:
+        report.add("global reachability", Grade.PASS,
+                   f"reachable from all {len(vantages)} vantage points")
+    if primary_body is None:
+        report.add("response obtained", Grade.FAIL, "no vantage got HTTP 200")
+        return report
+
+    # 2. Structural validity / signature / serial.
+    check = verify_response(primary_body, cert_id, issuer, now)
+    if check.error is OCSPError.MALFORMED:
+        report.add("ASN.1 structure", Grade.FAIL,
+                   f"unparseable body ({primary_body[:16]!r}...)")
+        return report
+    report.add("ASN.1 structure", Grade.PASS)
+    if check.error is OCSPError.SERIAL_MISMATCH:
+        report.add("serial number match", Grade.FAIL,
+                   "answered a different serial than requested")
+        return report
+    report.add("serial number match", Grade.PASS)
+    if check.error is OCSPError.BAD_SIGNATURE:
+        report.add("signature", Grade.FAIL, "signature does not verify")
+        return report
+    report.add("signature", Grade.PASS,
+               "delegated signer" if check.delegated else "signed by issuing CA")
+
+    single = check.single
+    # 3. thisUpdate margin (Figure 9).
+    margin = now - single.this_update
+    if margin < 0:
+        report.add("thisUpdate margin", Grade.FAIL,
+                   f"thisUpdate {-margin} s in the future — clients will reject")
+    elif margin < MIN_SAFE_MARGIN:
+        report.add("thisUpdate margin", Grade.WARN,
+                   f"only {margin} s of margin; slow clients will reject")
+    else:
+        report.add("thisUpdate margin", Grade.PASS, f"{margin} s")
+
+    # 4. nextUpdate policy (Figure 8).
+    if single.next_update is None:
+        report.add("nextUpdate", Grade.WARN,
+                   "blank — discourages caching and never expires")
+    else:
+        validity = single.next_update - single.this_update
+        if single.next_update < now:
+            report.add("nextUpdate", Grade.FAIL, "already expired on arrival")
+        elif validity > MAX_SAFE_VALIDITY:
+            report.add("nextUpdate", Grade.WARN,
+                       f"validity {validity // DAY} days — a revoked cert "
+                       f"could be cached that long")
+        else:
+            report.add("nextUpdate", Grade.PASS,
+                       f"validity {validity // 3600} h")
+
+    # 5. Response stuffing (Figures 6 & 7).
+    parsed = OCSPResponse.from_der(primary_body)
+    serial_count = len(parsed.basic.single_responses)
+    if serial_count > 1:
+        report.add("unsolicited serials", Grade.WARN,
+                   f"{serial_count} serials for a 1-serial request")
+    else:
+        report.add("unsolicited serials", Grade.PASS)
+    cert_count = len(parsed.basic.certificates)
+    if cert_count > 1:
+        report.add("embedded certificates", Grade.WARN,
+                   f"{cert_count} certificates inflate every response "
+                   f"({len(primary_body)} bytes)")
+    else:
+        report.add("embedded certificates", Grade.PASS,
+                   f"{len(primary_body)} bytes")
+
+    # 6. Nonce echo (replay protection for direct clients).
+    nonce = b"\x5a" * 16
+    nonce_request = OCSPRequest.for_single(cert_id, nonce=nonce).encode()
+    fetch = network.fetch(vantages[0], ocsp_post(url + "/", nonce_request), now)
+    if fetch.ok:
+        nonce_check = verify_response(fetch.response.body, cert_id, issuer, now,
+                                      expected_nonce=nonce)
+        if nonce_check.error is OCSPError.NONCE_MISMATCH:
+            report.add("nonce echo", Grade.WARN, "nonce not echoed")
+        elif nonce_check.ok or nonce_check.error in (OCSPError.NOT_YET_VALID,):
+            report.add("nonce echo", Grade.PASS)
+        else:
+            report.add("nonce echo", Grade.WARN,
+                       f"nonce request failed: {nonce_check.error}")
+
+    # 7. GET support (RFC 6960 A.1, needed for HTTP caching).
+    fetch = network.fetch(vantages[0], ocsp_get(url, request_der), now)
+    get_works = False
+    if fetch.ok:
+        try:
+            get_response = OCSPResponse.from_der(fetch.response.body)
+            get_works = get_response.is_successful
+        except (ASN1Error, ValueError):
+            get_works = False
+    report.add("HTTP GET support", Grade.PASS if get_works else Grade.WARN,
+               "" if get_works else "GET requests not answered successfully")
+
+    # 8. Freshness: does a later request get a response that is not
+    #    already stale relative to its own window? (the hinet/cnnic
+    #    non-overlap hazard, Section 5.4)
+    later = now + 6 * HOUR
+    fetch = network.fetch(vantages[0], ocsp_post(url + "/", request_der), later)
+    if fetch.ok:
+        later_check = verify_response(fetch.response.body, cert_id, issuer, later)
+        if later_check.error is OCSPError.EXPIRED:
+            report.add("freshness", Grade.FAIL,
+                       "served an already-expired response 6 h later")
+        elif later_check.ok or later_check.error is None:
+            report.add("freshness", Grade.PASS)
+        else:
+            report.add("freshness", Grade.WARN, str(later_check.error))
+
+    return report

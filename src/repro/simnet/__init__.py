@@ -1,0 +1,82 @@
+"""A deterministic, discrete-time network simulator.
+
+Provides the substrate the paper's active measurements ran on: a
+simulated clock spanning the April-September 2018 measurement window,
+six AWS-region vantage points with a latency matrix, and a fetch
+pipeline whose failure taxonomy (DNS / TCP / TLS-cert / HTTP-status)
+matches Section 5.2 of the paper.
+"""
+
+from .clock import (
+    ALEXA_SCAN_DATE,
+    CENSYS_SNAPSHOT,
+    DAY,
+    HOUR,
+    MEASUREMENT_END,
+    MEASUREMENT_START,
+    WEEK,
+    SimulatedClock,
+    SkewedClock,
+    at,
+)
+from .http import (
+    OCSP_REQUEST_CONTENT_TYPE,
+    OCSP_RESPONSE_CONTENT_TYPE,
+    HTTPRequest,
+    HTTPResponse,
+    decode_ocsp_get_path,
+    ocsp_get,
+    ocsp_post,
+    split_url,
+)
+from .network import (
+    FailureKind,
+    FetchResult,
+    HostBinding,
+    Network,
+    Origin,
+    OutageWindow,
+)
+from .vantage import (
+    SERVICE_REGIONS,
+    VANTAGE_POINTS,
+    VANTAGE_REGION,
+    Vantage,
+    default_vantages,
+    one_way_latency_ms,
+    rtt_ms,
+)
+
+__all__ = [
+    "ALEXA_SCAN_DATE",
+    "CENSYS_SNAPSHOT",
+    "DAY",
+    "HOUR",
+    "MEASUREMENT_END",
+    "MEASUREMENT_START",
+    "WEEK",
+    "FailureKind",
+    "FetchResult",
+    "HTTPRequest",
+    "HTTPResponse",
+    "HostBinding",
+    "Network",
+    "OCSP_REQUEST_CONTENT_TYPE",
+    "OCSP_RESPONSE_CONTENT_TYPE",
+    "Origin",
+    "OutageWindow",
+    "SERVICE_REGIONS",
+    "SimulatedClock",
+    "SkewedClock",
+    "VANTAGE_POINTS",
+    "VANTAGE_REGION",
+    "Vantage",
+    "at",
+    "default_vantages",
+    "decode_ocsp_get_path",
+    "ocsp_get",
+    "ocsp_post",
+    "one_way_latency_ms",
+    "rtt_ms",
+    "split_url",
+]

@@ -1,0 +1,80 @@
+"""Simulated time.
+
+Every component in the reproduction reads time from a
+:class:`SimulatedClock` rather than the wall clock, so four months of
+hourly scans (the paper's April 25 - September 4, 2018 Hourly dataset)
+replay in milliseconds and deterministically.
+
+Timestamps are POSIX seconds.  Named constants pin the paper's
+measurement period.
+"""
+
+from __future__ import annotations
+
+import calendar
+
+#: Seconds per hour/day/week, used throughout the scanners.
+HOUR = 3600
+DAY = 86400
+WEEK = 7 * DAY
+
+
+def at(year: int, month: int, day: int, hour: int = 0, minute: int = 0,
+       second: int = 0) -> int:
+    """Build a POSIX timestamp from a UTC calendar date."""
+    return calendar.timegm((year, month, day, hour, minute, second, 0, 0, 0))
+
+
+#: Paper's Hourly dataset measurement window.
+MEASUREMENT_START = at(2018, 4, 25)
+MEASUREMENT_END = at(2018, 9, 4)
+
+#: Censys snapshot date used in Section 4.
+CENSYS_SNAPSHOT = at(2018, 4, 24)
+
+#: Alexa1M one-shot scan date (Section 5.1).
+ALEXA_SCAN_DATE = at(2018, 5, 1)
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: int = MEASUREMENT_START) -> None:
+        self._now = int(start)
+
+    def now(self) -> int:
+        """The current simulated POSIX time."""
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError("the simulated clock cannot move backwards")
+        self._now += int(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Jump forward to an absolute time (no-op when already past)."""
+        if timestamp > self._now:
+            self._now = int(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock({self._now})"
+
+
+class SkewedClock:
+    """A read-only view of another clock with a fixed offset.
+
+    Models the "clients with slightly slow clocks" of Section 5.4's
+    premature-thisUpdate analysis: a client whose clock runs behind by
+    ``skew`` seconds will reject zero-margin responses.
+    """
+
+    def __init__(self, base: SimulatedClock, skew: int) -> None:
+        self._base = base
+        self.skew = int(skew)
+
+    def now(self) -> int:
+        """Base time shifted by the skew (negative skew = slow clock)."""
+        return self._base.now() + self.skew

@@ -1,0 +1,112 @@
+"""Minimal HTTP message model for the simulated network.
+
+OCSP-over-HTTP (RFC 6960 appendix A) uses POST with content type
+``application/ocsp-request``; the scanner builds those requests and the
+responders answer with ``application/ocsp-response`` bodies.  Only the
+fields the measurements need are modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+OCSP_REQUEST_CONTENT_TYPE = "application/ocsp-request"
+OCSP_RESPONSE_CONTENT_TYPE = "application/ocsp-response"
+
+
+@dataclass
+class HTTPRequest:
+    """An HTTP request addressed by full URL."""
+
+    method: str
+    url: str
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def host(self) -> str:
+        """The hostname from the URL."""
+        return split_url(self.url)[1]
+
+    @property
+    def path(self) -> str:
+        """The path from the URL."""
+        return split_url(self.url)[3]
+
+
+@dataclass
+class HTTPResponse:
+    """An HTTP response: status code, body, headers."""
+
+    status_code: int
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_success(self) -> bool:
+        """True for a 200 response — the paper's definition of a
+        *successful request* ("the server responding with HTTP status
+        code 200")."""
+        return self.status_code == 200
+
+
+def split_url(url: str) -> Tuple[str, str, Optional[int], str]:
+    """Split a URL into (scheme, host, port, path).
+
+    Handles the odd-but-real port syntax the paper encountered
+    (``http://ocsp.pki.wayport.net:2560``).
+    """
+    scheme, separator, rest = url.partition("://")
+    if not separator:
+        raise ValueError(f"URL has no scheme: {url!r}")
+    scheme = scheme.lower()
+    host_port, slash, path = rest.partition("/")
+    path = "/" + path if slash else "/"
+    host, colon, port_text = host_port.partition(":")
+    port: Optional[int] = None
+    if colon:
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise ValueError(f"bad port in URL: {url!r}") from exc
+    return scheme, host.lower(), port, path
+
+
+def ocsp_post(url: str, request_der: bytes) -> HTTPRequest:
+    """Build the HTTP POST carrying an OCSP request, as the paper's
+    client did ("issued OCSP requests using the HTTP POST method")."""
+    return HTTPRequest(
+        method="POST",
+        url=url,
+        body=request_der,
+        headers={"Content-Type": OCSP_REQUEST_CONTENT_TYPE},
+    )
+
+
+def ocsp_get(url: str, request_der: bytes) -> HTTPRequest:
+    """Build the GET form of an OCSP request (RFC 6960 appendix A.1).
+
+    The DER request is base64- then URL-encoded into the path:
+    ``GET {url}/{url-encoding of base64 of DER}``.  Real clients use
+    this for cacheability; requests longer than 255 bytes must fall
+    back to POST.
+    """
+    import base64
+    import urllib.parse
+    encoded = urllib.parse.quote(base64.b64encode(request_der).decode("ascii"),
+                                 safe="")
+    base = url if url.endswith("/") else url + "/"
+    return HTTPRequest(method="GET", url=base + encoded)
+
+
+def decode_ocsp_get_path(path: str) -> bytes:
+    """Recover the DER OCSP request from a GET path (responder side)."""
+    import base64
+    import binascii
+    import urllib.parse
+    encoded = path.rsplit("/", 1)[-1]
+    try:
+        return base64.b64decode(urllib.parse.unquote(encoded), validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ValueError(f"not a base64 OCSP GET path: {path!r}") from exc

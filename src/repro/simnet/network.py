@@ -1,0 +1,257 @@
+"""The simulated network core.
+
+The model is deliberately shaped like the paper's failure taxonomy for
+unsuccessful OCSP requests (Section 5.2): DNS lookup failures
+(NXDOMAIN), TCP connection failures, HTTP 4xx/5xx responses, and one
+responder serving HTTPS with an invalid certificate.  Transient,
+possibly vantage-scoped outages are modelled on *origins* — the shared
+serving infrastructure behind one or more hostnames — which reproduces
+the Comodo event where eight CNAMEs and six same-IP aliases all failed
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from .http import HTTPRequest, HTTPResponse, split_url
+from .vantage import rtt_ms
+
+#: An HTTP service: (request, now) -> HTTPResponse.
+Service = Callable[[HTTPRequest, int], HTTPResponse]
+
+
+class FailureKind(Enum):
+    """Where in the stack a fetch failed (paper Section 5.2 taxonomy)."""
+
+    DNS = "DNS lookup failure (NXDOMAIN)"
+    TCP = "unable to establish a TCP connection"
+    TLS = "HTTPS URL served with an invalid certificate"
+    HTTP = "HTTP status code other than 200"
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one simulated HTTP exchange."""
+
+    url: str
+    vantage: str
+    started_at: int
+    elapsed_ms: float
+    failure: Optional[FailureKind] = None
+    response: Optional[HTTPResponse] = None
+
+    @property
+    def ok(self) -> bool:
+        """The paper's success criterion: an HTTP 200 came back."""
+        return self.failure is None and self.response is not None and self.response.is_success
+
+    @property
+    def status_code(self) -> Optional[int]:
+        """The HTTP status code, when the exchange got that far."""
+        return self.response.status_code if self.response is not None else None
+
+
+@dataclass
+class OutageWindow:
+    """A transient outage of an origin.
+
+    *vantages* limits which measurement clients observe it (the paper
+    saw region-scoped outages: Digicert visible only from Seoul, Certum
+    only from Sydney); None means globally visible.  *kind* is how the
+    failure manifests.
+    """
+
+    start: int
+    end: int
+    vantages: Optional[Set[str]] = None
+    kind: FailureKind = FailureKind.TCP
+    status_code: int = 503
+
+    def applies(self, vantage: str, now: int) -> bool:
+        """True when this window is active for *vantage* at *now*."""
+        if not self.start <= now < self.end:
+            return False
+        return self.vantages is None or vantage in self.vantages
+
+    @property
+    def duration(self) -> int:
+        """Window length in seconds."""
+        return self.end - self.start
+
+
+class Origin:
+    """Shared serving infrastructure for one or more hostnames."""
+
+    def __init__(self, name: str, region: str, service: Service) -> None:
+        self.name = name
+        self.region = region
+        self.service = service
+        self.outages: List[OutageWindow] = []
+
+    def add_outage(self, window: OutageWindow) -> None:
+        """Schedule a transient outage."""
+        self.outages.append(window)
+
+    def active_outage(self, vantage: str, now: int) -> Optional[OutageWindow]:
+        """The first outage window active for (vantage, now), if any."""
+        for window in self.outages:
+            if window.applies(vantage, now):
+                return window
+        return None
+
+    def had_any_outage(self) -> bool:
+        """True when at least one outage window was scheduled."""
+        return bool(self.outages)
+
+
+@dataclass
+class HostBinding:
+    """A hostname bound to an origin, with persistent per-vantage faults.
+
+    Persistent faults reproduce the paper's "never able to make a
+    successful request from at least one client" responders: 16 DNS,
+    4 TCP, 8 HTTP-error, 1 invalid-HTTPS-certificate.
+    """
+
+    hostname: str
+    origin: Origin
+    dns_fail_vantages: Set[str] = field(default_factory=set)
+    tcp_fail_vantages: Set[str] = field(default_factory=set)
+    http_error_vantages: Dict[str, int] = field(default_factory=dict)
+    https_invalid_cert: bool = False
+    #: Optional repair time: persistent faults clear at this timestamp
+    #: (the paper notes the wellsfargo responders "were fixed at 11pm,
+    #: August 31").
+    repaired_at: Optional[int] = None
+
+    def _persists(self, now: int) -> bool:
+        return self.repaired_at is None or now < self.repaired_at
+
+
+#: A background-noise hook: (vantage, origin_name, now) -> failure or None.
+NoiseModel = Callable[[str, str, int], Optional[FailureKind]]
+
+
+class Network:
+    """Hostname registry + fetch pipeline with the failure taxonomy."""
+
+    def __init__(self, noise: Optional[NoiseModel] = None) -> None:
+        self._origins: Dict[str, Origin] = {}
+        self._bindings: Dict[str, HostBinding] = {}
+        #: Optional background transient-failure model.  The hourly
+        #: scans in the paper show a steady few-percent failure floor
+        #: beyond the named outage events; the noise hook injects it.
+        self.noise = noise
+
+    # -- topology ------------------------------------------------------------
+
+    def add_origin(self, name: str, region: str, service: Service) -> Origin:
+        """Register serving infrastructure."""
+        if name in self._origins:
+            raise ValueError(f"origin already registered: {name}")
+        origin = Origin(name, region, service)
+        self._origins[name] = origin
+        return origin
+
+    def bind(self, hostname: str, origin: Origin, **kwargs) -> HostBinding:
+        """Point *hostname* at *origin* (CNAME/same-IP aliases share origins)."""
+        hostname = hostname.lower()
+        if hostname in self._bindings:
+            raise ValueError(f"hostname already bound: {hostname}")
+        binding = HostBinding(hostname=hostname, origin=origin, **kwargs)
+        self._bindings[hostname] = binding
+        return binding
+
+    def get_origin(self, name: str) -> Origin:
+        """Look up an origin by name."""
+        return self._origins[name]
+
+    def get_binding(self, hostname: str) -> Optional[HostBinding]:
+        """Look up a hostname binding."""
+        return self._bindings.get(hostname.lower())
+
+    def origins(self) -> Sequence[Origin]:
+        """All registered origins."""
+        return list(self._origins.values())
+
+    def hostnames(self) -> Sequence[str]:
+        """All bound hostnames."""
+        return list(self._bindings)
+
+    # -- the fetch pipeline ----------------------------------------------------
+
+    def fetch(self, vantage: str, request: HTTPRequest, now: int) -> FetchResult:
+        """Run one HTTP exchange through DNS → TCP → TLS → HTTP."""
+        scheme, host, _port, _path = split_url(request.url)
+        rtts = 0.0
+
+        binding = self._bindings.get(host)
+        # DNS resolution costs one round trip to a resolver (flat 20 ms).
+        rtts += 20.0
+        if binding is None or (
+            vantage in binding.dns_fail_vantages and binding._persists(now)
+        ):
+            return FetchResult(
+                url=request.url, vantage=vantage, started_at=now,
+                elapsed_ms=rtts, failure=FailureKind.DNS,
+            )
+
+        origin = binding.origin
+        path_rtt = rtt_ms(vantage, origin.region)
+
+        if self.noise is not None:
+            noise_failure = self.noise(vantage, origin.name, now)
+            if noise_failure is not None:
+                return FetchResult(
+                    url=request.url, vantage=vantage, started_at=now,
+                    elapsed_ms=rtts + path_rtt, failure=noise_failure,
+                )
+
+        outage = origin.active_outage(vantage, now)
+        if outage is not None and outage.kind is not FailureKind.HTTP:
+            return FetchResult(
+                url=request.url, vantage=vantage, started_at=now,
+                elapsed_ms=rtts + path_rtt, failure=outage.kind,
+            )
+
+        if vantage in binding.tcp_fail_vantages and binding._persists(now):
+            return FetchResult(
+                url=request.url, vantage=vantage, started_at=now,
+                elapsed_ms=rtts + path_rtt, failure=FailureKind.TCP,
+            )
+        rtts += path_rtt  # TCP handshake
+
+        if scheme == "https":
+            rtts += path_rtt  # TLS handshake round trip
+            if binding.https_invalid_cert and binding._persists(now):
+                return FetchResult(
+                    url=request.url, vantage=vantage, started_at=now,
+                    elapsed_ms=rtts, failure=FailureKind.TLS,
+                )
+
+        rtts += path_rtt  # request/response exchange
+
+        if outage is not None and outage.kind is FailureKind.HTTP:
+            response = HTTPResponse(status_code=outage.status_code)
+            return FetchResult(
+                url=request.url, vantage=vantage, started_at=now,
+                elapsed_ms=rtts, failure=FailureKind.HTTP, response=response,
+            )
+
+        forced_status = binding.http_error_vantages.get(vantage)
+        if forced_status is not None and binding._persists(now):
+            response = HTTPResponse(status_code=forced_status)
+            return FetchResult(
+                url=request.url, vantage=vantage, started_at=now,
+                elapsed_ms=rtts, failure=FailureKind.HTTP, response=response,
+            )
+
+        response = origin.service(request, now)
+        failure = None if response.is_success else FailureKind.HTTP
+        return FetchResult(
+            url=request.url, vantage=vantage, started_at=now,
+            elapsed_ms=rtts, failure=failure, response=response,
+        )

@@ -1,0 +1,102 @@
+"""Vantage points and the inter-region latency model.
+
+The paper deployed measurement clients in six AWS regions (Section
+5.1): Oregon, Virginia, São Paulo, Paris, Sydney, and Seoul.  The
+latency matrix below is a symmetric round-trip-time model (milliseconds)
+with magnitudes typical of inter-region AWS paths; absolute values only
+matter for the latency-shaped analyses, not for any headline figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: The paper's six measurement-client locations (its figure legends' names).
+VANTAGE_POINTS: List[str] = [
+    "Oregon",
+    "Virginia",
+    "Sao-Paulo",
+    "Paris",
+    "Sydney",
+    "Seoul",
+]
+
+#: Regions where simulated services (responders, web servers) are hosted.
+SERVICE_REGIONS: List[str] = [
+    "us-west",
+    "us-east",
+    "south-america",
+    "europe",
+    "oceania",
+    "asia",
+]
+
+#: Map vantage point -> nearest service region.
+VANTAGE_REGION: Dict[str, str] = {
+    "Oregon": "us-west",
+    "Virginia": "us-east",
+    "Sao-Paulo": "south-america",
+    "Paris": "europe",
+    "Sydney": "oceania",
+    "Seoul": "asia",
+}
+
+#: One-way base latencies in milliseconds between region pairs.
+_BASE_LATENCY_MS: Dict[Tuple[str, str], float] = {
+    ("us-west", "us-west"): 5,
+    ("us-west", "us-east"): 35,
+    ("us-west", "south-america"): 90,
+    ("us-west", "europe"): 70,
+    ("us-west", "oceania"): 70,
+    ("us-west", "asia"): 60,
+    ("us-east", "us-east"): 5,
+    ("us-east", "south-america"): 60,
+    ("us-east", "europe"): 40,
+    ("us-east", "oceania"): 100,
+    ("us-east", "asia"): 90,
+    ("south-america", "south-america"): 5,
+    ("south-america", "europe"): 100,
+    ("south-america", "oceania"): 160,
+    ("south-america", "asia"): 150,
+    ("europe", "europe"): 5,
+    ("europe", "oceania"): 140,
+    ("europe", "asia"): 120,
+    ("oceania", "oceania"): 5,
+    ("oceania", "asia"): 65,
+    ("asia", "asia"): 5,
+}
+
+
+def one_way_latency_ms(region_a: str, region_b: str) -> float:
+    """One-way latency between two service regions in milliseconds."""
+    key = (region_a, region_b)
+    if key in _BASE_LATENCY_MS:
+        return _BASE_LATENCY_MS[key]
+    key = (region_b, region_a)
+    if key in _BASE_LATENCY_MS:
+        return _BASE_LATENCY_MS[key]
+    raise KeyError(f"no latency entry for {region_a!r} <-> {region_b!r}")
+
+
+def rtt_ms(vantage: str, service_region: str) -> float:
+    """Round-trip time from a vantage point to a service region."""
+    return 2.0 * one_way_latency_ms(VANTAGE_REGION[vantage], service_region)
+
+
+@dataclass(frozen=True)
+class Vantage:
+    """A measurement client location with an optional clock skew."""
+
+    name: str
+    clock_skew: int = 0
+
+    @property
+    def region(self) -> str:
+        """The service region this vantage point sits in."""
+        return VANTAGE_REGION[self.name]
+
+
+def default_vantages() -> List[Vantage]:
+    """The paper's six vantage points with NTP-synchronized clocks."""
+    return [Vantage(name) for name in VANTAGE_POINTS]

@@ -1,0 +1,41 @@
+"""Simplified TLS handshake model (status_request + CertificateStatus).
+
+:mod:`repro.tls.messages` carries the object model the servers and
+browsers exchange; :mod:`repro.tls.wire` encodes those messages as
+real handshake bytes so harnesses can do the paper's packet-capture
+checks on actual traffic.
+"""
+
+from .messages import ClientHello, HandshakeRecord, ServerHandshake
+from .wire import (
+    EXT_SERVER_NAME,
+    EXT_STATUS_REQUEST,
+    EXT_STATUS_REQUEST_V2,
+    HandshakeCapture,
+    WireError,
+    decode_certificate_message,
+    decode_certificate_status,
+    decode_client_hello,
+    encode_certificate_message,
+    encode_certificate_status,
+    encode_client_hello,
+    solicits_ocsp,
+)
+
+__all__ = [
+    "ClientHello",
+    "EXT_SERVER_NAME",
+    "EXT_STATUS_REQUEST",
+    "EXT_STATUS_REQUEST_V2",
+    "HandshakeCapture",
+    "HandshakeRecord",
+    "ServerHandshake",
+    "WireError",
+    "decode_certificate_message",
+    "decode_certificate_status",
+    "decode_client_hello",
+    "encode_certificate_message",
+    "encode_certificate_status",
+    "encode_client_hello",
+    "solicits_ocsp",
+]

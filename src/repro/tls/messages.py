@@ -1,0 +1,68 @@
+"""Simplified TLS handshake messages.
+
+Only the parts of the handshake that matter to OCSP stapling are
+modelled: the ``status_request`` (Certificate Status Request, RFC 6066)
+extension in the ClientHello, the certificate chain, and the
+CertificateStatus message carrying the stapled DER OCSP response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..x509 import Certificate
+
+
+@dataclass
+class ClientHello:
+    """What the client announces: SNI plus the status_request extension.
+
+    The paper's browser test captures whether each client "solicits an
+    OCSP response by sending the Certificate Status Request extension
+    in the TLS handshake" — that is exactly ``status_request`` here.
+    ``status_request_v2`` is the RFC 6961 Multiple Certificate Status
+    extension, which the paper notes "has yet to see wide adoption".
+    """
+
+    server_name: str
+    status_request: bool = True
+    status_request_v2: bool = False
+
+
+@dataclass
+class ServerHandshake:
+    """The server's reply: certificate chain and optional stapled OCSP.
+
+    ``handshake_delay_ms`` carries any extra latency the server
+    introduced before replying — Apache's "pause" on a cold OCSP cache
+    surfaces here.  ``stapled_ocsp_chain`` is the RFC 6961 multi-staple:
+    one DER OCSP response per chain element (None for elements the
+    server has no status for), leaf first.
+    """
+
+    certificate_chain: List[Certificate]
+    stapled_ocsp: Optional[bytes] = None
+    handshake_delay_ms: float = 0.0
+    stapled_ocsp_chain: Optional[List[Optional[bytes]]] = None
+
+    @property
+    def leaf(self) -> Certificate:
+        """The end-entity certificate."""
+        if not self.certificate_chain:
+            raise ValueError("handshake carried no certificates")
+        return self.certificate_chain[0]
+
+
+@dataclass
+class HandshakeRecord:
+    """One complete simulated handshake, for scanners and tests."""
+
+    client_hello: ClientHello
+    server_handshake: ServerHandshake
+    timestamp: int
+
+    @property
+    def stapled(self) -> bool:
+        """True when a CertificateStatus (staple) was present."""
+        return self.server_handshake.stapled_ocsp is not None

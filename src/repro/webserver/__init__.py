@@ -1,0 +1,34 @@
+"""Web server stapling models (Apache, Nginx, ideal) + conformance suite.
+
+Reproduces the third principal of the paper: web server software must
+"fully and correctly support OCSP Stapling" (Section 2.4, item 3), and
+Section 7.2 / Table 3 show that neither Apache nor Nginx does.
+"""
+
+from .base import CachedStaple, OCSPFetchOutcome, StaplingWebServer
+from .apache import ApachePatchedServer, ApacheServer
+from .nginx import NginxServer
+from .ideal import IdealServer
+from .multistaple import MultiStapleServer, verify_chain_staples
+from .conformance import (
+    EXPERIMENTS,
+    ConformanceReport,
+    ExperimentResult,
+    run_conformance,
+)
+
+__all__ = [
+    "ApachePatchedServer",
+    "ApacheServer",
+    "CachedStaple",
+    "ConformanceReport",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "IdealServer",
+    "MultiStapleServer",
+    "NginxServer",
+    "verify_chain_staples",
+    "OCSPFetchOutcome",
+    "StaplingWebServer",
+    "run_conformance",
+]

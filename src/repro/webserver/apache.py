@@ -1,0 +1,103 @@
+"""The Apache 2.4.18 stapling behaviour model (paper Table 3 column 1).
+
+Observed behaviours being reproduced:
+
+* **No prefetch, pauses the handshake** — "Apache 'pauses' the TLS
+  handshake until the OCSP response comes in", so the first client (and
+  any client hitting a refresh) pays the responder round trip.
+* **Caches, but ignores nextUpdate** — "Apache does not respect the
+  expiration time of the OCSP response and will continue to serve OCSP
+  responses from the cache even after they expire" (the Bugzilla issue
+  the authors filed, #62400).  Refreshing is driven by Apache's own
+  cache TTL, not the response's validity.
+* **Drops the cache on responder error** — "Apache also deletes the
+  old (still valid) OCSP response and either provides no OCSP response
+  (if the OCSP responder is unavailable) or serves the error response
+  itself (if the OCSP responder returns an error)."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import StaplingWebServer
+
+
+class ApacheServer(StaplingWebServer):
+    """Behavioural model of Apache httpd's mod_ssl stapling."""
+
+    software = "apache-2.4.18"
+
+    #: mod_ssl's SSLStaplingStandardCacheTimeout default (seconds).
+    cache_ttl = 3600
+
+    def _staple_for_connection(self, now: int) -> Tuple[Optional[bytes], float]:
+        if self.cache is None:
+            # Cold cache: fetch synchronously, pausing this handshake.
+            outcome = self.fetch_ocsp(now)
+            if not outcome.network_ok:
+                return None, outcome.elapsed_ms
+            if outcome.staple is None:
+                # Unparseable body: nothing cached, nothing stapled.
+                return None, outcome.elapsed_ms
+            self.cache = outcome.staple
+            return self.cache.body, outcome.elapsed_ms
+
+        if now - self.cache.fetched_at < self.cache_ttl:
+            # Within Apache's own TTL it serves the cache even if the
+            # response has expired per nextUpdate.
+            return self.cache.body, 0.0
+
+        # TTL elapsed: synchronous refresh (another pause).
+        outcome = self.fetch_ocsp(now)
+        if not outcome.network_ok:
+            # Responder unreachable: the old (possibly still valid!)
+            # response is discarded and no staple is sent.
+            self.cache = None
+            return None, outcome.elapsed_ms
+        if outcome.staple is None:
+            self.cache = None
+            return None, outcome.elapsed_ms
+        # Note: if the responder returned an OCSP error status, Apache
+        # caches and staples that error response itself.
+        self.cache = outcome.staple
+        return self.cache.body, outcome.elapsed_ms
+
+
+class ApachePatchedServer(ApacheServer):
+    """Apache with the two bugs the authors reported fixed.
+
+    The paper filed Bugzilla #62400 ("OCSP Stapling should not serve
+    OCSP responses from the cache even after they expire") and
+    criticised the drop-on-error behaviour.  This model is the
+    counterfactual used by the ablation benchmark: identical to
+    :class:`ApacheServer` except that (1) expired responses are
+    refreshed rather than served, and (2) a failed refresh keeps the
+    old response until it genuinely expires.
+    """
+
+    software = "apache-patched"
+
+    def _staple_for_connection(self, now: int):
+        if self.cache is None:
+            outcome = self.fetch_ocsp(now)
+            if not outcome.network_ok or outcome.staple is None:
+                return None, outcome.elapsed_ms
+            self.cache = outcome.staple
+            return self.cache.body, outcome.elapsed_ms
+
+        needs_refresh = (now - self.cache.fetched_at >= self.cache_ttl
+                         or self.cache.expired(now)
+                         or self.cache.is_error_status)
+        if not needs_refresh:
+            return self.cache.body, 0.0
+
+        outcome = self.fetch_ocsp(now)
+        if (outcome.network_ok and outcome.staple is not None
+                and not outcome.staple.is_error_status):
+            self.cache = outcome.staple
+        # Fix 2: on failure, retain the old response...
+        if self.cache.expired(now) or self.cache.is_error_status:
+            # Fix 1: ...but never staple it once expired.
+            return None, outcome.elapsed_ms
+        return self.cache.body, outcome.elapsed_ms

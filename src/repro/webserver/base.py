@@ -1,0 +1,134 @@
+"""Web server stapling engine: shared machinery.
+
+A web server in this simulation owns a certificate chain, talks to the
+OCSP responder through the simulated network, and answers TLS
+handshakes with an optional stapled response.  Concrete subclasses
+implement the caching/prefetching state machine of a specific piece of
+software (Apache, Nginx, or the paper's recommended "ideal" behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..asn1.errors import ASN1Error
+from ..ocsp import CertID, OCSPRequest, OCSPResponse
+from ..simnet import FetchResult, Network, ocsp_post
+from ..tls import ClientHello, ServerHandshake
+from ..x509 import Certificate
+
+
+@dataclass
+class CachedStaple:
+    """A cached OCSP response with the metadata the cache logic needs."""
+
+    body: bytes
+    fetched_at: int
+    this_update: Optional[int] = None
+    next_update: Optional[int] = None
+    is_error_status: bool = False
+
+    def expired(self, now: int) -> bool:
+        """True when the response's nextUpdate has passed."""
+        return self.next_update is not None and now > self.next_update
+
+
+@dataclass
+class OCSPFetchOutcome:
+    """Result of a server-side OCSP fetch, pre-classified for caching."""
+
+    network_ok: bool
+    staple: Optional[CachedStaple] = None
+    elapsed_ms: float = 0.0
+
+
+class StaplingWebServer:
+    """Base class: certificate state + responder fetch plumbing."""
+
+    #: Software name, for reports.
+    software = "generic"
+
+    def __init__(self, chain: List[Certificate], issuer: Certificate,
+                 network: Network, vantage: str = "Virginia",
+                 stapling_enabled: bool = True) -> None:
+        if not chain:
+            raise ValueError("a web server needs a certificate chain")
+        self.chain = list(chain)
+        self.issuer = issuer
+        self.network = network
+        self.vantage = vantage
+        #: Both Apache and Nginx ship with stapling off; the paper had
+        #: to "enable a few configuration parameters" (footnote 26).
+        self.stapling_enabled = stapling_enabled
+        self.cache: Optional[CachedStaple] = None
+        self.fetch_count = 0
+
+    @property
+    def leaf(self) -> Certificate:
+        """The served end-entity certificate."""
+        return self.chain[0]
+
+    # -- responder interaction -------------------------------------------------
+
+    def fetch_ocsp(self, now: int) -> OCSPFetchOutcome:
+        """POST an OCSP request for the leaf to its responder."""
+        self.fetch_count += 1
+        urls = self.leaf.ocsp_urls
+        if not urls:
+            return OCSPFetchOutcome(network_ok=False)
+        cert_id = CertID.for_certificate(self.leaf, self.issuer)
+        request = OCSPRequest.for_single(cert_id)
+        result: FetchResult = self.network.fetch(
+            self.vantage, ocsp_post(urls[0], request.encode()), now
+        )
+        if not result.ok:
+            return OCSPFetchOutcome(network_ok=False, elapsed_ms=result.elapsed_ms)
+        body = result.response.body
+        staple = _classify_body(body, self.leaf.serial_number, fetched_at=now)
+        return OCSPFetchOutcome(network_ok=True, staple=staple,
+                                elapsed_ms=result.elapsed_ms)
+
+    # -- the TLS-facing API ------------------------------------------------------
+
+    def handle_connection(self, hello: ClientHello, now: int) -> ServerHandshake:
+        """Answer a TLS handshake.
+
+        Subclasses implement :meth:`_staple_for_connection`; this wrapper
+        handles the stapling-disabled and no-status-request cases.
+        """
+        if not self.stapling_enabled or not hello.status_request:
+            return ServerHandshake(certificate_chain=self.chain)
+        staple, delay_ms = self._staple_for_connection(now)
+        return ServerHandshake(
+            certificate_chain=self.chain,
+            stapled_ocsp=staple,
+            handshake_delay_ms=delay_ms,
+        )
+
+    def _staple_for_connection(self, now: int) -> "tuple[Optional[bytes], float]":
+        raise NotImplementedError
+
+    def tick(self, now: int) -> None:
+        """Periodic maintenance hook (prefetching servers refresh here)."""
+
+
+def _classify_body(body: bytes, serial_number: int, fetched_at: int) -> Optional[CachedStaple]:
+    """Parse a fetched body into cache metadata; None when unparseable."""
+    try:
+        response = OCSPResponse.from_der(body)
+    except (ASN1Error, ValueError):
+        return None
+    if not response.is_successful or response.basic is None:
+        return CachedStaple(body=body, fetched_at=fetched_at, is_error_status=True)
+    single = response.basic.find_single(serial_number)
+    if single is None and response.basic.single_responses:
+        single = response.basic.single_responses[0]
+    if single is None:
+        return CachedStaple(body=body, fetched_at=fetched_at, is_error_status=True)
+    return CachedStaple(
+        body=body,
+        fetched_at=fetched_at,
+        this_update=single.this_update,
+        next_update=single.next_update,
+    )

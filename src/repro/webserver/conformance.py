@@ -1,0 +1,185 @@
+"""The web-server conformance test suite (reproduces paper Table 3).
+
+Four experiments, matching Section 7.2's three perspectives
+(performance, caching, availability):
+
+1. **Prefetch OCSP response** — does the server have a staple ready for
+   the very first client, without delaying the handshake?
+2. **Cache OCSP response** — does a second connection reuse the cached
+   response instead of refetching?
+3. **Respect nextUpdate in cache** — is an expired response evicted
+   rather than served?
+4. **Retain OCSP response on error** — when a refresh fails, is the
+   previous (still useful) response kept?
+
+Each experiment drives a fresh server instance against a scripted
+responder on a private simulated network, exactly like the paper's test
+suite drove Apache and Nginx against a modified Python responder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from ..crypto import generate_keypair
+from ..ocsp import OCSPResponse
+from ..simnet import Network, OutageWindow, FailureKind
+from ..tls import ClientHello
+from ..x509 import Certificate
+from .base import StaplingWebServer
+
+EXPERIMENTS = [
+    "Prefetch OCSP response",
+    "Cache OCSP response",
+    "Respect nextUpdate in cache",
+    "Retain OCSP response on error",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """One Table-3 cell: pass/fail plus the observed failure mode."""
+
+    name: str
+    passed: bool
+    note: str = ""
+
+    @property
+    def symbol(self) -> str:
+        """The paper's cell rendering."""
+        if self.passed:
+            return "yes"
+        return f"no ({self.note})" if self.note else "no"
+
+
+@dataclass
+class ConformanceReport:
+    """All four experiments for one server implementation."""
+
+    software: str
+    results: List[ExperimentResult]
+
+    def result(self, name: str) -> ExperimentResult:
+        """Look up one experiment by name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def as_row(self) -> Dict[str, str]:
+        """Render as a {experiment: symbol} row."""
+        return {result.name: result.symbol for result in self.results}
+
+
+class _Rig:
+    """A fresh CA + responder + network + server for one experiment."""
+
+    def __init__(self, server_class: Type[StaplingWebServer],
+                 validity_period: int, now: int,
+                 prefetch_driver: bool = False) -> None:
+        self.now = now
+        self.ca = CertificateAuthority.create_root(
+            "Conformance CA", "http://ocsp.conformance.test",
+            not_before=now - 365 * 86400,
+        )
+        leaf_key = generate_keypair(512, rng=4242)
+        self.leaf = self.ca.issue_leaf("server.test", leaf_key,
+                                       not_before=now - 86400, must_staple=True)
+        profile = ResponderProfile(
+            validity_period=validity_period,
+            this_update_margin=0,
+            update_interval=None,  # on demand, freshest possible
+        )
+        self.responder = OCSPResponder(self.ca, "http://ocsp.conformance.test",
+                                       profile, epoch_start=now - 86400)
+        self.network = Network()
+        self.origin = self.network.add_origin(
+            "conformance-ocsp", "us-east", self.responder.handle
+        )
+        self.network.bind("ocsp.conformance.test", self.origin)
+        self.server = server_class(
+            chain=[self.leaf, self.ca.certificate],
+            issuer=self.ca.certificate,
+            network=self.network,
+        )
+        if prefetch_driver:
+            # An operator cron job driving the tick() hook.
+            self.server.tick(now)
+
+    def connect(self, at: int):
+        """One TLS handshake from a status_request-capable client."""
+        return self.server.handle_connection(
+            ClientHello(server_name="server.test", status_request=True), at
+        )
+
+    def outage(self, start: int, end: int) -> None:
+        """Take the responder down for [start, end)."""
+        self.origin.add_outage(OutageWindow(start=start, end=end,
+                                            kind=FailureKind.TCP))
+
+
+def _staple_next_update(staple: bytes, serial: int) -> Optional[int]:
+    response = OCSPResponse.from_der(staple)
+    single = response.basic.find_single(serial)
+    return single.next_update if single else None
+
+
+def run_conformance(server_class: Type[StaplingWebServer],
+                    now: int = 1_525_132_800) -> ConformanceReport:
+    """Run the four Table-3 experiments against *server_class*."""
+    results: List[ExperimentResult] = []
+
+    # 1. Prefetch: first ever client should get an undelayed staple.
+    rig = _Rig(server_class, validity_period=7 * 86400, now=now,
+               prefetch_driver=True)
+    handshake = rig.connect(now)
+    if handshake.stapled_ocsp is None:
+        results.append(ExperimentResult(EXPERIMENTS[0], False, "provide no resp."))
+    elif handshake.handshake_delay_ms > 0:
+        results.append(ExperimentResult(EXPERIMENTS[0], False, "pause conn."))
+    else:
+        results.append(ExperimentResult(EXPERIMENTS[0], True))
+
+    # 2. Caching: a second connection shortly after must not refetch.
+    rig = _Rig(server_class, validity_period=7 * 86400, now=now)
+    rig.connect(now)
+    fetches_after_first = rig.server.fetch_count
+    second = rig.connect(now + 60)
+    cached = (rig.server.fetch_count == fetches_after_first
+              and second.stapled_ocsp is not None)
+    results.append(ExperimentResult(EXPERIMENTS[1], cached))
+
+    # 3. Respect nextUpdate: never staple an expired response.
+    rig = _Rig(server_class, validity_period=600, now=now)
+    rig.connect(now)           # warm (or start warming) the cache
+    rig.connect(now + 30)      # nginx's async fetch has landed by now
+    check_at = now + 1200      # past nextUpdate, inside Apache's TTL
+    handshake = rig.connect(check_at)
+    respected = True
+    if handshake.stapled_ocsp is not None:
+        next_update = _staple_next_update(handshake.stapled_ocsp,
+                                          rig.leaf.serial_number)
+        respected = next_update is None or next_update >= check_at
+    results.append(ExperimentResult(EXPERIMENTS[2], respected,
+                                    "" if respected else "serves expired"))
+
+    # 4. Retain on error: a failed refresh must not destroy the cached
+    #    response.
+    rig = _Rig(server_class, validity_period=2 * 3600, now=now)
+    rig.connect(now)
+    rig.connect(now + 30)
+    before = rig.server.cache.body if rig.server.cache else None
+    rig.outage(now + 31, now + 7 * 86400)
+    # Step past every server's refresh threshold while the responder is
+    # down; the cached response is still within its validity window.
+    for offset in (3700, 3760, 3820):
+        rig.connect(now + offset)
+        rig.server.tick(now + offset)
+    after = rig.server.cache.body if rig.server.cache else None
+    retained = before is not None and after == before
+    results.append(ExperimentResult(EXPERIMENTS[3], retained,
+                                    "" if retained else "drops cached response"))
+
+    return ConformanceReport(software=server_class.software, results=results)

@@ -1,0 +1,67 @@
+"""The paper's recommended server behaviour (Section 8, recommendation 2).
+
+"Web server software should pre-fetch OCSP responses from the OCSP
+responders on a regular basis even if there are no clients who have
+attempted to make TLS connections. This will help reduce unnecessary
+latency to clients during their TLS handshakes and cope with
+intermittent unavailability and errors of OCSP responders."
+
+:class:`IdealServer` prefetches on a timer (via :meth:`tick`),
+refreshes well before expiry, retains the old response across fetch
+errors, and never pauses a handshake.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import StaplingWebServer
+
+
+class IdealServer(StaplingWebServer):
+    """A server implementing the paper's recommendations."""
+
+    software = "ideal"
+
+    #: Fraction of the validity period after which a refresh is attempted.
+    refresh_fraction = 0.5
+    #: Retry cadence (seconds) while the responder is failing.
+    retry_interval = 300
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_attempt: Optional[int] = None
+
+    def _needs_refresh(self, now: int) -> bool:
+        if self.cache is None or self.cache.is_error_status:
+            return True
+        if self.cache.next_update is None:
+            # Blank nextUpdate: refresh daily to stay current.
+            return now - self.cache.fetched_at >= 86400
+        window = self.cache.next_update - self.cache.fetched_at
+        return now >= self.cache.fetched_at + window * self.refresh_fraction
+
+    def tick(self, now: int) -> None:
+        """Proactive prefetch/refresh; call on a schedule."""
+        if not self._needs_refresh(now):
+            return
+        if self._last_attempt is not None and now - self._last_attempt < self.retry_interval:
+            return
+        self._last_attempt = now
+        outcome = self.fetch_ocsp(now)
+        if not outcome.network_ok or outcome.staple is None:
+            return  # retain old response; retry later
+        if outcome.staple.is_error_status:
+            return  # tryLater &co: retain old response
+        self.cache = outcome.staple
+
+    def _staple_for_connection(self, now: int) -> Tuple[Optional[bytes], float]:
+        # Opportunistic refresh keeps the model usable without a cron
+        # driver, but never delays the client (the fetch models the
+        # server's background thread).
+        self.tick(now)
+        if self.cache is None or self.cache.is_error_status:
+            return None, 0.0
+        if self.cache.expired(now):
+            return None, 0.0  # never serve expired staples
+        return self.cache.body, 0.0

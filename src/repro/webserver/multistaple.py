@@ -1,0 +1,136 @@
+"""RFC 6961 multi-stapling: statuses for the whole chain.
+
+The paper (Section 2.3): "a client needs to check the revocation
+status of all certificates on the chain using OCSP, but OCSP Stapling
+only allows the revocation status for the leaf certificate to be
+included.  There is an extension to OCSP Stapling [RFC 6961] that
+tries to address this limitation by allowing the server to include
+multiple certificate statuses in a single response, but it has yet to
+see wide adoption."
+
+:class:`MultiStapleServer` implements that extension on top of the
+ideal prefetching engine: it maintains one cached staple per non-root
+chain element and answers ``status_request_v2`` clients with the whole
+set.  The companion analysis (`benchmarks/test_ext_multistaple.py`)
+shows what the extension buys: a revoked *intermediate* is invisible
+to a single-staple client but fatal to a multi-staple one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ocsp import CertID, OCSPRequest
+from ..simnet import ocsp_post
+from ..tls import ClientHello, ServerHandshake
+from ..x509 import Certificate
+from .base import CachedStaple, StaplingWebServer, _classify_body
+from .ideal import IdealServer
+
+
+class MultiStapleServer(IdealServer):
+    """An ideal server that additionally staples intermediate statuses."""
+
+    software = "ideal-multistaple"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Per-chain-index staple caches (index 0 == the leaf, handled
+        # by the base class cache; >0 are intermediates).
+        self._chain_cache: Dict[int, CachedStaple] = {}
+        self._chain_attempt: Dict[int, int] = {}
+
+    def _chain_pairs(self) -> List[Tuple[int, Certificate, Certificate]]:
+        """(index, certificate, issuer) for each non-root chain element."""
+        pairs = []
+        for index, certificate in enumerate(self.chain):
+            if certificate.is_self_signed:
+                continue  # roots have no meaningful OCSP status
+            if index + 1 < len(self.chain):
+                issuer = self.chain[index + 1]
+            elif certificate is self.leaf:
+                issuer = self.issuer
+            else:
+                continue
+            pairs.append((index, certificate, issuer))
+        return pairs
+
+    def _fetch_for(self, certificate: Certificate, issuer: Certificate,
+                   now: int) -> Optional[CachedStaple]:
+        urls = certificate.ocsp_urls
+        if not urls:
+            return None
+        self.fetch_count += 1
+        cert_id = CertID.for_certificate(certificate, issuer)
+        request = OCSPRequest.for_single(cert_id)
+        result = self.network.fetch(self.vantage,
+                                    ocsp_post(urls[0], request.encode()), now)
+        if not result.ok:
+            return None
+        return _classify_body(result.response.body, certificate.serial_number,
+                              fetched_at=now)
+
+    def tick(self, now: int) -> None:
+        """Refresh the leaf staple (base class) and every intermediate's."""
+        super().tick(now)
+        for index, certificate, issuer in self._chain_pairs():
+            if index == 0:
+                continue  # the leaf is covered by the base cache
+            cached = self._chain_cache.get(index)
+            if cached is not None and not cached.is_error_status:
+                window = ((cached.next_update or (cached.fetched_at + 86400))
+                          - cached.fetched_at)
+                if now < cached.fetched_at + window * self.refresh_fraction:
+                    continue
+            last = self._chain_attempt.get(index)
+            if last is not None and now - last < self.retry_interval:
+                continue
+            self._chain_attempt[index] = now
+            staple = self._fetch_for(certificate, issuer, now)
+            if staple is not None and not staple.is_error_status:
+                self._chain_cache[index] = staple
+
+    def handle_connection(self, hello: ClientHello, now: int) -> ServerHandshake:
+        handshake = super().handle_connection(hello, now)
+        if not self.stapling_enabled or not hello.status_request_v2:
+            return handshake
+        chain_staples: List[Optional[bytes]] = []
+        for index, certificate in enumerate(self.chain):
+            if index == 0:
+                chain_staples.append(handshake.stapled_ocsp)
+                continue
+            cached = self._chain_cache.get(index)
+            if cached is None or cached.expired(now) or cached.is_error_status:
+                chain_staples.append(None)
+            else:
+                chain_staples.append(cached.body)
+        handshake.stapled_ocsp_chain = chain_staples
+        return handshake
+
+
+def verify_chain_staples(handshake: ServerHandshake, trust_issuers: List[Certificate],
+                         now: int) -> List[Optional[bool]]:
+    """Client-side RFC 6961 check: verify each chain element's staple.
+
+    *trust_issuers[i]* is the issuer certificate for ``chain[i]``.
+    Returns per-element: True (valid + good), False (valid + revoked or
+    invalid), or None (no staple supplied).
+    """
+    from ..ocsp import verify_response
+
+    if handshake.stapled_ocsp_chain is None:
+        return [None] * len(handshake.certificate_chain)
+    verdicts: List[Optional[bool]] = []
+    for certificate, issuer, staple in zip(
+            handshake.certificate_chain, trust_issuers,
+            handshake.stapled_ocsp_chain):
+        if staple is None:
+            verdicts.append(None)
+            continue
+        cert_id = CertID.for_certificate(certificate, issuer)
+        check = verify_response(staple, cert_id, issuer, now)
+        if not check.ok:
+            verdicts.append(False)
+        else:
+            verdicts.append(not check.revoked)
+    return verdicts

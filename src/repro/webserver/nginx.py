@@ -1,0 +1,70 @@
+"""The Nginx 1.13.12 stapling behaviour model (paper Table 3 column 2).
+
+Observed behaviours being reproduced:
+
+* **No prefetch; first client gets no staple** — "Nginx simply does not
+  provide an OCSP stapled response to the first client"; the fetch
+  happens in the background and later clients benefit.
+* **Respects nextUpdate** — expired responses are not served; a fresh
+  one is fetched.  With one caveat (footnote 28): "Nginx does not
+  refresh the cache more than once every 5 minutes; hence, if the
+  validity period of an OCSP response is less than 5 minutes, clients
+  could receive an expired (cached) OCSP response."
+* **Retains the old response on error** — "Nginx retains the old OCSP
+  response and keeps providing it to clients until it expires."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import StaplingWebServer
+
+
+class NginxServer(StaplingWebServer):
+    """Behavioural model of nginx's ssl_stapling."""
+
+    software = "nginx-1.13.12"
+
+    #: Minimum seconds between cache refresh attempts (footnote 28).
+    refresh_interval = 300
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_fetch_at: Optional[int] = None
+
+    def _can_fetch(self, now: int) -> bool:
+        return self._last_fetch_at is None or now - self._last_fetch_at >= self.refresh_interval
+
+    def _background_fetch(self, now: int) -> None:
+        """Refresh the cache after answering the current client."""
+        self._last_fetch_at = now
+        outcome = self.fetch_ocsp(now)
+        if not outcome.network_ok or outcome.staple is None:
+            return  # error: retain whatever is cached
+        if outcome.staple.is_error_status:
+            return  # OCSP-level error (e.g. tryLater): retain old response
+        self.cache = outcome.staple
+
+    def _staple_for_connection(self, now: int) -> Tuple[Optional[bytes], float]:
+        if self.cache is None:
+            # Cold cache: this client gets nothing; fetch in background.
+            if self._can_fetch(now):
+                self._background_fetch(now)
+            return None, 0.0
+
+        if not self.cache.expired(now):
+            return self.cache.body, 0.0
+
+        # Cache expired: respect nextUpdate and refresh — unless the
+        # 5-minute rate limit blocks the refresh, in which case the
+        # expired response leaks to the client (footnote 28).
+        if not self._can_fetch(now):
+            return self.cache.body, 0.0
+        self._background_fetch(now)
+        if self.cache is not None and not self.cache.expired(now):
+            # The background fetch landed before the next client; this
+            # client still answered without the fresh staple, matching
+            # nginx's asynchronous update. Serve nothing now.
+            pass
+        return None, 0.0

@@ -1,0 +1,215 @@
+"""Certificate Revocation Lists (RFC 5280 section 5).
+
+A :class:`CertificateList` carries the parsed revoked-entry table plus
+the original DER, so CRL signatures verify over the bytes that were
+published.  The builder supports per-entry reason codes — or their
+omission, which the paper observes is the overwhelmingly common case
+("the vast majority of the revocations actually include no reason
+code") and is the source of 99.99% of the Table-1 reason mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..asn1 import ObjectIdentifier, Reader, encoder, oid, tags
+from ..asn1.errors import DecodeError
+from ..crypto import RSAPrivateKey, RSAPublicKey, is_valid, sign
+from .extensions import Extension, Extensions, decode_crl_reason, encode_crl_reason
+from .name import Name
+
+_HASH_TO_ALGORITHM = {
+    "sha256": oid.SHA256_WITH_RSA,
+    "sha1": oid.SHA1_WITH_RSA,
+}
+_ALGORITHM_TO_HASH = {v: k for k, v in _HASH_TO_ALGORITHM.items()}
+
+
+@dataclass(frozen=True)
+class RevokedCertificate:
+    """One CRL entry: serial, revocation time, optional reason code."""
+
+    serial_number: int
+    revocation_date: int
+    reason: Optional[int] = None
+
+    def encode(self) -> bytes:
+        parts = [
+            encoder.encode_integer(self.serial_number),
+            encoder.encode_x509_time(self.revocation_date),
+        ]
+        if self.reason is not None:
+            reason_extension = Extension(
+                oid.CRL_REASON, critical=False, value=encode_crl_reason(self.reason)
+            )
+            parts.append(encoder.encode_sequence(reason_extension.encode()))
+        return encoder.encode_sequence(*parts)
+
+    @classmethod
+    def decode(cls, reader: Reader) -> "RevokedCertificate":
+        entry = reader.read_sequence()
+        serial_number = entry.read_integer()
+        revocation_date = entry.read_time()
+        reason = None
+        if not entry.at_end():
+            extensions = Extensions.decode(entry)
+            reason_extension = extensions.get(oid.CRL_REASON)
+            if reason_extension is not None:
+                reason = decode_crl_reason(reason_extension.value)
+        entry.expect_end()
+        return cls(serial_number, revocation_date, reason)
+
+
+class CertificateList:
+    """A parsed CRL bound to its DER encoding."""
+
+    def __init__(self, der: bytes, tbs_der: bytes, issuer: Name, this_update: int,
+                 next_update: Optional[int], revoked: Sequence[RevokedCertificate],
+                 signature_algorithm: ObjectIdentifier, signature: bytes) -> None:
+        self.der = der
+        self.tbs_der = tbs_der
+        self.issuer = issuer
+        self.this_update = this_update
+        self.next_update = next_update
+        self.revoked = list(revoked)
+        self.signature_algorithm = signature_algorithm
+        self.signature = signature
+        self._by_serial: Dict[int, RevokedCertificate] = {
+            entry.serial_number: entry for entry in self.revoked
+        }
+
+    @classmethod
+    def from_der(cls, der: bytes) -> "CertificateList":
+        """Parse a DER CertificateList."""
+        reader = Reader(der)
+        outer = reader.read_sequence()
+        tbs_der = outer.read_raw_element()
+        algorithm_seq = outer.read_sequence()
+        signature_algorithm = algorithm_seq.read_oid()
+        if not algorithm_seq.at_end():
+            algorithm_seq.read_tlv()
+        signature = outer.read_bit_string()
+        outer.expect_end()
+
+        tbs = Reader(tbs_der).read_sequence()
+        if tbs.peek_tag() == tags.INTEGER:
+            version = tbs.read_integer()
+            if version != 1:  # v2 encoded as 1
+                raise DecodeError(f"unsupported CRL version: {version}")
+        inner_algorithm = tbs.read_sequence()
+        inner_algorithm.read_oid()
+        if not inner_algorithm.at_end():
+            inner_algorithm.read_tlv()
+        issuer = Name.decode(tbs)
+        this_update = tbs.read_time()
+        next_update = None
+        if not tbs.at_end() and tbs.peek_tag() in (tags.UTC_TIME, tags.GENERALIZED_TIME):
+            next_update = tbs.read_time()
+        revoked: List[RevokedCertificate] = []
+        if not tbs.at_end() and tbs.peek_tag() == tags.SEQUENCE:
+            revoked_seq = tbs.read_sequence()
+            while not revoked_seq.at_end():
+                revoked.append(RevokedCertificate.decode(revoked_seq))
+        if not tbs.at_end():
+            tbs.maybe_context(0)  # crlExtensions, ignored
+        return cls(
+            der=der,
+            tbs_der=tbs_der,
+            issuer=issuer,
+            this_update=this_update,
+            next_update=next_update,
+            revoked=revoked,
+            signature_algorithm=signature_algorithm,
+            signature=signature,
+        )
+
+    def lookup(self, serial_number: int) -> Optional[RevokedCertificate]:
+        """Return the entry for *serial_number*, or None when not revoked."""
+        return self._by_serial.get(serial_number)
+
+    def is_revoked(self, serial_number: int) -> bool:
+        """True when the serial appears on this CRL."""
+        return serial_number in self._by_serial
+
+    def is_fresh(self, now: int) -> bool:
+        """True when *now* falls in [thisUpdate, nextUpdate]."""
+        if now < self.this_update:
+            return False
+        return self.next_update is None or now <= self.next_update
+
+    def verify_signature(self, issuer_key: RSAPublicKey) -> bool:
+        """Verify the CRL signature over the original TBS bytes."""
+        hash_name = _ALGORITHM_TO_HASH.get(self.signature_algorithm)
+        if hash_name is None:
+            return False
+        return is_valid(issuer_key, self.tbs_der, self.signature, hash_name)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size — the paper notes real CRLs reach 76 MB."""
+        return len(self.der)
+
+    def __len__(self) -> int:
+        return len(self.revoked)
+
+    def __repr__(self) -> str:
+        return (
+            f"CertificateList(issuer={self.issuer.common_name!r}, "
+            f"entries={len(self.revoked)}, bytes={len(self.der)})"
+        )
+
+
+class CRLBuilder:
+    """Builds and signs v2 CRLs."""
+
+    def __init__(self, issuer: Name, hash_name: str = "sha256") -> None:
+        if hash_name not in _HASH_TO_ALGORITHM:
+            raise ValueError(f"unsupported hash: {hash_name}")
+        self._issuer = issuer
+        self._hash_name = hash_name
+        self._entries: List[RevokedCertificate] = []
+        self._this_update: Optional[int] = None
+        self._next_update: Optional[int] = None
+
+    def update_window(self, this_update: int,
+                      next_update: Optional[int]) -> "CRLBuilder":
+        """Set thisUpdate/nextUpdate."""
+        if next_update is not None and next_update < this_update:
+            raise ValueError("nextUpdate precedes thisUpdate")
+        self._this_update = this_update
+        self._next_update = next_update
+        return self
+
+    def add_entry(self, serial_number: int, revocation_date: int,
+                  reason: Optional[int] = None) -> "CRLBuilder":
+        """Add a revoked certificate entry."""
+        self._entries.append(RevokedCertificate(serial_number, revocation_date, reason))
+        return self
+
+    def sign(self, issuer_key: RSAPrivateKey) -> CertificateList:
+        """Assemble and sign the CRL."""
+        if self._this_update is None:
+            raise ValueError("update_window() not set")
+        algorithm = encoder.encode_sequence(
+            encoder.encode_oid(_HASH_TO_ALGORITHM[self._hash_name]),
+            encoder.encode_null(),
+        )
+        tbs_parts = [
+            encoder.encode_integer(1),  # v2
+            algorithm,
+            self._issuer.encode(),
+            encoder.encode_x509_time(self._this_update),
+        ]
+        if self._next_update is not None:
+            tbs_parts.append(encoder.encode_x509_time(self._next_update))
+        if self._entries:
+            tbs_parts.append(encoder.encode_sequence(
+                *(entry.encode() for entry in self._entries)
+            ))
+        tbs = encoder.encode_sequence(*tbs_parts)
+        signature = sign(issuer_key, tbs, self._hash_name)
+        der = encoder.encode_sequence(
+            tbs, algorithm, encoder.encode_bit_string(signature)
+        )
+        return CertificateList.from_der(der)

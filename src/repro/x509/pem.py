@@ -1,0 +1,86 @@
+"""PEM armor (RFC 7468) for certificates, CRLs, and keys.
+
+Real deployments move certificates around as PEM; the corpus
+materializer and the examples use this for file interchange.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import List, Tuple
+
+from .certificate import Certificate
+from .crl import CertificateList
+
+_LINE_LENGTH = 64
+_BLOCK_RE = re.compile(
+    r"-----BEGIN ([A-Z0-9 ]+)-----\s*(.*?)\s*-----END \1-----",
+    re.DOTALL,
+)
+
+CERTIFICATE_LABEL = "CERTIFICATE"
+CRL_LABEL = "X509 CRL"
+OCSP_REQUEST_LABEL = "OCSP REQUEST"
+OCSP_RESPONSE_LABEL = "OCSP RESPONSE"
+
+
+def encode_pem(der: bytes, label: str) -> str:
+    """Wrap DER bytes in PEM armor with 64-character lines."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [body[i:i + _LINE_LENGTH] for i in range(0, len(body), _LINE_LENGTH)]
+    return (
+        f"-----BEGIN {label}-----\n"
+        + "\n".join(lines)
+        + f"\n-----END {label}-----\n"
+    )
+
+
+def decode_pem(text: str) -> List[Tuple[str, bytes]]:
+    """Extract every (label, DER) block from *text*.
+
+    Raises ValueError when a block's base64 payload is invalid; text
+    outside blocks is ignored, as PEM consumers traditionally do.
+    """
+    blocks = []
+    for match in _BLOCK_RE.finditer(text):
+        label = match.group(1)
+        payload = re.sub(r"\s+", "", match.group(2))
+        try:
+            der = base64.b64decode(payload, validate=True)
+        except Exception as exc:
+            raise ValueError(f"invalid base64 in PEM block {label!r}") from exc
+        blocks.append((label, der))
+    return blocks
+
+
+def certificate_to_pem(certificate: Certificate) -> str:
+    """PEM-encode one certificate."""
+    return encode_pem(certificate.der, CERTIFICATE_LABEL)
+
+
+def certificates_from_pem(text: str) -> List[Certificate]:
+    """Parse every CERTIFICATE block in *text* (e.g. a chain file)."""
+    return [
+        Certificate.from_der(der)
+        for label, der in decode_pem(text)
+        if label == CERTIFICATE_LABEL
+    ]
+
+
+def chain_to_pem(chain: List[Certificate]) -> str:
+    """PEM-encode a chain file, leaf first."""
+    return "".join(certificate_to_pem(certificate) for certificate in chain)
+
+
+def crl_to_pem(crl: CertificateList) -> str:
+    """PEM-encode a CRL."""
+    return encode_pem(crl.der, CRL_LABEL)
+
+
+def crl_from_pem(text: str) -> CertificateList:
+    """Parse the first X509 CRL block in *text*."""
+    for label, der in decode_pem(text):
+        if label == CRL_LABEL:
+            return CertificateList.from_der(der)
+    raise ValueError("no X509 CRL block found")

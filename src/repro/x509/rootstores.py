@@ -1,0 +1,91 @@
+"""Multiple root-store modeling (the paper's validity definition).
+
+Footnote 7: "To validate the certificates, Censys uses the Apple,
+Microsoft, and Mozilla NSS root stores; we consider the certificate
+[valid] if it is valid using at least one of those three root stores."
+
+:class:`RootStorePopulation` models the three stores over one set of
+root CAs with overlapping-but-not-identical membership, and provides
+the any-of-three validity predicate the corpus analyses assume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .certificate import Certificate
+from .verify import ChainValidationResult, TrustStore, validate
+
+#: The three stores Censys consults.
+STORE_NAMES = ("apple", "microsoft", "nss")
+
+
+@dataclass
+class StoreMembership:
+    """Which stores trust one root."""
+
+    root: Certificate
+    stores: frozenset
+
+    @property
+    def in_all(self) -> bool:
+        return len(self.stores) == len(STORE_NAMES)
+
+
+class RootStorePopulation:
+    """Three overlapping root stores over a shared root population.
+
+    *universal_fraction* of roots land in all three stores (the big
+    commercial CAs); the rest are distributed to random non-empty
+    subsets — regional CAs (like the paper's sheca/postsignum/CNNIC
+    families) commonly sit in only one or two stores.
+    """
+
+    def __init__(self, roots: Iterable[Certificate],
+                 universal_fraction: float = 0.75, seed: int = 0) -> None:
+        self.memberships: List[StoreMembership] = []
+        self._stores: Dict[str, TrustStore] = {
+            name: TrustStore(name=name) for name in STORE_NAMES
+        }
+        rng = random.Random(seed)
+        for root in roots:
+            if rng.random() < universal_fraction:
+                chosen = frozenset(STORE_NAMES)
+            else:
+                count = rng.choice([1, 1, 2])
+                chosen = frozenset(rng.sample(STORE_NAMES, count))
+            self.memberships.append(StoreMembership(root=root, stores=chosen))
+            for name in chosen:
+                self._stores[name].add(root)
+
+    def store(self, name: str) -> TrustStore:
+        """One named root store."""
+        return self._stores[name]
+
+    def stores_trusting(self, leaf: Certificate,
+                        intermediates: Sequence[Certificate], now: int
+                        ) -> List[str]:
+        """Which stores validate this chain at *now*."""
+        trusting = []
+        for name, trust_store in self._stores.items():
+            if validate(leaf, intermediates, trust_store, now).valid:
+                trusting.append(name)
+        return trusting
+
+    def is_valid(self, leaf: Certificate, intermediates: Sequence[Certificate],
+                 now: int) -> bool:
+        """The Censys/paper predicate: trusted by at least one store."""
+        return bool(self.stores_trusting(leaf, intermediates, now))
+
+    def coverage_counts(self) -> Dict[int, int]:
+        """How many roots sit in exactly 1, 2, or 3 stores."""
+        counts: Dict[int, int] = {1: 0, 2: 0, 3: 0}
+        for membership in self.memberships:
+            counts[len(membership.stores)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.memberships)

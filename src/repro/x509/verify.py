@@ -1,0 +1,145 @@
+"""Certificate chain validation.
+
+Implements the checks the paper's Section 2.1 enumerates for a client:
+"obtain this chain of certificates and check that each has a correct
+signature, has not expired ... and has not been revoked."  Revocation
+itself is pluggable — the TLS/browser layer supplies stapled-OCSP or
+fetched-OCSP evidence — so this module covers signatures, validity
+windows, name chaining, CA flags, and trust-root anchoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence
+
+from .certificate import Certificate
+
+
+class ChainError(Enum):
+    """Why a chain failed to validate."""
+
+    EMPTY_CHAIN = "empty chain"
+    EXPIRED = "certificate outside validity period"
+    BAD_SIGNATURE = "signature verification failed"
+    NAME_CHAINING = "issuer name does not match next subject"
+    NOT_A_CA = "intermediate lacks CA basic constraints"
+    UNTRUSTED_ROOT = "chain does not terminate at a trusted root"
+    HOSTNAME_MISMATCH = "leaf does not cover the requested hostname"
+
+
+@dataclass
+class ChainValidationResult:
+    """Outcome of a chain validation attempt."""
+
+    valid: bool
+    errors: List[ChainError] = field(default_factory=list)
+    chain: List[Certificate] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class TrustStore:
+    """A set of trusted root certificates, keyed by subject DER.
+
+    Mirrors the paper's footnote 7: Censys validates against the Apple,
+    Microsoft, and Mozilla NSS root stores; our simulation keeps one or
+    more named stores with the same semantics.
+    """
+
+    def __init__(self, roots: Iterable[Certificate] = (), name: str = "default") -> None:
+        self.name = name
+        self._by_subject = {}
+        for root in roots:
+            self.add(root)
+
+    def add(self, root: Certificate) -> None:
+        """Trust *root* (must be self-signed and a CA)."""
+        self._by_subject[root.subject.encode()] = root
+
+    def find_issuer(self, certificate: Certificate) -> Optional[Certificate]:
+        """Return the trusted root whose subject matches the cert's issuer."""
+        return self._by_subject.get(certificate.issuer.encode())
+
+    def __contains__(self, certificate: Certificate) -> bool:
+        stored = self._by_subject.get(certificate.subject.encode())
+        return stored is not None and stored.der == certificate.der
+
+    def __len__(self) -> int:
+        return len(self._by_subject)
+
+
+def build_chain(leaf: Certificate, intermediates: Sequence[Certificate],
+                trust_store: TrustStore) -> Optional[List[Certificate]]:
+    """Order leaf→…→root by following issuer names; None when no path exists."""
+    pool = {cert.subject.encode(): cert for cert in intermediates}
+    chain = [leaf]
+    current = leaf
+    for _ in range(len(intermediates) + 2):
+        root = trust_store.find_issuer(current)
+        if root is not None:
+            if current.is_self_signed and current.der == root.der:
+                return chain
+            chain.append(root)
+            return chain
+        next_cert = pool.get(current.issuer.encode())
+        if next_cert is None or next_cert is current:
+            return None
+        chain.append(next_cert)
+        current = next_cert
+    return None
+
+
+def validate_chain(chain: Sequence[Certificate], trust_store: TrustStore, now: int,
+                   hostname: Optional[str] = None) -> ChainValidationResult:
+    """Validate an ordered leaf→root chain at time *now*."""
+    errors: List[ChainError] = []
+    chain = list(chain)
+    if not chain:
+        return ChainValidationResult(False, [ChainError.EMPTY_CHAIN])
+
+    for certificate in chain:
+        if not certificate.validity.contains(now):
+            errors.append(ChainError.EXPIRED)
+            break
+
+    for index, certificate in enumerate(chain):
+        if index + 1 < len(chain):
+            issuer_cert = chain[index + 1]
+            if certificate.issuer != issuer_cert.subject:
+                errors.append(ChainError.NAME_CHAINING)
+                break
+            if not issuer_cert.is_ca:
+                errors.append(ChainError.NOT_A_CA)
+                break
+            if not certificate.verify_signature(issuer_cert.public_key):
+                errors.append(ChainError.BAD_SIGNATURE)
+                break
+
+    anchor = chain[-1]
+    if anchor in trust_store:
+        if anchor.is_self_signed and not anchor.verify_signature(anchor.public_key):
+            errors.append(ChainError.BAD_SIGNATURE)
+    else:
+        root = trust_store.find_issuer(anchor)
+        if root is None:
+            errors.append(ChainError.UNTRUSTED_ROOT)
+        elif not anchor.verify_signature(root.public_key):
+            errors.append(ChainError.BAD_SIGNATURE)
+
+    if hostname is not None and not chain[0].matches_hostname(hostname):
+        errors.append(ChainError.HOSTNAME_MISMATCH)
+
+    return ChainValidationResult(valid=not errors, errors=errors, chain=chain)
+
+
+def validate(leaf: Certificate, intermediates: Sequence[Certificate],
+             trust_store: TrustStore, now: int,
+             hostname: Optional[str] = None) -> ChainValidationResult:
+    """Build and validate a chain in one call."""
+    chain = build_chain(leaf, intermediates, trust_store)
+    if chain is None:
+        return ChainValidationResult(False, [ChainError.UNTRUSTED_ROOT], [leaf])
+    return validate_chain(chain, trust_store, now, hostname)

@@ -1,0 +1,169 @@
+"""Unit tests for the strict DER decoder, including the BER-vs-DER
+strictness rules the malformed-response classification depends on."""
+
+import pytest
+
+from repro.asn1 import Reader, encoder
+from repro.asn1.errors import (
+    DecodeError,
+    StrictDERError,
+    TagMismatchError,
+    TruncatedError,
+)
+
+
+class TestBasicReads:
+    def test_read_tlv(self):
+        tag, content = Reader(b"\x04\x03abc").read_tlv()
+        assert tag == 0x04
+        assert content == b"abc"
+
+    def test_raw_element_preserves_bytes(self):
+        der = encoder.encode_sequence(encoder.encode_integer(7))
+        raw = Reader(der).read_raw_element()
+        assert raw == der
+
+    def test_expect_end_raises_on_slack(self):
+        reader = Reader(b"\x05\x00\x00")
+        reader.read_null()
+        with pytest.raises(DecodeError):
+            reader.expect_end()
+
+    def test_peek_does_not_consume(self):
+        reader = Reader(b"\x02\x01\x05")
+        assert reader.peek_tag() == 0x02
+        assert reader.read_integer() == 5
+
+
+class TestTruncation:
+    def test_empty_input(self):
+        with pytest.raises(TruncatedError):
+            Reader(b"").read_tlv()
+
+    def test_tag_without_length(self):
+        with pytest.raises(TruncatedError):
+            Reader(b"\x02").read_tlv()
+
+    def test_length_exceeds_content(self):
+        with pytest.raises(TruncatedError):
+            Reader(b"\x04\x05abc").read_tlv()
+
+    def test_truncated_long_form_length(self):
+        with pytest.raises(TruncatedError):
+            Reader(b"\x04\x82\x01").read_tlv()
+
+
+class TestStrictness:
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(StrictDERError):
+            Reader(b"\x30\x80\x05\x00\x00\x00").read_tlv()
+
+    def test_non_minimal_length_rejected(self):
+        # 3 bytes encoded with long-form length.
+        with pytest.raises(StrictDERError):
+            Reader(b"\x04\x81\x03abc").read_tlv()
+
+    def test_non_minimal_length_accepted_lenient(self):
+        tag, content = Reader(b"\x04\x81\x03abc", lenient=True).read_tlv()
+        assert content == b"abc"
+
+    def test_length_leading_zero_rejected(self):
+        with pytest.raises(StrictDERError):
+            Reader(b"\x04\x82\x00\x03abc").read_tlv()
+
+    def test_redundant_integer_zero_rejected(self):
+        with pytest.raises(StrictDERError):
+            Reader(b"\x02\x02\x00\x05").read_integer()
+
+    def test_redundant_integer_ff_rejected(self):
+        with pytest.raises(StrictDERError):
+            Reader(b"\x02\x02\xff\x80").read_integer()
+
+    def test_boolean_nonstandard_true_rejected(self):
+        with pytest.raises(StrictDERError):
+            Reader(b"\x01\x01\x01").read_boolean()
+
+    def test_boolean_nonstandard_true_lenient(self):
+        assert Reader(b"\x01\x01\x01", lenient=True).read_boolean() is True
+
+    def test_empty_integer_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x02\x00").read_integer()
+
+    def test_multi_octet_tag_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x1f\x81\x00\x00").read_tlv()
+
+
+class TestTypedReaders:
+    def test_tag_mismatch_reports_both(self):
+        with pytest.raises(TagMismatchError) as excinfo:
+            Reader(b"\x02\x01\x05").read_octet_string()
+        assert excinfo.value.expected == 0x04
+        assert excinfo.value.actual == 0x02
+
+    def test_null_with_content_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x05\x01\x00").read_null()
+
+    def test_bit_string_needs_unused_octet(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x03\x00").read_bit_string()
+
+    def test_bit_string_content(self):
+        assert Reader(b"\x03\x03\x00\xaa\xbb").read_bit_string() == b"\xaa\xbb"
+
+    def test_nonzero_unused_bits_rejected_in_signatures(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x03\x02\x04\xf0").read_bit_string()
+
+    def test_string_rejects_bad_utf8(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x0c\x02\xff\xfe").read_string()
+
+    def test_string_rejects_unknown_type(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x02\x01\x05").read_string()
+
+
+class TestContextTags:
+    def test_maybe_context_present(self):
+        der = encoder.encode_explicit(2, encoder.encode_integer(9))
+        ctx = Reader(der).maybe_context(2)
+        assert ctx is not None
+        assert ctx.read_integer() == 9
+
+    def test_maybe_context_absent(self):
+        reader = Reader(encoder.encode_integer(9))
+        assert reader.maybe_context(0) is None
+        # Cursor unmoved.
+        assert reader.read_integer() == 9
+
+    def test_maybe_context_at_end(self):
+        reader = Reader(b"")
+        assert reader.maybe_context(0) is None
+
+    def test_implicit_content(self):
+        der = encoder.encode_implicit(6, b"payload")
+        assert Reader(der).read_implicit_content(6) == b"payload"
+
+
+class TestNestedStructures:
+    def test_deep_nesting(self):
+        inner = encoder.encode_integer(1)
+        der = inner
+        for _ in range(10):
+            der = encoder.encode_sequence(der)
+        reader = Reader(der)
+        for _ in range(10):
+            reader = reader.read_sequence()
+        assert reader.read_integer() == 1
+
+    def test_sub_reader_is_bounded(self):
+        der = encoder.encode_sequence(encoder.encode_integer(1)) + b"\x02\x01\x02"
+        reader = Reader(der)
+        seq = reader.read_sequence()
+        assert seq.read_integer() == 1
+        assert seq.at_end()
+        # Outer reader continues after the sequence.
+        assert reader.read_integer() == 2

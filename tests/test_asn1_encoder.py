@@ -1,0 +1,186 @@
+"""Unit tests for the DER encoder."""
+
+import pytest
+
+from repro.asn1 import Reader, encoder, oid, tags
+from repro.asn1.errors import EncodeError
+
+
+class TestLengths:
+    def test_short_form(self):
+        assert encoder.encode_length(0) == b"\x00"
+        assert encoder.encode_length(127) == b"\x7f"
+
+    def test_long_form_one_octet(self):
+        assert encoder.encode_length(128) == b"\x81\x80"
+        assert encoder.encode_length(255) == b"\x81\xff"
+
+    def test_long_form_two_octets(self):
+        assert encoder.encode_length(256) == b"\x82\x01\x00"
+        assert encoder.encode_length(65535) == b"\x82\xff\xff"
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_length(-1)
+
+
+class TestInteger:
+    def test_zero(self):
+        assert encoder.encode_integer(0) == b"\x02\x01\x00"
+
+    def test_positive_small(self):
+        assert encoder.encode_integer(127) == b"\x02\x01\x7f"
+
+    def test_high_bit_needs_padding(self):
+        # 128 needs a leading zero to stay positive.
+        assert encoder.encode_integer(128) == b"\x02\x02\x00\x80"
+
+    def test_negative(self):
+        assert encoder.encode_integer(-1) == b"\x02\x01\xff"
+        assert encoder.encode_integer(-129) == b"\x02\x02\xff\x7f"
+
+    def test_large_serial_number(self):
+        serial = 0x00C0FFEE_DEADBEEF_12345678
+        der = encoder.encode_integer(serial)
+        assert Reader(der).read_integer() == serial
+
+    def test_minimal_encoding_no_redundant_zeros(self):
+        der = encoder.encode_integer(255)
+        assert der == b"\x02\x02\x00\xff"
+        der = encoder.encode_integer(65280)
+        # 0xFF00 -> 00 FF 00 (sign padding required)
+        assert der == b"\x02\x03\x00\xff\x00"
+
+
+class TestBoolean:
+    def test_true_is_ff(self):
+        assert encoder.encode_boolean(True) == b"\x01\x01\xff"
+
+    def test_false_is_00(self):
+        assert encoder.encode_boolean(False) == b"\x01\x01\x00"
+
+
+class TestBitString:
+    def test_empty(self):
+        assert encoder.encode_bit_string(b"") == b"\x03\x01\x00"
+
+    def test_octet_aligned(self):
+        assert encoder.encode_bit_string(b"\xab") == b"\x03\x02\x00\xab"
+
+    def test_unused_bits_recorded(self):
+        der = encoder.encode_bit_string(b"\x80", unused_bits=7)
+        assert der == b"\x03\x02\x07\x80"
+
+    def test_unused_bits_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_bit_string(b"\x00", unused_bits=8)
+
+    def test_unused_bits_on_empty_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_bit_string(b"", unused_bits=3)
+
+
+class TestNamedBits:
+    def test_key_usage_bit_zero(self):
+        # digitalSignature only: one octet, 7 unused bits.
+        assert encoder.encode_named_bits([0]) == b"\x03\x02\x07\x80"
+
+    def test_two_bits(self):
+        der = encoder.encode_named_bits([0, 5])
+        assert Reader(der).read_named_bits() == [0, 5]
+
+    def test_empty_bits(self):
+        assert encoder.encode_named_bits([]) == b"\x03\x01\x00"
+
+    def test_bit_across_octet_boundary(self):
+        der = encoder.encode_named_bits([9])
+        assert Reader(der).read_named_bits() == [9]
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_named_bits([-1])
+
+
+class TestStrings:
+    def test_ia5_url(self):
+        der = encoder.encode_ia5_string("http://ocsp.example.com")
+        assert Reader(der).read_string() == "http://ocsp.example.com"
+
+    def test_ia5_rejects_non_ascii(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_ia5_string("https://exämple.com")
+
+    def test_printable_rejects_at_sign(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_printable_string("user@host")
+
+    def test_utf8_round_trip(self):
+        der = encoder.encode_utf8_string("Zürich CA ✓")
+        assert Reader(der).read_string() == "Zürich CA ✓"
+
+
+class TestStructures:
+    def test_sequence_concatenates(self):
+        der = encoder.encode_sequence(
+            encoder.encode_integer(1), encoder.encode_integer(2)
+        )
+        seq = Reader(der).read_sequence()
+        assert seq.read_integer() == 1
+        assert seq.read_integer() == 2
+        seq.expect_end()
+
+    def test_set_sorts_elements(self):
+        # DER SET OF must sort by encoding.
+        a = encoder.encode_integer(2)
+        b = encoder.encode_integer(1)
+        der = encoder.encode_set([a, b])
+        s = Reader(der).read_set()
+        assert s.read_integer() == 1
+        assert s.read_integer() == 2
+
+    def test_explicit_tagging_wraps(self):
+        inner = encoder.encode_integer(5)
+        der = encoder.encode_explicit(0, inner)
+        assert der[0] == 0xA0
+        reader = Reader(der)
+        ctx = reader.read_context(0)
+        assert ctx.read_integer() == 5
+
+    def test_implicit_tagging_replaces_tag(self):
+        der = encoder.encode_implicit(6, b"http://x")
+        assert der[0] == 0x86
+        assert der[2:] == b"http://x"
+
+    def test_null(self):
+        assert encoder.encode_null() == b"\x05\x00"
+        Reader(encoder.encode_null()).read_null()
+
+
+class TestTimes:
+    def test_x509_time_before_2050_is_utctime(self):
+        der = encoder.encode_x509_time(1_524_585_600)  # 2018
+        assert der[0] == tags.UTC_TIME
+
+    def test_x509_time_after_2050_is_generalized(self):
+        der = encoder.encode_x509_time(2_600_000_000)  # 2052
+        assert der[0] == tags.GENERALIZED_TIME
+
+    def test_ocsp_time_always_generalized(self):
+        der = encoder.encode_ocsp_time(1_524_585_600)
+        assert der[0] == tags.GENERALIZED_TIME
+
+    def test_round_trip(self):
+        for ts in (0, 1_524_585_600, 2_600_000_000):
+            der = encoder.encode_x509_time(ts)
+            assert Reader(der).read_time() == ts
+
+
+class TestOid:
+    def test_must_staple_oid_bytes(self):
+        # 1.3.6.1.5.5.7.1.24 — the RFC 7633 extension.
+        der = encoder.encode_oid(oid.TLS_FEATURE)
+        assert der == bytes.fromhex("06082b06010505070118")
+
+    def test_tag_rejects_multi_octet(self):
+        with pytest.raises(EncodeError):
+            encoder.encode_tlv(0x1FF, b"")

@@ -1,0 +1,119 @@
+"""Unit tests for OID and time codecs."""
+
+import pytest
+
+from repro.asn1 import ObjectIdentifier, oid
+from repro.asn1.errors import DecodeError, EncodeError
+from repro.asn1.timecodec import (
+    decode_generalized_time,
+    decode_utc_time,
+    encode_generalized_time,
+    encode_utc_time,
+)
+
+
+class TestObjectIdentifier:
+    def test_from_string(self):
+        assert ObjectIdentifier("1.3.6.1.5.5.7.1.24").arcs == (1, 3, 6, 1, 5, 5, 7, 1, 24)
+
+    def test_from_tuple(self):
+        assert ObjectIdentifier((2, 5, 29, 15)).dotted == "2.5.29.15"
+
+    def test_copy_constructor(self):
+        a = ObjectIdentifier("1.2.3")
+        assert ObjectIdentifier(a) == a
+
+    def test_equality_with_string(self):
+        assert oid.TLS_FEATURE == "1.3.6.1.5.5.7.1.24"
+
+    def test_hashable(self):
+        assert len({oid.SHA256, oid.SHA256, oid.SHA1}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            oid.SHA1.arcs = (1, 2)
+
+    def test_large_arc_round_trip(self):
+        big = ObjectIdentifier("1.2.840.113549.1.1.11")
+        assert ObjectIdentifier.decode_content(big.encode_content()) == big
+
+    def test_very_large_arc(self):
+        huge = ObjectIdentifier((2, 999, 2 ** 40))
+        assert ObjectIdentifier.decode_content(huge.encode_content()) == huge
+
+    def test_single_arc_rejected(self):
+        with pytest.raises(EncodeError):
+            ObjectIdentifier("1")
+
+    def test_bad_first_arc(self):
+        with pytest.raises(EncodeError):
+            ObjectIdentifier("3.1")
+
+    def test_second_arc_bound(self):
+        with pytest.raises(EncodeError):
+            ObjectIdentifier("1.40")
+        # but 2.x allows >= 40
+        assert ObjectIdentifier("2.999").arcs == (2, 999)
+
+    def test_bad_string(self):
+        with pytest.raises(EncodeError):
+            ObjectIdentifier("1.2.three")
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(DecodeError):
+            ObjectIdentifier.decode_content(b"")
+
+    def test_dangling_continuation_rejected(self):
+        with pytest.raises(DecodeError):
+            ObjectIdentifier.decode_content(b"\x2b\x86")  # ends mid-arc
+
+    def test_redundant_leading_0x80_rejected(self):
+        with pytest.raises(DecodeError):
+            ObjectIdentifier.decode_content(b"\x2b\x80\x01")
+
+    def test_registry_names(self):
+        assert "Must-Staple" in repr(oid.TLS_FEATURE)
+
+
+class TestTimeCodec:
+    def test_utc_round_trip(self):
+        ts = 1_524_585_600  # 2018-04-24 16:00:00Z
+        assert decode_utc_time(encode_utc_time(ts)) == ts
+
+    def test_utc_format(self):
+        assert encode_utc_time(0) == b"700101000000Z"
+
+    def test_utc_century_split(self):
+        # 49 -> 2049, 50 -> 1950 per RFC 5280.
+        assert decode_utc_time(b"490101000000Z") > decode_utc_time(b"990101000000Z")
+
+    def test_utc_out_of_range_encode(self):
+        with pytest.raises(EncodeError):
+            encode_utc_time(2_600_000_000)  # 2052
+
+    def test_generalized_round_trip(self):
+        ts = 2_600_000_000
+        assert decode_generalized_time(encode_generalized_time(ts)) == ts
+
+    def test_generalized_format(self):
+        assert encode_generalized_time(0) == b"19700101000000Z"
+
+    def test_missing_z_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_utc_time(b"1804241600000")
+
+    def test_fractional_seconds_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_generalized_time(b"20180424160000.5Z")
+
+    def test_non_digit_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_utc_time(b"18o424160000Z")
+
+    def test_month_out_of_range(self):
+        with pytest.raises(DecodeError):
+            decode_generalized_time(b"20181324160000Z")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_utc_time(b"\xff80424160000Z")

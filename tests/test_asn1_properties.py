@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the DER codec.
+
+The core invariant: everything the encoder emits, the strict decoder
+round-trips — and the encoding is canonical (byte-identical on
+re-encode).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1 import ObjectIdentifier, Reader, encoder
+from repro.asn1.timecodec import (
+    decode_generalized_time,
+    decode_utc_time,
+    encode_generalized_time,
+    encode_utc_time,
+)
+
+integers = st.integers(min_value=-(2 ** 256), max_value=2 ** 256)
+
+
+@given(integers)
+def test_integer_round_trip(value):
+    assert Reader(encoder.encode_integer(value)).read_integer() == value
+
+
+@given(integers)
+def test_integer_encoding_is_minimal(value):
+    der = encoder.encode_integer(value)
+    content = der[2:] if der[1] < 0x80 else der[2 + (der[1] & 0x7F):]
+    if len(content) > 1:
+        assert not (content[0] == 0x00 and content[1] < 0x80)
+        assert not (content[0] == 0xFF and content[1] >= 0x80)
+
+
+@given(st.binary(max_size=512))
+def test_octet_string_round_trip(value):
+    assert Reader(encoder.encode_octet_string(value)).read_octet_string() == value
+
+
+@given(st.booleans())
+def test_boolean_round_trip(value):
+    assert Reader(encoder.encode_boolean(value)).read_boolean() is value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=127), max_size=16, unique=True))
+def test_named_bits_round_trip(bits):
+    decoded = Reader(encoder.encode_named_bits(bits)).read_named_bits()
+    assert decoded == sorted(bits)
+
+
+oids = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=39),
+    st.lists(st.integers(min_value=0, max_value=2 ** 32), max_size=8),
+).map(lambda t: ObjectIdentifier((t[0], t[1], *t[2])))
+
+
+@given(oids)
+def test_oid_round_trip(value):
+    assert ObjectIdentifier.decode_content(value.encode_content()) == value
+
+
+@given(oids)
+def test_oid_dotted_round_trip(value):
+    assert ObjectIdentifier(value.dotted) == value
+
+
+@given(st.integers(min_value=-631152000, max_value=2524607999))  # 1950..2049
+def test_utc_time_round_trip(ts):
+    assert decode_utc_time(encode_utc_time(ts)) == ts
+
+
+@given(st.integers(min_value=0, max_value=4_102_444_800))  # ..2100
+def test_generalized_time_round_trip(ts):
+    assert decode_generalized_time(encode_generalized_time(ts)) == ts
+
+
+@given(st.lists(st.integers(min_value=-(2 ** 64), max_value=2 ** 64), max_size=10))
+def test_sequence_of_integers_round_trip(values):
+    der = encoder.encode_sequence(*(encoder.encode_integer(v) for v in values))
+    seq = Reader(der).read_sequence()
+    decoded = []
+    while not seq.at_end():
+        decoded.append(seq.read_integer())
+    assert decoded == values
+
+
+@given(st.binary(max_size=64), st.integers(min_value=0, max_value=30))
+def test_explicit_wrap_round_trip(payload, number):
+    inner = encoder.encode_octet_string(payload)
+    der = encoder.encode_explicit(number, inner)
+    ctx = Reader(der).read_context(number)
+    assert ctx.read_octet_string() == payload
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=200)
+def test_decoder_never_hangs_or_crashes_weirdly(blob):
+    """Arbitrary bytes either parse or raise a codec error — nothing else."""
+    from repro.asn1.errors import ASN1Error
+    try:
+        reader = Reader(blob)
+        while not reader.at_end():
+            reader.read_tlv()
+    except ASN1Error:
+        pass

@@ -1,0 +1,176 @@
+"""Unit tests for browser policies and the Table-2 harness (Section 6)."""
+
+import pytest
+
+from repro.browser import (
+    ALL_BROWSERS,
+    BrowserPolicy,
+    DESKTOP_BROWSERS,
+    MOBILE_BROWSERS,
+    Verdict,
+    by_label,
+    connect,
+    hardened_browser,
+    run_browser_tests,
+)
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, FailureKind, HOUR, Network, OutageWindow
+from repro.webserver import ApacheServer, IdealServer
+from repro.x509 import TrustStore
+
+NOW = 1_525_132_800
+
+
+@pytest.fixture()
+def site():
+    """A Must-Staple site behind both stapling and non-stapling servers."""
+    ca = CertificateAuthority.create_root("Browser CA", "http://ocsp.b.test",
+                                          not_before=NOW - 365 * DAY)
+    key = generate_keypair(512, rng=300)
+    leaf = ca.issue_leaf("must.test", key, not_before=NOW - DAY, must_staple=True)
+    responder = OCSPResponder(ca, "http://ocsp.b.test",
+                              ResponderProfile(update_interval=None,
+                                               this_update_margin=HOUR),
+                              epoch_start=NOW - 7 * DAY)
+    network = Network()
+    origin = network.add_origin("b-ocsp", "us-east", responder.handle)
+    network.bind("ocsp.b.test", origin)
+
+    class Site:
+        pass
+
+    s = Site()
+    s.ca, s.leaf, s.network, s.origin = ca, leaf, network, origin
+    s.trust = TrustStore([ca.certificate])
+    s.stapling_server = IdealServer(chain=[leaf, ca.certificate],
+                                    issuer=ca.certificate, network=network)
+    s.stapling_server.tick(NOW)
+    s.bare_server = ApacheServer(chain=[leaf, ca.certificate],
+                                 issuer=ca.certificate, network=network,
+                                 stapling_enabled=False)
+    return s
+
+
+FIREFOX = by_label()["Firefox 60 (Linux)"]
+CHROME = by_label()["Chrome 66 (Linux)"]
+
+
+class TestConnectPipeline:
+    def test_staple_present_accepted(self, site):
+        outcome = connect(FIREFOX, site.stapling_server, "must.test", site.trust, NOW)
+        assert outcome.verdict is Verdict.ACCEPTED
+        assert outcome.staple_received and outcome.staple_valid
+
+    def test_firefox_hard_fails_without_staple(self, site):
+        outcome = connect(FIREFOX, site.bare_server, "must.test", site.trust, NOW)
+        assert outcome.verdict is Verdict.REJECTED_MUST_STAPLE
+        assert not outcome.connected
+
+    def test_chrome_soft_fails_without_staple(self, site):
+        outcome = connect(CHROME, site.bare_server, "must.test", site.trust, NOW,
+                          network=site.network)
+        assert outcome.verdict is Verdict.ACCEPTED_SOFT_FAIL
+        assert outcome.connected
+        assert not outcome.own_ocsp_request_sent
+
+    def test_revoked_staple_rejected(self, site):
+        site.ca.revoke(site.leaf, NOW)
+        server = IdealServer(chain=[site.leaf, site.ca.certificate],
+                             issuer=site.ca.certificate, network=site.network)
+        server.tick(NOW + HOUR)
+        outcome = connect(FIREFOX, server, "must.test", site.trust, NOW + HOUR)
+        assert outcome.verdict is Verdict.REJECTED_REVOKED
+
+    def test_invalid_chain_rejected(self, site):
+        outcome = connect(FIREFOX, site.stapling_server, "must.test",
+                          TrustStore(), NOW)
+        assert outcome.verdict is Verdict.REJECTED_CERT_INVALID
+
+    def test_hostname_mismatch_rejected(self, site):
+        outcome = connect(FIREFOX, site.stapling_server, "other.test",
+                          site.trust, NOW)
+        assert outcome.verdict is Verdict.REJECTED_CERT_INVALID
+
+    def test_hardened_browser_falls_back_to_own_ocsp(self, site):
+        browser = BrowserPolicy("Test", "any", fallback_own_ocsp=True)
+        outcome = connect(browser, site.bare_server, "must.test", site.trust,
+                          NOW, network=site.network)
+        assert outcome.own_ocsp_request_sent
+        assert outcome.verdict is Verdict.ACCEPTED
+
+    def test_fallback_detects_revocation(self, site):
+        site.ca.revoke(site.leaf, NOW)
+        browser = BrowserPolicy("Test", "any", fallback_own_ocsp=True)
+        outcome = connect(browser, site.bare_server, "must.test", site.trust,
+                          NOW + HOUR, network=site.network)
+        assert outcome.verdict is Verdict.REJECTED_REVOKED
+
+    def test_fallback_soft_fails_when_responder_down(self, site):
+        site.origin.add_outage(OutageWindow(NOW - 1, NOW + DAY,
+                                            kind=FailureKind.TCP))
+        browser = BrowserPolicy("Test", "any", fallback_own_ocsp=True)
+        outcome = connect(browser, site.bare_server, "must.test", site.trust,
+                          NOW, network=site.network)
+        assert outcome.verdict is Verdict.ACCEPTED_SOFT_FAIL
+        assert outcome.own_ocsp_request_sent
+
+    def test_hardened_hard_fails_before_fallback_on_must_staple(self, site):
+        browser = hardened_browser()
+        outcome = connect(browser, site.bare_server, "must.test", site.trust,
+                          NOW, network=site.network)
+        # Must-Staple wins: hard-fail, no own request.
+        assert outcome.verdict is Verdict.REJECTED_MUST_STAPLE
+
+    def test_no_status_request_browser_ignores_staples(self, site):
+        browser = BrowserPolicy("Legacy", "any", sends_status_request=False)
+        outcome = connect(browser, site.stapling_server, "must.test",
+                          site.trust, NOW)
+        assert not outcome.sent_status_request
+        assert outcome.verdict is Verdict.ACCEPTED_SOFT_FAIL
+
+
+class TestTable2:
+    def test_population_counts(self):
+        assert len(DESKTOP_BROWSERS) == 11
+        assert len(MOBILE_BROWSERS) == 5
+        assert len(ALL_BROWSERS) == 16
+
+    def test_all_browsers_request_ocsp(self):
+        report = run_browser_tests()
+        assert all(row.requests_ocsp_response for row in report.rows)
+
+    def test_only_firefox_respects_must_staple(self):
+        report = run_browser_tests()
+        compliant = set(report.compliant_browsers)
+        assert compliant == {
+            "Firefox 60 (OS X)", "Firefox 60 (Linux)", "Firefox 60 (Windows)",
+            "Firefox (Android)",
+        }
+
+    def test_firefox_ios_does_not_respect(self):
+        report = run_browser_tests()
+        assert not report.row("Firefox (iOS)").respects_must_staple
+
+    def test_no_browser_sends_own_ocsp_request(self):
+        report = run_browser_tests()
+        for row in report.rows:
+            # Either hard-failed (N/A) or did not fall back.
+            assert row.sends_own_ocsp_request in (None, False)
+
+    def test_cells_rendering(self):
+        report = run_browser_tests()
+        firefox = report.row("Firefox 60 (Linux)").cells()
+        assert firefox == {
+            "Request OCSP response": "yes",
+            "Respect OCSP Must-Staple": "yes",
+            "Send own OCSP request": "-",
+        }
+        chrome = report.row("Chrome 66 (Linux)").cells()
+        assert chrome["Respect OCSP Must-Staple"] == "no"
+        assert chrome["Send own OCSP request"] == "no"
+
+    def test_unknown_label_raises(self):
+        report = run_browser_tests()
+        with pytest.raises(KeyError):
+            report.row("Netscape 4 (BeOS)")

@@ -1,0 +1,190 @@
+"""Tests for the high-level OCSPClient and the self-test harness."""
+
+import pytest
+
+from repro.browser import ClientOCSPCache
+from repro.ca import (
+    CertificateAuthority,
+    OCSPResponder,
+    ResponderProfile,
+    persistent_malformed_profile,
+    zero_margin_profile,
+)
+from repro.crypto import generate_keypair
+from repro.ocsp import CertStatus, OCSPClient
+from repro.scanner import Grade, self_test_responder
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, OutageWindow
+
+NOW = MEASUREMENT_START
+
+
+def make_rig(profile=None, seed=90):
+    ca = CertificateAuthority.create_root(
+        f"Client CA {seed}", f"http://ocsp.client{seed}.test",
+        not_before=NOW - 365 * DAY)
+    leaf = ca.issue_leaf("client.example", generate_keypair(512, rng=seed),
+                         not_before=NOW - DAY)
+    responder = OCSPResponder(
+        ca, ca.ocsp_url,
+        profile or ResponderProfile(update_interval=None, this_update_margin=HOUR),
+        epoch_start=NOW - 7 * DAY)
+    network = Network()
+    origin = network.add_origin(f"client-{seed}", "us-east", responder.handle)
+    network.bind(f"ocsp.client{seed}.test", origin)
+    return ca, leaf, network, origin
+
+
+class TestOCSPClient:
+    def test_basic_check(self):
+        ca, leaf, network, _ = make_rig()
+        client = OCSPClient(network)
+        result = client.check(leaf, ca.certificate, NOW)
+        assert result.ok
+        assert result.status is CertStatus.GOOD
+        assert not result.from_cache
+
+    def test_revoked(self):
+        ca, leaf, network, _ = make_rig(seed=91)
+        ca.revoke(leaf, NOW - HOUR, reason=1)
+        client = OCSPClient(network)
+        result = client.check(leaf, ca.certificate, NOW)
+        assert result.ok and result.status is CertStatus.REVOKED
+
+    def test_cache_avoids_second_request(self):
+        ca, leaf, network, _ = make_rig(seed=92)
+        client = OCSPClient(network, cache=ClientOCSPCache())
+        first = client.check(leaf, ca.certificate, NOW)
+        second = client.check(leaf, ca.certificate, NOW + 600)
+        assert not first.from_cache and second.from_cache
+        assert client.requests_sent == 1
+
+    def test_network_failure_reported(self):
+        ca, leaf, network, origin = make_rig(seed=93)
+        origin.add_outage(OutageWindow(NOW - 1, NOW + DAY))
+        client = OCSPClient(network)
+        result = client.check(leaf, ca.certificate, NOW)
+        assert not result.ok
+        assert result.fetch is not None and not result.fetch.ok
+
+    def test_no_ocsp_url(self):
+        ca, leaf, network, _ = make_rig(seed=94)
+        bare = ca.issue_leaf("bare.example", generate_keypair(512, rng=95),
+                             not_before=NOW - DAY, ocsp_url=None)
+        # Strip the AIA by issuing through a CA with no OCSP? The
+        # default always adds one; simulate by passing an empty URL set.
+        client = OCSPClient(network)
+        result = client.check(leaf, ca.certificate, NOW,
+                              url="http://nonexistent.test")
+        assert not result.ok
+
+    def test_nonce_mode(self):
+        ca, leaf, network, _ = make_rig(seed=96)
+        client = OCSPClient(network, use_nonce=True)
+        result = client.check(leaf, ca.certificate, NOW)
+        assert result.ok
+        assert result.check.response.basic.nonce is not None
+
+    def test_get_mode(self):
+        ca, leaf, network, _ = make_rig(seed=97)
+        client = OCSPClient(network, use_get=True)
+        result = client.check(leaf, ca.certificate, NOW)
+        assert result.ok
+
+    def test_clock_skew_tolerance(self):
+        # A responder whose thisUpdate sits 60 s in the future: the
+        # strict client rejects as not-yet-valid, the tolerant accepts.
+        from repro.ca import future_this_update_profile
+        ca, leaf, network, _ = make_rig(future_this_update_profile(60), seed=98)
+        strict = OCSPClient(network)
+        tolerant = OCSPClient(network, max_clock_skew=120)
+        assert not strict.check(leaf, ca.certificate, NOW).ok
+        assert tolerant.check(leaf, ca.certificate, NOW).ok
+
+
+class TestSelfTest:
+    def test_healthy_responder(self):
+        ca, leaf, network, _ = make_rig(seed=100)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert report.healthy
+        assert not report.failures
+        checks = {f.check for f in report.findings}
+        assert "global reachability" in checks
+        assert "signature" in checks
+        assert "nonce echo" in checks
+        assert "HTTP GET support" in checks
+
+    def test_malformed_responder_fails_structure(self):
+        ca, leaf, network, _ = make_rig(persistent_malformed_profile("zero"),
+                                        seed=101)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert not report.healthy
+        assert any(f.check == "ASN.1 structure" and f.grade is Grade.FAIL
+                   for f in report.findings)
+
+    def test_zero_margin_warns(self):
+        ca, leaf, network, _ = make_rig(zero_margin_profile(), seed=102)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert report.healthy  # a warning, not a failure
+        assert any(f.check == "thisUpdate margin" and f.grade is Grade.WARN
+                   for f in report.findings)
+
+    def test_future_this_update_fails(self):
+        from repro.ca import future_this_update_profile
+        ca, leaf, network, _ = make_rig(future_this_update_profile(600), seed=103)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert any(f.check == "thisUpdate margin" and f.grade is Grade.FAIL
+                   for f in report.findings)
+
+    def test_long_validity_warns(self):
+        from repro.ca import long_validity_profile
+        ca, leaf, network, _ = make_rig(long_validity_profile(1251), seed=104)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert any(f.check == "nextUpdate" and f.grade is Grade.WARN
+                   and "1251" in f.detail for f in report.findings)
+
+    def test_blank_next_update_warns(self):
+        from repro.ca import blank_next_update_profile
+        ca, leaf, network, _ = make_rig(blank_next_update_profile(), seed=105)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert any(f.check == "nextUpdate" and "blank" in f.detail
+                   for f in report.findings)
+
+    def test_serial_stuffing_warns(self):
+        from repro.ca import serial_stuffing_profile
+        ca, leaf, network, _ = make_rig(serial_stuffing_profile(20), seed=106)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert any(f.check == "unsolicited serials" and f.grade is Grade.WARN
+                   for f in report.findings)
+
+    def test_unreachable_fails(self):
+        ca, leaf, network, origin = make_rig(seed=107)
+        origin.add_outage(OutageWindow(NOW - 1, NOW + DAY))
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert not report.healthy
+        assert any(f.check == "global reachability" and f.grade is Grade.FAIL
+                   for f in report.findings)
+
+    def test_partial_reachability_warns(self):
+        ca, leaf, network, origin = make_rig(seed=108)
+        origin.add_outage(OutageWindow(NOW - 1, NOW + DAY, vantages={"Seoul"}))
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        assert report.healthy  # warn, not fail
+        assert any(f.check == "global reachability" and f.grade is Grade.WARN
+                   and "Seoul" in f.detail for f in report.findings)
+
+    def test_render(self):
+        ca, leaf, network, _ = make_rig(seed=109)
+        report = self_test_responder(network, ca.ocsp_url, leaf,
+                                     ca.certificate, NOW)
+        text = report.render()
+        assert "self-test report" in text
+        assert "HEALTHY" in text

@@ -1,0 +1,108 @@
+"""Tests for the CRL↔OCSP consistency study (Table 1 / Figure 10)."""
+
+import pytest
+
+from repro.scanner import (
+    ConsistencyConfig,
+    ConsistencyWorld,
+    TABLE1_ROWS,
+    run_consistency_scan,
+)
+from repro.simnet import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def world():
+    return ConsistencyWorld(ConsistencyConfig(scale=400, consistent_cas=4))
+
+
+@pytest.fixture(scope="module")
+def report(world):
+    return run_consistency_scan(world)
+
+
+class TestWorldConstruction:
+    def test_table1_sites_present(self, world):
+        urls = {site.ocsp_url for site in world.sites}
+        for ocsp_url, *_ in TABLE1_ROWS:
+            assert f"http://{ocsp_url}" in urls
+
+    def test_scaled_counts(self):
+        config = ConsistencyConfig(scale=400)
+        assert config.scaled(28_023) == 70
+        assert config.scaled(1) == 1   # never rounds to zero
+        assert config.scaled(0) == 0
+
+    def test_deterministic(self):
+        a = ConsistencyWorld(ConsistencyConfig(scale=800, consistent_cas=2))
+        b = ConsistencyWorld(ConsistencyConfig(scale=800, consistent_cas=2))
+        assert [s.revoked_serials for s in a.sites] == \
+            [s.revoked_serials for s in b.sites]
+
+    def test_every_revoked_serial_unexpired(self, world):
+        for site in world.sites:
+            for serial in site.revoked_serials:
+                assert site.expiry[serial] > world.config.now
+
+
+class TestTable1:
+    def test_exactly_seven_discrepant_responders(self, report):
+        assert len(report.discrepant_rows()) == 7
+
+    def test_good_for_revoked_rows(self, report):
+        """Five responders answer Good for ≥1 CRL-revoked certificate."""
+        good_rows = [r for r in report.rows if r.good > 0]
+        assert len(good_rows) == 5
+        expected = {"http://ocsp.camerfirma.com", "http://ocsp.quovadisglobal.com",
+                    "http://ocsp.startssl.com", "http://ss.symcd.com",
+                    "http://twcasslocsp.twca.com.tw"}
+        assert {r.ocsp_url for r in good_rows} == expected
+
+    def test_unknown_for_all_rows(self, report):
+        """Two responders answer Unknown for every revoked certificate."""
+        unknown_rows = [r for r in report.rows if r.unknown > 0]
+        assert len(unknown_rows) == 2
+        for row in unknown_rows:
+            assert row.revoked == 0 and row.good == 0
+
+    def test_bulk_cas_consistent(self, report):
+        bulk = [r for r in report.rows if "bulk" in r.ocsp_url]
+        assert bulk
+        assert all(not r.has_discrepancy for r in bulk)
+
+    def test_high_collection_rate(self, report):
+        """The paper collected 99.9% of responses."""
+        assert report.responses_collected / report.serials_checked > 0.99
+
+
+class TestFigure10:
+    def test_most_times_agree(self, report):
+        """Paper: only 0.15% of responses have differing revocation time."""
+        assert report.differing_time_fraction() < 0.02
+
+    def test_negative_deltas_exist(self, report):
+        """Paper: 14.7% of differing times are negative (OCSP earlier)."""
+        negative = [d for d in report.time_deltas if d.delta < 0]
+        assert negative
+        assert all(d.delta >= -43_200 for d in negative)
+
+    def test_msocsp_lag_range(self, report):
+        """msocsp lags the CRL by between 7 hours and 9 days."""
+        msocsp = [d for d in report.time_deltas if "msocsp" in d.ocsp_url]
+        assert msocsp
+        assert all(7 * HOUR <= d.delta <= 9 * DAY for d in msocsp)
+
+    def test_long_tail_over_four_years(self, report):
+        """The tail extends past 137M seconds (over 4 years)."""
+        assert max(d.delta for d in report.time_deltas) >= 137_000_000
+
+
+class TestReasonCodes:
+    def test_crl_only_dominates(self, report):
+        """Paper: 99.99% of differing reasons = CRL has one, OCSP doesn't."""
+        assert report.reasons.differing > 0
+        assert report.reasons.crl_only == report.reasons.differing
+
+    def test_differing_fraction_near_paper(self, report):
+        """Paper: ~15% of revocations have differing reason codes."""
+        assert 0.08 <= report.reasons.differing_fraction <= 0.22

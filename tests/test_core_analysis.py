@@ -1,0 +1,256 @@
+"""Tests for the analysis layer: stats helpers, availability, quality,
+adoption, rendering, and the readiness report."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    analyze_availability,
+    assess_readiness,
+    binned_fraction,
+    cdf_points,
+    certificates_cdf,
+    deployment_stats,
+    failures_by_kind,
+    figure2_adoption,
+    figure11_adoption,
+    figure12_history,
+    fraction_at_or_below,
+    margin_cdf,
+    mean,
+    median,
+    pct,
+    percentile,
+    persistently_malformed_responders,
+    quality_headlines,
+    render_cdf,
+    render_series,
+    render_table,
+    responder_quality,
+    serials_cdf,
+    validity_cdf,
+    validity_series,
+)
+from repro.scanner import ProbeOutcome
+
+
+class TestStats:
+    def test_cdf_points(self):
+        points = cdf_points([3, 1, 2])
+        assert points == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_cdf_with_infinity(self):
+        points = cdf_points([1, math.inf])
+        assert points[-1] == (math.inf, 1.0)
+
+    def test_fraction_at_or_below(self):
+        assert fraction_at_or_below([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_or_below([], 10) == 0.0
+
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 3, 100]) == 2.5
+        assert median([5]) == 5
+        assert mean([]) == 0.0
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_binned_fraction(self):
+        items = [(5, True), (6, False), (15, True), (16, True)]
+        assert binned_fraction(items, 10) == [(0, 50.0), (10, 100.0)]
+
+
+class TestAvailability:
+    def test_series_cover_all_vantages(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        assert set(report.success_series) == set(scan_dataset.vantages)
+
+    def test_success_rates_sane(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        for vantage, points in report.success_series.items():
+            for _, success_pct in points:
+                assert 50.0 <= success_pct <= 100.0
+
+    def test_failure_rates_positive(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        assert report.overall_failure_rate > 0
+
+    def test_never_successful_anywhere(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        # The identrust-unreachable family member(s).
+        assert len(report.never_successful_anywhere) >= 1
+
+    def test_always_fail_counts(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        # São Paulo has the largest persistent always-fail population.
+        assert report.always_fail_by_vantage["Sao-Paulo"] >= 1
+
+    def test_responder_count(self, scan_dataset):
+        report = analyze_availability(scan_dataset)
+        assert report.responder_count == 40
+
+    def test_failures_by_kind(self, scan_dataset):
+        counts = failures_by_kind(scan_dataset)
+        assert sum(counts.values()) == sum(
+            1 for r in scan_dataset.records if not r.transport_ok)
+
+
+class TestQuality:
+    def test_validity_series_shape(self, scan_dataset):
+        series = validity_series(scan_dataset)
+        for outcome in (ProbeOutcome.MALFORMED, ProbeOutcome.SERIAL_MISMATCH,
+                        ProbeOutcome.BAD_SIGNATURE):
+            assert outcome in series.series
+        # Malformed responders exist in the world, so the average is > 0.
+        assert series.average(ProbeOutcome.MALFORMED) > 0
+
+    def test_malformed_dominates(self, scan_dataset):
+        """Paper: 'the vast majority of the errors are caused by a
+        malformed structure'."""
+        series = validity_series(scan_dataset)
+        assert series.average(ProbeOutcome.MALFORMED) >= \
+            series.average(ProbeOutcome.SERIAL_MISMATCH)
+        assert series.average(ProbeOutcome.MALFORMED) >= \
+            series.average(ProbeOutcome.BAD_SIGNATURE)
+
+    def test_persistently_malformed_detected(self, scan_dataset):
+        urls = persistently_malformed_responders(scan_dataset)
+        assert urls  # the malformed-profile sites
+
+    def test_responder_quality_aggregates(self, scan_dataset):
+        qualities = responder_quality(scan_dataset)
+        assert qualities
+        sample = next(iter(qualities.values()))
+        assert sample.url.startswith("http")
+
+    def test_figure6_cdf(self, scan_dataset):
+        points = certificates_cdf(responder_quality(scan_dataset))
+        assert points
+        values = [v for v, _ in points]
+        # Some responders send >1 certificate (Fig 6's right tail).
+        assert max(values) > 1
+
+    def test_figure7_cdf(self, scan_dataset):
+        points = serials_cdf(responder_quality(scan_dataset))
+        values = [v for v, _ in points]
+        assert max(values) >= 19.5  # the 20-serial stuffers
+        # Most responders send exactly one serial.
+        ones = sum(1 for v in values if v <= 1.01)
+        assert ones / len(values) > 0.75
+
+    def test_figure8_cdf(self, scan_dataset):
+        points = validity_cdf(responder_quality(scan_dataset))
+        values = [v for v, _ in points]
+        assert math.inf in values  # blank nextUpdate responders
+        finite = [v for v in values if v != math.inf]
+        assert max(finite) >= 35 * 86400  # >1 month validity exists
+
+    def test_figure9_cdf(self, scan_dataset):
+        points = margin_cdf(responder_quality(scan_dataset))
+        values = [v for v, _ in points]
+        assert any(v <= 0 for v in values)    # zero/negative margin
+        assert any(v > 3600 for v in values)  # comfortable margins
+
+    def test_headlines(self, scan_dataset):
+        headlines = quality_headlines(scan_dataset)
+        assert headlines.responders > 30
+        assert headlines.zero_margin >= 1
+        assert headlines.future_this_update >= 1
+        assert headlines.blank_next_update >= 1
+        assert headlines.serial20 >= 1
+        assert headlines.multi_certificate >= 1
+        assert headlines.not_on_demand >= headlines.responders * 0.3
+        fractions = headlines.fractions()
+        assert 0 < fractions["not_on_demand"] <= 1
+
+
+class TestAdoption:
+    def test_deployment_stats(self, corpus):
+        stats = deployment_stats(corpus)
+        assert 0.90 <= stats.ocsp_fraction <= 0.99
+        shares = stats.must_staple_ca_shares()
+        assert shares.get("Lets Encrypt", 0) > 0.80  # paper: 97.3%
+
+    def test_figure2(self, alexa_model):
+        adoption = figure2_adoption(alexa_model, bin_width=100_000)
+        https = adoption.curves["Domains with certificate"]
+        ocsp = adoption.curves["Certificates with OCSP responder"]
+        assert len(https) == 10
+        assert 70 <= adoption.average("Domains with certificate") <= 80
+        assert 85 <= adoption.average("Certificates with OCSP responder") <= 95
+        # Popular sites adopt more: the curve declines with rank.
+        assert adoption.slope_sign("Domains with certificate") == -1
+
+    def test_figure11(self, alexa_model):
+        adoption = figure11_adoption(alexa_model, bin_width=100_000)
+        name = "OCSP domains that support OCSP Stapling"
+        assert 28 <= adoption.average(name) <= 42   # "roughly 35%"
+        assert adoption.slope_sign(name) == -1
+
+    def test_figure12(self):
+        history = figure12_history()
+        before, after = history.cloudflare_jump()
+        assert before < 13_000 and after == 78_907
+        assert history.monotonic_growth("ocsp")
+        labels = [label for label, _ in history.ocsp_series()]
+        assert labels[0] == "2016-05" and labels[-1] == "2018-09"
+
+
+class TestRender:
+    def test_table(self):
+        text = render_table(["a", "bb"], [[1, 2], ["xxx", 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xxx" in text
+
+    def test_series_downsampled(self):
+        points = [(i, float(i)) for i in range(100)]
+        text = render_series(points, "s", max_points=10)
+        assert len(text.splitlines()) == 11
+
+    def test_cdf_quantiles(self):
+        text = render_cdf([(i, i / 10) for i in range(1, 11)], "cdf")
+        assert "p50" in text
+        assert render_cdf([], "empty").startswith("empty")
+
+    def test_pct(self):
+        assert pct(0.954) == "95.4%"
+
+
+class TestReadiness:
+    @pytest.fixture(scope="class")
+    def report(self, small_world, corpus):
+        return assess_readiness(world=small_world, corpus=corpus, scan_days=2,
+                                scan_interval=12 * 3600)
+
+    def test_paper_verdict(self, report):
+        assert not report.web_is_ready
+
+    def test_all_four_principals(self, report):
+        principals = [v.principal for v in report.verdicts]
+        assert len(principals) == 4
+        assert any("browsers" in p for p in principals)
+        assert any("server software" in p for p in principals)
+
+    def test_browsers_not_ready(self, report):
+        assert not report.verdict_for("Clients (web browsers)").ready
+
+    def test_servers_not_ready(self, report):
+        assert not report.verdict_for("Web server software").ready
+
+    def test_render_contains_answer(self, report):
+        text = report.render()
+        assert "Is the web ready for OCSP Must-Staple?  NO" in text
+
+    def test_unknown_principal(self, report):
+        with pytest.raises(KeyError):
+            report.verdict_for("nobody")

@@ -1,0 +1,187 @@
+"""Unit tests for the crypto substrate: primes, RSA, PKCS#1, SPKI."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    KeyPool,
+    SignatureError,
+    decode_rsa_public_key,
+    decode_spki,
+    encode_rsa_public_key,
+    encode_spki,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    is_valid,
+    shared_pool,
+    sign,
+    verify,
+)
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 251):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 100, 561, 8911):  # includes Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_known_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2 ** 127 - 1)
+
+    def test_known_large_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * 7)
+
+    def test_generate_prime_has_exact_bits(self):
+        rng = random.Random(1)
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(128, random.Random(42)) == generate_prime(128, random.Random(42))
+
+
+class TestKeygen:
+    def test_keypair_consistency(self):
+        key = generate_keypair(512, rng=7)
+        assert key.n == key.p * key.q
+        assert key.n.bit_length() == 512
+        # d inverts e mod phi.
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.d * key.e) % phi == 1
+
+    def test_seed_determinism(self):
+        assert generate_keypair(512, rng=3).n == generate_keypair(512, rng=3).n
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(512, rng=3).n != generate_keypair(512, rng=4).n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(64)
+
+    def test_raw_sign_verify_inverse(self):
+        key = generate_keypair(512, rng=11)
+        message = 123456789
+        assert key.public_key.raw_verify(key.raw_sign(message)) == message
+
+    def test_raw_sign_range_check(self):
+        key = generate_keypair(512, rng=11)
+        with pytest.raises(ValueError):
+            key.raw_sign(key.n)
+
+
+class TestPKCS1:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_keypair(512, rng=20)
+
+    def test_sign_verify(self, key):
+        signature = sign(key, b"hello world")
+        verify(key.public_key, b"hello world", signature)
+
+    def test_signature_length_is_modulus_length(self, key):
+        assert len(sign(key, b"x")) == 64
+
+    def test_tampered_message_fails(self, key):
+        signature = sign(key, b"hello world")
+        with pytest.raises(SignatureError):
+            verify(key.public_key, b"hello worle", signature)
+
+    def test_tampered_signature_fails(self, key):
+        signature = bytearray(sign(key, b"m"))
+        signature[10] ^= 0x01
+        assert not is_valid(key.public_key, b"m", bytes(signature))
+
+    def test_wrong_key_fails(self, key):
+        other = generate_keypair(512, rng=21)
+        signature = sign(key, b"m")
+        assert not is_valid(other.public_key, b"m", signature)
+
+    def test_wrong_length_fails(self, key):
+        with pytest.raises(SignatureError):
+            verify(key.public_key, b"m", b"\x00" * 63)
+
+    def test_sha1_mode(self, key):
+        signature = sign(key, b"legacy", hash_name="sha1")
+        verify(key.public_key, b"legacy", signature, hash_name="sha1")
+        # Cross-hash verification fails.
+        assert not is_valid(key.public_key, b"legacy", signature, hash_name="sha256")
+
+    def test_unsupported_hash(self, key):
+        with pytest.raises(ValueError):
+            sign(key, b"m", hash_name="md5")
+
+    def test_empty_message(self, key):
+        signature = sign(key, b"")
+        verify(key.public_key, b"", signature)
+
+    def test_signature_deterministic(self, key):
+        assert sign(key, b"m") == sign(key, b"m")
+
+    def test_out_of_range_signature_rejected(self, key):
+        too_big = (key.n).to_bytes(64, "big")
+        with pytest.raises(SignatureError):
+            verify(key.public_key, b"m", too_big)
+
+
+class TestKeySerialization:
+    def test_rsa_public_key_round_trip(self):
+        key = generate_keypair(512, rng=30).public_key
+        assert decode_rsa_public_key(encode_rsa_public_key(key)) == key
+
+    def test_spki_round_trip(self):
+        key = generate_keypair(512, rng=31).public_key
+        assert decode_spki(encode_spki(key)) == key
+
+    def test_spki_rejects_non_rsa(self):
+        from repro.asn1 import encoder, oid
+        bogus = encoder.encode_sequence(
+            encoder.encode_sequence(encoder.encode_oid(oid.SHA1), encoder.encode_null()),
+            encoder.encode_bit_string(b"\x00"),
+        )
+        with pytest.raises(ValueError):
+            decode_spki(bogus)
+
+
+class TestKeyPool:
+    def test_lazy_generation(self):
+        pool = KeyPool(size=3, seed=1)
+        assert len(pool) == 0
+        pool.take()
+        assert len(pool) == 1
+
+    def test_round_robin_after_fill(self):
+        pool = KeyPool(size=2, seed=1)
+        first, second = pool.take(), pool.take()
+        assert pool.take() is first
+        assert pool.take() is second
+
+    def test_fresh_not_in_pool(self):
+        pool = KeyPool(size=1, seed=1)
+        a = pool.take()
+        b = pool.fresh()
+        assert a.n != b.n
+        assert len(pool) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            KeyPool(size=0)
+
+    def test_shared_pool_memoized(self):
+        assert shared_pool(4, 512, 77) is shared_pool(4, 512, 77)
+        assert shared_pool(4, 512, 77) is not shared_pool(4, 512, 78)
+
+    def test_deterministic_across_instances(self):
+        assert KeyPool(size=2, seed=5).take().n == KeyPool(size=2, seed=5).take().n

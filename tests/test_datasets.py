@@ -1,0 +1,264 @@
+"""Unit tests for the synthetic datasets: market share, corpus, Alexa,
+history, and the measurement world."""
+
+import math
+
+import pytest
+
+from repro.datasets import (
+    ALEXA_MUST_STAPLE,
+    AlexaConfig,
+    AlexaModel,
+    CertificateCorpus,
+    CorpusConfig,
+    CLOUDFLARE_AFTER,
+    CLOUDFLARE_BEFORE,
+    MUST_STAPLE_BY_CA,
+    MUST_STAPLE_CERTIFICATES,
+    MeasurementWorld,
+    VALID_CERTIFICATES,
+    WorldConfig,
+    adoption_history,
+    expected_ocsp_fraction,
+    must_staple_weights,
+    normalized_shares,
+    snapshot_for,
+    https_probability,
+    ocsp_probability,
+    stapling_probability,
+)
+from repro.simnet import MEASUREMENT_START
+
+
+class TestMarketShare:
+    def test_shares_normalized(self):
+        assert abs(sum(s.share for s in normalized_shares()) - 1.0) < 1e-9
+
+    def test_expected_ocsp_fraction_near_paper(self):
+        # Paper: 95.4% of valid certificates support OCSP.
+        assert 0.93 <= expected_ocsp_fraction() <= 0.97
+
+    def test_must_staple_weights_match_paper(self):
+        weights = must_staple_weights()
+        assert abs(weights["Lets Encrypt"] - 28_919 / 29_709) < 1e-9
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+    def test_paper_constants(self):
+        assert MUST_STAPLE_CERTIFICATES == 29_709
+        assert sum(MUST_STAPLE_BY_CA.values()) == 29_709
+        assert MUST_STAPLE_CERTIFICATES / VALID_CERTIFICATES < 0.0005  # "0.02%"
+
+    def test_lets_encrypt_dominant(self):
+        shares = normalized_shares()
+        biggest = max(shares, key=lambda s: s.share)
+        assert biggest.name == "Lets Encrypt"
+        assert not biggest.supports_crl  # footnote 18
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = CertificateCorpus(CorpusConfig(size=500, seed=1))
+        b = CertificateCorpus(CorpusConfig(size=500, seed=1))
+        assert [r.ca_name for r in a] == [r.ca_name for r in b]
+
+    def test_size(self, corpus):
+        assert len(corpus) == 3_000
+
+    def test_must_staple_only_from_issuing_cas(self, corpus):
+        issuers = {r.ca_name for r in corpus.must_staple_records()}
+        assert issuers <= set(MUST_STAPLE_BY_CA)
+
+    def test_must_staple_implies_ocsp(self, corpus):
+        assert all(r.has_ocsp for r in corpus.must_staple_records())
+
+    def test_ocsp_fraction_near_model(self, corpus):
+        fraction = len(corpus.ocsp_records()) / len(corpus)
+        assert 0.90 <= fraction <= 0.99
+
+    def test_lets_encrypt_lifetimes_are_90_days(self, corpus):
+        from repro.simnet import DAY
+        le = [r for r in corpus if r.ca_name == "Lets Encrypt"]
+        assert le and all((r.not_after - r.not_before) == 90 * DAY for r in le)
+
+    def test_validity_filters(self, corpus):
+        now = corpus.config.snapshot_time
+        valid = corpus.valid_at(now)
+        assert all(r.not_before <= now <= r.not_after for r in valid)
+        month = corpus.with_min_remaining(30, now)
+        assert all(r.days_remaining(now) >= 30 for r in month)
+        assert len(month) <= len(valid)
+
+    def test_ocsp_url_derived_from_ca(self, corpus):
+        record = corpus.ocsp_records()[0]
+        assert record.ocsp_url.startswith("http://ocsp1.")
+
+    def test_materialize_issues_real_certificates(self, now):
+        from repro.ca import CertificateAuthority
+        corpus = CertificateCorpus(CorpusConfig(size=40, seed=3))
+        ca = CertificateAuthority.create_root(
+            "Lets Encrypt", "http://ocsp.le.test", not_before=now - 86400 * 900)
+        done = corpus.materialize(
+            [r for r in corpus if r.ca_name == "Lets Encrypt"][:5],
+            {"Lets Encrypt": ca},
+        )
+        assert done
+        for record in done:
+            assert record.certificate is not None
+            assert record.certificate.must_staple == record.must_staple
+            assert record.certificate.serial_number == record.serial_number
+
+
+class TestAlexa:
+    def test_probability_curves_decline_with_rank(self):
+        assert https_probability(1) > https_probability(999_999)
+        assert ocsp_probability(1) > ocsp_probability(999_999)
+        assert stapling_probability(1) > stapling_probability(999_999)
+
+    def test_population_fractions(self, alexa_model):
+        n = len(alexa_model)
+        https = len(alexa_model.https_domains())
+        ocsp = len(alexa_model.ocsp_domains())
+        stapling = len(alexa_model.stapling_domains())
+        assert 0.70 <= https / n <= 0.80               # "close to 75%"
+        assert 0.88 <= ocsp / https <= 0.94            # "91.3% on average"
+        assert 0.30 <= stapling / ocsp <= 0.42         # "roughly 35%"
+
+    def test_must_staple_quota_scaled(self, alexa_model):
+        # 100 per million, scaled to the sample size.
+        expected = round(ALEXA_MUST_STAPLE * len(alexa_model) / 1_000_000)
+        assert len(alexa_model.must_staple_domains()) == max(1, expected)
+
+    def test_must_staple_is_lets_encrypt(self, alexa_model):
+        assert all(r.ca_name == "Lets Encrypt"
+                   for r in alexa_model.must_staple_domains())
+
+    def test_deterministic(self):
+        a = AlexaModel(AlexaConfig(size=300, seed=9))
+        b = AlexaModel(AlexaConfig(size=300, seed=9))
+        assert [(r.rank, r.https, r.stapling) for r in a] == \
+            [(r.rank, r.https, r.stapling) for r in b]
+
+    def test_ranks_span_population(self, alexa_model):
+        ranks = [r.rank for r in alexa_model]
+        assert min(ranks) == 1
+        assert max(ranks) > 990_000
+
+
+class TestHistory:
+    def test_span(self):
+        history = adoption_history()
+        assert (history[0].year, history[0].month) == (2016, 5)
+        assert (history[-1].year, history[-1].month) == (2018, 9)
+        assert len(history) == 29
+
+    def test_growth(self):
+        history = adoption_history()
+        assert history[-1].ocsp_pct > history[0].ocsp_pct
+        assert history[-1].stapling_pct > history[0].stapling_pct
+
+    def test_cloudflare_jump(self):
+        may = snapshot_for(2017, 5)
+        june = snapshot_for(2017, 6)
+        assert may.cloudflare_stapling_domains < CLOUDFLARE_BEFORE * 1.05
+        assert june.cloudflare_stapling_domains == CLOUDFLARE_AFTER
+        # The jump is visible in the stapling percentage too.
+        assert june.stapling_pct - may.stapling_pct > 2.0
+
+    def test_labels(self):
+        assert snapshot_for(2017, 6).label == "2017-06"
+
+    def test_unknown_month_raises(self):
+        with pytest.raises(KeyError):
+            snapshot_for(2020, 1)
+
+
+class TestWorld:
+    def test_population_size(self, small_world):
+        assert len(small_world.sites) == 40
+        assert len(small_world.scan_targets()) == 40  # 1 cert each
+
+    def test_deterministic(self):
+        a = MeasurementWorld(WorldConfig(n_responders=40, certs_per_responder=1, seed=13))
+        b = MeasurementWorld(WorldConfig(n_responders=40, certs_per_responder=1, seed=13))
+        assert [s.url for s in a.sites] == [s.url for s in b.sites]
+        assert [s.profile.validity_period for s in a.sites] == \
+            [s.profile.validity_period for s in b.sites]
+
+    def test_event_groups_present(self, small_world):
+        families = {site.family for site in small_world.sites}
+        for expected in ("comodo", "digicert", "sheca", "postsignum",
+                         "identrust-unreachable", "hinet", "cnnic",
+                         "cpc-gov-ae", "generic"):
+            assert expected in families
+
+    def test_comodo_outage_scoped(self, small_world):
+        from repro.simnet import at
+        comodo = small_world.sites_by_family("comodo")
+        assert comodo
+        for site in comodo:
+            outage = site.origin.active_outage("Oregon", at(2018, 4, 25, 19, 30))
+            assert outage is not None
+            assert site.origin.active_outage("Virginia", at(2018, 4, 25, 19, 30)) is None
+
+    def test_unreachable_site_always_out(self, small_world):
+        site = small_world.sites_by_family("identrust-unreachable")[0]
+        for vantage in ("Oregon", "Seoul"):
+            assert site.origin.active_outage(vantage, MEASUREMENT_START + 1000)
+
+    def test_cpc_profile_includes_root(self, small_world):
+        site = small_world.sites_by_family("cpc-gov-ae")[0]
+        assert site.profile.include_root_chain
+
+    def test_hinet_non_overlapping(self, small_world):
+        site = small_world.sites_by_family("hinet")[0]
+        assert site.profile.validity_period == site.profile.update_interval == 7200
+
+    def test_certificates_point_at_their_responder(self, small_world):
+        for site in small_world.sites[:10]:
+            for certificate in site.certificates:
+                assert certificate.ocsp_urls[0].rstrip("/") in (
+                    site.url, site.url.replace("https://", "http://"))
+
+    def test_noise_deterministic(self, small_world):
+        a = small_world._noise("Sao-Paulo", "origin-5-generic", MEASUREMENT_START)
+        b = small_world._noise("Sao-Paulo", "origin-5-generic", MEASUREMENT_START)
+        assert a == b
+
+    def test_noise_rate_roughly_calibrated(self, small_world):
+        """Averaged over many origins, noise matches the configured
+        rate — but concentrates on a flappy minority."""
+        origins = [f"origin-{i}" for i in range(60)]
+        samples = 300
+        hits = sum(
+            1 for origin in origins for i in range(samples)
+            if small_world._noise("Sao-Paulo", origin, MEASUREMENT_START + i * 3600)
+        )
+        rate = hits / (len(origins) * samples)
+        target = small_world.config.noise_rates["Sao-Paulo"]
+        assert abs(rate - target) < 0.015
+
+    def test_noise_concentrated_on_flappy_minority(self, small_world):
+        origins = [f"origin-{i}" for i in range(80)]
+        flappy = sum(1 for origin in origins if small_world._is_flappy(origin))
+        assert 0.15 <= flappy / len(origins) <= 0.50
+        # Non-flappy origins never see noise.
+        clean = next(o for o in origins if not small_world._is_flappy(o))
+        assert all(
+            small_world._noise("Sao-Paulo", clean, MEASUREMENT_START + i * 3600) is None
+            for i in range(200)
+        )
+
+    def test_too_small_world_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementWorld(WorldConfig(n_responders=5))
+
+    def test_scale_factor(self):
+        config = WorldConfig(n_responders=134)
+        assert config.scale(536) == 134
+        assert config.scale(1) == 1
+        assert abs(config.scale_factor - 4.0) < 0.01
+
+    def test_site_for_url(self, small_world):
+        site = small_world.sites[0]
+        assert small_world.site_for_url(site.url) is site
+        assert small_world.site_for_url("http://nowhere.test") is None

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast example scripts run and tell the right story."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.join(EXAMPLES, name)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "attack BLOCKED by Must-Staple" in out
+        assert "attack SUCCEEDED (soft failure)" in out
+        assert "rejected: certificate revoked" in out
+
+    def test_webserver_conformance(self, capsys):
+        out = run_example("webserver_conformance.py", capsys)
+        assert "pause conn." in out
+        assert "locked out" in out
+        # The ideal server never locks anyone out.
+        assert "(0/24 h locked out)" in out
+
+    def test_responder_selftest(self, capsys):
+        out = run_example("responder_selftest.py", capsys)
+        assert "ATTENTION" in out       # the malformed responder
+        assert "from_cache=True" in out  # the caching client
+
+    def test_crl_ocsp_audit(self, capsys):
+        out = run_example("crl_ocsp_audit.py", capsys)
+        assert "ocsp.camerfirma.com" in out
+        assert "msocsp" in out

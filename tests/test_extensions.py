@@ -1,0 +1,335 @@
+"""Tests for the extension features: nonces, OCSP-GET, PEM,
+multi-stapling, attacks, latency, and alternatives."""
+
+import pytest
+
+from repro.browser import by_label, hardened_browser
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.core import (
+    AttackerCapabilities,
+    ManInTheMiddle,
+    MechanismParameters,
+    compare_mechanisms,
+    measure_attack_window,
+    measure_cdn_latency,
+    measure_direct_latency,
+)
+from repro.crypto import generate_keypair
+from repro.ocsp import CertID, OCSPError, OCSPRequest, OCSPResponse, verify_response
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_get, ocsp_post
+from repro.tls import ClientHello
+from repro.webserver import IdealServer, MultiStapleServer, verify_chain_staples
+from repro.x509 import TrustStore
+from repro.x509.pem import (
+    certificate_to_pem,
+    certificates_from_pem,
+    chain_to_pem,
+    crl_from_pem,
+    crl_to_pem,
+    decode_pem,
+    encode_pem,
+)
+
+NOW = MEASUREMENT_START
+
+
+class TestNonce:
+    def test_nonce_round_trip_in_response(self, ca, leaf, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id, nonce=b"\xaa" * 16)
+        response = responder.handle(
+            ocsp_post(responder.url + "/", request.encode()), now)
+        parsed = OCSPResponse.from_der(response.body)
+        assert parsed.basic.nonce == b"\xaa" * 16
+
+    def test_matching_nonce_accepted(self, ca, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id, nonce=b"\xbb" * 8)
+        response = responder.handle(
+            ocsp_post(responder.url + "/", request.encode()), now)
+        check = verify_response(response.body, cert_id, ca.certificate, now,
+                                expected_nonce=b"\xbb" * 8)
+        assert check.ok
+
+    def test_wrong_nonce_rejected(self, ca, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id, nonce=b"\xbb" * 8)
+        response = responder.handle(
+            ocsp_post(responder.url + "/", request.encode()), now)
+        check = verify_response(response.body, cert_id, ca.certificate, now,
+                                expected_nonce=b"\xcc" * 8)
+        assert check.error is OCSPError.NONCE_MISMATCH
+
+    def test_missing_nonce_rejected_when_expected(self, ca, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id)  # no nonce
+        response = responder.handle(
+            ocsp_post(responder.url + "/", request.encode()), now)
+        check = verify_response(response.body, cert_id, ca.certificate, now,
+                                expected_nonce=b"\xdd" * 8)
+        assert check.error is OCSPError.NONCE_MISMATCH
+
+    def test_nonce_not_required_by_default(self, ca, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id, nonce=b"\xee" * 8)
+        response = responder.handle(
+            ocsp_post(responder.url + "/", request.encode()), now)
+        assert verify_response(response.body, cert_id, ca.certificate, now).ok
+
+
+class TestOcspGet:
+    def test_get_round_trip(self, ca, responder, cert_id, now):
+        request = OCSPRequest.for_single(cert_id)
+        response = responder.handle(ocsp_get(responder.url, request.encode()), now)
+        assert verify_response(response.body, cert_id, ca.certificate, now).ok
+
+    def test_get_path_decoding(self):
+        from repro.simnet import decode_ocsp_get_path
+        payload = b"\x30\x03\x02\x01\x05"
+        request = ocsp_get("http://o.test", payload)
+        assert decode_ocsp_get_path(request.path) == payload
+
+    def test_get_path_url_safe(self):
+        # base64 of bytes with '+' and '/' characters must survive URL
+        # encoding.
+        payload = bytes(range(256))
+        request = ocsp_get("http://o.test", payload)
+        from repro.simnet import decode_ocsp_get_path
+        assert decode_ocsp_get_path(request.path) == payload
+
+    def test_bad_path_raises(self):
+        from repro.simnet import decode_ocsp_get_path
+        with pytest.raises(ValueError):
+            decode_ocsp_get_path("/not-base64-!!!")
+
+
+class TestPEM:
+    def test_certificate_round_trip(self, leaf):
+        pem = certificate_to_pem(leaf)
+        assert pem.startswith("-----BEGIN CERTIFICATE-----")
+        [parsed] = certificates_from_pem(pem)
+        assert parsed.der == leaf.der
+
+    def test_chain_round_trip(self, ca, leaf):
+        pem = chain_to_pem([leaf, ca.certificate])
+        parsed = certificates_from_pem(pem)
+        assert [c.der for c in parsed] == [leaf.der, ca.certificate.der]
+
+    def test_crl_round_trip(self, ca, now):
+        crl = ca.build_crl(now)
+        assert crl_from_pem(crl_to_pem(crl)).der == crl.der
+
+    def test_line_length(self, leaf):
+        pem = certificate_to_pem(leaf)
+        body_lines = pem.splitlines()[1:-1]
+        assert all(len(line) <= 64 for line in body_lines)
+
+    def test_surrounding_text_ignored(self, leaf):
+        text = "preamble junk\n" + certificate_to_pem(leaf) + "trailing junk"
+        assert len(certificates_from_pem(text)) == 1
+
+    def test_bad_base64_raises(self):
+        with pytest.raises(ValueError):
+            decode_pem("-----BEGIN CERTIFICATE-----\n!!!\n-----END CERTIFICATE-----")
+
+    def test_no_crl_block_raises(self):
+        with pytest.raises(ValueError):
+            crl_from_pem("no blocks here")
+
+    def test_multiple_labels(self, ca, leaf, now):
+        text = certificate_to_pem(leaf) + crl_to_pem(ca.build_crl(now))
+        labels = [label for label, _ in decode_pem(text)]
+        assert labels == ["CERTIFICATE", "X509 CRL"]
+
+
+def _multistaple_rig():
+    root = CertificateAuthority.create_root(
+        "T Root", "http://ocsp.troot.test", not_before=NOW - 3 * 365 * DAY)
+    intermediate = root.create_intermediate("T Int", "http://ocsp.tint.test")
+    leaf = intermediate.issue_leaf("ms.example", generate_keypair(512, rng=50),
+                                   not_before=NOW - DAY)
+    network = Network()
+    for name, authority in (("troot", root), ("tint", intermediate)):
+        responder = OCSPResponder(
+            authority, f"http://ocsp.{name}.test",
+            ResponderProfile(update_interval=None, this_update_margin=HOUR),
+            epoch_start=NOW - 7 * DAY)
+        network.bind(f"ocsp.{name}.test",
+                     network.add_origin(f"{name}", "us-east", responder.handle))
+    server = MultiStapleServer(
+        chain=[leaf, intermediate.certificate, root.certificate],
+        issuer=intermediate.certificate, network=network)
+    issuers = [intermediate.certificate, root.certificate, root.certificate]
+    return root, intermediate, leaf, server, issuers
+
+
+class TestMultiStaple:
+    def test_v2_client_gets_chain_staples(self):
+        *_, server, issuers = _multistaple_rig()
+        server.tick(NOW)
+        hello = ClientHello("ms.example", status_request=True,
+                            status_request_v2=True)
+        handshake = server.handle_connection(hello, NOW)
+        assert handshake.stapled_ocsp_chain is not None
+        assert len(handshake.stapled_ocsp_chain) == 3
+        assert handshake.stapled_ocsp_chain[0] is not None  # leaf
+        assert handshake.stapled_ocsp_chain[1] is not None  # intermediate
+        assert handshake.stapled_ocsp_chain[2] is None      # root: no status
+
+    def test_v1_client_gets_single_staple_only(self):
+        *_, server, _ = _multistaple_rig()
+        server.tick(NOW)
+        hello = ClientHello("ms.example", status_request=True)
+        handshake = server.handle_connection(hello, NOW)
+        assert handshake.stapled_ocsp is not None
+        assert handshake.stapled_ocsp_chain is None
+
+    def test_verify_chain_staples_healthy(self):
+        *_, server, issuers = _multistaple_rig()
+        server.tick(NOW)
+        hello = ClientHello("ms.example", status_request=True,
+                            status_request_v2=True)
+        verdicts = verify_chain_staples(
+            server.handle_connection(hello, NOW), issuers, NOW)
+        assert verdicts == [True, True, None]
+
+    def test_revoked_intermediate_detected(self):
+        root, intermediate, leaf, server, issuers = _multistaple_rig()
+        server.tick(NOW)
+        root.revoke(intermediate.certificate, NOW + HOUR, reason=2)
+        server.cache = None
+        server._chain_cache.clear()
+        server.tick(NOW + 2 * HOUR)
+        hello = ClientHello("ms.example", status_request=True,
+                            status_request_v2=True)
+        verdicts = verify_chain_staples(
+            server.handle_connection(hello, NOW + 2 * HOUR),
+            issuers, NOW + 2 * HOUR)
+        assert verdicts[0] is True   # leaf itself not revoked
+        assert verdicts[1] is False  # intermediate flagged
+
+    def test_no_chain_without_v2_extension(self):
+        *_, server, issuers = _multistaple_rig()
+        server.tick(NOW)
+        handshake = server.handle_connection(
+            ClientHello("ms.example", status_request=True), NOW)
+        assert verify_chain_staples(handshake, issuers, NOW) == [None, None, None]
+
+
+def _attack_rig(validity=DAY):
+    ca = CertificateAuthority.create_root(
+        "ATK2 CA", "http://ocsp.atk2.test", not_before=NOW - 365 * DAY)
+    leaf = ca.issue_leaf("atk2.example", generate_keypair(512, rng=60),
+                         not_before=NOW - DAY, must_staple=True,
+                         lifetime=400 * DAY)
+    responder = OCSPResponder(
+        ca, "http://ocsp.atk2.test",
+        ResponderProfile(update_interval=None, this_update_margin=0,
+                         validity_period=validity),
+        epoch_start=NOW - 7 * DAY)
+    network = Network()
+    network.bind("ocsp.atk2.test",
+                 network.add_origin("atk2", "us-east", responder.handle))
+    server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                         network=network)
+    return ca, leaf, server, network, TrustStore([ca.certificate])
+
+
+class TestAttacks:
+    def test_replay_window_equals_validity(self):
+        firefox = by_label()["Firefox 60 (Linux)"]
+        ca, leaf, server, network, trust = _attack_rig(validity=6 * HOUR)
+        ca.revoke(leaf, NOW, reason=1)
+        outcome = measure_attack_window(
+            firefox, server, leaf, ca.certificate, trust,
+            AttackerCapabilities(replay_staple=True),
+            revoked_at=NOW, horizon=3 * DAY, step=HOUR,
+            network=network, server_tick=server.tick)
+        assert not outcome.unbounded
+        assert abs(outcome.window - 6 * HOUR) <= HOUR
+
+    def test_strip_blocks_soft_fail_forever(self):
+        chrome = by_label()["Chrome 66 (Linux)"]
+        ca, leaf, server, network, trust = _attack_rig()
+        ca.revoke(leaf, NOW, reason=1)
+        outcome = measure_attack_window(
+            chrome, server, leaf, ca.certificate, trust,
+            AttackerCapabilities(strip_staple=True, block_ocsp=True),
+            revoked_at=NOW, horizon=10 * DAY, step=DAY,
+            network=network, server_tick=server.tick)
+        assert outcome.unbounded
+
+    def test_must_staple_stops_strip_immediately(self):
+        firefox = by_label()["Firefox 60 (Linux)"]
+        ca, leaf, server, network, trust = _attack_rig()
+        ca.revoke(leaf, NOW, reason=1)
+        outcome = measure_attack_window(
+            firefox, server, leaf, ca.certificate, trust,
+            AttackerCapabilities(strip_staple=True, block_ocsp=True),
+            revoked_at=NOW, horizon=DAY, step=HOUR,
+            network=network, server_tick=server.tick)
+        assert outcome.window == 0
+
+    def test_no_attacker_honest_server_converges(self):
+        firefox = by_label()["Firefox 60 (Linux)"]
+        ca, leaf, server, network, trust = _attack_rig(validity=2 * HOUR)
+        ca.revoke(leaf, NOW, reason=1)
+        outcome = measure_attack_window(
+            firefox, server, leaf, ca.certificate, trust,
+            AttackerCapabilities(),
+            revoked_at=NOW, horizon=2 * DAY, step=HOUR,
+            network=network, server_tick=server.tick)
+        # The honest server's next refresh delivers the REVOKED staple.
+        assert not outcome.unbounded
+        assert outcome.window <= 3 * HOUR
+
+    def test_mitm_passthrough_without_capabilities(self):
+        ca, leaf, server, network, trust = _attack_rig()
+        server.tick(NOW)
+        mitm = ManInTheMiddle(server, AttackerCapabilities(), leaf, ca.certificate)
+        handshake = mitm.handle_connection(ClientHello("atk2.example"), NOW)
+        assert handshake.stapled_ocsp is not None
+
+
+class TestLatency:
+    @pytest.fixture(scope="class")
+    def latency_world(self):
+        from repro.datasets import MeasurementWorld, WorldConfig
+        return MeasurementWorld(WorldConfig(n_responders=40,
+                                            certs_per_responder=1, seed=13))
+
+    def test_direct_latency_shape(self, latency_world):
+        report = measure_direct_latency(latency_world, hours=4)
+        assert len(report) > 100
+        assert 100 <= report.median_ms <= 600
+
+    def test_cdn_cuts_median(self, latency_world):
+        direct = measure_direct_latency(latency_world, hours=4)
+        cdn = measure_cdn_latency(latency_world, hours=4)
+        assert cdn.median_ms < direct.median_ms / 3
+
+    def test_percentiles_ordered(self, latency_world):
+        report = measure_direct_latency(latency_world, hours=2)
+        assert report.percentile_ms(50) <= report.percentile_ms(90) \
+            <= report.percentile_ms(99)
+
+
+class TestAlternatives:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compare_mechanisms(MechanismParameters(
+            ocsp_validity=DAY, short_lived_lifetime=2 * DAY,
+            horizon=20 * DAY))
+
+    def test_four_mechanisms(self, rows):
+        assert len(rows) == 4
+
+    def test_soft_fail_unbounded_under_attack(self, rows):
+        by_name = {r.mechanism: r for r in rows}
+        assert by_name["CRL (soft-fail client)"].attacked_window is None
+        assert by_name["OCSP (soft-fail client)"].attacked_window is None
+
+    def test_must_staple_bounded(self, rows):
+        by_name = {r.mechanism: r for r in rows}
+        row = by_name["OCSP Must-Staple (hard-fail client)"]
+        assert row.attacked_window is not None
+        assert abs(row.attacked_window - DAY) <= HOUR
+
+    def test_short_lived_bounded_by_lifetime(self, rows):
+        by_name = {r.mechanism: r for r in rows}
+        assert by_name["Short-lived certificates"].attacked_window == 2 * DAY

@@ -1,0 +1,204 @@
+"""Tests for the second extension batch: client OCSP cache, CRLSets,
+the ASN.1 dumper, the patched-Apache model, and size analysis."""
+
+import pytest
+
+from repro.asn1.dump import describe_certificate, dump_der
+from repro.browser import (
+    CRLSet,
+    CRLSetDistributor,
+    ClientOCSPCache,
+    by_label,
+    check_with_crlset,
+    connect,
+    staleness_window,
+    Verdict,
+)
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.core import size_by_certificate_count, responder_quality
+from repro.crypto import generate_keypair
+from repro.ocsp import CertID, OCSPRequest, verify_response
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_post
+from repro.tls import ClientHello
+from repro.webserver import ApachePatchedServer, ApacheServer, run_conformance
+from repro.x509 import TrustStore
+
+NOW = MEASUREMENT_START
+HELLO = ClientHello("server.test", status_request=True)
+
+
+class TestClientOCSPCache:
+    def get_check(self, responder, cert_id, ca, now):
+        request = OCSPRequest.for_single(cert_id)
+        response = responder.handle(ocsp_post(responder.url + "/", request.encode()), now)
+        return verify_response(response.body, cert_id, ca.certificate, now)
+
+    def test_store_and_hit(self, ca, responder, cert_id, now):
+        cache = ClientOCSPCache()
+        check = self.get_check(responder, cert_id, ca, now)
+        assert cache.store(cert_id, check, now)
+        entry = cache.lookup(cert_id, now + HOUR)
+        assert entry is not None
+        assert entry.cert_status is check.cert_status
+        assert cache.hit_rate == 1.0
+
+    def test_expires_at_next_update(self, ca, responder, cert_id, now):
+        cache = ClientOCSPCache(max_age=None)
+        check = self.get_check(responder, cert_id, ca, now)
+        cache.store(cert_id, check, now)
+        assert cache.lookup(cert_id, check.single.next_update) is not None
+        assert cache.lookup(cert_id, check.single.next_update + 1) is None
+        assert len(cache) == 0  # evicted
+
+    def test_max_age_ceiling(self, ca, responder, cert_id, now):
+        cache = ClientOCSPCache(max_age=HOUR)
+        check = self.get_check(responder, cert_id, ca, now)
+        cache.store(cert_id, check, now)
+        assert cache.lookup(cert_id, now + HOUR) is not None
+        assert cache.lookup(cert_id, now + HOUR + 1) is None
+
+    def test_blank_next_update_not_cached_by_default(self, ca, now):
+        responder = OCSPResponder(
+            ca, "http://ocsp.fixture.test",
+            ResponderProfile(update_interval=None, blank_next_update=True),
+            epoch_start=now - DAY)
+        leaf = ca.issue_leaf("blank.example", generate_keypair(512, rng=70),
+                             not_before=now - DAY)
+        cert_id = CertID.for_certificate(leaf, ca.certificate)
+        check = self.get_check(responder, cert_id, ca, now)
+        cache = ClientOCSPCache()
+        assert not cache.store(cert_id, check, now)
+
+    def test_blank_cached_when_opted_in(self, ca, now):
+        responder = OCSPResponder(
+            ca, "http://ocsp.fixture.test",
+            ResponderProfile(update_interval=None, blank_next_update=True),
+            epoch_start=now - DAY)
+        leaf = ca.issue_leaf("blank2.example", generate_keypair(512, rng=71),
+                             not_before=now - DAY)
+        cert_id = CertID.for_certificate(leaf, ca.certificate)
+        check = self.get_check(responder, cert_id, ca, now)
+        cache = ClientOCSPCache(max_age=None, cache_blank=True)
+        assert cache.store(cert_id, check, now)
+        # The hazard: with no nextUpdate and no ceiling, never expires.
+        assert cache.lookup(cert_id, now + 1251 * DAY) is not None
+
+    def test_failed_check_not_cached(self, cert_id, now):
+        cache = ClientOCSPCache()
+        from repro.ocsp import OCSPCheckResult, OCSPError
+        assert not cache.store(cert_id, OCSPCheckResult(False, OCSPError.MALFORMED), now)
+
+    def test_staleness_window(self):
+        assert staleness_window(7 * DAY, 30 * DAY) == 7 * DAY
+        assert staleness_window(None, 30 * DAY) == 30 * DAY
+        assert staleness_window(1251 * DAY, None) == 1251 * DAY
+        assert staleness_window(None, None) is None  # the hazard
+
+
+class TestCRLSet:
+    @pytest.fixture()
+    def site(self, ca, leaf):
+        return ca, leaf
+
+    def test_membership(self, ca, leaf):
+        crlset = CRLSet()
+        assert not crlset.is_revoked(leaf, ca.certificate)
+        crlset.add(ca.certificate, leaf.serial_number)
+        assert crlset.is_revoked(leaf, ca.certificate)
+        assert len(crlset) == 1
+
+    def test_issuer_scoped(self, ca, leaf, now):
+        other_ca = CertificateAuthority.create_root(
+            "Other CA", "http://ocsp.other.test", not_before=now - 365 * DAY)
+        crlset = CRLSet()
+        crlset.add(other_ca.certificate, leaf.serial_number)
+        assert not crlset.is_revoked(leaf, ca.certificate)
+
+    def test_distributor_push_delay(self, ca, leaf, now):
+        distributor = CRLSetDistributor(push_delay=6 * HOUR)
+        distributor.curate(ca.certificate, leaf.serial_number, revoked_at=now)
+        assert not distributor.fetch(now + 5 * HOUR).is_revoked(leaf, ca.certificate)
+        assert distributor.fetch(now + 6 * HOUR).is_revoked(leaf, ca.certificate)
+
+    def test_tri_state(self, ca, leaf):
+        assert check_with_crlset(None, leaf, ca.certificate) is None
+        assert check_with_crlset(CRLSet(), leaf, ca.certificate) is False
+
+    def test_chrome_rejects_via_crlset_despite_network_attacker(self, ca, leaf, now):
+        """CRLSets are offline: stripping staples cannot defeat them."""
+        chrome = by_label()["Chrome 66 (Linux)"]
+        assert chrome.uses_crlset
+        server = ApacheServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                              network=Network(), stapling_enabled=False)
+        crlset = CRLSet()
+        crlset.add(ca.certificate, leaf.serial_number)
+        outcome = connect(chrome, server, "plain.example",
+                          TrustStore([ca.certificate]), now, crlset=crlset)
+        assert outcome.verdict is Verdict.REJECTED_REVOKED
+
+    def test_uncovered_revocation_still_missed(self, ca, leaf, now):
+        """...but coverage is everything: unlisted = accepted."""
+        chrome = by_label()["Chrome 66 (Linux)"]
+        server = ApacheServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                              network=Network(), stapling_enabled=False)
+        outcome = connect(chrome, server, "plain.example",
+                          TrustStore([ca.certificate]), now, crlset=CRLSet())
+        assert outcome.connected
+
+    def test_firefox_ignores_crlset(self, ca, staple_leaf, now):
+        firefox = by_label()["Firefox 60 (Linux)"]
+        assert not firefox.uses_crlset
+
+
+class TestASN1Dump:
+    def test_dump_certificate(self, leaf):
+        text = dump_der(leaf.der)
+        assert "SEQUENCE" in text
+        assert "sha256WithRSAEncryption" in text
+        assert "tlsFeature" not in text  # plain leaf
+
+    def test_dump_must_staple(self, staple_leaf):
+        text = dump_der(staple_leaf.der)
+        assert "Must-Staple" in text
+
+    def test_dump_truncation(self, leaf):
+        text = dump_der(leaf.der, max_lines=5)
+        assert "(truncated)" in text
+
+    def test_dump_garbage_does_not_crash(self):
+        assert dump_der(b"\xff\xff\xff")
+        assert dump_der(b"")== ""
+        assert "overruns" in dump_der(b"\x30\x10\x02\x01\x05")
+
+    def test_describe_certificate(self, staple_leaf):
+        summary = describe_certificate(staple_leaf.der)
+        assert "must-staple: yes" in summary
+        assert "staple.example" in summary
+
+
+class TestApachePatched:
+    def test_conformance(self):
+        report = run_conformance(ApachePatchedServer)
+        assert report.result("Respect nextUpdate in cache").passed
+        assert report.result("Retain OCSP response on error").passed
+        assert report.result("Cache OCSP response").passed
+        assert not report.result("Prefetch OCSP response").passed
+
+    def test_stock_still_fails(self):
+        report = run_conformance(ApacheServer)
+        assert not report.result("Respect nextUpdate in cache").passed
+
+
+class TestResponseSize:
+    def test_sizes_recorded(self, scan_dataset):
+        sizes = [r.response_size for r in scan_dataset.records
+                 if r.response_size is not None]
+        assert sizes
+        assert all(size > 0 for size in sizes)
+
+    def test_size_grows_with_certs(self, scan_dataset):
+        qualities = responder_quality(scan_dataset)
+        by_count = size_by_certificate_count(qualities)
+        assert len(by_count) >= 2
+        counts = sorted(by_count)
+        assert by_count[counts[-1]] > by_count[counts[0]]

@@ -1,0 +1,209 @@
+"""End-to-end integration tests crossing all subsystem boundaries."""
+
+import pytest
+
+from repro.browser import by_label, connect, hardened_browser, Verdict
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.ocsp import CertID, OCSPRequest, OCSPResponse, verify_response
+from repro.scanner import CDNCache, HourlyScanner
+from repro.simnet import (
+    DAY,
+    HOUR,
+    MEASUREMENT_START,
+    FailureKind,
+    Network,
+    OutageWindow,
+    ocsp_post,
+)
+from repro.tls import ClientHello
+from repro.webserver import ApacheServer, IdealServer, NginxServer
+from repro.x509 import TrustStore
+
+NOW = MEASUREMENT_START
+
+
+class TestFullMustStapleLifecycle:
+    """Issue → staple → browse → revoke → hard-fail, end to end."""
+
+    @pytest.fixture()
+    def world(self):
+        ca = CertificateAuthority.create_root(
+            "E2E CA", "http://ocsp.e2e.test", not_before=NOW - 365 * DAY)
+        key = generate_keypair(512, rng=777)
+        leaf = ca.issue_leaf("shop.example", key, not_before=NOW - DAY,
+                             must_staple=True)
+        responder = OCSPResponder(ca, "http://ocsp.e2e.test",
+                                  ResponderProfile(update_interval=None,
+                                                   this_update_margin=HOUR,
+                                                   validity_period=DAY),
+                                  epoch_start=NOW - 7 * DAY)
+        network = Network()
+        origin = network.add_origin("e2e", "us-east", responder.handle)
+        network.bind("ocsp.e2e.test", origin)
+        server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                             network=network)
+
+        class World:
+            pass
+
+        w = World()
+        w.ca, w.leaf, w.network, w.origin, w.server = ca, leaf, network, origin, server
+        w.trust = TrustStore([ca.certificate])
+        w.firefox = by_label()["Firefox 60 (Linux)"]
+        w.chrome = by_label()["Chrome 66 (Linux)"]
+        return w
+
+    def test_happy_path(self, world):
+        world.server.tick(NOW)
+        outcome = connect(world.firefox, world.server, "shop.example",
+                          world.trust, NOW)
+        assert outcome.verdict is Verdict.ACCEPTED
+        assert outcome.staple_valid
+
+    def test_revocation_propagates_through_staple(self, world):
+        world.server.tick(NOW)
+        world.ca.revoke(world.leaf, NOW + HOUR, reason=1)
+        # The server's next refresh picks up the revoked status.
+        world.server.cache = None
+        world.server.tick(NOW + 2 * HOUR)
+        outcome = connect(world.firefox, world.server, "shop.example",
+                          world.trust, NOW + 2 * HOUR)
+        assert outcome.verdict is Verdict.REJECTED_REVOKED
+
+    def test_responder_outage_only_hurts_must_staple_on_firefox(self, world):
+        # Server never obtained a staple; responder is down.
+        world.origin.add_outage(OutageWindow(NOW - 1, NOW + 30 * DAY,
+                                             kind=FailureKind.TCP))
+        firefox_outcome = connect(world.firefox, world.server, "shop.example",
+                                  world.trust, NOW)
+        chrome_outcome = connect(world.chrome, world.server, "shop.example",
+                                 world.trust, NOW, network=world.network)
+        assert firefox_outcome.verdict is Verdict.REJECTED_MUST_STAPLE
+        assert chrome_outcome.connected  # soft failure
+
+    def test_mitm_strip_attack_blocked_by_must_staple(self, world):
+        """The Section-2.3 attack: strip the staple, block OCSP —
+        Must-Staple + a compliant browser defeats it."""
+        world.server.tick(NOW)
+
+        class StrippingServer:
+            def handle_connection(self, hello, now):
+                handshake = world.server.handle_connection(hello, now)
+                handshake.stapled_ocsp = None  # attacker strips the staple
+                return handshake
+
+        outcome = connect(world.firefox, StrippingServer(), "shop.example",
+                          world.trust, NOW)
+        assert outcome.verdict is Verdict.REJECTED_MUST_STAPLE
+        # A soft-fail browser is fooled.
+        outcome = connect(world.chrome, StrippingServer(), "shop.example",
+                          world.trust, NOW)
+        assert outcome.connected
+
+    def test_hardened_browser_catches_revocation_without_staple(self, world):
+        world.ca.revoke(world.leaf, NOW, reason=1)
+        bare = ApacheServer(chain=[world.leaf, world.ca.certificate],
+                            issuer=world.ca.certificate, network=world.network,
+                            stapling_enabled=False)
+        browser = hardened_browser()
+        # Non-Must-Staple cert so the fallback path actually runs:
+        key = generate_keypair(512, rng=778)
+        plain = world.ca.issue_leaf("plain.example", key, not_before=NOW - DAY)
+        world.ca.revoke(plain, NOW, reason=1)
+        bare_plain = ApacheServer(chain=[plain, world.ca.certificate],
+                                  issuer=world.ca.certificate,
+                                  network=world.network, stapling_enabled=False)
+        outcome = connect(browser, bare_plain, "plain.example", world.trust,
+                          NOW + HOUR, network=world.network)
+        assert outcome.verdict is Verdict.REJECTED_REVOKED
+
+
+class TestServersAgainstFaultyResponders:
+    """Web server models driven against misbehaving responders."""
+
+    def make(self, profile, server_class):
+        ca = CertificateAuthority.create_root(
+            "Faulty CA", "http://ocsp.faulty.test", not_before=NOW - 365 * DAY)
+        key = generate_keypair(512, rng=779)
+        leaf = ca.issue_leaf("victim.example", key, not_before=NOW - DAY,
+                             must_staple=True)
+        responder = OCSPResponder(ca, "http://ocsp.faulty.test", profile,
+                                  epoch_start=NOW - 7 * DAY)
+        network = Network()
+        origin = network.add_origin("faulty", "us-east", responder.handle)
+        network.bind("ocsp.faulty.test", origin)
+        server = server_class(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                              network=network)
+        return server, ca, leaf
+
+    def test_apache_staples_garbage_free(self):
+        """A malformed responder body must not be stapled by Apache
+        (it fails to parse, so nothing is cached)."""
+        server, *_ = self.make(
+            ResponderProfile(update_interval=None, malformed_mode="zero"),
+            ApacheServer)
+        handshake = server.handle_connection(
+            ClientHello("victim.example", status_request=True), NOW)
+        assert handshake.stapled_ocsp is None
+
+    def test_nginx_survives_try_later(self):
+        server, *_ = self.make(
+            ResponderProfile(update_interval=None, always_try_later=True),
+            NginxServer)
+        server.handle_connection(ClientHello("victim.example"), NOW)
+        handshake = server.handle_connection(ClientHello("victim.example"), NOW + 30)
+        assert handshake.stapled_ocsp is None  # never cached an error
+
+    def test_ideal_server_with_blank_next_update(self):
+        server, ca, leaf = self.make(
+            ResponderProfile(update_interval=None, blank_next_update=True),
+            IdealServer)
+        server.tick(NOW)
+        handshake = server.handle_connection(ClientHello("victim.example"), NOW)
+        assert handshake.stapled_ocsp is not None
+        response = OCSPResponse.from_der(handshake.stapled_ocsp)
+        assert response.basic.single_responses[0].next_update is None
+
+
+class TestScannerResponderAgreement:
+    """The scanner's view must agree with direct responder queries."""
+
+    def test_probe_matches_direct_query(self, small_world):
+        scanner = HourlyScanner(small_world, vantages=["Virginia"])
+        target = next(t for t in small_world.scan_targets()
+                      if t.site.family == "generic"
+                      and "persistent-fault" not in t.site.tags)
+        # Pick a quiet hour (hash noise might hit; retry a few times).
+        for offset in range(0, 30 * HOUR, HOUR):
+            record = scanner.probe(target, "Virginia", NOW + offset)
+            if record.transport_ok:
+                break
+        assert record.transport_ok
+        direct = target.site.responder.handle(
+            ocsp_post(target.site.url + "/", target.request_der), record.timestamp)
+        check = verify_response(direct.body, target.cert_id,
+                                target.site.authority.certificate,
+                                record.timestamp)
+        assert check.ok == record.usable
+
+
+class TestCDNOverMeasurementWorld:
+    def test_cdn_fronting_improves_success(self, small_world):
+        """The Akamai observation: cache-fronted lookups succeed ~100%."""
+        cdn = CDNCache(small_world.network, vantage="Virginia")
+        targets = [t for t in small_world.scan_targets()
+                   if t.site.family == "generic"
+                   and "persistent-fault" not in t.site.tags][:20]
+        served = 0
+        lookups = 0
+        for hour in range(0, 48, 6):
+            for target in targets:
+                lookups += 1
+                body = cdn.lookup(target.site.url, target.request_der,
+                                  NOW + hour * HOUR)
+                if body is not None:
+                    served += 1
+        assert served / lookups > 0.95
+        assert cdn.hit_rate > 0.3
+        assert cdn.responders_contacted() <= len(targets)

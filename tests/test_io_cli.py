@@ -1,0 +1,153 @@
+"""Tests for dataset persistence and the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.experiments import all_experiments, experiment, paper_artefacts
+from repro.scanner.io import (
+    dump_dataset,
+    dumps_dataset,
+    export_quality_csv,
+    export_success_series_csv,
+    load_dataset,
+    loads_dataset,
+)
+
+
+class TestDatasetIO:
+    def test_round_trip(self, scan_dataset):
+        text = dumps_dataset(scan_dataset)
+        loaded = loads_dataset(text)
+        assert len(loaded) == len(scan_dataset)
+        assert loaded.interval == scan_dataset.interval
+        assert tuple(loaded.vantages) == tuple(scan_dataset.vantages)
+        original = scan_dataset.records[0]
+        restored = loaded.records[0]
+        assert restored.vantage == original.vantage
+        assert restored.outcome == original.outcome
+        assert restored.timestamp == original.timestamp
+        assert restored.this_update == original.this_update
+
+    def test_analysis_identical_after_round_trip(self, scan_dataset):
+        from repro.core import analyze_availability
+        loaded = loads_dataset(dumps_dataset(scan_dataset))
+        a = analyze_availability(scan_dataset)
+        b = analyze_availability(loaded)
+        assert a.failure_rate == b.failure_rate
+        assert a.never_successful_anywhere == b.never_successful_anywhere
+
+    def test_header_first_line(self, scan_dataset):
+        text = dumps_dataset(scan_dataset)
+        header = json.loads(text.splitlines()[0])
+        assert header["format"] == "repro-scan"
+        assert header["version"] == 1
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            loads_dataset("")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            loads_dataset('{"format": "something-else"}\n')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            loads_dataset('{"format": "repro-scan", "version": 99}\n')
+
+    def test_success_series_csv(self, scan_dataset):
+        buffer = io.StringIO()
+        export_success_series_csv(scan_dataset, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "timestamp,vantage,success_pct"
+        assert len(lines) > 10
+
+    def test_quality_csv(self, scan_dataset):
+        buffer = io.StringIO()
+        export_quality_csv(scan_dataset, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("responder_url,")
+        # Header + one row per responder that ever produced a parseable
+        # response (unreachable/malformed ones have no quality row).
+        assert 30 <= len(lines) - 1 <= 40
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artefact_present(self):
+        ids = {e.experiment_id for e in paper_artefacts()}
+        for expected in ("sec4-deployment", "fig2", "fig3", "fig4", "fig5",
+                         "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                         "fig12", "tbl1", "tbl2", "tbl3", "sec5-freshness",
+                         "sec8-readiness"):
+            assert expected in ids
+
+    def test_benchmarks_exist_on_disk(self):
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..")
+        for entry in all_experiments():
+            assert os.path.exists(os.path.join(root, entry.benchmark)), \
+                entry.benchmark
+
+    def test_modules_importable(self):
+        import importlib
+        for entry in all_experiments():
+            for module in entry.modules:
+                importlib.import_module(module)
+
+    def test_lookup(self):
+        assert experiment("tbl2").paper_ref == "Table 2"
+        with pytest.raises(KeyError):
+            experiment("fig99")
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["browsers"])
+        assert args.command == "browsers"
+
+    def test_browsers_command(self, capsys):
+        assert main(["browsers"]) == 0
+        out = capsys.readouterr().out
+        assert "Firefox 60 (Linux)" in out
+        assert "Table 2" in out
+
+    def test_servers_command(self, capsys):
+        assert main(["servers"]) == 0
+        out = capsys.readouterr().out
+        assert "apache-2.4.18" in out
+        assert "pause conn." in out
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "tbl1" in out
+
+    def test_issue_command(self, capsys):
+        assert main(["issue", "cli.example", "--must-staple"]) == 0
+        out = capsys.readouterr().out
+        from repro.x509.pem import certificates_from_pem
+        chain = certificates_from_pem(out)
+        assert len(chain) == 2
+        assert chain[0].must_staple
+        assert chain[0].matches_hostname("cli.example")
+
+    def test_audit_command(self, capsys):
+        assert main(["audit", "--scale", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "ocsp.camerfirma.com" in out
+
+    def test_scan_and_analyze(self, tmp_path, capsys):
+        scan_file = tmp_path / "scan.jsonl"
+        assert main(["scan", "--responders", "40", "--days", "1",
+                     "--interval", "12", "--out", str(scan_file)]) == 0
+        assert scan_file.exists()
+        assert main(["analyze", str(scan_file)]) == 0
+        out = capsys.readouterr().out
+        assert "failure rate by vantage" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])

@@ -1,0 +1,121 @@
+"""Additional property-based tests: names, PEM, URLs, stats helpers."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import cdf_points, fraction_at_or_below, mean, median, percentile
+from repro.simnet import split_url
+from repro.simnet.http import decode_ocsp_get_path, ocsp_get
+from repro.x509 import Name
+from repro.x509.pem import decode_pem, encode_pem
+
+# -- Names ---------------------------------------------------------------------
+
+name_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=40,
+)
+
+
+@given(common_name=name_text, organization=st.one_of(st.none(), name_text))
+def test_name_round_trip(common_name, organization):
+    name = Name.build(common_name, organization=organization)
+    assert Name.from_der(name.encode()) == name
+    assert name.common_name == common_name
+
+
+@given(common_name=name_text)
+def test_name_hash_stable(common_name):
+    a = Name.build(common_name)
+    b = Name.build(common_name)
+    assert hash(a) == hash(b)
+    assert a.hash_sha1() == b.hash_sha1()
+
+
+# -- PEM ---------------------------------------------------------------------
+
+labels = st.sampled_from(["CERTIFICATE", "X509 CRL", "OCSP REQUEST"])
+
+
+@given(payload=st.binary(max_size=2048), label=labels)
+def test_pem_round_trip(payload, label):
+    text = encode_pem(payload, label)
+    [(decoded_label, decoded)] = decode_pem(text)
+    assert decoded_label == label
+    assert decoded == payload
+
+
+@given(payloads=st.lists(st.binary(max_size=200), min_size=1, max_size=5))
+def test_pem_multiple_blocks(payloads):
+    text = "".join(encode_pem(p, "CERTIFICATE") for p in payloads)
+    decoded = [der for _, der in decode_pem(text)]
+    assert decoded == payloads
+
+
+# -- URLs ---------------------------------------------------------------------
+
+hostnames = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?(\.[a-z]{2,6}){1,3}",
+                          fullmatch=True)
+
+
+@given(host=hostnames, port=st.one_of(st.none(), st.integers(1, 65535)),
+       path=st.from_regex(r"(/[a-zA-Z0-9._-]{0,12}){0,4}", fullmatch=True))
+def test_split_url_round_trip(host, port, path):
+    url = f"http://{host}" + (f":{port}" if port else "") + path
+    scheme, parsed_host, parsed_port, parsed_path = split_url(url)
+    assert scheme == "http"
+    assert parsed_host == host
+    assert parsed_port == port
+    assert parsed_path == (path or "/")
+
+
+@given(payload=st.binary(min_size=1, max_size=512))
+def test_ocsp_get_path_round_trip(payload):
+    request = ocsp_get("http://responder.test", payload)
+    assert decode_ocsp_get_path(request.path) == payload
+
+
+# -- stats helpers ----------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e9, max_value=1e9)
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=100))
+def test_cdf_is_monotonic_and_complete(values):
+    points = cdf_points(values)
+    fractions = [f for _, f in points]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert math.isclose(fractions[-1], 1.0)
+    xs = [v for v, _ in points]
+    assert xs == sorted(xs)
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=100),
+       threshold=finite_floats)
+def test_fraction_at_or_below_bounds(values, threshold):
+    fraction = fraction_at_or_below(values, threshold)
+    assert 0.0 <= fraction <= 1.0
+    if threshold >= max(values):
+        assert fraction == 1.0
+    if threshold < min(values):
+        assert fraction == 0.0
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=50))
+def test_median_between_min_and_max(values):
+    m = median(values)
+    assert min(values) <= m <= max(values)
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=50))
+def test_mean_between_min_and_max(values):
+    m = mean(values)
+    assert min(values) - 1e-6 <= m <= max(values) + 1e-6
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=50),
+       q=st.floats(min_value=0, max_value=100))
+def test_percentile_is_a_member(values, q):
+    assert percentile(values, q) in values

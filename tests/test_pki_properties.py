@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on PKI-level invariants.
+
+These go beyond codec round-trips: arbitrary certificates, CRLs, and
+OCSP exchanges generated from random parameters must preserve the
+protocol's core invariants.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto import KeyPool
+from repro.ocsp import (
+    CertID,
+    CertStatus,
+    OCSPRequest,
+    OCSPResponse,
+    RevokedInfo,
+    SingleResponse,
+    encode_response,
+    verify_response,
+)
+from repro.simnet import DAY, HOUR
+from repro.x509 import (
+    CRLBuilder,
+    CertificateBuilder,
+    CertificateList,
+    Certificate,
+    Name,
+    self_signed,
+)
+
+NOW = 1_525_132_800
+
+_pool = KeyPool(size=4, bits=512, seed=12321)
+_CA_KEY = _pool.take()
+_LEAF_KEY = _pool.take()
+_CA = self_signed(Name.build("Prop CA", "T"), _CA_KEY, 1,
+                  NOW - 365 * DAY, NOW + 3650 * DAY)
+
+common = settings(max_examples=25,
+                  suppress_health_check=[HealthCheck.too_slow],
+                  deadline=None)
+
+serials = st.integers(min_value=1, max_value=2 ** 100)
+domains = st.from_regex(r"[a-z]{1,12}(\.[a-z]{1,8}){1,2}", fullmatch=True)
+
+
+@common
+@given(serial=serials, domain=domains,
+       lifetime=st.integers(min_value=HOUR, max_value=3650 * DAY),
+       must_staple=st.booleans())
+def test_certificate_issue_parse_invariants(serial, domain, lifetime, must_staple):
+    builder = (
+        CertificateBuilder().serial_number(serial).issuer(_CA.subject)
+        .subject(Name.build(domain)).public_key(_LEAF_KEY.public_key)
+        .validity(NOW, NOW + lifetime).leaf().dns_names([domain])
+    )
+    if must_staple:
+        builder.must_staple()
+    certificate = builder.sign(_CA_KEY)
+    reparsed = Certificate.from_der(certificate.der)
+    assert reparsed.serial_number == serial
+    assert reparsed.must_staple == must_staple
+    assert reparsed.validity.lifetime == lifetime
+    assert reparsed.matches_hostname(domain)
+    assert reparsed.verify_signature(_CA_KEY.public_key)
+    # Any single-bit flip in the TBS region must break the signature.
+    tampered = bytearray(certificate.der)
+    tampered[20] ^= 0x01
+    try:
+        bad = Certificate.from_der(bytes(tampered))
+    except Exception:
+        return  # broken encoding is equally acceptable
+    assert not bad.verify_signature(_CA_KEY.public_key) or bad.der == certificate.der
+
+
+@common
+@given(entries=st.lists(
+    st.tuples(serials, st.integers(min_value=0, max_value=NOW),
+              st.sampled_from([None, 0, 1, 4, 5])),
+    max_size=20, unique_by=lambda e: e[0]))
+def test_crl_membership_invariant(entries):
+    builder = CRLBuilder(_CA.subject).update_window(NOW, NOW + 7 * DAY)
+    for serial, revoked_at, reason in entries:
+        builder.add_entry(serial, revoked_at, reason)
+    crl = builder.sign(_CA_KEY)
+    reparsed = CertificateList.from_der(crl.der)
+    assert len(reparsed) == len(entries)
+    for serial, revoked_at, reason in entries:
+        entry = reparsed.lookup(serial)
+        assert entry is not None
+        assert entry.revocation_date == revoked_at
+        assert entry.reason == reason
+    assert not reparsed.is_revoked(2 ** 101)  # outside the serial domain
+    assert reparsed.verify_signature(_CA_KEY.public_key)
+
+
+@common
+@given(serial=serials,
+       status=st.sampled_from(list(CertStatus)),
+       margin=st.integers(min_value=0, max_value=DAY),
+       validity=st.integers(min_value=HOUR, max_value=400 * DAY),
+       blank=st.booleans())
+def test_ocsp_exchange_invariants(serial, status, margin, validity, blank):
+    cert_id = CertID(
+        hash_name="sha1",
+        issuer_name_hash=_CA.subject.hash_sha1(),
+        issuer_key_hash=_CA.key_hash_sha1(),
+        serial_number=serial,
+    )
+    revoked_info = RevokedInfo(NOW - DAY, 1) if status is CertStatus.REVOKED else None
+    single = SingleResponse(
+        cert_id, status,
+        this_update=NOW - margin,
+        next_update=None if blank else NOW - margin + validity,
+        revoked_info=revoked_info,
+    )
+    der = encode_response([single], NOW - margin, _CA_KEY, _CA.key_hash_sha1())
+
+    # Parse invariants.
+    response = OCSPResponse.from_der(der)
+    parsed = response.basic.find_single(serial)
+    assert parsed is not None and parsed.cert_status is status
+
+    # Verification invariants: valid exactly while NOW is inside the
+    # [thisUpdate, nextUpdate] window (a margin exceeding the validity
+    # means the response arrives pre-expired).
+    check = verify_response(der, cert_id, _CA, NOW)
+    if blank or margin <= validity:
+        assert check.ok
+        assert check.revoked == (status is CertStatus.REVOKED)
+    else:
+        from repro.ocsp import OCSPError
+        assert check.error is OCSPError.EXPIRED
+
+    # Requests for a different serial never match.
+    other = CertID(cert_id.hash_name, cert_id.issuer_name_hash,
+                   cert_id.issuer_key_hash, serial + 1)
+    assert not verify_response(der, other, _CA, NOW).ok
+
+    # Blank nextUpdate responses never expire; dated ones eventually do.
+    far_future = NOW + 500 * DAY
+    later = verify_response(der, cert_id, _CA, far_future)
+    if blank:
+        assert later.ok
+    elif NOW - margin + validity < far_future:
+        assert not later.ok
+
+
+@common
+@given(serials_list=st.lists(serials, min_size=1, max_size=10, unique=True),
+       nonce=st.one_of(st.none(), st.binary(min_size=1, max_size=32)))
+def test_request_round_trip_properties(serials_list, nonce):
+    cert_ids = [
+        CertID("sha1", _CA.subject.hash_sha1(), _CA.key_hash_sha1(), s)
+        for s in serials_list
+    ]
+    request = OCSPRequest(cert_ids=cert_ids, nonce=nonce)
+    parsed = OCSPRequest.from_der(request.encode())
+    assert parsed.serial_numbers == serials_list
+    assert parsed.nonce == nonce
+
+
+@common
+@given(data=st.binary(min_size=0, max_size=300))
+def test_verify_response_total_on_garbage(data):
+    """verify_response never raises: every input classifies."""
+    cert_id = CertID("sha1", _CA.subject.hash_sha1(), _CA.key_hash_sha1(), 1)
+    result = verify_response(data, cert_id, _CA, NOW)
+    assert result.ok or result.error is not None

@@ -1,0 +1,117 @@
+"""The fault-profile matrix: every responder pathology, end to end.
+
+One parametrized sweep drives the complete pipeline — profile →
+responder → network → scanner probe → classification — and asserts
+each pathology lands in exactly the outcome class the paper's
+methodology assigns it.
+"""
+
+import pytest
+
+from repro.ca import (
+    CertificateAuthority,
+    OCSPResponder,
+    ResponderProfile,
+)
+from repro.crypto import generate_keypair
+from repro.datasets.world import ResponderSite, ScanTarget
+from repro.ocsp import CertID, OCSPRequest
+from repro.scanner import ProbeOutcome
+from repro.scanner.results import classify_probe
+from repro.simnet import DAY, HOUR, Network, ocsp_post
+from repro.ocsp import verify_response
+
+NOW = 1_524_614_400
+
+CASES = [
+    ("well-behaved", ResponderProfile(update_interval=None,
+                                      this_update_margin=HOUR),
+     ProbeOutcome.OK),
+    ("delegated", ResponderProfile(update_interval=None,
+                                   this_update_margin=HOUR,
+                                   delegated_signing=True),
+     ProbeOutcome.OK),
+    ("zero-margin", ResponderProfile(update_interval=None,
+                                     this_update_margin=0),
+     ProbeOutcome.OK),  # valid for a perfectly synced client
+    ("future-thisupdate", ResponderProfile(update_interval=None,
+                                           this_update_margin=-600),
+     ProbeOutcome.NOT_YET_VALID),
+    ("blank-nextupdate", ResponderProfile(update_interval=None,
+                                          this_update_margin=HOUR,
+                                          blank_next_update=True),
+     ProbeOutcome.OK),
+    ("serial-stuffing", ResponderProfile(update_interval=None,
+                                         this_update_margin=HOUR,
+                                         serials_per_response=20),
+     ProbeOutcome.OK),
+    ("superfluous-certs", ResponderProfile(update_interval=None,
+                                           this_update_margin=HOUR,
+                                           extra_certs=2,
+                                           delegated_signing=True),
+     ProbeOutcome.OK),
+    ("malformed-empty", ResponderProfile(update_interval=None,
+                                         malformed_mode="empty"),
+     ProbeOutcome.MALFORMED),
+    ("malformed-zero", ResponderProfile(update_interval=None,
+                                        malformed_mode="zero"),
+     ProbeOutcome.MALFORMED),
+    ("malformed-javascript", ResponderProfile(update_interval=None,
+                                              malformed_mode="javascript"),
+     ProbeOutcome.MALFORMED),
+    ("malformed-truncated", ResponderProfile(update_interval=None,
+                                             malformed_mode="truncated"),
+     ProbeOutcome.MALFORMED),
+    ("wrong-key", ResponderProfile(update_interval=None, wrong_key=True,
+                                   this_update_margin=HOUR),
+     ProbeOutcome.BAD_SIGNATURE),
+    ("serial-mismatch", ResponderProfile(update_interval=None,
+                                         this_update_margin=HOUR,
+                                         serial_mismatch=True),
+     ProbeOutcome.SERIAL_MISMATCH),
+    ("try-later", ResponderProfile(update_interval=None,
+                                   always_try_later=True),
+     ProbeOutcome.ERROR_STATUS),
+    ("pre-generated", ResponderProfile(update_interval=DAY,
+                                       this_update_margin=HOUR),
+     ProbeOutcome.OK),
+    ("stale-backends", ResponderProfile(update_interval=DAY,
+                                        this_update_margin=0,
+                                        stale_backends=3,
+                                        backend_skew=600),
+     ProbeOutcome.OK),
+]
+
+
+@pytest.mark.parametrize("label,profile,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_profile_classification(label, profile, expected):
+    ca = CertificateAuthority.create_root(
+        f"Matrix CA {label}", f"http://ocsp.{label}.matrix.test",
+        not_before=NOW - 365 * DAY)
+    leaf = ca.issue_leaf(f"{label}.example",
+                         generate_keypair(512, rng=hash(label) & 0xFFFF),
+                         not_before=NOW - DAY)
+    responder = OCSPResponder(ca, ca.ocsp_url, profile,
+                              epoch_start=NOW - 30 * DAY)
+    network = Network()
+    network.bind(f"ocsp.{label}.matrix.test",
+                 network.add_origin(f"matrix-{label}", "us-east",
+                                    responder.handle))
+
+    cert_id = CertID.for_certificate(leaf, ca.certificate)
+    request_der = OCSPRequest.for_single(cert_id).encode()
+    # Probe an hour into the current epoch so pre-generated responses
+    # have a realistic (positive) age.
+    probe_time = NOW + HOUR
+    fetch = network.fetch("Virginia",
+                          ocsp_post(ca.ocsp_url + "/", request_der), probe_time)
+    assert fetch.ok  # every case here returns HTTP 200
+    check = verify_response(fetch.response.body, cert_id, ca.certificate,
+                            probe_time)
+    record = classify_probe("Virginia", ca.ocsp_url, "matrix",
+                            cert_id.serial_number, probe_time, fetch, check)
+    assert record.outcome is expected
+    # Transport succeeded in every case; usability varies.
+    assert record.transport_ok
+    assert record.usable == (expected is ProbeOutcome.OK)

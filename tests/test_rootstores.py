@@ -1,0 +1,91 @@
+"""Tests for the three-root-store model (footnote 7's validity rule)."""
+
+import pytest
+
+from repro.crypto import KeyPool, generate_keypair
+from repro.simnet import DAY
+from repro.x509 import (
+    CertificateBuilder,
+    Name,
+    RootStorePopulation,
+    STORE_NAMES,
+    self_signed,
+)
+
+NOW = 1_525_132_800
+
+
+@pytest.fixture(scope="module")
+def roots():
+    pool = KeyPool(size=4, seed=321)
+    pairs = []
+    for index in range(12):
+        key = pool.take()
+        root = self_signed(Name.build(f"Root {index}", organization=f"CA{index}"),
+                           key, serial=1, not_before=NOW - 365 * DAY,
+                           not_after=NOW + 3650 * DAY)
+        pairs.append((root, key))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def population(roots):
+    return RootStorePopulation([root for root, _ in roots],
+                               universal_fraction=0.6, seed=2)
+
+
+class TestRootStorePopulation:
+    def test_three_stores(self, population):
+        for name in STORE_NAMES:
+            assert population.store(name) is not None
+        assert len(population) == 12
+
+    def test_every_root_in_at_least_one_store(self, population):
+        counts = population.coverage_counts()
+        assert sum(counts.values()) == 12
+        assert counts[3] >= 4          # the universal majority
+        assert counts[1] + counts[2] >= 1  # the regional tail
+
+    def test_deterministic(self, roots):
+        a = RootStorePopulation([r for r, _ in roots], seed=5)
+        b = RootStorePopulation([r for r, _ in roots], seed=5)
+        assert [m.stores for m in a.memberships] == [m.stores for m in b.memberships]
+
+    def test_universal_root_valid_everywhere(self, roots, population):
+        universal = next(m for m in population.memberships if m.in_all)
+        root, key = next(p for p in roots if p[0].der == universal.root.der)
+        leaf_key = generate_keypair(512, rng=55)
+        leaf = (CertificateBuilder().serial_number(10).issuer(root.subject)
+                .subject(Name.build("all.example")).public_key(leaf_key.public_key)
+                .validity(NOW - DAY, NOW + DAY).leaf()
+                .dns_names(["all.example"]).sign(key))
+        trusting = population.stores_trusting(leaf, [], NOW)
+        assert set(trusting) == set(STORE_NAMES)
+        assert population.is_valid(leaf, [], NOW)
+
+    def test_regional_root_valid_somewhere_only(self, roots, population):
+        regional = next((m for m in population.memberships if not m.in_all), None)
+        assert regional is not None
+        root, key = next(p for p in roots if p[0].der == regional.root.der)
+        leaf_key = generate_keypair(512, rng=56)
+        leaf = (CertificateBuilder().serial_number(11).issuer(root.subject)
+                .subject(Name.build("regional.example"))
+                .public_key(leaf_key.public_key)
+                .validity(NOW - DAY, NOW + DAY).leaf()
+                .dns_names(["regional.example"]).sign(key))
+        trusting = population.stores_trusting(leaf, [], NOW)
+        assert set(trusting) == set(regional.stores)
+        # The any-of-three rule still calls it valid.
+        assert population.is_valid(leaf, [], NOW)
+
+    def test_unknown_root_invalid_everywhere(self, population):
+        stray_key = generate_keypair(512, rng=57)
+        stray_root = self_signed(Name.build("Stray"), stray_key, 1,
+                                 NOW - DAY, NOW + 3650 * DAY)
+        leaf_key = generate_keypair(512, rng=58)
+        leaf = (CertificateBuilder().serial_number(12).issuer(stray_root.subject)
+                .subject(Name.build("stray.example"))
+                .public_key(leaf_key.public_key)
+                .validity(NOW - DAY, NOW + DAY).leaf().sign(stray_key))
+        assert population.stores_trusting(leaf, [], NOW) == []
+        assert not population.is_valid(leaf, [], NOW)

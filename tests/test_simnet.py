@@ -1,0 +1,245 @@
+"""Unit tests for the network simulator: clock, URLs, fetch pipeline."""
+
+import pytest
+
+from repro.simnet import (
+    DAY,
+    HOUR,
+    MEASUREMENT_END,
+    MEASUREMENT_START,
+    FailureKind,
+    HTTPRequest,
+    HTTPResponse,
+    Network,
+    OutageWindow,
+    SimulatedClock,
+    SkewedClock,
+    at,
+    default_vantages,
+    ocsp_post,
+    one_way_latency_ms,
+    rtt_ms,
+    split_url,
+)
+
+
+class TestClock:
+    def test_at_builds_known_timestamp(self):
+        assert at(1970, 1, 1) == 0
+        assert at(2018, 4, 25) == MEASUREMENT_START
+
+    def test_measurement_window_is_132_days(self):
+        assert (MEASUREMENT_END - MEASUREMENT_START) // DAY == 132
+
+    def test_advance(self):
+        clock = SimulatedClock(100)
+        assert clock.advance(50) == 150
+        assert clock.now() == 150
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(0).advance(-1)
+
+    def test_advance_to(self):
+        clock = SimulatedClock(100)
+        clock.advance_to(500)
+        assert clock.now() == 500
+        clock.advance_to(400)  # no-op
+        assert clock.now() == 500
+
+    def test_skewed_clock(self):
+        base = SimulatedClock(1000)
+        slow = SkewedClock(base, skew=-30)
+        assert slow.now() == 970
+        base.advance(10)
+        assert slow.now() == 980
+
+
+class TestURLs:
+    def test_split_basic(self):
+        assert split_url("http://ocsp.example.com/path/x") == \
+            ("http", "ocsp.example.com", None, "/path/x")
+
+    def test_split_no_path(self):
+        assert split_url("http://host.test") == ("http", "host.test", None, "/")
+
+    def test_split_with_port(self):
+        # The paper's odd real URL: http://ocsp.pki.wayport.net:2560
+        scheme, host, port, path = split_url("http://ocsp.pki.wayport.net:2560")
+        assert (scheme, host, port) == ("http", "ocsp.pki.wayport.net", 2560)
+
+    def test_split_https(self):
+        assert split_url("https://x.test/")[0] == "https"
+
+    def test_host_lowercased(self):
+        assert split_url("http://OCSP.Example.COM/")[1] == "ocsp.example.com"
+
+    def test_no_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            split_url("ocsp.example.com/")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            split_url("http://x.test:99x9/")
+
+    def test_ocsp_post_shape(self):
+        request = ocsp_post("http://o.test", b"\x30\x00")
+        assert request.method == "POST"
+        assert request.body == b"\x30\x00"
+        assert request.headers["Content-Type"] == "application/ocsp-request"
+        assert request.host == "o.test"
+
+
+class TestLatency:
+    def test_symmetric(self):
+        assert one_way_latency_ms("us-west", "asia") == one_way_latency_ms("asia", "us-west")
+
+    def test_local_is_fast(self):
+        assert one_way_latency_ms("europe", "europe") < 10
+
+    def test_rtt_doubles(self):
+        assert rtt_ms("Paris", "europe") == 2 * one_way_latency_ms("europe", "europe")
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            one_way_latency_ms("europe", "mars")
+
+    def test_six_vantages(self):
+        vantages = default_vantages()
+        assert len(vantages) == 6
+        assert {v.name for v in vantages} == {
+            "Oregon", "Virginia", "Sao-Paulo", "Paris", "Sydney", "Seoul"}
+
+
+def echo_service(request: HTTPRequest, now: int) -> HTTPResponse:
+    return HTTPResponse(200, b"echo:" + request.body)
+
+
+@pytest.fixture()
+def network():
+    network = Network()
+    origin = network.add_origin("svc", "us-east", echo_service)
+    network.bind("svc.test", origin)
+    return network
+
+
+class TestFetchPipeline:
+    def test_success(self, network):
+        result = network.fetch("Virginia", HTTPRequest("GET", "http://svc.test/"), 0)
+        assert result.ok
+        assert result.response.body == b"echo:"
+        assert result.elapsed_ms > 0
+
+    def test_unknown_host_is_dns_failure(self, network):
+        result = network.fetch("Virginia", HTTPRequest("GET", "http://nx.test/"), 0)
+        assert result.failure is FailureKind.DNS
+        assert not result.ok
+
+    def test_persistent_dns_failure_per_vantage(self, network):
+        binding = network.get_binding("svc.test")
+        binding.dns_fail_vantages.add("Seoul")
+        assert network.fetch("Seoul", HTTPRequest("GET", "http://svc.test/"), 0).failure \
+            is FailureKind.DNS
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 0).ok
+
+    def test_persistent_fault_repaired(self, network):
+        binding = network.get_binding("svc.test")
+        binding.dns_fail_vantages.add("Seoul")
+        binding.repaired_at = 1000
+        assert not network.fetch("Seoul", HTTPRequest("GET", "http://svc.test/"), 999).ok
+        assert network.fetch("Seoul", HTTPRequest("GET", "http://svc.test/"), 1000).ok
+
+    def test_tcp_failure(self, network):
+        network.get_binding("svc.test").tcp_fail_vantages.add("Oregon")
+        result = network.fetch("Oregon", HTTPRequest("GET", "http://svc.test/"), 0)
+        assert result.failure is FailureKind.TCP
+
+    def test_http_error_vantage(self, network):
+        network.get_binding("svc.test").http_error_vantages["Sao-Paulo"] = 404
+        result = network.fetch("Sao-Paulo", HTTPRequest("GET", "http://svc.test/"), 0)
+        assert result.failure is FailureKind.HTTP
+        assert result.status_code == 404
+
+    def test_invalid_https_cert(self, network):
+        network.get_binding("svc.test").https_invalid_cert = True
+        result = network.fetch("Paris", HTTPRequest("GET", "https://svc.test/"), 0)
+        assert result.failure is FailureKind.TLS
+        # Plain HTTP is unaffected.
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 0).ok
+
+    def test_outage_window(self, network):
+        origin = network.get_origin("svc")
+        origin.add_outage(OutageWindow(start=100, end=200))
+        assert not network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 150).ok
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 99).ok
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 200).ok
+
+    def test_outage_vantage_scoped(self, network):
+        origin = network.get_origin("svc")
+        origin.add_outage(OutageWindow(start=0, end=100, vantages={"Seoul"}))
+        assert not network.fetch("Seoul", HTTPRequest("GET", "http://svc.test/"), 50).ok
+        assert network.fetch("Sydney", HTTPRequest("GET", "http://svc.test/"), 50).ok
+
+    def test_http_kind_outage_returns_status(self, network):
+        origin = network.get_origin("svc")
+        origin.add_outage(OutageWindow(start=0, end=100, kind=FailureKind.HTTP,
+                                       status_code=503))
+        result = network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 50)
+        assert result.failure is FailureKind.HTTP
+        assert result.status_code == 503
+
+    def test_shared_origin_shares_outage(self, network):
+        """The Comodo pattern: aliases share fate via one origin."""
+        origin = network.get_origin("svc")
+        network.bind("alias.test", origin)
+        origin.add_outage(OutageWindow(start=0, end=100))
+        for host in ("svc.test", "alias.test"):
+            assert not network.fetch("Paris", HTTPRequest("GET", f"http://{host}/"), 50).ok
+
+    def test_noise_hook(self):
+        hits = []
+
+        def noise(vantage, origin_name, now):
+            hits.append((vantage, origin_name, now))
+            return FailureKind.TCP if now == 7 else None
+
+        network = Network(noise=noise)
+        origin = network.add_origin("svc", "us-east", echo_service)
+        network.bind("svc.test", origin)
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 7).failure \
+            is FailureKind.TCP
+        assert network.fetch("Paris", HTTPRequest("GET", "http://svc.test/"), 8).ok
+        assert hits == [("Paris", "svc", 7), ("Paris", "svc", 8)]
+
+    def test_duplicate_origin_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_origin("svc", "us-east", echo_service)
+
+    def test_duplicate_binding_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.bind("svc.test", network.get_origin("svc"))
+
+    def test_farther_vantage_has_higher_latency(self, network):
+        near = network.fetch("Virginia", HTTPRequest("GET", "http://svc.test/"), 0)
+        far = network.fetch("Sydney", HTTPRequest("GET", "http://svc.test/"), 0)
+        assert far.elapsed_ms > near.elapsed_ms
+
+    def test_non_200_service_response_is_http_failure(self):
+        network = Network()
+        origin = network.add_origin("err", "us-east",
+                                    lambda request, now: HTTPResponse(500, b""))
+        network.bind("err.test", origin)
+        result = network.fetch("Paris", HTTPRequest("GET", "http://err.test/"), 0)
+        assert result.failure is FailureKind.HTTP
+        assert result.status_code == 500
+
+
+class TestOutageWindow:
+    def test_duration(self):
+        assert OutageWindow(start=10, end=70).duration == 60
+
+    def test_applies(self):
+        window = OutageWindow(start=10, end=20, vantages={"Paris"})
+        assert window.applies("Paris", 15)
+        assert not window.applies("Paris", 20)  # end-exclusive
+        assert not window.applies("Seoul", 15)

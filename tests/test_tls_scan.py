@@ -1,0 +1,84 @@
+"""Tests for the TLS stapling scanner (Section 7.1 methodology)."""
+
+import pytest
+
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.scanner import scan_servers, stapling_rate
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.webserver import ApacheServer, IdealServer, NginxServer
+
+NOW = MEASUREMENT_START
+
+
+@pytest.fixture()
+def farm():
+    """A small server farm: stapling and non-stapling sites."""
+    ca = CertificateAuthority.create_root("Farm CA", "http://ocsp.farm.test",
+                                          not_before=NOW - 365 * DAY)
+    responder = OCSPResponder(ca, "http://ocsp.farm.test",
+                              ResponderProfile(update_interval=None,
+                                               this_update_margin=HOUR),
+                              epoch_start=NOW - 7 * DAY)
+    network = Network()
+    network.bind("ocsp.farm.test",
+                 network.add_origin("farm-ocsp", "us-east", responder.handle))
+
+    def site(name, server_class, stapling=True, must_staple=False):
+        leaf = ca.issue_leaf(name, generate_keypair(512, rng=hash(name) & 0xFFFF),
+                             not_before=NOW - DAY, must_staple=must_staple)
+        return server_class(chain=[leaf, ca.certificate], issuer=ca.certificate,
+                            network=network, stapling_enabled=stapling)
+
+    servers = [
+        site("a.example", IdealServer),
+        site("b.example", ApacheServer),
+        site("c.example", NginxServer),
+        site("d.example", ApacheServer, stapling=False),
+        site("e.example", NginxServer, stapling=False),
+        site("f.example", IdealServer, must_staple=True),
+    ]
+    return servers
+
+
+class TestScanServers:
+    def test_observation_fields(self, farm):
+        observations = scan_servers(farm, NOW)
+        assert len(observations) == 6
+        names = {o.hostname for o in observations}
+        assert "a.example" in names and "f.example" in names
+
+    def test_stapling_detected_after_warmup(self, farm):
+        observations = scan_servers(farm, NOW, warmup_connections=2)
+        by_host = {o.hostname: o for o in observations}
+        assert by_host["a.example"].stapled       # ideal
+        assert by_host["b.example"].stapled       # apache, warmed
+        assert by_host["c.example"].stapled       # nginx, warmed
+        assert not by_host["d.example"].stapled   # stapling off
+        assert not by_host["e.example"].stapled
+
+    def test_cold_nginx_undercounts(self, farm):
+        """Without warm-up, nginx's first-client behaviour hides its
+        stapling support — the measurement pitfall the scanner's
+        warm-up parameter exists for."""
+        cold = scan_servers([farm[2]], NOW, warmup_connections=0)
+        assert not cold[0].stapled
+
+    def test_must_staple_flag_surfaced(self, farm):
+        observations = scan_servers(farm, NOW, warmup_connections=1)
+        by_host = {o.hostname: o for o in observations}
+        assert by_host["f.example"].must_staple
+        assert not by_host["a.example"].must_staple
+
+    def test_stapling_rate(self, farm):
+        observations = scan_servers(farm, NOW, warmup_connections=2)
+        rate = stapling_rate(observations)
+        assert abs(rate - 4 / 6) < 1e-9
+
+    def test_stapling_rate_empty(self):
+        assert stapling_rate([]) == 0.0
+
+    def test_apache_delay_visible(self, farm):
+        """The scanner sees Apache's first-connection pause."""
+        observations = scan_servers([farm[1]], NOW, warmup_connections=0)
+        assert observations[0].handshake_delay_ms > 0

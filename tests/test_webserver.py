@@ -1,0 +1,223 @@
+"""Unit tests for the web server stapling models and conformance suite
+(paper Section 7.2 / Table 3)."""
+
+import pytest
+
+from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
+from repro.crypto import generate_keypair
+from repro.ocsp import OCSPResponse, ResponseStatus
+from repro.simnet import DAY, HOUR, FailureKind, Network, OutageWindow
+from repro.tls import ClientHello
+from repro.webserver import (
+    ApacheServer,
+    EXPERIMENTS,
+    IdealServer,
+    NginxServer,
+    run_conformance,
+)
+
+NOW = 1_525_132_800
+HELLO = ClientHello(server_name="server.test", status_request=True)
+NO_STATUS_HELLO = ClientHello(server_name="server.test", status_request=False)
+
+
+@pytest.fixture()
+def rig():
+    """CA + responder + network, with a configurable server factory."""
+    ca = CertificateAuthority.create_root("WS CA", "http://ocsp.ws.test",
+                                          not_before=NOW - 365 * DAY)
+    key = generate_keypair(512, rng=200)
+    leaf = ca.issue_leaf("server.test", key, not_before=NOW - DAY)
+    responder = OCSPResponder(
+        ca, "http://ocsp.ws.test",
+        ResponderProfile(update_interval=None, this_update_margin=0,
+                         validity_period=2 * HOUR),
+        epoch_start=NOW - 7 * DAY,
+    )
+    network = Network()
+    origin = network.add_origin("ws-ocsp", "us-east", responder.handle)
+    network.bind("ocsp.ws.test", origin)
+
+    class Rig:
+        pass
+
+    r = Rig()
+    r.ca, r.leaf, r.network, r.origin, r.responder = ca, leaf, network, origin, responder
+    r.make = lambda cls, **kw: cls(chain=[leaf, ca.certificate],
+                                   issuer=ca.certificate, network=network, **kw)
+    return r
+
+
+class TestApache:
+    def test_first_connection_pauses_but_staples(self, rig):
+        server = rig.make(ApacheServer)
+        handshake = server.handle_connection(HELLO, NOW)
+        assert handshake.stapled_ocsp is not None
+        assert handshake.handshake_delay_ms > 0
+
+    def test_second_connection_cached_no_pause(self, rig):
+        server = rig.make(ApacheServer)
+        server.handle_connection(HELLO, NOW)
+        handshake = server.handle_connection(HELLO, NOW + 60)
+        assert handshake.stapled_ocsp is not None
+        assert handshake.handshake_delay_ms == 0
+        assert server.fetch_count == 1
+
+    def test_serves_expired_within_ttl(self, rig):
+        # 10-minute validity: responses expire well inside Apache's 1h TTL.
+        rig.responder.profile.validity_period = 600
+        server = rig.make(ApacheServer)
+        server.handle_connection(HELLO, NOW)
+        handshake = server.handle_connection(HELLO, NOW + 1200)  # expired, inside TTL
+        response = OCSPResponse.from_der(handshake.stapled_ocsp)
+        single = response.basic.single_responses[0]
+        assert single.next_update < NOW + 1200  # expired staple served!
+
+    def test_refresh_failure_drops_cache(self, rig):
+        server = rig.make(ApacheServer)
+        server.handle_connection(HELLO, NOW)
+        rig.origin.add_outage(OutageWindow(NOW + 1, NOW + 10 * DAY,
+                                           kind=FailureKind.TCP))
+        handshake = server.handle_connection(HELLO, NOW + 3700)  # past TTL
+        assert handshake.stapled_ocsp is None
+        assert server.cache is None
+
+    def test_error_response_is_stapled(self, rig):
+        server = rig.make(ApacheServer)
+        server.handle_connection(HELLO, NOW)
+        rig.responder.profile.always_try_later = True
+        handshake = server.handle_connection(HELLO, NOW + 3700)
+        assert handshake.stapled_ocsp is not None
+        response = OCSPResponse.from_der(handshake.stapled_ocsp)
+        assert response.response_status is ResponseStatus.TRY_LATER
+
+    def test_stapling_disabled_by_default_config(self, rig):
+        server = rig.make(ApacheServer, stapling_enabled=False)
+        assert server.handle_connection(HELLO, NOW).stapled_ocsp is None
+        assert server.fetch_count == 0
+
+    def test_no_status_request_no_staple(self, rig):
+        server = rig.make(ApacheServer)
+        assert server.handle_connection(NO_STATUS_HELLO, NOW).stapled_ocsp is None
+
+
+class TestNginx:
+    def test_first_connection_gets_nothing(self, rig):
+        server = rig.make(NginxServer)
+        handshake = server.handle_connection(HELLO, NOW)
+        assert handshake.stapled_ocsp is None
+        assert handshake.handshake_delay_ms == 0
+
+    def test_second_connection_gets_staple(self, rig):
+        server = rig.make(NginxServer)
+        server.handle_connection(HELLO, NOW)
+        handshake = server.handle_connection(HELLO, NOW + 30)
+        assert handshake.stapled_ocsp is not None
+
+    def test_respects_next_update(self, rig):
+        server = rig.make(NginxServer)
+        server.handle_connection(HELLO, NOW)
+        server.handle_connection(HELLO, NOW + 30)
+        # Go past expiry (2h validity): nginx must not serve the stale one.
+        handshake = server.handle_connection(HELLO, NOW + 3 * HOUR)
+        if handshake.stapled_ocsp is not None:
+            response = OCSPResponse.from_der(handshake.stapled_ocsp)
+            assert response.basic.single_responses[0].next_update >= NOW + 3 * HOUR
+
+    def test_retains_cache_on_error(self, rig):
+        server = rig.make(NginxServer)
+        server.handle_connection(HELLO, NOW)
+        server.handle_connection(HELLO, NOW + 30)
+        cached = server.cache.body
+        rig.origin.add_outage(OutageWindow(NOW + 60, NOW + 10 * DAY,
+                                           kind=FailureKind.TCP))
+        server.handle_connection(HELLO, NOW + 3 * HOUR)  # refresh fails
+        assert server.cache is not None
+        assert server.cache.body == cached
+
+    def test_error_status_not_cached(self, rig):
+        server = rig.make(NginxServer)
+        server.handle_connection(HELLO, NOW)
+        server.handle_connection(HELLO, NOW + 30)
+        cached = server.cache.body
+        rig.responder.profile.always_try_later = True
+        server.handle_connection(HELLO, NOW + 3 * HOUR)
+        assert server.cache.body == cached  # tryLater did not replace it
+
+    def test_rate_limit_leaks_expired_staple(self, rig):
+        """Footnote 28: validity < 5 min can leak expired responses."""
+        rig.responder.profile.validity_period = 60
+        server = rig.make(NginxServer)
+        server.handle_connection(HELLO, NOW)          # fetch 1 (cold)
+        server.handle_connection(HELLO, NOW + 10)     # staple ok
+        handshake = server.handle_connection(HELLO, NOW + 120)  # expired + rate-limited
+        assert handshake.stapled_ocsp is not None
+        response = OCSPResponse.from_der(handshake.stapled_ocsp)
+        assert response.basic.single_responses[0].next_update < NOW + 120
+
+
+class TestIdeal:
+    def test_prefetch_before_first_client(self, rig):
+        server = rig.make(IdealServer)
+        server.tick(NOW)
+        handshake = server.handle_connection(HELLO, NOW + 1)
+        assert handshake.stapled_ocsp is not None
+        assert handshake.handshake_delay_ms == 0
+
+    def test_refreshes_before_expiry(self, rig):
+        server = rig.make(IdealServer)
+        server.tick(NOW)
+        first = server.cache.body
+        server.tick(NOW + 90 * 60)  # past half validity (1h of 2h)
+        assert server.cache.body != first
+
+    def test_retains_on_error(self, rig):
+        server = rig.make(IdealServer)
+        server.tick(NOW)
+        cached = server.cache.body
+        rig.origin.add_outage(OutageWindow(NOW + 1, NOW + DAY, kind=FailureKind.TCP))
+        server.tick(NOW + 90 * 60)
+        assert server.cache.body == cached
+
+    def test_never_staples_expired(self, rig):
+        server = rig.make(IdealServer)
+        server.tick(NOW)
+        rig.origin.add_outage(OutageWindow(NOW + 1, NOW + 10 * DAY,
+                                           kind=FailureKind.TCP))
+        handshake = server.handle_connection(HELLO, NOW + 5 * HOUR)
+        assert handshake.stapled_ocsp is None
+
+
+class TestConformance:
+    """The Table-3 matrix, exactly as the paper reports it."""
+
+    def test_apache_row(self):
+        report = run_conformance(ApacheServer)
+        cells = report.as_row()
+        assert cells["Prefetch OCSP response"] == "no (pause conn.)"
+        assert cells["Cache OCSP response"] == "yes"
+        assert cells["Respect nextUpdate in cache"] == "no (serves expired)"
+        assert cells["Retain OCSP response on error"] == "no (drops cached response)"
+
+    def test_nginx_row(self):
+        report = run_conformance(NginxServer)
+        cells = report.as_row()
+        assert cells["Prefetch OCSP response"] == "no (provide no resp.)"
+        assert cells["Cache OCSP response"] == "yes"
+        assert cells["Respect nextUpdate in cache"] == "yes"
+        assert cells["Retain OCSP response on error"] == "yes"
+
+    def test_ideal_passes_everything(self):
+        report = run_conformance(IdealServer)
+        assert all(result.passed for result in report.results)
+
+    def test_experiment_names_cover_table3(self):
+        assert len(EXPERIMENTS) == 4
+        report = run_conformance(ApacheServer)
+        assert [r.name for r in report.results] == EXPERIMENTS
+
+    def test_result_lookup(self):
+        report = run_conformance(NginxServer)
+        assert report.result("Cache OCSP response").passed
+        with pytest.raises(KeyError):
+            report.result("Nonexistent")

@@ -1,0 +1,43 @@
+"""Tests for the universal-enforcement what-if experiment."""
+
+import pytest
+
+from repro.core.whatif import WhatIfConfig, run_whatif
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_whatif(WhatIfConfig(n_sites=24, days=1, seed=5))
+
+
+class TestWhatIf:
+    def test_all_software_classes_present(self, result):
+        assert set(result.by_software) == {
+            "apache-2.4.18", "nginx-1.13.12", "ideal"}
+
+    def test_ideal_never_fails(self, result):
+        assert result.failure_rate("ideal") == 0.0
+
+    def test_legacy_software_fails_some_loads(self, result):
+        legacy = (result.failure_rate("apache-2.4.18")
+                  + result.failure_rate("nginx-1.13.12"))
+        assert legacy > 0.0
+
+    def test_overall_rate_bounded(self, result):
+        assert 0.0 < result.overall_failure_rate < 0.5
+
+    def test_deterministic(self):
+        a = run_whatif(WhatIfConfig(n_sites=10, days=1, seed=9))
+        b = run_whatif(WhatIfConfig(n_sites=10, days=1, seed=9))
+        assert a.by_software == b.by_software
+
+    def test_failure_rate_unknown_software(self, result):
+        assert result.failure_rate("iis") == 0.0
+
+    def test_no_outages_still_shows_cold_start_breakage(self):
+        """Even with perfect responders, no-prefetch software breaks
+        the first enforcing visitor (Nginx) — the Table-3 point."""
+        result = run_whatif(WhatIfConfig(n_sites=16, days=1, seed=6,
+                                         responder_outage_fraction=0.0))
+        assert result.failure_rate("ideal") == 0.0
+        assert result.failure_rate("nginx-1.13.12") > 0.0

@@ -1,0 +1,116 @@
+"""Statistical validation of the full-scale (1:4) measurement world.
+
+These check that the responder population's *mixtures* land on the
+paper's measured proportions — the property every Figure 5-9 shape
+depends on.
+"""
+
+import math
+
+import pytest
+
+from repro.datasets import MeasurementWorld, WorldConfig
+from repro.simnet import DAY
+
+
+@pytest.fixture(scope="module")
+def world():
+    return MeasurementWorld(WorldConfig(n_responders=134, certs_per_responder=1,
+                                        seed=7))
+
+
+def fraction(world, predicate):
+    return sum(1 for site in world.sites if predicate(site)) / len(world.sites)
+
+
+class TestPopulationMixtures:
+    def test_population_size(self, world):
+        assert len(world.sites) == 134
+
+    def test_zero_margin_fraction(self, world):
+        """Paper: 17.2% of responders give no thisUpdate margin."""
+        value = fraction(world, lambda s: s.profile.this_update_margin == 0
+                         and not s.profile.malformed_mode)
+        assert 0.10 <= value <= 0.30
+
+    def test_future_this_update_fraction(self, world):
+        """Paper: 3% return future thisUpdate values."""
+        value = fraction(world, lambda s: s.profile.this_update_margin < 0)
+        assert 0.01 <= value <= 0.07
+
+    def test_blank_next_update_fraction(self, world):
+        """Paper: 9.1% always leave nextUpdate blank."""
+        value = fraction(world, lambda s: s.profile.blank_next_update)
+        assert 0.05 <= value <= 0.14
+
+    def test_long_validity_fraction(self, world):
+        """Paper: 2% exceed one month."""
+        value = fraction(world, lambda s: not s.profile.blank_next_update
+                         and s.profile.validity_period > 30 * DAY)
+        assert 0.01 <= value <= 0.05
+
+    def test_extreme_validity_present_once(self, world):
+        """The 108,130,800-second (1,251-day) extreme exists exactly once."""
+        extremes = [s for s in world.sites
+                    if s.profile.validity_period == 108_130_800]
+        assert len(extremes) == 1
+
+    def test_serial20_fraction(self, world):
+        """Paper: 3.3% always answer 20 serials."""
+        value = fraction(world, lambda s: s.profile.serials_per_response == 20)
+        assert 0.02 <= value <= 0.06
+
+    def test_malformed_fraction(self, world):
+        """Paper: 1.6% persistently malformed."""
+        value = fraction(world, lambda s: s.profile.malformed_mode is not None)
+        assert 0.01 <= value <= 0.04
+
+    def test_pregenerated_fraction(self, world):
+        """Paper: 51.7% do not generate on demand."""
+        value = fraction(world, lambda s: s.profile.update_interval is not None)
+        assert 0.35 <= value <= 0.60
+
+    def test_zero_margin_implies_on_demand(self, world):
+        for site in world.sites:
+            if site.profile.this_update_margin <= 0 and not site.profile.malformed_mode:
+                if site.family in ("hinet", "cnnic"):
+                    continue  # their zero margin comes with pre-generation
+                assert site.profile.update_interval is None
+
+    def test_event_group_sizes_scale(self, world):
+        sizes = {}
+        for site in world.sites:
+            sizes[site.family] = sizes.get(site.family, 0) + 1
+        # 1:4 scaling of the paper's absolute counts.
+        assert sizes["comodo"] == 4       # 15 -> 4
+        assert sizes["digicert"] == 2     # 9 -> 2
+        assert sizes["certum"] == 4       # 16 -> 4
+        assert sizes["sheca"] == 2        # 6 -> 2
+        assert sizes["cpc-gov-ae"] == 1
+        assert sizes["cnnic"] == 1
+
+    def test_epoch_staggering(self, world):
+        """Responders do not all regenerate at the same instant."""
+        offsets = {site.responder.epoch_start % DAY for site in world.sites}
+        assert len(offsets) > 30
+
+    def test_cpc_serves_four_certificates(self, world):
+        from repro.ocsp import OCSPRequest, OCSPResponse
+        from repro.simnet import ocsp_post
+        site = world.sites_by_family("cpc-gov-ae")[0]
+        request = OCSPRequest.for_single(site.cert_ids[0])
+        response = site.responder.handle(
+            ocsp_post(site.url + "/", request.encode()), world.config.start)
+        parsed = OCSPResponse.from_der(response.body)
+        assert len(parsed.basic.certificates) == 4
+
+    def test_cpc_responses_still_verify(self, world):
+        from repro.ocsp import OCSPRequest, verify_response
+        from repro.simnet import ocsp_post
+        site = world.sites_by_family("cpc-gov-ae")[0]
+        request = OCSPRequest.for_single(site.cert_ids[0])
+        response = site.responder.handle(
+            ocsp_post(site.url + "/", request.encode()), world.config.start)
+        check = verify_response(response.body, site.cert_ids[0],
+                                site.authority.certificate, world.config.start)
+        assert check.ok and check.delegated

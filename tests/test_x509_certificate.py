@@ -1,0 +1,228 @@
+"""Unit tests for certificate building, parsing, and chain validation."""
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.simnet import DAY
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    ChainError,
+    Name,
+    TrustStore,
+    Validity,
+    build_chain,
+    self_signed,
+    validate,
+    validate_chain,
+)
+
+NOW = 1_525_132_800
+
+
+@pytest.fixture(scope="module")
+def pki():
+    """root -> intermediate -> leaf chain."""
+    root_key = generate_keypair(512, rng=50)
+    int_key = generate_keypair(512, rng=51)
+    leaf_key = generate_keypair(512, rng=52)
+    root = self_signed(Name.build("Root", "T"), root_key, 1,
+                       NOW - 365 * DAY, NOW + 3650 * DAY)
+    intermediate = (
+        CertificateBuilder().serial_number(2).issuer(root.subject)
+        .subject(Name.build("Intermediate", "T"))
+        .public_key(int_key.public_key)
+        .validity(NOW - 100 * DAY, NOW + 1000 * DAY)
+        .ca(path_length=0).sign(root_key)
+    )
+    leaf = (
+        CertificateBuilder().serial_number(3).issuer(intermediate.subject)
+        .subject(Name.build("www.example.com"))
+        .public_key(leaf_key.public_key)
+        .validity(NOW - DAY, NOW + 90 * DAY)
+        .leaf().dns_names(["www.example.com", "*.api.example.com"])
+        .ocsp_url("http://ocsp.t.test").must_staple().server_auth()
+        .sign(int_key)
+    )
+    return root_key, int_key, leaf_key, root, intermediate, leaf
+
+
+class TestBuilderAndParse:
+    def test_round_trip(self, pki):
+        *_, leaf = pki
+        parsed = Certificate.from_der(leaf.der)
+        assert parsed.serial_number == 3
+        assert parsed.subject.common_name == "www.example.com"
+        assert parsed.version == 3
+        assert parsed.must_staple
+        assert parsed.ocsp_urls == ["http://ocsp.t.test"]
+
+    def test_signature_verifies_against_issuer(self, pki):
+        _, int_key, _, _, intermediate, leaf = pki
+        assert leaf.verify_signature(int_key.public_key)
+        assert not leaf.verify_signature(intermediate.public_key) or \
+            int_key.public_key == intermediate.public_key
+
+    def test_is_ca_flags(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        assert root.is_ca and intermediate.is_ca and not leaf.is_ca
+
+    def test_self_signed_detection(self, pki):
+        _, _, _, root, intermediate, _ = pki
+        assert root.is_self_signed
+        assert not intermediate.is_self_signed
+
+    def test_builder_requires_all_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            CertificateBuilder().serial_number(1).sign(generate_keypair(512, rng=1))
+
+    def test_builder_rejects_nonpositive_serial(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().serial_number(0)
+
+    def test_builder_rejects_inverted_validity(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().validity(100, 50)
+
+    def test_sha1_certificates_supported(self):
+        key = generate_keypair(512, rng=53)
+        cert = (
+            CertificateBuilder().serial_number(9).issuer(Name.build("X"))
+            .subject(Name.build("X")).public_key(key.public_key)
+            .validity(NOW, NOW + DAY).hash_algorithm("sha1").sign(key)
+        )
+        assert cert.signature_hash_name() == "sha1"
+        assert cert.verify_signature(key.public_key)
+
+    def test_fingerprint_stable(self, pki):
+        *_, leaf = pki
+        assert leaf.fingerprint() == Certificate.from_der(leaf.der).fingerprint()
+        assert len(leaf.fingerprint()) == 32
+
+    def test_key_hash_sha1(self, pki):
+        *_, leaf = pki
+        assert len(leaf.key_hash_sha1()) == 20
+
+    def test_repr_mentions_must_staple(self, pki):
+        *_, leaf = pki
+        assert "must-staple" in repr(leaf)
+
+
+class TestHostnames:
+    def test_exact_match(self, pki):
+        *_, leaf = pki
+        assert leaf.matches_hostname("www.example.com")
+
+    def test_case_and_trailing_dot(self, pki):
+        *_, leaf = pki
+        assert leaf.matches_hostname("WWW.Example.COM.")
+
+    def test_wildcard_single_label(self, pki):
+        *_, leaf = pki
+        assert leaf.matches_hostname("v1.api.example.com")
+        assert not leaf.matches_hostname("a.b.api.example.com")
+
+    def test_wildcard_does_not_match_bare_domain(self, pki):
+        *_, leaf = pki
+        assert not leaf.matches_hostname("api.example.com")
+
+    def test_no_match(self, pki):
+        *_, leaf = pki
+        assert not leaf.matches_hostname("evil.test")
+
+    def test_cn_fallback_when_no_san(self):
+        key = generate_keypair(512, rng=54)
+        cert = (
+            CertificateBuilder().serial_number(5).issuer(Name.build("CA"))
+            .subject(Name.build("cn-only.test")).public_key(key.public_key)
+            .validity(NOW, NOW + DAY).sign(key)
+        )
+        assert cert.dns_names == ["cn-only.test"]
+        assert cert.matches_hostname("cn-only.test")
+
+
+class TestValidity:
+    def test_contains_inclusive(self):
+        validity = Validity(100, 200)
+        assert validity.contains(100)
+        assert validity.contains(200)
+        assert not validity.contains(99)
+        assert not validity.contains(201)
+
+    def test_lifetime(self):
+        assert Validity(0, 90 * DAY).lifetime == 90 * DAY
+
+
+class TestChainValidation:
+    def test_valid_chain(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        store = TrustStore([root])
+        result = validate(leaf, [intermediate], store, NOW, "www.example.com")
+        assert result.valid
+        assert [c.serial_number for c in result.chain] == [3, 2, 1]
+
+    def test_build_chain_orders(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        store = TrustStore([root])
+        chain = build_chain(leaf, [intermediate], store)
+        assert chain is not None and len(chain) == 3
+
+    def test_untrusted_root(self, pki):
+        _, _, _, _, intermediate, leaf = pki
+        result = validate(leaf, [intermediate], TrustStore(), NOW)
+        assert not result.valid
+        assert ChainError.UNTRUSTED_ROOT in result.errors
+
+    def test_expired_leaf(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        store = TrustStore([root])
+        result = validate(leaf, [intermediate], store, NOW + 200 * DAY)
+        assert ChainError.EXPIRED in result.errors
+
+    def test_not_yet_valid(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        store = TrustStore([root])
+        result = validate(leaf, [intermediate], store, NOW - 50 * DAY)
+        assert ChainError.EXPIRED in result.errors
+
+    def test_hostname_mismatch(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        store = TrustStore([root])
+        result = validate(leaf, [intermediate], store, NOW, "other.test")
+        assert ChainError.HOSTNAME_MISMATCH in result.errors
+
+    def test_broken_signature_detected(self, pki):
+        _, _, _, root, intermediate, leaf = pki
+        tampered = bytearray(leaf.der)
+        tampered[-10] ^= 0x01  # flip a signature byte
+        bad_leaf = Certificate.from_der(bytes(tampered))
+        store = TrustStore([root])
+        result = validate_chain([bad_leaf, intermediate, root], store, NOW)
+        assert ChainError.BAD_SIGNATURE in result.errors
+
+    def test_non_ca_intermediate_rejected(self, pki):
+        root_key, _, leaf_key, root, _, _ = pki
+        fake_int_key = generate_keypair(512, rng=60)
+        fake_int = (
+            CertificateBuilder().serial_number(7).issuer(root.subject)
+            .subject(Name.build("NotACA")).public_key(fake_int_key.public_key)
+            .validity(NOW - DAY, NOW + DAY).leaf().sign(root_key)
+        )
+        victim = (
+            CertificateBuilder().serial_number(8).issuer(fake_int.subject)
+            .subject(Name.build("victim.test")).public_key(leaf_key.public_key)
+            .validity(NOW - DAY, NOW + DAY).leaf().sign(fake_int_key)
+        )
+        result = validate_chain([victim, fake_int, root], TrustStore([root]), NOW)
+        assert ChainError.NOT_A_CA in result.errors
+
+    def test_empty_chain(self):
+        result = validate_chain([], TrustStore(), NOW)
+        assert ChainError.EMPTY_CHAIN in result.errors
+
+    def test_trust_store_membership(self, pki):
+        _, _, _, root, intermediate, _ = pki
+        store = TrustStore([root])
+        assert root in store
+        assert intermediate not in store
+        assert len(store) == 1

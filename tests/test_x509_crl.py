@@ -1,0 +1,122 @@
+"""Unit tests for CRL building and parsing."""
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.simnet import DAY, WEEK
+from repro.x509 import (
+    CRLBuilder,
+    CertificateList,
+    Name,
+    REASON_KEY_COMPROMISE,
+    REASON_SUPERSEDED,
+    RevokedCertificate,
+)
+
+NOW = 1_525_132_800
+
+
+@pytest.fixture(scope="module")
+def issuer_key():
+    return generate_keypair(512, rng=70)
+
+
+@pytest.fixture(scope="module")
+def issuer_name():
+    return Name.build("CRL Issuer", "T")
+
+
+def build_crl(issuer_name, issuer_key, entries=(), this_update=NOW,
+              next_update=NOW + WEEK):
+    builder = CRLBuilder(issuer_name).update_window(this_update, next_update)
+    for serial, revoked_at, reason in entries:
+        builder.add_entry(serial, revoked_at, reason)
+    return builder.sign(issuer_key)
+
+
+class TestCRLBuild:
+    def test_empty_crl(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        assert len(crl) == 0
+        assert crl.issuer == issuer_name
+
+    def test_entries_round_trip(self, issuer_name, issuer_key):
+        entries = [(100, NOW - DAY, REASON_KEY_COMPROMISE), (200, NOW - 2 * DAY, None)]
+        crl = build_crl(issuer_name, issuer_key, entries)
+        reparsed = CertificateList.from_der(crl.der)
+        assert reparsed.is_revoked(100)
+        assert reparsed.is_revoked(200)
+        assert not reparsed.is_revoked(300)
+        assert reparsed.lookup(100).reason == REASON_KEY_COMPROMISE
+        assert reparsed.lookup(200).reason is None
+        assert reparsed.lookup(100).revocation_date == NOW - DAY
+
+    def test_signature_verifies(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key, [(1, NOW, None)])
+        assert crl.verify_signature(issuer_key.public_key)
+
+    def test_wrong_key_fails(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        other = generate_keypair(512, rng=71)
+        assert not crl.verify_signature(other.public_key)
+
+    def test_tampered_crl_fails(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key, [(1, NOW, None)])
+        tampered = bytearray(crl.der)
+        tampered[-5] ^= 0xFF
+        assert not CertificateList.from_der(bytes(tampered)).verify_signature(
+            issuer_key.public_key)
+
+    def test_missing_window_rejected(self, issuer_name, issuer_key):
+        with pytest.raises(ValueError):
+            CRLBuilder(issuer_name).sign(issuer_key)
+
+    def test_inverted_window_rejected(self, issuer_name):
+        with pytest.raises(ValueError):
+            CRLBuilder(issuer_name).update_window(NOW, NOW - 1)
+
+    def test_no_next_update_allowed(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key, next_update=None)
+        assert crl.next_update is None
+        assert crl.is_fresh(NOW + 100 * DAY)  # never expires
+
+
+class TestFreshness:
+    def test_fresh_inside_window(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        assert crl.is_fresh(NOW)
+        assert crl.is_fresh(NOW + WEEK)
+
+    def test_stale_after_next_update(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        assert not crl.is_fresh(NOW + WEEK + 1)
+
+    def test_not_yet_valid(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        assert not crl.is_fresh(NOW - 1)
+
+
+class TestSize:
+    def test_size_grows_with_entries(self, issuer_name, issuer_key):
+        """The paper's 76 MB CRL observation: size scales with entries."""
+        small = build_crl(issuer_name, issuer_key, [(i, NOW, None) for i in range(1, 11)])
+        large = build_crl(issuer_name, issuer_key, [(i, NOW, None) for i in range(1, 1001)])
+        assert large.size_bytes > small.size_bytes * 20
+
+    def test_size_bytes_matches_der(self, issuer_name, issuer_key):
+        crl = build_crl(issuer_name, issuer_key)
+        assert crl.size_bytes == len(crl.der)
+
+
+class TestRevokedCertificate:
+    def test_entry_round_trip_via_reader(self):
+        from repro.asn1 import Reader
+        entry = RevokedCertificate(555, NOW, REASON_SUPERSEDED)
+        decoded = RevokedCertificate.decode(Reader(entry.encode()))
+        assert decoded == entry
+
+    def test_entry_without_reason(self):
+        from repro.asn1 import Reader
+        entry = RevokedCertificate(556, NOW)
+        decoded = RevokedCertificate.decode(Reader(entry.encode()))
+        assert decoded.reason is None

@@ -1,0 +1,190 @@
+"""Unit tests for X.501 names and X.509 extensions."""
+
+import pytest
+
+from repro.asn1 import Reader, oid
+from repro.x509 import Name
+from repro.x509.extensions import (
+    BasicConstraints,
+    Extension,
+    Extensions,
+    REASON_KEY_COMPROMISE,
+    REASON_NAMES,
+    TLS_FEATURE_STATUS_REQUEST,
+    decode_aia,
+    decode_crl_distribution_points,
+    decode_crl_reason,
+    decode_extended_key_usage,
+    decode_key_usage,
+    decode_subject_alt_name,
+    decode_tls_feature,
+    encode_aia,
+    encode_crl_distribution_points,
+    encode_crl_reason,
+    encode_extended_key_usage,
+    encode_key_usage,
+    encode_subject_alt_name,
+    encode_tls_feature,
+    make_aia_extension,
+    make_basic_constraints_extension,
+    make_tls_feature_extension,
+)
+
+
+class TestName:
+    def test_build_shape(self):
+        name = Name.build("example.com", organization="Org", country="US")
+        assert name.common_name == "example.com"
+        assert len(name.attributes) == 3
+
+    def test_round_trip(self):
+        name = Name.build("example.com", organization="Örg", country="US")
+        assert Name.from_der(name.encode()) == name
+
+    def test_equality_by_der(self):
+        assert Name.build("a") == Name.build("a")
+        assert Name.build("a") != Name.build("b")
+
+    def test_hashable(self):
+        assert len({Name.build("a"), Name.build("a")}) == 1
+
+    def test_attribute_order_matters(self):
+        a = Name([(oid.COMMON_NAME, "x"), (oid.ORGANIZATION_NAME, "y")])
+        b = Name([(oid.ORGANIZATION_NAME, "y"), (oid.COMMON_NAME, "x")])
+        assert a != b
+
+    def test_country_uses_printable_string(self):
+        der = Name.build("x", country="US").encode()
+        assert b"\x13\x02US" in der  # PrintableString tag
+
+    def test_hash_sha1_length(self):
+        assert len(Name.build("x").hash_sha1()) == 20
+
+    def test_rfc4514(self):
+        name = Name.build("example.com", organization="Org", country="US")
+        assert name.rfc4514() == "CN=example.com,O=Org,C=US"
+
+    def test_no_common_name(self):
+        assert Name([(oid.ORGANIZATION_NAME, "Org")]).common_name is None
+
+
+class TestTLSFeature:
+    def test_encode_decode(self):
+        assert decode_tls_feature(encode_tls_feature()) == [TLS_FEATURE_STATUS_REQUEST]
+
+    def test_multiple_features(self):
+        assert decode_tls_feature(encode_tls_feature([5, 17])) == [5, 17]
+
+    def test_extension_oid(self):
+        ext = make_tls_feature_extension()
+        assert ext.extn_id == "1.3.6.1.5.5.7.1.24"
+        assert not ext.critical
+
+    def test_extensions_must_staple_property(self):
+        exts = Extensions([make_tls_feature_extension()])
+        assert exts.must_staple
+
+    def test_feature_17_alone_is_not_must_staple(self):
+        ext = Extension(oid.TLS_FEATURE, False, encode_tls_feature([17]))
+        assert not Extensions([ext]).must_staple
+
+    def test_absent_is_not_must_staple(self):
+        assert not Extensions().must_staple
+
+
+class TestAIA:
+    def test_ocsp_urls(self):
+        der = encode_aia(["http://ocsp.a.test", "http://ocsp.b.test"])
+        decoded = decode_aia(der)
+        assert decoded[oid.AD_OCSP] == ["http://ocsp.a.test", "http://ocsp.b.test"]
+
+    def test_ca_issuers(self):
+        der = encode_aia([], ["http://ca.a.test/ca.crt"])
+        assert decode_aia(der)[oid.AD_CA_ISSUERS] == ["http://ca.a.test/ca.crt"]
+
+    def test_extension_accessors(self):
+        exts = Extensions([make_aia_extension(["http://o.test"], ["http://i.test"])])
+        assert exts.ocsp_urls == ["http://o.test"]
+        assert exts.ca_issuer_urls == ["http://i.test"]
+
+    def test_empty_when_absent(self):
+        assert Extensions().ocsp_urls == []
+
+
+class TestCRLDistributionPoints:
+    def test_round_trip(self):
+        urls = ["http://crl.a.test/1.crl", "http://crl.b.test/2.crl"]
+        assert decode_crl_distribution_points(encode_crl_distribution_points(urls)) == urls
+
+    def test_empty(self):
+        assert decode_crl_distribution_points(encode_crl_distribution_points([])) == []
+
+
+class TestSAN:
+    def test_round_trip(self):
+        names = ["example.com", "*.example.com"]
+        assert decode_subject_alt_name(encode_subject_alt_name(names)) == names
+
+
+class TestBasicConstraints:
+    def test_ca_with_pathlen(self):
+        bc = BasicConstraints(ca=True, path_length=0)
+        assert BasicConstraints.from_der(bc.to_der()) == bc
+
+    def test_leaf_is_empty_sequence(self):
+        assert BasicConstraints(ca=False).to_der() == b"\x30\x00"
+
+    def test_extension_is_critical(self):
+        assert make_basic_constraints_extension(True).critical
+
+    def test_extensions_is_ca(self):
+        exts = Extensions([make_basic_constraints_extension(True)])
+        assert exts.is_ca
+        exts = Extensions([make_basic_constraints_extension(False)])
+        assert not exts.is_ca
+
+
+class TestKeyUsageEku:
+    def test_key_usage_round_trip(self):
+        assert decode_key_usage(encode_key_usage([0, 5, 6])) == [0, 5, 6]
+
+    def test_eku_round_trip(self):
+        purposes = [oid.EKU_SERVER_AUTH, oid.EKU_OCSP_SIGNING]
+        assert decode_extended_key_usage(encode_extended_key_usage(purposes)) == purposes
+
+
+class TestCRLReason:
+    def test_round_trip(self):
+        assert decode_crl_reason(encode_crl_reason(REASON_KEY_COMPROMISE)) == 1
+
+    def test_unknown_code_rejected(self):
+        from repro.asn1.errors import DecodeError
+        with pytest.raises(DecodeError):
+            encode_crl_reason(7)  # 7 is unassigned in RFC 5280
+
+    def test_all_names_known(self):
+        assert REASON_NAMES[1] == "keyCompromise"
+        assert REASON_NAMES[8] == "removeFromCRL"
+
+
+class TestExtensionPlumbing:
+    def test_extension_round_trip(self):
+        ext = Extension(oid.KEY_USAGE, True, b"\x03\x02\x07\x80")
+        decoded = Extension.decode(Reader(ext.encode()))
+        assert decoded == ext
+
+    def test_noncritical_omits_boolean(self):
+        ext = Extension(oid.KEY_USAGE, False, b"\x05\x00")
+        # DEFAULT FALSE must be absent in DER.
+        assert b"\x01\x01" not in ext.encode()
+
+    def test_extensions_get_first_match(self):
+        a = Extension(oid.KEY_USAGE, False, b"a")
+        b = Extension(oid.KEY_USAGE, False, b"b")
+        exts = Extensions([a, b])
+        assert exts.get(oid.KEY_USAGE) is a
+
+    def test_extensions_iteration_order(self):
+        a = Extension(oid.KEY_USAGE, False, b"a")
+        b = Extension(oid.SUBJECT_ALT_NAME, False, b"b")
+        assert list(Extensions([a, b])) == [a, b]
