@@ -41,6 +41,16 @@ class Reader:
     # -- low level ---------------------------------------------------------
 
     @property
+    def position(self) -> int:
+        """Absolute byte offset of the cursor in the underlying buffer.
+
+        Sub-readers share the parent's buffer, so positions are always
+        offsets into the *original* DER blob — which is what makes
+        byte-offset provenance (``repro.lint``) possible.
+        """
+        return self._pos
+
+    @property
     def remaining(self) -> int:
         """Number of unread bytes in this reader's window."""
         return self._end - self._pos
@@ -59,6 +69,20 @@ class Reader:
         """Consume one TLV and return ``(tag, content)``."""
         tag, content, _ = self._read_header_and_content()
         return tag, content
+
+    def peek_span(self) -> Tuple[int, int]:
+        """Return ``(offset, total_length)`` of the next TLV without consuming.
+
+        The offset is absolute in the underlying buffer (see
+        :attr:`position`); the length covers tag + length octets +
+        content, i.e. the element's complete encoding.
+        """
+        mark = self._pos
+        try:
+            self._read_header_and_content()
+            return mark, self._pos - mark
+        finally:
+            self._pos = mark
 
     def read_raw_element(self) -> bytes:
         """Consume one TLV and return its *complete* encoding (tag+len+content).

@@ -10,6 +10,7 @@ Commands:
 * ``audit``       — the CRL↔OCSP consistency cross-check (Table 1 / Fig 10)
 * ``experiments`` — the experiment registry (paper artefact → benchmark)
 * ``issue``       — mint a demo Must-Staple certificate chain as PEM
+* ``lint``        — static conformance analysis of certificates/OCSP/CRLs
 """
 
 from __future__ import annotations
@@ -161,6 +162,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .asn1.dump import describe_certificate, dump_der
+    from .asn1.errors import ASN1Error
     from .x509.pem import decode_pem
     with open(args.path, "rb") as stream:
         raw = stream.read()
@@ -178,10 +180,99 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             try:
                 print(describe_certificate(der))
                 print()
-            except Exception as exc:  # still dump the raw structure
+            except (ASN1Error, ValueError) as exc:  # still dump the raw structure
                 print(f"(certificate summary failed: {exc})")
         print(dump_der(der, max_lines=args.max_lines))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static conformance analysis over certificates / OCSP / CRLs."""
+    import json
+
+    from .datasets import WorldConfig
+    from .lint import (
+        LintContext,
+        LintEngine,
+        LintReport,
+        lint_world,
+        render_catalogue,
+        render_report,
+        self_test,
+    )
+
+    def emit(text: str) -> None:
+        if args.out:
+            with open(args.out, "w") as stream:
+                stream.write(text)
+        else:
+            sys.stdout.write(text)
+
+    if args.rules:
+        emit(render_catalogue() + "\n")
+        return 0
+
+    if args.self_test:
+        ok, text = self_test()
+        emit(text + "\n")
+        return 0 if ok else 1
+
+    if args.corpus:
+        summary = lint_world(
+            config=WorldConfig(n_responders=args.responders,
+                               certs_per_responder=args.certs,
+                               seed=args.seed),
+            reference_time=args.reference_time,
+        )
+        if args.format == "json":
+            document = {"schema": "repro-lint-corpus/1", **summary.to_dict()}
+            emit(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        elif args.format == "sarif":
+            emit(render_report(summary.report, "sarif"))
+        else:
+            percents = summary.figure5_percent()
+            lines = [
+                f"corpus lint @ t={summary.reference_time}: "
+                f"{summary.probes} probes, {summary.certificates} certificates, "
+                f"{summary.crls} CRLs",
+                "figure 5 (static): " + ", ".join(
+                    f"{label} {percents[label]:.2f}%" for label in percents),
+                f"unusable total: {summary.unusable_percent():.2f}%",
+                f"agreement with verify_response: "
+                f"{summary.agreement}/{summary.probes}",
+            ]
+            for disagreement in summary.disagreements:
+                lines.append(f"  DISAGREE {disagreement.source}: "
+                             f"lint={disagreement.lint_class} "
+                             f"verify={disagreement.verify_class}")
+            lines.append("findings by severity: " +
+                         ", ".join(f"{k}={v}"
+                                   for k, v in summary.report.by_severity().items()))
+            emit("\n".join(lines) + "\n")
+        return 0 if not summary.disagreements else 1
+
+    if not args.paths:
+        print("lint: provide paths, or one of --corpus / --self-test / --rules",
+              file=sys.stderr)
+        return 2
+
+    reference = args.reference_time
+    if reference is None:
+        reference = MEASUREMENT_START
+    engine = LintEngine(LintContext(reference_time=reference))
+    report = LintReport(reference_time=reference)
+    for path in args.paths:
+        try:
+            partial = engine.lint_path(path, kind=args.kind)
+        except OSError as exc:
+            print(f"lint: cannot read {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        report.artifacts += partial.artifacts
+        report.extend(partial.findings)
+    report.sort()
+    emit(render_report(report, args.format))
+    return 0 if report.clean else 1
 
 
 def _cmd_issue(args: argparse.Namespace) -> int:
@@ -244,6 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
     issue.add_argument("domain")
     issue.add_argument("--must-staple", action="store_true")
     issue.set_defaults(func=_cmd_issue)
+
+    lint = commands.add_parser(
+        "lint", help="static conformance analysis (certificates/OCSP/CRLs)")
+    lint.add_argument("paths", nargs="*",
+                      help="PEM bundles or raw DER files to lint")
+    lint.add_argument("--kind", choices=["auto", "certificate", "ocsp", "crl"],
+                      default="auto",
+                      help="artifact kind for raw DER (default: sniff)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", help="report format")
+    lint.add_argument("--reference-time", type=int, default=None,
+                      help="POSIX 'now' for freshness rules "
+                           "(default: measurement start)")
+    lint.add_argument("--corpus", action="store_true",
+                      help="batch-lint the synthetic responder corpus "
+                           "(static Figure 5)")
+    lint.add_argument("--responders", type=int, default=40,
+                      help="corpus size for --corpus")
+    lint.add_argument("--certs", type=int, default=1,
+                      help="certificates per responder for --corpus")
+    lint.add_argument("--self-test", action="store_true", dest="self_test",
+                      help="mint a known-good chain and assert a clean lint")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.add_argument("--out", help="write the report here instead of stdout")
+    lint.set_defaults(func=_cmd_lint)
 
     inspect = commands.add_parser("inspect",
                                   help="asn1parse-style dump of a PEM/DER file")

@@ -1,0 +1,85 @@
+"""``repro.lint`` — rule-based static conformance analysis.
+
+A pluggable analyzer for the three DER artifact families the paper's
+measurements revolve around: X.509 certificates (RFC 5280 + the
+RFC 7633 Must-Staple extension), OCSP responses (RFC 6960), and CRLs
+(RFC 5280 section 5).  Every check is a registered :class:`Rule` with
+a stable id, a severity, and the RFC clause (or paper figure) it
+enforces; findings carry byte-offset provenance into the artifact's
+DER encoding.
+
+Design constraints:
+
+* **No network, no clock.**  The reference time is an explicit input
+  (:class:`LintContext`), so a lint run is a pure function of its
+  inputs and its reports are byte-for-byte reproducible.
+* **Parsing failures are findings**, not crashes — the ``*_PARSE``
+  rules are exactly the "malformed" class of the paper's Figure 5.
+* **The corpus driver cross-checks the dynamic path**: every batch
+  probe classification is compared against
+  :func:`repro.ocsp.verify.verify_response`, the verifier behind the
+  scanner dataset that :mod:`repro.core.quality` aggregates.
+"""
+
+from .engine import (
+    KIND_CERTIFICATE,
+    KIND_CRL,
+    KIND_OCSP,
+    KINDS,
+    RULES,
+    Artifact,
+    LintContext,
+    LintEngine,
+    Rule,
+    catalogue,
+    register,
+    render_catalogue,
+    rules_for,
+    sniff_kind,
+)
+from .findings import Finding, LintReport, Severity, Span
+
+# Importing the rule modules populates the registry.
+from . import rules_x509  # noqa: F401  (registration side effect)
+from . import rules_ocsp  # noqa: F401
+from . import rules_crl   # noqa: F401
+
+from .corpus import (
+    FIGURE5_CLASSES,
+    CorpusLintSummary,
+    classify_findings,
+    lint_world,
+    self_test,
+)
+from .output import render_json, render_report, render_sarif, report_to_json, report_to_sarif
+
+__all__ = [
+    "KIND_CERTIFICATE",
+    "KIND_CRL",
+    "KIND_OCSP",
+    "KINDS",
+    "RULES",
+    "Artifact",
+    "LintContext",
+    "LintEngine",
+    "Rule",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Span",
+    "FIGURE5_CLASSES",
+    "CorpusLintSummary",
+    "catalogue",
+    "classify_findings",
+    "lint_world",
+    "register",
+    "render_catalogue",
+    "render_json",
+    "render_report",
+    "render_sarif",
+    "report_to_json",
+    "report_to_sarif",
+    "rules_for",
+    "self_test",
+    "sniff_kind",
+]

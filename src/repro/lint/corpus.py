@@ -1,0 +1,259 @@
+"""Batch linting of the synthetic measurement corpus.
+
+:func:`lint_world` drives every responder of a
+:class:`~repro.datasets.world.MeasurementWorld` **statically**: it
+calls each responder's handler directly at one fixed reference time
+(no simulated network, so no vantage noise or outages), lints the
+certificates, OCSP responses, and CRLs it collects, and aggregates the
+findings into the paper's Figure-5 unusable-response breakdown.
+
+Every probe is double-checked against the dynamic verification path
+(:func:`repro.ocsp.verify.verify_response`) that the scanner — and
+therefore :mod:`repro.core.quality` — uses for the real Figure 5, so a
+divergence between the rule engine and the reference verifier is
+surfaced as a ``disagreement`` instead of passing silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ca import CertificateAuthority, OCSPResponder
+from ..core.quality import UNUSABLE_CLASSES
+from ..crypto import KeyPool
+from ..datasets.world import MeasurementWorld, WorldConfig
+from ..ocsp import CertID, OCSPRequest
+from ..ocsp.verify import OCSPError, verify_response
+from ..simnet.clock import DAY, MEASUREMENT_START
+from ..simnet.http import ocsp_post
+from .engine import (
+    KIND_CERTIFICATE,
+    KIND_CRL,
+    KIND_OCSP,
+    RULES,
+    LintContext,
+    LintEngine,
+)
+from .findings import Finding, LintReport
+
+#: Figure 5's class labels, derived from the quality module's taxonomy
+#: so the static and dynamic breakdowns can never drift apart silently.
+FIGURE5_CLASSES: Tuple[str, ...] = tuple(
+    outcome.name.lower() for outcome in UNUSABLE_CLASSES
+)
+
+USABLE = "usable"
+
+#: Lint-rule → probe-class mapping, in the same precedence order the
+#: reference verifier short-circuits in (`verify_response`).
+_LINT_CLASS_ORDER: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("malformed", ("OCSP_PARSE",)),
+    ("error_status", ("OCSP_ERROR_STATUS",)),
+    ("serial_mismatch", ("OCSP_CERTID_MISMATCH", "OCSP_CERTID_HASH")),
+    ("bad_signature", ("OCSP_SIGNATURE",)),
+    ("not_yet_valid", ("OCSP_THISUPDATE_FUTURE",)),
+    ("expired", ("OCSP_UPDATE_ORDER", "OCSP_EXPIRED")),
+)
+
+_VERIFY_CLASS: Dict[OCSPError, str] = {
+    OCSPError.MALFORMED: "malformed",
+    OCSPError.ERROR_STATUS: "error_status",
+    OCSPError.SERIAL_MISMATCH: "serial_mismatch",
+    OCSPError.BAD_SIGNATURE: "bad_signature",
+    OCSPError.NOT_YET_VALID: "not_yet_valid",
+    OCSPError.EXPIRED: "expired",
+    OCSPError.NONCE_MISMATCH: "serial_mismatch",  # unused without a nonce
+}
+
+
+def classify_findings(findings: Sequence[Finding]) -> str:
+    """Collapse one OCSP probe's findings into a probe class."""
+    fired = {finding.rule_id for finding in findings}
+    for label, rule_ids in _LINT_CLASS_ORDER:
+        if fired.intersection(rule_ids):
+            return label
+    return USABLE
+
+
+@dataclass
+class ProbeClassification:
+    """The static and dynamic verdicts for one (cert, responder) probe."""
+
+    source: str
+    lint_class: str
+    verify_class: str
+
+    @property
+    def agree(self) -> bool:
+        return self.lint_class == self.verify_class
+
+
+@dataclass
+class CorpusLintSummary:
+    """Everything a batch lint of the corpus produced."""
+
+    report: LintReport
+    reference_time: int
+    probes: int = 0
+    certificates: int = 0
+    crls: int = 0
+    lint_classes: Dict[str, int] = field(default_factory=dict)
+    verify_classes: Dict[str, int] = field(default_factory=dict)
+    disagreements: List[ProbeClassification] = field(default_factory=list)
+
+    @property
+    def agreement(self) -> int:
+        """Probes where the rule engine matches the reference verifier."""
+        return self.probes - len(self.disagreements)
+
+    def figure5_percent(self) -> Dict[str, float]:
+        """Figure 5 statically: % of served responses per unusable class."""
+        total = self.probes or 1
+        return {
+            label: 100.0 * self.lint_classes.get(label, 0) / total
+            for label in FIGURE5_CLASSES
+        }
+
+    def unusable_percent(self) -> float:
+        """Total unusable percentage (the Figure 5 stack height)."""
+        return sum(self.figure5_percent().values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (deterministic key order via sort_keys)."""
+        return {
+            "referenceTime": self.reference_time,
+            "probes": self.probes,
+            "certificates": self.certificates,
+            "crls": self.crls,
+            "lintClasses": dict(sorted(self.lint_classes.items())),
+            "verifyClasses": dict(sorted(self.verify_classes.items())),
+            "figure5Percent": self.figure5_percent(),
+            "unusablePercent": self.unusable_percent(),
+            "agreement": self.agreement,
+            "disagreements": [
+                {"source": d.source, "lint": d.lint_class, "verify": d.verify_class}
+                for d in self.disagreements
+            ],
+            "findingsBySeverity": self.report.by_severity(),
+            "findingsByRule": self.report.by_rule(),
+        }
+
+
+def lint_world(world: Optional[MeasurementWorld] = None,
+               config: Optional[WorldConfig] = None,
+               reference_time: Optional[int] = None,
+               max_sites: Optional[int] = None) -> CorpusLintSummary:
+    """Statically lint an entire measurement world at one instant."""
+    if world is None:
+        world = MeasurementWorld(config)
+    now = world.config.start + DAY if reference_time is None else reference_time
+    engine = LintEngine(LintContext(reference_time=now))
+    report = LintReport(reference_time=now)
+    summary = CorpusLintSummary(report=report, reference_time=now)
+
+    sites = world.sites if max_sites is None else world.sites[:max_sites]
+    for site in sites:
+        issuer = site.authority.certificate
+        cert_ctx = LintContext(reference_time=now, issuer=issuer)
+        for certificate, cert_id in zip(site.certificates, site.cert_ids):
+            source = f"{site.url}/serial={cert_id.serial_number}"
+            report.artifacts += 1
+            summary.certificates += 1
+            report.extend(engine.lint_der(
+                certificate.der, KIND_CERTIFICATE, f"{source}/cert", cert_ctx))
+
+            request_der = OCSPRequest.for_single(cert_id).encode()
+            response_der = site.responder.handle(
+                ocsp_post(site.url, request_der), now).body
+            ocsp_ctx = LintContext(reference_time=now, issuer=issuer,
+                                   cert_id=cert_id)
+            ocsp_findings = engine.lint_der(
+                response_der, KIND_OCSP, f"{source}/ocsp", ocsp_ctx)
+            report.artifacts += 1
+            report.extend(ocsp_findings)
+
+            summary.probes += 1
+            lint_class = classify_findings(ocsp_findings)
+            check = verify_response(response_der, cert_id, issuer, now)
+            verify_class = USABLE if check.ok else _VERIFY_CLASS[check.error]
+            summary.lint_classes[lint_class] = \
+                summary.lint_classes.get(lint_class, 0) + 1
+            summary.verify_classes[verify_class] = \
+                summary.verify_classes.get(verify_class, 0) + 1
+            if lint_class != verify_class:
+                summary.disagreements.append(ProbeClassification(
+                    source=source, lint_class=lint_class,
+                    verify_class=verify_class))
+
+        crl = site.authority.build_crl(now)
+        report.artifacts += 1
+        summary.crls += 1
+        report.extend(engine.lint_der(
+            crl.der, KIND_CRL, f"{site.url}/crl", cert_ctx))
+
+    report.sort()
+    summary.disagreements.sort(key=lambda d: d.source)
+    return summary
+
+
+# -- self test (CLI --self-test, CI smoke) -----------------------------------
+
+
+def self_test(reference_time: int = MEASUREMENT_START + DAY) -> Tuple[bool, str]:
+    """Mint a known-good chain + OCSP response + CRL and lint them.
+
+    Returns ``(ok, details)``: *ok* is True when the registry holds at
+    least 15 rules and the freshly minted artifacts produce zero ERROR
+    findings — the invariant the property tests pin down.
+    """
+    pool = KeyPool(size=4, bits=512, seed=11)
+    url = "http://ocsp.selftest.test"
+    root = CertificateAuthority.create_root(
+        "Selftest Root", ocsp_url=url, key_pool=pool,
+        not_before=reference_time - 3 * 365 * DAY)
+    issuing = root.create_intermediate("Selftest CA", url, key_pool=pool)
+    issuing.crl_url = "http://crl.selftest.test/ca.crl"
+    leaf = issuing.issue_leaf("staple.selftest.example", pool.take(),
+                              not_before=reference_time - DAY,
+                              must_staple=True)
+    cert_id = CertID.for_certificate(leaf, issuing.certificate)
+    responder = OCSPResponder(issuing, url,
+                              epoch_start=reference_time - 30 * DAY)
+    response_der = responder.handle(
+        ocsp_post(url, OCSPRequest.for_single(cert_id).encode()),
+        reference_time).body
+    crl = issuing.build_crl(reference_time)
+
+    engine = LintEngine()
+    report = LintReport(reference_time=reference_time)
+    report.extend(engine.lint_der(
+        root.certificate.der, KIND_CERTIFICATE, "selftest/root",
+        LintContext(reference_time=reference_time)))
+    issued_ctx = LintContext(reference_time=reference_time,
+                             issuer=root.certificate)
+    report.extend(engine.lint_der(
+        issuing.certificate.der, KIND_CERTIFICATE, "selftest/ca", issued_ctx))
+    leaf_ctx = LintContext(reference_time=reference_time,
+                           issuer=issuing.certificate, cert_id=cert_id)
+    report.extend(engine.lint_der(
+        leaf.der, KIND_CERTIFICATE, "selftest/leaf", leaf_ctx))
+    report.extend(engine.lint_der(
+        response_der, KIND_OCSP, "selftest/ocsp", leaf_ctx))
+    report.extend(engine.lint_der(crl.der, KIND_CRL, "selftest/crl", leaf_ctx))
+    report.artifacts = 5
+    report.sort()
+
+    problems: List[str] = []
+    if len(RULES) < 15:
+        problems.append(f"only {len(RULES)} rules registered (need >= 15)")
+    for finding in report.errors:
+        problems.append(f"unexpected ERROR: {finding.render()}")
+    ok = not problems
+    lines = [f"rules registered: {len(RULES)}",
+             f"artifacts linted: {report.artifacts}",
+             f"findings: {len(report.findings)} "
+             f"({len(report.errors)} errors)"]
+    lines.extend(problems)
+    lines.append("self-test OK" if ok else "self-test FAILED")
+    return ok, "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Report serializers: JSON and SARIF 2.1.0.
+
+Both renderings are deterministic for a fixed input: keys are sorted,
+findings are pre-sorted by the report, and no wall-clock timestamps
+are emitted, so the same artifacts + reference time produce the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import catalogue
+from .findings import LintReport
+
+#: Identifies the JSON report layout for consumers.
+JSON_SCHEMA_ID = "repro-lint/1"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+
+
+def report_to_json(report: LintReport) -> Dict[str, object]:
+    """The JSON document for a report (plain dict, JSON-ready)."""
+    return {
+        "schema": JSON_SCHEMA_ID,
+        "referenceTime": report.reference_time,
+        "artifacts": report.artifacts,
+        "summary": {
+            "bySeverity": report.by_severity(),
+            "byRule": report.by_rule(),
+            "clean": report.clean,
+        },
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """Deterministic JSON rendering (sorted keys, trailing newline)."""
+    return json.dumps(report_to_json(report), indent=2, sort_keys=True) + "\n"
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, object]:
+    """The SARIF 2.1.0 document for a report.
+
+    Every registered rule appears in the driver's rule table (not just
+    the fired ones) so `ruleIndex` is stable across reports; byte
+    provenance lands in `physicalLocation.region.byteOffset/byteLength`
+    as the SARIF spec defines for binary artifacts.
+    """
+    rules = catalogue()
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        location: Dict[str, object] = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.source},
+            }
+        }
+        if finding.span is not None:
+            location["physicalLocation"]["region"] = {
+                "byteOffset": finding.span.offset,
+                "byteLength": finding.span.length,
+            }
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": finding.severity.sarif_level,
+            "message": {"text": finding.message},
+            "locations": [location],
+            "properties": {"kind": finding.kind},
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": "https://doi.org/10.1145/3278532.3278543",
+                    "rules": [{
+                        "id": rule.rule_id,
+                        "shortDescription": {"text": rule.summary},
+                        "defaultConfiguration": {"level": rule.severity.sarif_level},
+                        "properties": {
+                            "kind": rule.kind,
+                            "reference": rule.reference,
+                        },
+                    } for rule in rules],
+                }
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """Deterministic SARIF rendering (sorted keys, trailing newline)."""
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True) + "\n"
+
+
+def render_report(report: LintReport, fmt: str) -> str:
+    """Render a report as ``text``, ``json``, or ``sarif``."""
+    if fmt == "text":
+        return report.render() + "\n"
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "sarif":
+        return render_sarif(report)
+    raise ValueError(f"unknown report format: {fmt}")

@@ -1,0 +1,163 @@
+"""DER byte-offset provenance for lint findings.
+
+These walkers re-trace an artifact's TLV structure with the strict
+:class:`repro.asn1.Reader` (whose sub-readers keep *absolute* offsets
+into the original buffer) and record a ``field name -> Span`` map.
+Rules then attach the span of the offending field to their findings,
+so a report consumer can jump to the exact octets.
+
+The walkers are deliberately forgiving: they return whatever spans
+they managed to collect before a decode error, because the artifacts
+being linted are often broken — that is the point of linting them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..asn1 import Reader, tags
+from ..asn1.errors import ASN1Error
+from .findings import Span
+
+#: Span-map key for a whole artifact.
+WHOLE = "artifact"
+
+
+def _span(reader: Reader) -> Span:
+    offset, length = reader.peek_span()
+    return Span(offset, length)
+
+
+def _content_reader(parent: Reader, der: bytes) -> Optional[Reader]:
+    """Read an OCTET STRING whose content is nested DER, returning a
+    reader positioned over the content *in the original buffer*."""
+    offset, total = parent.peek_span()
+    content = parent.read_octet_string()
+    start = offset + (total - len(content))
+    return Reader(der, start, start + len(content))
+
+
+def certificate_spans(der: bytes) -> Dict[str, Span]:
+    """Field spans for a DER Certificate (RFC 5280 section 4.1)."""
+    spans: Dict[str, Span] = {WHOLE: Span(0, len(der))}
+    try:
+        outer = Reader(der)
+        certificate = outer.read_sequence()
+        spans["tbsCertificate"] = _span(certificate)
+        tbs = certificate.read_sequence()
+        spans["signatureAlgorithm"] = _span(certificate)
+        certificate.read_tlv()
+        spans["signatureValue"] = _span(certificate)
+
+        if not tbs.at_end() and tbs.peek_tag() == tags.context(0):
+            spans["version"] = _span(tbs)
+            tbs.read_tlv()
+        spans["serialNumber"] = _span(tbs)
+        tbs.read_tlv()
+        spans["signature"] = _span(tbs)
+        tbs.read_tlv()
+        spans["issuer"] = _span(tbs)
+        tbs.read_tlv()
+        spans["validity"] = _span(tbs)
+        tbs.read_tlv()
+        spans["subject"] = _span(tbs)
+        tbs.read_tlv()
+        spans["subjectPublicKeyInfo"] = _span(tbs)
+        tbs.read_tlv()
+        while not tbs.at_end() and tbs.peek_tag() != tags.context(3):
+            tbs.read_tlv()  # issuerUniqueID / subjectUniqueID
+        if not tbs.at_end():
+            spans["extensions"] = _span(tbs)
+            wrapper = tbs.read_context(3)
+            sequence = wrapper.read_sequence()
+            while not sequence.at_end():
+                extension_span = _span(sequence)
+                extension = sequence.read_sequence()
+                extn_id = extension.read_oid()
+                spans[f"extension:{extn_id.dotted}"] = extension_span
+    except (ASN1Error, ValueError):
+        pass
+    return spans
+
+
+def ocsp_spans(der: bytes) -> Dict[str, Span]:
+    """Field spans for a DER OCSPResponse (RFC 6960 section 4.2.1)."""
+    spans: Dict[str, Span] = {WHOLE: Span(0, len(der))}
+    try:
+        outer = Reader(der).read_sequence()
+        spans["responseStatus"] = _span(outer)
+        outer.read_tlv()
+        if outer.at_end():
+            return spans
+        spans["responseBytes"] = _span(outer)
+        response_bytes = outer.read_context(0).read_sequence()
+        response_bytes.read_oid()
+        basic = _content_reader(response_bytes, der)
+        if basic is None:
+            return spans
+        basic_seq = basic.read_sequence()
+        spans["tbsResponseData"] = _span(basic_seq)
+        tbs = basic_seq.read_sequence()
+        spans["basicSignatureAlgorithm"] = _span(basic_seq)
+        basic_seq.read_tlv()
+        spans["basicSignature"] = _span(basic_seq)
+        basic_seq.read_tlv()
+        if not basic_seq.at_end():
+            spans["certs"] = _span(basic_seq)
+
+        if not tbs.at_end() and tbs.peek_tag() == tags.context(0):
+            tbs.read_tlv()  # version
+        spans["responderID"] = _span(tbs)
+        tbs.read_tlv()
+        spans["producedAt"] = _span(tbs)
+        tbs.read_tlv()
+        spans["responses"] = _span(tbs)
+        responses = tbs.read_sequence()
+        index = 0
+        while not responses.at_end():
+            single_span = _span(responses)
+            spans[f"singleResponse[{index}]"] = single_span
+            single = responses.read_sequence()
+            spans[f"certID[{index}]"] = _span(single)
+            index += 1
+        if not tbs.at_end() and tbs.peek_tag() == tags.context(1):
+            spans["responseExtensions"] = _span(tbs)
+    except (ASN1Error, ValueError):
+        pass
+    return spans
+
+
+def crl_spans(der: bytes) -> Dict[str, Span]:
+    """Field spans for a DER CertificateList (RFC 5280 section 5.1)."""
+    spans: Dict[str, Span] = {WHOLE: Span(0, len(der))}
+    try:
+        outer = Reader(der).read_sequence()
+        spans["tbsCertList"] = _span(outer)
+        tbs = outer.read_sequence()
+        spans["signatureAlgorithm"] = _span(outer)
+        outer.read_tlv()
+        spans["signatureValue"] = _span(outer)
+
+        if not tbs.at_end() and tbs.peek_tag() == tags.INTEGER:
+            spans["version"] = _span(tbs)
+            tbs.read_tlv()
+        spans["signature"] = _span(tbs)
+        tbs.read_tlv()
+        spans["issuer"] = _span(tbs)
+        tbs.read_tlv()
+        spans["thisUpdate"] = _span(tbs)
+        tbs.read_tlv()
+        if not tbs.at_end() and tbs.peek_tag() in (tags.UTC_TIME, tags.GENERALIZED_TIME):
+            spans["nextUpdate"] = _span(tbs)
+            tbs.read_tlv()
+        if not tbs.at_end() and tbs.peek_tag() == tags.SEQUENCE:
+            spans["revokedCertificates"] = _span(tbs)
+            revoked = tbs.read_sequence()
+            while not revoked.at_end():
+                entry_span = _span(revoked)
+                entry = revoked.read_sequence()
+                serial = entry.read_integer()
+                spans[f"entry:{serial}"] = entry_span
+    except (ASN1Error, ValueError):
+        pass
+    return spans

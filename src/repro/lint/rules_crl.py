@@ -1,0 +1,101 @@
+"""CRL conformance rules (RFC 5280 section 5).
+
+CRLs are the fallback revocation channel the paper compares OCSP
+against (Section 6): a stale or unsigned CRL silently turns every
+client that relies on it into a fail-open client.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..x509 import CertificateList
+from .engine import KIND_CRL, Artifact, LintContext, Violation, register
+from .findings import Severity
+
+
+def _crl(artifact: Artifact) -> CertificateList:
+    return artifact.parsed  # type: ignore[return-value]
+
+
+@register("CRL_UPDATE_ORDER", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.2.5", "nextUpdate must follow thisUpdate")
+def check_update_order(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    crl = _crl(artifact)
+    if crl.next_update is not None and crl.next_update < crl.this_update:
+        yield (f"nextUpdate ({crl.next_update}) precedes thisUpdate "
+               f"({crl.this_update})", artifact.span("nextUpdate", "tbsCertList"))
+
+
+@register("CRL_NEXT_UPDATE_MISSING", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.2.5", "conforming CRL issuers must include nextUpdate")
+def check_next_update(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    if _crl(artifact).next_update is None:
+        yield ("no nextUpdate: relying parties cannot tell when this CRL "
+               "goes stale", artifact.span("thisUpdate", "tbsCertList"))
+
+
+@register("CRL_STALE", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.2.5", "the CRL must not be stale at the reference time")
+def check_stale(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    crl = _crl(artifact)
+    if crl.next_update is not None and crl.next_update >= crl.this_update and \
+            crl.next_update < ctx.reference_time - ctx.clock_skew:
+        yield (f"nextUpdate passed {ctx.reference_time - crl.next_update}s "
+               f"before the reference time", artifact.span("nextUpdate"))
+
+
+@register("CRL_THISUPDATE_FUTURE", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.2.4", "thisUpdate must not be in the future")
+def check_future(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    crl = _crl(artifact)
+    if crl.this_update > ctx.reference_time + ctx.clock_skew:
+        yield (f"thisUpdate is {crl.this_update - ctx.reference_time}s in "
+               f"the future", artifact.span("thisUpdate"))
+
+
+@register("CRL_ENTRY_ORDER", Severity.INFO, KIND_CRL,
+          "RFC 5280 §5.1.2.6", "entries are conventionally sorted by serial")
+def check_entry_order(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    revoked = _crl(artifact).revoked
+    for previous, current in zip(revoked, revoked[1:]):
+        if current.serial_number < previous.serial_number:
+            yield (f"entry for serial {current.serial_number} follows "
+                   f"{previous.serial_number}; binary search over the list "
+                   f"is impossible",
+                   artifact.span(f"entry:{current.serial_number}",
+                                 "revokedCertificates"))
+            break
+
+
+@register("CRL_ENTRY_DUPLICATE", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.2.6", "a serial must appear at most once")
+def check_entry_duplicate(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    seen = set()
+    for entry in _crl(artifact).revoked:
+        if entry.serial_number in seen:
+            yield (f"serial {entry.serial_number} listed more than once",
+                   artifact.span(f"entry:{entry.serial_number}",
+                                 "revokedCertificates"))
+        seen.add(entry.serial_number)
+
+
+@register("CRL_ENTRY_DATE_FUTURE", Severity.WARN, KIND_CRL,
+          "RFC 5280 §5.1.2.6", "revocation dates must not be in the future")
+def check_entry_dates(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    for entry in _crl(artifact).revoked:
+        if entry.revocation_date > ctx.reference_time + ctx.clock_skew:
+            yield (f"serial {entry.serial_number} revoked "
+                   f"{entry.revocation_date - ctx.reference_time}s in the future",
+                   artifact.span(f"entry:{entry.serial_number}",
+                                 "revokedCertificates"))
+
+
+@register("CRL_SIGNATURE", Severity.ERROR, KIND_CRL,
+          "RFC 5280 §5.1.1.3", "the signature must verify under the issuer key")
+def check_signature(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    if ctx.issuer is None:
+        return  # no issuer context: cannot judge
+    if not _crl(artifact).verify_signature(ctx.issuer.public_key):
+        yield ("CRL signature does not verify under the issuer key",
+               artifact.span("signatureValue"))

@@ -1,0 +1,220 @@
+"""OCSP response conformance rules (RFC 6960).
+
+These are the static mirror of the paper's Section 5 measurements:
+the update-window rules reproduce Figure 9's zero-margin and
+future-dated ``thisUpdate`` classes, the CertID and signature rules
+reproduce Figure 5's serial-mismatch and bad-signature classes, and
+the superfluous-certificate / multi-serial rules quantify Figures 6
+and 7 for a single response.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ocsp.response import BasicOCSPResponse, OCSPResponse, ResponseStatus
+from ..ocsp.verify import _find_delegate
+from .engine import KIND_OCSP, Artifact, LintContext, Violation, register
+from .findings import Severity
+
+
+def _response(artifact: Artifact) -> OCSPResponse:
+    return artifact.parsed  # type: ignore[return-value]
+
+
+def _basic(artifact: Artifact) -> Optional[BasicOCSPResponse]:
+    return _response(artifact).basic
+
+
+@register("OCSP_ERROR_STATUS", Severity.WARN, KIND_OCSP,
+          "RFC 6960 §4.2.1", "responseStatus should be successful")
+def check_status(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    response = _response(artifact)
+    if response.response_status is not ResponseStatus.SUCCESSFUL:
+        yield (f"responseStatus is {response.response_status.name.lower()}",
+               artifact.span("responseStatus"))
+    elif response.basic is None:
+        yield ("successful response without a BasicOCSPResponse",
+               artifact.span("responseStatus"))
+
+
+@register("OCSP_UPDATE_ORDER", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.2.2.1", "nextUpdate must follow thisUpdate")
+def check_update_order(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        if single.next_update is not None and single.next_update <= single.this_update:
+            yield (f"nextUpdate ({single.next_update}) does not follow "
+                   f"thisUpdate ({single.this_update}) for serial "
+                   f"{single.cert_id.serial_number}",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_EXPIRED", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.2.2.1", "nextUpdate must not be in the past")
+def check_expired(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        if single.next_update is not None and \
+                single.next_update > single.this_update and \
+                single.next_update < ctx.reference_time - ctx.clock_skew:
+            yield (f"nextUpdate expired {ctx.reference_time - single.next_update}s "
+                   f"before the reference time",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_THISUPDATE_FUTURE", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.2.2.1", "thisUpdate must not be in the future")
+def check_future(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        if single.this_update > ctx.reference_time + ctx.clock_skew:
+            yield (f"thisUpdate is {single.this_update - ctx.reference_time}s "
+                   f"in the future (clients with accurate clocks reject this)",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_ZERO_MARGIN", Severity.WARN, KIND_OCSP,
+          "paper Fig. 9", "thisUpdate should leave margin for clock skew")
+def check_zero_margin(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        margin = ctx.reference_time - single.this_update
+        if 0 <= margin < ctx.zero_margin_threshold:
+            yield (f"thisUpdate margin is only {margin}s — clients with "
+                   f"slightly slow clocks will consider the response invalid",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_BLANK_NEXT_UPDATE", Severity.WARN, KIND_OCSP,
+          "RFC 6960 §4.2.2.1 / paper Fig. 8", "nextUpdate should be present")
+def check_blank(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        if single.next_update is None:
+            yield ("blank nextUpdate: caches cannot tell when newer "
+                   "revocation information is available",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_VALIDITY_OVER_MONTH", Severity.WARN, KIND_OCSP,
+          "paper Fig. 8", "validity windows over a month defeat revocation")
+def check_long_validity(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        period = single.validity_period
+        if period is not None and period > ctx.max_validity:
+            yield (f"validity period is {period}s "
+                   f"({period // 86400} days > {ctx.max_validity // 86400})",
+                   artifact.span(f"singleResponse[{index}]"))
+
+
+@register("OCSP_PRODUCED_AT_RANGE", Severity.WARN, KIND_OCSP,
+          "RFC 6960 §4.2.2.1", "producedAt must be plausible")
+def check_produced_at(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    span = artifact.span("producedAt")
+    if basic.produced_at > ctx.reference_time + ctx.clock_skew:
+        yield (f"producedAt is {basic.produced_at - ctx.reference_time}s in "
+               f"the future", span)
+    for single in basic.single_responses:
+        if basic.produced_at < single.this_update:
+            yield (f"producedAt ({basic.produced_at}) precedes thisUpdate "
+                   f"({single.this_update}) for serial "
+                   f"{single.cert_id.serial_number}", span)
+            break
+
+
+@register("OCSP_CERTID_MISMATCH", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.1.1 / paper Fig. 5", "the response must answer the requested serial")
+def check_certid_mismatch(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None or ctx.cert_id is None:
+        return
+    if basic.find_single(ctx.cert_id.serial_number) is None:
+        answered = ", ".join(str(s) for s in basic.serial_numbers) or "none"
+        yield (f"requested serial {ctx.cert_id.serial_number} is not in the "
+               f"response (answered: {answered})", artifact.span("responses"))
+
+
+@register("OCSP_CERTID_HASH", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.1.1", "CertID hashes must match the issuer")
+def check_certid_hash(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None or ctx.issuer is None:
+        return
+    for index, single in enumerate(basic.single_responses):
+        try:
+            ok = single.cert_id.matches_issuer(ctx.issuer)
+        except ValueError:
+            ok = False
+        if not ok:
+            yield (f"CertID hashes for serial {single.cert_id.serial_number} "
+                   f"do not match the issuer certificate",
+                   artifact.span(f"certID[{index}]", f"singleResponse[{index}]"))
+
+
+@register("OCSP_SIGNATURE", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.2.2.2 / paper Fig. 5", "the signature must verify")
+def check_signature(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None or ctx.issuer is None:
+        return
+    if basic.verify_signature(ctx.issuer.public_key):
+        return
+    delegate = _find_delegate(basic, ctx.issuer)
+    if delegate is not None and basic.verify_signature(delegate.public_key):
+        return
+    yield ("signature verifies under neither the issuer key nor any "
+           "valid delegated responder certificate",
+           artifact.span("basicSignature"))
+
+
+@register("OCSP_NONCE_MISMATCH", Severity.ERROR, KIND_OCSP,
+          "RFC 6960 §4.4.1", "the request nonce must be echoed")
+def check_nonce(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None or ctx.expected_nonce is None:
+        return
+    if basic.nonce != ctx.expected_nonce:
+        got = "absent" if basic.nonce is None else basic.nonce.hex()
+        yield (f"nonce echo is {got}, expected {ctx.expected_nonce.hex()}",
+               artifact.span("responseExtensions", "tbsResponseData"))
+
+
+@register("OCSP_SUPERFLUOUS_CERTS", Severity.INFO, KIND_OCSP,
+          "paper Fig. 6", "responses should not embed extra certificates")
+def check_superfluous(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    if len(basic.certificates) > 1:
+        yield (f"{len(basic.certificates)} embedded certificates — at most "
+               f"one (the delegated signer) is ever needed",
+               artifact.span("certs"))
+
+
+@register("OCSP_MULTI_SERIAL", Severity.INFO, KIND_OCSP,
+          "paper Fig. 7", "responses should answer only the requested serial")
+def check_multi_serial(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    basic = _basic(artifact)
+    if basic is None:
+        return
+    count = len(basic.single_responses)
+    if count > 1:
+        yield (f"{count} SingleResponses stuffed into one response",
+               artifact.span("responses"))

@@ -1,0 +1,213 @@
+"""X.509 certificate conformance rules (RFC 5280 / RFC 7633).
+
+The Must-Staple rules are the paper's Section 4 in static form: a CA
+that mints a TLSFeature extension with a broken encoding, or a
+Must-Staple certificate with no OCSP responder URL, has mis-issued a
+certificate that no client can ever satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..asn1 import Reader, oid
+from ..asn1.errors import ASN1Error
+from ..x509 import Certificate
+from ..x509.extensions import TLS_FEATURE_STATUS_REQUEST
+from .engine import (
+    KIND_CERTIFICATE,
+    Artifact,
+    LintContext,
+    Violation,
+    register,
+)
+from .findings import Severity
+
+#: RFC 5280 §4.1.2.2: serialNumber content must fit in 20 octets.
+MAX_SERIAL_OCTETS = 20
+
+
+def _cert(artifact: Artifact) -> Certificate:
+    return artifact.parsed  # type: ignore[return-value]
+
+
+@register("X509_VERSION", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.1", "extension-bearing certificates must be v3")
+def check_version(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if certificate.version != 3:
+        yield (f"certificate is v{certificate.version}, not v3",
+               artifact.span("version", "tbsCertificate"))
+
+
+@register("X509_SERIAL_NONPOSITIVE", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.2", "serialNumber must be a positive integer")
+def check_serial_positive(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    serial = _cert(artifact).serial_number
+    if serial <= 0:
+        yield (f"serialNumber {serial} is not positive",
+               artifact.span("serialNumber"))
+
+
+@register("X509_SERIAL_RANGE", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.2", "serialNumber must not exceed 20 octets")
+def check_serial_range(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    serial = _cert(artifact).serial_number
+    if serial > 0:
+        octets = (serial.bit_length() + 8) // 8  # + sign-bit headroom
+        if octets > MAX_SERIAL_OCTETS:
+            yield (f"serialNumber needs {octets} octets (max {MAX_SERIAL_OCTETS})",
+                   artifact.span("serialNumber"))
+
+
+@register("X509_VALIDITY_ORDER", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.5", "notBefore must not follow notAfter")
+def check_validity_order(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    validity = _cert(artifact).validity
+    if validity.not_after < validity.not_before:
+        yield (f"notAfter ({validity.not_after}) precedes "
+               f"notBefore ({validity.not_before})", artifact.span("validity"))
+
+
+@register("X509_EXPIRED", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.5", "certificate must not be expired at the reference time")
+def check_expired(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    validity = _cert(artifact).validity
+    if validity.not_after >= validity.not_before and \
+            validity.not_after < ctx.reference_time - ctx.clock_skew:
+        yield (f"expired {ctx.reference_time - validity.not_after}s before "
+               f"the reference time", artifact.span("validity"))
+
+
+@register("X509_NOT_YET_VALID", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.2.5", "certificate must be valid at the reference time")
+def check_not_yet_valid(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    validity = _cert(artifact).validity
+    if validity.not_before > ctx.reference_time + ctx.clock_skew:
+        yield (f"notBefore is {validity.not_before - ctx.reference_time}s after "
+               f"the reference time", artifact.span("validity"))
+
+
+@register("X509_BC_MISSING", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.2.1.9", "v3 certificates should carry BasicConstraints")
+def check_basic_constraints(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if certificate.version == 3 and \
+            certificate.extensions.get(oid.BASIC_CONSTRAINTS) is None:
+        yield ("no BasicConstraints extension",
+               artifact.span("extensions", "tbsCertificate"))
+
+
+@register("X509_SKI_MISSING", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.2.1.2", "CA certificates must carry SubjectKeyIdentifier")
+def check_ski(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if certificate.is_ca and \
+            certificate.extensions.get(oid.SUBJECT_KEY_IDENTIFIER) is None:
+        yield ("CA certificate without SubjectKeyIdentifier",
+               artifact.span("extensions", "tbsCertificate"))
+
+
+@register("X509_AKI_MISSING", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.2.1.1", "non-self-issued certificates must carry AKI")
+def check_aki(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if not certificate.is_self_signed and \
+            certificate.extensions.get(oid.AUTHORITY_KEY_IDENTIFIER) is None:
+        yield ("no AuthorityKeyIdentifier on a non-self-issued certificate",
+               artifact.span("extensions", "tbsCertificate"))
+
+
+@register("X509_MUST_STAPLE_ENCODING", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 7633 §4.1", "TLSFeature must encode as SEQUENCE OF INTEGER")
+def check_must_staple_encoding(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    extension = _cert(artifact).extensions.get(oid.TLS_FEATURE)
+    if extension is None:
+        return
+    span = artifact.span(f"extension:{oid.TLS_FEATURE.dotted}")
+    try:
+        sequence = Reader(extension.value).read_sequence()
+        while not sequence.at_end():
+            sequence.read_integer()
+    except (ASN1Error, ValueError) as exc:
+        yield (f"TLSFeature payload is not a SEQUENCE OF INTEGER: {exc}", span)
+
+
+@register("X509_MUST_STAPLE_EMPTY", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 7633 §4.2", "TLSFeature should request status_request(5)")
+def check_must_staple_features(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    extension = _cert(artifact).extensions.get(oid.TLS_FEATURE)
+    if extension is None:
+        return
+    span = artifact.span(f"extension:{oid.TLS_FEATURE.dotted}")
+    try:
+        sequence = Reader(extension.value).read_sequence()
+        features = []
+        while not sequence.at_end():
+            features.append(sequence.read_integer())
+    except (ASN1Error, ValueError):
+        return  # X509_MUST_STAPLE_ENCODING already fires
+    if TLS_FEATURE_STATUS_REQUEST not in features:
+        yield (f"TLSFeature {features} does not include "
+               f"status_request({TLS_FEATURE_STATUS_REQUEST})", span)
+
+
+@register("X509_MUST_STAPLE_NO_OCSP", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 7633 §6", "Must-Staple certificates need an OCSP responder URL")
+def check_must_staple_ocsp(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    try:
+        must_staple = certificate.must_staple
+    except (ASN1Error, ValueError):
+        return  # X509_MUST_STAPLE_ENCODING already fires
+    if must_staple and not certificate.ocsp_urls:
+        yield ("Must-Staple certificate without an AIA OCSP URL — no "
+               "staple can ever be fetched for it",
+               artifact.span(f"extension:{oid.TLS_FEATURE.dotted}"))
+
+
+@register("X509_AIA_OCSP_MISSING", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 5280 §4.2.2.1", "end-entity certificates should carry an OCSP URL")
+def check_aia_ocsp(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if not certificate.is_ca and not certificate.ocsp_urls:
+        yield ("end-entity certificate without an AIA OCSP URL",
+               artifact.span("extensions", "tbsCertificate"))
+
+
+@register("X509_OCSP_URL_SCHEME", Severity.WARN, KIND_CERTIFICATE,
+          "RFC 6960 App. A", "AIA OCSP URLs should use plain http")
+def check_ocsp_scheme(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    span = artifact.span(f"extension:{oid.AUTHORITY_INFORMATION_ACCESS.dotted}")
+    for url in certificate.ocsp_urls:
+        if not url.startswith("http://"):
+            yield (f"OCSP URL {url!r} is not plain http (an https responder "
+                   f"makes revocation checking circular)", span)
+
+
+@register("X509_SHA1_SIGNATURE", Severity.WARN, KIND_CERTIFICATE,
+          "CA/B BR §7.1.3", "certificates should not be signed with SHA-1")
+def check_sha1(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    if certificate.signature_algorithm == oid.SHA1_WITH_RSA:
+        yield ("signature algorithm is sha1WithRSAEncryption",
+               artifact.span("signatureAlgorithm"))
+
+
+@register("X509_SIGNATURE", Severity.ERROR, KIND_CERTIFICATE,
+          "RFC 5280 §4.1.1.3", "the signature must verify under the issuer key")
+def check_signature(artifact: Artifact, ctx: LintContext) -> Iterator[Violation]:
+    certificate = _cert(artifact)
+    issuer = ctx.issuer
+    if issuer is None and certificate.is_self_signed:
+        issuer = certificate
+    if issuer is None:
+        return  # no issuer context: cannot judge
+    try:
+        ok = certificate.verify_signature(issuer.public_key)
+    except (ASN1Error, ValueError):
+        ok = False
+    if not ok:
+        yield ("certificate signature does not verify under the issuer key",
+               artifact.span("signatureValue"))

@@ -7,6 +7,7 @@ materializer and the examples use this for file interchange.
 from __future__ import annotations
 
 import base64
+import binascii
 import re
 from typing import List, Tuple
 
@@ -48,7 +49,7 @@ def decode_pem(text: str) -> List[Tuple[str, bytes]]:
         payload = re.sub(r"\s+", "", match.group(2))
         try:
             der = base64.b64decode(payload, validate=True)
-        except Exception as exc:
+        except (binascii.Error, ValueError) as exc:
             raise ValueError(f"invalid base64 in PEM block {label!r}") from exc
         blocks.append((label, der))
     return blocks

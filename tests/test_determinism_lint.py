@@ -1,0 +1,118 @@
+"""Tests for tools/check_determinism.py — and the tier-1 gate itself:
+the whole ``src/repro`` tree must be free of ambient-state calls."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOL_PATH = REPO_ROOT / "tools" / "check_determinism.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_determinism",
+                                                  TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_determinism", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool()
+
+
+def codes(source, path="src/repro/example.py"):
+    return [violation.code for violation in tool.scan_source(source, path)]
+
+
+class TestBannedPatterns:
+    def test_datetime_now(self):
+        src = "from datetime import datetime\n" \
+              "def f():\n    return datetime.now()\n"
+        assert codes(src) == ["datetime.now()"]
+
+    def test_datetime_utcnow(self):
+        src = "import datetime\n" \
+              "def f():\n    return datetime.datetime.utcnow()\n"
+        assert codes(src) == ["datetime.datetime.utcnow()"]
+
+    def test_time_time(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        assert codes(src) == ["time.time()"]
+
+    def test_time_monotonic(self):
+        src = "import time\ndef f():\n    return time.monotonic()\n"
+        assert codes(src) == ["time.monotonic()"]
+
+    def test_date_today(self):
+        src = "from datetime import date\ndef f():\n    return date.today()\n"
+        assert codes(src) == ["date.today()"]
+
+    def test_unseeded_random(self):
+        src = "import random\nrng = random.Random()\n"
+        assert codes(src) == ["random.Random()"]
+
+    def test_global_rng_function(self):
+        src = "import random\nx = random.choice([1, 2])\n"
+        assert codes(src) == ["random.choice()"]
+
+    def test_system_random(self):
+        src = "import random\nrng = random.SystemRandom()\n"
+        assert codes(src) == ["random.SystemRandom()"]
+
+    def test_os_urandom(self):
+        src = "import os\nkey = os.urandom(16)\n"
+        assert codes(src) == ["os.urandom()"]
+
+    def test_secrets_module(self):
+        src = "import secrets\ntoken = secrets.token_bytes(8)\n"
+        assert codes(src) == ["secrets.token_bytes()"]
+
+
+class TestAllowedPatterns:
+    def test_seeded_random_is_fine(self):
+        assert codes("import random\nrng = random.Random(42)\n") == []
+
+    def test_seeded_instance_methods_are_fine(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.choice([1])\n"
+        assert codes(src) == []
+
+    def test_local_name_choice_is_not_global_rng(self):
+        # ``rng.choice`` on a non-module name must not be confused with
+        # the module-level ``random.choice``
+        assert codes("def f(rng):\n    return rng.choice([1, 2])\n") == []
+
+    def test_reference_time_arithmetic_is_fine(self):
+        src = "def f(now):\n    return now + 3600\n"
+        assert codes(src) == []
+
+    def test_allowlist_applies_by_path_and_code(self):
+        src = "import random\nrng = random.Random()\n"
+        assert codes(src, path="src/repro/crypto/rsa.py") == []
+        # same code outside the allowlisted file still flags
+        assert codes(src, path="src/repro/crypto/other.py") != []
+
+
+class TestTreeScan:
+    def test_src_repro_is_clean(self):
+        violations = tool.scan_tree(REPO_ROOT / "src" / "repro")
+        rendered = "\n".join(v.render() for v in violations)
+        assert violations == [], f"determinism violations:\n{rendered}"
+
+    def test_scan_covers_the_lint_package(self):
+        files = list(tool.iter_python_files(REPO_ROOT / "src" / "repro"))
+        assert any(path.match("*/lint/*.py") for path in files)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert tool.main([str(tmp_path)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        assert tool.main([str(tmp_path)]) == 1
+        assert tool.main([str(tmp_path / "missing")]) == 2
+        capsys.readouterr()

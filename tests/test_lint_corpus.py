@@ -1,0 +1,196 @@
+"""Corpus batch-lint, property, and CLI tests for repro.lint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ca import CertificateAuthority, OCSPResponder
+from repro.cli import main
+from repro.crypto import KeyPool
+from repro.datasets.world import WorldConfig
+from repro.lint import (
+    FIGURE5_CLASSES,
+    KIND_CERTIFICATE,
+    KIND_CRL,
+    KIND_OCSP,
+    LintContext,
+    LintEngine,
+    classify_findings,
+    lint_world,
+    self_test,
+)
+from repro.lint.corpus import USABLE
+from repro.ocsp import CertID, OCSPRequest
+from repro.simnet import DAY, MEASUREMENT_START
+from repro.simnet.http import ocsp_post
+from repro.x509.pem import CERTIFICATE_LABEL, encode_pem
+
+NOW = MEASUREMENT_START
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return lint_world(config=WorldConfig(n_responders=16,
+                                         certs_per_responder=1, seed=13))
+
+
+class TestCorpusLint:
+    def test_probe_accounting(self, summary):
+        assert summary.probes == 16
+        assert summary.certificates == 16
+        assert summary.crls == 16
+        assert sum(summary.lint_classes.values()) == summary.probes
+        assert sum(summary.verify_classes.values()) == summary.probes
+
+    def test_static_and_dynamic_paths_agree(self, summary):
+        assert summary.disagreements == []
+        assert summary.agreement == summary.probes
+        assert summary.lint_classes == summary.verify_classes
+
+    def test_figure5_classes_derive_from_quality_taxonomy(self):
+        assert FIGURE5_CLASSES == ("malformed", "serial_mismatch",
+                                   "bad_signature")
+
+    def test_figure5_percentages(self, summary):
+        percent = summary.figure5_percent()
+        assert set(percent) == set(FIGURE5_CLASSES)
+        # the world plants one persistently malformed responder per ~62
+        assert percent["malformed"] > 0.0
+        assert summary.unusable_percent() == pytest.approx(
+            sum(percent.values()))
+
+    def test_to_dict_is_json_ready_and_deterministic(self, summary):
+        first = json.dumps(summary.to_dict(), sort_keys=True)
+        second = json.dumps(summary.to_dict(), sort_keys=True)
+        assert first == second
+        assert json.loads(first)["probes"] == 16
+
+    def test_classify_precedence_matches_verifier(self):
+        assert classify_findings([]) == USABLE
+
+    def test_self_test_passes(self):
+        ok, text = self_test()
+        assert ok, text
+        assert "self-test OK" in text
+
+
+class TestMintedChainProperty:
+    """Freshly minted, well-formed chains lint with zero ERROR findings."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           lifetime_days=st.integers(min_value=2, max_value=365),
+           must_staple=st.booleans())
+    def test_minted_chain_is_error_free(self, seed, lifetime_days,
+                                        must_staple):
+        pool = KeyPool(size=3, bits=512, seed=seed)
+        url = "http://ocsp.prop.test"
+        root = CertificateAuthority.create_root(
+            f"Prop Root {seed}", ocsp_url=url, key_pool=pool,
+            not_before=NOW - 2 * 365 * DAY)
+        leaf = root.issue_leaf(
+            "prop.example", pool.take(), not_before=NOW - DAY,
+            lifetime=lifetime_days * DAY, must_staple=must_staple)
+        cert_id = CertID.for_certificate(leaf, root.certificate)
+        responder = OCSPResponder(root, url, epoch_start=NOW - 30 * DAY)
+        response = responder.handle(
+            ocsp_post(url, OCSPRequest.for_single(cert_id).encode()),
+            NOW).body
+        crl = root.build_crl(NOW)
+
+        engine = LintEngine()
+        context = LintContext(reference_time=NOW, issuer=root.certificate,
+                              cert_id=cert_id)
+        findings = []
+        findings += engine.lint_der(root.certificate.der, KIND_CERTIFICATE,
+                                    "root", LintContext(reference_time=NOW))
+        findings += engine.lint_der(leaf.der, KIND_CERTIFICATE, "leaf",
+                                    context)
+        findings += engine.lint_der(response, KIND_OCSP, "ocsp", context)
+        findings += engine.lint_der(crl.der, KIND_CRL, "crl", context)
+        errors = [f for f in findings if f.severity.label == "error"]
+        assert errors == [], [f.render() for f in errors]
+
+
+class TestLintCLI:
+    def test_self_test(self, capsys):
+        assert main(["lint", "--self-test"]) == 0
+        assert "self-test OK" in capsys.readouterr().out
+
+    def test_rules_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "X509_MUST_STAPLE_ENCODING" in out
+        assert "OCSP_EXPIRED" in out
+        assert "CRL_STALE" in out
+
+    def test_lint_pem_file(self, tmp_path, capsys, ca, leaf):
+        path = tmp_path / "chain.pem"
+        path.write_text(encode_pem(ca.certificate.der, CERTIFICATE_LABEL)
+                        + encode_pem(leaf.der, CERTIFICATE_LABEL))
+        assert main(["lint", str(path)]) == 0
+        assert "chain.pem" in capsys.readouterr().out
+
+    def test_lint_broken_file_exits_nonzero(self, tmp_path, capsys, leaf):
+        path = tmp_path / "broken.der"
+        path.write_bytes(leaf.der[:-10])
+        assert main(["lint", str(path)]) == 1
+        assert "X509_PARSE" in capsys.readouterr().out
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        capsys.readouterr()
+
+    def test_missing_file_is_a_clean_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.pem")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_truncated_pem_is_malformed_not_empty(self, tmp_path, capsys,
+                                                  leaf):
+        path = tmp_path / "trunc.pem"
+        path.write_text(encode_pem(leaf.der, CERTIFICATE_LABEL)[:200])
+        assert main(["lint", str(path)]) == 1
+        assert "X509_PARSE" in capsys.readouterr().out
+
+    def test_invalid_base64_pem_is_malformed(self, tmp_path, capsys):
+        path = tmp_path / "bad.pem"
+        path.write_text("-----BEGIN CERTIFICATE-----\n!!!\n"
+                        "-----END CERTIFICATE-----\n")
+        assert main(["lint", str(path)]) == 1
+        assert "X509_PARSE" in capsys.readouterr().out
+
+    def test_json_output_is_byte_deterministic(self, tmp_path, capsys, leaf):
+        path = tmp_path / "leaf.pem"
+        path.write_text(encode_pem(leaf.der, CERTIFICATE_LABEL))
+        outputs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main(["lint", str(path), "--format", "json",
+                         "--out", str(out)]) == 0
+            outputs.append(out.read_bytes())
+        capsys.readouterr()
+        assert outputs[0] == outputs[1]
+        document = json.loads(outputs[0])
+        assert document["schema"] == "repro-lint/1"
+
+    def test_sarif_output(self, tmp_path, capsys, leaf):
+        path = tmp_path / "leaf.pem"
+        path.write_text(encode_pem(leaf.der, CERTIFICATE_LABEL))
+        out = tmp_path / "report.sarif"
+        assert main(["lint", str(path), "--format", "sarif",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["version"] == "2.1.0"
+
+    def test_corpus_mode(self, capsys):
+        assert main(["lint", "--corpus", "--responders", "16",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["probes"] == 16
+        assert document["disagreements"] == []

@@ -1,0 +1,256 @@
+"""Engine, registry, provenance, and output-format tests for repro.lint."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.asn1 import Reader
+from repro.lint import (
+    KIND_CERTIFICATE,
+    KIND_CRL,
+    KIND_OCSP,
+    KINDS,
+    RULES,
+    LintContext,
+    LintEngine,
+    LintReport,
+    Severity,
+    Span,
+    catalogue,
+    render_catalogue,
+    render_json,
+    render_report,
+    render_sarif,
+    report_to_json,
+    report_to_sarif,
+    rules_for,
+    sniff_kind,
+)
+from repro.lint.provenance import WHOLE, certificate_spans, crl_spans, ocsp_spans
+from repro.ocsp import CertID, OCSPRequest
+from repro.simnet import MEASUREMENT_START
+from repro.simnet.http import ocsp_post
+from repro.x509.pem import CERTIFICATE_LABEL, CRL_LABEL, encode_pem
+
+NOW = MEASUREMENT_START
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine(LintContext(reference_time=NOW))
+
+
+@pytest.fixture(scope="module")
+def chain_report(engine, ca, leaf):
+    bundle = (encode_pem(ca.certificate.der, CERTIFICATE_LABEL)
+              + encode_pem(leaf.der, CERTIFICATE_LABEL))
+    return engine.lint_blob(bundle.encode("ascii"), "chain.pem")
+
+
+@pytest.fixture(scope="module")
+def ocsp_der(ca, responder, cert_id):
+    request = OCSPRequest.for_single(cert_id).encode()
+    return responder.handle(ocsp_post(responder.url, request), NOW).body
+
+
+class TestRegistry:
+    def test_at_least_fifteen_rules(self):
+        assert len(RULES) >= 15
+
+    def test_rule_ids_are_stable_identifiers(self):
+        for rule_id in RULES:
+            assert re.fullmatch(r"[A-Z][A-Z0-9_]+", rule_id), rule_id
+
+    def test_every_rule_is_documented(self):
+        for rule in RULES.values():
+            assert rule.kind in KINDS
+            assert rule.reference, rule.rule_id
+            assert rule.summary, rule.rule_id
+            assert rule.severity in (Severity.INFO, Severity.WARN,
+                                     Severity.ERROR)
+
+    def test_every_kind_has_rules(self):
+        for kind in (KIND_CERTIFICATE, KIND_OCSP, KIND_CRL):
+            assert len(rules_for(kind)) >= 5, kind
+
+    def test_catalogue_is_sorted_and_complete(self):
+        ids = [rule.rule_id for rule in catalogue()]
+        assert ids == sorted(ids)
+        assert set(ids) == set(RULES)
+
+    def test_render_catalogue_lists_every_rule(self):
+        text = render_catalogue()
+        for rule_id in RULES:
+            assert rule_id in text
+
+    def test_design_doc_catalogue_is_in_sync(self):
+        design = (Path(__file__).resolve().parents[1] / "DESIGN.md").read_text()
+        for rule in RULES.values():
+            assert f"`{rule.rule_id}`" in design, \
+                f"{rule.rule_id} missing from the DESIGN.md catalogue"
+            assert rule.reference in design, \
+                f"{rule.rule_id}: reference {rule.reference!r} not in DESIGN.md"
+
+
+class TestProvenance:
+    def test_certificate_spans(self, leaf):
+        spans = certificate_spans(leaf.der)
+        assert spans[WHOLE] == Span(0, len(leaf.der))
+        # spans start at the field's tag byte
+        assert leaf.der[spans["tbsCertificate"].offset] == 0x30
+        assert leaf.der[spans["serialNumber"].offset] == 0x02
+        serial_span = spans["serialNumber"]
+        reader = Reader(leaf.der, serial_span.offset, serial_span.end)
+        assert reader.read_integer() == leaf.serial_number
+        # every extension gets a dotted-OID keyed span
+        for extension in leaf.extensions:
+            assert f"extension:{extension.extn_id.dotted}" in spans
+
+    def test_certificate_spans_nested_in_tbs(self, leaf):
+        spans = certificate_spans(leaf.der)
+        tbs = spans["tbsCertificate"]
+        for name in ("serialNumber", "validity", "subjectPublicKeyInfo"):
+            assert tbs.offset <= spans[name].offset
+            assert spans[name].end <= tbs.end
+
+    def test_ocsp_spans(self, ocsp_der):
+        spans = ocsp_spans(ocsp_der)
+        for name in ("responseStatus", "tbsResponseData", "producedAt",
+                     "responses", "singleResponse[0]", "certID[0]",
+                     "basicSignature"):
+            assert name in spans, name
+            assert 0 <= spans[name].offset < spans[name].end <= len(ocsp_der)
+
+    def test_crl_spans(self, ca):
+        crl = ca.build_crl(NOW)
+        spans = crl_spans(crl.der)
+        for name in ("tbsCertList", "thisUpdate", "nextUpdate",
+                     "signatureValue"):
+            assert name in spans, name
+
+    def test_spans_survive_truncation(self, leaf):
+        spans = certificate_spans(leaf.der[:30])
+        assert spans[WHOLE] == Span(0, 30)  # forgiving: partial map
+
+
+class TestSniffAndBlob:
+    def test_sniff_certificate(self, leaf):
+        assert sniff_kind(leaf.der) == KIND_CERTIFICATE
+
+    def test_sniff_crl(self, ca):
+        assert sniff_kind(ca.build_crl(NOW).der) == KIND_CRL
+
+    def test_sniff_ocsp(self, ocsp_der):
+        assert sniff_kind(ocsp_der) == KIND_OCSP
+
+    def test_sniff_garbage(self):
+        assert sniff_kind(b"\x00\x01\x02") is None
+
+    def test_pem_bundle_sources_are_indexed(self, chain_report):
+        assert chain_report.artifacts == 2
+        sources = {finding.source for finding in chain_report.findings}
+        assert sources <= {"chain.pem#0", "chain.pem#1"}
+
+    def test_mixed_pem_bundle(self, engine, ca, leaf):
+        bundle = (encode_pem(leaf.der, CERTIFICATE_LABEL)
+                  + encode_pem(ca.build_crl(NOW).der, CRL_LABEL))
+        report = engine.lint_blob(bundle.encode("ascii"), "mixed.pem")
+        assert report.artifacts == 2
+
+    def test_raw_der_blob(self, engine, leaf):
+        report = engine.lint_blob(leaf.der, "leaf.der")
+        assert report.artifacts == 1
+
+    def test_minted_chain_has_no_errors(self, chain_report):
+        assert chain_report.clean
+        assert chain_report.errors == []
+
+
+class TestReport:
+    def test_sorted_by_source_then_offset(self, chain_report):
+        keys = [(f.source, f.span.offset if f.span else -1, f.rule_id,
+                 f.message) for f in chain_report.findings]
+        assert keys == sorted(keys)
+
+    def test_by_severity_and_rule(self, chain_report):
+        by_severity = chain_report.by_severity()
+        assert sum(by_severity.values()) == len(chain_report.findings)
+        by_rule = chain_report.by_rule()
+        assert sum(by_rule.values()) == len(chain_report.findings)
+
+    def test_render_mentions_every_finding(self, chain_report):
+        text = chain_report.render()
+        for finding in chain_report.findings:
+            assert finding.rule_id in text
+
+
+class TestJSONOutput:
+    def test_shape(self, chain_report):
+        document = report_to_json(chain_report)
+        assert document["schema"] == "repro-lint/1"
+        assert document["referenceTime"] == NOW
+        assert document["artifacts"] == 2
+        assert document["summary"]["clean"] is True
+        assert len(document["findings"]) == len(chain_report.findings)
+        for entry in document["findings"]:
+            assert entry["rule"] in RULES
+            assert entry["severity"] in ("info", "warn", "error")
+
+    def test_byte_determinism(self, chain_report):
+        first = render_json(chain_report)
+        second = render_json(chain_report)
+        assert first == second
+        assert json.loads(first)  # valid JSON
+
+    def test_fresh_runs_are_identical(self, engine, leaf):
+        runs = [render_json(engine.lint_blob(leaf.der, "leaf.der"))
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+
+class TestSARIFOutput:
+    def test_shape(self, chain_report):
+        document = report_to_sarif(chain_report)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        # the FULL catalogue ships with every report: stable ruleIndex
+        assert len(driver["rules"]) == len(RULES)
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert len(run["results"]) == len(chain_report.findings)
+
+    def test_rule_index_is_consistent(self, chain_report):
+        document = report_to_sarif(chain_report)
+        run = document["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_results_carry_byte_regions(self, chain_report):
+        document = report_to_sarif(chain_report)
+        for result in document["runs"][0]["results"]:
+            location = result["locations"][0]["physicalLocation"]
+            region = location["region"]
+            assert region["byteOffset"] >= 0
+            assert region["byteLength"] >= 1
+
+    def test_byte_determinism(self, chain_report):
+        assert render_sarif(chain_report) == render_sarif(chain_report)
+
+
+class TestRenderReport:
+    def test_dispatch(self, chain_report):
+        assert render_report(chain_report, "json") == render_json(chain_report)
+        assert render_report(chain_report, "sarif") == render_sarif(chain_report)
+        assert render_report(chain_report, "text").rstrip("\n") == \
+            chain_report.render().rstrip("\n")
+
+    def test_unknown_format_rejected(self, chain_report):
+        with pytest.raises(ValueError):
+            render_report(chain_report, "xml")
