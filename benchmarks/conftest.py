@@ -5,6 +5,12 @@ The expensive artefacts — the 134-responder measurement world, its full
 build once per session; each per-figure benchmark then times its
 analysis stage and prints the rows/series the paper reports.
 
+The scan and the generated datasets come through
+:func:`repro.runtime.run_experiment`, so the suite exercises the same
+sharded path as the CLI.  ``REPRO_BENCH_WORKERS`` parallelizes shard
+execution (identical bytes at any count) and ``REPRO_BENCH_CACHE_DIR``
+lets repeated suite runs reuse shard outputs.
+
 Scale notes: the world is a 1:4 sample of the paper's 536 responders
 (every named event group and fault quota scaled accordingly) and the
 scan cadence is daily instead of hourly; neither changes any reported
@@ -13,24 +19,39 @@ scan cadence is daily instead of hourly; neither changes any reported
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets import (
     AlexaConfig,
-    AlexaModel,
     CertificateCorpus,
     CorpusConfig,
     MeasurementWorld,
     WorldConfig,
 )
+from repro.runtime import (
+    AlexaRunConfig,
+    CorpusRunConfig,
+    ScanCampaignConfig,
+    run_experiment,
+)
 from repro.scanner import (
     AlexaAvailability,
     ConsistencyConfig,
     ConsistencyWorld,
-    HourlyScanner,
     run_consistency_scan,
 )
 from repro.simnet import DAY, MEASUREMENT_END, MEASUREMENT_START
+
+_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR")
+
+
+def _run(experiment_id: str, config):
+    return run_experiment(experiment_id, config=config, workers=_WORKERS,
+                          cache=_CACHE_DIR is not None,
+                          cache_dir=_CACHE_DIR)
 
 
 def banner(title: str) -> None:
@@ -46,22 +67,28 @@ def bench_world():
 
 
 @pytest.fixture(scope="session")
-def bench_dataset(bench_world):
+def bench_dataset():
     """The complete Apr 25 - Sep 4 scan at daily cadence (~212k probes)."""
-    scanner = HourlyScanner(bench_world, interval=DAY)
-    return scanner.run(MEASUREMENT_START, MEASUREMENT_END)
+    config = ScanCampaignConfig(
+        world=WorldConfig(n_responders=134, certs_per_responder=2, seed=7),
+        interval=DAY, start=MEASUREMENT_START, end=MEASUREMENT_END)
+    return _run("fig3", config).artifacts["dataset"]
 
 
 @pytest.fixture(scope="session")
 def bench_alexa():
     """A 20,000-domain Alexa Top-1M sample."""
-    return AlexaModel(AlexaConfig(size=20_000, seed=404))
+    result = _run("fig2", AlexaRunConfig(
+        alexa=AlexaConfig(size=20_000, seed=404)))
+    return result.artifacts["alexa"]
 
 
 @pytest.fixture(scope="session")
 def bench_corpus():
     """A 20,000-record Censys-substitute corpus."""
-    return CertificateCorpus(CorpusConfig(size=20_000, seed=2018))
+    result = _run("sec4-deployment", CorpusRunConfig(
+        corpus=CorpusConfig(size=20_000, seed=2018)))
+    return result.artifacts["corpus"]
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,7 @@ byte-identical responses, exactly like a caching responder.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional
 
@@ -138,7 +139,13 @@ class OCSPResponder:
             # skew: responses stay within one interval of age (so never
             # self-expired) while producedAt regresses between
             # consecutive requests that land on different backends.
-            backend = self.request_count % self.profile.stale_backends
+            # Which backend answers is a pure function of (url, now) —
+            # the load balancer is unpredictable to the client, but the
+            # probe stays order-independent, which lets shards replay
+            # any slice of a scan and still see the serial bytes.
+            digest = hashlib.blake2b(f"{self.url}|{now}".encode(),
+                                     digest_size=4).digest()
+            backend = int.from_bytes(digest, "big") % self.profile.stale_backends
             start = start - backend * self.profile.backend_skew
         elapsed = max(0, now - start)
         return start + (elapsed // interval) * interval

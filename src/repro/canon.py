@@ -1,0 +1,101 @@
+"""Deterministic building blocks shared by configs and the runtime.
+
+Everything the experiment runner relies on for reproducibility lives
+here:
+
+* :func:`canonical` — collapse configs/dataclasses into a canonical,
+  JSON-serializable structure with stable key ordering, so two equal
+  configs always serialize identically regardless of dict insertion
+  order or repr details;
+* :func:`stable_digest` — the content address derived from that
+  canonical form (cache keys, shard identities, provenance records);
+* :func:`derived_rng` — a seeded RNG stream keyed by explicit string
+  parts, so independent shards can draw from non-overlapping,
+  position-independent streams;
+* :func:`split_ranges` — contiguous, gap-free partitioning of an index
+  space into shard ranges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import random
+from typing import Any, List, Tuple
+
+
+def canonical(obj: Any) -> Any:
+    """Collapse *obj* into a canonical JSON-serializable structure.
+
+    Dataclasses become ``{"__type__": name, **fields}``; mappings sort
+    by key; sets sort by repr; tuples become lists; enums become their
+    values.  Objects exposing ``to_dict()`` use it (tagged with their
+    type name so two config classes with identical fields don't
+    collide).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return canonical(obj.value)
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict) and not isinstance(obj, type):
+        data = to_dict()
+        tagged = {"__type__": type(obj).__name__}
+        tagged.update({str(k): canonical(v) for k, v in data.items()})
+        return {k: tagged[k] for k in sorted(tagged)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        tagged = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            tagged[field.name] = canonical(getattr(obj, field.name))
+        return {k: tagged[k] for k in sorted(tagged)}
+    if isinstance(obj, dict):
+        return {str(k): canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(v) for v in obj)
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, bytes):
+        return obj.hex()
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of *obj* (sorted keys, no whitespace)."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(obj: Any, length: int = 16) -> str:
+    """A stable hex content address for *obj* (first *length* hex chars)."""
+    digest = hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+    return digest[:length]
+
+
+def derived_rng(*parts: object) -> random.Random:
+    """A seeded RNG keyed by the given parts.
+
+    String seeding uses Python's hash-randomization-free path, so the
+    stream is identical across processes and platforms — the property
+    shard workers rely on.
+    """
+    return random.Random("|".join(str(part) for part in parts))
+
+
+def split_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Partition ``range(total)`` into *parts* contiguous [lo, hi) ranges.
+
+    Ranges cover the space exactly with sizes differing by at most one;
+    empty ranges are dropped (so ``parts > total`` yields ``total``
+    singleton ranges).
+    """
+    parts = max(1, parts)
+    base, extra = divmod(total, parts)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        if hi > lo:
+            ranges.append((lo, hi))
+        lo = hi
+    return ranges

@@ -2,6 +2,7 @@
 
 Commands:
 
+* ``run``         — any registered experiment via the unified runtime
 * ``readiness``   — the Section-8 verdict across all principals
 * ``browsers``    — Table 2 (browser Must-Staple support)
 * ``servers``     — Table 3 (web server stapling conformance)
@@ -11,6 +12,10 @@ Commands:
 * ``experiments`` — the experiment registry (paper artefact → benchmark)
 * ``issue``       — mint a demo Must-Staple certificate chain as PEM
 * ``lint``        — static conformance analysis of certificates/OCSP/CRLs
+
+Experiment-running commands share the runtime flags ``--workers``,
+``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
+through :func:`repro.runtime.run_experiment`.
 """
 
 from __future__ import annotations
@@ -21,16 +26,44 @@ from typing import List, Optional
 
 from .simnet import DAY, HOUR, MEASUREMENT_START
 
+_DEFAULT_SEED = 7
+
+
+def _seed(args: argparse.Namespace) -> int:
+    """Resolve the effective seed; the pre-runtime root ``--seed``
+    spelling still works but warns."""
+    if getattr(args, "seed", None) is not None:
+        return args.seed
+    root = getattr(args, "root_seed", None)
+    if root is not None:
+        print("warning: 'repro --seed N <command>' is deprecated; "
+              "use '<command> --seed N'", file=sys.stderr)
+        return root
+    return _DEFAULT_SEED
+
+
+def _runtime_kwargs(args: argparse.Namespace) -> dict:
+    """The run_experiment() knobs shared by every runtime command."""
+    return {
+        "workers": getattr(args, "workers", 1),
+        "cache": not getattr(args, "no_cache", False),
+        "cache_dir": getattr(args, "cache_dir", None),
+    }
+
 
 def _cmd_readiness(args: argparse.Namespace) -> int:
-    from .core import assess_readiness
-    from .datasets import CertificateCorpus, CorpusConfig, MeasurementWorld, WorldConfig
-    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
-                                         certs_per_responder=1, seed=args.seed))
-    corpus = CertificateCorpus(CorpusConfig(size=4_000, seed=args.seed))
-    report = assess_readiness(world=world, corpus=corpus, scan_days=args.days,
-                              scan_interval=6 * HOUR)
-    print(report.render())
+    from .datasets import CorpusConfig, WorldConfig
+    from .runtime import ReadinessConfig, run_experiment
+    seed = _seed(args)
+    config = ReadinessConfig(
+        world=WorldConfig(n_responders=args.responders,
+                          certs_per_responder=1, seed=seed),
+        corpus=CorpusConfig(size=4_000, seed=seed),
+        scan_days=args.days, scan_interval=6 * HOUR)
+    result = run_experiment("sec8-readiness", config=config,
+                            **_runtime_kwargs(args))
+    print(result.artifacts["report"].render())
+    print(f"cache: {result.cache_status}", file=sys.stderr)
     return 0
 
 
@@ -64,32 +97,49 @@ def _cmd_servers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scan_config(args: argparse.Namespace):
+    from .datasets import WorldConfig
+    from .runtime import ScanCampaignConfig
+    return ScanCampaignConfig(
+        world=WorldConfig(n_responders=args.responders,
+                          certs_per_responder=args.certs, seed=_seed(args)),
+        interval=args.interval * HOUR,
+        start=MEASUREMENT_START,
+        end=MEASUREMENT_START + args.days * DAY)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
-    from .datasets import MeasurementWorld, WorldConfig
-    from .scanner import HourlyScanner
+    from .runtime import run_experiment
     from .scanner.io import dump_dataset
-    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
-                                         certs_per_responder=args.certs,
-                                         seed=args.seed))
-    scanner = HourlyScanner(world, interval=args.interval * HOUR)
-    print(f"scanning {args.days} days x {len(world.sites)} responders "
-          f"every {args.interval}h from 6 vantages...", file=sys.stderr)
-    dataset = scanner.run(MEASUREMENT_START, MEASUREMENT_START + args.days * DAY)
+    config = _scan_config(args)
+    print(f"scanning {args.days} days x {config.world.n_responders} "
+          f"responders every {args.interval}h from 6 vantages...",
+          file=sys.stderr)
+    result = run_experiment("fig3", config=config, **_runtime_kwargs(args))
+    dataset = result.artifacts["dataset"]
     if args.out:
         with open(args.out, "w") as stream:
             count = dump_dataset(dataset, stream)
-        print(f"wrote {count} probes to {args.out}", file=sys.stderr)
+        print(f"wrote {count} probes to {args.out} "
+              f"(cache: {result.cache_status})", file=sys.stderr)
     else:
-        from .scanner.io import dump_dataset as dump
-        dump(dataset, sys.stdout)
+        dump_dataset(dataset, sys.stdout)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core import analyze_availability, quality_headlines
     from .scanner.io import load_dataset
-    with open(args.scan_file) as stream:
-        dataset = load_dataset(stream)
+    if args.scan_file:
+        with open(args.scan_file) as stream:
+            dataset = load_dataset(stream)
+    else:
+        # No file: run the default fig3 campaign through the runtime.
+        from .runtime import run_experiment
+        result = run_experiment("fig3", config=_scan_config(args),
+                                **_runtime_kwargs(args))
+        dataset = result.artifacts["dataset"]
+        print(f"cache: {result.cache_status}", file=sys.stderr)
     report = analyze_availability(dataset)
     print(f"{len(dataset)} probes, {report.responder_count} responders")
     print("failure rate by vantage:")
@@ -108,7 +158,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from .core import render_table
     from .scanner import ConsistencyConfig, ConsistencyWorld, run_consistency_scan
-    world = ConsistencyWorld(ConsistencyConfig(scale=args.scale, seed=args.seed))
+    world = ConsistencyWorld(ConsistencyConfig(scale=args.scale,
+                                               seed=_seed(args)))
     report = run_consistency_scan(world)
     rows = [[row.ocsp_url, row.unknown, row.good, row.revoked]
             for row in report.discrepant_rows()]
@@ -126,13 +177,52 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.figures import FigureScale
+    from .runtime import run_experiment
+    scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
+    scale.seed = _seed(args)
+    try:
+        result = run_experiment(args.experiment_id, scale=scale,
+                                **_runtime_kwargs(args))
+    except KeyError:
+        print(f"run: unknown experiment {args.experiment_id!r} "
+              f"(see 'repro experiments')", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    provenance = result.provenance
+    print(f"experiment: {result.experiment_id}")
+    print(f"config: {provenance.config_digest} "
+          f"(code {provenance.code_version})")
+    print(f"shards: {len(provenance.shards)} "
+          f"(executed {provenance.executed_shards}, "
+          f"cached {provenance.cached_shards}, "
+          f"workers {provenance.workers})")
+    print(f"rows: {len(result.rows)}")
+    for key, value in result.to_dict()["summary"].items():
+        print(f"  {key}: {value}")
+    print(f"wall: {result.timings['total_s']:.2f}s "
+          f"(shard compute {result.timings['shard_ms_total']:.0f}ms)")
+    print(f"cache: {result.cache_status}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .core.figures import FigureScale, generate_all
-    scale = FigureScale.full() if args.full else FigureScale.small()
-    scale.seed = args.seed
+    if args.full:
+        print("warning: 'figures --full' is deprecated; "
+              "use 'figures --scale full'", file=sys.stderr)
+        args.scale = "full"
+    scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
+    scale.seed = _seed(args)
     print(f"generating figure/table data into {args.out} "
-          f"({'full' if args.full else 'small'} scale)...", file=sys.stderr)
-    written = generate_all(args.out, scale)
+          f"({args.scale} scale, workers={args.workers})...", file=sys.stderr)
+    written = generate_all(args.out, scale, workers=args.workers,
+                           cache_dir=args.cache_dir)
     for path in written:
         print(path)
     return 0
@@ -143,7 +233,8 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     from .datasets import MeasurementWorld, WorldConfig
     from .scanner import self_test_responder
     world = MeasurementWorld(WorldConfig(n_responders=args.responders,
-                                         certs_per_responder=1, seed=args.seed))
+                                         certs_per_responder=1,
+                                         seed=_seed(args)))
     now = MEASUREMENT_START + HOUR
     unhealthy = 0
     for site in world.sites[:args.limit]:
@@ -221,7 +312,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         summary = lint_world(
             config=WorldConfig(n_responders=args.responders,
                                certs_per_responder=args.certs,
-                               seed=args.seed),
+                               seed=_seed(args)),
             reference_time=args.reference_time,
         )
         if args.format == "json":
@@ -282,7 +373,7 @@ def _cmd_issue(args: argparse.Namespace) -> int:
     now = MEASUREMENT_START
     ca = CertificateAuthority.create_root(
         "Demo CA", f"http://ocsp.demo.test", not_before=now - 365 * DAY)
-    leaf = ca.issue_leaf(args.domain, generate_keypair(512, rng=args.seed),
+    leaf = ca.issue_leaf(args.domain, generate_keypair(512, rng=_seed(args)),
                          not_before=now, must_staple=args.must_staple)
     sys.stdout.write(chain_to_pem([leaf, ca.certificate]))
     print(f"issued {args.domain} "
@@ -298,10 +389,39 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction toolkit for 'Is the Web Ready for OCSP "
                     "Must-Staple?' (IMC 2018)",
     )
-    parser.add_argument("--seed", type=int, default=7, help="global RNG seed")
+    parser.add_argument("--seed", type=int, default=None, dest="root_seed",
+                        help="deprecated; use '<command> --seed N'")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    readiness = commands.add_parser("readiness", help="the Section-8 verdict")
+    # Shared flags: every command that can reach run_experiment() takes
+    # the same runtime knobs; seed-only commands take just --seed.
+    seed_flags = argparse.ArgumentParser(add_help=False)
+    seed_flags.add_argument("--seed", type=int, default=None,
+                            help=f"RNG seed (default {_DEFAULT_SEED})")
+    runtime_flags = argparse.ArgumentParser(add_help=False,
+                                            parents=[seed_flags])
+    runtime_flags.add_argument("--workers", type=int, default=1,
+                               help="shard worker processes (output is "
+                                    "identical at any count)")
+    runtime_flags.add_argument("--cache-dir", default=None,
+                               help="artifact cache directory (default: "
+                                    "$REPRO_CACHE_DIR or "
+                                    "~/.cache/repro-experiments)")
+    runtime_flags.add_argument("--no-cache", action="store_true",
+                               help="disable the artifact cache")
+
+    run = commands.add_parser(
+        "run", parents=[runtime_flags],
+        help="run any registered experiment via the unified runtime")
+    run.add_argument("experiment_id", metavar="experiment",
+                     help="registry id, e.g. fig3 (see 'repro experiments')")
+    run.add_argument("--scale", choices=["small", "full"], default="small")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result document as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    readiness = commands.add_parser("readiness", parents=[runtime_flags],
+                                    help="the Section-8 verdict")
     readiness.add_argument("--responders", type=int, default=70)
     readiness.add_argument("--days", type=int, default=3)
     readiness.set_defaults(func=_cmd_readiness)
@@ -312,7 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
     servers = commands.add_parser("servers", help="Table 3")
     servers.set_defaults(func=_cmd_servers)
 
-    scan = commands.add_parser("scan", help="run a measurement campaign")
+    scan = commands.add_parser("scan", parents=[runtime_flags],
+                               help="run a measurement campaign")
     scan.add_argument("--responders", type=int, default=70)
     scan.add_argument("--certs", type=int, default=1)
     scan.add_argument("--days", type=int, default=7)
@@ -320,24 +441,34 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--out", help="write JSON-lines here (default: stdout)")
     scan.set_defaults(func=_cmd_scan)
 
-    analyze = commands.add_parser("analyze", help="report over a saved scan")
-    analyze.add_argument("scan_file")
+    analyze = commands.add_parser("analyze", parents=[runtime_flags],
+                                  help="report over a saved scan")
+    analyze.add_argument("scan_file", nargs="?", default=None,
+                         help="saved scan (default: run the fig3 campaign)")
+    analyze.add_argument("--responders", type=int, default=70)
+    analyze.add_argument("--certs", type=int, default=1)
+    analyze.add_argument("--days", type=int, default=7)
+    analyze.add_argument("--interval", type=int, default=6,
+                         help="hours between scans (no-file mode)")
     analyze.set_defaults(func=_cmd_analyze)
 
-    audit = commands.add_parser("audit", help="CRL vs OCSP cross-check")
+    audit = commands.add_parser("audit", parents=[seed_flags],
+                                help="CRL vs OCSP cross-check")
     audit.add_argument("--scale", type=int, default=200)
     audit.set_defaults(func=_cmd_audit)
 
     experiments = commands.add_parser("experiments", help="the experiment index")
     experiments.set_defaults(func=_cmd_experiments)
 
-    issue = commands.add_parser("issue", help="mint a demo certificate chain")
+    issue = commands.add_parser("issue", parents=[seed_flags],
+                                help="mint a demo certificate chain")
     issue.add_argument("domain")
     issue.add_argument("--must-staple", action="store_true")
     issue.set_defaults(func=_cmd_issue)
 
     lint = commands.add_parser(
-        "lint", help="static conformance analysis (certificates/OCSP/CRLs)")
+        "lint", parents=[seed_flags],
+        help="static conformance analysis (certificates/OCSP/CRLs)")
     lint.add_argument("paths", nargs="*",
                       help="PEM bundles or raw DER files to lint")
     lint.add_argument("--kind", choices=["auto", "certificate", "ocsp", "crl"],
@@ -369,14 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.set_defaults(func=_cmd_inspect)
 
     figures = commands.add_parser(
-        "figures", help="write every figure/table's data files")
+        "figures", parents=[runtime_flags],
+        help="write every figure/table's data files")
     figures.add_argument("--out", default="results")
+    figures.add_argument("--scale", choices=["small", "full"],
+                         default="small",
+                         help="small (seconds) or full (benchmark scale)")
     figures.add_argument("--full", action="store_true",
-                         help="benchmark-suite scale (minutes)")
+                         help="deprecated alias of --scale full")
     figures.set_defaults(func=_cmd_figures)
 
     selftest = commands.add_parser(
-        "selftest", help="responder self-test harness (Section 8 rec. #1)")
+        "selftest", parents=[seed_flags],
+        help="responder self-test harness (Section 8 rec. #1)")
     selftest.add_argument("--responders", type=int, default=40)
     selftest.add_argument("--limit", type=int, default=40)
     selftest.add_argument("--verbose", action="store_true",

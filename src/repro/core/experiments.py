@@ -7,8 +7,9 @@ the machine-readable version of DESIGN.md's experiment index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import importlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -21,6 +22,18 @@ class Experiment:
     modules: Tuple[str, ...]
     benchmark: str
     workload: str
+    #: ``module:function`` entrypoint consumed by
+    #: :func:`repro.runtime.run_experiment`.
+    runner: str = ""
+
+    def resolve_runner(self) -> Callable:
+        """Import and return this experiment's runner function."""
+        if not self.runner:
+            raise ValueError(
+                f"experiment {self.experiment_id!r} has no runner")
+        module_name, _, function_name = self.runner.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, function_name)
 
 
 _EXPERIMENTS: List[Experiment] = [
@@ -188,6 +201,43 @@ _EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_ablation_keysize.py",
         "512/1024/2048-bit sign/verify semantics and cost",
     ),
+]
+
+#: Runner entrypoints live in repro.runtime.runners; the lookup below
+#: raises at import time if any registry entry lacks one.
+_RUNNERS: Dict[str, str] = {
+    "sec4-deployment": "run_sec4_deployment",
+    "fig2": "run_fig2",
+    "fig3": "run_fig3",
+    "fig4": "run_fig4",
+    "fig5": "run_fig5",
+    "fig6": "run_fig6",
+    "fig7": "run_fig7",
+    "fig8": "run_fig8",
+    "fig9": "run_fig9",
+    "tbl1": "run_tbl1",
+    "fig10": "run_fig10",
+    "tbl2": "run_tbl2",
+    "fig11": "run_fig11",
+    "fig12": "run_fig12",
+    "tbl3": "run_tbl3",
+    "sec5-freshness": "run_sec5_freshness",
+    "sec8-readiness": "run_sec8_readiness",
+    "ext-multistaple": "run_ext_multistaple",
+    "ext-attack-window": "run_ext_attack_window",
+    "ext-latency": "run_ext_latency",
+    "ext-alternatives": "run_ext_alternatives",
+    "ext-whatif": "run_ext_whatif",
+    "ext-response-size": "run_ext_response_size",
+    "abl-apache-patch": "run_abl_apache_patch",
+    "abl-parser": "run_abl_parser",
+    "abl-keysize": "run_abl_keysize",
+}
+
+_EXPERIMENTS = [
+    replace(entry,
+            runner=f"repro.runtime.runners:{_RUNNERS[entry.experiment_id]}")
+    for entry in _EXPERIMENTS
 ]
 
 

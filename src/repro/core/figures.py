@@ -8,18 +8,22 @@ per paper artefact into an output directory:
     from repro.core.figures import FigureScale, generate_all
     written = generate_all("results/", FigureScale.small())
 
-Exposed through the CLI as ``python -m repro figures --out results/``.
+Every artefact is produced through :func:`repro.runtime.run_experiment`,
+so the heavy inputs are shared: Figures 3 and 5-9 read one scan
+campaign's shards from the artifact cache, and Table 1 / Figure 10
+share one consistency cross-check.  Exposed through the CLI as
+``python -m repro figures --out results/``.
 """
 
 from __future__ import annotations
 
 import csv
-import math
 import os
+import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..simnet import DAY, HOUR, MEASUREMENT_START
+from ..simnet import DAY, HOUR
 
 
 @dataclass
@@ -60,8 +64,28 @@ def _write_text(path: str, text: str) -> None:
         stream.write(text if text.endswith("\n") else text + "\n")
 
 
-def generate_all(outdir: str, scale: Optional[FigureScale] = None) -> List[str]:
-    """Generate every artefact's data file; returns the written paths."""
+def generate_all(outdir: str, scale: Optional[FigureScale] = None,
+                 workers: int = 1,
+                 cache_dir: Optional[str] = None) -> List[str]:
+    """Generate every artefact's data file; returns the written paths.
+
+    *workers* parallelizes shard execution (same bytes at any count).
+    Without an explicit *cache_dir* a private temporary cache still
+    backs the run, so the scan campaign that feeds Figures 3 and 5-9
+    executes exactly once.
+    """
+    if cache_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-figures-") as tmp:
+            return _generate_all(outdir, scale, workers, tmp)
+    return _generate_all(outdir, scale, workers, cache_dir)
+
+
+def _generate_all(outdir: str, scale: Optional[FigureScale],
+                  workers: int, cache_dir: str) -> List[str]:
+    from ..runtime import ConsistencyRunConfig, run_experiment
+    from ..webserver import EXPERIMENTS
+    from .render import render_table
+
     scale = scale or FigureScale.small()
     os.makedirs(outdir, exist_ok=True)
     written: List[str] = []
@@ -71,128 +95,102 @@ def generate_all(outdir: str, scale: Optional[FigureScale] = None) -> List[str]:
         written.append(path)
         return path
 
-    # --- corpora / models -----------------------------------------------------
-    from ..browser import run_browser_tests
-    from ..datasets import (AlexaConfig, AlexaModel, CertificateCorpus,
-                            CorpusConfig, MeasurementWorld, WorldConfig)
-    from ..scanner import (AlexaAvailability, ConsistencyConfig,
-                           ConsistencyWorld, HourlyScanner,
-                           run_consistency_scan)
-    from ..webserver import (ApacheServer, EXPERIMENTS, IdealServer,
-                             NginxServer, run_conformance)
-    from .adoption import (deployment_stats, figure2_adoption,
-                           figure11_adoption, figure12_history)
-    from .availability import analyze_availability
-    from .quality import (certificates_cdf, margin_cdf, responder_quality,
-                          serials_cdf, validity_cdf, validity_series)
-    from .render import render_table
-
-    alexa = AlexaModel(AlexaConfig(size=scale.alexa_size, seed=scale.seed))
-    corpus = CertificateCorpus(CorpusConfig(size=scale.corpus_size,
-                                            seed=scale.seed))
-    world = MeasurementWorld(WorldConfig(
-        n_responders=scale.n_responders,
-        certs_per_responder=scale.certs_per_responder, seed=scale.seed))
-    scanner = HourlyScanner(world, interval=scale.scan_interval)
-    dataset = scanner.run(MEASUREMENT_START,
-                          MEASUREMENT_START + scale.scan_days * DAY)
+    def run(experiment_id: str, config=None):
+        return run_experiment(experiment_id, config=config, workers=workers,
+                              cache=True, cache_dir=cache_dir, scale=scale)
 
     # --- Section 4 --------------------------------------------------------------
-    stats = deployment_stats(corpus)
-    boost = corpus.config.must_staple_boost
+    sec4 = run("sec4-deployment")
+
+    def _sec4_cell(row) -> str:
+        if row["metric"] == "must_staple_fraction_unboosted":
+            return f"{row['value']:.6f}"
+        return f"{row['value']:.4f}"
+
     _write_text(out("sec4_deployment.txt"), render_table(
         ["metric", "value"],
-        [["ocsp_fraction", f"{stats.ocsp_fraction:.4f}"],
-         ["must_staple_fraction_unboosted",
-          f"{stats.must_staple_fraction / boost:.6f}"],
-         *[[f"must_staple_share[{name}]", f"{share:.4f}"]
-           for name, share in stats.must_staple_ca_shares().items()]],
+        [[row["metric"], _sec4_cell(row)] for row in sec4.rows],
     ))
 
     # --- Figures 2 and 11 --------------------------------------------------------
-    fig2 = figure2_adoption(alexa, bin_width=50_000)
+    fig2 = run("fig2")
     _write_csv(out("fig2_adoption.csv"),
                ["rank_bin", "https_pct", "ocsp_pct"],
-               [(bin_start, f"{https:.2f}", f"{ocsp:.2f}")
-                for (bin_start, https), (_, ocsp) in zip(
-                    fig2.curves["Domains with certificate"],
-                    fig2.curves["Certificates with OCSP responder"])])
-    fig11 = figure11_adoption(alexa, bin_width=50_000)
+               [(row["rank_bin"], f"{row['https_pct']:.2f}",
+                 f"{row['ocsp_pct']:.2f}") for row in fig2.rows])
+    fig11 = run("fig11")
     _write_csv(out("fig11_stapling_adoption.csv"),
                ["rank_bin", "stapling_pct"],
-               [(b, f"{pct:.2f}") for b, pct in
-                fig11.curves["OCSP domains that support OCSP Stapling"]])
+               [(row["rank_bin"], f"{row['stapling_pct']:.2f}")
+                for row in fig11.rows])
 
     # --- Figure 3 ----------------------------------------------------------------
-    availability = analyze_availability(dataset)
+    fig3 = run("fig3")
     _write_csv(out("fig3_availability.csv"),
                ["timestamp", "vantage", "success_pct"],
-               [(ts, vantage, f"{pct:.3f}")
-                for vantage, points in availability.success_series.items()
-                for ts, pct in points])
+               [(row["timestamp"], row["vantage"], f"{row['success_pct']:.3f}")
+                for row in fig3.rows])
 
     # --- Figure 4 ----------------------------------------------------------------
-    alexa_availability = AlexaAvailability(world, seed=scale.seed + 4)
-    times = [MEASUREMENT_START + day * DAY
-             for day in range(0, scale.scan_days, max(1, scale.scan_days // 8))]
-    series = alexa_availability.series(times)
+    fig4 = run("fig4")
     _write_csv(out("fig4_domains_unable.csv"),
                ["timestamp", "vantage", "domains_unable"],
-               [(ts, vantage, f"{count:.0f}")
-                for vantage, points in series.items()
-                for ts, count in points])
+               [(row["ts"], row["vantage"], f"{row['unable']:.0f}")
+                for row in fig4.rows])
 
     # --- Figure 5 ----------------------------------------------------------------
-    fig5 = validity_series(dataset)
+    fig5 = run("fig5")
     _write_csv(out("fig5_unusable.csv"),
                ["timestamp", "error_class", "pct"],
-               [(ts, outcome.name, f"{pct:.4f}")
-                for outcome, points in fig5.series.items()
-                for ts, pct in points])
+               [(row["timestamp"], row["error_class"], f"{row['pct']:.4f}")
+                for row in fig5.rows])
 
     # --- Figures 6-9 ---------------------------------------------------------------
-    qualities = responder_quality(dataset)
-    for name, cdf in (("fig6_certs_cdf", certificates_cdf(qualities)),
-                      ("fig7_serials_cdf", serials_cdf(qualities)),
-                      ("fig8_validity_cdf", validity_cdf(qualities)),
-                      ("fig9_margin_cdf", margin_cdf(qualities))):
+    for experiment_id, name in (("fig6", "fig6_certs_cdf"),
+                                ("fig7", "fig7_serials_cdf"),
+                                ("fig8", "fig8_validity_cdf"),
+                                ("fig9", "fig9_margin_cdf")):
+        result = run(experiment_id)
+        # to_dict() maps the Figure-8 blank-nextUpdate infinity to "inf".
+        document = result.to_dict()
         _write_csv(out(f"{name}.csv"), ["value", "cdf"],
-                   [("inf" if value == math.inf else value, f"{fraction:.4f}")
-                    for value, fraction in cdf])
+                   [(row["value"], f"{row['cdf']:.4f}")
+                    for row in document["rows"]])
 
     # --- Table 1 / Figure 10 ---------------------------------------------------------
-    consistency = run_consistency_scan(ConsistencyWorld(
-        ConsistencyConfig(scale=scale.consistency_scale, seed=scale.seed)))
+    consistency_config = ConsistencyRunConfig(scale=scale.consistency_scale,
+                                              seed=scale.seed)
+    tbl1 = run("tbl1", config=consistency_config)
     _write_text(out("table1_discrepancies.txt"), render_table(
         ["ocsp_url", "unknown", "good", "revoked"],
-        [[row.ocsp_url, row.unknown, row.good, row.revoked]
-         for row in consistency.discrepant_rows()]))
+        [[row["ocsp_url"], row["unknown"], row["good"], row["revoked"]]
+         for row in tbl1.rows]))
+    fig10 = run("fig10", config=consistency_config)
     _write_csv(out("fig10_time_deltas.csv"),
                ["ocsp_url", "serial", "delta_seconds"],
-               [(d.ocsp_url, d.serial_number, d.delta)
-                for d in consistency.time_deltas if d.delta != 0])
+               [(row["ocsp_url"], row["serial"], row["delta"])
+                for row in fig10.rows if row["delta"] != 0])
 
     # --- Table 2 -------------------------------------------------------------------
-    browser_report = run_browser_tests()
+    tbl2 = run("tbl2")
     _write_text(out("table2_browsers.txt"), render_table(
         ["browser", "request_ocsp", "respect_must_staple", "own_ocsp"],
-        [[row.policy.label, *row.cells().values()]
-         for row in browser_report.rows]))
+        [[row["browser"], row["request_ocsp"], row["respect_must_staple"],
+          row["own_ocsp"]] for row in tbl2.rows]))
 
     # --- Figure 12 ------------------------------------------------------------------
-    history = figure12_history()
+    fig12 = run("fig12")
     _write_csv(out("fig12_history.csv"),
                ["month", "ocsp_pct", "stapling_pct", "cloudflare_domains"],
-               [(s.label, s.ocsp_pct, s.stapling_pct,
-                 s.cloudflare_stapling_domains) for s in history.snapshots])
+               [(row["month"], row["ocsp_pct"], row["stapling_pct"],
+                 row["cloudflare_domains"]) for row in fig12.rows])
 
     # --- Table 3 -------------------------------------------------------------------
-    rows = []
-    for server_class in (ApacheServer, NginxServer, IdealServer):
-        report = run_conformance(server_class)
-        cells = report.as_row()
-        rows.append([report.software, *[cells[name] for name in EXPERIMENTS]])
+    tbl3 = run("tbl3")
     _write_text(out("table3_webservers.txt"),
-                render_table(["software", *EXPERIMENTS], rows))
+                render_table(["software", *EXPERIMENTS],
+                             [[row["software"],
+                               *[row[name] for name in EXPERIMENTS]]
+                              for row in tbl3.rows]))
 
     return written

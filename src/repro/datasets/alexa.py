@@ -12,13 +12,21 @@ the paper's Figures 2 and 11:
   popular websites that support OCSP tend[ing] to do OCSP Stapling as
   well" (Figure 11),
 * exactly 100 Must-Staple certificates across the Top-1M (Section 4).
+
+Like the certificate corpus, domain generation is record-addressed:
+each sampled rank draws from its own derived RNG stream, so any rank
+range can be generated independently (the runtime shards Alexa scans
+by rank range) and shard outputs compose into exactly the population a
+single pass would produce.  Only the Must-Staple quota is a global
+draw — it runs as a deterministic post-pass over the full population.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
+
+from ..canon import derived_rng, split_ranges, stable_digest
 
 ALEXA_POPULATION = 1_000_000
 
@@ -34,6 +42,23 @@ class DomainRecord:
     has_ocsp: bool
     stapling: bool
     must_staple: bool
+
+    def to_dict(self) -> dict:
+        """The record's fields as a plain mapping."""
+        return {
+            "rank": self.rank,
+            "domain": self.domain,
+            "ca_name": self.ca_name,
+            "https": self.https,
+            "has_ocsp": self.has_ocsp,
+            "stapling": self.stapling,
+            "must_staple": self.must_staple,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DomainRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 def https_probability(rank: int) -> float:
@@ -61,61 +86,141 @@ class AlexaConfig:
     #: Must-Staple domains in the full population (paper: 100).
     must_staple_population: int = 100
 
+    def to_dict(self) -> dict:
+        """Stable field mapping (cache keys, shard specs)."""
+        return {
+            "size": self.size,
+            "seed": self.seed,
+            "must_staple_population": self.must_staple_population,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AlexaConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def config_digest(self) -> str:
+        """Content address of this config."""
+        return stable_digest(self)
+
+    def __hash__(self) -> int:
+        return hash(self.config_digest())
+
+
+def _default_ca_mixture() -> "tuple[List[str], List[float]]":
+    from .marketshare import normalized_shares
+    shares = normalized_shares()
+    return [s.name for s in shares], [s.share for s in shares]
+
+
+def generate_domains(config: AlexaConfig, start: int = 0,
+                     stop: Optional[int] = None,
+                     ca_names: Optional[List[str]] = None,
+                     ca_weights: Optional[List[float]] = None,
+                     ) -> List[DomainRecord]:
+    """Generate sampled domains for sample indexes ``[start, stop)``.
+
+    Pure function of ``(config, index)``; disjoint ranges compose into
+    the full population.  Must-Staple flags are *not* assigned here —
+    the global quota runs in :func:`apply_must_staple_quota`.
+    """
+    stop = config.size if stop is None else min(stop, config.size)
+    if ca_names is None:
+        ca_names, ca_weights = _default_ca_mixture()
+    step = ALEXA_POPULATION / config.size
+    records: List[DomainRecord] = []
+    for i in range(start, stop):
+        rng = derived_rng(config.seed, "alexa", i)
+        rank = int(i * step) + 1
+        https = rng.random() < https_probability(rank)
+        has_ocsp = https and rng.random() < ocsp_probability(rank)
+        stapling = has_ocsp and rng.random() < stapling_probability(rank)
+        ca_name = rng.choices(ca_names, weights=ca_weights)[0] if https else ""
+        records.append(DomainRecord(
+            rank=rank,
+            domain=f"rank{rank}.example",
+            ca_name=ca_name,
+            https=https,
+            has_ocsp=has_ocsp,
+            stapling=stapling,
+            must_staple=False,
+        ))
+    return records
+
+
+def apply_must_staple_quota(config: AlexaConfig,
+                            records: List[DomainRecord]) -> List[DomainRecord]:
+    """Assign the scaled Must-Staple quota over the full population.
+
+    A deterministic global draw (seeded from the config alone), so the
+    outcome is independent of how *records* were sharded — callers must
+    pass the complete, rank-ordered population.
+    """
+    step = ALEXA_POPULATION / config.size
+    staple_quota = max(1, round(config.must_staple_population / step))
+    staple_candidates = [i for i, r in enumerate(records) if r.has_ocsp]
+    rng = derived_rng(config.seed, "alexa-staple")
+    chosen = rng.sample(staple_candidates,
+                        min(staple_quota, len(staple_candidates)))
+    records = list(records)
+    for i in chosen:
+        record = records[i]
+        records[i] = DomainRecord(
+            rank=record.rank, domain=record.domain,
+            ca_name="Lets Encrypt",  # 97.3% of Must-Staple certs
+            https=True, has_ocsp=True, stapling=record.stapling,
+            must_staple=True,
+        )
+    return records
+
 
 class AlexaModel:
     """A seeded, scaled sample of the Alexa Top-1M."""
 
     def __init__(self, config: Optional[AlexaConfig] = None,
                  ca_names: Optional[List[str]] = None,
-                 ca_weights: Optional[List[float]] = None) -> None:
+                 ca_weights: Optional[List[float]] = None,
+                 records: Optional[Iterable[DomainRecord]] = None) -> None:
         self.config = config or AlexaConfig()
-        self.records: List[DomainRecord] = []
-        self._generate(ca_names, ca_weights)
+        if records is not None:
+            self.records: List[DomainRecord] = list(records)
+        else:
+            self.records = apply_must_staple_quota(
+                self.config,
+                generate_domains(self.config, ca_names=ca_names,
+                                 ca_weights=ca_weights))
+
+    @classmethod
+    def generate(cls, config: Optional[AlexaConfig] = None,
+                 shards: int = 1) -> "AlexaModel":
+        """Build the model from *shards* independent rank-range passes;
+        byte-identical for any shard count."""
+        config = config or AlexaConfig()
+        ca_names, ca_weights = _default_ca_mixture()
+        records: List[DomainRecord] = []
+        for lo, hi in split_ranges(config.size, shards):
+            records.extend(generate_domains(config, lo, hi,
+                                            ca_names, ca_weights))
+        return cls(config, records=apply_must_staple_quota(config, records))
+
+    @classmethod
+    def from_records(cls, config: AlexaConfig,
+                     records: Iterable[DomainRecord],
+                     quota_applied: bool = True) -> "AlexaModel":
+        """Wrap pre-generated records (e.g. merged shard outputs).
+
+        Pass ``quota_applied=False`` for raw shard outputs so the
+        global Must-Staple draw still runs.
+        """
+        records = list(records)
+        if not quota_applied:
+            records = apply_must_staple_quota(config, records)
+        return cls(config, records=records)
 
     @property
     def scale(self) -> float:
         """Real-world domains represented by one record."""
         return ALEXA_POPULATION / self.config.size
-
-    def _generate(self, ca_names: Optional[List[str]],
-                  ca_weights: Optional[List[float]]) -> None:
-        if ca_names is None:
-            from .marketshare import normalized_shares
-            shares = normalized_shares()
-            ca_names = [s.name for s in shares]
-            ca_weights = [s.share for s in shares]
-        rng = random.Random(self.config.seed)
-        step = ALEXA_POPULATION / self.config.size
-        # Scale the Must-Staple count down with the sample.
-        staple_quota = max(1, round(self.config.must_staple_population / step))
-        staple_candidates: List[int] = []
-
-        for i in range(self.config.size):
-            rank = int(i * step) + 1
-            https = rng.random() < https_probability(rank)
-            has_ocsp = https and rng.random() < ocsp_probability(rank)
-            stapling = has_ocsp and rng.random() < stapling_probability(rank)
-            ca_name = rng.choices(ca_names, weights=ca_weights)[0] if https else ""
-            self.records.append(DomainRecord(
-                rank=rank,
-                domain=f"rank{rank}.example",
-                ca_name=ca_name,
-                https=https,
-                has_ocsp=has_ocsp,
-                stapling=stapling,
-                must_staple=False,
-            ))
-            if has_ocsp:
-                staple_candidates.append(i)
-
-        for i in rng.sample(staple_candidates, min(staple_quota, len(staple_candidates))):
-            record = self.records[i]
-            self.records[i] = DomainRecord(
-                rank=record.rank, domain=record.domain,
-                ca_name="Lets Encrypt",  # 97.3% of Must-Staple certs
-                https=True, has_ocsp=True, stapling=record.stapling,
-                must_staple=True,
-            )
 
     # -- selections -------------------------------------------------------------
 

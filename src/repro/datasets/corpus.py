@@ -8,6 +8,14 @@ read (issuing CA, OCSP URL presence, Must-Staple, validity), and can be
 the active-scan pipelines operate exclusively on materialized records,
 so AIA extraction and extension parsing run on real bytes.
 
+Generation is **record-addressed**: every record is drawn from its own
+derived RNG stream keyed by ``(seed, index)``, so any index range can
+be generated independently and the corpus content is identical whether
+it is built in one pass or split across shards (the property
+:meth:`CertificateCorpus.generate` and the parallel runtime rely on).
+Generation is also lazy — constructing a corpus costs nothing until
+``records`` is first touched.
+
 Scaling: ``scale`` maps one record to ``scale`` real-world certificates
 (default 1 record : 2,000 certs → about 56k records for the full
 population; tests use far smaller corpora).
@@ -15,11 +23,11 @@ population; tests use far smaller corpora).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..ca import CertificateAuthority
+from ..canon import derived_rng, split_ranges, stable_digest
 from ..crypto import KeyPool
 from ..simnet.clock import CENSYS_SNAPSHOT, DAY
 from ..x509 import Certificate
@@ -61,6 +69,32 @@ class CertificateRecord:
         """Days of validity left at *now*."""
         return max(0, (self.not_after - now) // DAY)
 
+    def to_dict(self) -> dict:
+        """The record's corpus-content fields (materialization state —
+        serial number, certificate bytes — is deliberately excluded)."""
+        return {
+            "index": self.index,
+            "domain": self.domain,
+            "ca_name": self.ca_name,
+            "has_ocsp": self.has_ocsp,
+            "must_staple": self.must_staple,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CertificateRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            index=data["index"],
+            domain=data["domain"],
+            ca_name=data["ca_name"],
+            has_ocsp=data["has_ocsp"],
+            must_staple=data["must_staple"],
+            not_before=data["not_before"],
+            not_after=data["not_after"],
+        )
+
 
 def _slug(name: str) -> str:
     return name.lower().replace(" ", "").replace("'", "")
@@ -83,53 +117,129 @@ class CorpusConfig:
     must_staple_fraction: float = MUST_STAPLE_CERTIFICATES / VALID_CERTIFICATES
     must_staple_boost: float = 40.0
 
+    def to_dict(self) -> dict:
+        """Stable field mapping (cache keys, shard specs)."""
+        return {
+            "size": self.size,
+            "scale": self.scale,
+            "seed": self.seed,
+            "snapshot_time": self.snapshot_time,
+            "must_staple_fraction": self.must_staple_fraction,
+            "must_staple_boost": self.must_staple_boost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def config_digest(self) -> str:
+        """Content address of this config — independent of field or
+        repr ordering."""
+        return stable_digest(self)
+
+    def __hash__(self) -> int:
+        return hash(self.config_digest())
+
+
+def generate_records(config: CorpusConfig, start: int = 0,
+                     stop: Optional[int] = None) -> List[CertificateRecord]:
+    """Generate corpus records for the index range ``[start, stop)``.
+
+    Pure function of ``(config, index)``: each record draws from its
+    own derived RNG stream, so disjoint ranges compose into exactly the
+    corpus a single full pass would produce.
+    """
+    stop = config.size if stop is None else min(stop, config.size)
+    shares = normalized_shares()
+    ca_names = [s.name for s in shares]
+    ca_weights = [s.share for s in shares]
+    by_name: Dict[str, CAShare] = {s.name: s for s in shares}
+    staple_weights = must_staple_weights()
+    staple_cas = list(staple_weights)
+    staple_probabilities = [staple_weights[name] for name in staple_cas]
+    boosted = min(1.0, config.must_staple_fraction * config.must_staple_boost)
+    snapshot = config.snapshot_time
+
+    records: List[CertificateRecord] = []
+    for index in range(start, stop):
+        rng = derived_rng(config.seed, "corpus", index)
+        must_staple = rng.random() < boosted
+        if must_staple:
+            # Must-Staple certificates come from the four CAs that
+            # issue them, in the paper's measured proportions.
+            ca_name = rng.choices(staple_cas, weights=staple_probabilities)[0]
+            has_ocsp = True
+        else:
+            ca_name = rng.choices(ca_names, weights=ca_weights)[0]
+            has_ocsp = rng.random() < by_name[ca_name].ocsp_rate
+        # Lifetimes: Let's Encrypt 90 days, others 1-3 years.
+        if ca_name == "Lets Encrypt":
+            lifetime = 90 * DAY
+        else:
+            lifetime = rng.choice([365, 730, 1095]) * DAY
+        age = int(rng.random() * lifetime)
+        not_before = snapshot - age
+        records.append(CertificateRecord(
+            index=index,
+            domain=f"site{index}.example",
+            ca_name=ca_name,
+            has_ocsp=has_ocsp,
+            must_staple=must_staple,
+            not_before=not_before,
+            not_after=not_before + lifetime,
+        ))
+    return records
+
 
 class CertificateCorpus:
-    """A seeded population of certificate records."""
+    """A seeded population of certificate records.
 
-    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+    ``CertificateCorpus.generate(config, shards=N)`` is the public
+    constructor path; the plain constructor remains as a lazy one-shot
+    shim (records materialize on first access).
+    """
+
+    def __init__(self, config: Optional[CorpusConfig] = None,
+                 records: Optional[Iterable[CertificateRecord]] = None) -> None:
         self.config = config or CorpusConfig()
-        self.records: List[CertificateRecord] = []
-        self._generate()
+        self._records: Optional[List[CertificateRecord]] = (
+            list(records) if records is not None else None)
+
+    @classmethod
+    def generate(cls, config: Optional[CorpusConfig] = None,
+                 shards: int = 1) -> "CertificateCorpus":
+        """Build a corpus from *shards* independent index-range passes.
+
+        The result is byte-identical for any shard count — sharding is
+        a work-splitting knob, never a content knob.
+        """
+        config = config or CorpusConfig()
+        records: List[CertificateRecord] = []
+        for lo, hi in split_ranges(config.size, shards):
+            records.extend(generate_records(config, lo, hi))
+        return cls(config, records=records)
+
+    @classmethod
+    def from_records(cls, config: CorpusConfig,
+                     records: Iterable[CertificateRecord]) -> "CertificateCorpus":
+        """Wrap pre-generated records (e.g. merged shard outputs)."""
+        return cls(config, records=records)
+
+    @property
+    def records(self) -> List[CertificateRecord]:
+        """The record population (generated lazily on first access)."""
+        if self._records is None:
+            self._records = generate_records(self.config)
+        return self._records
+
+    @records.setter
+    def records(self, value: List[CertificateRecord]) -> None:
+        self._records = value
 
     def _generate(self) -> None:
-        rng = random.Random(self.config.seed)
-        shares = normalized_shares()
-        ca_names = [s.name for s in shares]
-        ca_weights = [s.share for s in shares]
-        by_name: Dict[str, CAShare] = {s.name: s for s in shares}
-        staple_weights = must_staple_weights()
-        staple_cas = list(staple_weights)
-        staple_probabilities = [staple_weights[name] for name in staple_cas]
-        boosted = min(1.0, self.config.must_staple_fraction * self.config.must_staple_boost)
-        snapshot = self.config.snapshot_time
-
-        for index in range(self.config.size):
-            must_staple = rng.random() < boosted
-            if must_staple:
-                # Must-Staple certificates come from the four CAs that
-                # issue them, in the paper's measured proportions.
-                ca_name = rng.choices(staple_cas, weights=staple_probabilities)[0]
-                has_ocsp = True
-            else:
-                ca_name = rng.choices(ca_names, weights=ca_weights)[0]
-                has_ocsp = rng.random() < by_name[ca_name].ocsp_rate
-            # Lifetimes: Let's Encrypt 90 days, others 1-3 years.
-            if ca_name == "Lets Encrypt":
-                lifetime = 90 * DAY
-            else:
-                lifetime = rng.choice([365, 730, 1095]) * DAY
-            age = int(rng.random() * lifetime)
-            not_before = snapshot - age
-            self.records.append(CertificateRecord(
-                index=index,
-                domain=f"site{index}.example",
-                ca_name=ca_name,
-                has_ocsp=has_ocsp,
-                must_staple=must_staple,
-                not_before=not_before,
-                not_after=not_before + lifetime,
-            ))
+        # Legacy one-shot shim: regenerate eagerly in place.
+        self._records = generate_records(self.config)
 
     # -- selections ---------------------------------------------------------------
 

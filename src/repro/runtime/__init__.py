@@ -1,0 +1,54 @@
+"""repro.runtime — sharded parallel experiment execution.
+
+The runtime turns every paper artefact into the same three-stage
+pipeline: **plan** (split the experiment into content-addressed
+shards), **execute** (serially or in a process pool, cache-first), and
+**merge** (deterministically, so parallel output is byte-identical to
+serial).  :func:`run_experiment` is the single public entrypoint; the
+CLI, the benchmarks, and :mod:`repro.core.figures` all sit on it.
+"""
+
+from .api import RunContext, run_experiment
+from .cache import CODE_VERSION, SCHEMA_VERSION, ArtifactCache, default_cache_dir, shard_key
+from .configs import (
+    AlexaRunConfig,
+    AttackWindowConfig,
+    ConsistencyRunConfig,
+    CorpusRunConfig,
+    LatencyConfig,
+    OutageImpactConfig,
+    ReadinessConfig,
+    ScanCampaignConfig,
+    SeedConfig,
+    WhatIfRunConfig,
+    default_config,
+)
+from .executor import ShardExecutor, ShardSpec, resolve_worker
+from .result import ExperimentResult, Provenance, ShardRecord
+
+__all__ = [
+    "AlexaRunConfig",
+    "ArtifactCache",
+    "AttackWindowConfig",
+    "CODE_VERSION",
+    "ConsistencyRunConfig",
+    "CorpusRunConfig",
+    "ExperimentResult",
+    "LatencyConfig",
+    "OutageImpactConfig",
+    "Provenance",
+    "ReadinessConfig",
+    "RunContext",
+    "SCHEMA_VERSION",
+    "ScanCampaignConfig",
+    "SeedConfig",
+    "ShardExecutor",
+    "ShardRecord",
+    "ShardSpec",
+    "WhatIfRunConfig",
+    "default_cache_dir",
+    "default_config",
+    "resolve_worker",
+    "run_experiment",
+    "shard_key",
+]

@@ -1,0 +1,108 @@
+"""The unified entrypoint: ``run_experiment()``.
+
+Every paper artefact runs through the same call::
+
+    result = run_experiment("fig3", workers=4)
+
+which resolves the experiment's runner from the registry, builds its
+default config (or takes an explicit one), plans shards, executes them
+serially or in a process pool against the content-addressed artifact
+cache, and returns an :class:`~repro.runtime.result.ExperimentResult`
+carrying rows, series, summary scalars, provenance, and timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from .cache import CODE_VERSION, ArtifactCache
+from .configs import default_config
+from .executor import ShardExecutor, ShardSpec
+from .result import ExperimentResult, Provenance, ShardRecord
+
+
+class RunContext:
+    """What a runner sees: an executor plus accumulated provenance.
+
+    Runners call :meth:`run_shards` any number of times (the consistency
+    runner once, a scan runner once per campaign); the context records
+    every shard so the final provenance covers all work performed.
+    """
+
+    def __init__(self, experiment_id: str, executor: ShardExecutor) -> None:
+        self.experiment_id = experiment_id
+        self.executor = executor
+        self.shard_records: List[ShardRecord] = []
+
+    def run_shards(self, specs: List[ShardSpec]) -> List[List[Dict[str, Any]]]:
+        """Execute *specs* (cache-first); returns rows per spec, in
+        spec order."""
+        outputs, records = self.executor.run(specs)
+        base = len(self.shard_records)
+        for record in records:
+            record.index += base
+        self.shard_records.extend(records)
+        return outputs
+
+
+def run_experiment(experiment_id: str,
+                   config: Optional[Any] = None,
+                   workers: int = 1,
+                   cache: bool = True,
+                   cache_dir: Optional[str] = None,
+                   scale: Optional[Any] = None) -> ExperimentResult:
+    """Run one registered experiment end to end.
+
+    Parameters
+    ----------
+    experiment_id:
+        A registry id (``"fig3"``, ``"tbl1"``, ``"sec8-readiness"``, ...).
+    config:
+        The experiment's run config; defaults to
+        :func:`repro.runtime.configs.default_config` at *scale*.
+    workers:
+        Process count for shard execution.  Output is byte-identical
+        for every value — parallelism only changes the wall clock.
+    cache / cache_dir:
+        Artifact-cache switches.  With an unchanged config and code
+        version, a warm rerun restores every shard from cache and
+        executes nothing.
+    scale:
+        Optional :class:`repro.core.figures.FigureScale` used when
+        *config* is omitted.
+    """
+    from ..core.experiments import experiment as lookup
+    entry = lookup(experiment_id)          # raises KeyError on unknown id
+    runner = entry.resolve_runner()
+    if config is None:
+        config = default_config(experiment_id, scale=scale)
+
+    executor = ShardExecutor(
+        workers=workers,
+        cache=ArtifactCache(root=cache_dir, enabled=cache))
+    ctx = RunContext(experiment_id, executor)
+
+    started = time.perf_counter()
+    payload = runner(ctx, config)
+    total_s = time.perf_counter() - started
+
+    provenance = Provenance(
+        experiment_id=experiment_id,
+        config_digest=config.config_digest(),
+        code_version=CODE_VERSION,
+        workers=executor.workers,
+        shards=ctx.shard_records)
+    timings = {
+        "total_s": total_s,
+        "shard_ms_total": sum(record.elapsed_ms
+                              for record in ctx.shard_records),
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        rows=payload.get("rows", []),
+        series=payload.get("series", {}),
+        summary=payload.get("summary", {}),
+        provenance=provenance,
+        timings=timings,
+        artifacts=payload.get("artifacts", {}))

@@ -1,0 +1,104 @@
+"""Content-addressed artifact cache for shard outputs.
+
+Each shard's output (a list of JSON-able row dicts) is stored under a
+key derived from the shard's *content*: the worker entrypoint, the
+full shard payload (which embeds the experiment's config), and the
+code version.  Any change to the experiment id's config, the worker,
+or the code yields a different key — invalidation is automatic and
+there is nothing to expire.
+
+Files are JSON-lines in the same spirit as :mod:`repro.scanner.io`'s
+scan files: a header object first, then one row per line.  Writes are
+atomic (temp file + rename) so concurrent workers can share a cache
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from .. import __version__
+from ..canon import stable_digest
+
+#: Bump the schema component when the shard row format changes — old
+#: cache entries become unreachable rather than misread.
+SCHEMA_VERSION = 1
+CODE_VERSION = f"{__version__}+shard{SCHEMA_VERSION}"
+
+_HEADER_FORMAT = "repro-shard"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-experiments``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache",
+                        "repro-experiments")
+
+
+def shard_key(worker: str, payload: Dict[str, Any]) -> str:
+    """The content address of one shard's output."""
+    return stable_digest({
+        "worker": worker,
+        "payload": payload,
+        "code": CODE_VERSION,
+    }, length=32)
+
+
+class ArtifactCache:
+    """Store and retrieve shard outputs by content address."""
+
+    def __init__(self, root: Optional[str] = None, enabled: bool = True) -> None:
+        self.root = root or default_cache_dir()
+        self.enabled = enabled
+
+    def _path(self, key: str) -> str:
+        # Two-level fanout keeps directory listings sane at scale.
+        return os.path.join(self.root, key[:2], f"{key}.jsonl")
+
+    def load(self, key: str) -> Optional[List[Dict[str, Any]]]:
+        """The cached rows for *key*, or None on a miss.
+
+        Unreadable or wrong-format entries count as misses — the shard
+        recomputes and overwrites them.
+        """
+        if not self.enabled:
+            return None
+        try:
+            with open(self._path(key)) as stream:
+                header = json.loads(stream.readline())
+                if header.get("format") != _HEADER_FORMAT:
+                    return None
+                if header.get("version") != SCHEMA_VERSION:
+                    return None
+                return [json.loads(line) for line in stream if line.strip()]
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key: str, worker: str,
+              rows: List[Dict[str, Any]]) -> None:
+        """Persist *rows* under *key* (atomic; no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        header = {"format": _HEADER_FORMAT, "version": SCHEMA_VERSION,
+                  "key": key, "worker": worker, "rows": len(rows)}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as stream:
+                stream.write(json.dumps(header) + "\n")
+                for row in rows:
+                    stream.write(json.dumps(row, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

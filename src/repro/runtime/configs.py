@@ -1,0 +1,322 @@
+"""Per-experiment run configurations.
+
+Each experiment's runner takes one small config dataclass; every
+config serializes stably (``to_dict``/``from_dict``/``config_digest``)
+because configs travel inside shard payloads and become cache-key
+material.  :func:`default_config` maps an experiment id (plus an
+optional :class:`~repro.core.figures.FigureScale`) to the config the
+CLI, the figure generator, and the benchmarks use.
+
+The shard *plan* is always a pure function of the config — never of
+the worker count — so cache keys are stable across ``workers=`` values
+and parallel output is structurally identical to serial output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..canon import stable_digest
+from ..datasets.alexa import AlexaConfig
+from ..datasets.corpus import CorpusConfig
+from ..datasets.world import WorldConfig
+from ..simnet import DAY, HOUR, MEASUREMENT_START
+
+
+class _Config:
+    """Shared digest/hash plumbing for the config dataclasses."""
+
+    def config_digest(self) -> str:
+        """Content address of this config."""
+        return stable_digest(self)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.config_digest()))
+
+
+@dataclass
+class ScanCampaignConfig(_Config):
+    """One hourly-scan campaign (Figures 3, 5-9, §5.4, response size)."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    #: Vantage subset (None = all six).
+    vantages: Optional[Tuple[str, ...]] = None
+    interval: int = HOUR
+    start: Optional[int] = None   # None = world.start
+    end: Optional[int] = None     # None = world.end
+    #: Contiguous target-range slices — the shard granularity (a
+    #: config property, NOT tied to ``workers``).
+    target_chunks: int = 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "world": self.world.to_dict(),
+            "vantages": list(self.vantages) if self.vantages else None,
+            "interval": self.interval,
+            "start": self.start,
+            "end": self.end,
+            "target_chunks": self.target_chunks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScanCampaignConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        vantages = data.get("vantages")
+        return cls(
+            world=WorldConfig.from_dict(data["world"]),
+            vantages=tuple(vantages) if vantages else None,
+            interval=data["interval"],
+            start=data.get("start"),
+            end=data.get("end"),
+            target_chunks=data.get("target_chunks", 8),
+        )
+
+
+@dataclass
+class CorpusRunConfig(_Config):
+    """Corpus generation + Section-4 deployment statistics."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    shards: int = 4
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"corpus": self.corpus.to_dict(), "shards": self.shards}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusRunConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(corpus=CorpusConfig.from_dict(data["corpus"]),
+                   shards=data.get("shards", 4))
+
+
+@dataclass
+class AlexaRunConfig(_Config):
+    """Alexa model generation + rank-binned adoption (Figures 2, 11)."""
+
+    alexa: AlexaConfig = field(default_factory=AlexaConfig)
+    shards: int = 4
+    bin_width: int = 10_000
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"alexa": self.alexa.to_dict(), "shards": self.shards,
+                "bin_width": self.bin_width}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AlexaRunConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(alexa=AlexaConfig.from_dict(data["alexa"]),
+                   shards=data.get("shards", 4),
+                   bin_width=data.get("bin_width", 10_000))
+
+
+@dataclass
+class OutageImpactConfig(_Config):
+    """Figure 4: Alexa domains unable to fetch OCSP, per vantage."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    seed: int = 11
+    times: Tuple[int, ...] = ()
+    vantages: Optional[Tuple[str, ...]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "world": self.world.to_dict(),
+            "seed": self.seed,
+            "times": list(self.times),
+            "vantages": list(self.vantages) if self.vantages else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OutageImpactConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        vantages = data.get("vantages")
+        return cls(world=WorldConfig.from_dict(data["world"]),
+                   seed=data["seed"], times=tuple(data.get("times", ())),
+                   vantages=tuple(vantages) if vantages else None)
+
+
+@dataclass
+class ConsistencyRunConfig(_Config):
+    """Table 1 / Figure 10: the CRL↔OCSP cross-check."""
+
+    scale: int = 40
+    seed: int = 17
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"scale": self.scale, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConsistencyRunConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(scale=data["scale"], seed=data.get("seed", 17))
+
+
+@dataclass
+class ReadinessConfig(_Config):
+    """Section 8: the cross-principal verdict."""
+
+    world: WorldConfig = field(default_factory=lambda: WorldConfig(
+        n_responders=70, certs_per_responder=1))
+    corpus: CorpusConfig = field(default_factory=lambda: CorpusConfig(
+        size=5_000))
+    scan_days: int = 3
+    scan_interval: int = 6 * HOUR
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "world": self.world.to_dict(),
+            "corpus": self.corpus.to_dict(),
+            "scan_days": self.scan_days,
+            "scan_interval": self.scan_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReadinessConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(world=WorldConfig.from_dict(data["world"]),
+                   corpus=CorpusConfig.from_dict(data["corpus"]),
+                   scan_days=data["scan_days"],
+                   scan_interval=data["scan_interval"])
+
+
+@dataclass
+class LatencyConfig(_Config):
+    """Extension: direct vs CDN-fronted lookup latency."""
+
+    world: WorldConfig = field(default_factory=lambda: WorldConfig(
+        n_responders=60, certs_per_responder=1))
+    hours: int = 12
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"world": self.world.to_dict(), "hours": self.hours}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(world=WorldConfig.from_dict(data["world"]),
+                   hours=data["hours"])
+
+
+@dataclass
+class AttackWindowConfig(_Config):
+    """Extension: replay / strip-and-block attack windows."""
+
+    seed: int = 6
+    validities: Tuple[int, ...] = (2 * HOUR, DAY, 7 * DAY)
+    horizon: int = 30 * DAY
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"seed": self.seed, "validities": list(self.validities),
+                "horizon": self.horizon}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AttackWindowConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(seed=data["seed"],
+                   validities=tuple(data.get("validities", ())),
+                   horizon=data.get("horizon", 30 * DAY))
+
+
+@dataclass
+class WhatIfRunConfig(_Config):
+    """Extension: universal Must-Staple enforcement."""
+
+    n_sites: int = 40
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"n_sites": self.n_sites}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WhatIfRunConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(n_sites=data["n_sites"])
+
+
+@dataclass
+class SeedConfig(_Config):
+    """Experiments with no tunable inputs beyond a seed (Tables 2/3,
+    Figure 12, the multi-staple / alternatives / ablation studies)."""
+
+    seed: int = 7
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SeedConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(seed=data.get("seed", 7))
+
+
+def default_config(experiment_id: str, scale: Optional[object] = None):
+    """The config an experiment runs with absent an explicit one.
+
+    *scale* is a :class:`repro.core.figures.FigureScale`; omitted, the
+    small (sub-minute) scale applies.
+    """
+    from ..core.figures import FigureScale
+    scale = scale or FigureScale.small()
+
+    world = WorldConfig(n_responders=scale.n_responders,
+                        certs_per_responder=scale.certs_per_responder,
+                        seed=scale.seed)
+    campaign = ScanCampaignConfig(
+        world=world, interval=scale.scan_interval,
+        start=MEASUREMENT_START,
+        end=MEASUREMENT_START + scale.scan_days * DAY)
+
+    if experiment_id in ("fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+                         "ext-response-size"):
+        return campaign
+    if experiment_id == "sec5-freshness":
+        # Freshness detection needs hourly cadence from one vantage —
+        # producedAt lags are invisible to sparse scans.
+        return ScanCampaignConfig(
+            world=world, vantages=("Virginia",), interval=HOUR,
+            start=MEASUREMENT_START, end=MEASUREMENT_START + 2 * DAY)
+    if experiment_id == "sec4-deployment":
+        return CorpusRunConfig(corpus=CorpusConfig(size=scale.corpus_size,
+                                                   seed=scale.seed))
+    if experiment_id in ("fig2", "fig11"):
+        return AlexaRunConfig(alexa=AlexaConfig(size=scale.alexa_size,
+                                                seed=scale.seed),
+                              bin_width=50_000)
+    if experiment_id == "fig4":
+        stride = max(1, scale.scan_days // 8)
+        times = tuple(MEASUREMENT_START + day * DAY
+                      for day in range(0, scale.scan_days, stride))
+        return OutageImpactConfig(world=world, seed=scale.seed + 4,
+                                  times=times)
+    if experiment_id in ("tbl1", "fig10"):
+        return ConsistencyRunConfig(scale=scale.consistency_scale,
+                                    seed=17)
+    if experiment_id == "sec8-readiness":
+        return ReadinessConfig(
+            world=WorldConfig(n_responders=min(70, scale.n_responders),
+                              certs_per_responder=1, seed=scale.seed),
+            corpus=CorpusConfig(size=min(5_000, scale.corpus_size),
+                                seed=scale.seed))
+    if experiment_id == "ext-latency":
+        return LatencyConfig(world=WorldConfig(
+            n_responders=min(60, scale.n_responders),
+            certs_per_responder=1, seed=scale.seed))
+    if experiment_id == "ext-attack-window":
+        return AttackWindowConfig()
+    if experiment_id == "ext-whatif":
+        return WhatIfRunConfig()
+    if experiment_id in ("tbl2", "tbl3", "fig12", "ext-multistaple",
+                         "ext-alternatives", "abl-apache-patch",
+                         "abl-parser", "abl-keysize"):
+        return SeedConfig(seed=scale.seed)
+    raise KeyError(f"no default config for experiment {experiment_id!r}")

@@ -1,0 +1,108 @@
+"""Shard execution: serial or multiprocessing, same bytes either way.
+
+A :class:`ShardSpec` is a picklable description of one work unit — a
+dotted ``module:function`` worker entrypoint plus a JSON-able payload.
+The :class:`ShardExecutor` first satisfies what it can from the
+artifact cache, then computes the misses serially (``workers=1``) or
+in a process pool.  Because every worker is a pure function of its
+payload, the execution strategy can never change the output — only
+the wall clock.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .cache import ArtifactCache, shard_key
+from .result import ShardRecord
+
+
+def resolve_worker(dotted: str) -> Callable[[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Import a ``module:function`` worker entrypoint."""
+    module_name, _, function_name = dotted.partition(":")
+    if not module_name or not function_name:
+        raise ValueError(f"worker must be 'module:function', got {dotted!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, function_name)
+
+
+@dataclass
+class ShardSpec:
+    """One independent, picklable unit of experiment work."""
+
+    worker: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def key(self) -> str:
+        """The shard's content address in the artifact cache."""
+        return shard_key(self.worker, self.payload)
+
+
+def _execute(item: Tuple[int, str, Dict[str, Any]]
+             ) -> Tuple[int, List[Dict[str, Any]], float]:
+    """Run one shard (in this or a pool process); returns rows + ms."""
+    index, worker, payload = item
+    started = time.perf_counter()
+    rows = resolve_worker(worker)(payload)
+    return index, rows, (time.perf_counter() - started) * 1000.0
+
+
+class ShardExecutor:
+    """Run shard specs against a cache, serially or in parallel."""
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ArtifactCache] = None) -> None:
+        self.workers = max(1, workers)
+        self.cache = cache if cache is not None else ArtifactCache(enabled=False)
+
+    def run(self, specs: List[ShardSpec]
+            ) -> Tuple[List[List[Dict[str, Any]]], List[ShardRecord]]:
+        """Execute *specs*; returns (per-spec rows, provenance records).
+
+        Output order always matches spec order, so callers' merges are
+        independent of worker count and cache state.
+        """
+        outputs: List[Optional[List[Dict[str, Any]]]] = [None] * len(specs)
+        records: List[Optional[ShardRecord]] = [None] * len(specs)
+
+        pending: List[Tuple[int, str, Dict[str, Any]]] = []
+        for index, spec in enumerate(specs):
+            key = spec.key() if self.cache.enabled else ""
+            cached = self.cache.load(key) if key else None
+            if cached is not None:
+                outputs[index] = cached
+                records[index] = ShardRecord(
+                    index=index, label=spec.label, key=key, cached=True,
+                    elapsed_ms=0.0, rows=len(cached))
+            else:
+                pending.append((index, spec.worker, spec.payload))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                # fork shares the parent's imported modules; spawn works
+                # too, just slower to start.
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:
+                    context = multiprocessing.get_context()
+                with context.Pool(min(self.workers, len(pending))) as pool:
+                    results = pool.map(_execute, pending)
+            else:
+                results = [_execute(item) for item in pending]
+            for index, rows, elapsed_ms in results:
+                spec = specs[index]
+                key = spec.key() if self.cache.enabled else ""
+                if key:
+                    self.cache.store(key, spec.worker, rows)
+                outputs[index] = rows
+                records[index] = ShardRecord(
+                    index=index, label=spec.label, key=key, cached=False,
+                    elapsed_ms=elapsed_ms, rows=len(rows))
+
+        return [rows if rows is not None else [] for rows in outputs], \
+               [record for record in records if record is not None]

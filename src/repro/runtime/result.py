@@ -1,0 +1,130 @@
+"""The unified experiment result: rows, series, provenance, timings.
+
+Every experiment — a figure, a table, a section statistic, an
+extension study — returns the same :class:`ExperimentResult` shape, so
+the CLI, the benchmark harness, and :mod:`repro.core.figures` can
+consume any artefact without per-figure wiring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ShardRecord:
+    """Provenance for one executed (or cache-restored) work unit."""
+
+    index: int
+    label: str
+    key: str
+    cached: bool
+    elapsed_ms: float
+    rows: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "key": self.key,
+            "cached": self.cached,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "rows": self.rows,
+        }
+
+
+@dataclass
+class Provenance:
+    """Where a result came from: inputs, code, and work performed."""
+
+    experiment_id: str
+    config_digest: str
+    code_version: str
+    workers: int
+    shards: List[ShardRecord] = field(default_factory=list)
+
+    @property
+    def executed_shards(self) -> int:
+        """Shards actually computed this run."""
+        return sum(1 for shard in self.shards if not shard.cached)
+
+    @property
+    def cached_shards(self) -> int:
+        """Shards restored from the artifact cache."""
+        return sum(1 for shard in self.shards if shard.cached)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "experiment_id": self.experiment_id,
+            "config_digest": self.config_digest,
+            "code_version": self.code_version,
+            "workers": self.workers,
+            "executed_shards": self.executed_shards,
+            "cached_shards": self.cached_shards,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-JSON floats (the Figure-8 infinities) recursively."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentResult:
+    """What :func:`repro.runtime.run_experiment` returns.
+
+    ``rows`` is the artefact's tabular data (one dict per row, JSON
+    serializable), ``series`` its named point series (Figure 3's
+    per-vantage success curves, CDFs, ...), ``summary`` the headline
+    scalars the paper quotes.  ``artifacts`` carries live Python
+    objects (the merged :class:`ScanDataset`, the corpus, reports) for
+    callers that keep analysing in-process; they never enter the cache.
+    """
+
+    experiment_id: str
+    rows: List[Dict[str, Any]]
+    series: Dict[str, List[Any]]
+    summary: Dict[str, Any]
+    provenance: Provenance
+    timings: Dict[str, float] = field(default_factory=dict)
+    artifacts: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def cache_status(self) -> str:
+        """``hit`` (all shards cached), ``miss`` (none), ``partial``,
+        or ``off`` (cache disabled)."""
+        shards = self.provenance.shards
+        if not shards or all(s.key == "" for s in shards):
+            return "off"
+        if all(shard.cached for shard in shards):
+            return "hit"
+        if any(shard.cached for shard in shards):
+            return "partial"
+        return "miss"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe document (artifacts excluded by design)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "cache": self.cache_status,
+            "rows": _json_safe(self.rows),
+            "series": _json_safe(self.series),
+            "summary": _json_safe(self.summary),
+            "provenance": self.provenance.to_dict(),
+            "timings": {k: round(v, 3) for k, v in self.timings.items()},
+        }

@@ -54,6 +54,36 @@ class ScanDataset:
         """Distinct probe timestamps, ascending."""
         return sorted({record.timestamp for record in self.records})
 
+    def to_dict(self) -> dict:
+        """Campaign metadata plus every probe row as plain mappings —
+        the exact content :mod:`repro.scanner.io` persists."""
+        from .io import record_to_dict
+        return {
+            "vantages": list(self.vantages),
+            "interval": self.interval,
+            "start": self.start,
+            "end": self.end,
+            "records": [record_to_dict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanDataset":
+        """Rebuild a dataset from :meth:`to_dict` output."""
+        from .io import record_from_dict
+        return cls(
+            records=[record_from_dict(r) for r in data.get("records", [])],
+            vantages=tuple(data.get("vantages", ())),
+            interval=data.get("interval", HOUR),
+            start=data.get("start", 0),
+            end=data.get("end", 0),
+        )
+
+    def content_digest(self) -> str:
+        """Content address over metadata and all rows; byte-identical
+        datasets — and only those — share a digest."""
+        from ..canon import stable_digest
+        return stable_digest(self)
+
 
 class HourlyScanner:
     """Drives the periodic OCSP measurement over a MeasurementWorld."""

@@ -35,6 +35,7 @@ def _record_to_dict(record: ProbeRecord) -> dict:
         "produced_at": record.produced_at,
         "num_certificates": record.num_certificates,
         "num_serials": record.num_serials,
+        "size": record.response_size,
     }
 
 
@@ -54,7 +55,14 @@ def _record_from_dict(data: dict) -> ProbeRecord:
         produced_at=data.get("produced_at"),
         num_certificates=data.get("num_certificates"),
         num_serials=data.get("num_serials"),
+        response_size=data.get("size"),
     )
+
+
+# Public aliases: the runtime's shard cache stores probe rows in the
+# same wire format as scan files.
+record_to_dict = _record_to_dict
+record_from_dict = _record_from_dict
 
 
 def dump_dataset(dataset: ScanDataset, stream: IO[str]) -> int:
