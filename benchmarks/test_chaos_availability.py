@@ -1,0 +1,43 @@
+"""Chaos extension — availability under injected fault scenarios.
+
+Extends Figures 3/4: the same hourly scan replayed under each named
+fault scenario, reporting per-scenario availability, added latency,
+and the never-reachable floor.  The baseline scenario is the empty
+fault plan and must agree exactly with the plain scan.
+"""
+
+from conftest import banner
+
+from repro.runtime import default_config, run_experiment
+
+
+def test_chaos_availability(benchmark):
+    config = default_config("chaos-availability")
+
+    result = benchmark.pedantic(
+        run_experiment, args=("chaos-availability",),
+        kwargs={"config": config}, rounds=1, iterations=1)
+
+    scenarios = result.summary["scenarios"]
+    banner("Chaos: availability under injected fault scenarios")
+    for name, entry in scenarios.items():
+        print(f"  {name:22s} failure {entry['overall_failure_rate']:6.2f}%  "
+              f"unusable {entry['unusable_rate']:6.2f}%  "
+              f"mean {entry['mean_elapsed_ms']:8.1f} ms  "
+              f"added {entry.get('added_latency_ms', 0.0):+8.1f} ms")
+
+    baseline = scenarios["baseline"]
+    assert baseline["added_failure_rate"] == 0.0
+    # Every injected scenario hurts at least one headline number.
+    for name, entry in scenarios.items():
+        if name == "baseline":
+            continue
+        assert (entry["added_failure_rate"] > 0.0
+                or entry["added_unusable_rate"] > 0.0
+                or entry["added_latency_ms"] > 0.0), name
+    assert scenarios["regional-blackout"]["overall_failure_rate"] > \
+        baseline["overall_failure_rate"]
+    assert scenarios["heavy-tail-latency"]["added_latency_ms"] > 0.0
+    # Stale serving leaves transport untouched but breaks verification.
+    assert scenarios["stale-responder"]["added_failure_rate"] == 0.0
+    assert scenarios["stale-responder"]["added_unusable_rate"] > 0.0

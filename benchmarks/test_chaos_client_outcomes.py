@@ -1,0 +1,43 @@
+"""Chaos extension — client policies under injected fault scenarios.
+
+The scenario × policy grid behind the paper's Section-8 question: if
+browsers hard-failed on Must-Staple today, what fraction of
+connections would responder misbehavior break — and how much does
+soft-fail retrying or a CRL fallback buy back?
+"""
+
+from conftest import banner
+
+from repro.runtime import default_config, run_experiment
+
+
+def test_chaos_client_outcomes(benchmark):
+    config = default_config("chaos-client-outcomes")
+
+    result = benchmark.pedantic(
+        run_experiment, args=("chaos-client-outcomes",),
+        kwargs={"config": config}, rounds=1, iterations=1)
+
+    grid = result.summary["grid"]
+    broken = result.summary["hard_fail_broken"]
+    banner("Chaos: scenario x client-policy outcomes")
+    for cell, entry in grid.items():
+        print(f"  {cell:45s} ok {entry['ok_fraction']:6.1%}  "
+              f"broken {entry['broken_fraction']:6.1%}  "
+              f"crl {entry['crl_rescue_fraction']:6.1%}  "
+              f"mean {entry['mean_latency_ms']:7.1f} ms")
+
+    # Baseline: nothing breaks, whatever the policy.
+    for policy in config.policies:
+        assert grid[f"baseline/{policy}"]["broken_fraction"] == 0.0
+    # An OCSP-only blackout is fully absorbed by the CRL fallback;
+    # losing CRL transport too (packet loss hits every host) is what
+    # finally breaks hard-failing clients.
+    assert grid["regional-blackout/must-staple-hard-fail"][
+        "crl_rescue_fraction"] > 0.2
+    assert broken["regional-blackout"] == 0.0
+    assert broken["packet-loss"] > 0.0
+    # No-check and soft-fail clients always proceed, by definition.
+    for name in config.scenarios:
+        assert grid[f"{name}/no-check"]["proceed_fraction"] == 1.0
+        assert grid[f"{name}/firefox-soft-fail"]["broken_fraction"] == 0.0

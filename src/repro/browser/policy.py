@@ -76,7 +76,8 @@ class BrowsingOutcome:
 
 def connect(policy: BrowserPolicy, server, hostname: str, trust_store: TrustStore,
             now: int, network: Optional[Network] = None,
-            vantage: str = "Virginia", crlset=None) -> BrowsingOutcome:
+            vantage: str = "Virginia", crlset=None,
+            ocsp_client=None) -> BrowsingOutcome:
     """Simulate *policy* connecting to *server* for *hostname*.
 
     *server* is anything with ``handle_connection(ClientHello, now)``
@@ -84,6 +85,10 @@ def connect(policy: BrowserPolicy, server, hostname: str, trust_store: TrustStor
     fallback path; without it a fallback-configured browser soft-fails.
     *crlset* supplies a pushed revocation set consulted by
     ``uses_crlset`` policies (Chrome's out-of-band mechanism).
+    *ocsp_client* optionally replaces the single bare fetch of the
+    fallback path with a :class:`repro.ocsp.OCSPClient`, whose policy
+    adds multi-URL failover, retries, and CRL fallback (the chaos
+    experiments pass one built by ``repro.faults.for_browser``).
     """
     hello = ClientHello(server_name=hostname,
                         status_request=policy.sends_status_request)
@@ -142,6 +147,27 @@ def connect(policy: BrowserPolicy, server, hostname: str, trust_store: TrustStor
             sent_status_request=policy.sends_status_request,
             staple_received=staple_received,
             staple_valid=False,
+            staple_error=staple_error,
+        )
+
+    if policy.fallback_own_ocsp and ocsp_client is not None and leaf.ocsp_urls:
+        lookup = ocsp_client.check(leaf, issuer, now)
+        if lookup.ok:
+            from ..ocsp import CertStatus
+            verdict = (Verdict.REJECTED_REVOKED
+                       if lookup.status is CertStatus.REVOKED
+                       else Verdict.ACCEPTED)
+            return BrowsingOutcome(
+                verdict=verdict,
+                sent_status_request=policy.sends_status_request,
+                staple_received=staple_received,
+                own_ocsp_request_sent=True,
+            )
+        return BrowsingOutcome(
+            verdict=Verdict.ACCEPTED_SOFT_FAIL,
+            sent_status_request=policy.sends_status_request,
+            staple_received=staple_received,
+            own_ocsp_request_sent=bool(lookup.attempts),
             staple_error=staple_error,
         )
 

@@ -10,6 +10,7 @@ Commands:
 * ``analyze``     — availability + quality report over a saved scan
 * ``audit``       — the CRL↔OCSP consistency cross-check (Table 1 / Fig 10)
 * ``experiments`` — the experiment registry (paper artefact → benchmark)
+* ``scenarios``   — the fault-scenario and client-policy catalogues
 * ``issue``       — mint a demo Must-Staple certificate chain as PEM
 * ``lint``        — static conformance analysis of certificates/OCSP/CRLs
 
@@ -174,6 +175,38 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .core.experiments import index_table
     print(index_table())
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the chaos fault scenarios and client resilience policies."""
+    from .core import render_table
+    from .faults import POLICIES, scenario, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        plan = scenario(name)
+        kinds = ", ".join(injector.kind for injector in plan.injectors) \
+            or "(passthrough)"
+        rows.append([name, len(plan.injectors), kinds, plan.plan_digest()])
+    print(render_table(["scenario", "injectors", "kinds", "digest"], rows,
+                       title="Fault scenarios (repro run chaos-availability)"))
+    print()
+    rows = []
+    for name, policy in POLICIES.items():
+        rows.append([
+            name,
+            "yes" if policy.check_revocation else "no",
+            policy.attempt_timeout_ms or "-",
+            policy.retries_per_url,
+            "yes" if policy.failover else "no",
+            "yes" if policy.crl_fallback else "no",
+            "hard" if policy.hard_fail else "soft",
+        ])
+    print(render_table(
+        ["policy", "checks", "attempt ms", "retries/url", "failover",
+         "crl fallback", "fail mode"],
+        rows, title="Client policies (repro run chaos-client-outcomes)"))
     return 0
 
 
@@ -459,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = commands.add_parser("experiments", help="the experiment index")
     experiments.set_defaults(func=_cmd_experiments)
+
+    scenarios = commands.add_parser(
+        "scenarios", help="fault-scenario and client-policy catalogues")
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     issue = commands.add_parser("issue", parents=[seed_flags],
                                 help="mint a demo certificate chain")

@@ -201,6 +201,22 @@ _EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_ablation_keysize.py",
         "512/1024/2048-bit sign/verify semantics and cost",
     ),
+    Experiment(
+        "chaos-availability", "Availability under injected fault scenarios",
+        "Figures 3-4 (chaos extension)",
+        ("repro.faults.scenarios", "repro.faults.experiments",
+         "repro.scanner.hourly"),
+        "benchmarks/test_chaos_availability.py",
+        "hourly scan x {baseline, brownout, blackout, tail-latency, stale}",
+    ),
+    Experiment(
+        "chaos-client-outcomes", "Client policies under fault scenarios",
+        "Tables 2 & Section 8 (chaos extension)",
+        ("repro.faults.policy", "repro.faults.experiments",
+         "repro.ocsp.client"),
+        "benchmarks/test_chaos_client_outcomes.py",
+        "scenario x {soft-fail, Must-Staple hard-fail, no-check} grid",
+    ),
 ]
 
 #: Runner entrypoints live in repro.runtime.runners; the lookup below
@@ -232,6 +248,8 @@ _RUNNERS: Dict[str, str] = {
     "abl-apache-patch": "run_abl_apache_patch",
     "abl-parser": "run_abl_parser",
     "abl-keysize": "run_abl_keysize",
+    "chaos-availability": "run_chaos_availability",
+    "chaos-client-outcomes": "run_chaos_client_outcomes",
 }
 
 _EXPERIMENTS = [

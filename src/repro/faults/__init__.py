@@ -1,0 +1,80 @@
+"""repro.faults — deterministic fault injection and client resilience.
+
+Three layers:
+
+* :mod:`repro.faults.injectors` / :mod:`repro.faults.scenarios` — a
+  catalogue of named, digest-stable :class:`FaultPlan`\\ s whose
+  injectors are pure functions of ``(request, vantage, now, seed)``,
+  enacted by :class:`FaultyNetwork` *around* an untouched
+  :class:`repro.simnet.Network`;
+* :mod:`repro.faults.policy` — named client resilience policies
+  (timeout budgets, retries, multi-URL failover, CRL fallback)
+  matching the paper's browser behaviors;
+* :mod:`repro.faults.experiments` — the ``chaos-availability`` and
+  ``chaos-client-outcomes`` runtime experiments sweeping
+  scenario × policy grids.
+
+:mod:`repro.faults.experiments` is intentionally *not* imported here:
+it pulls in the runtime/datasets stack, which itself imports
+``repro.ocsp`` — whose client lazily imports this package's policies.
+"""
+
+from .injectors import (
+    Blackout,
+    BodyTamper,
+    Decision,
+    DnsFlap,
+    ErrorBurst,
+    Injector,
+    LatencySpike,
+    RequestDrop,
+    StaleServe,
+    injector_from_dict,
+    unit_draw,
+)
+from .policy import (
+    DEFAULT_POLICY,
+    FIREFOX_SOFT_FAIL,
+    MUST_STAPLE_HARD_FAIL,
+    NO_CHECK,
+    POLICIES,
+    ClientPolicy,
+    client_policy,
+    for_browser,
+    policy_names,
+)
+from .scenarios import (
+    SCENARIOS,
+    FaultPlan,
+    FaultyNetwork,
+    scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "Blackout",
+    "BodyTamper",
+    "ClientPolicy",
+    "DEFAULT_POLICY",
+    "Decision",
+    "DnsFlap",
+    "ErrorBurst",
+    "FIREFOX_SOFT_FAIL",
+    "FaultPlan",
+    "FaultyNetwork",
+    "Injector",
+    "LatencySpike",
+    "MUST_STAPLE_HARD_FAIL",
+    "NO_CHECK",
+    "POLICIES",
+    "RequestDrop",
+    "SCENARIOS",
+    "StaleServe",
+    "client_policy",
+    "for_browser",
+    "injector_from_dict",
+    "policy_names",
+    "scenario",
+    "scenario_names",
+    "unit_draw",
+]

@@ -1,0 +1,266 @@
+"""Fault injectors: the composable pieces of a fault plan.
+
+Each injector is a declarative description of one failure mode from
+the paper's Section-5 observations — scheduled origin blackouts (the
+Comodo multi-CNAME event), per-vantage latency spikes with heavy-tail
+inflation, seeded probabilistic request drops, stale served responses
+(CNNIC's perpetually expired responders), tampered OCSP bodies, HTTP
+5xx bursts, and DNS flaps.
+
+An injector never touches the wrapped network; it only *decides*, and
+every decision is a pure function of ``(request, vantage, now, seed)``
+plus the injector's own declared fields.  Probabilistic injectors draw
+from a keyed blake2b hash (the same construction
+:meth:`repro.datasets.world.MeasurementWorld._noise` uses), so two
+processes — or two shards of one chaos experiment — always agree on
+which requests fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple, Type
+
+from ..simnet import HOUR, FailureKind
+
+
+def unit_draw(seed: int, *parts: object) -> float:
+    """A deterministic draw in [0, 1) keyed on *seed* and *parts*."""
+    material = "|".join(str(part) for part in (seed, *parts))
+    digest = hashlib.blake2b(material.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2 ** 64
+
+
+@dataclass
+class Decision:
+    """What one injector wants done to one request.
+
+    ``fail`` short-circuits the exchange at the named layer;
+    ``status_code`` is the HTTP status when ``fail`` is HTTP-level;
+    ``delay_ms`` adds latency; ``tamper`` rewrites a successful OCSP
+    body; ``serve_age`` serves the origin's (signed, once-valid)
+    response from *age* seconds ago instead of a current one.
+    """
+
+    fail: Optional[FailureKind] = None
+    status_code: int = 503
+    delay_ms: float = 0.0
+    tamper: Optional[str] = None
+    serve_age: Optional[int] = None
+
+
+@dataclass
+class Injector:
+    """Shared scoping fields: which hosts/vantages/instants to hit.
+
+    ``hosts`` matches hostname suffixes ("comodo.test" hits every
+    responder in the family — the multi-CNAME sharing that made the
+    Comodo event wide); ``host_prefixes`` matches hostname prefixes
+    ("ocsp" spares CRL endpoints); ``vantages`` scopes regionally the
+    way the paper's Digicert/Seoul and Certum/Sydney events were;
+    ``start``/``end`` bound the active window (end-exclusive, matching
+    :class:`repro.simnet.OutageWindow`).
+    """
+
+    kind = "base"
+
+    hosts: Optional[Tuple[str, ...]] = None
+    host_prefixes: Optional[Tuple[str, ...]] = None
+    vantages: Optional[Tuple[str, ...]] = None
+    start: Optional[int] = None
+    end: Optional[int] = None
+
+    def matches(self, host: str, vantage: str, now: int) -> bool:
+        """True when this injector is in scope for (host, vantage, now)."""
+        if self.start is not None and now < self.start:
+            return False
+        if self.end is not None and now >= self.end:
+            return False
+        if self.vantages is not None and vantage not in self.vantages:
+            return False
+        if self.hosts is not None and not host.endswith(tuple(self.hosts)):
+            return False
+        if self.host_prefixes is not None and \
+                not host.startswith(tuple(self.host_prefixes)):
+            return False
+        return True
+
+    def decide(self, url: str, host: str, vantage: str, now: int,
+               seed: int) -> Optional[Decision]:
+        """The injector's verdict for one request (None = no effect)."""
+        raise NotImplementedError
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping, tagged with the injector kind."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Injector":
+        """Rebuild one injector from :meth:`to_dict` output."""
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name not in data:
+                continue
+            value = data[spec.name]
+            kwargs[spec.name] = tuple(value) if isinstance(value, list) else value
+        return cls(**kwargs)
+
+
+@dataclass
+class Blackout(Injector):
+    """A scheduled origin outage (the Comodo event, composable).
+
+    Unlike :class:`repro.simnet.OutageWindow` this lives outside the
+    network, so plans can layer outages over worlds whose schedules are
+    already fixed.
+    """
+
+    kind = "blackout"
+
+    failure: str = "TCP"
+    status_code: int = 503
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        return Decision(fail=FailureKind[self.failure],
+                        status_code=self.status_code)
+
+
+@dataclass
+class LatencySpike(Injector):
+    """Added latency with optional heavy-tail (Pareto) inflation."""
+
+    kind = "latency"
+
+    added_ms: float = 100.0
+    tail_ms: float = 0.0
+    tail_exponent: float = 1.5
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        delay = self.added_ms
+        if self.tail_ms > 0:
+            draw = unit_draw(seed, self.kind, host, vantage, now)
+            # Pareto with unit minimum, shifted so the median request
+            # sees little of it and the tail sees a lot.
+            inflation = (1.0 - draw) ** (-1.0 / self.tail_exponent) - 1.0
+            delay += self.tail_ms * inflation
+        return Decision(delay_ms=round(delay, 3))
+
+
+@dataclass
+class RequestDrop(Injector):
+    """Seeded probabilistic request loss."""
+
+    kind = "drop"
+
+    rate: float = 0.1
+    failure: str = "TCP"
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        if unit_draw(seed, self.kind, host, vantage, now) < self.rate:
+            return Decision(fail=FailureKind[self.failure])
+        return None
+
+
+@dataclass
+class ErrorBurst(Injector):
+    """Periodic HTTP 5xx bursts (responder brownouts)."""
+
+    kind = "burst"
+
+    status_code: int = 503
+    period: int = 6 * HOUR
+    duty: int = HOUR
+    phase: int = 0
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        if (now - self.phase) % self.period < self.duty:
+            return Decision(fail=FailureKind.HTTP,
+                            status_code=self.status_code)
+        return None
+
+
+@dataclass
+class DnsFlap(Injector):
+    """Alternating DNS resolution failures, phase-shifted per host."""
+
+    kind = "dnsflap"
+
+    period: int = 4 * HOUR
+    duty: int = HOUR
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        # Hosts flap out of phase with each other, as real zones do.
+        phase = int(unit_draw(seed, self.kind, host) * self.period)
+        if (now + phase) % self.period < self.duty:
+            return Decision(fail=FailureKind.DNS)
+        return None
+
+
+@dataclass
+class StaleServe(Injector):
+    """Serve the response the origin produced *age* seconds ago.
+
+    The replayed body is genuinely signed and was once valid — exactly
+    CNNIC's "perpetually stale" behaviour: clients see EXPIRED from
+    the verifier, not a transport failure.
+    """
+
+    kind = "stale"
+
+    age: int = 5 * 24 * HOUR
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        return Decision(serve_age=self.age)
+
+
+@dataclass
+class BodyTamper(Injector):
+    """Rewrite successful OCSP bodies: ``malformed`` / ``truncated`` /
+    ``unauthorized`` / ``try_later`` (the paper's Figure-5 classes)."""
+
+    kind = "tamper"
+
+    mode: str = "malformed"
+    rate: float = 1.0
+
+    def decide(self, url, host, vantage, now, seed):
+        if not self.matches(host, vantage, now):
+            return None
+        if self.rate >= 1.0 or \
+                unit_draw(seed, self.kind, host, vantage, now) < self.rate:
+            return Decision(tamper=self.mode)
+        return None
+
+
+INJECTOR_KINDS: Dict[str, Type[Injector]] = {
+    cls.kind: cls
+    for cls in (Blackout, LatencySpike, RequestDrop, ErrorBurst, DnsFlap,
+                StaleServe, BodyTamper)
+}
+
+
+def injector_from_dict(data: Dict[str, Any]) -> Injector:
+    """Rebuild any injector from its kind-tagged mapping."""
+    kind = data.get("kind")
+    if kind not in INJECTOR_KINDS:
+        raise KeyError(f"unknown injector kind: {kind!r}")
+    return INJECTOR_KINDS[kind].from_dict(data)

@@ -1,0 +1,122 @@
+"""Named client resilience policies for OCSP fetching.
+
+The paper's Section-6 browser analysis hinges on what a client does
+when an OCSP fetch fails: most browsers soft-fail, Firefox hard-fails
+Must-Staple certificates, and Chrome never fetches at all (CRLSets).
+A :class:`ClientPolicy` makes that axis explicit and parameterizes the
+resilience machinery in :class:`repro.ocsp.OCSPClient`: per-attempt
+timeout budgets judged against ``FetchResult.elapsed_ms``, bounded
+retries with deterministic backoff, failover across every advertised
+responder URL, and optional CRL fallback.
+
+Retries advance the simulated clock by the backoff schedule — the
+simulated network is a pure function of ``(request, vantage, now)``,
+so retrying at the same instant would be a no-op by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ClientPolicy:
+    """How aggressively a relying party pursues revocation status."""
+
+    name: str
+    #: False models CRLSet-style clients that never send OCSP requests.
+    check_revocation: bool = True
+    #: An attempt slower than this (per ``FetchResult.elapsed_ms``)
+    #: counts as a timeout even if bytes eventually arrived.
+    attempt_timeout_ms: Optional[float] = None
+    #: Stop starting new attempts once the summed budget passes this.
+    total_timeout_ms: Optional[float] = None
+    #: Re-tries of one URL beyond the first attempt.
+    retries_per_url: int = 0
+    #: Base backoff in seconds; retry *i* waits ``backoff_s * 2**i``.
+    backoff_s: int = 2
+    #: Try every URL in ``certificate.ocsp_urls``, not just the first.
+    failover: bool = True
+    #: Fall back to the certificate's CRL distribution points when
+    #: every OCSP attempt failed.
+    crl_fallback: bool = False
+    #: Must-Staple semantics: a connection with no verified status is
+    #: broken rather than allowed through.
+    hard_fail: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClientPolicy":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{spec.name: data[spec.name]
+                      for spec in fields(cls) if spec.name in data})
+
+    def backoff_schedule(self, attempts: int) -> List[int]:
+        """Cumulative seconds-after-*now* for each of *attempts* tries;
+        the first entry is always 0 (try immediately)."""
+        waits = [0]
+        for attempt in range(attempts - 1):
+            waits.append(waits[-1] + self.backoff_s * 2 ** attempt)
+        return waits
+
+
+#: The pre-fault-injection client behaviour: one attempt per URL, all
+#: URLs tried in order, no timeouts, no CRL fallback, soft-fail.
+DEFAULT_POLICY = ClientPolicy(name="default")
+
+#: Firefox's soft-fail fetch: short per-attempt patience, no retries,
+#: connection proceeds without revocation info on failure.
+FIREFOX_SOFT_FAIL = ClientPolicy(
+    name="firefox-soft-fail",
+    attempt_timeout_ms=2_000.0,
+    total_timeout_ms=10_000.0,
+)
+
+#: The Must-Staple hard-fail stance (Firefox with the flag enforced):
+#: patient, retries with backoff, CRL fallback — and the connection
+#: breaks when everything fails.
+MUST_STAPLE_HARD_FAIL = ClientPolicy(
+    name="must-staple-hard-fail",
+    attempt_timeout_ms=10_000.0,
+    total_timeout_ms=30_000.0,
+    retries_per_url=1,
+    crl_fallback=True,
+    hard_fail=True,
+)
+
+#: Chrome-style: revocation is handled out of band (CRLSets); the
+#: client never issues an OCSP request.
+NO_CHECK = ClientPolicy(name="no-check", check_revocation=False)
+
+POLICIES: Dict[str, ClientPolicy] = {
+    policy.name: policy
+    for policy in (DEFAULT_POLICY, FIREFOX_SOFT_FAIL, MUST_STAPLE_HARD_FAIL,
+                   NO_CHECK)
+}
+
+
+def client_policy(name: str) -> ClientPolicy:
+    """Look up a named policy."""
+    if name not in POLICIES:
+        raise KeyError(f"unknown client policy: {name!r} "
+                       f"(known: {', '.join(sorted(POLICIES))})")
+    return POLICIES[name]
+
+
+def policy_names() -> List[str]:
+    """The catalogue, stable order."""
+    return list(POLICIES)
+
+
+def for_browser(browser) -> ClientPolicy:
+    """Map a Table-2 :class:`repro.browser.BrowserPolicy` onto the
+    client policy matching its observed fetch behaviour."""
+    if browser.respects_must_staple:
+        return MUST_STAPLE_HARD_FAIL
+    if browser.fallback_own_ocsp:
+        return FIREFOX_SOFT_FAIL
+    return NO_CHECK

@@ -1,0 +1,285 @@
+"""Fault plans and the network wrapper that enacts them.
+
+A :class:`FaultPlan` is a named, digest-stable composition of
+injectors.  :class:`FaultyNetwork` wraps any object with the
+``fetch(vantage, request, now)`` shape — normally a
+:class:`repro.simnet.Network` — and applies the plan *around* it: the
+inner network is never modified, and an empty plan is a byte-identical
+passthrough (the chaos experiments' baseline scenario reproduces the
+Figure 3/4 numbers exactly because of this).
+
+The module also carries the named scenario catalogue the chaos
+experiments sweep; each scenario is anchored at
+``MEASUREMENT_START`` so plans serialize to the same digest on every
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..canon import stable_digest
+from ..simnet import (
+    DAY,
+    HOUR,
+    MEASUREMENT_START,
+    FailureKind,
+    FetchResult,
+    HTTPResponse,
+    Network,
+)
+from ..simnet.http import split_url
+from ..simnet.network import DNS_RTT_MS
+from .injectors import (
+    Blackout,
+    BodyTamper,
+    Decision,
+    DnsFlap,
+    ErrorBurst,
+    Injector,
+    LatencySpike,
+    RequestDrop,
+    StaleServe,
+    injector_from_dict,
+)
+
+
+@dataclass
+class FaultPlan:
+    """A named, serializable composition of fault injectors."""
+
+    name: str
+    injectors: Tuple[Injector, ...] = ()
+    seed: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the do-nothing (baseline) plan."""
+        return not self.injectors
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "injectors": [injector.to_dict() for injector in self.injectors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            seed=data.get("seed", 0),
+            injectors=tuple(injector_from_dict(entry)
+                            for entry in data.get("injectors", ())),
+        )
+
+    def plan_digest(self) -> str:
+        """Content address of this plan — cache-key material."""
+        return stable_digest(self.to_dict())
+
+
+def _tampered_body(mode: str, body: bytes) -> bytes:
+    """Rewrite one successful OCSP body per the tamper *mode*."""
+    from ..ocsp.response import ResponseStatus, encode_error_response
+    if mode == "malformed":
+        return b"<html><body>502 Bad Gateway</body></html>"
+    if mode == "truncated":
+        return body[: len(body) // 2]
+    if mode == "unauthorized":
+        return encode_error_response(ResponseStatus.UNAUTHORIZED)
+    if mode == "try_later":
+        return encode_error_response(ResponseStatus.TRY_LATER)
+    raise ValueError(f"unknown tamper mode: {mode!r}")
+
+
+class FaultyNetwork:
+    """A :class:`repro.simnet.Network` wrapper that enacts a fault plan.
+
+    *extra* optionally supplies additional hostname bindings (e.g. CRL
+    distribution points the measurement world never bound) consulted
+    before the inner network — again without mutating either network.
+
+    With an empty plan and no extra bindings, ``fetch`` returns the
+    inner network's :class:`FetchResult` object unchanged.
+    """
+
+    def __init__(self, inner, plan: Optional[FaultPlan] = None,
+                 extra: Optional[Network] = None) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan(name="baseline")
+        self.extra = extra
+
+    def _route(self, vantage: str, request, now: int) -> FetchResult:
+        """Dispatch to the extra bindings when they cover the host."""
+        if self.extra is not None and \
+                self.extra.get_binding(request.host) is not None:
+            return self.extra.fetch(vantage, request, now)
+        return self.inner.fetch(vantage, request, now)
+
+    def fetch(self, vantage: str, request, now: int) -> FetchResult:
+        """One exchange through the plan, then the wrapped network."""
+        if self.plan.is_empty:
+            return self._route(vantage, request, now)
+
+        host = split_url(request.url)[1]
+        failing: Optional[Decision] = None
+        delay_ms = 0.0
+        tamper: Optional[str] = None
+        serve_age: Optional[int] = None
+        for injector in self.plan.injectors:
+            decision = injector.decide(request.url, host, vantage, now,
+                                       self.plan.seed)
+            if decision is None:
+                continue
+            delay_ms += decision.delay_ms
+            if decision.fail is not None and failing is None:
+                failing = decision
+            if decision.tamper is not None:
+                tamper = decision.tamper
+            if decision.serve_age is not None and serve_age is None:
+                serve_age = decision.serve_age
+
+        if failing is not None:
+            return self._failed(vantage, request, now, failing, delay_ms)
+
+        result = self._route(vantage, request, now)
+        if serve_age is not None and result.ok:
+            # Stale serving is a *freshness* fault, not a transport
+            # one: the exchange happens now (same outages, noise, and
+            # latency as the baseline), but the responder answers from
+            # a cache written `serve_age` ago — so verification sees an
+            # expired window while Figure-3-style availability doesn't
+            # move.
+            stale = self._route(vantage, request, now - serve_age)
+            if stale.ok:
+                result = replace(result, response=stale.response)
+        if delay_ms:
+            result = replace(result,
+                             elapsed_ms=round(result.elapsed_ms + delay_ms, 3))
+        if tamper is not None and result.ok:
+            response = HTTPResponse(
+                status_code=result.response.status_code,
+                body=_tampered_body(tamper, result.response.body),
+                headers=dict(result.response.headers),
+            )
+            result = replace(result, response=response)
+        return result
+
+    def _failed(self, vantage: str, request, now: int, decision: Decision,
+                delay_ms: float) -> FetchResult:
+        """Materialize an injected failure with honest path costs."""
+        kind = decision.fail
+        if kind is FailureKind.DNS:
+            # The resolver round trip happens; nothing after it does.
+            elapsed = DNS_RTT_MS
+        else:
+            # Charge the exchange the wrapped network would have
+            # billed, so injected TCP/TLS/HTTP failures carry the
+            # vantage's real path latency.
+            elapsed = self._route(vantage, request, now).elapsed_ms
+        response = None
+        if kind is FailureKind.HTTP:
+            response = HTTPResponse(status_code=decision.status_code)
+        return FetchResult(
+            url=request.url, vantage=vantage, started_at=now,
+            elapsed_ms=round(elapsed + delay_ms, 3),
+            failure=kind, response=response,
+        )
+
+    def __getattr__(self, name: str):
+        # Everything that is not fetch/plan/extra quacks like the
+        # wrapped network (bindings, origins, noise, ...).
+        return getattr(self.inner, name)
+
+
+# ---------------------------------------------------------------------------
+# the named scenario catalogue
+# ---------------------------------------------------------------------------
+
+_T0 = MEASUREMENT_START
+
+
+def _baseline() -> Tuple[Injector, ...]:
+    return ()
+
+
+def _responder_brownout() -> Tuple[Injector, ...]:
+    # 5xx for two hours in every seven, plus a 5% request-loss floor —
+    # the "degraded but not dark" shape of the paper's brownouts.  The
+    # seven-hour period is deliberately coprime with the scan cadences
+    # (6h/12h/24h) so sampling walks through the burst instead of
+    # aliasing onto it.
+    return (
+        ErrorBurst(host_prefixes=("ocsp",), status_code=503,
+                   period=7 * HOUR, duty=2 * HOUR, phase=_T0),
+        RequestDrop(host_prefixes=("ocsp",), rate=0.05),
+    )
+
+
+def _regional_blackout() -> Tuple[Injector, ...]:
+    # A Comodo-style event: every responder dark for 12 hours on day
+    # one, visible only from three vantages (region-scoped, as the
+    # paper's Digicert/Seoul and Certum/Sydney events were).
+    return (
+        Blackout(host_prefixes=("ocsp",), failure="TCP",
+                 vantages=("Oregon", "Sydney", "Seoul"),
+                 start=_T0 + 6 * HOUR, end=_T0 + 18 * HOUR),
+    )
+
+
+def _heavy_tail_latency() -> Tuple[Injector, ...]:
+    # Distant vantages pay a base penalty plus a Pareto tail — the
+    # Sao-Paulo/Sydney tail-latency effect of Section 5.
+    return (
+        LatencySpike(vantages=("Sao-Paulo", "Sydney"),
+                     added_ms=150.0, tail_ms=400.0, tail_exponent=1.5),
+    )
+
+
+def _stale_responder() -> Tuple[Injector, ...]:
+    # CNNIC redux: responders serve five-day-old (signed, once-valid)
+    # responses, so verification fails EXPIRED everywhere.
+    return (StaleServe(host_prefixes=("ocsp",), age=5 * DAY),)
+
+
+def _flaky_dns() -> Tuple[Injector, ...]:
+    return (DnsFlap(host_prefixes=("ocsp",), period=4 * HOUR, duty=HOUR),)
+
+
+def _unauthorized_burst() -> Tuple[Injector, ...]:
+    # A third of requests get an (unsigned) "unauthorized" error
+    # response — transport succeeds, verification cannot.
+    return (BodyTamper(host_prefixes=("ocsp",), mode="unauthorized",
+                       rate=0.35),)
+
+
+def _packet_loss() -> Tuple[Injector, ...]:
+    return (RequestDrop(rate=0.15),)
+
+
+SCENARIOS: Dict[str, Callable[[], Tuple[Injector, ...]]] = {
+    "baseline": _baseline,
+    "responder-brownout": _responder_brownout,
+    "regional-blackout": _regional_blackout,
+    "heavy-tail-latency": _heavy_tail_latency,
+    "stale-responder": _stale_responder,
+    "flaky-dns": _flaky_dns,
+    "unauthorized-burst": _unauthorized_burst,
+    "packet-loss": _packet_loss,
+}
+
+
+def scenario(name: str, seed: int = 0) -> FaultPlan:
+    """Build one named scenario's plan."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown fault scenario: {name!r} "
+                       f"(known: {', '.join(sorted(SCENARIOS))})")
+    return FaultPlan(name=name, injectors=SCENARIOS[name](), seed=seed)
+
+
+def scenario_names() -> List[str]:
+    """The catalogue, stable order."""
+    return list(SCENARIOS)

@@ -7,16 +7,25 @@ caching — behind one method:
 
     client = OCSPClient(network, vantage="Paris")
     status = client.check(leaf, issuer, now)
+
+Resilience is policy-driven (:mod:`repro.faults.policy`): the client
+fails over across every URL in ``certificate.ocsp_urls``, optionally
+retries with deterministic backoff (each retry advances the simulated
+clock — the network is a pure function of ``(request, vantage, now)``,
+so re-asking at the same instant would answer identically), enforces
+per-attempt and total time budgets against ``FetchResult.elapsed_ms``,
+and can fall back to the certificate's CRL distribution points.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
-from ..simnet import FetchResult, Network, ocsp_get, ocsp_post
-from ..x509 import Certificate
+from ..asn1.errors import ASN1Error
+from ..simnet import FetchResult, HTTPRequest, Network, ocsp_get, ocsp_post
+from ..x509 import Certificate, CertificateList
 from .certid import CertID
 from .request import OCSPRequest
 from .response import CertStatus
@@ -34,16 +43,33 @@ class OCSPLookupResult:
     check: Optional[OCSPCheckResult]
     fetch: Optional[FetchResult]
     from_cache: bool = False
+    #: Every transport attempt, in order (OCSP URLs, then CRL URLs).
+    attempts: List[FetchResult] = field(default_factory=list)
+    #: Attempts whose elapsed time blew the policy's per-attempt budget.
+    timeouts: int = 0
+    #: Status obtained from the CRL fallback path, when OCSP failed.
+    crl_status: Optional[CertStatus] = None
+    via_crl: bool = False
+    #: True when the policy never checks revocation (CRLSet-style).
+    skipped: bool = False
 
     @property
     def status(self) -> Optional[CertStatus]:
         """The verified certificate status, when one was obtained."""
+        if self.via_crl:
+            return self.crl_status
         return self.check.cert_status if self.check is not None else None
 
     @property
     def ok(self) -> bool:
-        """True when a verified, in-window response was obtained."""
-        return self.check is not None and self.check.ok
+        """True when a verified, in-window status was obtained (from
+        OCSP or the CRL fallback)."""
+        return (self.check is not None and self.check.ok) or self.via_crl
+
+    @property
+    def total_elapsed_ms(self) -> float:
+        """Transport time summed over every attempt."""
+        return round(sum(attempt.elapsed_ms for attempt in self.attempts), 3)
 
 
 class OCSPClient:
@@ -52,7 +78,7 @@ class OCSPClient:
     def __init__(self, network: Network, vantage: str = "Virginia",
                  use_get: bool = False, use_nonce: bool = False,
                  cache=None, max_clock_skew: int = 0,
-                 nonce_source=None) -> None:
+                 nonce_source=None, policy=None) -> None:
         self.network = network
         self.vantage = vantage
         self.use_get = use_get
@@ -60,45 +86,119 @@ class OCSPClient:
         self.cache = cache  # a repro.browser.ClientOCSPCache, or None
         self.max_clock_skew = max_clock_skew
         self._nonce_source = nonce_source or _default_nonce_source()
+        if policy is None:
+            from ..faults.policy import DEFAULT_POLICY
+            policy = DEFAULT_POLICY
+        self.policy = policy
         self.requests_sent = 0
 
     def check(self, certificate: Certificate, issuer: Certificate,
               now: int, url: Optional[str] = None) -> OCSPLookupResult:
-        """Look up *certificate*'s revocation status."""
-        cert_id = CertID.for_certificate(certificate, issuer)
+        """Look up *certificate*'s revocation status under the policy."""
+        policy = self.policy
+        if not policy.check_revocation:
+            return OCSPLookupResult(check=None, fetch=None, skipped=True)
 
+        cert_id = CertID.for_certificate(certificate, issuer)
         if self.cache is not None:
             cached = self.cache.lookup(cert_id, now)
             if cached is not None:
                 synthetic = OCSPCheckResult(ok=True, cert_status=cached.cert_status)
                 return OCSPLookupResult(check=synthetic, fetch=None, from_cache=True)
 
-        urls = [url] if url else certificate.ocsp_urls
-        if not urls:
-            return OCSPLookupResult(check=None, fetch=None)
+        urls = [url] if url else list(certificate.ocsp_urls)
+        if not policy.failover:
+            urls = urls[:1]
 
         nonce = self._nonce_source(cert_id) if self.use_nonce else None
-        request = OCSPRequest.for_single(cert_id, nonce=nonce)
-        request_der = request.encode()
+        request_der = OCSPRequest.for_single(cert_id, nonce=nonce).encode()
 
+        attempts: List[FetchResult] = []
+        timeouts = 0
+        spent_ms = 0.0
+        last_fetch: Optional[FetchResult] = None
+        last_check: Optional[OCSPCheckResult] = None
+        exhausted = False
+
+        # Round-robin failover: each round tries every URL once, and
+        # the backoff schedule advances the clock between rounds.
+        for wait in policy.backoff_schedule(policy.retries_per_url + 1):
+            attempt_now = now + wait
+            for responder_url in urls:
+                if policy.total_timeout_ms is not None and \
+                        spent_ms >= policy.total_timeout_ms:
+                    exhausted = True
+                    break
+                fetch = self._attempt(responder_url, request_der, nonce,
+                                      attempt_now)
+                attempts.append(fetch)
+                spent_ms += fetch.elapsed_ms
+                last_fetch = fetch
+                if policy.attempt_timeout_ms is not None and \
+                        fetch.elapsed_ms > policy.attempt_timeout_ms:
+                    timeouts += 1
+                    continue
+                if not fetch.ok:
+                    continue
+                check = verify_response(
+                    fetch.response.body, cert_id, issuer, attempt_now,
+                    max_clock_skew=self.max_clock_skew,
+                    expected_nonce=nonce,
+                )
+                last_check = check
+                if check.ok:
+                    if self.cache is not None:
+                        self.cache.store(cert_id, check, attempt_now)
+                    return OCSPLookupResult(check=check, fetch=fetch,
+                                            attempts=attempts,
+                                            timeouts=timeouts)
+            if exhausted:
+                break
+
+        if policy.crl_fallback:
+            crl_status = self._crl_fallback(certificate, issuer, cert_id,
+                                            now, attempts)
+            if crl_status is not None:
+                return OCSPLookupResult(check=last_check, fetch=last_fetch,
+                                        attempts=attempts, timeouts=timeouts,
+                                        crl_status=crl_status, via_crl=True)
+
+        return OCSPLookupResult(check=last_check, fetch=last_fetch,
+                                attempts=attempts, timeouts=timeouts)
+
+    def _attempt(self, responder_url: str, request_der: bytes,
+                 nonce: Optional[bytes], now: int) -> FetchResult:
+        """One transport attempt against one responder URL (verbatim —
+        responders are hit at the URL the certificate advertises)."""
         if self.use_get and len(request_der) * 4 // 3 < _GET_LIMIT and nonce is None:
-            http_request = ocsp_get(urls[0], request_der)
+            http_request = ocsp_get(responder_url, request_der)
         else:
-            http_request = ocsp_post(urls[0] + ("" if urls[0].endswith("/") else "/"),
-                                     request_der)
+            http_request = ocsp_post(responder_url, request_der)
         self.requests_sent += 1
-        fetch = self.network.fetch(self.vantage, http_request, now)
-        if not fetch.ok:
-            return OCSPLookupResult(check=None, fetch=fetch)
+        return self.network.fetch(self.vantage, http_request, now)
 
-        check = verify_response(
-            fetch.response.body, cert_id, issuer, now,
-            max_clock_skew=self.max_clock_skew,
-            expected_nonce=nonce,
-        )
-        if check.ok and self.cache is not None:
-            self.cache.store(cert_id, check, now)
-        return OCSPLookupResult(check=check, fetch=fetch)
+    def _crl_fallback(self, certificate: Certificate, issuer: Certificate,
+                      cert_id: CertID, now: int,
+                      attempts: List[FetchResult]) -> Optional[CertStatus]:
+        """Fetch, verify, and consult the certificate's CRLs."""
+        for crl_url in certificate.crl_urls:
+            self.requests_sent += 1
+            fetch = self.network.fetch(
+                self.vantage, HTTPRequest(method="GET", url=crl_url), now)
+            attempts.append(fetch)
+            if not fetch.ok:
+                continue
+            try:
+                crl = CertificateList.from_der(fetch.response.body)
+            except (ASN1Error, ValueError):
+                continue
+            if not crl.verify_signature(issuer.public_key):
+                continue
+            if not crl.is_fresh(now):
+                continue
+            revoked = crl.is_revoked(cert_id.serial_number)
+            return CertStatus.REVOKED if revoked else CertStatus.GOOD
+        return None
 
 
 def _default_nonce_source():

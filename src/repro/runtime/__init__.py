@@ -13,6 +13,8 @@ from .cache import CODE_VERSION, SCHEMA_VERSION, ArtifactCache, default_cache_di
 from .configs import (
     AlexaRunConfig,
     AttackWindowConfig,
+    ChaosAvailabilityConfig,
+    ChaosClientConfig,
     ConsistencyRunConfig,
     CorpusRunConfig,
     LatencyConfig,
@@ -31,6 +33,8 @@ __all__ = [
     "ArtifactCache",
     "AttackWindowConfig",
     "CODE_VERSION",
+    "ChaosAvailabilityConfig",
+    "ChaosClientConfig",
     "ConsistencyRunConfig",
     "CorpusRunConfig",
     "ExperimentResult",

@@ -259,6 +259,68 @@ class SeedConfig(_Config):
         return cls(seed=data.get("seed", 7))
 
 
+@dataclass
+class ChaosAvailabilityConfig(_Config):
+    """Chaos extension of Figures 3/4: the hourly scan swept across
+    named fault scenarios (catalogue in :mod:`repro.faults`)."""
+
+    campaign: ScanCampaignConfig = field(default_factory=ScanCampaignConfig)
+    scenarios: Tuple[str, ...] = ("baseline",)
+    #: Seed for every scenario's injector draws (scenario names travel
+    #: in shard payloads; plans are rebuilt worker-side).
+    fault_seed: int = 23
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "campaign": self.campaign.to_dict(),
+            "scenarios": list(self.scenarios),
+            "fault_seed": self.fault_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosAvailabilityConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(campaign=ScanCampaignConfig.from_dict(data["campaign"]),
+                   scenarios=tuple(data.get("scenarios", ("baseline",))),
+                   fault_seed=data.get("fault_seed", 23))
+
+
+@dataclass
+class ChaosClientConfig(_Config):
+    """Chaos client-outcome grid: fault scenario × client policy."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    scenarios: Tuple[str, ...] = ("baseline",)
+    policies: Tuple[str, ...] = ("firefox-soft-fail",)
+    times: Tuple[int, ...] = ()
+    vantages: Optional[Tuple[str, ...]] = None
+    fault_seed: int = 23
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "world": self.world.to_dict(),
+            "scenarios": list(self.scenarios),
+            "policies": list(self.policies),
+            "times": list(self.times),
+            "vantages": list(self.vantages) if self.vantages else None,
+            "fault_seed": self.fault_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosClientConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        vantages = data.get("vantages")
+        return cls(world=WorldConfig.from_dict(data["world"]),
+                   scenarios=tuple(data.get("scenarios", ("baseline",))),
+                   policies=tuple(data.get("policies",
+                                           ("firefox-soft-fail",))),
+                   times=tuple(data.get("times", ())),
+                   vantages=tuple(vantages) if vantages else None,
+                   fault_seed=data.get("fault_seed", 23))
+
+
 def default_config(experiment_id: str, scale: Optional[object] = None):
     """The config an experiment runs with absent an explicit one.
 
@@ -315,6 +377,34 @@ def default_config(experiment_id: str, scale: Optional[object] = None):
         return AttackWindowConfig()
     if experiment_id == "ext-whatif":
         return WhatIfRunConfig()
+    if experiment_id == "chaos-availability":
+        # A trimmed campaign: the scenario sweep multiplies the scan
+        # cost, so cap the window and responder count independently of
+        # the figure-scale knobs.
+        chaos_world = WorldConfig(
+            n_responders=min(40, scale.n_responders),
+            certs_per_responder=1, seed=scale.seed)
+        chaos_campaign = ScanCampaignConfig(
+            world=chaos_world, interval=scale.scan_interval,
+            start=MEASUREMENT_START,
+            end=MEASUREMENT_START + min(3, scale.scan_days) * DAY,
+            target_chunks=4)
+        return ChaosAvailabilityConfig(
+            campaign=chaos_campaign,
+            scenarios=("baseline", "responder-brownout",
+                       "regional-blackout", "heavy-tail-latency",
+                       "stale-responder"))
+    if experiment_id == "chaos-client-outcomes":
+        return ChaosClientConfig(
+            world=WorldConfig(n_responders=min(24, scale.n_responders),
+                              certs_per_responder=1, seed=scale.seed),
+            scenarios=("baseline", "regional-blackout",
+                       "stale-responder", "packet-loss"),
+            policies=("firefox-soft-fail", "must-staple-hard-fail",
+                      "no-check"),
+            times=(MEASUREMENT_START + HOUR,
+                   MEASUREMENT_START + 9 * HOUR,
+                   MEASUREMENT_START + 17 * HOUR))
     if experiment_id in ("tbl2", "tbl3", "fig12", "ext-multistaple",
                          "ext-alternatives", "abl-apache-patch",
                          "abl-parser", "abl-keysize"):

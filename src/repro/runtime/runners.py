@@ -826,3 +826,16 @@ def run_abl_keysize(ctx, config: SeedConfig) -> Dict[str, Any]:
         "rows": rows,
         "summary": {"semantics_ok": all(row["semantics_ok"] for row in rows)},
     }
+
+
+def run_chaos_availability(ctx, config) -> Dict[str, Any]:
+    """Chaos extension of Figures 3/4 (lives in repro.faults; re-exported
+    here so the registry's ``repro.runtime.runners:`` convention holds)."""
+    from ..faults.experiments import run_chaos_availability as impl
+    return impl(ctx, config)
+
+
+def run_chaos_client_outcomes(ctx, config) -> Dict[str, Any]:
+    """Chaos scenario × client-policy grid (impl in repro.faults)."""
+    from ..faults.experiments import run_chaos_client_outcomes as impl
+    return impl(ctx, config)

@@ -35,9 +35,12 @@ class AlexaAvailability:
     """Computes Figure 4: popular domains unable to fetch OCSP."""
 
     def __init__(self, world: MeasurementWorld, seed: int = 11,
-                 total_domains: int = ALEXA_OCSP_CERTIFICATES) -> None:
+                 total_domains: int = ALEXA_OCSP_CERTIFICATES,
+                 network=None) -> None:
         self.world = world
         self.total_domains = total_domains
+        #: Fetch substrate (overridable with a fault-injecting wrapper).
+        self.network = world.network if network is None else network
         self.assignments = self._assign(seed)
 
     def _assign(self, seed: int) -> List[AlexaAssignment]:
@@ -87,8 +90,8 @@ class AlexaAvailability:
             return True
         from ..ocsp import OCSPRequest
         request_der = OCSPRequest.for_single(site.cert_ids[0]).encode()
-        fetch = self.world.network.fetch(
-            vantage, ocsp_post(site.url + "/", request_der), now
+        fetch = self.network.fetch(
+            vantage, ocsp_post(site.url, request_der), now
         )
         return fetch.ok
 

@@ -90,16 +90,20 @@ class HourlyScanner:
 
     def __init__(self, world: MeasurementWorld,
                  vantages: Optional[Sequence[str]] = None,
-                 interval: int = HOUR) -> None:
+                 interval: int = HOUR, network=None) -> None:
         self.world = world
         self.vantages = list(vantages or VANTAGE_POINTS)
         self.interval = interval
+        #: The fetch substrate — normally the world's network, but any
+        #: object with its ``fetch`` shape works (the chaos experiments
+        #: pass a :class:`repro.faults.FaultyNetwork` wrapper here).
+        self.network = world.network if network is None else network
 
     def probe(self, target: ScanTarget, vantage: str, now: int) -> ProbeRecord:
         """One OCSP lookup for one certificate from one vantage."""
         site = target.site
-        fetch = self.world.network.fetch(
-            vantage, ocsp_post(site.url + "/", target.request_der), now
+        fetch = self.network.fetch(
+            vantage, ocsp_post(site.url, target.request_der), now
         )
         check = None
         if fetch.ok:

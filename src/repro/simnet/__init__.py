@@ -30,6 +30,7 @@ from .http import (
     split_url,
 )
 from .network import (
+    DNS_RTT_MS,
     FailureKind,
     FetchResult,
     HostBinding,
@@ -55,6 +56,7 @@ __all__ = [
     "MEASUREMENT_END",
     "MEASUREMENT_START",
     "WEEK",
+    "DNS_RTT_MS",
     "FailureKind",
     "FetchResult",
     "HTTPRequest",

@@ -22,6 +22,11 @@ from .vantage import rtt_ms
 #: An HTTP service: (request, now) -> HTTPResponse.
 Service = Callable[[HTTPRequest, int], HTTPResponse]
 
+#: DNS resolution costs one flat round trip to a resolver.  Shared
+#: with :mod:`repro.faults`, whose injected DNS failures bill the same
+#: resolver round trip this pipeline does.
+DNS_RTT_MS = 20.0
+
 
 class FailureKind(Enum):
     """Where in the stack a fetch failed (paper Section 5.2 taxonomy)."""
@@ -189,8 +194,7 @@ class Network:
         rtts = 0.0
 
         binding = self._bindings.get(host)
-        # DNS resolution costs one round trip to a resolver (flat 20 ms).
-        rtts += 20.0
+        rtts += DNS_RTT_MS
         if binding is None or (
             vantage in binding.dns_fail_vantages and binding._persists(now)
         ):

@@ -107,6 +107,15 @@ class TestTreeScan:
         files = list(tool.iter_python_files(REPO_ROOT / "src" / "repro"))
         assert any(path.match("*/lint/*.py") for path in files)
 
+    def test_scan_covers_the_faults_package(self):
+        """Fault injectors must stay pure functions of
+        (request, vantage, now, seed) — the lint walks them too."""
+        files = list(tool.iter_python_files(REPO_ROOT / "src" / "repro"))
+        covered = {path.name for path in files
+                   if path.match("*/faults/*.py")}
+        assert {"injectors.py", "scenarios.py", "policy.py",
+                "experiments.py"} <= covered
+
     def test_main_exit_codes(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
         clean.write_text("x = 1\n")

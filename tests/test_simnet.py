@@ -11,6 +11,7 @@ from repro.simnet import (
     HTTPRequest,
     HTTPResponse,
     Network,
+    Origin,
     OutageWindow,
     SimulatedClock,
     SkewedClock,
@@ -243,3 +244,50 @@ class TestOutageWindow:
         assert window.applies("Paris", 15)
         assert not window.applies("Paris", 20)  # end-exclusive
         assert not window.applies("Seoul", 15)
+
+    def test_boundary_instants(self):
+        """Half-open semantics: start is inside, end is outside."""
+        window = OutageWindow(start=10, end=20)
+        assert window.applies("Paris", 10)  # start == now
+        assert not window.applies("Paris", 20)  # end == now
+        assert not window.applies("Paris", 9)
+
+    def test_zero_length_window_never_applies(self):
+        window = OutageWindow(start=10, end=10)
+        assert window.duration == 0
+        for now in (9, 10, 11):
+            assert not window.applies("Paris", now)
+
+    def test_zero_length_window_on_origin_is_inert(self):
+        network = Network()
+        origin = network.add_origin("zl", "us-east", echo_service)
+        network.bind("zl.test", origin)
+        origin.add_outage(OutageWindow(start=10, end=10))
+        assert origin.had_any_outage()
+        assert origin.active_outage("Paris", 10) is None
+        assert network.fetch("Paris", HTTPRequest("GET", "http://zl.test/"), 10).ok
+
+    def test_overlapping_windows_first_match_wins(self):
+        """The first scheduled window active at *now* decides the
+        failure mode; a later overlapping window never shadows it."""
+        origin = Origin("ov", "us-east", echo_service)
+        tcp = OutageWindow(start=0, end=100, kind=FailureKind.TCP)
+        http = OutageWindow(start=50, end=150, kind=FailureKind.HTTP,
+                            status_code=502)
+        origin.add_outage(tcp)
+        origin.add_outage(http)
+        assert origin.active_outage("Paris", 75) is tcp
+        assert origin.active_outage("Paris", 120) is http
+        assert origin.active_outage("Paris", 150) is None
+
+    def test_vantage_scoped_and_global_windows_coexist(self):
+        origin = Origin("mix", "us-east", echo_service)
+        seoul_only = OutageWindow(start=0, end=100, vantages={"Seoul"})
+        everywhere = OutageWindow(start=200, end=300)
+        origin.add_outage(seoul_only)
+        origin.add_outage(everywhere)
+        assert origin.active_outage("Seoul", 50) is seoul_only
+        assert origin.active_outage("Paris", 50) is None
+        for vantage in ("Seoul", "Paris", "Sydney"):
+            assert origin.active_outage(vantage, 250) is everywhere
+        assert origin.active_outage("Seoul", 150) is None
