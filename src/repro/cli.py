@@ -13,10 +13,13 @@ Commands:
 * ``scenarios``   — the fault-scenario and client-policy catalogues
 * ``issue``       — mint a demo Must-Staple certificate chain as PEM
 * ``lint``        — static conformance analysis of certificates/OCSP/CRLs
+* ``cache``       — artifact-cache maintenance (stats / verify / gc)
 
 Experiment-running commands share the runtime flags ``--workers``,
 ``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
-through :func:`repro.runtime.run_experiment`.
+through :func:`repro.runtime.run_experiment`.  ``run`` additionally
+takes ``--supervise`` (plus ``--allow-partial``, ``--shard-timeout``,
+``--retries``) for the crash-tolerant executor.
 """
 
 from __future__ import annotations
@@ -214,18 +217,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
     from .core.figures import FigureScale
-    from .runtime import run_experiment
+    from .runtime import ShardQuarantinedError, run_experiment
     scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
     scale.seed = _seed(args)
+    kwargs = _runtime_kwargs(args)
+    if args.supervise:
+        kwargs.update(supervise=True, allow_partial=args.allow_partial,
+                      shard_timeout=args.shard_timeout,
+                      max_retries=args.retries)
     try:
-        result = run_experiment(args.experiment_id, scale=scale,
-                                **_runtime_kwargs(args))
+        result = run_experiment(args.experiment_id, scale=scale, **kwargs)
     except KeyError:
         print(f"run: unknown experiment {args.experiment_id!r} "
               f"(see 'repro experiments')", file=sys.stderr)
         return 2
+    except ShardQuarantinedError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 3
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if result.manifest is not None and not result.manifest.complete:
+            return 3
         return 0
     provenance = result.provenance
     print(f"experiment: {result.experiment_id}")
@@ -241,6 +253,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"wall: {result.timings['total_s']:.2f}s "
           f"(shard compute {result.timings['shard_ms_total']:.0f}ms)")
     print(f"cache: {result.cache_status}")
+    manifest = result.manifest
+    if manifest is not None:
+        print(f"manifest: {manifest.cached} cached, "
+              f"{manifest.computed} computed, {manifest.retried} retried, "
+              f"{len(manifest.quarantined())} quarantined")
+        for state in manifest.quarantined():
+            print(f"  quarantined {state.label or state.index}: "
+                  f"{state.quarantine_reason}")
+        return 0 if manifest.complete else 3
     return 0
 
 
@@ -399,6 +420,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Artifact-cache maintenance: stats, integrity verify, gc."""
+    from .runtime import ArtifactCache
+    cache = ArtifactCache(root=args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats.root}")
+        print(f"entries: {stats.entries} ({stats.bytes} bytes, "
+              f"{stats.rows} rows)")
+        print(f"quarantined: {stats.corrupt_entries} "
+              f"({stats.corrupt_bytes} bytes)")
+        return 0
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"checked {report.checked} entries: {report.ok} ok, "
+              f"{len(report.corrupt)} corrupt")
+        for key in report.corrupt:
+            print(f"  corrupt (quarantined): {key}")
+        return 0 if report.clean else 1
+    # gc
+    removed, freed = cache.gc(everything=args.all)
+    scope = "all entries" if args.all else "quarantined entries"
+    print(f"gc ({scope}): removed {removed} files, freed {freed} bytes")
+    return 0
+
+
 def _cmd_issue(args: argparse.Namespace) -> int:
     from .ca import CertificateAuthority
     from .crypto import generate_keypair
@@ -451,6 +498,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=["small", "full"], default="small")
     run.add_argument("--json", action="store_true",
                      help="print the full result document as JSON")
+    run.add_argument("--supervise", action="store_true",
+                     help="crash-tolerant executor: per-shard cache "
+                          "persistence, worker restarts, retries, and a "
+                          "run manifest (resumable after interruption)")
+    run.add_argument("--allow-partial", action="store_true",
+                     help="with --supervise: finish in degraded mode when "
+                          "shards are quarantined (exit code 3)")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="with --supervise: kill and retry shards that "
+                          "run longer than this")
+    run.add_argument("--retries", type=int, default=2,
+                     help="with --supervise: extra attempts per shard "
+                          "beyond the first (default 2)")
     run.set_defaults(func=_cmd_run)
 
     readiness = commands.add_parser("readiness", parents=[runtime_flags],
@@ -529,6 +590,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule catalogue and exit")
     lint.add_argument("--out", help="write the report here instead of stdout")
     lint.set_defaults(func=_cmd_lint)
+
+    cache = commands.add_parser(
+        "cache", help="artifact-cache maintenance")
+    cache.add_argument("action", choices=["stats", "verify", "gc"],
+                       help="stats: totals; verify: integrity-check every "
+                            "entry (corrupt ones are quarantined); gc: "
+                            "delete quarantined entries")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-experiments)")
+    cache.add_argument("--all", action="store_true",
+                       help="gc: also delete every live entry")
+    cache.set_defaults(func=_cmd_cache)
 
     inspect = commands.add_parser("inspect",
                                   help="asn1parse-style dump of a PEM/DER file")

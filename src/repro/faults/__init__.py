@@ -12,13 +12,25 @@ Three layers:
   matching the paper's browser behaviors;
 * :mod:`repro.faults.experiments` — the ``chaos-availability`` and
   ``chaos-client-outcomes`` runtime experiments sweeping
-  scenario × policy grids.
+  scenario × policy grids;
+* :mod:`repro.faults.classify` — deterministic classification of
+  *execution* faults (raised exceptions, by type name) into
+  transient / permanent / poison, consumed by the supervised shard
+  executor's retry-or-quarantine decisions.
 
 :mod:`repro.faults.experiments` is intentionally *not* imported here:
 it pulls in the runtime/datasets stack, which itself imports
 ``repro.ocsp`` — whose client lazily imports this package's policies.
 """
 
+from .classify import (
+    FaultClass,
+    PermanentShardError,
+    TransientShardError,
+    classify_exception,
+    fault_class_names,
+    register_fault_class,
+)
 from .injectors import (
     Blackout,
     BodyTamper,
@@ -60,6 +72,7 @@ __all__ = [
     "DnsFlap",
     "ErrorBurst",
     "FIREFOX_SOFT_FAIL",
+    "FaultClass",
     "FaultPlan",
     "FaultyNetwork",
     "Injector",
@@ -67,13 +80,18 @@ __all__ = [
     "MUST_STAPLE_HARD_FAIL",
     "NO_CHECK",
     "POLICIES",
+    "PermanentShardError",
     "RequestDrop",
     "SCENARIOS",
     "StaleServe",
+    "TransientShardError",
+    "classify_exception",
     "client_policy",
+    "fault_class_names",
     "for_browser",
     "injector_from_dict",
     "policy_names",
+    "register_fault_class",
     "scenario",
     "scenario_names",
     "unit_draw",

@@ -1,0 +1,95 @@
+"""Deterministic fault classification for the supervised runtime.
+
+PR 3's injectors perturb the *simulated* network; this module is about
+faults in the *real* execution substrate — a shard worker that raises,
+crashes, or hangs.  The supervisor
+(:class:`repro.runtime.supervisor.SupervisedExecutor`) must decide,
+deterministically, whether a failed attempt is worth retrying:
+
+* :data:`FaultClass.TRANSIENT` — retry with capped backoff.  Flaky
+  substrate: timeouts, dropped connections, interrupted syscalls.
+* :data:`FaultClass.PERMANENT` — quarantine immediately.  The shard
+  itself is wrong (bad payload, missing entrypoint, assertion); a
+  retry would fail identically and waste the budget.
+* :data:`FaultClass.POISON` — quarantine immediately *and* flag the
+  shard as worker-killing.  Resource exhaustion and repeated worker
+  crashes land here: re-running the shard endangers the pool.
+
+Classification is by exception *type name* (a string), not by type
+object, because failures cross a process boundary — the supervisor
+sees ``(type name, message)`` from the worker's pipe, never the live
+exception.  The registry is a plain dict so embedders can hook their
+own exception taxonomies with :func:`register_fault_class`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+
+class FaultClass(enum.Enum):
+    """What a failed shard attempt means for the retry budget."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    POISON = "poison"
+
+
+class TransientShardError(RuntimeError):
+    """A shard failure that is expected to succeed on retry.
+
+    Workers (and the chaos harness) raise this to signal "substrate
+    hiccup, try again"; the supervisor classifies it TRANSIENT.
+    """
+
+
+class PermanentShardError(RuntimeError):
+    """A shard failure that will recur on every retry.
+
+    Raised for semantic failures — a retry with the same payload would
+    fail identically, so the supervisor quarantines immediately.
+    """
+
+
+#: Exception type name → class.  Names, not types: failures arrive
+#: over a process boundary as strings.
+_FAULT_CLASSES: Dict[str, FaultClass] = {
+    # Substrate hiccups: worth retrying.
+    "TransientShardError": FaultClass.TRANSIENT,
+    "TimeoutError": FaultClass.TRANSIENT,
+    "ConnectionError": FaultClass.TRANSIENT,
+    "ConnectionResetError": FaultClass.TRANSIENT,
+    "ConnectionRefusedError": FaultClass.TRANSIENT,
+    "ConnectionAbortedError": FaultClass.TRANSIENT,
+    "BrokenPipeError": FaultClass.TRANSIENT,
+    "InterruptedError": FaultClass.TRANSIENT,
+    "EOFError": FaultClass.TRANSIENT,
+    # Shard-is-wrong failures: retries are wasted work.
+    "PermanentShardError": FaultClass.PERMANENT,
+    # Worker-killing failures: re-running endangers the pool.
+    "MemoryError": FaultClass.POISON,
+    "RecursionError": FaultClass.POISON,
+    "SystemExit": FaultClass.POISON,
+    "KeyboardInterrupt": FaultClass.POISON,
+}
+
+#: Everything not registered is PERMANENT: an unknown exception is a
+#: bug in the shard until proven flaky, and burning the retry budget
+#: on it delays the quarantine verdict without changing it.
+_DEFAULT_CLASS = FaultClass.PERMANENT
+
+
+def classify_exception(type_name: str) -> FaultClass:
+    """The fault class of an exception *type name* (e.g. ``"OSError"``)."""
+    return _FAULT_CLASSES.get(type_name, _DEFAULT_CLASS)
+
+
+def register_fault_class(type_name: str, fault_class: FaultClass) -> None:
+    """Register (or override) the class of an exception type name."""
+    _FAULT_CLASSES[type_name] = fault_class
+
+
+def fault_class_names() -> List[str]:
+    """The registered exception type names, sorted."""
+    return sorted(_FAULT_CLASSES)

@@ -6,10 +6,27 @@ shards), **execute** (serially or in a process pool, cache-first), and
 **merge** (deterministically, so parallel output is byte-identical to
 serial).  :func:`run_experiment` is the single public entrypoint; the
 CLI, the benchmarks, and :mod:`repro.core.figures` all sit on it.
+
+For long campaigns, ``run_experiment(..., supervise=True)`` swaps the
+plain pool for :class:`SupervisedExecutor`: results stream into the
+artifact cache the moment each shard completes, crashed or hung
+workers are restarted, transient failures retry with capped backoff,
+unrecoverable shards are quarantined, and the result carries a
+:class:`RunManifest` recording every attempt.  :mod:`~repro.runtime.
+chaos` provides the self-chaos workers that prove this machinery in
+tests and CI.
 """
 
 from .api import RunContext, run_experiment
-from .cache import CODE_VERSION, SCHEMA_VERSION, ArtifactCache, default_cache_dir, shard_key
+from .cache import (
+    CODE_VERSION,
+    SCHEMA_VERSION,
+    ArtifactCache,
+    CacheStats,
+    VerifyReport,
+    default_cache_dir,
+    shard_key,
+)
 from .configs import (
     AlexaRunConfig,
     AttackWindowConfig,
@@ -26,13 +43,22 @@ from .configs import (
     default_config,
 )
 from .executor import ShardExecutor, ShardSpec, resolve_worker
-from .result import ExperimentResult, Provenance, ShardRecord
+from .result import (
+    ExperimentResult,
+    Provenance,
+    RunManifest,
+    ShardAttempt,
+    ShardRecord,
+    ShardState,
+)
+from .supervisor import ShardQuarantinedError, SupervisedExecutor
 
 __all__ = [
     "AlexaRunConfig",
     "ArtifactCache",
     "AttackWindowConfig",
     "CODE_VERSION",
+    "CacheStats",
     "ChaosAvailabilityConfig",
     "ChaosClientConfig",
     "ConsistencyRunConfig",
@@ -43,12 +69,18 @@ __all__ = [
     "Provenance",
     "ReadinessConfig",
     "RunContext",
+    "RunManifest",
     "SCHEMA_VERSION",
     "ScanCampaignConfig",
     "SeedConfig",
+    "ShardAttempt",
     "ShardExecutor",
+    "ShardQuarantinedError",
     "ShardRecord",
     "ShardSpec",
+    "ShardState",
+    "SupervisedExecutor",
+    "VerifyReport",
     "WhatIfRunConfig",
     "default_cache_dir",
     "default_config",

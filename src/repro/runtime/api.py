@@ -19,7 +19,8 @@ from typing import Any, Dict, List, Optional
 from .cache import CODE_VERSION, ArtifactCache
 from .configs import default_config
 from .executor import ShardExecutor, ShardSpec
-from .result import ExperimentResult, Provenance, ShardRecord
+from .result import ExperimentResult, Provenance, RunManifest, ShardRecord
+from .supervisor import SupervisedExecutor
 
 
 class RunContext:
@@ -51,7 +52,11 @@ def run_experiment(experiment_id: str,
                    workers: int = 1,
                    cache: bool = True,
                    cache_dir: Optional[str] = None,
-                   scale: Optional[Any] = None) -> ExperimentResult:
+                   scale: Optional[Any] = None,
+                   supervise: bool = False,
+                   allow_partial: bool = False,
+                   shard_timeout: Optional[float] = None,
+                   max_retries: int = 2) -> ExperimentResult:
     """Run one registered experiment end to end.
 
     Parameters
@@ -71,6 +76,23 @@ def run_experiment(experiment_id: str,
     scale:
         Optional :class:`repro.core.figures.FigureScale` used when
         *config* is omitted.
+    supervise:
+        Run shards under :class:`~repro.runtime.supervisor.
+        SupervisedExecutor`: each completed shard persists to the
+        cache immediately (so interrupted runs resume for free),
+        crashed/hung workers restart, transient failures retry, and
+        the result carries a :class:`~repro.runtime.result.
+        RunManifest` recording every attempt.
+    allow_partial:
+        With *supervise*: finish in degraded mode when shards are
+        quarantined instead of raising
+        :class:`~repro.runtime.supervisor.ShardQuarantinedError`;
+        the manifest says exactly what is missing and why.
+    shard_timeout:
+        With *supervise*: per-shard wall-clock seconds before a
+        worker is declared hung, killed, and the shard retried.
+    max_retries:
+        With *supervise*: extra attempts per shard beyond the first.
     """
     from ..core.experiments import experiment as lookup
     entry = lookup(experiment_id)          # raises KeyError on unknown id
@@ -78,9 +100,14 @@ def run_experiment(experiment_id: str,
     if config is None:
         config = default_config(experiment_id, scale=scale)
 
-    executor = ShardExecutor(
-        workers=workers,
-        cache=ArtifactCache(root=cache_dir, enabled=cache))
+    artifact_cache = ArtifactCache(root=cache_dir, enabled=cache)
+    if supervise:
+        executor: Any = SupervisedExecutor(
+            workers=workers, cache=artifact_cache,
+            shard_timeout=shard_timeout, max_retries=max_retries,
+            allow_partial=allow_partial)
+    else:
+        executor = ShardExecutor(workers=workers, cache=artifact_cache)
     ctx = RunContext(experiment_id, executor)
 
     started = time.perf_counter()
@@ -98,6 +125,11 @@ def run_experiment(experiment_id: str,
         "shard_ms_total": sum(record.elapsed_ms
                               for record in ctx.shard_records),
     }
+    manifest = None
+    if supervise:
+        manifest = RunManifest(experiment_id=experiment_id,
+                               workers=executor.workers,
+                               shards=executor.manifest_shards)
     return ExperimentResult(
         experiment_id=experiment_id,
         rows=payload.get("rows", []),
@@ -105,4 +137,5 @@ def run_experiment(experiment_id: str,
         summary=payload.get("summary", {}),
         provenance=provenance,
         timings=timings,
-        artifacts=payload.get("artifacts", {}))
+        artifacts=payload.get("artifacts", {}),
+        manifest=manifest)

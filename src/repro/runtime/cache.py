@@ -11,24 +11,38 @@ Files are JSON-lines in the same spirit as :mod:`repro.scanner.io`'s
 scan files: a header object first, then one row per line.  Writes are
 atomic (temp file + rename) so concurrent workers can share a cache
 directory.
+
+Integrity: the header carries the row count *and* a SHA-256 digest of
+the payload lines, both checked on every load.  A truncated, tampered,
+or otherwise malformed entry is never silently served as fewer rows —
+it is moved into a ``corrupt/`` quarantine directory (preserving the
+evidence for post-mortems) and reported as a miss, so the shard simply
+recomputes.  ``repro cache stats|verify|gc`` exposes the same
+machinery from the command line.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .. import __version__
 from ..canon import stable_digest
 
 #: Bump the schema component when the shard row format changes — old
-#: cache entries become unreachable rather than misread.
-SCHEMA_VERSION = 1
+#: cache entries become unreachable rather than misread.  v2 added the
+#: payload digest to the header.
+SCHEMA_VERSION = 2
 CODE_VERSION = f"{__version__}+shard{SCHEMA_VERSION}"
 
 _HEADER_FORMAT = "repro-shard"
+
+#: Quarantine subdirectory for entries that failed integrity checks.
+CORRUPT_DIR = "corrupt"
 
 
 def default_cache_dir() -> str:
@@ -49,6 +63,53 @@ def shard_key(worker: str, payload: Dict[str, Any]) -> str:
     }, length=32)
 
 
+def _payload_digest(lines: List[str]) -> str:
+    """The integrity digest over an entry's serialized row lines."""
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:32]
+
+
+@dataclass
+class CacheStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    entries: int = 0
+    bytes: int = 0
+    rows: int = 0
+    corrupt_entries: int = 0
+    corrupt_bytes: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "rows": self.rows,
+            "corrupt_entries": self.corrupt_entries,
+            "corrupt_bytes": self.corrupt_bytes,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """What ``repro cache verify`` reports."""
+
+    checked: int = 0
+    ok: int = 0
+    #: Keys whose entries failed an integrity check (now quarantined).
+    corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {"checked": self.checked, "ok": self.ok,
+                "corrupt": list(self.corrupt)}
+
+
 class ArtifactCache:
     """Store and retrieve shard outputs by content address."""
 
@@ -60,24 +121,74 @@ class ArtifactCache:
         # Two-level fanout keeps directory listings sane at scale.
         return os.path.join(self.root, key[:2], f"{key}.jsonl")
 
+    def _corrupt_dir(self) -> str:
+        return os.path.join(self.root, CORRUPT_DIR)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a bad entry into ``corrupt/`` instead of deleting it —
+        the bytes are evidence, and leaving them in place would make
+        every future load re-fail the same checks."""
+        corrupt_dir = self._corrupt_dir()
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, os.path.join(corrupt_dir,
+                                          os.path.basename(path)))
+        except OSError:
+            # Quarantine is best-effort: a concurrent recompute may
+            # have already overwritten (or another process moved) it.
+            pass
+
+    @staticmethod
+    def _parse(raw: str) -> Optional[List[Dict[str, Any]]]:
+        """Parse and integrity-check one entry; None means corrupt.
+
+        A well-formed entry has a valid header whose ``rows`` count
+        matches the number of payload lines and whose ``digest``
+        matches their bytes.  Anything else — truncation at a line
+        boundary included — is corruption, never a short read.
+        """
+        lines = raw.split("\n")
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return None
+        if not isinstance(header, dict):
+            return None
+        if header.get("format") != _HEADER_FORMAT:
+            return None
+        if header.get("version") != SCHEMA_VERSION:
+            return None
+        body = [line for line in lines[1:] if line.strip()]
+        if header.get("rows") != len(body):
+            return None
+        if header.get("digest") != _payload_digest(body):
+            return None
+        try:
+            rows = [json.loads(line) for line in body]
+        except ValueError:
+            return None
+        return rows
+
     def load(self, key: str) -> Optional[List[Dict[str, Any]]]:
         """The cached rows for *key*, or None on a miss.
 
-        Unreadable or wrong-format entries count as misses — the shard
-        recomputes and overwrites them.
+        A missing file is a plain miss.  A file that fails any
+        integrity check is quarantined into ``corrupt/`` and reported
+        as a miss — the shard recomputes and stores a fresh entry.
         """
         if not self.enabled:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key)) as stream:
-                header = json.loads(stream.readline())
-                if header.get("format") != _HEADER_FORMAT:
-                    return None
-                if header.get("version") != SCHEMA_VERSION:
-                    return None
-                return [json.loads(line) for line in stream if line.strip()]
-        except (OSError, ValueError):
+            with open(path) as stream:
+                raw = stream.read()
+        except OSError:
             return None
+        rows = self._parse(raw)
+        if rows is None:
+            self._quarantine(path)
+            return None
+        return rows
 
     def store(self, key: str, worker: str,
               rows: List[Dict[str, Any]]) -> None:
@@ -86,15 +197,17 @@ class ArtifactCache:
             return
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        lines = [json.dumps(row, sort_keys=True) for row in rows]
         header = {"format": _HEADER_FORMAT, "version": SCHEMA_VERSION,
-                  "key": key, "worker": worker, "rows": len(rows)}
+                  "key": key, "worker": worker, "rows": len(rows),
+                  "digest": _payload_digest(lines)}
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as stream:
                 stream.write(json.dumps(header) + "\n")
-                for row in rows:
-                    stream.write(json.dumps(row, sort_keys=True) + "\n")
+                for line in lines:
+                    stream.write(line + "\n")
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -102,3 +215,90 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+
+    # -- maintenance (the `repro cache` CLI sits on these) ------------
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(key, path)`` for every live entry, sorted by key."""
+        try:
+            fanout = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for sub in fanout:
+            if sub == CORRUPT_DIR:
+                continue
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".jsonl"):
+                    yield name[:-len(".jsonl")], os.path.join(subdir, name)
+
+    def stats(self) -> CacheStats:
+        """Entry/byte/row totals, live and quarantined."""
+        report = CacheStats(root=self.root)
+        for _key, path in self.entries():
+            try:
+                with open(path) as stream:
+                    raw = stream.read()
+            except OSError:
+                continue
+            report.entries += 1
+            report.bytes += len(raw.encode())
+            try:
+                header = json.loads(raw.split("\n", 1)[0])
+                report.rows += int(header.get("rows", 0))
+            except (ValueError, TypeError):
+                pass
+        corrupt_dir = self._corrupt_dir()
+        if os.path.isdir(corrupt_dir):
+            for name in os.listdir(corrupt_dir):
+                path = os.path.join(corrupt_dir, name)
+                try:
+                    report.corrupt_bytes += os.path.getsize(path)
+                    report.corrupt_entries += 1
+                except OSError:
+                    pass
+        return report
+
+    def verify(self) -> VerifyReport:
+        """Integrity-check every live entry; quarantine failures."""
+        report = VerifyReport()
+        for key, path in self.entries():
+            report.checked += 1
+            try:
+                with open(path) as stream:
+                    raw = stream.read()
+            except OSError:
+                report.corrupt.append(key)
+                continue
+            if self._parse(raw) is None:
+                self._quarantine(path)
+                report.corrupt.append(key)
+            else:
+                report.ok += 1
+        return report
+
+    def gc(self, everything: bool = False) -> Tuple[int, int]:
+        """Delete quarantined entries (and, with *everything*, all live
+        entries too); returns ``(files removed, bytes freed)``."""
+        removed = 0
+        freed = 0
+
+        def _unlink(path: str) -> None:
+            nonlocal removed, freed
+            try:
+                freed += os.path.getsize(path)
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+
+        corrupt_dir = self._corrupt_dir()
+        if os.path.isdir(corrupt_dir):
+            for name in sorted(os.listdir(corrupt_dir)):
+                _unlink(os.path.join(corrupt_dir, name))
+        if everything:
+            for _key, path in list(self.entries()):
+                _unlink(path)
+        return removed, freed

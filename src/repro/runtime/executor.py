@@ -27,7 +27,12 @@ def resolve_worker(dotted: str) -> Callable[[Dict[str, Any]], List[Dict[str, Any
     if not module_name or not function_name:
         raise ValueError(f"worker must be 'module:function', got {dotted!r}")
     module = importlib.import_module(module_name)
-    return getattr(module, function_name)
+    try:
+        return getattr(module, function_name)
+    except AttributeError:
+        raise ValueError(
+            f"worker entrypoint {dotted!r}: module {module_name!r} has no "
+            f"attribute {function_name!r}") from None
 
 
 @dataclass
@@ -43,13 +48,17 @@ class ShardSpec:
         return shard_key(self.worker, self.payload)
 
 
-def _execute(item: Tuple[int, str, Dict[str, Any]]
-             ) -> Tuple[int, List[Dict[str, Any]], float]:
-    """Run one shard (in this or a pool process); returns rows + ms."""
-    index, worker, payload = item
+def _execute(item: Tuple[int, str, str, Dict[str, Any]]
+             ) -> Tuple[int, str, List[Dict[str, Any]], float]:
+    """Run one shard (in this or a pool process); returns rows + ms.
+
+    The cache key rides along untouched so the scheduling and storing
+    sides of the run always agree on one computation of it.
+    """
+    index, key, worker, payload = item
     started = time.perf_counter()
     rows = resolve_worker(worker)(payload)
-    return index, rows, (time.perf_counter() - started) * 1000.0
+    return index, key, rows, (time.perf_counter() - started) * 1000.0
 
 
 class ShardExecutor:
@@ -70,8 +79,11 @@ class ShardExecutor:
         outputs: List[Optional[List[Dict[str, Any]]]] = [None] * len(specs)
         records: List[Optional[ShardRecord]] = [None] * len(specs)
 
-        pending: List[Tuple[int, str, Dict[str, Any]]] = []
+        pending: List[Tuple[int, str, str, Dict[str, Any]]] = []
         for index, spec in enumerate(specs):
+            # One key computation per spec: the same value is threaded
+            # through scheduling, cache writes, and provenance, so the
+            # three can never disagree.
             key = spec.key() if self.cache.enabled else ""
             cached = self.cache.load(key) if key else None
             if cached is not None:
@@ -80,7 +92,7 @@ class ShardExecutor:
                     index=index, label=spec.label, key=key, cached=True,
                     elapsed_ms=0.0, rows=len(cached))
             else:
-                pending.append((index, spec.worker, spec.payload))
+                pending.append((index, key, spec.worker, spec.payload))
 
         if pending:
             if self.workers > 1 and len(pending) > 1:
@@ -94,9 +106,8 @@ class ShardExecutor:
                     results = pool.map(_execute, pending)
             else:
                 results = [_execute(item) for item in pending]
-            for index, rows, elapsed_ms in results:
+            for index, key, rows, elapsed_ms in results:
                 spec = specs[index]
-                key = spec.key() if self.cache.enabled else ""
                 if key:
                     self.cache.store(key, spec.worker, rows)
                 outputs[index] = rows

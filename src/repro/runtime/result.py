@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -33,6 +33,112 @@ class ShardRecord:
             "cached": self.cached,
             "elapsed_ms": round(self.elapsed_ms, 3),
             "rows": self.rows,
+        }
+
+
+@dataclass
+class ShardAttempt:
+    """One try at computing a shard under supervision."""
+
+    #: 1-based attempt number within this run (resumed runs restart
+    #: their own numbering; the chaos markers carry cross-run state).
+    attempt: int
+    #: ``ok`` | ``error`` | ``crash`` | ``hang``.
+    outcome: str
+    #: The :class:`repro.faults.FaultClass` value for failed attempts
+    #: ("" when the attempt succeeded).
+    fault_class: str = ""
+    #: ``TypeName: message`` for raised exceptions, or a supervisor
+    #: note (exit code, timeout) for crashes and hangs.
+    error: str = ""
+    elapsed_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "fault_class": self.fault_class,
+            "error": self.error,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+@dataclass
+class ShardState:
+    """The supervised lifecycle of one shard: every attempt, the final
+    outcome, and — for quarantined shards — why."""
+
+    index: int
+    label: str
+    key: str
+    #: ``cached`` | ``computed`` | ``quarantined``.
+    outcome: str
+    rows: int = 0
+    attempts: List[ShardAttempt] = field(default_factory=list)
+    quarantine_reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "key": self.key,
+            "outcome": self.outcome,
+            "rows": self.rows,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "quarantine_reason": self.quarantine_reason,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Provenance of a supervised run: what every shard went through.
+
+    Partial results always carry this, so a degraded-mode completion
+    (``allow_partial=True``) is distinguishable from a clean one, and
+    a follow-up invocation knows exactly which shards to recompute —
+    the quarantined/missing ones; everything else is in the cache.
+    """
+
+    experiment_id: str = ""
+    workers: int = 1
+    shards: List[ShardState] = field(default_factory=list)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for shard in self.shards if shard.outcome == "cached")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for shard in self.shards if shard.outcome == "computed")
+
+    @property
+    def retried(self) -> int:
+        """Shards that needed more than one attempt."""
+        return sum(1 for shard in self.shards if len(shard.attempts) > 1)
+
+    def quarantined(self) -> List[ShardState]:
+        """The shards that did not produce rows this run."""
+        return [shard for shard in self.shards
+                if shard.outcome == "quarantined"]
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard produced rows (cached or computed)."""
+        return not self.quarantined()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "experiment_id": self.experiment_id,
+            "workers": self.workers,
+            "cached": self.cached,
+            "computed": self.computed,
+            "retried": self.retried,
+            "quarantined": [shard.index for shard in self.quarantined()],
+            "complete": self.complete,
+            "shards": [shard.to_dict() for shard in self.shards],
         }
 
 
@@ -103,6 +209,8 @@ class ExperimentResult:
     provenance: Provenance
     timings: Dict[str, float] = field(default_factory=dict)
     artifacts: Dict[str, Any] = field(default_factory=dict, repr=False)
+    #: Populated by supervised runs only (``supervise=True``).
+    manifest: Optional[RunManifest] = None
 
     @property
     def cache_status(self) -> str:
@@ -119,7 +227,7 @@ class ExperimentResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe document (artifacts excluded by design)."""
-        return {
+        document = {
             "experiment_id": self.experiment_id,
             "cache": self.cache_status,
             "rows": _json_safe(self.rows),
@@ -128,3 +236,6 @@ class ExperimentResult:
             "provenance": self.provenance.to_dict(),
             "timings": {k: round(v, 3) for k, v in self.timings.items()},
         }
+        if self.manifest is not None:
+            document["manifest"] = self.manifest.to_dict()
+        return document

@@ -1,0 +1,404 @@
+"""Crash-tolerant supervised shard execution.
+
+:class:`repro.runtime.executor.ShardExecutor` assumes a well-behaved
+substrate: one raised exception inside ``pool.map`` aborts the whole
+run and discards every completed shard, a hung worker hangs the run
+forever, and results only reach the artifact cache after the entire
+pool returns.  Fine for tests; fatal for a four-month campaign.
+
+:class:`SupervisedExecutor` is the drop-in replacement that survives:
+
+* **streaming persistence** — shards are dispatched to a pool of
+  supervised worker processes and each result is written to the
+  :class:`~repro.runtime.cache.ArtifactCache` the moment it arrives,
+  so a run interrupted by anything (SIGKILL included) resumes for
+  free from the cache;
+* **per-shard wall-clock timeouts** — a hung worker is killed,
+  restarted, and the shard retried;
+* **bounded retries with deterministic classification** — a failed
+  attempt is classified via :mod:`repro.faults.classify`:
+  ``transient`` faults (and worker crashes/hangs) retry with capped
+  exponential backoff, ``permanent``/``poison`` faults quarantine
+  immediately;
+* **worker restarts** — a crashed worker process (``os._exit``,
+  OOM-kill, segfault) is detected through its pipe's EOF and replaced;
+  the run keeps going;
+* **degraded-mode completion** — with ``allow_partial=True`` the run
+  finishes with whatever rows survived, and the
+  :class:`~repro.runtime.result.RunManifest` records every attempt
+  and quarantine so partial results always carry provenance.  Without
+  it, :class:`ShardQuarantinedError` is raised *after* all healthy
+  shards completed and persisted — the next invocation recomputes
+  only the quarantined/missing ones.
+
+Determinism contract: supervision changes scheduling, never content.
+Workers stay pure functions of their payloads, results are reordered
+back into spec order, and a run that needed three attempts for one
+shard is byte-identical to an undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..faults.classify import FaultClass, classify_exception
+from .cache import ArtifactCache
+from .executor import ShardSpec, resolve_worker
+from .result import RunManifest, ShardAttempt, ShardRecord, ShardState
+
+#: How long :func:`multiprocessing.connection.wait` blocks per
+#: supervision tick; bounds hang-detection latency.
+_TICK_S = 0.05
+
+
+class ShardQuarantinedError(RuntimeError):
+    """Raised (without ``allow_partial``) when shards were quarantined.
+
+    Every healthy shard has already completed and persisted to the
+    cache by the time this raises, so a follow-up invocation only
+    recomputes the shards named here.
+    """
+
+    def __init__(self, states: List[ShardState]) -> None:
+        self.states = states
+        details = "; ".join(
+            f"{state.label or state.index}: {state.quarantine_reason}"
+            for state in states)
+        super().__init__(
+            f"{len(states)} shard(s) quarantined ({details}); completed "
+            f"shards are cached — rerun to recompute only these, or pass "
+            f"allow_partial=True for a degraded result")
+
+
+def _worker_loop(conn) -> None:
+    """Body of one supervised worker process.
+
+    Receives ``(index, worker, payload)`` tasks over *conn*, answers
+    with ``("ok", index, rows, ms)`` or ``("error", index, type_name,
+    message, ms)``.  Exits on the ``None`` sentinel — or on EOF, which
+    is what a dead parent looks like, so orphaned workers die instead
+    of spinning.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, worker, payload = task
+        started = time.perf_counter()
+        try:
+            rows = resolve_worker(worker)(payload)
+        except BaseException as exc:  # classified by name in the parent
+            conn.send(("error", index, type(exc).__name__, str(exc),
+                       (time.perf_counter() - started) * 1000.0))
+        else:
+            conn.send(("ok", index, rows,
+                       (time.perf_counter() - started) * 1000.0))
+
+
+class _Task:
+    """One shard's supervision state inside a single run."""
+
+    __slots__ = ("index", "spec", "key", "attempts", "not_before")
+
+    def __init__(self, index: int, spec: ShardSpec, key: str) -> None:
+        self.index = index
+        self.spec = spec
+        self.key = key
+        self.attempts: List[ShardAttempt] = []
+        #: Earliest wall-clock (perf_counter) instant the next attempt
+        #: may start — how backoff is enforced without sleeping.
+        self.not_before = 0.0
+
+
+class _Worker:
+    """One supervised worker process plus its command pipe."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.process = context.Process(target=_worker_loop,
+                                       args=(child_conn,), daemon=True)
+        self.process.start()
+        # The parent must not hold the child's pipe end open, or EOF
+        # (our crash detector) would never be delivered.
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.started = 0.0
+
+    def assign(self, task: _Task) -> None:
+        self.task = task
+        self.started = time.perf_counter()
+        self.conn.send((task.index, task.spec.worker, task.spec.payload))
+
+    def shutdown(self) -> None:
+        """Best-effort graceful stop, then force-kill."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+    def kill(self) -> None:
+        self.process.kill()
+        self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class SupervisedExecutor:
+    """Run shard specs under supervision: stream results into the
+    cache, retry transient failures, restart dead workers, quarantine
+    the rest.  Interface-compatible with
+    :class:`~repro.runtime.executor.ShardExecutor.run`."""
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 shard_timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 allow_partial: bool = False) -> None:
+        self.workers = max(1, workers)
+        self.cache = cache if cache is not None else ArtifactCache(enabled=False)
+        self.shard_timeout = shard_timeout
+        self.max_retries = max(0, max_retries)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.allow_partial = allow_partial
+        #: Accumulated across run() calls — one entry per spec, in
+        #: global spec order; the api layer wraps them in a RunManifest.
+        self.manifest_shards: List[ShardState] = []
+
+    # -- retry policy --------------------------------------------------
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Deterministic capped exponential backoff before retry
+        *attempt* (the schedule is a pure function of the attempt
+        number; only the wall clock feels it)."""
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** max(0, attempt - 1)))
+
+    def _dispose(self, task: _Task, attempt: ShardAttempt,
+                 fault_class: FaultClass) -> Tuple[bool, str]:
+        """Decide a failed attempt's fate: ``(retry?, reason)``.
+
+        Transient faults retry while budget remains; crashes and hangs
+        are transient-with-suspicion — retried, but quarantined as
+        *poison* once the budget runs out, because a shard that keeps
+        killing workers endangers the pool.  Permanent/poison faults
+        quarantine immediately.
+        """
+        task.attempts.append(attempt)
+        if fault_class is FaultClass.TRANSIENT:
+            if len(task.attempts) <= self.max_retries:
+                return True, ""
+            if attempt.outcome in ("crash", "hang"):
+                return False, (f"poison: {attempt.outcome} x"
+                               f"{len(task.attempts)} ({attempt.error})")
+            return False, (f"transient retries exhausted after "
+                           f"{len(task.attempts)} attempts "
+                           f"({attempt.error})")
+        return False, f"{fault_class.value}: {attempt.error}"
+
+    # -- the supervision loop ------------------------------------------
+
+    def run(self, specs: List[ShardSpec]
+            ) -> Tuple[List[List[Dict[str, Any]]], List[ShardRecord]]:
+        """Execute *specs*; returns (per-spec rows, provenance records).
+
+        Output order always matches spec order.  Quarantined shards
+        yield empty row lists (and a manifest entry saying why); with
+        ``allow_partial=False`` a :class:`ShardQuarantinedError` is
+        raised once everything else has completed and persisted.
+        """
+        offset = len(self.manifest_shards)
+        outputs: List[Optional[List[Dict[str, Any]]]] = [None] * len(specs)
+        records: List[Optional[ShardRecord]] = [None] * len(specs)
+        states: List[Optional[ShardState]] = [None] * len(specs)
+
+        pending: List[_Task] = []
+        for index, spec in enumerate(specs):
+            key = spec.key() if self.cache.enabled else ""
+            cached = self.cache.load(key) if key else None
+            if cached is not None:
+                outputs[index] = cached
+                records[index] = ShardRecord(
+                    index=index, label=spec.label, key=key, cached=True,
+                    elapsed_ms=0.0, rows=len(cached))
+                states[index] = ShardState(
+                    index=offset + index, label=spec.label, key=key,
+                    outcome="cached", rows=len(cached))
+            else:
+                pending.append(_Task(index, spec, key))
+
+        if pending:
+            self._supervise(pending, outputs, records, states, offset)
+
+        self.manifest_shards.extend(
+            state for state in states if state is not None)
+        quarantined = [state for state in states
+                       if state is not None and state.outcome == "quarantined"]
+        if quarantined and not self.allow_partial:
+            raise ShardQuarantinedError(quarantined)
+        return [rows if rows is not None else [] for rows in outputs], \
+               [record for record in records if record is not None]
+
+    def _supervise(self, pending: List[_Task],
+                   outputs: List[Optional[List[Dict[str, Any]]]],
+                   records: List[Optional[ShardRecord]],
+                   states: List[Optional[ShardState]],
+                   offset: int) -> None:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+
+        ready: Deque[_Task] = deque(pending)
+        #: Tasks sitting out a backoff window, ordered by eligibility.
+        waiting: List[_Task] = []
+        live = len(pending)  # tasks not yet succeeded or quarantined
+        workers: List[_Worker] = [
+            _Worker(context)
+            for _ in range(min(self.workers, len(pending)))]
+
+        def settle_success(task: _Task, rows: List[Dict[str, Any]],
+                           elapsed_ms: float) -> None:
+            task.attempts.append(ShardAttempt(
+                attempt=len(task.attempts) + 1, outcome="ok",
+                elapsed_ms=elapsed_ms))
+            # Persist *now* — this is the crash-tolerance linchpin: an
+            # interruption one instant later already finds this shard
+            # in the cache.
+            if task.key:
+                self.cache.store(task.key, task.spec.worker, rows)
+            outputs[task.index] = rows
+            records[task.index] = ShardRecord(
+                index=task.index, label=task.spec.label, key=task.key,
+                cached=False, elapsed_ms=elapsed_ms, rows=len(rows))
+            states[task.index] = ShardState(
+                index=offset + task.index, label=task.spec.label,
+                key=task.key, outcome="computed", rows=len(rows),
+                attempts=task.attempts)
+
+        def settle_failure(task: _Task, outcome: str, type_name: str,
+                           message: str, elapsed_ms: float) -> None:
+            nonlocal live
+            if outcome == "error":
+                fault_class = classify_exception(type_name)
+                error = f"{type_name}: {message}" if message else type_name
+            else:  # crash / hang are substrate faults: retry-worthy
+                fault_class = FaultClass.TRANSIENT
+                error = message
+            attempt = ShardAttempt(
+                attempt=len(task.attempts) + 1, outcome=outcome,
+                fault_class=fault_class.value, error=error,
+                elapsed_ms=elapsed_ms)
+            retry, reason = self._dispose(task, attempt, fault_class)
+            if retry:
+                task.not_before = (time.perf_counter()
+                                   + self._backoff_s(len(task.attempts)))
+                waiting.append(task)
+            else:
+                records[task.index] = ShardRecord(
+                    index=task.index, label=task.spec.label, key=task.key,
+                    cached=False,
+                    elapsed_ms=sum(a.elapsed_ms for a in task.attempts),
+                    rows=0)
+                states[task.index] = ShardState(
+                    index=offset + task.index, label=task.spec.label,
+                    key=task.key, outcome="quarantined",
+                    attempts=task.attempts, quarantine_reason=reason)
+                live -= 1
+
+        try:
+            while live > 0:
+                now = time.perf_counter()
+                # Backoff windows that have elapsed re-enter the queue.
+                still_waiting = [t for t in waiting if t.not_before > now]
+                for task in waiting:
+                    if task.not_before <= now:
+                        ready.append(task)
+                waiting[:] = still_waiting
+
+                for position, worker in enumerate(workers):
+                    if worker.task is None and ready:
+                        task = ready.popleft()
+                        try:
+                            worker.assign(task)
+                        except (OSError, ValueError):
+                            # The idle worker died between shards:
+                            # replace it and keep the task queued.
+                            worker.kill()
+                            workers[position] = _Worker(context)
+                            ready.appendleft(task)
+
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if ready:  # assignment failed (dead worker); retry
+                        continue
+                    if not waiting:  # nothing running, queued, or due
+                        break
+                    # Idle tick: block briefly while backoffs drain
+                    # (idle pipes are never readable, so this is a
+                    # bounded wait, not a spin).
+                    multiprocessing.connection.wait(
+                        [w.conn for w in workers], timeout=_TICK_S)
+                    continue
+
+                for conn in multiprocessing.connection.wait(
+                        [w.conn for w in busy], timeout=_TICK_S):
+                    worker = next(w for w in busy if w.conn is conn)
+                    task = worker.task
+                    if task is None:
+                        continue
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker process died mid-shard: restart it and
+                        # treat the attempt as a crash.
+                        elapsed = (time.perf_counter() - worker.started) * 1000.0
+                        exitcode = worker.process.exitcode
+                        worker.kill()
+                        workers[workers.index(worker)] = _Worker(context)
+                        settle_failure(task, "crash", "",
+                                       f"worker exited (code {exitcode})",
+                                       elapsed)
+                        continue
+                    worker.task = None
+                    if message[0] == "ok":
+                        _tag, _index, rows, elapsed_ms = message
+                        settle_success(task, rows, elapsed_ms)
+                        live -= 1
+                    else:
+                        _tag, _index, type_name, text, elapsed_ms = message
+                        settle_failure(task, "error", type_name, text,
+                                       elapsed_ms)
+
+                if self.shard_timeout is not None:
+                    now = time.perf_counter()
+                    for position, worker in enumerate(workers):
+                        task = worker.task
+                        if task is None:
+                            continue
+                        if now - worker.started <= self.shard_timeout:
+                            continue
+                        # Hung shard: kill the worker, restart, retry.
+                        elapsed = (now - worker.started) * 1000.0
+                        worker.kill()
+                        workers[position] = _Worker(context)
+                        settle_failure(
+                            task, "hang", "",
+                            f"exceeded shard timeout "
+                            f"({self.shard_timeout:g}s)", elapsed)
+        finally:
+            for worker in workers:
+                worker.shutdown()

@@ -72,6 +72,14 @@ class TestBannedPatterns:
         src = "import secrets\ntoken = secrets.token_bytes(8)\n"
         assert codes(src) == ["secrets.token_bytes()"]
 
+    def test_time_sleep(self):
+        src = "import time\ndef f():\n    time.sleep(1)\n"
+        assert codes(src) == ["time.sleep()"]
+
+    def test_os_exit(self):
+        src = "import os\ndef f():\n    os._exit(1)\n"
+        assert codes(src) == ["os._exit()"]
+
 
 class TestAllowedPatterns:
     def test_seeded_random_is_fine(self):
@@ -96,6 +104,14 @@ class TestAllowedPatterns:
         # same code outside the allowlisted file still flags
         assert codes(src, path="src/repro/crypto/other.py") != []
 
+    def test_chaos_harness_may_crash_and_sleep(self):
+        """The fault-injection primitives are the chaos module's tested
+        behaviour, allowlisted there and nowhere else."""
+        src = "import os\nimport time\n" \
+              "def f():\n    time.sleep(1)\n    os._exit(23)\n"
+        assert codes(src, path="src/repro/runtime/chaos.py") == []
+        assert len(codes(src, path="src/repro/runtime/supervisor.py")) == 2
+
 
 class TestTreeScan:
     def test_src_repro_is_clean(self):
@@ -115,6 +131,16 @@ class TestTreeScan:
                    if path.match("*/faults/*.py")}
         assert {"injectors.py", "scenarios.py", "policy.py",
                 "experiments.py"} <= covered
+
+    def test_scan_covers_the_supervised_runtime(self):
+        """The supervisor must schedule by deadlines, never by
+        sleeping; the chaos harness rides on its allowlist entries.
+        Both files must be in the walked set for that to mean
+        anything."""
+        files = list(tool.iter_python_files(REPO_ROOT / "src" / "repro"))
+        covered = {path.name for path in files
+                   if path.match("*/runtime/*.py")}
+        assert {"supervisor.py", "chaos.py", "cache.py"} <= covered
 
     def test_main_exit_codes(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

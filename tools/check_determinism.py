@@ -10,11 +10,17 @@ bans the ambient-state escape hatches that silently break that:
 * unseeded ``random.Random()``
 * the module-level ``random.*`` functions (global, unseeded RNG)
 * ``random.SystemRandom`` / ``os.urandom`` / ``secrets.*``
+* ``time.sleep()`` — ambient wall-clock pacing; simulated time and the
+  supervisor's deadline-based scheduling replace it
+* ``os._exit()`` — skips interpreter cleanup and can truncate output
+  files mid-write; only the chaos harness may crash workers this way
 
 Documented exceptions go in :data:`ALLOWLIST` as
-``(path suffix, offending code)`` pairs — currently only the
-convenience default of :func:`repro.crypto.rsa.generate_keypair`,
-which every reproducible caller overrides with a seed.
+``(path suffix, offending code)`` pairs: the convenience default of
+:func:`repro.crypto.rsa.generate_keypair` (every reproducible caller
+overrides it with a seed) and the two fault-injection primitives of
+:mod:`repro.runtime.chaos` — the crash/hang injections are the tested
+behaviour there, not an escape hatch.
 
 Usage: ``python tools/check_determinism.py [root]`` (default:
 ``src/repro`` relative to the repository root).  Exit code 0 when
@@ -33,6 +39,11 @@ ALLOWLIST: Tuple[Tuple[str, str], ...] = (
     # generate_keypair()'s fresh-key default; every corpus/test caller
     # passes an explicit seed, and the docstring flags the default.
     ("crypto/rsa.py", "random.Random()"),
+    # The self-chaos harness *injects* crashes and hangs on purpose;
+    # these two calls are its tested behaviour, gated on attempt
+    # markers and confined to worker processes under supervision.
+    ("runtime/chaos.py", "os._exit()"),
+    ("runtime/chaos.py", "time.sleep()"),
 )
 
 #: Banned (object, attribute) call pairs and why.
@@ -45,6 +56,10 @@ _BANNED_ATTR_CALLS = {
     ("time", "monotonic"): "wall-clock read; take a reference time argument",
     ("random", "SystemRandom"): "OS entropy; use a seeded random.Random",
     ("os", "urandom"): "OS entropy; use a seeded random.Random",
+    ("time", "sleep"): "wall-clock pacing; use simulated time or "
+                       "deadline-based supervision",
+    ("os", "_exit"): "skips interpreter cleanup; crash injection belongs "
+                     "in repro.runtime.chaos",
 }
 
 #: Module-level random functions that use the global (unseeded) RNG.
