@@ -1,0 +1,49 @@
+"""Robustness extension — parser survival under structure-aware mutation.
+
+Extends Figure 5's "malformed response" class: a seeded hostile corpus
+of structure-aware DER mutants (certificate, OCSP response, CRL) is
+pushed through the full parse -> lint -> verify pipeline.  Every
+mutant must land in the classification taxonomy — a mutant that
+escapes with anything other than an ``ASN1Error`` is a parser bug —
+and every survivor must round-trip decode -> re-encode -> decode to a
+fixed point.
+"""
+
+from conftest import banner
+
+from repro.runtime import default_config, run_experiment
+
+
+def test_hostile_corpus(benchmark):
+    config = default_config("hostile-corpus")
+
+    result = benchmark.pedantic(
+        run_experiment, args=("hostile-corpus",),
+        kwargs={"config": config}, rounds=1, iterations=1)
+
+    summary = result.summary
+    banner("Hostile corpus: mutation-survival matrix")
+    print(f"  mutants: {summary['mutants']}  "
+          f"survival rate: {summary['survival_rate']:.4f}")
+    outcomes = summary["outcomes"]
+    for outcome, count in outcomes.items():
+        print(f"  {outcome:22s} {count:6d}")
+    for family, counts in summary["matrix"].items():
+        print(f"  {family:16s} "
+              + "  ".join(f"{outcome[:5]}={n}"
+                          for outcome, n in counts.items() if n))
+
+    # The whole point: nothing escapes the taxonomy.
+    assert summary["unexpected_exceptions"] == 0, summary["unexpected_detail"]
+    # Survivors must re-encode byte-identically (decode/encode fixed point).
+    assert summary["fixed_point_failures"] == 0
+    # The corpus actually exercises the pipeline end to end.
+    assert summary["mutants"] == (
+        config.mutants_per_kind * len(config.kinds))
+    assert outcomes["parse_error"] > 0
+    assert outcomes["lint_error"] > 0
+    # Structural bombs must be rejected at parse time, never survive.
+    for family in ("depth-bomb", "length-bomb"):
+        counts = summary["matrix"][family]
+        assert counts["survived"] == 0, (family, counts)
+        assert counts["unexpected_exception"] == 0, (family, counts)

@@ -11,9 +11,11 @@ from .errors import (
     ASN1Error,
     DecodeError,
     EncodeError,
+    LimitExceededError,
     StrictDERError,
     TagMismatchError,
     TruncatedError,
+    UnsupportedAlgorithmError,
 )
 from .oid import ObjectIdentifier
 from .decoder import Reader, decode_integer_content
@@ -23,9 +25,11 @@ __all__ = [
     "ASN1Error",
     "DecodeError",
     "EncodeError",
+    "LimitExceededError",
     "StrictDERError",
     "TagMismatchError",
     "TruncatedError",
+    "UnsupportedAlgorithmError",
     "ObjectIdentifier",
     "Reader",
     "decode_integer_content",

@@ -21,22 +21,56 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from . import tags
-from .errors import DecodeError, StrictDERError, TagMismatchError, TruncatedError
+from .errors import (
+    DecodeError,
+    LimitExceededError,
+    StrictDERError,
+    TagMismatchError,
+    TruncatedError,
+)
 from .oid import ObjectIdentifier
 from .timecodec import decode_time
 
+#: Maximum nesting depth of constructed elements.  Real X.509/OCSP/CRL
+#: structures stay below ~10 levels; hostile inputs nest thousands deep
+#: to exhaust the Python stack, so the cap converts a RecursionError
+#: into a typed DecodeError.
+MAX_DEPTH = 64
+
+#: Maximum number of length octets in a long-form length.  Eight octets
+#: already announce lengths up to 2**64-1 — far beyond any buffer —
+#: so longer encodings are only ever seen in hostile input.
+MAX_LENGTH_OCTETS = 8
+
+#: Maximum number of TLV headers decoded from one buffer (shared across
+#: all sub-readers of a document).  Bounds total work and allocation to
+#: a fixed multiple of the input size.
+MAX_ELEMENTS = 100_000
+
 
 class Reader:
-    """A strict DER cursor over immutable bytes."""
+    """A strict DER cursor over immutable bytes.
 
-    __slots__ = ("_data", "_pos", "_end", "lenient")
+    The cursor is *bounded*: nesting depth, length-octet count, and the
+    total number of decoded elements are all capped (see
+    :data:`MAX_DEPTH`, :data:`MAX_LENGTH_OCTETS`, :data:`MAX_ELEMENTS`),
+    so pathological inputs raise :class:`LimitExceededError` — a
+    :class:`DecodeError` — instead of ``RecursionError``/``MemoryError``.
+    """
+
+    __slots__ = ("_data", "_pos", "_end", "lenient", "_depth", "_elements")
 
     def __init__(self, data: bytes, start: int = 0, end: Optional[int] = None,
-                 lenient: bool = False) -> None:
+                 lenient: bool = False, _depth: int = 0,
+                 _elements: Optional[List[int]] = None) -> None:
         self._data = bytes(data)
         self._pos = start
         self._end = len(self._data) if end is None else end
         self.lenient = lenient
+        self._depth = _depth
+        # Element budget, shared by reference across every sub-reader of
+        # the same document so the cap applies to the buffer as a whole.
+        self._elements = [0] if _elements is None else _elements
 
     # -- low level ---------------------------------------------------------
 
@@ -78,11 +112,13 @@ class Reader:
         content, i.e. the element's complete encoding.
         """
         mark = self._pos
+        budget = self._elements[0]
         try:
             self._read_header_and_content()
             return mark, self._pos - mark
         finally:
             self._pos = mark
+            self._elements[0] = budget
 
     def read_raw_element(self) -> bytes:
         """Consume one TLV and return its *complete* encoding (tag+len+content).
@@ -97,13 +133,20 @@ class Reader:
 
     def _read_header_and_content(self) -> Tuple[int, bytes, int]:
         if self.at_end():
-            raise TruncatedError("no bytes left to read a tag")
+            raise TruncatedError("no bytes left to read a tag",
+                                 offset=self._pos)
+        self._elements[0] += 1
+        if self._elements[0] > MAX_ELEMENTS:
+            raise LimitExceededError(
+                f"more than {MAX_ELEMENTS} elements in one document",
+                offset=self._pos)
         tag = self._data[self._pos]
         pos = self._pos + 1
         if tag & tags.TAG_NUMBER_MASK == 0x1F:
-            raise DecodeError("multi-octet tag numbers are not supported")
+            raise DecodeError("multi-octet tag numbers are not supported",
+                              offset=self._pos)
         if pos >= self._end:
-            raise TruncatedError("input ends after tag octet")
+            raise TruncatedError("input ends after tag octet", offset=pos)
         first_len = self._data[pos]
         pos += 1
         if first_len < 0x80:
@@ -112,8 +155,13 @@ class Reader:
             raise StrictDERError("indefinite length is forbidden in DER")
         else:
             n_octets = first_len & 0x7F
+            if n_octets > MAX_LENGTH_OCTETS:
+                raise LimitExceededError(
+                    f"length uses {n_octets} octets "
+                    f"(cap {MAX_LENGTH_OCTETS})", offset=pos - 1)
             if pos + n_octets > self._end:
-                raise TruncatedError("input ends inside length octets")
+                raise TruncatedError("input ends inside length octets",
+                                     offset=pos - 1)
             raw = self._data[pos:pos + n_octets]
             pos += n_octets
             if not self.lenient:
@@ -126,7 +174,8 @@ class Reader:
                 length = int.from_bytes(raw, "big")
         if pos + length > self._end:
             raise TruncatedError(
-                f"content length {length} exceeds remaining {self._end - pos} bytes"
+                f"content length {length} exceeds remaining {self._end - pos} bytes",
+                offset=self._pos,
             )
         content = self._data[pos:pos + length]
         self._pos = pos + length
@@ -135,14 +184,16 @@ class Reader:
     def expect_end(self) -> None:
         """Raise unless the window was fully consumed (DER forbids slack)."""
         if not self.at_end():
-            raise DecodeError(f"{self.remaining} trailing bytes after structure")
+            raise DecodeError(f"{self.remaining} trailing bytes after structure",
+                              offset=self._pos)
 
     # -- typed readers -------------------------------------------------------
 
     def _read_expected(self, expected_tag: int) -> bytes:
+        mark = self._pos
         tag, content = self.read_tlv()
         if tag != expected_tag:
-            raise TagMismatchError(expected_tag, tag)
+            raise TagMismatchError(expected_tag, tag, offset=mark)
         return content
 
     def read_boolean(self) -> bool:
@@ -237,15 +288,20 @@ class Reader:
         return self._sub_reader(tags.SET)
 
     def _sub_reader(self, expected_tag: int) -> "Reader":
+        if self._depth + 1 > MAX_DEPTH:
+            raise LimitExceededError(
+                f"nesting deeper than {MAX_DEPTH} levels", offset=self._pos)
         start_of_content, end_of_content = self._content_span(expected_tag)
-        return Reader(self._data, start_of_content, end_of_content, lenient=self.lenient)
+        return Reader(self._data, start_of_content, end_of_content,
+                      lenient=self.lenient, _depth=self._depth + 1,
+                      _elements=self._elements)
 
     def _content_span(self, expected_tag: int) -> Tuple[int, int]:
         mark = self._pos
         tag, _content, _ = self._read_header_and_content()
         if tag != expected_tag:
             self._pos = mark
-            raise TagMismatchError(expected_tag, tag)
+            raise TagMismatchError(expected_tag, tag, offset=mark)
         end = self._pos
         # Recompute where content started: end minus content length.
         return end - len(_content), end

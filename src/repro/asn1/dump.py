@@ -40,6 +40,10 @@ _UNIVERSAL_NAMES = {
 #: (extension values, responseBytes) are descended into when they parse.
 _DESCEND_INTO_STRINGS = True
 
+#: The walker recurses one Python frame per nesting level, so hostile
+#: depth bombs must be cut off well before the interpreter's stack is.
+_MAX_DUMP_DEPTH = 64
+
 
 def _header_length(data: bytes, offset: int) -> "tuple[int, int]":
     """Return (header_len, content_len) for the TLV at *offset*."""
@@ -84,6 +88,10 @@ def dump_der(data: bytes, max_lines: int = 500) -> str:
 
 def _walk(data: bytes, start: int, end: int, depth: int,
           lines: List[str], max_lines: int) -> None:
+    if depth > _MAX_DUMP_DEPTH:
+        lines.append(f"{start:5d}:d={depth}  <nesting deeper than "
+                     f"{_MAX_DUMP_DEPTH}; not descending>")
+        return
     offset = start
     while offset < end and len(lines) < max_lines:
         if offset + 2 > end:

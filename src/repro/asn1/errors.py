@@ -9,13 +9,26 @@ is the first error class of Figure 5 in the paper.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ASN1Error(ValueError):
     """Base class for every ASN.1 encoding or decoding failure."""
 
 
 class DecodeError(ASN1Error):
-    """The input bytes are not a well-formed DER structure."""
+    """The input bytes are not a well-formed DER structure.
+
+    ``offset`` — when known — is the absolute byte position in the
+    outermost buffer where decoding failed, matching the spans used by
+    the lint engine's provenance output.
+    """
+
+    def __init__(self, message: str, *, offset: Optional[int] = None) -> None:
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
 
 
 class TruncatedError(DecodeError):
@@ -30,6 +43,25 @@ class StrictDERError(DecodeError):
     """
 
 
+class LimitExceededError(DecodeError):
+    """A structural resource cap was hit while decoding.
+
+    Raised instead of letting pathological inputs exhaust the Python
+    stack (deep nesting → ``RecursionError``) or memory (absurd element
+    counts / length octets → ``MemoryError``).  Hostile-corpus runs rely
+    on this staying inside the :class:`ASN1Error` hierarchy.
+    """
+
+
+class UnsupportedAlgorithmError(DecodeError):
+    """A parsed structure names an algorithm the codec does not support.
+
+    Still a *parse*-level failure (the document cannot be decoded into
+    the reproduction's object model), so scanners classify it as
+    malformed rather than as a semantic validation failure.
+    """
+
+
 class EncodeError(ASN1Error):
     """A Python value cannot be represented in the requested ASN.1 type."""
 
@@ -37,7 +69,9 @@ class EncodeError(ASN1Error):
 class TagMismatchError(DecodeError):
     """A decoded element carried a different tag than the caller expected."""
 
-    def __init__(self, expected: int, actual: int) -> None:
-        super().__init__(f"expected tag 0x{expected:02x}, got 0x{actual:02x}")
+    def __init__(self, expected: int, actual: int,
+                 *, offset: Optional[int] = None) -> None:
+        super().__init__(f"expected tag 0x{expected:02x}, got 0x{actual:02x}",
+                         offset=offset)
         self.expected = expected
         self.actual = actual

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from ..canon import stable_seed
 from ..crypto import KeyPool, RSAPrivateKey
 from ..simnet.clock import DAY, WEEK
 from ..x509 import (
@@ -49,7 +50,10 @@ class CertificateAuthority:
                     revocation_policy: Optional[RevocationPolicy] = None,
                     serial_seed: int = 1) -> "CertificateAuthority":
         """Create a self-signed root CA."""
-        pool = key_pool or KeyPool(size=1, seed=hash(name) & 0xFFFF)
+        # "is not None", not "or": a fresh KeyPool has len() == 0 and
+        # would be silently discarded by truthiness.
+        pool = (key_pool if key_pool is not None
+                else KeyPool(size=1, seed=stable_seed(name)))
         key = pool.fresh()
         certificate = self_signed(
             Name.build(name, organization=name),
@@ -69,7 +73,8 @@ class CertificateAuthority:
                             revocation_policy: Optional[RevocationPolicy] = None,
                             ) -> "CertificateAuthority":
         """Issue an intermediate CA chained under this one."""
-        pool = key_pool or KeyPool(size=1, seed=hash(name) & 0xFFFF)
+        pool = (key_pool if key_pool is not None
+                else KeyPool(size=1, seed=stable_seed(name)))
         key = pool.fresh()
         start = self.certificate.validity.not_before if not_before is None else not_before
         certificate = (

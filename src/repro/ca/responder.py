@@ -15,6 +15,7 @@ import random
 from typing import List, Optional
 
 from ..asn1.errors import ASN1Error
+from ..canon import stable_seed
 from ..crypto import RSAPrivateKey, generate_keypair
 from ..ocsp import (
     CertID,
@@ -64,14 +65,14 @@ class OCSPResponder:
         self._signer_key: RSAPrivateKey = authority.key
         self._signer_cert: Optional[Certificate] = None
         if self.profile.delegated_signing:
-            seed = hash((authority.name, url)) & 0x7FFFFFFF
+            seed = stable_seed(authority.name, url)
             self._signer_key = generate_keypair(512, rng=seed)
             self._signer_cert = authority.issue_ocsp_signer(
                 self._signer_key,
                 not_before=authority.certificate.validity.not_before,
             )
         if self.profile.wrong_key:
-            seed = hash(("wrong", authority.name, url)) & 0x7FFFFFFF
+            seed = stable_seed("wrong", authority.name, url)
             self._signer_key = generate_keypair(512, rng=seed)
 
     # -- the Service protocol --------------------------------------------------

@@ -82,6 +82,18 @@ def derived_rng(*parts: object) -> random.Random:
     return random.Random("|".join(str(part) for part in parts))
 
 
+def stable_seed(*parts: object) -> int:
+    """A process-independent integer seed keyed by the given parts.
+
+    The replacement for ``hash(name) & mask`` idioms: builtin
+    ``hash()`` on strings varies with hash randomization, which
+    silently forks RNG streams (and thus generated key material)
+    across processes.
+    """
+    text = "|".join(str(part) for part in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
+
+
 def split_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
     """Partition ``range(total)`` into *parts* contiguous [lo, hi) ranges.
 

@@ -13,6 +13,7 @@ Commands:
 * ``scenarios``   — the fault-scenario and client-policy catalogues
 * ``issue``       — mint a demo Must-Staple certificate chain as PEM
 * ``lint``        — static conformance analysis of certificates/OCSP/CRLs
+* ``hostile``     — seeded structure-aware DER mutation (hostile corpus)
 * ``cache``       — artifact-cache maintenance (stats / verify / gc)
 
 Experiment-running commands share the runtime flags ``--workers``,
@@ -420,6 +421,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_hostile(args: argparse.Namespace) -> int:
+    """Generate (and classify) seeded structure-aware DER mutants."""
+    import json
+    import os
+
+    from .core import render_table
+    from .hostile import KINDS, OUTCOMES, classify_mutant, mutate, seed_world
+
+    seed = _seed(args)
+    if args.reference_time is not None:
+        world = seed_world(args.reference_time)
+    else:
+        world = seed_world()
+    kinds = list(KINDS) if args.kind == "all" else [args.kind]
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+
+    rows = []
+    totals = {outcome: 0 for outcome in OUTCOMES}
+    for kind in kinds:
+        document = world.documents[kind]
+        for mutation_id in range(args.count):
+            mutant = mutate(document, mutation_id, seed, donors=world.donors)
+            row = classify_mutant(kind, mutant.der, world)
+            rows.append({"kind": kind, "mutation_id": mutation_id,
+                         "family": mutant.family, **row})
+            totals[row["outcome"]] += 1
+            if args.out:
+                name = f"{kind}-{mutation_id:05d}-{mutant.family}.der"
+                with open(os.path.join(args.out, name), "wb") as stream:
+                    stream.write(mutant.der)
+
+    if args.format == "json":
+        document = {"schema": "repro-hostile-mutate/1", "seed": seed,
+                    "reference_time": world.reference_time,
+                    "outcomes": totals, "rows": rows}
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        table_rows = [[row["kind"], row["mutation_id"], row["family"],
+                       row["outcome"], row["error_class"] or "-", row["size"]]
+                      for row in rows]
+        print(render_table(
+            ["kind", "id", "family", "outcome", "error class", "bytes"],
+            table_rows,
+            title=f"Hostile corpus (seed {seed}, {len(rows)} mutants)"))
+        print("outcomes: " + ", ".join(
+            f"{outcome}={count}" for outcome, count in totals.items()))
+    if args.out:
+        print(f"wrote {len(rows)} mutants to {args.out}", file=sys.stderr)
+    # A mutant escaping the taxonomy means a parser bug: fail loudly.
+    return 0 if totals["unexpected_exception"] == 0 else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Artifact-cache maintenance: stats, integrity verify, gc."""
     from .runtime import ArtifactCache
@@ -590,6 +644,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule catalogue and exit")
     lint.add_argument("--out", help="write the report here instead of stdout")
     lint.set_defaults(func=_cmd_lint)
+
+    hostile = commands.add_parser(
+        "hostile", parents=[seed_flags],
+        help="seeded structure-aware DER mutation (hostile corpus)")
+    hostile.add_argument("action", choices=["mutate"],
+                         help="mutate: generate and classify seeded mutants")
+    hostile.add_argument("--kind",
+                         choices=["all", "certificate", "ocsp", "crl"],
+                         default="all", help="seed document kind")
+    hostile.add_argument("--count", type=int, default=24,
+                         help="mutants per kind (default 24)")
+    hostile.add_argument("--out", default=None, metavar="DIR",
+                         help="also write each mutant's DER into this "
+                              "directory")
+    hostile.add_argument("--format", choices=["table", "json"],
+                         default="table", help="report format")
+    hostile.add_argument("--reference-time", type=int, default=None,
+                         help="POSIX 'now' for the seed world "
+                              "(default: measurement start + 1 day)")
+    hostile.set_defaults(func=_cmd_hostile)
 
     cache = commands.add_parser(
         "cache", help="artifact-cache maintenance")

@@ -217,6 +217,14 @@ _EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_chaos_client_outcomes.py",
         "scenario x {soft-fail, Must-Staple hard-fail, no-check} grid",
     ),
+    Experiment(
+        "hostile-corpus", "Parser survival under structure-aware mutation",
+        "Figure 5 'malformed response' (robustness extension)",
+        ("repro.hostile.mutate", "repro.hostile.corpus",
+         "repro.asn1.decoder", "repro.lint.engine", "repro.ocsp.verify"),
+        "benchmarks/test_hostile_corpus.py",
+        "seeded DER mutants x {certificate, OCSP, CRL} x parse/lint/verify",
+    ),
 ]
 
 #: Runner entrypoints live in repro.runtime.runners; the lookup below
@@ -250,6 +258,7 @@ _RUNNERS: Dict[str, str] = {
     "abl-keysize": "run_abl_keysize",
     "chaos-availability": "run_chaos_availability",
     "chaos-client-outcomes": "run_chaos_client_outcomes",
+    "hostile-corpus": "run_hostile_corpus",
 }
 
 _EXPERIMENTS = [

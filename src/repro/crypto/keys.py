@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from ..asn1 import Reader, encoder, oid
+from ..asn1 import Reader, UnsupportedAlgorithmError, encoder, oid
 from .rsa import RSAPrivateKey, RSAPublicKey, generate_keypair
 
 
@@ -54,7 +54,10 @@ def decode_spki(der: bytes) -> RSAPublicKey:
     algorithm = spki.read_sequence()
     algorithm_oid = algorithm.read_oid()
     if algorithm_oid != oid.RSA_ENCRYPTION:
-        raise ValueError(f"unsupported public key algorithm: {algorithm_oid}")
+        raise UnsupportedAlgorithmError(
+            f"unsupported public key algorithm: {algorithm_oid}")
+    algorithm.read_null()
+    algorithm.expect_end()
     key_bits = spki.read_bit_string()
     spki.expect_end()
     return decode_rsa_public_key(key_bits)

@@ -279,7 +279,8 @@ class CertificateCorpus:
         Records whose CA is missing from *authorities* are skipped.
         Returns the materialized subset.
         """
-        pool = key_pool or KeyPool(size=16, seed=self.config.seed)
+        pool = (key_pool if key_pool is not None
+                else KeyPool(size=16, seed=self.config.seed))
         done = []
         for record in records:
             authority = authorities.get(record.ca_name)

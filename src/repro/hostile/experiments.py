@@ -1,0 +1,114 @@
+"""The ``hostile-corpus`` experiment: mutation-survival matrix.
+
+Registered in the shared runtime like every other experiment: the
+shard plan is a pure function of the config (kind-major contiguous
+mutation-id ranges), shard payloads carry only the config scalars
+(workers re-mint the seed documents, memoized per process), and the
+merge is positional — so the classification matrix is byte-identical
+at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..canon import split_ranges
+
+_WORKERS = "repro.hostile.experiments"
+
+
+# ---------------------------------------------------------------------------
+# shard worker
+# ---------------------------------------------------------------------------
+
+def hostile_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Mutate-and-classify one contiguous mutation-id range of one kind."""
+    from .corpus import classify_mutant, seed_world
+    from .mutate import mutate
+    world = seed_world(payload["reference_time"])
+    kind = payload["kind"]
+    document = world.documents[kind]
+    donors = world.donors
+    rows: List[Dict[str, Any]] = []
+    for mutation_id in range(payload["lo"], payload["hi"]):
+        mutant = mutate(document, mutation_id, payload["seed"], donors=donors)
+        row = classify_mutant(kind, mutant.der, world)
+        rows.append({"kind": kind, "mutation_id": mutation_id,
+                     "family": mutant.family, **row})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# shard planner
+# ---------------------------------------------------------------------------
+
+def hostile_shards(config) -> List:
+    """Kind-major mutation-id ranges (a pure function of config)."""
+    from ..runtime.executor import ShardSpec
+    return [
+        ShardSpec(worker=f"{_WORKERS}:hostile_shard",
+                  payload={"kind": kind, "seed": config.seed,
+                           "reference_time": config.reference_time,
+                           "lo": lo, "hi": hi},
+                  label=f"hostile[{kind}][{lo}:{hi}]")
+        for kind in config.kinds
+        for lo, hi in split_ranges(config.mutants_per_kind, config.chunks)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# experiment runner
+# ---------------------------------------------------------------------------
+
+def run_hostile_corpus(ctx, config) -> Dict[str, Any]:
+    """Fan the mutant budget out, then fold the survival matrix."""
+    from .corpus import OUTCOMES
+    from .mutate import FAMILIES
+    outputs = ctx.run_shards(hostile_shards(config))
+    rows = [row for shard_rows in outputs for row in shard_rows]
+
+    matrix: Dict[str, Dict[str, int]] = {
+        family: {outcome: 0 for outcome in OUTCOMES} for family in FAMILIES}
+    by_kind: Dict[str, Dict[str, int]] = {
+        kind: {outcome: 0 for outcome in OUTCOMES} for kind in config.kinds}
+    totals = {outcome: 0 for outcome in OUTCOMES}
+    fixed_point_failures = 0
+    unexpected: List[Dict[str, Any]] = []
+    for row in rows:
+        outcome = row["outcome"]
+        matrix[row["family"]][outcome] += 1
+        by_kind[row["kind"]][outcome] += 1
+        totals[outcome] += 1
+        if row["outcome"] == "survived" and row["fixed_point"] is False:
+            fixed_point_failures += 1
+        if outcome == "unexpected_exception":
+            unexpected.append({"kind": row["kind"],
+                               "mutation_id": row["mutation_id"],
+                               "family": row["family"],
+                               "error_class": row["error_class"],
+                               "error_detail": row["error_detail"]})
+
+    mutants = len(rows)
+    series = {
+        "survived_by_family": sorted(
+            (family, counts["survived"]) for family, counts in matrix.items()),
+        "parse_error_by_family": sorted(
+            (family, counts["parse_error"])
+            for family, counts in matrix.items()),
+    }
+    return {
+        "rows": rows,
+        "series": series,
+        "summary": {
+            "mutants": mutants,
+            "matrix": matrix,
+            "by_kind": by_kind,
+            "outcomes": totals,
+            "survival_rate": (round(totals["survived"] / mutants, 6)
+                              if mutants else 0.0),
+            "fixed_point_failures": fixed_point_failures,
+            "unexpected_exceptions": len(unexpected),
+            "unexpected_detail": unexpected[:50],
+        },
+        "artifacts": {},
+    }

@@ -1,0 +1,52 @@
+"""Greedy minimization of crashing inputs (ddmin-lite).
+
+When the hostile corpus surfaces a document that makes a parser raise
+something outside the :class:`~repro.asn1.errors.ASN1Error` hierarchy,
+the failing input is shrunk before it is frozen into
+``tests/data/hostile/`` — a 40-byte regression input documents the bug;
+a 4 KB mutant obscures it.
+
+The algorithm is the classic delta-debugging loop restricted to chunk
+*removal*: repeatedly try deleting ever-smaller chunks, keeping any
+deletion that preserves the predicate.  Fully deterministic — chunk
+order is fixed, no randomness — so minimizing the same crasher twice
+yields the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def minimize(data: bytes, predicate: Callable[[bytes], bool],
+             min_chunk: int = 1, max_rounds: int = 64) -> bytes:
+    """Shrink *data* while ``predicate(data)`` stays True.
+
+    *predicate* must be True for the input (callers should assert this;
+    the function returns *data* unchanged otherwise).  The predicate is
+    expected to swallow its own exceptions — e.g. "parsing this raises
+    RecursionError" — since arbitrary byte deletions will produce
+    arbitrarily malformed candidates.
+    """
+    data = bytes(data)
+    if not predicate(data):
+        return data
+    chunk = max(min_chunk, len(data) // 2)
+    for _ in range(max_rounds):
+        if len(data) <= min_chunk:
+            break
+        shrunk = False
+        offset = 0
+        while offset < len(data):
+            candidate = data[:offset] + data[offset + chunk:]
+            if candidate and predicate(candidate):
+                data = candidate
+                shrunk = True
+                # Retry the same offset: the next chunk slid into place.
+            else:
+                offset += chunk
+        if chunk == min_chunk and not shrunk:
+            break
+        if not shrunk:
+            chunk = max(min_chunk, chunk // 2)
+    return data

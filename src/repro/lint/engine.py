@@ -241,9 +241,21 @@ class LintEngine:
         for rule in rules_for(kind):
             if rule.check is None:
                 continue
-            for message, span in rule.check(artifact, ctx):
-                findings.append(rule.finding(kind, source, message,
-                                             span or artifact.span()))
+            try:
+                for message, span in rule.check(artifact, ctx):
+                    findings.append(rule.finding(kind, source, message,
+                                                 span or artifact.span()))
+            except (ASN1Error, ValueError) as exc:
+                # Lazily-decoded substructure (extension values, embedded
+                # certificates) can be malformed even when the outer
+                # artifact parses; degrade to a parse finding instead of
+                # letting the rule's exception escape the engine.
+                offset = getattr(exc, "offset", None)
+                span = (Span(offset, offset + 1) if isinstance(offset, int)
+                        else Span(0, len(der)))
+                findings.append(PARSE_RULES[kind].finding(
+                    kind, source,
+                    f"lazy decode failed in {rule.rule_id}: {exc}", span))
         return findings
 
     def lint_certificate(self, certificate: Certificate, source: str = "<certificate>",

@@ -12,7 +12,9 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from ..asn1 import ObjectIdentifier, Reader, encoder, oid
+from ..asn1 import (
+    ObjectIdentifier, Reader, UnsupportedAlgorithmError, encoder, oid,
+)
 from ..x509 import Certificate
 
 _HASH_OIDS = {
@@ -69,7 +71,8 @@ class CertID:
             algorithm.read_tlv()
         hash_name = _OID_TO_HASH.get(hash_oid)
         if hash_name is None:
-            raise ValueError(f"unsupported CertID hash algorithm: {hash_oid}")
+            raise UnsupportedAlgorithmError(
+                f"unsupported CertID hash algorithm: {hash_oid}")
         issuer_name_hash = sequence.read_octet_string()
         issuer_key_hash = sequence.read_octet_string()
         serial_number = sequence.read_integer()

@@ -52,6 +52,9 @@ class OCSPLookupResult:
     via_crl: bool = False
     #: True when the policy never checks revocation (CRLSet-style).
     skipped: bool = False
+    #: CRL bodies fetched during fallback that failed to parse, as
+    #: ``"url: ExcClass: message"`` strings (hostile-corpus attribution).
+    crl_parse_errors: List[str] = field(default_factory=list)
 
     @property
     def status(self) -> Optional[CertStatus]:
@@ -155,16 +158,19 @@ class OCSPClient:
             if exhausted:
                 break
 
+        crl_parse_errors: List[str] = []
         if policy.crl_fallback:
             crl_status = self._crl_fallback(certificate, issuer, cert_id,
-                                            now, attempts)
+                                            now, attempts, crl_parse_errors)
             if crl_status is not None:
                 return OCSPLookupResult(check=last_check, fetch=last_fetch,
                                         attempts=attempts, timeouts=timeouts,
-                                        crl_status=crl_status, via_crl=True)
+                                        crl_status=crl_status, via_crl=True,
+                                        crl_parse_errors=crl_parse_errors)
 
         return OCSPLookupResult(check=last_check, fetch=last_fetch,
-                                attempts=attempts, timeouts=timeouts)
+                                attempts=attempts, timeouts=timeouts,
+                                crl_parse_errors=crl_parse_errors)
 
     def _attempt(self, responder_url: str, request_der: bytes,
                  nonce: Optional[bytes], now: int) -> FetchResult:
@@ -179,7 +185,9 @@ class OCSPClient:
 
     def _crl_fallback(self, certificate: Certificate, issuer: Certificate,
                       cert_id: CertID, now: int,
-                      attempts: List[FetchResult]) -> Optional[CertStatus]:
+                      attempts: List[FetchResult],
+                      parse_errors: Optional[List[str]] = None,
+                      ) -> Optional[CertStatus]:
         """Fetch, verify, and consult the certificate's CRLs."""
         for crl_url in certificate.crl_urls:
             self.requests_sent += 1
@@ -190,7 +198,10 @@ class OCSPClient:
                 continue
             try:
                 crl = CertificateList.from_der(fetch.response.body)
-            except (ASN1Error, ValueError):
+            except (ASN1Error, ValueError) as exc:
+                if parse_errors is not None:
+                    parse_errors.append(
+                        f"{crl_url}: {type(exc).__name__}: {exc}")
                 continue
             if not crl.verify_signature(issuer.public_key):
                 continue

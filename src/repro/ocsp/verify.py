@@ -52,7 +52,14 @@ class OCSPError(Enum):
 
 @dataclass
 class OCSPCheckResult:
-    """The outcome of verifying one OCSP response for one certificate."""
+    """The outcome of verifying one OCSP response for one certificate.
+
+    For MALFORMED outcomes the ``error_class`` / ``error_detail`` /
+    ``error_offset`` fields attribute the failure: the exception class
+    name, its message, and (when the decoder knew it) the absolute byte
+    offset where parsing failed — the same provenance style
+    ``repro.lint`` uses.
+    """
 
     ok: bool
     error: Optional[OCSPError] = None
@@ -61,6 +68,9 @@ class OCSPCheckResult:
     single: Optional[SingleResponse] = None
     response_status: Optional[ResponseStatus] = None
     delegated: bool = False
+    error_class: Optional[str] = None
+    error_detail: Optional[str] = None
+    error_offset: Optional[int] = None
 
     def __bool__(self) -> bool:
         return self.ok
@@ -97,7 +107,13 @@ def verify_response(response_der: bytes, cert_id: CertID, issuer: Certificate,
     try:
         response = OCSPResponse.from_der(response_der, lenient=lenient)
     except (ASN1Error, ValueError) as exc:
-        return OCSPCheckResult(ok=False, error=OCSPError.MALFORMED)
+        return OCSPCheckResult(
+            ok=False,
+            error=OCSPError.MALFORMED,
+            error_class=type(exc).__name__,
+            error_detail=str(exc),
+            error_offset=getattr(exc, "offset", None),
+        )
 
     if not response.is_successful or response.basic is None:
         return OCSPCheckResult(

@@ -34,6 +34,7 @@ from .configs import (
     ChaosClientConfig,
     ConsistencyRunConfig,
     CorpusRunConfig,
+    HostileCorpusConfig,
     LatencyConfig,
     OutageImpactConfig,
     ReadinessConfig,
@@ -64,6 +65,7 @@ __all__ = [
     "ConsistencyRunConfig",
     "CorpusRunConfig",
     "ExperimentResult",
+    "HostileCorpusConfig",
     "LatencyConfig",
     "OutageImpactConfig",
     "Provenance",

@@ -321,6 +321,42 @@ class ChaosClientConfig(_Config):
                    fault_seed=data.get("fault_seed", 23))
 
 
+@dataclass
+class HostileCorpusConfig(_Config):
+    """Hostile-corpus survival matrix: seeded DER mutation × the full
+    parse/lint/verify stack (:mod:`repro.hostile`)."""
+
+    seed: int = 2018
+    #: Fixed "now" for minting and verifying the seed documents.
+    reference_time: int = MEASUREMENT_START + DAY
+    #: Mutation ids 0..N-1 are generated per kind.
+    mutants_per_kind: int = 2000
+    kinds: Tuple[str, ...] = ("certificate", "ocsp", "crl")
+    #: Contiguous mutation-id slices per kind — the shard granularity.
+    chunks: int = 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "seed": self.seed,
+            "reference_time": self.reference_time,
+            "mutants_per_kind": self.mutants_per_kind,
+            "kinds": list(self.kinds),
+            "chunks": self.chunks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HostileCorpusConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(seed=data.get("seed", 2018),
+                   reference_time=data.get("reference_time",
+                                           MEASUREMENT_START + DAY),
+                   mutants_per_kind=data.get("mutants_per_kind", 2000),
+                   kinds=tuple(data.get("kinds",
+                                        ("certificate", "ocsp", "crl"))),
+                   chunks=data.get("chunks", 8))
+
+
 def default_config(experiment_id: str, scale: Optional[object] = None):
     """The config an experiment runs with absent an explicit one.
 
@@ -405,6 +441,11 @@ def default_config(experiment_id: str, scale: Optional[object] = None):
             times=(MEASUREMENT_START + HOUR,
                    MEASUREMENT_START + 9 * HOUR,
                    MEASUREMENT_START + 17 * HOUR))
+    if experiment_id == "hostile-corpus":
+        # Budget independent of the figure-scale knobs: 2000 mutants
+        # per document kind covers every family ~166 times while
+        # keeping the default run under a minute.
+        return HostileCorpusConfig()
     if experiment_id in ("tbl2", "tbl3", "fig12", "ext-multistaple",
                          "ext-alternatives", "abl-apache-patch",
                          "abl-parser", "abl-keysize"):

@@ -839,3 +839,9 @@ def run_chaos_client_outcomes(ctx, config) -> Dict[str, Any]:
     """Chaos scenario × client-policy grid (impl in repro.faults)."""
     from ..faults.experiments import run_chaos_client_outcomes as impl
     return impl(ctx, config)
+
+
+def run_hostile_corpus(ctx, config) -> Dict[str, Any]:
+    """Mutation-survival matrix (impl in repro.hostile)."""
+    from ..hostile.experiments import run_hostile_corpus as impl
+    return impl(ctx, config)

@@ -54,6 +54,10 @@ class CDNCache:
         self.max_retries = max_retries
         self._cache: Dict[Tuple[str, bytes], _CacheEntry] = {}
         self.origin_log: List[OriginFetchLog] = []
+        #: Parse failures seen while computing cache TTLs — one
+        #: ``(url, timestamp, "ExcClass: message")`` triple per body
+        #: that did not decode, so hostile origins are attributable.
+        self.parse_errors: List[Tuple[str, int, str]] = []
         self.client_lookups = 0
         self.cache_hits = 0
 
@@ -70,7 +74,7 @@ class CDNCache:
         if body is None:
             # Serve stale on origin failure — CDN resilience.
             return entry.body if entry is not None else None
-        self._cache[key] = _CacheEntry(body, self._expiry(body, now))
+        self._cache[key] = _CacheEntry(body, self._expiry(url, body, now))
         return body
 
     def _fetch_origin(self, url: str, request_der: bytes, now: int) -> Optional[bytes]:
@@ -86,10 +90,11 @@ class CDNCache:
                 return fetch.response.body
         return None
 
-    def _expiry(self, body: bytes, now: int) -> Optional[int]:
+    def _expiry(self, url: str, body: bytes, now: int) -> Optional[int]:
         try:
             response = OCSPResponse.from_der(body)
-        except (ASN1Error, ValueError):
+        except (ASN1Error, ValueError) as exc:
+            self.parse_errors.append((url, now, f"{type(exc).__name__}: {exc}"))
             return now + 60  # do not cache garbage for long
         if response.basic is None or not response.basic.single_responses:
             return now + 60

@@ -20,7 +20,7 @@ _FORMAT_VERSION = 1
 
 
 def _record_to_dict(record: ProbeRecord) -> dict:
-    return {
+    data = {
         "vantage": record.vantage,
         "url": record.responder_url,
         "family": record.family,
@@ -37,6 +37,16 @@ def _record_to_dict(record: ProbeRecord) -> dict:
         "num_serials": record.num_serials,
         "size": record.response_size,
     }
+    # Parse-error attribution keys are emitted only when present so the
+    # wire bytes of well-formed scans are unchanged (the shard cache
+    # keys on them).
+    if record.parse_error_class is not None:
+        data["parse_error_class"] = record.parse_error_class
+    if record.parse_error_detail is not None:
+        data["parse_error_detail"] = record.parse_error_detail
+    if record.parse_error_offset is not None:
+        data["parse_error_offset"] = record.parse_error_offset
+    return data
 
 
 def _record_from_dict(data: dict) -> ProbeRecord:
@@ -56,6 +66,9 @@ def _record_from_dict(data: dict) -> ProbeRecord:
         num_certificates=data.get("num_certificates"),
         num_serials=data.get("num_serials"),
         response_size=data.get("size"),
+        parse_error_class=data.get("parse_error_class"),
+        parse_error_detail=data.get("parse_error_detail"),
+        parse_error_offset=data.get("parse_error_offset"),
     )
 
 

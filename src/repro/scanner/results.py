@@ -72,6 +72,12 @@ class ProbeRecord:
     #: Encoded response size in bytes (the superfluous-certificate
     #: bloat of Figure 6's discussion shows up here).
     response_size: Optional[int] = None
+    # Parse-error attribution (None unless outcome is MALFORMED with a
+    # known cause): exception class name, message, and the byte offset
+    # in the response where decoding failed.
+    parse_error_class: Optional[str] = None
+    parse_error_detail: Optional[str] = None
+    parse_error_offset: Optional[int] = None
 
     @property
     def transport_ok(self) -> bool:
@@ -127,6 +133,9 @@ def classify_probe(vantage: str, responder_url: str, family: str,
         return record
     if check.error is not None:
         record.outcome = _OCSP_ERROR_TO_OUTCOME[check.error]
+    record.parse_error_class = check.error_class
+    record.parse_error_detail = check.error_detail
+    record.parse_error_offset = check.error_offset
     record.cert_status = check.cert_status
     if check.response is not None and check.response.basic is not None:
         basic = check.response.basic

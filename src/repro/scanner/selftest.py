@@ -203,14 +203,17 @@ def self_test_responder(network: Network, url: str, certificate: Certificate,
     # 7. GET support (RFC 6960 A.1, needed for HTTP caching).
     fetch = network.fetch(vantages[0], ocsp_get(url, request_der), now)
     get_works = False
+    get_detail = "GET requests not answered successfully"
     if fetch.ok:
         try:
             get_response = OCSPResponse.from_der(fetch.response.body)
             get_works = get_response.is_successful
-        except (ASN1Error, ValueError):
+        except (ASN1Error, ValueError) as exc:
             get_works = False
+            get_detail = (f"GET response unparseable "
+                          f"({type(exc).__name__}: {exc})")
     report.add("HTTP GET support", Grade.PASS if get_works else Grade.WARN,
-               "" if get_works else "GET requests not answered successfully")
+               "" if get_works else get_detail)
 
     # 8. Freshness: does a later request get a response that is not
     #    already stale relative to its own window? (the hinet/cnnic

@@ -1,0 +1,128 @@
+"""Property tests: the hostile corpus against every parse entrypoint.
+
+Satellite of the repro.hostile PR: 1k seeded mutants per document
+kind, pushed through every strict parser plus the TLV walker — each
+must either succeed or raise a typed
+:class:`~repro.asn1.errors.ASN1Error`; anything else
+(``RecursionError``, ``MemoryError``, ``IndexError``, ...) is a
+hardening regression.  A second property bounds allocation: parsing a
+length bomb must not allocate anywhere near the announced size.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.asn1 import ASN1Error, encoder, tags
+from repro.hostile import KINDS, mutate, seed_world, tlv_fixed_point
+from repro.hostile.tlv import parse_forest
+from repro.lint import LintContext, LintEngine
+from repro.ocsp import OCSPResponse
+from repro.x509 import Certificate, CertificateList
+
+MUTANTS_PER_KIND = 1000
+SEED = 2018
+
+ENTRYPOINTS = (
+    ("Certificate.from_der", Certificate.from_der),
+    ("OCSPResponse.from_der", OCSPResponse.from_der),
+    ("CertificateList.from_der", CertificateList.from_der),
+    ("tlv.parse_forest", parse_forest),
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return seed_world()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_mutants_raise_only_asn1_errors(world, kind):
+    """Every entrypoint, every mutant: success or ASN1Error, nothing else."""
+    document = world.documents[kind]
+    donors = world.donors
+    for mutation_id in range(MUTANTS_PER_KIND):
+        mutant = mutate(document, mutation_id, SEED, donors=donors)
+        for name, parse in ENTRYPOINTS:
+            try:
+                parse(mutant.der)
+            except ASN1Error:
+                pass
+            except Exception as exc:  # pragma: no cover - the regression
+                pytest.fail(f"{name} raised {type(exc).__name__} on "
+                            f"{kind}/{mutation_id} ({mutant.family}): {exc}")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_lint_engine_never_raises_on_mutants(world, kind):
+    """The lint layer classifies every mutant instead of crashing."""
+    document = world.documents[kind]
+    engine = LintEngine(LintContext(reference_time=world.reference_time,
+                                    issuer=world.issuer,
+                                    cert_id=world.cert_id))
+    for mutation_id in range(0, MUTANTS_PER_KIND, 4):
+        mutant = mutate(document, mutation_id, SEED, donors=world.donors)
+        findings = engine.lint_der(mutant.der, kind, f"prop/{mutation_id}")
+        assert isinstance(findings, list)
+
+
+def test_surviving_mutants_reach_tlv_fixed_point(world):
+    """decode -> re-encode -> decode is a fixed point for survivors."""
+    from repro.hostile import classify_mutant
+    for kind in KINDS:
+        document = world.documents[kind]
+        for mutation_id in range(0, MUTANTS_PER_KIND, 2):
+            mutant = mutate(document, mutation_id, SEED, donors=world.donors)
+            row = classify_mutant(kind, mutant.der, world)
+            if row["outcome"] == "survived":
+                assert row["fixed_point"] is True, (kind, mutation_id)
+
+
+def test_length_bomb_allocation_is_bounded():
+    """A 2^60-byte announced length must not drive allocation."""
+    huge = (1 << 60) + 7
+    bomb = bytes([tags.SEQUENCE, 0x88]) + huge.to_bytes(8, "big") + b"\x05\x00"
+    tracemalloc.start()
+    try:
+        for _, parse in ENTRYPOINTS:
+            with pytest.raises(ASN1Error):
+                parse(bomb)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # Generous constant bound: parsing state only, nothing proportional
+    # to the announced content length.
+    assert peak < 1_000_000, peak
+
+
+def test_depth_bomb_allocation_and_recursion_bounded():
+    """Deep nesting hits the depth cap, not the interpreter limit."""
+    body = encoder.encode_null()
+    for _ in range(5000):
+        body = encoder.encode_tlv(tags.SEQUENCE, body)
+    tracemalloc.start()
+    try:
+        for _, parse in ENTRYPOINTS:
+            with pytest.raises(ASN1Error):
+                parse(body)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < 10 * len(body) + 1_000_000, peak
+
+
+def test_mutation_is_reproducible_across_calls(world):
+    """Same (document, mutation_id, seed) -> same bytes, any order."""
+    document = world.documents["ocsp"]
+    first = [mutate(document, mid, SEED, donors=world.donors).der
+             for mid in range(100)]
+    second = [mutate(document, mid, SEED, donors=world.donors).der
+              for mid in reversed(range(100))]
+    assert first == list(reversed(second))
+
+
+def test_fixed_point_of_originals(world):
+    for kind in KINDS:
+        assert tlv_fixed_point(world.documents[kind])

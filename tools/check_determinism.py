@@ -14,6 +14,9 @@ bans the ambient-state escape hatches that silently break that:
   supervisor's deadline-based scheduling replace it
 * ``os._exit()`` — skips interpreter cleanup and can truncate output
   files mid-write; only the chaos harness may crash workers this way
+* builtin ``hash()`` outside ``__hash__`` methods — string hashing is
+  randomized per process, so hash-derived seeds silently fork RNG
+  streams across runs; use :func:`repro.canon.stable_seed`
 
 Documented exceptions go in :data:`ALLOWLIST` as
 ``(path suffix, offending code)`` pairs: the convenience default of
@@ -102,6 +105,21 @@ class _Checker(ast.NodeVisitor):
         #: distinguishes ``random.choice(...)`` (global RNG, banned)
         #: from ``rng.choice(...)`` on a seeded instance (fine).
         self.module_names: set = set()
+        #: Depth of enclosing ``__hash__`` definitions — the only place
+        #: builtin ``hash()`` is deterministic *enough* (in-process).
+        self._hash_method_depth = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        is_hash = getattr(node, "name", "") == "__hash__"
+        self._hash_method_depth += is_hash
+        self.generic_visit(node)
+        self._hash_method_depth -= is_hash
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -132,6 +150,10 @@ class _Checker(ast.NodeVisitor):
             elif head == "secrets" and head in self.module_names:
                 self._flag(node, ".".join(parts) + "()",
                            "OS entropy; use a seeded random.Random")
+            elif (parts == ["hash"] and not self._hash_method_depth):
+                self._flag(node, "hash()",
+                           "randomized per process; use "
+                           "repro.canon.stable_seed")
         self.generic_visit(node)
 
 
