@@ -1,0 +1,58 @@
+"""Whole-program effect & purity analysis for the reproduction.
+
+The runtime's core invariant — every experiment result is a pure
+function of (config, seed, code version), byte-identical at any
+worker count — is enforced dynamically by the serial-vs-parallel
+identity tests and statically by this package: an interprocedural
+effect-inference pass that seeds leaf effects from
+:mod:`repro.analyze.effects`, propagates them to a fixpoint over the
+module/import/call graph, and checks the purity contracts of every
+runner, shard worker, plan function, merge function, fault injector,
+and classifier (:mod:`repro.analyze.contracts`).
+
+Usage: ``repro analyze [--strict] [--contract] [--graph FILE]``, or
+:func:`analyze_package` / :func:`analyze_tree` from Python.
+"""
+
+from .callgraph import CallGraph, build_callgraph
+from .contracts import (
+    Contract,
+    ContractResult,
+    check_contracts,
+    collect_contracts,
+    discover_refs,
+)
+from .effects import Effect, Pragma, parse_pragmas
+from .modgraph import Program, load_program
+from .propagate import propagate, witness_chain
+from .report import (
+    Analysis,
+    analyze_package,
+    analyze_tree,
+    contract_table,
+    graph_dump,
+)
+from .rules import ANALYZE_RULES
+
+__all__ = [
+    "ANALYZE_RULES",
+    "Analysis",
+    "CallGraph",
+    "Contract",
+    "ContractResult",
+    "Effect",
+    "Pragma",
+    "Program",
+    "analyze_package",
+    "analyze_tree",
+    "build_callgraph",
+    "check_contracts",
+    "collect_contracts",
+    "contract_table",
+    "discover_refs",
+    "graph_dump",
+    "load_program",
+    "parse_pragmas",
+    "propagate",
+    "witness_chain",
+]

@@ -1,0 +1,272 @@
+"""Purity contracts: who must be effect-free, and are they.
+
+Contract membership is convention-driven, mirroring the runtime's
+naming rules, so a new runner or worker is under contract the moment
+it is written — there is no opt-in list to forget to update:
+
+* **runner** — every ``module:function`` ref declared in the
+  experiment registry (``runner=`` literals);
+* **worker** — every public ``*_shard`` function, plus every ref
+  declared as a ``ShardSpec`` worker anywhere in the program
+  (literal or statically-resolvable f-string);
+* **plan** — every public ``*_shards`` function and ``single_shard``;
+* **merge** — every public ``merge_*`` function;
+* **injector** — every public function and class of ``*.injectors``
+  modules (a class contracts all its methods);
+* **classify** — every public ``classify_*`` function.
+
+A discovered ref that does not resolve to a program function is an
+error: the grammar shared with :mod:`repro.refs` guarantees anything
+the runtime could import is visible here, so an unresolvable ref is
+either a typo or a lambda/closure smuggled past the registry rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..refs import REF_PATTERN
+from .callgraph import CallGraph, EffectSite
+from .effects import Effect, Pragma
+from .modgraph import Program
+from .propagate import (
+    ChainStep,
+    EffectMap,
+    function_effects,
+    module_effect_witness,
+    witness_chain,
+)
+
+
+@dataclass(frozen=True)
+class DeclaredRef:
+    """One ``module:function`` string found in program source."""
+
+    text: str
+    module: str                   # declaring module
+    line: int
+
+
+def _module_str_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` string bindings."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _joined_str_value(node: ast.JoinedStr,
+                      constants: Dict[str, str]) -> Optional[str]:
+    """Statically evaluate an f-string whose holes are module-level
+    string constants (``f"{_RUNNERS}:scan_shard"``)."""
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and \
+                isinstance(value.value, str):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue) and \
+                isinstance(value.value, ast.Name) and \
+                value.value.id in constants:
+            parts.append(constants[value.value.id])
+        else:
+            return None
+    return "".join(parts)
+
+
+def discover_refs(program: Program) -> List[DeclaredRef]:
+    """Every statically-visible entrypoint ref in the program."""
+    prefix = program.package + "."
+    seen: Set[str] = set()
+    refs: List[DeclaredRef] = []
+    for module in program.sorted_modules():
+        constants = _module_str_constants(module.tree)
+        for node in ast.walk(module.tree):
+            text: Optional[str] = None
+            if isinstance(node, ast.Constant) and \
+                    isinstance(node.value, str):
+                text = node.value
+            elif isinstance(node, ast.JoinedStr):
+                text = _joined_str_value(node, constants)
+            if text is None or not REF_PATTERN.match(text):
+                continue
+            if not text.startswith(prefix):
+                continue
+            if text in seen:
+                continue
+            seen.add(text)
+            refs.append(DeclaredRef(text, module.name, node.lineno))
+    return refs
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One entrypoint (or class of entrypoints) that must be pure."""
+
+    ref: str                      # "module:name" display form
+    group: str
+    kind: str                     # "func" | "class" | "unresolved"
+    target: Optional[str]         # resolved qualname, None if unresolved
+    declared_at: Optional[Tuple[str, int]] = None
+
+
+@dataclass
+class Violation:
+    """One effect reaching one contract entrypoint."""
+
+    effect: Effect
+    entry: str                    # the function the chain starts at
+    chain: List[ChainStep]
+
+
+@dataclass
+class AllowedSite:
+    """A pragma-suppressed effect reachable from an entrypoint."""
+
+    site: EffectSite
+    pragma: Pragma
+    qualname: str
+
+
+@dataclass
+class ContractResult:
+    """A contract plus its verdict."""
+
+    contract: Contract
+    entries: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    allowed: List[AllowedSite] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.contract.kind != "unresolved" and not self.violations
+
+
+def _registry_module(program: Program) -> Optional[str]:
+    """The module defining the experiment registry, if present."""
+    candidate = f"{program.package}.core.experiments"
+    return candidate if candidate in program else None
+
+
+def _public_functions(graph: CallGraph, module_name: str) -> List[str]:
+    return sorted(
+        info.qualname for info in graph.functions.values()
+        if info.module == module_name and info.class_name is None
+        and info.parent is None and not info.is_module_node
+        and not info.name.startswith("_"))
+
+
+def collect_contracts(program: Program, graph: CallGraph,
+                      extra: Tuple[str, ...] = ()) -> List[Contract]:
+    """Assemble the full contract set for *program*."""
+    contracts: Dict[str, Contract] = {}
+    registry = _registry_module(program)
+
+    def add(ref: str, group: str,
+            declared_at: Optional[Tuple[str, int]] = None) -> None:
+        if ref in contracts:
+            return
+        resolved = graph.resolve_entry(ref)
+        if resolved is None:
+            contracts[ref] = Contract(ref, group, "unresolved", None,
+                                      declared_at)
+        else:
+            contracts[ref] = Contract(ref, group, resolved[0],
+                                      resolved[1], declared_at)
+
+    # Declared refs: registry runners + ShardSpec workers.
+    for declared in discover_refs(program):
+        group = "runner" if declared.module == registry else "worker"
+        add(declared.text, group, (declared.module, declared.line))
+
+    # Convention groups.
+    for module in program.sorted_modules():
+        for qualname in _public_functions(graph, module.name):
+            name = qualname.rpartition(":")[2]
+            ref = f"{module.name}:{name}"
+            if name.endswith("_shard"):
+                add(ref, "worker")
+            elif name.endswith("_shards") or name == "single_shard":
+                add(ref, "plan")
+            elif name.startswith("merge_"):
+                add(ref, "merge")
+            elif name.startswith("classify_"):
+                add(ref, "classify")
+        if module.name.endswith(".injectors"):
+            for qualname in _public_functions(graph, module.name):
+                add(f"{module.name}:{qualname.rpartition(':')[2]}",
+                    "injector")
+            for class_qual, info in sorted(graph.classes.items()):
+                if info.module == module.name and \
+                        not info.name.startswith("_"):
+                    add(f"{module.name}:{info.name}", "injector")
+
+    for ref in extra:
+        add(ref, "extra")
+
+    return sorted(contracts.values(), key=lambda c: (c.group, c.ref))
+
+
+def _reachable(graph: CallGraph, roots: List[str]) -> Set[str]:
+    """Function qualnames reachable from *roots* via call edges, plus
+    the import-time pseudo-nodes of every module involved."""
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = graph.functions.get(current)
+        if info is None:
+            continue
+        module_node = f"{info.module}:<module>"
+        if module_node not in seen:
+            stack.append(module_node)
+        if info.is_module_node:
+            module = graph.program.module(info.module)
+            if module is not None:
+                stack.extend(f"{name}:<module>"
+                             for name in module.static_imports
+                             if name in graph.program)
+        stack.extend(edge.callee for edge in info.calls)
+    return seen
+
+
+def check_contracts(graph: CallGraph, effects: EffectMap,
+                    contracts: List[Contract]) -> List[ContractResult]:
+    """Evaluate every contract against the propagated effect map."""
+    results: List[ContractResult] = []
+    for contract in contracts:
+        result = ContractResult(contract)
+        results.append(result)
+        if contract.kind == "unresolved" or contract.target is None:
+            continue
+        if contract.kind == "class":
+            result.entries = graph.class_methods(contract.target)
+        else:
+            result.entries = [contract.target]
+        for entry in result.entries:
+            for effect in function_effects(graph, effects, entry):
+                origin = module_effect_witness(graph, effects, entry,
+                                               effect) or entry
+                chain = witness_chain(graph, effects, origin, effect)
+                result.violations.append(Violation(effect, entry, chain))
+        seen_sites: Set[Tuple[str, int, str]] = set()
+        for qualname in sorted(_reachable(graph, result.entries)):
+            info = graph.functions.get(qualname)
+            if info is None:
+                continue
+            for site, pragma in info.allowed:
+                key = (info.module, site.line, site.effect.name)
+                if key not in seen_sites:
+                    seen_sites.add(key)
+                    result.allowed.append(
+                        AllowedSite(site, pragma, qualname))
+    return results

@@ -1,0 +1,131 @@
+"""Fixpoint effect propagation over the call graph.
+
+Each function starts with its leaf effects; effects then flow caller-
+ward along call edges until nothing changes.  For every (function,
+effect) pair the propagation keeps one *witness* — the leaf site or
+the call edge the effect first arrived through — so a contract
+violation can print the full call chain down to the offending line.
+
+Module pseudo-nodes (``pkg.mod:<module>``) participate like ordinary
+functions; additionally, importing a program module executes its
+top-level code, so module-node effects also flow along the static
+import graph.  When module effects are later combined into an
+entrypoint's certificate, :data:`~repro.analyze.effects.Effect.
+GLOBAL_MUTATION` is exempted — import-time initialization of module
+state (registries, memo tables, compiled patterns) runs exactly once
+per process and is a function of the code version, not of run order.
+Per-call mutation inside functions gets no such exemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .callgraph import CallEdge, CallGraph, EffectSite
+from .effects import Effect, effect_sort_key
+
+#: How an effect got into a function: its own leaf, or via a call.
+Witness = Union[EffectSite, CallEdge]
+
+#: function qualname -> effect -> witness
+EffectMap = Dict[str, Dict[Effect, Witness]]
+
+
+def propagate(graph: CallGraph) -> EffectMap:
+    """Run leaf seeding + caller-ward propagation to a fixpoint."""
+    effects: EffectMap = {}
+    for qualname, info in graph.functions.items():
+        table: Dict[Effect, Witness] = {}
+        for site in info.effects:
+            table.setdefault(site.effect, site)
+        effects[qualname] = table
+
+    # Reverse edges: callee -> list of (caller, edge).
+    callers: Dict[str, List[Tuple[str, CallEdge]]] = {}
+    for qualname, info in graph.functions.items():
+        for edge in info.calls:
+            callers.setdefault(edge.callee, []).append((qualname, edge))
+    # Importing a module runs its top-level code: caller-ward edges
+    # from each module node to the module nodes importing it.
+    for module in graph.program.sorted_modules():
+        importer = f"{module.name}:<module>"
+        for imported in module.static_imports:
+            if imported in graph.program:
+                edge = CallEdge(1, f"{imported}:<module>")
+                callers.setdefault(edge.callee, []).append((importer, edge))
+
+    worklist: List[str] = [q for q, table in effects.items() if table]
+    while worklist:
+        callee = worklist.pop()
+        callee_effects = effects.get(callee)
+        if not callee_effects:
+            continue
+        for caller, edge in callers.get(callee, ()):
+            caller_effects = effects[caller]
+            changed = False
+            for effect in callee_effects:
+                if effect not in caller_effects:
+                    caller_effects[effect] = edge
+                    changed = True
+            if changed:
+                worklist.append(caller)
+    return effects
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One hop of an effect's provenance chain."""
+
+    qualname: str
+    line: int
+    code: str                  # call text or leaf code
+
+
+def witness_chain(graph: CallGraph, effects: EffectMap, qualname: str,
+                  effect: Effect, limit: int = 24) -> List[ChainStep]:
+    """The call chain from *qualname* down to the leaf site."""
+    chain: List[ChainStep] = []
+    current = qualname
+    seen: Set[str] = set()
+    while current not in seen and len(chain) < limit:
+        seen.add(current)
+        witness = effects.get(current, {}).get(effect)
+        if witness is None:
+            break
+        if isinstance(witness, EffectSite):
+            chain.append(ChainStep(current, witness.line, witness.code))
+            break
+        chain.append(ChainStep(current, witness.line,
+                               f"calls {witness.callee}"))
+        current = witness.callee
+    return chain
+
+
+def function_effects(graph: CallGraph, effects: EffectMap,
+                     qualname: str) -> List[Effect]:
+    """An entrypoint's full effect set: own + its module's import-time
+    effects (minus the import-time GLOBAL_MUTATION exemption)."""
+    table = dict(effects.get(qualname, {}))
+    info = graph.functions.get(qualname)
+    if info is not None and not info.is_module_node:
+        module_effects = effects.get(f"{info.module}:<module>", {})
+        for effect, witness in module_effects.items():
+            if effect is Effect.GLOBAL_MUTATION:
+                continue
+            table.setdefault(effect, witness)
+    return sorted(table, key=effect_sort_key)
+
+
+def module_effect_witness(graph: CallGraph, effects: EffectMap,
+                          qualname: str,
+                          effect: Effect) -> Optional[str]:
+    """Which node an entrypoint's *effect* came from (for chains)."""
+    if effect in effects.get(qualname, {}):
+        return qualname
+    info = graph.functions.get(qualname)
+    if info is not None:
+        module_node = f"{info.module}:<module>"
+        if effect in effects.get(module_node, {}):
+            return module_node
+    return None

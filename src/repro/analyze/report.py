@@ -1,0 +1,234 @@
+"""Analysis orchestration: run the pass, assemble findings, render.
+
+The analyzer reuses :mod:`repro.lint`'s findings/report machinery, so
+``repro analyze`` speaks the same text/JSON/SARIF formats as
+``repro lint`` — one consumer toolchain for both static passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..lint.findings import Finding, LintReport, Severity
+from .callgraph import CallGraph, build_callgraph
+from .contracts import (
+    Contract,
+    ContractResult,
+    check_contracts,
+    collect_contracts,
+)
+from .effects import Effect
+from .modgraph import Program, load_program
+from .propagate import EffectMap, propagate
+from .rules import KIND_CODE
+
+
+@dataclass
+class Analysis:
+    """Everything one analyzer run produced."""
+
+    program: Program
+    graph: CallGraph
+    effects: EffectMap
+    contracts: List[ContractResult]
+    report: LintReport = field(default_factory=LintReport)
+
+    @property
+    def ok(self) -> bool:
+        """No findings at all — the strict-mode bar."""
+        return not self.report.findings
+
+    @property
+    def clean(self) -> bool:
+        """No ERROR findings (warnings tolerated)."""
+        return self.report.clean
+
+
+def _relpath(program: Program, path: Path) -> str:
+    try:
+        return str(path.relative_to(program.root.parent))
+    except ValueError:
+        return str(path)
+
+
+def analyze_tree(root: Path, package: Optional[str] = None,
+                 extra_entrypoints: Tuple[str, ...] = ()) -> Analysis:
+    """Run the full pass over the tree rooted at *root*."""
+    program = load_program(root, package)
+    graph = build_callgraph(program)
+    effects = propagate(graph)
+    contracts = check_contracts(
+        graph, effects, collect_contracts(program, graph,
+                                          tuple(extra_entrypoints)))
+    analysis = Analysis(program, graph, effects, contracts)
+    _assemble_findings(analysis)
+    return analysis
+
+
+def analyze_package(extra_entrypoints: Tuple[str, ...] = ()) -> Analysis:
+    """Analyze the installed ``repro`` package source tree."""
+    import repro
+    root = Path(repro.__file__).resolve().parent
+    return analyze_tree(root, "repro", extra_entrypoints)
+
+
+def _chain_text(analysis: Analysis, violation) -> Tuple[str, str, int]:
+    """Render a violation chain; returns (text, leaf file, leaf line)."""
+    steps = violation.chain
+    if not steps:
+        return ("(unwitnessed)", "", 0)
+    hops = [step.qualname for step in steps]
+    leaf = steps[-1]
+    info = analysis.graph.functions.get(leaf.qualname)
+    leaf_file = ""
+    if info is not None:
+        module = analysis.program.module(info.module)
+        if module is not None:
+            leaf_file = _relpath(analysis.program, module.path)
+    text = " -> ".join(hops)
+    return (f"{text}; leaf `{leaf.code}` at {leaf_file}:{leaf.line}",
+            leaf_file, leaf.line)
+
+
+def _assemble_findings(analysis: Analysis) -> None:
+    program = analysis.program
+    report = analysis.report
+    report.artifacts = len(program.modules)
+
+    # Pragma grammar violations and stale pragmas, per module.
+    for module in program.sorted_modules():
+        rel = _relpath(program, module.path)
+        for issue in module.pragmas.issues:
+            rule = "ANALYZE_PRAGMA_UNJUSTIFIED" \
+                if issue.code == "unjustified" else "ANALYZE_PRAGMA_UNKNOWN"
+            report.findings.append(Finding(
+                rule, Severity.ERROR, issue.message, KIND_CODE,
+                f"{rel}:{issue.line}"))
+        for pragma in module.pragmas.unused():
+            report.findings.append(Finding(
+                "ANALYZE_PRAGMA_UNUSED", Severity.WARN,
+                f"pragma suppresses nothing: {pragma.text}", KIND_CODE,
+                f"{rel}:{pragma.line}"))
+
+    # Broad excepts without pragma.
+    for qualname in sorted(analysis.graph.functions):
+        info = analysis.graph.functions[qualname]
+        module = program.module(info.module)
+        if module is None:
+            continue
+        rel = _relpath(program, module.path)
+        for line in info.broad_excepts:
+            report.findings.append(Finding(
+                "ANALYZE_BROAD_EXCEPT", Severity.WARN,
+                f"broad 'except Exception' in {qualname}; annotate with "
+                f"'# repro: allow-broad-except -- why' or narrow it",
+                KIND_CODE, f"{rel}:{line}"))
+
+    # Contract verdicts.
+    for result in analysis.contracts:
+        contract = result.contract
+        if contract.kind == "unresolved":
+            source = "<contract>"
+            if contract.declared_at is not None:
+                declaring = program.module(contract.declared_at[0])
+                if declaring is not None:
+                    source = (f"{_relpath(program, declaring.path)}:"
+                              f"{contract.declared_at[1]}")
+            report.findings.append(Finding(
+                "ANALYZE_UNRESOLVED_REF", Severity.ERROR,
+                f"{contract.group} ref {contract.ref!r} does not resolve "
+                f"to a module-level function (lambdas, closures, and "
+                f"instance attributes cannot be certified)", KIND_CODE,
+                source))
+            continue
+        for violation in result.violations:
+            chain, leaf_file, leaf_line = _chain_text(analysis, violation)
+            source = f"{leaf_file}:{leaf_line}" if leaf_file \
+                else f"<{contract.ref}>"
+            report.findings.append(Finding(
+                "ANALYZE_IMPURE_CONTRACT", Severity.ERROR,
+                f"{contract.group} {contract.ref}: "
+                f"{violation.effect.name} reaches {violation.entry} "
+                f"via {chain}", KIND_CODE, source))
+
+    report.sort()
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+def contract_table(analysis: Analysis) -> str:
+    """The certification table: one row per contract."""
+    from ..core.render import render_table
+    rows: List[List[str]] = []
+    for result in analysis.contracts:
+        contract = result.contract
+        if contract.kind == "unresolved":
+            status = "UNRESOLVED"
+        elif result.violations:
+            status = "IMPURE"
+        else:
+            status = "pure"
+        residual = ",".join(sorted({v.effect.name
+                                    for v in result.violations}))
+        allowed = ",".join(sorted({a.site.effect.name
+                                   for a in result.allowed}))
+        rows.append([contract.group, contract.ref, status,
+                     residual or "-", allowed or "-"])
+    counts = {"pure": 0, "impure": 0, "unresolved": 0}
+    for result in analysis.contracts:
+        if result.contract.kind == "unresolved":
+            counts["unresolved"] += 1
+        elif result.violations:
+            counts["impure"] += 1
+        else:
+            counts["pure"] += 1
+    table = render_table(
+        ["group", "entrypoint", "status", "effects", "allowed"], rows,
+        title="Purity contracts")
+    summary = (f"{len(analysis.contracts)} contract(s): "
+               f"{counts['pure']} pure, {counts['impure']} impure, "
+               f"{counts['unresolved']} unresolved")
+    return f"{table}\n{summary}"
+
+
+def graph_dump(analysis: Analysis) -> Dict[str, object]:
+    """A deterministic JSON document of the call graph + effect map."""
+    functions: Dict[str, object] = {}
+    for qualname in sorted(analysis.graph.functions):
+        info = analysis.graph.functions[qualname]
+        module = analysis.program.module(info.module)
+        table = analysis.effects.get(qualname, {})
+        functions[qualname] = {
+            "file": _relpath(analysis.program, module.path)
+            if module else "",
+            "line": info.line,
+            "effects": sorted(effect.name for effect in table),
+            "leafEffects": sorted(
+                {f"{site.effect.name}@{site.line}:{site.code}"
+                 for site in info.effects}),
+            "allowed": sorted(
+                {f"{site.effect.name}@{site.line}:{site.code}"
+                 for site, _ in info.allowed}),
+            "calls": sorted({edge.callee for edge in info.calls}),
+        }
+    contracts = [{
+        "ref": result.contract.ref,
+        "group": result.contract.group,
+        "kind": result.contract.kind,
+        "target": result.contract.target,
+        "status": ("unresolved" if result.contract.kind == "unresolved"
+                   else "impure" if result.violations else "pure"),
+        "effects": sorted({v.effect.name for v in result.violations}),
+        "allowed": sorted({a.site.effect.name for a in result.allowed}),
+    } for result in analysis.contracts]
+    return {
+        "schema": "repro-analyze/1",
+        "package": analysis.program.package,
+        "modules": sorted(analysis.program.modules),
+        "functions": functions,
+        "contracts": contracts,
+    }

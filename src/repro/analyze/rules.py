@@ -1,0 +1,59 @@
+"""Rule metadata for the effect analyzer's findings.
+
+Kept in a leaf module (no imports from :mod:`repro.lint` beyond the
+severity enum) so the lint output layer can pull these descriptions
+into its SARIF rules table without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..lint.findings import Severity
+
+#: Analyzer findings are about source code, not DER artifacts.
+KIND_CODE = "code"
+
+
+@dataclass(frozen=True)
+class AnalyzeRule:
+    """One analyzer rule, mirroring the lint catalogue's shape."""
+
+    rule_id: str
+    summary: str
+    severity: Severity
+    kind: str = KIND_CODE
+    reference: str = "DESIGN.md effect lattice"
+
+
+ANALYZE_RULES: Tuple[AnalyzeRule, ...] = (
+    AnalyzeRule(
+        "ANALYZE_BROAD_EXCEPT",
+        "broad 'except Exception' without an allow-broad-except pragma",
+        Severity.WARN),
+    AnalyzeRule(
+        "ANALYZE_IMPURE_CONTRACT",
+        "a contract entrypoint transitively reaches an ambient effect",
+        Severity.ERROR),
+    AnalyzeRule(
+        "ANALYZE_PRAGMA_UNJUSTIFIED",
+        "an allow pragma without a '-- justification' tail",
+        Severity.ERROR),
+    AnalyzeRule(
+        "ANALYZE_PRAGMA_UNKNOWN",
+        "a malformed pragma or one naming an unknown effect",
+        Severity.ERROR),
+    AnalyzeRule(
+        "ANALYZE_PRAGMA_UNUSED",
+        "an allow pragma that suppresses nothing",
+        Severity.WARN),
+    AnalyzeRule(
+        "ANALYZE_UNRESOLVED_REF",
+        "a declared module:function ref that does not resolve statically",
+        Severity.ERROR),
+)
+
+#: rule_id -> rule, for the SARIF table synthesizer.
+ANALYZE_RULE_INDEX: Dict[str, AnalyzeRule] = {
+    rule.rule_id: rule for rule in ANALYZE_RULES}

@@ -133,6 +133,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import os
+    static_requested = (args.strict or args.contract or args.graph
+                        or args.format != "text"
+                        or (args.scan_file and os.path.isdir(args.scan_file)))
+    if static_requested:
+        return _cmd_analyze_static(args)
     from .core import analyze_availability, quality_headlines
     from .scanner.io import load_dataset
     if args.scan_file:
@@ -158,6 +164,46 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"blank nextUpdate: {headlines.blank_next_update}")
     print(f"pre-generated responses: {headlines.not_on_demand}")
     return 0
+
+
+def _cmd_analyze_static(args: argparse.Namespace) -> int:
+    """The whole-program effect & purity analyzer (`repro analyze --strict`)."""
+    import json
+    import os
+    from pathlib import Path
+
+    from .analyze import analyze_package, analyze_tree, contract_table, graph_dump
+    from .lint.output import render_report
+
+    if args.scan_file and os.path.isdir(args.scan_file):
+        root = Path(args.scan_file).resolve()
+        analysis = analyze_tree(root)
+    else:
+        analysis = analyze_package()
+
+    if args.graph:
+        document = json.dumps(graph_dump(analysis), indent=2, sort_keys=True)
+        with open(args.graph, "w") as stream:
+            stream.write(document + "\n")
+        print(f"call graph: {args.graph}", file=sys.stderr)
+
+    if args.contract:
+        print(contract_table(analysis))
+    elif args.format != "text":
+        sys.stdout.write(render_report(analysis.report, args.format))
+    else:
+        for finding in analysis.report.findings:
+            print(finding.render())
+        pure = sum(1 for r in analysis.contracts
+                   if r.contract.kind != "unresolved" and not r.violations)
+        print(f"{len(analysis.program.modules)} modules, "
+              f"{len(analysis.graph.functions)} functions; "
+              f"{pure}/{len(analysis.contracts)} contracts pure; "
+              f"{len(analysis.report.findings)} finding(s)")
+
+    if args.strict:
+        return 0 if analysis.ok else 1
+    return 0 if analysis.clean else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -589,15 +635,31 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--out", help="write JSON-lines here (default: stdout)")
     scan.set_defaults(func=_cmd_scan)
 
-    analyze = commands.add_parser("analyze", parents=[runtime_flags],
-                                  help="report over a saved scan")
+    analyze = commands.add_parser(
+        "analyze", parents=[runtime_flags],
+        help="report over a saved scan, or (with --strict/--contract/"
+             "--graph) the whole-program effect & purity analyzer")
     analyze.add_argument("scan_file", nargs="?", default=None,
-                         help="saved scan (default: run the fig3 campaign)")
+                         help="saved scan (default: run the fig3 campaign); "
+                              "a directory selects the static analyzer "
+                              "and is used as its source root")
     analyze.add_argument("--responders", type=int, default=70)
     analyze.add_argument("--certs", type=int, default=1)
     analyze.add_argument("--days", type=int, default=7)
     analyze.add_argument("--interval", type=int, default=6,
                          help="hours between scans (no-file mode)")
+    analyze.add_argument("--strict", action="store_true",
+                         help="static analyzer: exit 1 on ANY finding, "
+                              "warnings included")
+    analyze.add_argument("--contract", action="store_true",
+                         help="static analyzer: print the purity-contract "
+                              "certification table")
+    analyze.add_argument("--graph", metavar="FILE", default=None,
+                         help="static analyzer: dump the call graph + "
+                              "effect map as JSON to FILE")
+    analyze.add_argument("--format", choices=["text", "json", "sarif"],
+                         default="text",
+                         help="static analyzer report format")
     analyze.set_defaults(func=_cmd_analyze)
 
     audit = commands.add_parser("audit", parents=[seed_flags],

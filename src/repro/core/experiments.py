@@ -7,9 +7,10 @@ the machine-readable version of DESIGN.md's experiment index.
 
 from __future__ import annotations
 
-import importlib
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..refs import is_ref, resolve_ref
 
 
 @dataclass(frozen=True)
@@ -22,8 +23,11 @@ class Experiment:
     modules: Tuple[str, ...]
     benchmark: str
     workload: str
-    #: ``module:function`` entrypoint consumed by
-    #: :func:`repro.runtime.run_experiment`.
+    #: Literal ``module:function`` entrypoint consumed by
+    #: :func:`repro.runtime.run_experiment`.  Always a plain string
+    #: literal in the registry source (never built at runtime), so the
+    #: effect analyzer (:mod:`repro.analyze`) discovers and certifies
+    #: every runner statically.
     runner: str = ""
 
     def resolve_runner(self) -> Callable:
@@ -31,9 +35,7 @@ class Experiment:
         if not self.runner:
             raise ValueError(
                 f"experiment {self.experiment_id!r} has no runner")
-        module_name, _, function_name = self.runner.partition(":")
-        module = importlib.import_module(module_name)
-        return getattr(module, function_name)
+        return resolve_ref(self.runner)
 
 
 _EXPERIMENTS: List[Experiment] = [
@@ -42,102 +44,119 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.datasets.corpus", "repro.core.adoption"),
         "benchmarks/test_sec4_deployment.py",
         "seeded Censys-substitute corpus (20k records ~ 112.8M certs)",
+        runner="repro.runtime.runners:run_sec4_deployment",
     ),
     Experiment(
         "fig2", "OCSP adoption vs website popularity", "Figure 2",
         ("repro.datasets.alexa", "repro.core.adoption"),
         "benchmarks/test_fig2_adoption.py",
         "Alexa model, 10,000-rank bins",
+        runner="repro.runtime.runners:run_fig2",
     ),
     Experiment(
         "fig3", "Fraction of successful OCSP requests over time", "Figure 3",
         ("repro.datasets.world", "repro.scanner.hourly", "repro.core.availability"),
         "benchmarks/test_fig3_availability.py",
         "134 responders x 2 certs x 6 vantages, Apr 25 - Sep 4 2018",
+        runner="repro.runtime.runners:run_fig3",
     ),
     Experiment(
         "fig4", "Alexa domains unable to fetch OCSP", "Figure 4",
         ("repro.scanner.alexa_scan", "repro.datasets.world"),
         "benchmarks/test_fig4_outage_impact.py",
         "606,367 Alexa OCSP domains mapped onto the responder world",
+        runner="repro.runtime.runners:run_fig4",
     ),
     Experiment(
         "fig5", "Unusable responses by error class", "Figure 5",
         ("repro.ocsp.verify", "repro.core.quality"),
         "benchmarks/test_fig5_validity.py",
         "hourly scan + malformed/serial/signature classification",
+        runner="repro.runtime.runners:run_fig5",
     ),
     Experiment(
         "fig6", "Certificates per OCSP response (CDF)", "Figure 6",
         ("repro.core.quality",),
         "benchmarks/test_fig6_certs_per_response.py",
         "per-responder averages over the hourly scan",
+        runner="repro.runtime.runners:run_fig6",
     ),
     Experiment(
         "fig7", "Serial numbers per OCSP response (CDF)", "Figure 7",
         ("repro.core.quality",),
         "benchmarks/test_fig7_serials_per_response.py",
         "per-responder averages over the hourly scan",
+        runner="repro.runtime.runners:run_fig7",
     ),
     Experiment(
         "fig8", "Validity period CDF", "Figure 8",
         ("repro.core.quality",),
         "benchmarks/test_fig8_validity_period.py",
         "per-responder validity periods; blank nextUpdate = infinity",
+        runner="repro.runtime.runners:run_fig8",
     ),
     Experiment(
         "fig9", "thisUpdate margin CDF", "Figure 9",
         ("repro.core.quality",),
         "benchmarks/test_fig9_thisupdate_margin.py",
         "received-minus-thisUpdate per responder, NTP-synced clients",
+        runner="repro.runtime.runners:run_fig9",
     ),
     Experiment(
         "tbl1", "CRL vs OCSP revocation-status discrepancies", "Table 1",
         ("repro.scanner.consistency", "repro.ca.registry"),
         "benchmarks/test_table1_discrepancy.py",
         "1:40-scaled 728,261 revoked serials across 7+ CAs",
+        runner="repro.runtime.runners:run_tbl1",
     ),
     Experiment(
         "fig10", "OCSP-vs-CRL revocation time deltas", "Figure 10",
         ("repro.scanner.consistency",),
         "benchmarks/test_fig10_revocation_time.py",
         "same cross-check; msocsp lag, negative tail, 4-year extreme",
+        runner="repro.runtime.runners:run_fig10",
     ),
     Experiment(
         "tbl2", "Browser Must-Staple support matrix", "Table 2",
         ("repro.browser",),
         "benchmarks/test_table2_browsers.py",
         "16 browser/OS combos vs a staple-less Must-Staple site",
+        runner="repro.runtime.runners:run_tbl2",
     ),
     Experiment(
         "fig11", "OCSP Stapling adoption vs popularity", "Figure 11",
         ("repro.datasets.alexa", "repro.core.adoption"),
         "benchmarks/test_fig11_stapling_adoption.py",
         "Alexa model, 10,000-rank bins",
+        runner="repro.runtime.runners:run_fig11",
     ),
     Experiment(
         "fig12", "Adoption over time (May 2016 - Sep 2018)", "Figure 12",
         ("repro.datasets.history", "repro.core.adoption"),
         "benchmarks/test_fig12_adoption_history.py",
         "monthly snapshots incl. the June-2017 Cloudflare jump",
+        runner="repro.runtime.runners:run_fig12",
     ),
     Experiment(
         "tbl3", "Web server stapling conformance", "Table 3",
         ("repro.webserver",),
         "benchmarks/test_table3_webservers.py",
         "4 experiments x {Apache, Nginx, ideal}",
+        runner="repro.runtime.runners:run_tbl3",
     ),
     Experiment(
         "sec5-freshness", "On-demand generation & non-overlap", "Section 5.4",
         ("repro.core.quality",),
         "benchmarks/test_sec5_freshness.py",
         "producedAt-vs-receipt analysis over the hourly scan",
+        runner="repro.runtime.runners:run_sec5_freshness",
     ),
     Experiment(
         "sec8-readiness", "The readiness verdict", "Section 8",
         ("repro.core.report",),
         "benchmarks/test_sec8_readiness.py",
         "all principals combined",
+        runner="repro.runtime.runners:run_sec8_readiness",
     ),
     # Extensions beyond the paper's evaluation.
     Experiment(
@@ -146,6 +165,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.webserver.multistaple",),
         "benchmarks/test_ext_multistaple.py",
         "revoked-intermediate detection with/without status_request_v2",
+        runner="repro.runtime.runners:run_ext_multistaple",
     ),
     Experiment(
         "ext-attack-window", "Replay/strip attack windows",
@@ -153,6 +173,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.core.attacks",),
         "benchmarks/test_ext_attack_window.py",
         "attack window vs staple validity period, per browser policy",
+        runner="repro.runtime.runners:run_ext_attack_window",
     ),
     Experiment(
         "ext-latency", "OCSP lookup latency, direct vs CDN-fronted",
@@ -160,6 +181,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.core.latency", "repro.scanner.cdn"),
         "benchmarks/test_ext_latency.py",
         "24 simulated hours of lookups from six vantages",
+        runner="repro.runtime.runners:run_ext_latency",
     ),
     Experiment(
         "ext-alternatives", "Revocation mechanism exposure windows",
@@ -167,6 +189,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.core.alternatives",),
         "benchmarks/test_ext_alternatives.py",
         "CRL vs OCSP vs Must-Staple vs short-lived certificates",
+        runner="repro.runtime.runners:run_ext_alternatives",
     ),
     Experiment(
         "ext-whatif", "Universal Must-Staple enforcement on today's stack",
@@ -174,6 +197,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.core.whatif",),
         "benchmarks/test_ext_deployment_whatif.py",
         "fleet of Must-Staple sites x {Apache, Nginx, ideal} x flaky responders",
+        runner="repro.runtime.runners:run_ext_whatif",
     ),
     Experiment(
         "ext-response-size", "Response size vs embedded certificates",
@@ -181,6 +205,7 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.core.quality",),
         "benchmarks/test_ext_response_size.py",
         "per-responder response sizes over the hourly scan",
+        runner="repro.runtime.runners:run_ext_response_size",
     ),
     Experiment(
         "abl-apache-patch", "Apache with the reported bugs fixed",
@@ -188,18 +213,21 @@ _EXPERIMENTS: List[Experiment] = [
         ("repro.webserver.apache",),
         "benchmarks/test_ablation_apache_patch.py",
         "conformance + outage lockout, stock vs patched",
+        runner="repro.runtime.runners:run_abl_apache_patch",
     ),
     Experiment(
         "abl-parser", "Strict vs lenient DER parsing", "DESIGN ablation",
         ("repro.asn1.decoder",),
         "benchmarks/test_ablation_parser.py",
         "garbage corpus + BER-tolerance probes",
+        runner="repro.runtime.runners:run_abl_parser",
     ),
     Experiment(
         "abl-keysize", "RSA key size", "DESIGN ablation",
         ("repro.crypto.rsa",),
         "benchmarks/test_ablation_keysize.py",
         "512/1024/2048-bit sign/verify semantics and cost",
+        runner="repro.runtime.runners:run_abl_keysize",
     ),
     Experiment(
         "chaos-availability", "Availability under injected fault scenarios",
@@ -208,6 +236,7 @@ _EXPERIMENTS: List[Experiment] = [
          "repro.scanner.hourly"),
         "benchmarks/test_chaos_availability.py",
         "hourly scan x {baseline, brownout, blackout, tail-latency, stale}",
+        runner="repro.runtime.runners:run_chaos_availability",
     ),
     Experiment(
         "chaos-client-outcomes", "Client policies under fault scenarios",
@@ -216,6 +245,7 @@ _EXPERIMENTS: List[Experiment] = [
          "repro.ocsp.client"),
         "benchmarks/test_chaos_client_outcomes.py",
         "scenario x {soft-fail, Must-Staple hard-fail, no-check} grid",
+        runner="repro.runtime.runners:run_chaos_client_outcomes",
     ),
     Experiment(
         "hostile-corpus", "Parser survival under structure-aware mutation",
@@ -224,48 +254,18 @@ _EXPERIMENTS: List[Experiment] = [
          "repro.asn1.decoder", "repro.lint.engine", "repro.ocsp.verify"),
         "benchmarks/test_hostile_corpus.py",
         "seeded DER mutants x {certificate, OCSP, CRL} x parse/lint/verify",
+        runner="repro.runtime.runners:run_hostile_corpus",
     ),
 ]
 
-#: Runner entrypoints live in repro.runtime.runners; the lookup below
-#: raises at import time if any registry entry lacks one.
-_RUNNERS: Dict[str, str] = {
-    "sec4-deployment": "run_sec4_deployment",
-    "fig2": "run_fig2",
-    "fig3": "run_fig3",
-    "fig4": "run_fig4",
-    "fig5": "run_fig5",
-    "fig6": "run_fig6",
-    "fig7": "run_fig7",
-    "fig8": "run_fig8",
-    "fig9": "run_fig9",
-    "tbl1": "run_tbl1",
-    "fig10": "run_fig10",
-    "tbl2": "run_tbl2",
-    "fig11": "run_fig11",
-    "fig12": "run_fig12",
-    "tbl3": "run_tbl3",
-    "sec5-freshness": "run_sec5_freshness",
-    "sec8-readiness": "run_sec8_readiness",
-    "ext-multistaple": "run_ext_multistaple",
-    "ext-attack-window": "run_ext_attack_window",
-    "ext-latency": "run_ext_latency",
-    "ext-alternatives": "run_ext_alternatives",
-    "ext-whatif": "run_ext_whatif",
-    "ext-response-size": "run_ext_response_size",
-    "abl-apache-patch": "run_abl_apache_patch",
-    "abl-parser": "run_abl_parser",
-    "abl-keysize": "run_abl_keysize",
-    "chaos-availability": "run_chaos_availability",
-    "chaos-client-outcomes": "run_chaos_client_outcomes",
-    "hostile-corpus": "run_hostile_corpus",
-}
-
-_EXPERIMENTS = [
-    replace(entry,
-            runner=f"repro.runtime.runners:{_RUNNERS[entry.experiment_id]}")
-    for entry in _EXPERIMENTS
-]
+#: Every entry must carry a literal, well-formed runner ref — checked
+#: at import time so a malformed registry can never reach execution.
+for _entry in _EXPERIMENTS:
+    if not is_ref(_entry.runner):
+        raise ValueError(
+            f"experiment {_entry.experiment_id!r} has a malformed runner "
+            f"ref: {_entry.runner!r}")
+del _entry
 
 
 def all_experiments() -> List[Experiment]:

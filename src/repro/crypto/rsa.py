@@ -87,7 +87,7 @@ def generate_keypair(bits: int = 512, rng: "random.Random | int | None" = None) 
     if isinstance(rng, int):
         rng = random.Random(rng)
     elif rng is None:
-        rng = random.Random()
+        rng = random.Random()  # repro: allow-effect[AMBIENT_RNG] -- convenience default for interactive use; every reproducible caller passes a seed
     if bits < 128:
         raise ValueError(f"modulus too small to hold a PKCS#1 digest: {bits} bits")
     half = bits // 2

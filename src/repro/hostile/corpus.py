@@ -162,7 +162,7 @@ def classify_mutant(kind: str, der: bytes, world: SeedWorld) -> Dict[str, Any]:
                    error_detail=str(exc)[:200],
                    error_offset=getattr(exc, "offset", None))
         return row
-    except Exception as exc:  # the bug class this experiment hunts
+    except Exception as exc:  # repro: allow-broad-except -- non-ASN1Error escapes from the parser are the bug class this experiment hunts; they become classified rows
         row.update(outcome="unexpected_exception",
                    error_class=type(exc).__name__,
                    error_detail=f"parse: {exc}"[:200])
@@ -177,7 +177,7 @@ def classify_mutant(kind: str, der: bytes, world: SeedWorld) -> Dict[str, Any]:
         findings = LintEngine().lint_der(der, _LINT_KIND[kind],
                                          f"hostile/{kind}", context)
         lint_errors = [f for f in findings if f.severity >= Severity.ERROR]
-    except Exception as exc:
+    except Exception as exc:  # repro: allow-broad-except -- lint-layer escapes on hostile input are findings, not failures; classified as unexpected_exception rows
         row.update(outcome="unexpected_exception",
                    error_class=type(exc).__name__,
                    error_detail=f"lint: {exc}"[:200])
@@ -193,7 +193,7 @@ def classify_mutant(kind: str, der: bytes, world: SeedWorld) -> Dict[str, Any]:
                    error_detail=f"verify: {exc}"[:200],
                    error_offset=getattr(exc, "offset", None))
         return row
-    except Exception as exc:
+    except Exception as exc:  # repro: allow-broad-except -- verifier escapes on hostile input are findings, not failures; classified as unexpected_exception rows
         row.update(outcome="unexpected_exception",
                    error_class=type(exc).__name__,
                    error_detail=f"verify: {exc}"[:200])

@@ -49,8 +49,26 @@ def report_to_sarif(report: LintReport) -> Dict[str, object]:
     the fired ones) so `ruleIndex` is stable across reports; byte
     provenance lands in `physicalLocation.region.byteOffset/byteLength`
     as the SARIF spec defines for binary artifacts.
+
+    Findings from the effect analyzer (:mod:`repro.analyze`) share
+    this serializer; its rule descriptions are merged into the table
+    only when such findings are present, so pure lint reports keep
+    the exact catalogue shape.
     """
-    rules = catalogue()
+    rules = list(catalogue())
+    known = {rule.rule_id for rule in rules}
+    foreign = {f.rule_id for f in report.findings} - known
+    if foreign:
+        from ..analyze.rules import ANALYZE_RULE_INDEX, AnalyzeRule
+        for rule_id in sorted(foreign):
+            extra = ANALYZE_RULE_INDEX.get(rule_id)
+            if extra is None:
+                severity = max(f.severity for f in report.findings
+                               if f.rule_id == rule_id)
+                extra = AnalyzeRule(rule_id, "externally defined rule",
+                                    severity)
+            rules.append(extra)
+        rules.sort(key=lambda rule: rule.rule_id)
     rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
     results: List[Dict[str, object]] = []
     for finding in report.findings:

@@ -1,0 +1,67 @@
+"""Dotted ``module:function`` entrypoint references.
+
+The runtime names every entrypoint it will call later — experiment
+runners on registry entries, shard workers on :class:`~repro.runtime.
+executor.ShardSpec` — as a dotted ``module:function`` string.  This
+module is the *single* implementation of that convention:
+
+* :func:`parse_ref` / :func:`resolve_ref` are what the runtime uses to
+  import an entrypoint at execution time;
+* :data:`REF_PATTERN` and :func:`is_ref` are what the static analyzer
+  (:mod:`repro.analyze`) uses to *discover* declared entrypoints in
+  source text.
+
+Because both sides share one grammar and one resolution order, a ref
+that imports fine at runtime but is invisible to the effect analyzer
+(or vice versa) is impossible by construction — the property the
+purity contract of :mod:`repro.analyze.contracts` rests on.
+
+Refs must name module-level functions (or classes) reachable by a
+plain ``getattr`` after import: no lambdas, closures, or instance
+attributes.  That restriction is what keeps every entrypoint picklable
+*and* statically resolvable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from typing import Any, Tuple
+
+#: The textual grammar of an entrypoint ref.  Anchored so arbitrary
+#: prose containing a colon never matches; the module side must be a
+#: dotted identifier path, the attribute side a single identifier.
+REF_PATTERN = re.compile(
+    r"^(?P<module>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)+)"
+    r":(?P<name>[A-Za-z_][A-Za-z0-9_]*)$")
+
+
+def is_ref(text: str) -> bool:
+    """True when *text* is syntactically a ``module:function`` ref."""
+    return bool(REF_PATTERN.match(text))
+
+
+def parse_ref(dotted: str) -> Tuple[str, str]:
+    """Split a ref into ``(module, name)``; raises ``ValueError``."""
+    match = REF_PATTERN.match(dotted)
+    if match is None:
+        raise ValueError(
+            f"entrypoint must be 'package.module:function', got {dotted!r}")
+    return match.group("module"), match.group("name")
+
+
+def resolve_ref(dotted: str) -> Any:
+    """Import a ref's module and return the named attribute.
+
+    Raises ``ValueError`` naming the ref on a malformed string or a
+    module without the attribute (so callers report the exact dotted
+    entrypoint that failed, not a bare ``AttributeError``).
+    """
+    module_name, attr_name = parse_ref(dotted)
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr_name)
+    except AttributeError:
+        raise ValueError(
+            f"entrypoint {dotted!r}: module {module_name!r} has no "
+            f"attribute {attr_name!r}") from None

@@ -209,7 +209,7 @@ class ArtifactCache:
                 for line in lines:
                     stream.write(line + "\n")
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException:  # repro: allow-broad-except -- tmp-file cleanup must run even on KeyboardInterrupt; the exception is re-raised
             try:
                 os.unlink(tmp)
             except OSError:

@@ -68,7 +68,7 @@ def chaos_wrap(spec: ShardSpec, mode: str, fail_times: int,
         label=f"chaos[{mode}x{fail_times}]:{spec.label}")
 
 
-def _attempt_number(scratch: str, token: str) -> int:
+def _attempt_number(scratch: str, token: str) -> int:  # repro: allow-effect[FS_READ,FS_WRITE] -- crash-safe attempt markers are the tested behavior; scratch dir is per-run
     """Record this attempt and return its 1-based number.
 
     Append-then-count keeps the bookkeeping crash-safe: the marker is
@@ -92,9 +92,9 @@ def chaos_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     if attempt <= payload["fail_times"]:
         mode = payload["mode"]
         if mode == "crash":
-            os._exit(CRASH_EXIT_CODE)
+            os._exit(CRASH_EXIT_CODE)  # repro: allow-effect[PROCESS] -- injected crash is the experiment; supervisor restarts the attempt
         elif mode == "hang":
-            time.sleep(float(payload.get("hang_s", 3600.0)))
+            time.sleep(float(payload.get("hang_s", 3600.0)))  # repro: allow-effect[WALL_CLOCK] -- injected hang is the experiment; supervisor timeout kills it
             # Normally unreachable — the supervisor kills us first.  If
             # the hang outlived the timeout, the attempt still fails.
             raise TransientShardError(

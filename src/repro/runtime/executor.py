@@ -11,28 +11,27 @@ the wall clock.
 
 from __future__ import annotations
 
-import importlib
 import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..refs import resolve_ref
 from .cache import ArtifactCache, shard_key
 from .result import ShardRecord
 
 
 def resolve_worker(dotted: str) -> Callable[[Dict[str, Any]], List[Dict[str, Any]]]:
-    """Import a ``module:function`` worker entrypoint."""
-    module_name, _, function_name = dotted.partition(":")
-    if not module_name or not function_name:
-        raise ValueError(f"worker must be 'module:function', got {dotted!r}")
-    module = importlib.import_module(module_name)
+    """Import a ``module:function`` worker entrypoint.
+
+    Thin wrapper over :func:`repro.refs.resolve_ref` — the same
+    resolution the static analyzer mirrors, so a worker ref that runs
+    here but escapes the purity contract cannot exist.
+    """
     try:
-        return getattr(module, function_name)
-    except AttributeError:
-        raise ValueError(
-            f"worker entrypoint {dotted!r}: module {module_name!r} has no "
-            f"attribute {function_name!r}") from None
+        return resolve_ref(dotted)
+    except ValueError as exc:
+        raise ValueError(f"worker {exc}") from None
 
 
 @dataclass

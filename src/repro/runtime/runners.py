@@ -57,7 +57,7 @@ def _world_for(world_dict: Dict[str, Any]):
     from ..datasets.world import MeasurementWorld, WorldConfig
     key = stable_digest(world_dict)
     if key not in _WORLD_MEMO:
-        _WORLD_MEMO[key] = MeasurementWorld(WorldConfig.from_dict(world_dict))
+        _WORLD_MEMO[key] = MeasurementWorld(WorldConfig.from_dict(world_dict))  # repro: allow-effect[GLOBAL_MUTATION] -- memo keyed by full config digest; same key always maps to the same value
     return _WORLD_MEMO[key]
 
 
@@ -442,7 +442,7 @@ def parser_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     return rows
 
 
-def keysize_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+def keysize_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:  # repro: allow-effect[WALL_CLOCK] -- timing columns are measurements, not deterministic content
     """Ablation: RSA key size — semantics per size, with costs.
 
     The timing columns are measurements, not deterministic content;

@@ -94,7 +94,7 @@ def _worker_loop(conn) -> None:
         started = time.perf_counter()
         try:
             rows = resolve_worker(worker)(payload)
-        except BaseException as exc:  # classified by name in the parent
+        except BaseException as exc:  # repro: allow-broad-except -- worker-process firewall; the parent classifies the failure by exception name
             conn.send(("error", index, type(exc).__name__, str(exc),
                        (time.perf_counter() - started) * 1000.0))
         else:

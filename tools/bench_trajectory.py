@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Recorded perf trajectory for the two headline campaigns.
+
+Runs ``fig3`` (the availability scan) and ``hostile-corpus`` (the
+mutation survival matrix) through :func:`repro.runtime.run_experiment`
+twice each — cold (fresh cache, every shard executes) and warm (same
+cache, every shard restores) — and emits one JSON artifact per
+campaign:
+
+* ``BENCH_fig3_availability.json``
+* ``BENCH_hostile_corpus.json``
+
+Each artifact records wall time (cold and warm), shard count, and the
+warm-run cache hit rate.  With committed baselines under
+``benchmarks/baselines/`` the tool doubles as a regression gate: shard
+count and cache hit rate must not regress at all (both are
+deterministic), and cold wall time must stay within
+``REPRO_BENCH_TOLERANCE`` (default 0.25 — the >25%% CI gate) of the
+baseline.
+
+Usage::
+
+    python tools/bench_trajectory.py [--out-dir DIR] [--workers N]
+    python tools/bench_trajectory.py --write-baseline   # refresh baselines
+
+Exit code 0 when clean (or no baseline committed yet), 1 on
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SCHEMA = "repro-bench/1"
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+
+#: experiment id -> artifact stem.
+CAMPAIGNS = {
+    "fig3": "BENCH_fig3_availability",
+    "hostile-corpus": "BENCH_hostile_corpus",
+}
+
+
+def _tolerance() -> float:
+    return float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
+
+
+def bench_campaign(experiment_id: str, workers: int) -> Dict[str, object]:
+    """Cold+warm run of one campaign against a fresh cache."""
+    from repro.runtime import run_experiment
+
+    cache_dir = tempfile.mkdtemp(prefix=f"bench-{experiment_id}-")
+    try:
+        started = time.perf_counter()
+        cold = run_experiment(experiment_id, workers=workers,
+                              cache=True, cache_dir=cache_dir)
+        cold_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_experiment(experiment_id, workers=workers,
+                              cache=True, cache_dir=cache_dir)
+        warm_wall = time.perf_counter() - started
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    shards = len(warm.provenance.shards)
+    hit_rate = (warm.provenance.cached_shards / shards) if shards else 0.0
+    return {
+        "schema": SCHEMA,
+        "experiment": experiment_id,
+        "workers": workers,
+        "shards": shards,
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+        "cache_hit_rate": round(hit_rate, 4),
+        "cold_cache": cold.cache_status,
+        "warm_cache": warm.cache_status,
+        "code_version": warm.provenance.code_version,
+    }
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            tolerance: float) -> List[str]:
+    """Regressions of *current* vs *baseline* (empty when clean)."""
+    problems: List[str] = []
+    if current["shards"] != baseline["shards"]:
+        problems.append(
+            f"shard count changed: {baseline['shards']} -> "
+            f"{current['shards']} (update the baseline if intentional)")
+    if current["cache_hit_rate"] < baseline["cache_hit_rate"]:
+        problems.append(
+            f"cache hit rate regressed: {baseline['cache_hit_rate']} -> "
+            f"{current['cache_hit_rate']}")
+    limit = float(baseline["cold_wall_s"]) * (1.0 + tolerance)
+    if float(current["cold_wall_s"]) > limit:
+        problems.append(
+            f"cold wall time regressed >{tolerance * 100:.0f}%: "
+            f"{baseline['cold_wall_s']}s -> {current['cold_wall_s']}s "
+            f"(limit {limit:.3f}s)")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=".",
+                        help="where the BENCH_*.json artifacts land")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh benchmarks/baselines/ instead of "
+                             "comparing against it")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tolerance = _tolerance()
+    failures: List[str] = []
+
+    for experiment_id, stem in CAMPAIGNS.items():
+        record = bench_campaign(experiment_id, args.workers)
+        artifact = out_dir / f"{stem}.json"
+        artifact.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"{experiment_id}: {record['shards']} shards, "
+              f"cold {record['cold_wall_s']}s, warm {record['warm_wall_s']}s, "
+              f"hit rate {record['cache_hit_rate']} -> {artifact}")
+
+        baseline_path = BASELINE_DIR / f"{stem}.json"
+        if args.write_baseline:
+            BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+            baseline_path.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+            print(f"  baseline written: {baseline_path}")
+        elif baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+            for problem in compare(record, baseline, tolerance):
+                failures.append(f"{experiment_id}: {problem}")
+        else:
+            print(f"  no baseline at {baseline_path}; comparison skipped")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print("bench trajectory clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

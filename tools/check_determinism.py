@@ -37,6 +37,18 @@ import sys
 from pathlib import Path
 from typing import Iterator, List, NamedTuple, Optional, Tuple
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analyze.effects import (  # noqa: E402
+    GLOBAL_RNG_FUNCS,
+    GLOBAL_RNG_MESSAGE,
+    HASH_MESSAGE,
+    SECRETS_MESSAGE,
+    UNSEEDED_RANDOM_MESSAGE,
+    UTCNOW_MESSAGE,
+    banned_attr_call_messages,
+)
+
 #: (normalized path suffix, offending code) pairs that are documented.
 ALLOWLIST: Tuple[Tuple[str, str], ...] = (
     # generate_keypair()'s fresh-key default; every corpus/test caller
@@ -49,27 +61,14 @@ ALLOWLIST: Tuple[Tuple[str, str], ...] = (
     ("runtime/chaos.py", "time.sleep()"),
 )
 
-#: Banned (object, attribute) call pairs and why.
-_BANNED_ATTR_CALLS = {
-    ("datetime", "now"): "wall-clock read; take a reference time argument",
-    ("datetime", "utcnow"): "wall-clock read; take a reference time argument",
-    ("date", "today"): "wall-clock read; take a reference time argument",
-    ("time", "time"): "wall-clock read; take a reference time argument",
-    ("time", "time_ns"): "wall-clock read; take a reference time argument",
-    ("time", "monotonic"): "wall-clock read; take a reference time argument",
-    ("random", "SystemRandom"): "OS entropy; use a seeded random.Random",
-    ("os", "urandom"): "OS entropy; use a seeded random.Random",
-    ("time", "sleep"): "wall-clock pacing; use simulated time or "
-                       "deadline-based supervision",
-    ("os", "_exit"): "skips interpreter cleanup; crash injection belongs "
-                     "in repro.runtime.chaos",
-}
+#: Banned (object, attribute) call pairs and why — derived from the
+#: effect analyzer's seed table (:mod:`repro.analyze.effects`), so the
+#: two static passes cannot drift.  Rules with ``determinism_ban=True``
+#: there are exactly this checker's historical ban list.
+_BANNED_ATTR_CALLS = banned_attr_call_messages()
 
 #: Module-level random functions that use the global (unseeded) RNG.
-_GLOBAL_RNG_FUNCS = frozenset({
-    "random", "randint", "randrange", "choice", "choices", "shuffle",
-    "sample", "getrandbits", "uniform", "gauss", "betavariate", "seed",
-})
+_GLOBAL_RNG_FUNCS = GLOBAL_RNG_FUNCS
 
 
 class Violation(NamedTuple):
@@ -138,22 +137,17 @@ class _Checker(ast.NodeVisitor):
             if pair in _BANNED_ATTR_CALLS:
                 self._flag(node, ".".join(parts) + "()", _BANNED_ATTR_CALLS[pair])
             elif tail == "utcnow":
-                self._flag(node, ".".join(parts) + "()",
-                           "wall-clock read; take a reference time argument")
+                self._flag(node, ".".join(parts) + "()", UTCNOW_MESSAGE)
             elif tail == "Random" and not node.args and not node.keywords:
                 self._flag(node, ".".join(parts) + "()",
-                           "unseeded RNG; pass an explicit seed")
+                           UNSEEDED_RANDOM_MESSAGE)
             elif (len(parts) == 2 and head == "random"
                   and head in self.module_names and tail in _GLOBAL_RNG_FUNCS):
-                self._flag(node, ".".join(parts) + "()",
-                           "global unseeded RNG; use a seeded random.Random")
+                self._flag(node, ".".join(parts) + "()", GLOBAL_RNG_MESSAGE)
             elif head == "secrets" and head in self.module_names:
-                self._flag(node, ".".join(parts) + "()",
-                           "OS entropy; use a seeded random.Random")
+                self._flag(node, ".".join(parts) + "()", SECRETS_MESSAGE)
             elif (parts == ["hash"] and not self._hash_method_depth):
-                self._flag(node, "hash()",
-                           "randomized per process; use "
-                           "repro.canon.stable_seed")
+                self._flag(node, "hash()", HASH_MESSAGE)
         self.generic_visit(node)
 
 
