@@ -13,7 +13,7 @@ from repro.browser import by_label, connect, Verdict
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
 from repro.simnet import (DAY, HOUR, MEASUREMENT_START, FailureKind, Network,
-                          OutageWindow)
+                          OutageWindow, ocsp_service)
 from repro.webserver import (
     ApachePatchedServer,
     ApacheServer,
@@ -35,7 +35,7 @@ def _lockout_hours(server_class) -> int:
                          validity_period=DAY),
         epoch_start=NOW - 7 * DAY)
     network = Network()
-    origin = network.add_origin("patch", "us-east", responder.handle)
+    origin = network.add_origin("patch", "us-east", ocsp_service(responder))
     network.bind("ocsp.patch.test", origin)
     origin.add_outage(OutageWindow(NOW + 6 * HOUR, NOW + 12 * HOUR,
                                    kind=FailureKind.TCP))

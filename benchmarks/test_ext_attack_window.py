@@ -17,7 +17,7 @@ from repro.browser import by_label
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.core import AttackerCapabilities, measure_attack_window
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from repro.webserver import IdealServer
 from repro.x509 import TrustStore
 
@@ -37,7 +37,7 @@ def build_site(validity: int):
         epoch_start=NOW - 7 * DAY)
     network = Network()
     network.bind("ocsp.atw.test",
-                 network.add_origin("atw", "us-east", responder.handle))
+                 network.add_origin("atw", "us-east", ocsp_service(responder)))
     server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                          network=network)
     trust = TrustStore([ca.certificate])

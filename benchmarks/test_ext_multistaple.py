@@ -11,7 +11,7 @@ from conftest import banner
 
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from repro.tls import ClientHello
 from repro.webserver import MultiStapleServer, verify_chain_staples
 
@@ -32,7 +32,7 @@ def build():
             ResponderProfile(update_interval=None, this_update_margin=HOUR),
             epoch_start=NOW - 7 * DAY)
         network.bind(f"ocsp.{name}.test",
-                     network.add_origin(f"{name}-ocsp", "us-east", responder.handle))
+                     network.add_origin(f"{name}-ocsp", "us-east", ocsp_service(responder)))
     server = MultiStapleServer(
         chain=[leaf, intermediate.certificate, root.certificate],
         issuer=intermediate.certificate, network=network)

@@ -19,7 +19,7 @@ from repro.core import (
     render_table,
 )
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from repro.webserver import IdealServer
 from repro.x509 import TrustStore
 
@@ -39,7 +39,7 @@ def build_site(validity):
         epoch_start=NOW - 7 * DAY)
     network = Network()
     network.bind("ocsp.attack.test",
-                 network.add_origin("attack", "us-east", responder.handle))
+                 network.add_origin("attack", "us-east", ocsp_service(responder)))
     server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                          network=network)
     ca.revoke(leaf, NOW, reason=1)  # key compromise!

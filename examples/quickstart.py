@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 from repro.browser import by_label, connect, Verdict
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from repro.webserver import IdealServer
 from repro.x509 import TrustStore
 
@@ -32,7 +32,7 @@ def main() -> None:
         epoch_start=NOW - 7 * DAY,
     )
     network = Network()
-    origin = network.add_origin("quickstart-ocsp", "us-east", responder.handle)
+    origin = network.add_origin("quickstart-ocsp", "us-east", ocsp_service(responder))
     network.bind("ocsp.quickstart.test", origin)
 
     # 2. A Must-Staple certificate for a site (opt-in, like Let's Encrypt).

@@ -30,7 +30,7 @@ from repro.ca import (
 from repro.crypto import generate_keypair
 from repro.ocsp import OCSPClient
 from repro.scanner import self_test_responder
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 
 NOW = MEASUREMENT_START
 
@@ -61,7 +61,7 @@ def main() -> None:
                                   epoch_start=NOW - 7 * DAY)
         network.bind(f"ocsp{index}.gallery.test",
                      network.add_origin(f"gallery-{index}", "us-east",
-                                        responder.handle))
+                                        ocsp_service(responder)))
         sites.append((label, ca, leaf))
 
     now = NOW + HOUR

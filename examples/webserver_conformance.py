@@ -14,7 +14,7 @@ from repro.browser import by_label, connect, Verdict
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.core import render_table
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, FailureKind, Network, OutageWindow
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, FailureKind, Network, OutageWindow, ocsp_service
 from repro.webserver import (
     ApacheServer,
     EXPERIMENTS,
@@ -51,7 +51,7 @@ def outage_what_if() -> None:
         epoch_start=NOW - 7 * DAY,
     )
     network = Network()
-    origin = network.add_origin("whatif", "us-east", responder.handle)
+    origin = network.add_origin("whatif", "us-east", ocsp_service(responder))
     network.bind("ocsp.whatif.test", origin)
     # Outage from hour 6 to hour 12.
     origin.add_outage(OutageWindow(NOW + 6 * HOUR, NOW + 12 * HOUR,

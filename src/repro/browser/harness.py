@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from ..crypto import generate_keypair
-from ..simnet import Network
+from ..simnet import Network, ocsp_service
 from ..webserver import ApacheServer
 from ..x509 import TrustStore
 from .policy import BrowserPolicy, BrowsingOutcome, Verdict, connect
@@ -86,7 +86,8 @@ def run_browser_tests(browsers: Sequence[BrowserPolicy] = ALL_BROWSERS,
                               ResponderProfile(update_interval=None,
                                                this_update_margin=3600),
                               epoch_start=now - 7 * 86400)
-    origin = network.add_origin("le-ocsp", "us-east", responder.handle)
+    origin = network.add_origin("le-ocsp", "us-east",
+                                ocsp_service(responder))
     network.bind("ocsp.int-x3.letsencrypt.test", origin)
 
     # Apache with SSLUseStapling off: never staples.

@@ -1,4 +1,4 @@
-"""The simulated OCSP responder (RFC 6960 over HTTP POST).
+"""The simulated OCSP responder core (RFC 6960), transport-neutral.
 
 One :class:`OCSPResponder` serves one responder URL for one CA, with
 its behaviour fully described by a
@@ -6,12 +6,21 @@ its behaviour fully described by a
 deterministically from the simulated time, so pre-generated responses
 are modelled statelessly: two requests in the same update epoch see
 byte-identical responses, exactly like a caching responder.
+
+The core speaks DER, not HTTP: :meth:`OCSPResponder.handle` takes the
+raw request bytes plus the simulated clock and returns a
+:class:`~repro.ocsp.ResponseArtifact`.  HTTP framing (POST bodies, GET
+base64 paths, method policing) lives in one shared adapter —
+:func:`repro.simnet.ocsp_http_exchange` — so the in-process simnet
+services and the ``repro.serve`` daemon drive the identical
+signing/caching path and answer byte-identically for the same
+(request, clock).
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
+import warnings
 from typing import List, Optional
 
 from ..asn1.errors import ASN1Error
@@ -21,21 +30,22 @@ from ..ocsp import (
     CertID,
     CertStatus,
     OCSPRequest,
+    ResponseArtifact,
     ResponseStatus,
     RevokedInfo,
     SingleResponse,
     encode_error_response,
     encode_response,
 )
-from ..simnet.http import (
-    OCSP_REQUEST_CONTENT_TYPE,
-    OCSP_RESPONSE_CONTENT_TYPE,
-    HTTPRequest,
-    HTTPResponse,
-)
+from ..simnet.http import HTTPRequest, HTTPResponse
 from ..x509 import Certificate
 from .authority import CertificateAuthority
 from .profiles import ResponderProfile
+
+_RESPOND_DEPRECATION = (
+    "OCSPResponder.respond(HTTPRequest, now) is deprecated; call "
+    "handle(request_der, now) for the transport-neutral core, or bind "
+    "repro.simnet.ocsp_service(responder) for HTTP traffic")
 
 _JAVASCRIPT_BODY = (
     b"<html><head><script>window.location='https://example.test/';"
@@ -75,50 +85,65 @@ class OCSPResponder:
             seed = stable_seed("wrong", authority.name, url)
             self._signer_key = generate_keypair(512, rng=seed)
 
-    # -- the Service protocol --------------------------------------------------
+    # -- the transport-neutral core --------------------------------------------
 
-    def handle(self, request: HTTPRequest, now: int) -> HTTPResponse:
-        """Handle an HTTP request carrying a DER OCSP request."""
+    #: Process-wide "respond() shim already warned" latch.
+    _respond_warned = False
+
+    def handle(self, request_der: Optional[bytes], now: int) -> ResponseArtifact:
+        """Answer one OCSP request given as DER bytes at simulated *now*.
+
+        ``request_der=None`` is the transport's signal that it received
+        an OCSP exchange but could not extract request bytes (e.g. a
+        GET path whose base64 does not decode) — answered with a
+        malformed-request error envelope, exactly like undecodable DER.
+        Misbehaving profiles (``malformed_mode`` / windows) win over
+        everything, matching real broken responders that emit the same
+        junk regardless of input.
+        """
         self.request_count += 1
 
         malformed = self._malformed_body(now)
         if malformed is not None:
-            return HTTPResponse(200, malformed,
-                                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE})
+            return ResponseArtifact(body=malformed, source="malformed")
 
-        if request.method == "POST":
-            request_der = request.body
-        elif request.method == "GET":
-            # RFC 6960 appendix A.1: base64 request in the URL path.
-            from ..simnet.http import decode_ocsp_get_path
-            try:
-                request_der = decode_ocsp_get_path(request.path)
-            except ValueError:
-                return HTTPResponse(
-                    200,
-                    encode_error_response(ResponseStatus.MALFORMED_REQUEST),
-                    {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
-                )
-        else:
-            return HTTPResponse(405, b"method not allowed")
+        if request_der is None:
+            return self._error_artifact(ResponseStatus.MALFORMED_REQUEST)
+        if not isinstance(request_der, (bytes, bytearray, memoryview)):
+            raise TypeError(
+                "OCSPResponder.handle(request_der, now) takes DER request "
+                "bytes; wrap HTTP traffic with "
+                "repro.simnet.ocsp_service(responder) or the deprecated "
+                "respond() shim")
         try:
-            ocsp_request = OCSPRequest.from_der(request_der)
+            ocsp_request = OCSPRequest.from_der(bytes(request_der))
         except (ASN1Error, ValueError):
-            return HTTPResponse(
-                200,
-                encode_error_response(ResponseStatus.MALFORMED_REQUEST),
-                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
-            )
+            return self._error_artifact(ResponseStatus.MALFORMED_REQUEST)
 
         if self.profile.always_try_later:
-            return HTTPResponse(
-                200,
-                encode_error_response(ResponseStatus.TRY_LATER),
-                {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE},
-            )
+            return self._error_artifact(ResponseStatus.TRY_LATER)
 
-        body = self._build_response(ocsp_request, now)
-        return HTTPResponse(200, body, {"Content-Type": OCSP_RESPONSE_CONTENT_TYPE})
+        return self._build_response(ocsp_request, now)
+
+    def respond(self, request: HTTPRequest, now: int) -> HTTPResponse:
+        """Deprecated HTTP-shaped entrypoint (pre-PR7 ``handle``).
+
+        Warns once per process, then delegates to the shared HTTP
+        adapter so old callers still exercise the one true path.
+        """
+        if not OCSPResponder._respond_warned:
+            OCSPResponder._respond_warned = True
+            warnings.warn(_RESPOND_DEPRECATION, DeprecationWarning,
+                          stacklevel=2)
+        from ..simnet.http import ocsp_http_exchange
+        return ocsp_http_exchange(self, request, now)
+
+    @staticmethod
+    def _error_artifact(status: ResponseStatus) -> ResponseArtifact:
+        return ResponseArtifact(
+            body=encode_error_response(status),
+            source=f"error:{status.name.lower()}",
+        )
 
     # -- generation --------------------------------------------------------------
 
@@ -151,7 +176,8 @@ class OCSPResponder:
         elapsed = max(0, now - start)
         return start + (elapsed // interval) * interval
 
-    def _build_response(self, ocsp_request: OCSPRequest, now: int) -> bytes:
+    def _build_response(self, ocsp_request: OCSPRequest,
+                        now: int) -> ResponseArtifact:
         generated_at = self.generation_time(now)
         cache_key = (
             generated_at,
@@ -201,10 +227,16 @@ class OCSPResponder:
             certificates=certificates,
             nonce=ocsp_request.nonce,
         )
+        artifact = ResponseArtifact(
+            body=body,
+            produced_at=generated_at,
+            next_update=next_update,
+            source="signed",
+        )
         if len(self._response_cache) > 4096:
             self._response_cache.clear()
-        self._response_cache[cache_key] = body
-        return body
+        self._response_cache[cache_key] = artifact
+        return artifact
 
     def _single_for(self, cert_id: CertID, this_update: int,
                     next_update: Optional[int], now: int) -> SingleResponse:

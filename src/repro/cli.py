@@ -15,6 +15,8 @@ Commands:
 * ``lint``        — static conformance analysis of certificates/OCSP/CRLs
 * ``hostile``     — seeded structure-aware DER mutation (hostile corpus)
 * ``cache``       — artifact-cache maintenance (stats / verify / gc)
+* ``serve``       — asyncio OCSP-over-HTTP responder daemon
+* ``loadgen``     — deterministic load generator against a daemon
 
 Experiment-running commands share the runtime flags ``--workers``,
 ``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
@@ -35,15 +37,10 @@ _DEFAULT_SEED = 7
 
 
 def _seed(args: argparse.Namespace) -> int:
-    """Resolve the effective seed; the pre-runtime root ``--seed``
-    spelling still works but warns."""
+    """Resolve the effective seed (``<command> --seed N``; the old
+    root-level spelling is rejected in :func:`main`)."""
     if getattr(args, "seed", None) is not None:
         return args.seed
-    root = getattr(args, "root_seed", None)
-    if root is not None:
-        print("warning: 'repro --seed N <command>' is deprecated; "
-              "use '<command> --seed N'", file=sys.stderr)
-        return root
     return _DEFAULT_SEED
 
 
@@ -315,9 +312,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .core.figures import FigureScale, generate_all
     if args.full:
-        print("warning: 'figures --full' is deprecated; "
-              "use 'figures --scale full'", file=sys.stderr)
-        args.scale = "full"
+        print("figures: '--full' was removed; "
+              "use 'repro figures --scale full'", file=sys.stderr)
+        return 2
     scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
     scale.seed = _seed(args)
     print(f"generating figure/table data into {args.out} "
@@ -562,6 +559,91 @@ def _cmd_issue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_world(args: argparse.Namespace):
+    """The (world, now) a serve/loadgen invocation operates on."""
+    from .datasets import MeasurementWorld, WorldConfig
+    world = MeasurementWorld(WorldConfig(n_responders=args.responders,
+                                         certs_per_responder=args.certs,
+                                         seed=_seed(args)))
+    now = args.now if args.now is not None else world.config.start + HOUR
+    return world, now
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio OCSP responder daemon over a simulated world."""
+    import asyncio
+
+    from .serve import ServeApp, ServeDaemon
+
+    world, now = _serve_world(args)
+    app = ServeApp.for_world(world, now=now,
+                             cache_capacity=args.cache_capacity,
+                             max_batch=args.max_batch)
+    daemon = ServeDaemon(app, host=args.host, port=args.port)
+
+    async def serve() -> None:
+        host, port = await daemon.start()
+        print(f"serving {len(app.runtimes)} responders on "
+              f"http://{host}:{port} (simulated now={now}, seed="
+              f"{_seed(args)}); control: /-/healthz /-/stats",
+              file=sys.stderr)
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay seeded corpus traffic against a daemon (or in-process)."""
+    from .serve import (
+        ServeApp,
+        direct_responses,
+        expected_digest,
+        replay_inprocess,
+        replay_tcp,
+        synthesize_traffic,
+    )
+
+    world, now = _serve_world(args)
+    traffic = synthesize_traffic(world, args.requests, seed=_seed(args),
+                                 get_fraction=args.get_fraction,
+                                 nonce_fraction=args.nonce_fraction)
+    if args.inprocess:
+        app = ServeApp.for_world(world, now=now,
+                                 max_batch=args.max_batch)
+        report = replay_inprocess(app, traffic)
+    else:
+        try:
+            report = replay_tcp(args.host, args.port, traffic,
+                                concurrency=args.concurrency)
+        except ConnectionError as exc:
+            print(f"loadgen: cannot reach {args.host}:{args.port}: {exc} "
+                  f"(start 'repro serve' with the same --seed/--responders/"
+                  f"--certs/--now first)", file=sys.stderr)
+            return 2
+    summary = report.summary()
+    print(f"{summary['requests']} requests in {summary['duration_s']:.3f}s: "
+          f"{summary['req_per_s']:.0f} req/s")
+    print(f"latency p50 {summary['p50_ms']:.3f} ms, "
+          f"p99 {summary['p99_ms']:.3f} ms")
+    print("status counts: " + ", ".join(
+        f"{code}={count}" for code, count in summary["status_counts"].items()))
+    print(f"body digest: {report.body_digest}")
+    if args.no_verify:
+        return 0
+    expected = expected_digest(direct_responses(world, traffic, now))
+    if report.body_digest == expected:
+        print("byte-identity vs in-process responder core: OK")
+        return 0
+    print(f"byte-identity vs in-process responder core: MISMATCH "
+          f"(expected {expected}) — is the daemon serving the same "
+          f"--seed/--responders/--certs/--now?", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -570,7 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Must-Staple?' (IMC 2018)",
     )
     parser.add_argument("--seed", type=int, default=None, dest="root_seed",
-                        help="deprecated; use '<command> --seed N'")
+                        help=argparse.SUPPRESS)  # removed; rejected in main()
     commands = parser.add_subparsers(dest="command", required=True)
 
     # Shared flags: every command that can reach run_experiment() takes
@@ -754,8 +836,54 @@ def build_parser() -> argparse.ArgumentParser:
                          default="small",
                          help="small (seconds) or full (benchmark scale)")
     figures.add_argument("--full", action="store_true",
-                         help="deprecated alias of --scale full")
+                         help=argparse.SUPPRESS)  # removed; rejected with hint
     figures.set_defaults(func=_cmd_figures)
+
+    serve = commands.add_parser(
+        "serve", parents=[seed_flags],
+        help="asyncio OCSP-over-HTTP responder daemon (simulated world)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8688,
+                       help="listen port (0 = ephemeral; default 8688)")
+    serve.add_argument("--responders", type=int, default=20)
+    serve.add_argument("--certs", type=int, default=2,
+                       help="certificates per responder")
+    serve.add_argument("--now", type=int, default=None,
+                       help="fixed simulated POSIX clock "
+                            "(default: world start + 1h)")
+    serve.add_argument("--cache-capacity", type=int, default=65536,
+                       help="pre-signed cache entries per responder")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="signing micro-batch bound")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", parents=[seed_flags],
+        help="deterministic load generator against a daemon")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8688)
+    loadgen.add_argument("--requests", type=int, default=4000)
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="keep-alive TCP connections")
+    loadgen.add_argument("--responders", type=int, default=20)
+    loadgen.add_argument("--certs", type=int, default=2,
+                         help="certificates per responder")
+    loadgen.add_argument("--now", type=int, default=None,
+                         help="fixed simulated POSIX clock "
+                              "(must match the daemon's)")
+    loadgen.add_argument("--get-fraction", type=float, default=0.25,
+                         help="fraction preferring RFC 6960 A.1 GET")
+    loadgen.add_argument("--nonce-fraction", type=float, default=0.02,
+                         help="fraction carrying a cache-busting nonce")
+    loadgen.add_argument("--max-batch", type=int, default=64,
+                         help="signing micro-batch bound (--inprocess)")
+    loadgen.add_argument("--inprocess", action="store_true",
+                         help="replay through the serving app directly, "
+                              "no daemon needed")
+    loadgen.add_argument("--no-verify", action="store_true",
+                         help="skip the byte-identity check against the "
+                              "in-process responder core")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     selftest = commands.add_parser(
         "selftest", parents=[seed_flags],
@@ -773,6 +901,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "root_seed", None) is not None:
+        print("repro: the root '--seed N' spelling was removed; "
+              f"use 'repro {args.command} --seed {args.root_seed}'",
+              file=sys.stderr)
+        return 2
     return args.func(args)
 
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 from ..browser import BrowserPolicy, by_label, hardened_browser
 from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from ..crypto import generate_keypair
-from ..simnet import DAY, HOUR, MEASUREMENT_START, Network
+from ..simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from ..webserver import IdealServer
 from ..x509 import TrustStore
 from .attacks import AttackerCapabilities, measure_attack_window
@@ -70,7 +70,8 @@ def _measured_ocsp_window(policy: BrowserPolicy, validity: int,
     )
     network = Network()
     network.bind("ocsp.alt.test",
-                 network.add_origin("alt", "us-east", responder.handle))
+                 network.add_origin("alt", "us-east",
+                                    ocsp_service(responder)))
     server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                          network=network)
     trust = TrustStore([ca.certificate])

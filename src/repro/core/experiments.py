@@ -256,6 +256,15 @@ _EXPERIMENTS: List[Experiment] = [
         "seeded DER mutants x {certificate, OCSP, CRL} x parse/lint/verify",
         runner="repro.runtime.runners:run_hostile_corpus",
     ),
+    Experiment(
+        "serve-loadtest", "Responder daemon byte-identity and throughput",
+        "Section 6 responder-side serving (daemon extension)",
+        ("repro.serve.app", "repro.serve.cache", "repro.serve.batcher",
+         "repro.serve.loadgen", "repro.ca.responder"),
+        "benchmarks/test_serve_loadtest.py",
+        "seeded traffic x {daemon path, in-process core} identity + warm-cache load",
+        runner="repro.runtime.runners:run_serve_loadtest",
+    ),
 ]
 
 #: Every entry must carry a literal, well-formed runner ref — checked

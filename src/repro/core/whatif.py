@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Type
 from ..browser import by_label, connect, Verdict
 from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from ..crypto import KeyPool
-from ..simnet import DAY, HOUR, FailureKind, Network, OutageWindow
+from ..simnet import DAY, HOUR, FailureKind, Network, OutageWindow, ocsp_service
 from ..webserver import ApacheServer, IdealServer, NginxServer, StaplingWebServer
 from ..x509 import TrustStore
 
@@ -97,7 +97,8 @@ def run_whatif(config: Optional[WhatIfConfig] = None,
             ResponderProfile(update_interval=None, this_update_margin=HOUR,
                              validity_period=config.staple_validity),
             epoch_start=start - 7 * DAY)
-        origin = network.add_origin(f"whatif-{index}", "us-east", responder.handle)
+        origin = network.add_origin(f"whatif-{index}", "us-east",
+                                    ocsp_service(responder))
         network.bind(f"ocsp{index}.whatif.test", origin)
         if rng.random() < config.responder_outage_fraction:
             outage_start = start + rng.randrange(0, config.days * DAY)

@@ -36,6 +36,7 @@ from ..simnet import (
     Origin,
     OutageWindow,
     at,
+    ocsp_service,
 )
 from ..simnet.vantage import SERVICE_REGIONS, VANTAGE_POINTS
 from ..x509 import Certificate
@@ -534,7 +535,7 @@ class MeasurementWorld:
             chain_to_root=chain_to_root,
         )
         origin = self.network.add_origin(f"origin-{index}-{family}", region,
-                                         responder.handle)
+                                         ocsp_service(responder))
         self.network.bind(hostname, origin)
 
         site = ResponderSite(

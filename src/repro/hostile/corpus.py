@@ -41,7 +41,7 @@ from ..lint.findings import Severity
 from ..ocsp import CertID, OCSPRequest
 from ..ocsp.verify import verify_response
 from ..simnet.clock import DAY, MEASUREMENT_START
-from ..simnet.http import ocsp_post
+
 from ..x509 import Certificate, CertificateList
 from .tlv import tlv_fixed_point
 
@@ -67,7 +67,6 @@ _LINT_KIND = {
     "crl": KIND_CRL,
 }
 
-
 @dataclass
 class SeedWorld:
     """The well-formed originals plus the context needed to verify them."""
@@ -83,11 +82,9 @@ class SeedWorld:
         """Splice donors, in stable kind order."""
         return tuple(self.documents[kind] for kind in KINDS)
 
-
 #: Per-process memo — shard workers re-enter with the same reference
 #: time, and 512-bit keygen is the expensive part.
 _SEED_MEMO: Dict[int, SeedWorld] = {}
-
 
 def seed_world(reference_time: int = DEFAULT_REFERENCE_TIME) -> SeedWorld:
     """Mint (once per process) the canonical seed documents."""
@@ -108,8 +105,7 @@ def seed_world(reference_time: int = DEFAULT_REFERENCE_TIME) -> SeedWorld:
     responder = OCSPResponder(issuing, url,
                               epoch_start=reference_time - 30 * DAY)
     response_der = responder.handle(
-        ocsp_post(url, OCSPRequest.for_single(cert_id).encode()),
-        reference_time).body
+        OCSPRequest.for_single(cert_id).encode(), reference_time).body
     crl = issuing.build_crl(reference_time)
     world = SeedWorld(
         reference_time=reference_time,
@@ -125,7 +121,6 @@ def seed_world(reference_time: int = DEFAULT_REFERENCE_TIME) -> SeedWorld:
     _SEED_MEMO[reference_time] = world
     return world
 
-
 def _parse(kind: str, der: bytes):
     if kind == "certificate":
         return Certificate.from_der(der)
@@ -135,7 +130,6 @@ def _parse(kind: str, der: bytes):
     if kind == "crl":
         return CertificateList.from_der(der)
     raise KeyError(f"unknown document kind: {kind!r}")
-
 
 def classify_mutant(kind: str, der: bytes, world: SeedWorld) -> Dict[str, Any]:
     """Classify one mutant through parse → lint → verify.
@@ -206,7 +200,6 @@ def classify_mutant(kind: str, der: bytes, world: SeedWorld) -> Dict[str, Any]:
     elif not verified:
         row["outcome"] = "verify_failed"
     return row
-
 
 def _verify(kind: str, der: bytes, parsed, world: SeedWorld) -> bool:
     if kind == "certificate":

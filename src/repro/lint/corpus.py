@@ -26,7 +26,7 @@ from ..datasets.world import MeasurementWorld, WorldConfig
 from ..ocsp import CertID, OCSPRequest
 from ..ocsp.verify import OCSPError, verify_response
 from ..simnet.clock import DAY, MEASUREMENT_START
-from ..simnet.http import ocsp_post
+
 from .engine import (
     KIND_CERTIFICATE,
     KIND_CRL,
@@ -66,7 +66,6 @@ _VERIFY_CLASS: Dict[OCSPError, str] = {
     OCSPError.NONCE_MISMATCH: "serial_mismatch",  # unused without a nonce
 }
 
-
 def classify_findings(findings: Sequence[Finding]) -> str:
     """Collapse one OCSP probe's findings into a probe class."""
     fired = {finding.rule_id for finding in findings}
@@ -74,7 +73,6 @@ def classify_findings(findings: Sequence[Finding]) -> str:
         if fired.intersection(rule_ids):
             return label
     return USABLE
-
 
 @dataclass
 class ProbeClassification:
@@ -87,7 +85,6 @@ class ProbeClassification:
     @property
     def agree(self) -> bool:
         return self.lint_class == self.verify_class
-
 
 @dataclass
 class CorpusLintSummary:
@@ -139,7 +136,6 @@ class CorpusLintSummary:
             "findingsByRule": self.report.by_rule(),
         }
 
-
 def lint_world(world: Optional[MeasurementWorld] = None,
                config: Optional[WorldConfig] = None,
                reference_time: Optional[int] = None,
@@ -164,8 +160,7 @@ def lint_world(world: Optional[MeasurementWorld] = None,
                 certificate.der, KIND_CERTIFICATE, f"{source}/cert", cert_ctx))
 
             request_der = OCSPRequest.for_single(cert_id).encode()
-            response_der = site.responder.handle(
-                ocsp_post(site.url, request_der), now).body
+            response_der = site.responder.handle(request_der, now).body
             ocsp_ctx = LintContext(reference_time=now, issuer=issuer,
                                    cert_id=cert_id)
             ocsp_findings = engine.lint_der(
@@ -196,9 +191,7 @@ def lint_world(world: Optional[MeasurementWorld] = None,
     summary.disagreements.sort(key=lambda d: d.source)
     return summary
 
-
 # -- self test (CLI --self-test, CI smoke) -----------------------------------
-
 
 def self_test(reference_time: int = MEASUREMENT_START + DAY) -> Tuple[bool, str]:
     """Mint a known-good chain + OCSP response + CRL and lint them.
@@ -221,8 +214,7 @@ def self_test(reference_time: int = MEASUREMENT_START + DAY) -> Tuple[bool, str]
     responder = OCSPResponder(issuing, url,
                               epoch_start=reference_time - 30 * DAY)
     response_der = responder.handle(
-        ocsp_post(url, OCSPRequest.for_single(cert_id).encode()),
-        reference_time).body
+        OCSPRequest.for_single(cert_id).encode(), reference_time).body
     crl = issuing.build_crl(reference_time)
 
     engine = LintEngine()

@@ -7,6 +7,7 @@ classification in the reproduced figures is the verdict of a real
 parser and verifier.
 """
 
+from .artifact import ResponseArtifact
 from .certid import CertID
 from .request import OCSPRequest
 from .response import (
@@ -32,6 +33,7 @@ __all__ = [
     "OCSPError",
     "OCSPRequest",
     "OCSPResponse",
+    "ResponseArtifact",
     "ResponseStatus",
     "RevokedInfo",
     "SingleResponse",

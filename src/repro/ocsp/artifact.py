@@ -1,0 +1,100 @@
+"""Transport-neutral OCSP response artifacts.
+
+A :class:`ResponseArtifact` is what a responder core *produces*: the
+exact DER (or deliberately-broken) body it would serve, plus enough
+metadata — producedAt, the earliest nextUpdate, a provenance tag — for
+callers to reason about freshness without re-parsing.  It is the single
+currency shared by the in-process simnet responder, the ``repro.serve``
+daemon, the OCSP client, and the TLS scanner's staple handling, which
+is what makes "daemon responses are byte-identical to simnet answers"
+checkable: both transports return the same artifact for the same
+(request bytes, simulated clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..asn1.errors import ASN1Error
+from ..simnet.http import OCSP_RESPONSE_CONTENT_TYPE, HTTPResponse
+
+
+@dataclass(frozen=True)
+class ResponseArtifact:
+    """One response as bytes plus transport-independent metadata.
+
+    ``source`` tags provenance: ``signed`` (a real BasicOCSPResponse
+    built by a responder core), ``error:<status>`` (an OCSPResponse
+    error envelope such as ``error:malformed_request``), ``malformed``
+    (a deliberately-broken body from a misbehaving profile), or —
+    for artifacts recovered from the wire via :meth:`from_body` —
+    ``fetched`` / ``undecodable``.
+    """
+
+    body: bytes
+    status_code: int = 200
+    content_type: str = OCSP_RESPONSE_CONTENT_TYPE
+    produced_at: Optional[int] = None
+    next_update: Optional[int] = None
+    source: str = "signed"
+
+    def fresh(self, now: int) -> bool:
+        """Whether this artifact may still be served at *now*.
+
+        Strict ``now < next_update``: a response whose nextUpdate equals
+        the current instant is already expired-on-arrival (the refresh
+        fencepost — RFC 6960 says nextUpdate is the time "at or before
+        which newer information will be available").  A blank nextUpdate
+        never expires.
+        """
+        return self.next_update is None or now < self.next_update
+
+    def to_http(self) -> HTTPResponse:
+        """Render as a simnet HTTP response."""
+        return HTTPResponse(self.status_code, self.body,
+                            {"Content-Type": self.content_type})
+
+    @classmethod
+    def from_body(cls, body: bytes, source: str = "fetched") -> "ResponseArtifact":
+        """Recover an artifact from wire bytes, tolerantly.
+
+        Parses the body as an OCSPResponse to populate ``produced_at``
+        and the *earliest* nextUpdate across its SingleResponses (the
+        instant the whole response goes stale).  Bodies that do not
+        parse yield ``source="undecodable"`` with no metadata — never
+        an exception, because the scanner feeds this real-world staples.
+        """
+        from .response import OCSPResponse, ResponseStatus
+
+        try:
+            response = OCSPResponse.from_der(body, lenient=True)
+        except (ASN1Error, ValueError):
+            return cls(body=body, source="undecodable")
+        if response.basic is None:
+            status = ResponseStatus(response.response_status).name.lower()
+            return cls(body=body, source=f"error:{status}")
+        next_updates = [single.next_update
+                        for single in response.basic.single_responses]
+        next_update = None
+        if next_updates and all(value is not None for value in next_updates):
+            next_update = min(next_updates)
+        return cls(
+            body=body,
+            produced_at=response.basic.produced_at,
+            next_update=next_update,
+            source=source,
+        )
+
+    @classmethod
+    def from_http(cls, response: HTTPResponse,
+                  source: str = "fetched") -> "ResponseArtifact":
+        """Recover an artifact from an HTTP exchange's response."""
+        if response.status_code != 200:
+            return cls(
+                body=response.body,
+                status_code=response.status_code,
+                content_type=response.headers.get("Content-Type", ""),
+                source=f"http:{response.status_code}",
+            )
+        return cls.from_body(response.body, source=source)

@@ -24,16 +24,13 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..asn1.errors import ASN1Error
-from ..simnet import FetchResult, HTTPRequest, Network, ocsp_get, ocsp_post
+from ..simnet import FetchResult, HTTPRequest, Network, ocsp_request
 from ..x509 import Certificate, CertificateList
+from .artifact import ResponseArtifact
 from .certid import CertID
 from .request import OCSPRequest
 from .response import CertStatus
 from .verify import OCSPCheckResult, OCSPError, verify_response
-
-#: RFC 6960 appendix A.1: GET is only for requests that URL-encode
-#: under 255 bytes.
-_GET_LIMIT = 255
 
 
 @dataclass
@@ -42,6 +39,9 @@ class OCSPLookupResult:
 
     check: Optional[OCSPCheckResult]
     fetch: Optional[FetchResult]
+    #: The last OCSP body that came back, as a transport-neutral
+    #: artifact (metadata without re-parsing); None when nothing did.
+    artifact: Optional[ResponseArtifact] = None
     from_cache: bool = False
     #: Every transport attempt, in order (OCSP URLs, then CRL URLs).
     attempts: List[FetchResult] = field(default_factory=list)
@@ -121,6 +121,7 @@ class OCSPClient:
         spent_ms = 0.0
         last_fetch: Optional[FetchResult] = None
         last_check: Optional[OCSPCheckResult] = None
+        last_artifact: Optional[ResponseArtifact] = None
         exhausted = False
 
         # Round-robin failover: each round tries every URL once, and
@@ -143,6 +144,7 @@ class OCSPClient:
                     continue
                 if not fetch.ok:
                     continue
+                last_artifact = ResponseArtifact.from_http(fetch.response)
                 check = verify_response(
                     fetch.response.body, cert_id, issuer, attempt_now,
                     max_clock_skew=self.max_clock_skew,
@@ -153,6 +155,7 @@ class OCSPClient:
                     if self.cache is not None:
                         self.cache.store(cert_id, check, attempt_now)
                     return OCSPLookupResult(check=check, fetch=fetch,
+                                            artifact=last_artifact,
                                             attempts=attempts,
                                             timeouts=timeouts)
             if exhausted:
@@ -164,22 +167,26 @@ class OCSPClient:
                                             now, attempts, crl_parse_errors)
             if crl_status is not None:
                 return OCSPLookupResult(check=last_check, fetch=last_fetch,
+                                        artifact=last_artifact,
                                         attempts=attempts, timeouts=timeouts,
                                         crl_status=crl_status, via_crl=True,
                                         crl_parse_errors=crl_parse_errors)
 
         return OCSPLookupResult(check=last_check, fetch=last_fetch,
+                                artifact=last_artifact,
                                 attempts=attempts, timeouts=timeouts,
                                 crl_parse_errors=crl_parse_errors)
 
     def _attempt(self, responder_url: str, request_der: bytes,
                  nonce: Optional[bytes], now: int) -> FetchResult:
         """One transport attempt against one responder URL (verbatim —
-        responders are hit at the URL the certificate advertises)."""
-        if self.use_get and len(request_der) * 4 // 3 < _GET_LIMIT and nonce is None:
-            http_request = ocsp_get(responder_url, request_der)
-        else:
-            http_request = ocsp_post(responder_url, request_der)
+        responders are hit at the URL the certificate advertises).
+
+        The GET/POST choice is the shared RFC 6960 A.1 chooser every
+        transport uses; nonced requests always POST (a nonce defeats
+        URL-level caching, GET's only advantage)."""
+        http_request = ocsp_request(responder_url, request_der,
+                                    prefer_get=self.use_get and nonce is None)
         self.requests_sent += 1
         return self.network.fetch(self.vantage, http_request, now)
 

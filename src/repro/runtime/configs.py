@@ -357,6 +357,48 @@ class HostileCorpusConfig(_Config):
                    chunks=data.get("chunks", 8))
 
 
+@dataclass
+class ServeLoadTestConfig(_Config):
+    """Serve load test: daemon-path byte-identity plus warm-cache
+    throughput over seeded corpus traffic (:mod:`repro.serve`)."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    seed: int = 6960
+    #: Length of the synthesized request stream.
+    requests: int = 4000
+    #: Fraction of requests preferring the RFC 6960 A.1 GET transport.
+    get_fraction: float = 0.25
+    #: Fraction carrying a fresh nonce (cache-busting misses).
+    nonce_fraction: float = 0.02
+    #: SignQueue micro-batch bound.
+    max_batch: int = 64
+    #: Contiguous request-range slices — the identity-shard granularity.
+    chunks: int = 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "world": self.world.to_dict(),
+            "seed": self.seed,
+            "requests": self.requests,
+            "get_fraction": self.get_fraction,
+            "nonce_fraction": self.nonce_fraction,
+            "max_batch": self.max_batch,
+            "chunks": self.chunks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeLoadTestConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(world=WorldConfig.from_dict(data["world"]),
+                   seed=data.get("seed", 6960),
+                   requests=data.get("requests", 4000),
+                   get_fraction=data.get("get_fraction", 0.25),
+                   nonce_fraction=data.get("nonce_fraction", 0.02),
+                   max_batch=data.get("max_batch", 64),
+                   chunks=data.get("chunks", 8))
+
+
 def default_config(experiment_id: str, scale: Optional[object] = None):
     """The config an experiment runs with absent an explicit one.
 
@@ -446,6 +488,14 @@ def default_config(experiment_id: str, scale: Optional[object] = None):
         # per document kind covers every family ~166 times while
         # keeping the default run under a minute.
         return HostileCorpusConfig()
+    if experiment_id == "serve-loadtest":
+        # A smaller world than the figure campaigns: the load test
+        # exercises the serving stack, not the measurement breadth,
+        # and 4000 requests over ~3 dozen sites already drives the
+        # cache through hits, nonce misses, and batch coalescing.
+        return ServeLoadTestConfig(
+            world=WorldConfig(n_responders=min(20, scale.n_responders),
+                              certs_per_responder=2, seed=scale.seed))
     if experiment_id in ("tbl2", "tbl3", "fig12", "ext-multistaple",
                          "ext-alternatives", "abl-apache-patch",
                          "abl-parser", "abl-keysize"):

@@ -230,7 +230,7 @@ def latency_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
 def _attack_site(validity: int, seed: int, now: int):
     from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
     from ..crypto import generate_keypair
-    from ..simnet import DAY, Network
+    from ..simnet import DAY, Network, ocsp_service
     from ..webserver import IdealServer
     from ..x509 import TrustStore
     ca = CertificateAuthority.create_root(
@@ -245,7 +245,8 @@ def _attack_site(validity: int, seed: int, now: int):
         epoch_start=now - 7 * DAY)
     network = Network()
     network.bind("ocsp.atw.test",
-                 network.add_origin("atw", "us-east", responder.handle))
+                 network.add_origin("atw", "us-east",
+                                    ocsp_service(responder)))
     server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                          network=network)
     trust = TrustStore([ca.certificate])
@@ -290,7 +291,7 @@ def multistaple_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Extension: RFC 6961 vs a revoked intermediate."""
     from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
     from ..crypto import generate_keypair
-    from ..simnet import DAY, HOUR, MEASUREMENT_START, Network
+    from ..simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
     from ..tls import ClientHello
     from ..webserver import MultiStapleServer, verify_chain_staples
     now = MEASUREMENT_START
@@ -310,7 +311,7 @@ def multistaple_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             epoch_start=now - 7 * DAY)
         network.bind(f"ocsp.{name}.test",
                      network.add_origin(f"{name}-ocsp", "us-east",
-                                        responder.handle))
+                                        ocsp_service(responder)))
     server = MultiStapleServer(
         chain=[leaf, intermediate.certificate, root.certificate],
         issuer=intermediate.certificate, network=network)
@@ -365,6 +366,7 @@ def apache_patch_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
     from ..crypto import generate_keypair
     from ..simnet import (DAY, HOUR, MEASUREMENT_START, FailureKind, Network,
+                          ocsp_service,
                           OutageWindow)
     from ..webserver import ApachePatchedServer, ApacheServer, run_conformance
     from ..x509 import TrustStore
@@ -382,7 +384,8 @@ def apache_patch_shard(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                              validity_period=DAY),
             epoch_start=now - 7 * DAY)
         network = Network()
-        origin = network.add_origin("patch", "us-east", responder.handle)
+        origin = network.add_origin("patch", "us-east",
+                                    ocsp_service(responder))
         network.bind("ocsp.patch.test", origin)
         origin.add_outage(OutageWindow(now + 6 * HOUR, now + 12 * HOUR,
                                        kind=FailureKind.TCP))
@@ -844,4 +847,10 @@ def run_chaos_client_outcomes(ctx, config) -> Dict[str, Any]:
 def run_hostile_corpus(ctx, config) -> Dict[str, Any]:
     """Mutation-survival matrix (impl in repro.hostile)."""
     from ..hostile.experiments import run_hostile_corpus as impl
+    return impl(ctx, config)
+
+
+def run_serve_loadtest(ctx, config) -> Dict[str, Any]:
+    """Daemon byte-identity + warm-cache load (impl in repro.serve)."""
+    from ..serve.experiments import run_serve_loadtest as impl
     return impl(ctx, config)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from ..crypto import KeyPool
 from ..ocsp import CertID, CertStatus, OCSPRequest, verify_response
-from ..simnet import DAY, HOUR, Network, HTTPRequest, ocsp_post
+from ..simnet import DAY, HOUR, Network, HTTPRequest, ocsp_post, ocsp_service
 from ..simnet.clock import ALEXA_SCAN_DATE
 from ..x509 import CertificateList, Name, REASON_KEY_COMPROMISE, REASON_SUPERSEDED, self_signed
 from ..ca.responder import CRLService
@@ -116,7 +116,8 @@ class ConsistencyWorld:
         crl_service = CRLService(authority, authority.crl_url, epoch_start=now - DAY)
         ocsp_host = ocsp_url.split("/")[0]
         crl_host = crl_url.split("/")[0]
-        origin = self.network.add_origin(f"{name}-ocsp", "us-east", responder.handle)
+        origin = self.network.add_origin(f"{name}-ocsp", "us-east",
+                                         ocsp_service(responder))
         self.network.bind(ocsp_host, origin)
         crl_origin = self.network.add_origin(f"{name}-crl", "us-east", crl_service.handle)
         self.network.bind(crl_host, crl_origin)

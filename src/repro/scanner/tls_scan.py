@@ -10,8 +10,9 @@ records whether a CertificateStatus came back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
+from ..ocsp import ResponseArtifact
 from ..tls import ClientHello
 from ..webserver import StaplingWebServer
 
@@ -25,6 +26,13 @@ class HandshakeObservation:
     stapled: bool
     must_staple: bool
     handshake_delay_ms: float
+    #: The stapled bytes as a transport-neutral artifact — provenance
+    #: tag, producedAt, and nextUpdate without the caller re-parsing
+    #: DER; None when nothing was stapled.
+    staple: Optional[ResponseArtifact] = None
+    #: Whether the staple was still valid at scan time (None when
+    #: nothing was stapled).
+    staple_fresh: Optional[bool] = None
 
 
 def scan_servers(servers: Sequence[StaplingWebServer], now: int,
@@ -42,12 +50,18 @@ def scan_servers(servers: Sequence[StaplingWebServer], now: int,
         for i in range(warmup_connections):
             server.handle_connection(hello, now - 60 * (warmup_connections - i))
         handshake = server.handle_connection(hello, now)
+        staple = None
+        if handshake.stapled_ocsp is not None:
+            staple = ResponseArtifact.from_body(handshake.stapled_ocsp,
+                                                source="stapled")
         observations.append(HandshakeObservation(
             hostname=hostname,
             software=server.software,
             stapled=handshake.stapled_ocsp is not None,
             must_staple=server.leaf.must_staple,
             handshake_delay_ms=handshake.handshake_delay_ms,
+            staple=staple,
+            staple_fresh=staple.fresh(now) if staple is not None else None,
         ))
     return observations
 

@@ -1,0 +1,44 @@
+"""repro.serve — the OCSP responder daemon and its serving stack.
+
+The transport-neutral responder core
+(:meth:`repro.ca.responder.OCSPResponder.handle`) answers every
+transport the repo has: the simulated network
+(:func:`repro.simnet.ocsp_service`), this package's asyncio daemon,
+and the in-process load generator.  :class:`ServeApp` adds what a real
+responder deployment adds — Host routing, a pre-signed response cache
+with nextUpdate-aware refresh, and micro-batched signing of misses —
+without touching response bytes, so a daemon answer is byte-identical
+to the simulated responder's answer for the same (request, clock).
+"""
+
+from .app import PendingSign, ResponderRuntime, ServeApp
+from .batcher import SignJob, SignQueue
+from .cache import CacheEntry, PresignedCache
+from .daemon import MAX_BODY_BYTES, MAX_HEADER_BYTES, ServeDaemon
+from .loadgen import (
+    LoadReport,
+    direct_responses,
+    expected_digest,
+    replay_inprocess,
+    replay_tcp,
+    synthesize_traffic,
+)
+
+__all__ = [
+    "CacheEntry",
+    "LoadReport",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "PendingSign",
+    "PresignedCache",
+    "ResponderRuntime",
+    "ServeApp",
+    "ServeDaemon",
+    "SignJob",
+    "SignQueue",
+    "direct_responses",
+    "expected_digest",
+    "replay_inprocess",
+    "replay_tcp",
+    "synthesize_traffic",
+]

@@ -1,0 +1,194 @@
+"""The serving application: Host routing, pre-signed cache, batching.
+
+:class:`ServeApp` is everything the daemon does *except* sockets, so
+the in-process load generator, the experiment shards, and the asyncio
+transport all exercise the same code.  One request flows::
+
+    HTTPRequest --dispatch--> cache hit   -> HTTPResponse     (warm path)
+                          --> PendingSign -> SignQueue -> responder core
+
+The warm path is two dict lookups; only cache misses reach the
+:class:`~repro.serve.batcher.SignQueue`, whose thunks call the same
+transport-neutral :meth:`~repro.ca.responder.OCSPResponder.handle`
+core that answers in-process simnet traffic — which is why a daemon
+response is byte-identical to the simulated responder's answer for the
+same (request bytes, simulated clock).
+
+Cache correctness mirrors the core's own keying exactly: an entry is
+only served while the responder's *generation epoch key* — its
+``generation_time(now)`` plus the registry's visible-revocation count
+— matches the one it was signed under, and while ``now`` is strictly
+before the artifact's nextUpdate (the expired-at-the-boundary
+fencepost).  Responders whose bodies vary with time outside that key
+(``malformed_windows``) are never cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..asn1.errors import ASN1Error
+from ..ca.responder import OCSPResponder
+from ..ocsp import OCSPRequest, ResponseArtifact
+from ..simnet.http import HTTPRequest, HTTPResponse, decode_ocsp_get_path
+from .batcher import SignQueue
+from .cache import PresignedCache
+
+
+class ResponderRuntime:
+    """One responder's serving state: the core plus its pre-signed cache."""
+
+    def __init__(self, responder: OCSPResponder,
+                 cache_capacity: int = 65536) -> None:
+        self.responder = responder
+        self.cache = PresignedCache(capacity=cache_capacity)
+        # Bodies that vary with simulated time outside the epoch key
+        # cannot be pre-signed safely.
+        self.cacheable = not responder.profile.malformed_windows
+        self._epoch_now: Optional[int] = None
+        self._epoch: Tuple[int, int] = (0, 0)
+
+    def epoch_key(self, now: int) -> Tuple[int, int]:
+        """The signing-epoch identity at *now* (memoized per instant).
+
+        Matches the axes of the core's own response cache that are not
+        already in the request bytes: the generation time and the
+        visible-revocation count.  A pre-signed entry is only valid
+        while this tuple equals the one it was signed under.
+        """
+        if now != self._epoch_now:
+            registry = self.responder.authority.registry
+            self._epoch = (self.responder.generation_time(now),
+                           registry.visible_ocsp_count(now))
+            self._epoch_now = now
+        return self._epoch
+
+    def lookup(self, request_der: bytes, now: int) -> Optional[ResponseArtifact]:
+        """The pre-signed answer for these request bytes, if servable."""
+        if not self.cacheable:
+            return None
+        return self.cache.get(request_der, now, epoch=self.epoch_key(now))
+
+    def sign(self, request_der: Optional[bytes], now: int) -> ResponseArtifact:
+        """Miss path: drive the core, then pre-sign the cache entry."""
+        artifact = self.responder.handle(request_der, now)
+        if self.cacheable and request_der is not None:
+            self.cache.put(request_der, self._entry_key(request_der),
+                           artifact, artifact.next_update,
+                           epoch=self.epoch_key(now))
+        return artifact
+
+    def _entry_key(self, request_der: bytes) -> bytes:
+        """What the request asks: the CertID-hash digest."""
+        try:
+            return OCSPRequest.from_der(request_der).cache_key()
+        except (ASN1Error, ValueError):
+            # Undecodable requests get a static error envelope; key by
+            # the raw bytes so repeats still hit.
+            return b"raw:" + request_der[:64]
+
+
+@dataclass
+class PendingSign:
+    """A dispatch outcome that needs the signing queue (cache miss)."""
+
+    host: str
+    runtime: ResponderRuntime
+    request_der: Optional[bytes]
+    now: int
+
+    def queue_key(self) -> Tuple:
+        return (self.host, self.request_der, self.now)
+
+    def signer(self):
+        runtime, der, now = self.runtime, self.request_der, self.now
+        return lambda: runtime.sign(der, now)
+
+
+class ServeApp:
+    """Host-routed OCSP serving over any transport."""
+
+    def __init__(self, now: int, cache_capacity: int = 65536,
+                 max_batch: int = 64) -> None:
+        self.now = now
+        self.queue = SignQueue(max_batch=max_batch)
+        self.runtimes: Dict[str, ResponderRuntime] = {}
+        self.requests = 0
+        self.cache_capacity = cache_capacity
+
+    @classmethod
+    def for_world(cls, world, now: Optional[int] = None,
+                  cache_capacity: int = 65536,
+                  max_batch: int = 64) -> "ServeApp":
+        """Serve every responder of a measurement world, Host-routed."""
+        from ..simnet.clock import HOUR
+        if now is None:
+            now = world.config.start + HOUR
+        app = cls(now=now, cache_capacity=cache_capacity,
+                  max_batch=max_batch)
+        for site in world.sites:
+            app.add_responder(site.hostname, site.responder)
+        return app
+
+    def add_responder(self, host: str, responder: OCSPResponder) -> None:
+        self.runtimes[host] = ResponderRuntime(
+            responder, cache_capacity=self.cache_capacity)
+
+    def dispatch(self, request: HTTPRequest,
+                 now: Optional[int] = None
+                 ) -> Union[HTTPResponse, PendingSign]:
+        """Route one request to an immediate answer or a pending sign.
+
+        Mirrors :func:`repro.simnet.ocsp_http_exchange` exactly: POST
+        bodies and GET base64 paths carry the DER; an undecodable GET
+        path flows to the core as ``request_der=None``; other methods
+        are 405.  The only addition is the pre-signed fast path.
+        """
+        if now is None:
+            now = self.now
+        self.requests += 1
+        runtime = self.runtimes.get(request.host)
+        if runtime is None:
+            return HTTPResponse(404, b"unknown responder host")
+        if request.method == "POST":
+            request_der: Optional[bytes] = request.body
+        elif request.method == "GET":
+            try:
+                request_der = decode_ocsp_get_path(request.path)
+            except ValueError:
+                request_der = None
+        else:
+            return HTTPResponse(405, b"method not allowed")
+        if request_der is not None:
+            artifact = runtime.lookup(request_der, now)
+            if artifact is not None:
+                return artifact.to_http()
+        return PendingSign(host=request.host, runtime=runtime,
+                           request_der=request_der, now=now)
+
+    def exchange(self, request: HTTPRequest,
+                 now: Optional[int] = None) -> HTTPResponse:
+        """Synchronous end-to-end answer (the in-process transport)."""
+        outcome = self.dispatch(request, now)
+        if isinstance(outcome, HTTPResponse):
+            return outcome
+        job = self.queue.submit(outcome.queue_key(), outcome.signer())
+        self.queue.drain()
+        assert job.artifact is not None
+        return job.artifact.to_http()
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready aggregate counters across every runtime."""
+        cache_totals = {"entries": 0, "hits": 0, "misses": 0,
+                        "expirations": 0, "evictions": 0}
+        for runtime in self.runtimes.values():
+            for field_name, value in runtime.cache.stats().items():
+                cache_totals[field_name] += value
+        return {
+            "now": self.now,
+            "hosts": len(self.runtimes),
+            "requests": self.requests,
+            "cache": cache_totals,
+            "batcher": self.queue.stats(),
+        }

@@ -1,0 +1,107 @@
+"""Micro-batched signing of cache misses.
+
+RSA signing dominates a cache miss, and concurrent misses for the
+*same* request would each pay it.  :class:`SignQueue` fixes both
+without knowing anything about transports or event loops:
+
+* **single-flight coalescing** — submissions sharing a key attach to
+  one pending :class:`SignJob` instead of signing twice;
+* **micro-batching** — :meth:`drain` resolves everything queued at
+  that instant in FIFO batches of at most ``max_batch`` jobs, so one
+  drain pass amortizes the per-wakeup overhead across every miss that
+  arrived in the same scheduling tick.
+
+The daemon wraps this with an asyncio future per job and schedules one
+``drain()`` per event-loop tick; the synchronous in-process replay
+path calls ``drain()`` inline.  Both see identical artifacts because
+the thunk *is* the transport-neutral responder core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ocsp import ResponseArtifact
+
+
+@dataclass
+class SignJob:
+    """One pending signing, shared by every coalesced submitter."""
+
+    key: Tuple
+    thunk: Callable[[], ResponseArtifact]
+    artifact: Optional[ResponseArtifact] = None
+    done: bool = False
+    #: Called with the job after it resolves (the daemon parks asyncio
+    #: future completions here).
+    callbacks: List[Callable[["SignJob"], None]] = field(default_factory=list)
+
+    def resolve(self) -> None:
+        self.artifact = self.thunk()
+        self.done = True
+        for callback in self.callbacks:
+            callback(self)
+        self.callbacks.clear()
+
+
+@dataclass
+class SignQueue:
+    """FIFO signing queue with coalescing and bounded drain batches."""
+
+    max_batch: int = 64
+    submitted: int = 0
+    coalesced: int = 0
+    signed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    _pending: Dict[Tuple, SignJob] = field(default_factory=dict)
+    _order: List[SignJob] = field(default_factory=list)
+
+    def submit(self, key: Tuple,
+               thunk: Callable[[], ResponseArtifact]) -> SignJob:
+        """Enqueue a signing, coalescing onto an identical pending one."""
+        self.submitted += 1
+        job = self._pending.get(key)
+        if job is not None:
+            self.coalesced += 1
+            return job
+        job = SignJob(key=key, thunk=thunk)
+        self._pending[key] = job
+        self._order.append(job)
+        return job
+
+    @property
+    def pending(self) -> int:
+        return len(self._order)
+
+    def drain(self) -> int:
+        """Resolve every queued job, in FIFO micro-batches.
+
+        Returns the number of jobs signed.  Jobs submitted *while*
+        draining (from callbacks) are drained too — the queue is empty
+        on return.
+        """
+        resolved = 0
+        while self._order:
+            batch = self._order[:self.max_batch]
+            del self._order[:len(batch)]
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for job in batch:
+                del self._pending[job.key]
+                job.resolve()
+                resolved += 1
+        self.signed += resolved
+        return resolved
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counters."""
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "signed": self.signed,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "pending": self.pending,
+        }

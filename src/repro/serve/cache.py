@@ -1,0 +1,102 @@
+"""The pre-signed response cache behind the serving hot path.
+
+Entries are keyed by what the request *asks* — the CertID digest from
+:meth:`repro.ocsp.OCSPRequest.cache_key` — with a second raw-DER index
+in front so the warm path answers with two dict lookups and zero ASN.1
+parsing.  Each entry carries the :class:`~repro.ocsp.ResponseArtifact`
+the core signed plus the instant it stops being servable
+(``valid_until``), so refresh is a pure comparison against the
+simulated clock.
+
+Freshness is strict: an entry whose ``valid_until`` *equals* the
+current instant is already expired (the refresh fencepost — RFC 6960's
+nextUpdate is the time at or before which newer information will be
+available, so serving at exactly nextUpdate would hand out a response
+the client is entitled to consider stale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..ocsp import ResponseArtifact
+
+
+@dataclass
+class CacheEntry:
+    """One pre-signed artifact plus its expiry conditions."""
+
+    artifact: ResponseArtifact
+    #: The first instant this entry may NOT be served (the artifact's
+    #: nextUpdate); None never expires on the clock axis (static
+    #: error/malformed bodies, blank nextUpdate).
+    valid_until: Optional[int] = None
+    #: The signing-epoch identity this entry was produced under; a
+    #: lookup with a different epoch misses, forcing a re-sign with the
+    #: new producedAt / revocation view.
+    epoch: Tuple = ()
+
+    def fresh(self, now: int) -> bool:
+        """Servable at *now*?  Strictly ``now < valid_until``."""
+        return self.valid_until is None or now < self.valid_until
+
+
+@dataclass
+class PresignedCache:
+    """Two-level pre-signed response cache with hit/expiry accounting."""
+
+    capacity: int = 65536
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    _entries: Dict[bytes, CacheEntry] = field(default_factory=dict)
+    #: Raw request DER -> entry key, so repeat wire requests skip the
+    #: OCSPRequest parse entirely.
+    _der_index: Dict[bytes, bytes] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, request_der: bytes, now: int,
+            epoch: Tuple = ()) -> Optional[ResponseArtifact]:
+        """The cached artifact for these request bytes, if servable:
+        still clock-fresh AND signed under the same epoch."""
+        key = self._der_index.get(request_der)
+        entry = self._entries.get(key) if key is not None else None
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.fresh(now) or entry.epoch != epoch:
+            self.expirations += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        self.hits += 1
+        return entry.artifact
+
+    def put(self, request_der: bytes, key: bytes,
+            artifact: ResponseArtifact,
+            valid_until: Optional[int],
+            epoch: Tuple = ()) -> None:
+        """Install a freshly signed artifact under its CertID key."""
+        if len(self._entries) >= self.capacity and key not in self._entries:
+            # Full: drop the whole generation rather than track LRU
+            # order on the hot path (the daemon repopulates from the
+            # live request stream within one epoch).
+            self.evictions += len(self._entries)
+            self._entries.clear()
+            self._der_index.clear()
+        self._entries[key] = CacheEntry(artifact, valid_until, epoch)
+        self._der_index[request_der] = key
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counters."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }

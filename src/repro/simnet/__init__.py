@@ -20,13 +20,17 @@ from .clock import (
     at,
 )
 from .http import (
+    OCSP_GET_LIMIT,
     OCSP_REQUEST_CONTENT_TYPE,
     OCSP_RESPONSE_CONTENT_TYPE,
     HTTPRequest,
     HTTPResponse,
     decode_ocsp_get_path,
     ocsp_get,
+    ocsp_http_exchange,
     ocsp_post,
+    ocsp_request,
+    ocsp_service,
     split_url,
 )
 from .network import (
@@ -63,6 +67,7 @@ __all__ = [
     "HTTPResponse",
     "HostBinding",
     "Network",
+    "OCSP_GET_LIMIT",
     "OCSP_REQUEST_CONTENT_TYPE",
     "OCSP_RESPONSE_CONTENT_TYPE",
     "Origin",
@@ -77,7 +82,10 @@ __all__ = [
     "default_vantages",
     "decode_ocsp_get_path",
     "ocsp_get",
+    "ocsp_http_exchange",
     "ocsp_post",
+    "ocsp_request",
+    "ocsp_service",
     "one_way_latency_ms",
     "rtt_ms",
     "split_url",

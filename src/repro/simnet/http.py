@@ -73,6 +73,11 @@ def split_url(url: str) -> Tuple[str, str, Optional[int], str]:
     return scheme, host.lower(), port, path
 
 
+#: RFC 6960 appendix A.1: requests whose base64 encoding exceeds this
+#: many bytes must use POST.
+OCSP_GET_LIMIT = 255
+
+
 def ocsp_post(url: str, request_der: bytes) -> HTTPRequest:
     """Build the HTTP POST carrying an OCSP request, as the paper's
     client did ("issued OCSP requests using the HTTP POST method")."""
@@ -110,3 +115,53 @@ def decode_ocsp_get_path(path: str) -> bytes:
         return base64.b64decode(urllib.parse.unquote(encoded), validate=True)
     except (binascii.Error, ValueError) as exc:
         raise ValueError(f"not a base64 OCSP GET path: {path!r}") from exc
+
+
+def ocsp_request(url: str, request_der: bytes,
+                 prefer_get: bool = False) -> HTTPRequest:
+    """Build the OCSP HTTP request, choosing the method per RFC 6960.
+
+    GET when *prefer_get* and the base64 form fits the appendix A.1
+    limit (the same ``len*4//3`` bound the client always used), POST
+    otherwise.  The one shared chooser for the scanner, the OCSP
+    client, and the load generator.
+    """
+    if prefer_get and len(request_der) * 4 // 3 < OCSP_GET_LIMIT:
+        return ocsp_get(url, request_der)
+    return ocsp_post(url, request_der)
+
+
+def ocsp_http_exchange(responder, request: HTTPRequest,
+                       now: int) -> HTTPResponse:
+    """Adapt HTTP framing onto a transport-neutral responder core.
+
+    Extracts DER request bytes from a POST body or a GET base64 path
+    (an undecodable GET path becomes ``request_der=None`` — the core
+    answers it with a malformed-request envelope), polices the method,
+    and renders the resulting :class:`~repro.ocsp.ResponseArtifact`
+    back to HTTP.  Both the in-process simnet services and the
+    ``repro.serve`` daemon route through this one function, which is
+    what makes their answers byte-identical by construction.
+    """
+    if request.method == "POST":
+        request_der: Optional[bytes] = request.body
+    elif request.method == "GET":
+        try:
+            request_der = decode_ocsp_get_path(request.path)
+        except ValueError:
+            request_der = None
+    else:
+        return HTTPResponse(405, b"method not allowed")
+    return responder.handle(request_der, now).to_http()
+
+
+def ocsp_service(responder):
+    """Bind a responder core as a simnet Service callable.
+
+    ``network.add_origin(name, region, ocsp_service(responder))`` is
+    the one-line replacement for the pre-PR7 ``responder.handle``
+    binding.
+    """
+    def service(request: HTTPRequest, now: int) -> HTTPResponse:
+        return ocsp_http_exchange(responder, request, now)
+    return service

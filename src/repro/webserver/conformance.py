@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Type
 from ..ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from ..crypto import generate_keypair
 from ..ocsp import OCSPResponse
-from ..simnet import Network, OutageWindow, FailureKind
+from ..simnet import Network, OutageWindow, FailureKind, ocsp_service
 from ..tls import ClientHello
 from ..x509 import Certificate
 from .base import StaplingWebServer
@@ -96,7 +96,7 @@ class _Rig:
                                        profile, epoch_start=now - 86400)
         self.network = Network()
         self.origin = self.network.add_origin(
-            "conformance-ocsp", "us-east", self.responder.handle
+            "conformance-ocsp", "us-east", ocsp_service(self.responder)
         )
         self.network.bind("ocsp.conformance.test", self.origin)
         self.server = server_class(

@@ -21,7 +21,7 @@ from repro.datasets import (
 )
 from repro.ocsp import CertID
 from repro.scanner import HourlyScanner
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 
 NOW = MEASUREMENT_START
 
@@ -86,7 +86,7 @@ def responder(ca, now):
 def fixture_network(ca, responder):
     """A network with the fixture responder bound."""
     network = Network()
-    origin = network.add_origin("fixture-ocsp", "us-east", responder.handle)
+    origin = network.add_origin("fixture-ocsp", "us-east", ocsp_service(responder))
     network.bind("ocsp.fixture.test", origin)
     return network
 

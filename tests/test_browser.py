@@ -15,7 +15,7 @@ from repro.browser import (
 )
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
-from repro.simnet import DAY, FailureKind, HOUR, Network, OutageWindow
+from repro.simnet import DAY, FailureKind, HOUR, Network, OutageWindow, ocsp_service
 from repro.webserver import ApacheServer, IdealServer
 from repro.x509 import TrustStore
 
@@ -34,7 +34,7 @@ def site():
                                                this_update_margin=HOUR),
                               epoch_start=NOW - 7 * DAY)
     network = Network()
-    origin = network.add_origin("b-ocsp", "us-east", responder.handle)
+    origin = network.add_origin("b-ocsp", "us-east", ocsp_service(responder))
     network.bind("ocsp.b.test", origin)
 
     class Site:

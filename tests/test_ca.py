@@ -28,7 +28,8 @@ from repro.ocsp import (
     ResponseStatus,
     verify_response,
 )
-from repro.simnet import DAY, HOUR, WEEK, HTTPRequest, ocsp_post
+from repro.simnet import (DAY, HOUR, WEEK, HTTPRequest,
+                          ocsp_http_exchange, ocsp_post)
 from repro.x509 import CertificateList
 
 NOW = 1_524_614_400  # 2018-04-25
@@ -57,7 +58,7 @@ def make_responder(authority, profile=None, **kwargs):
 
 def query(responder, cert_id, now):
     request = OCSPRequest.for_single(cert_id)
-    return responder.handle(ocsp_post(responder.url + "/", request.encode()), now)
+    return ocsp_http_exchange(responder, ocsp_post(responder.url + "/", request.encode()), now)
 
 
 class TestRegistry:
@@ -197,7 +198,7 @@ class TestResponderBasics:
 
     def test_malformed_request_gets_ocsp_error(self, authority):
         responder = make_responder(authority)
-        response = responder.handle(ocsp_post(responder.url + "/", b"garbage"), NOW)
+        response = ocsp_http_exchange(responder, ocsp_post(responder.url + "/", b"garbage"), NOW)
         assert response.status_code == 200
         assert OCSPResponse.from_der(response.body).response_status is \
             ResponseStatus.MALFORMED_REQUEST
@@ -208,7 +209,7 @@ class TestResponderBasics:
         responder = make_responder(authority)
         cert_id = CertID.for_certificate(leaf, authority.certificate)
         request = OCSPRequest.for_single(cert_id)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_get(responder.url, request.encode()), NOW)
         assert response.status_code == 200
         check = verify_response(response.body, cert_id,
@@ -217,21 +218,21 @@ class TestResponderBasics:
 
     def test_get_with_garbage_path(self, authority):
         responder = make_responder(authority)
-        response = responder.handle(HTTPRequest("GET", responder.url + "/%%%"), NOW)
+        response = ocsp_http_exchange(responder, HTTPRequest("GET", responder.url + "/%%%"), NOW)
         assert response.status_code == 200
         assert OCSPResponse.from_der(response.body).response_status is \
             ResponseStatus.MALFORMED_REQUEST
 
     def test_other_methods_rejected(self, authority):
         responder = make_responder(authority)
-        response = responder.handle(HTTPRequest("PUT", responder.url + "/"), NOW)
+        response = ocsp_http_exchange(responder, HTTPRequest("PUT", responder.url + "/"), NOW)
         assert response.status_code == 405
 
     def test_nonce_echoed(self, authority, leaf):
         responder = make_responder(authority)
         cert_id = CertID.for_certificate(leaf, authority.certificate)
         request = OCSPRequest.for_single(cert_id, nonce=b"\x42" * 8)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), NOW)
         assert verify_response(response.body, cert_id, authority.certificate, NOW).ok
 

@@ -13,7 +13,7 @@ from repro.ca import (
 from repro.crypto import generate_keypair
 from repro.ocsp import CertStatus, OCSPClient
 from repro.scanner import Grade, self_test_responder
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, OutageWindow
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, OutageWindow, ocsp_service
 
 NOW = MEASUREMENT_START
 
@@ -29,7 +29,7 @@ def make_rig(profile=None, seed=90):
         profile or ResponderProfile(update_interval=None, this_update_margin=HOUR),
         epoch_start=NOW - 7 * DAY)
     network = Network()
-    origin = network.add_origin(f"client-{seed}", "us-east", responder.handle)
+    origin = network.add_origin(f"client-{seed}", "us-east", ocsp_service(responder))
     network.bind(f"ocsp.client{seed}.test", origin)
     return ca, leaf, network, origin
 

@@ -16,7 +16,8 @@ from repro.core import (
 )
 from repro.crypto import generate_keypair
 from repro.ocsp import CertID, OCSPError, OCSPRequest, OCSPResponse, verify_response
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_get, ocsp_post
+from repro.simnet import (DAY, HOUR, MEASUREMENT_START, Network, ocsp_get,
+                          ocsp_http_exchange, ocsp_post, ocsp_service)
 from repro.tls import ClientHello
 from repro.webserver import IdealServer, MultiStapleServer, verify_chain_staples
 from repro.x509 import TrustStore
@@ -36,14 +37,14 @@ NOW = MEASUREMENT_START
 class TestNonce:
     def test_nonce_round_trip_in_response(self, ca, leaf, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id, nonce=b"\xaa" * 16)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), now)
         parsed = OCSPResponse.from_der(response.body)
         assert parsed.basic.nonce == b"\xaa" * 16
 
     def test_matching_nonce_accepted(self, ca, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id, nonce=b"\xbb" * 8)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), now)
         check = verify_response(response.body, cert_id, ca.certificate, now,
                                 expected_nonce=b"\xbb" * 8)
@@ -51,7 +52,7 @@ class TestNonce:
 
     def test_wrong_nonce_rejected(self, ca, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id, nonce=b"\xbb" * 8)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), now)
         check = verify_response(response.body, cert_id, ca.certificate, now,
                                 expected_nonce=b"\xcc" * 8)
@@ -59,7 +60,7 @@ class TestNonce:
 
     def test_missing_nonce_rejected_when_expected(self, ca, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id)  # no nonce
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), now)
         check = verify_response(response.body, cert_id, ca.certificate, now,
                                 expected_nonce=b"\xdd" * 8)
@@ -67,7 +68,7 @@ class TestNonce:
 
     def test_nonce_not_required_by_default(self, ca, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id, nonce=b"\xee" * 8)
-        response = responder.handle(
+        response = ocsp_http_exchange(responder, 
             ocsp_post(responder.url + "/", request.encode()), now)
         assert verify_response(response.body, cert_id, ca.certificate, now).ok
 
@@ -75,7 +76,7 @@ class TestNonce:
 class TestOcspGet:
     def test_get_round_trip(self, ca, responder, cert_id, now):
         request = OCSPRequest.for_single(cert_id)
-        response = responder.handle(ocsp_get(responder.url, request.encode()), now)
+        response = ocsp_http_exchange(responder, ocsp_get(responder.url, request.encode()), now)
         assert verify_response(response.body, cert_id, ca.certificate, now).ok
 
     def test_get_path_decoding(self):
@@ -150,7 +151,7 @@ def _multistaple_rig():
             ResponderProfile(update_interval=None, this_update_margin=HOUR),
             epoch_start=NOW - 7 * DAY)
         network.bind(f"ocsp.{name}.test",
-                     network.add_origin(f"{name}", "us-east", responder.handle))
+                     network.add_origin(f"{name}", "us-east", ocsp_service(responder)))
     server = MultiStapleServer(
         chain=[leaf, intermediate.certificate, root.certificate],
         issuer=intermediate.certificate, network=network)
@@ -224,7 +225,7 @@ def _attack_rig(validity=DAY):
         epoch_start=NOW - 7 * DAY)
     network = Network()
     network.bind("ocsp.atk2.test",
-                 network.add_origin("atk2", "us-east", responder.handle))
+                 network.add_origin("atk2", "us-east", ocsp_service(responder)))
     server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                          network=network)
     return ca, leaf, server, network, TrustStore([ca.certificate])

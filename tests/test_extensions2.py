@@ -18,7 +18,8 @@ from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.core import size_by_certificate_count, responder_quality
 from repro.crypto import generate_keypair
 from repro.ocsp import CertID, OCSPRequest, verify_response
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_post
+from repro.simnet import (DAY, HOUR, MEASUREMENT_START, Network,
+                          ocsp_http_exchange, ocsp_post)
 from repro.tls import ClientHello
 from repro.webserver import ApachePatchedServer, ApacheServer, run_conformance
 from repro.x509 import TrustStore
@@ -30,7 +31,7 @@ HELLO = ClientHello("server.test", status_request=True)
 class TestClientOCSPCache:
     def get_check(self, responder, cert_id, ca, now):
         request = OCSPRequest.for_single(cert_id)
-        response = responder.handle(ocsp_post(responder.url + "/", request.encode()), now)
+        response = ocsp_http_exchange(responder, ocsp_post(responder.url + "/", request.encode()), now)
         return verify_response(response.body, cert_id, ca.certificate, now)
 
     def test_store_and_hit(self, ca, responder, cert_id, now):

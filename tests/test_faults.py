@@ -55,6 +55,7 @@ from repro.simnet import (
     Network,
     OutageWindow,
     ocsp_post,
+    ocsp_service,
 )
 from repro.x509 import CertificateBuilder, Name
 
@@ -97,7 +98,7 @@ def make_rig(seed=70, *, ocsp_urls=None, crl_service=False):
                          validity_period=DAY),
         epoch_start=NOW - 7 * DAY)
     network = Network()
-    origin = network.add_origin(f"faults-{seed}", "us-east", responder.handle)
+    origin = network.add_origin(f"faults-{seed}", "us-east", ocsp_service(responder))
     network.bind(host, origin)
     if crl_service:
         def handle_crl(request, now):

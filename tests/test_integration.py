@@ -14,7 +14,7 @@ from repro.simnet import (
     FailureKind,
     Network,
     OutageWindow,
-    ocsp_post,
+    ocsp_service,
 )
 from repro.tls import ClientHello
 from repro.webserver import ApacheServer, IdealServer, NginxServer
@@ -39,7 +39,7 @@ class TestFullMustStapleLifecycle:
                                                    validity_period=DAY),
                                   epoch_start=NOW - 7 * DAY)
         network = Network()
-        origin = network.add_origin("e2e", "us-east", responder.handle)
+        origin = network.add_origin("e2e", "us-east", ocsp_service(responder))
         network.bind("ocsp.e2e.test", origin)
         server = IdealServer(chain=[leaf, ca.certificate], issuer=ca.certificate,
                              network=network)
@@ -131,7 +131,7 @@ class TestServersAgainstFaultyResponders:
         responder = OCSPResponder(ca, "http://ocsp.faulty.test", profile,
                                   epoch_start=NOW - 7 * DAY)
         network = Network()
-        origin = network.add_origin("faulty", "us-east", responder.handle)
+        origin = network.add_origin("faulty", "us-east", ocsp_service(responder))
         network.bind("ocsp.faulty.test", origin)
         server = server_class(chain=[leaf, ca.certificate], issuer=ca.certificate,
                               network=network)
@@ -180,8 +180,8 @@ class TestScannerResponderAgreement:
             if record.transport_ok:
                 break
         assert record.transport_ok
-        direct = target.site.responder.handle(
-            ocsp_post(target.site.url + "/", target.request_der), record.timestamp)
+        direct = target.site.responder.handle(target.request_der,
+                                             record.timestamp)
         check = verify_response(direct.body, target.cert_id,
                                 target.site.authority.certificate,
                                 record.timestamp)

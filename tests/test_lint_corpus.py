@@ -26,7 +26,6 @@ from repro.lint import (
 from repro.lint.corpus import USABLE
 from repro.ocsp import CertID, OCSPRequest
 from repro.simnet import DAY, MEASUREMENT_START
-from repro.simnet.http import ocsp_post
 from repro.x509.pem import CERTIFICATE_LABEL, encode_pem
 
 NOW = MEASUREMENT_START
@@ -99,8 +98,7 @@ class TestMintedChainProperty:
         cert_id = CertID.for_certificate(leaf, root.certificate)
         responder = OCSPResponder(root, url, epoch_start=NOW - 30 * DAY)
         response = responder.handle(
-            ocsp_post(url, OCSPRequest.for_single(cert_id).encode()),
-            NOW).body
+            OCSPRequest.for_single(cert_id).encode(), NOW).body
         crl = root.build_crl(NOW)
 
         engine = LintEngine()

@@ -33,7 +33,6 @@ from repro.lint import (
 from repro.lint.provenance import WHOLE, certificate_spans, crl_spans, ocsp_spans
 from repro.ocsp import CertID, OCSPRequest
 from repro.simnet import MEASUREMENT_START
-from repro.simnet.http import ocsp_post
 from repro.x509.pem import CERTIFICATE_LABEL, CRL_LABEL, encode_pem
 
 NOW = MEASUREMENT_START
@@ -54,7 +53,7 @@ def chain_report(engine, ca, leaf):
 @pytest.fixture(scope="module")
 def ocsp_der(ca, responder, cert_id):
     request = OCSPRequest.for_single(cert_id).encode()
-    return responder.handle(ocsp_post(responder.url, request), NOW).body
+    return responder.handle(request, NOW).body
 
 
 class TestRegistry:

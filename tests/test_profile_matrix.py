@@ -18,7 +18,7 @@ from repro.datasets.world import ResponderSite, ScanTarget
 from repro.ocsp import CertID, OCSPRequest
 from repro.scanner import ProbeOutcome
 from repro.scanner.results import classify_probe
-from repro.simnet import DAY, HOUR, Network, ocsp_post
+from repro.simnet import DAY, HOUR, Network, ocsp_post, ocsp_service
 from repro.ocsp import verify_response
 
 NOW = 1_524_614_400
@@ -97,7 +97,7 @@ def test_profile_classification(label, profile, expected):
     network = Network()
     network.bind(f"ocsp.{label}.matrix.test",
                  network.add_origin(f"matrix-{label}", "us-east",
-                                    responder.handle))
+                                    ocsp_service(responder)))
 
     cert_id = CertID.for_certificate(leaf, ca.certificate)
     request_der = OCSPRequest.for_single(cert_id).encode()

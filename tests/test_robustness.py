@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.asn1.dump import dump_der
 from repro.asn1.errors import ASN1Error
 from repro.ocsp import CertID, OCSPRequest, OCSPResponse, verify_response
-from repro.simnet import HTTPRequest, HTTPResponse
+from repro.simnet import HTTPRequest, HTTPResponse, ocsp_http_exchange
 from repro.tls.wire import WireError, decode_client_hello
 from repro.x509 import Certificate, CertificateList, Name
 from repro.x509.pem import decode_pem
@@ -97,7 +97,8 @@ def test_responder_handles_arbitrary_bodies(blob):
                                   epoch_start=0)
         rig = responder
         test_responder_handles_arbitrary_bodies._rig = rig
-    response = rig.handle(
-        HTTPRequest("POST", "http://ocsp.fuzz.test/", body=blob), 1_525_000_000)
+    response = ocsp_http_exchange(
+        rig, HTTPRequest("POST", "http://ocsp.fuzz.test/", body=blob),
+        1_525_000_000)
     assert isinstance(response, HTTPResponse)
     assert response.status_code in (200, 405)

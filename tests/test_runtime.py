@@ -220,19 +220,20 @@ class TestCLIRuntime:
         from repro.cli import main
         assert main(["run", "nope", "--cache-dir", str(tmp_path)]) == 2
 
-    def test_root_seed_alias_warns(self, tmp_path, capsys):
+    def test_root_seed_alias_is_an_error(self, tmp_path, capsys):
         from repro.cli import main
         out = tmp_path / "scan.jsonl"
         assert main(["--seed", "9", "scan", "--responders", "40",
                      "--days", "1", "--interval", "12", "--no-cache",
-                     "--out", str(out)]) == 0
-        assert "deprecated" in capsys.readouterr().err
+                     "--out", str(out)]) == 2
+        err = capsys.readouterr().err
+        assert "removed" in err
+        # The migration hint names the exact replacement spelling.
+        assert "repro scan --seed 9" in err
+        assert not out.exists()
 
-    def test_figures_full_alias_warns(self, tmp_path, capsys):
-        from repro.cli import build_parser
-        args = build_parser().parse_args(
-            ["figures", "--full", "--out", str(tmp_path)])
-        assert args.full and args.scale == "small"
-        # The handler upgrades --full to --scale full with a warning;
-        # asserted cheaply at parse level here, behaviourally in
-        # test_io_cli's figures coverage.
+    def test_figures_full_alias_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["figures", "--full", "--out", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "removed" in err and "--scale full" in err

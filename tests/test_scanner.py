@@ -213,9 +213,9 @@ class TestCDN:
         assert cdn.responders_contacted() == 1
 
     def test_stale_served_on_origin_failure(self, ca, leaf, now, responder):
-        from repro.simnet import Network, OutageWindow
+        from repro.simnet import Network, OutageWindow, ocsp_service
         network = Network()
-        origin = network.add_origin("cdn-ocsp", "us-east", responder.handle)
+        origin = network.add_origin("cdn-ocsp", "us-east", ocsp_service(responder))
         network.bind("ocsp.fixture.test", origin)
         cdn = CDNCache(network)
         request = self.make_request(ca, leaf)

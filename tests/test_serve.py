@@ -1,0 +1,528 @@
+"""The serve stack: transport-neutral core, cache, batcher, daemon.
+
+The load-bearing property throughout: every transport — the in-process
+simnet exchange, the ServeApp fast path, and the asyncio daemon over
+real TCP — answers byte-identically for the same (request bytes,
+simulated clock), because they all drive the same responder core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.ca import OCSPResponder, ResponderProfile
+from repro.ocsp import OCSPRequest, ResponseArtifact
+from repro.serve import (
+    PresignedCache,
+    ServeApp,
+    ServeDaemon,
+    SignQueue,
+    expected_digest,
+    replay_inprocess,
+    replay_tcp,
+    synthesize_traffic,
+)
+from repro.simnet import DAY, HOUR, HTTPRequest, ocsp_http_exchange, ocsp_request
+
+URL = "http://ocsp.fixture.test"
+
+
+@pytest.fixture()
+def app(responder):
+    built = ServeApp(now=1_525_000_000)
+    built.add_responder("ocsp.fixture.test", responder)
+    return built
+
+
+def _request(cert_id, nonce=None, prefer_get=False):
+    der = OCSPRequest.for_single(cert_id, nonce=nonce).encode()
+    return ocsp_request(URL, der, prefer_get=prefer_get)
+
+
+# ---------------------------------------------------------------------------
+# transport-neutral byte-identity (the redesigned API's contract)
+# ---------------------------------------------------------------------------
+
+class TestByteIdentity:
+
+    def test_post_matches_core(self, app, responder, cert_id):
+        request = _request(cert_id)
+        direct = ocsp_http_exchange(responder, request, app.now)
+        served = app.exchange(request)
+        assert served.status_code == direct.status_code == 200
+        assert served.body == direct.body
+        assert served.headers == direct.headers
+
+    def test_warm_cache_hit_is_still_identical(self, app, responder, cert_id):
+        request = _request(cert_id)
+        direct = ocsp_http_exchange(responder, request, app.now)
+        app.exchange(request)
+        runtime = app.runtimes["ocsp.fixture.test"]
+        assert runtime.cache.hits == 0
+        again = app.exchange(request)
+        assert runtime.cache.hits == 1
+        assert again.body == direct.body
+
+    def test_get_transport_identical(self, app, responder, cert_id):
+        request = _request(cert_id, prefer_get=True)
+        assert request.method == "GET"
+        direct = ocsp_http_exchange(responder, request, app.now)
+        assert app.exchange(request).body == direct.body
+        # ...and the warm hit too (GET decodes to the same DER).
+        assert app.exchange(request).body == direct.body
+
+    def test_nonced_request_identical_and_cached_separately(
+            self, app, responder, cert_id):
+        plain = _request(cert_id)
+        nonced = _request(cert_id, nonce=b"\x01" * 16)
+        app.exchange(plain)
+        direct = ocsp_http_exchange(responder, nonced, app.now)
+        served = app.exchange(nonced)
+        assert served.body == direct.body
+        assert served.body != app.exchange(plain).body
+
+    def test_undecodable_get_path_identical(self, app, responder):
+        request = HTTPRequest("GET", URL + "/%%%not-base64")
+        direct = ocsp_http_exchange(responder, request, app.now)
+        served = app.exchange(request)
+        assert served.status_code == direct.status_code == 200
+        assert served.body == direct.body  # malformed-request envelope
+
+    def test_empty_get_path_identical(self, app, responder):
+        request = HTTPRequest("GET", URL + "/")
+        assert app.exchange(request).body == \
+            ocsp_http_exchange(responder, request, app.now).body
+
+    def test_other_methods_405(self, app, responder, cert_id):
+        der = OCSPRequest.for_single(cert_id).encode()
+        request = HTTPRequest("PUT", URL, body=der)
+        direct = ocsp_http_exchange(responder, request, app.now)
+        served = app.exchange(request)
+        assert served.status_code == direct.status_code == 405
+
+    def test_unknown_host_404(self, app, cert_id):
+        der = OCSPRequest.for_single(cert_id).encode()
+        request = HTTPRequest("POST", "http://nobody.test/", body=der)
+        assert app.exchange(request).status_code == 404
+
+    def test_malformed_window_responder_never_cached(self, ca, now):
+        """A transiently-malformed responder's body flips mid-epoch, so
+        pre-signing it would serve stale malformed bytes — the runtime
+        must bypass the cache entirely and track the core exactly."""
+        from repro.ca import MalformedWindow
+        hostile = OCSPResponder(
+            ca, URL, ResponderProfile(
+                update_interval=DAY,
+                malformed_windows=(MalformedWindow(now, now + HOUR,
+                                                   "truncated"),)),
+            epoch_start=now - 7 * DAY)
+        app = ServeApp(now=now)
+        app.add_responder("ocsp.fixture.test", hostile)
+        runtime = app.runtimes["ocsp.fixture.test"]
+        assert not runtime.cacheable
+        cert_id = _minted_cert_id(ca, now)
+        request = _request(cert_id)
+        # Inside the window: the malformed body, twice (no caching).
+        inside = ocsp_http_exchange(hostile, request, now)
+        assert app.exchange(request, now=now).body == inside.body
+        assert app.exchange(request, now=now).body == inside.body
+        # After the window closes (same generation epoch): real bytes.
+        later = now + 2 * HOUR
+        outside = ocsp_http_exchange(hostile, request, later)
+        assert outside.body != inside.body
+        assert app.exchange(request, now=later).body == outside.body
+        assert len(runtime.cache) == 0
+
+
+def _minted_cert_id(ca, now):
+    from repro.crypto import generate_keypair
+    from repro.ocsp import CertID
+    leaf = ca.issue_leaf("cached.example", generate_keypair(512, rng=77),
+                         not_before=now - DAY)
+    return CertID.for_certificate(leaf, ca.certificate)
+
+
+# ---------------------------------------------------------------------------
+# the pre-signed cache (incl. the nextUpdate fencepost regression)
+# ---------------------------------------------------------------------------
+
+class TestPresignedCache:
+
+    def _artifact(self, next_update):
+        return ResponseArtifact(body=b"resp", next_update=next_update)
+
+    def test_fencepost_next_update_equal_now_is_expired(self):
+        """Regression: an entry whose nextUpdate == now must NOT be
+        served — nextUpdate is the instant newer information exists."""
+        cache = PresignedCache()
+        cache.put(b"req", b"key", self._artifact(next_update=1000),
+                  valid_until=1000)
+        assert cache.get(b"req", 999) is not None
+        assert cache.get(b"req", 1000) is None
+        assert cache.expirations == 1
+        # The expired entry is gone, not resurrectable.
+        assert cache.get(b"req", 999) is None
+
+    def test_epoch_roll_invalidates_even_when_clock_fresh(self):
+        cache = PresignedCache()
+        cache.put(b"req", b"key", self._artifact(next_update=10_000),
+                  valid_until=10_000, epoch=(1, 0))
+        assert cache.get(b"req", 5, epoch=(1, 0)) is not None
+        assert cache.get(b"req", 5, epoch=(2, 0)) is None
+        assert cache.expirations == 1
+
+    def test_capacity_eviction_clears_generation(self):
+        cache = PresignedCache(capacity=2)
+        for index in range(3):
+            cache.put(b"r%d" % index, b"k%d" % index,
+                      self._artifact(None), valid_until=None)
+        assert cache.evictions == 2
+        assert len(cache) == 1
+
+    def test_end_to_end_resign_at_next_update(self, ca, now):
+        """The daemon serves a pre-generated responder right up to
+        nextUpdate, then re-signs — never hands out the stale bytes."""
+        responder = OCSPResponder(
+            ca, URL, ResponderProfile(update_interval=DAY,
+                                      validity_period=2 * HOUR,
+                                      this_update_margin=0),
+            epoch_start=now - 7 * DAY)
+        app = ServeApp(now=now)
+        app.add_responder("ocsp.fixture.test", responder)
+        cert_id = _minted_cert_id(ca, now)
+        request = _request(cert_id)
+        first = app.exchange(request)
+        runtime = app.runtimes["ocsp.fixture.test"]
+        artifact = runtime.lookup(request.body, now)
+        assert artifact is not None and artifact.next_update == now + 2 * HOUR
+        # Same generation epoch one second before expiry: cache hit.
+        assert app.exchange(request, now=artifact.next_update - 1).body \
+            == first.body
+        # At exactly nextUpdate: expired, re-signed, and byte-identical
+        # to what the core answers at that instant.
+        at_boundary = app.exchange(request, now=artifact.next_update)
+        direct = ocsp_http_exchange(responder, request, artifact.next_update)
+        assert at_boundary.body == direct.body
+        assert runtime.cache.expirations == 1
+
+
+# ---------------------------------------------------------------------------
+# the signing queue
+# ---------------------------------------------------------------------------
+
+class TestSignQueue:
+
+    def test_single_flight_coalescing(self):
+        queue = SignQueue()
+        calls = []
+        job_a = queue.submit(("k",), lambda: calls.append("a") or
+                             ResponseArtifact(body=b"a"))
+        job_b = queue.submit(("k",), lambda: calls.append("b") or
+                             ResponseArtifact(body=b"b"))
+        assert job_a is job_b
+        assert queue.coalesced == 1
+        assert queue.drain() == 1
+        assert calls == ["a"]  # the second thunk never runs
+        assert job_a.artifact.body == b"a"
+
+    def test_drain_batches_bounded_by_max_batch(self):
+        queue = SignQueue(max_batch=2)
+        for index in range(5):
+            queue.submit((index,),
+                         (lambda i=index: ResponseArtifact(body=b"%d" % i)))
+        assert queue.pending == 5
+        assert queue.drain() == 5
+        assert queue.pending == 0
+        assert queue.batches == 3  # 2 + 2 + 1
+        assert queue.largest_batch == 2
+
+    def test_callbacks_fire_on_resolve(self):
+        queue = SignQueue()
+        seen = []
+        job = queue.submit(("k",), lambda: ResponseArtifact(body=b"x"))
+        job.callbacks.append(lambda done: seen.append(done.artifact.body))
+        queue.drain()
+        assert seen == [b"x"]
+
+
+# ---------------------------------------------------------------------------
+# the deprecated HTTP-shaped core entrypoint
+# ---------------------------------------------------------------------------
+
+class TestRespondShim:
+
+    def test_respond_warns_once_then_delegates(self, responder, cert_id, now):
+        OCSPResponder._respond_warned = False
+        request = _request(cert_id)
+        with pytest.warns(DeprecationWarning, match="handle"):
+            via_shim = responder.respond(request, now)
+        assert via_shim.body == ocsp_http_exchange(responder, request, now).body
+        # The latch: the second call is silent.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            responder.respond(request, now)
+
+    def test_handle_rejects_http_shaped_arguments(self, responder, cert_id,
+                                                  now):
+        with pytest.raises(TypeError, match="DER request bytes"):
+            responder.handle(_request(cert_id), now)
+
+
+# ---------------------------------------------------------------------------
+# ResponseArtifact wire recovery
+# ---------------------------------------------------------------------------
+
+class TestResponseArtifact:
+
+    def test_from_body_signed(self, responder, cert_id, now):
+        der = OCSPRequest.for_single(cert_id).encode()
+        artifact = responder.handle(der, now)
+        recovered = ResponseArtifact.from_body(artifact.body)
+        assert recovered.source == "fetched"
+        assert recovered.produced_at == artifact.produced_at
+        assert recovered.next_update == artifact.next_update
+
+    def test_from_body_error_envelope(self, responder, now):
+        artifact = responder.handle(None, now)
+        assert artifact.source == "error:malformed_request"
+        recovered = ResponseArtifact.from_body(artifact.body)
+        assert recovered.source == "error:malformed_request"
+        assert recovered.next_update is None
+
+    def test_from_body_garbage(self):
+        recovered = ResponseArtifact.from_body(b"\xff\x00garbage")
+        assert recovered.source == "undecodable"
+        assert recovered.produced_at is None
+
+    def test_fresh_fencepost(self):
+        artifact = ResponseArtifact(body=b"x", next_update=100)
+        assert artifact.fresh(99)
+        assert not artifact.fresh(100)
+        assert ResponseArtifact(body=b"x").fresh(10**10)
+
+
+# ---------------------------------------------------------------------------
+# the daemon over real TCP (robustness: nothing takes it down)
+# ---------------------------------------------------------------------------
+
+def _post(host, path, body):
+    return (f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+
+
+async def _rpc(port, raw):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()
+    data = await reader.read(1 << 20)
+    writer.close()
+    return data
+
+
+def _status(raw):
+    return int(raw.split(b"\r\n", 1)[0].split(b" ")[1])
+
+
+def _body(raw):
+    return raw.partition(b"\r\n\r\n")[2]
+
+
+class TestDaemonTCP:
+
+    HOST = "ocsp.fixture.test"
+
+    @pytest.fixture()
+    def run_daemon(self, app):
+        def runner(probes):
+            async def main():
+                daemon = ServeDaemon(app, port=0)
+                _, port = await daemon.start()
+                try:
+                    return await probes(port, daemon)
+                finally:
+                    await daemon.close()
+            return asyncio.run(main())
+        return runner
+
+    def test_post_and_get_byte_identical(self, run_daemon, app, responder,
+                                         cert_id):
+        import base64
+        import urllib.parse
+        der = OCSPRequest.for_single(cert_id).encode()
+        direct = ocsp_http_exchange(responder, _request(cert_id), app.now)
+        encoded = urllib.parse.quote(base64.b64encode(der).decode(), safe="")
+
+        async def probes(port, daemon):
+            post_raw = await _rpc(port, _post(self.HOST, "/", der))
+            get_raw = await _rpc(
+                port, f"GET /{encoded} HTTP/1.1\r\n"
+                      f"Host: {self.HOST}\r\n\r\n".encode())
+            return post_raw, get_raw
+
+        post_raw, get_raw = run_daemon(probes)
+        assert _status(post_raw) == 200
+        assert _body(post_raw) == direct.body
+        assert _body(get_raw) == direct.body
+
+    def test_hostile_mutants_as_post_bodies(self, run_daemon, app, responder,
+                                            cert_id):
+        """Structure-aware DER mutants thrown at the HTTP layer: every
+        one gets an answer, none kills the daemon."""
+        from repro.hostile import mutate, seed_world
+        world = seed_world()
+        mutants = [mutate(world.documents["ocsp"], mutation_id, 4242,
+                          donors=world.donors).der
+                   for mutation_id in range(16)]
+        good = OCSPRequest.for_single(cert_id).encode()
+
+        async def probes(port, daemon):
+            statuses = []
+            for der in mutants:
+                raw = await _rpc(port, _post(self.HOST, "/", der))
+                statuses.append(_status(raw))
+            survivor = await _rpc(port, _post(self.HOST, "/", good))
+            return statuses, survivor
+
+        statuses, survivor = run_daemon(probes)
+        assert all(code == 200 for code in statuses)  # OCSP error envelopes
+        assert _status(survivor) == 200
+        direct = ocsp_http_exchange(responder, _request(cert_id), app.now)
+        assert _body(survivor) == direct.body
+
+    def test_oversized_body_413(self, run_daemon):
+        async def probes(port, daemon):
+            return await _rpc(port, _post(self.HOST, "/", b"x" * (1 << 17)))
+        assert _status(run_daemon(probes)) == 413
+
+    def test_garbage_request_line_400(self, run_daemon):
+        async def probes(port, daemon):
+            return await _rpc(port, b"\x16\x03\x01 not http\r\n\r\n")
+        assert _status(run_daemon(probes)) == 400
+
+    def test_bad_content_length_400(self, run_daemon):
+        async def probes(port, daemon):
+            return await _rpc(
+                port, b"POST / HTTP/1.1\r\nHost: x\r\n"
+                      b"Content-Length: banana\r\n\r\n")
+        assert _status(run_daemon(probes)) == 400
+
+    def test_oversized_headers_431(self, run_daemon):
+        async def probes(port, daemon):
+            filler = b"X-Filler: " + b"a" * 30_000 + b"\r\n"
+            return await _rpc(
+                port, b"GET /-/healthz HTTP/1.1\r\nHost: x\r\n"
+                      + filler + b"\r\n")
+        assert _status(run_daemon(probes)) == 431
+
+    def test_connection_drop_mid_request_daemon_survives(
+            self, run_daemon, app, responder, cert_id):
+        der = OCSPRequest.for_single(cert_id).encode()
+
+        async def probes(port, daemon):
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST / HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: 500\r\n\r\nonly-a-fragment")
+            await writer.drain()
+            writer.close()
+            await asyncio.sleep(0.02)
+            raw = await _rpc(port, _post(self.HOST, "/", der))
+            return raw, daemon.dropped_connections
+
+        raw, dropped = run_daemon(probes)
+        assert _status(raw) == 200
+        assert dropped == 1
+
+    def test_get_quoting_edge_cases(self, run_daemon, app, responder):
+        """Unquoted '+' and '/', doubly-quoted padding, trailing junk —
+        each answers exactly what the in-process transport answers."""
+        paths = ["/AAAA", "/%2B%2F%3D", "/SGVsbG8=", "/a/b/SGVsbG8%3D",
+                 "/" ]
+
+        async def probes(port, daemon):
+            raws = []
+            for path in paths:
+                raws.append(await _rpc(
+                    port, f"GET {path} HTTP/1.1\r\n"
+                          f"Host: {self.HOST}\r\n\r\n".encode()))
+            return raws
+
+        raws = run_daemon(probes)
+        for path, raw in zip(paths, raws):
+            direct = ocsp_http_exchange(
+                responder, HTTPRequest("GET", URL + path), app.now)
+            assert _status(raw) == direct.status_code, path
+            assert _body(raw) == direct.body, path
+
+    def test_unknown_host_404_and_control_endpoints(self, run_daemon):
+        async def probes(port, daemon):
+            missing = await _rpc(port, _post("nosuch.test", "/", b"x"))
+            health = await _rpc(
+                port, b"GET /-/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            stats = await _rpc(
+                port, b"GET /-/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            return missing, health, stats
+
+        missing, health, stats = run_daemon(probes)
+        assert _status(missing) == 404
+        assert _status(health) == 200 and _body(health) == b"ok"
+        import json
+        document = json.loads(_body(stats))
+        assert document["daemon"]["connections"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# the load generator
+# ---------------------------------------------------------------------------
+
+class TestLoadgen:
+
+    def test_synthesis_is_deterministic(self, small_world):
+        first = synthesize_traffic(small_world, 50, seed=9)
+        second = synthesize_traffic(small_world, 50, seed=9)
+        assert [(r.method, r.url, r.body) for r in first] == \
+            [(r.method, r.url, r.body) for r in second]
+        different = synthesize_traffic(small_world, 50, seed=10)
+        assert [(r.method, r.url, r.body) for r in first] != \
+            [(r.method, r.url, r.body) for r in different]
+
+    def test_inprocess_and_tcp_replays_match_core(self, small_world):
+        from repro.serve import direct_responses
+        traffic = synthesize_traffic(small_world, 120, seed=5,
+                                     get_fraction=0.4, nonce_fraction=0.1)
+        app = ServeApp.for_world(small_world)
+        expected = expected_digest(
+            direct_responses(small_world, traffic, app.now))
+        report = replay_inprocess(app, traffic)
+        assert report.body_digest == expected
+        assert set(report.status_counts) == {200}
+
+        tcp_app = ServeApp.for_world(small_world)
+
+        async def serve_then_replay():
+            daemon = ServeDaemon(tcp_app, port=0)
+            _, port = await daemon.start()
+            try:
+                return await asyncio.to_thread(
+                    _replay_in_fresh_loop, port, traffic)
+            finally:
+                await daemon.close()
+
+        tcp_report = asyncio.run(serve_then_replay())
+        assert tcp_report.body_digest == expected
+
+    def test_report_percentiles(self):
+        from repro.serve import LoadReport
+        report = LoadReport(requests=4, duration_s=2.0,
+                            latencies_ms=[1.0, 2.0, 3.0, 4.0])
+        assert report.req_per_s == 2.0
+        assert report.percentile_ms(0) == 1.0
+        assert report.percentile_ms(50) == 3.0
+        assert report.percentile_ms(99) == 4.0
+
+
+def _replay_in_fresh_loop(port, traffic):
+    return replay_tcp("127.0.0.1", port, traffic, concurrency=4)

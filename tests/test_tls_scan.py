@@ -5,7 +5,7 @@ import pytest
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
 from repro.scanner import scan_servers, stapling_rate
-from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network
+from repro.simnet import DAY, HOUR, MEASUREMENT_START, Network, ocsp_service
 from repro.webserver import ApacheServer, IdealServer, NginxServer
 
 NOW = MEASUREMENT_START
@@ -22,7 +22,7 @@ def farm():
                               epoch_start=NOW - 7 * DAY)
     network = Network()
     network.bind("ocsp.farm.test",
-                 network.add_origin("farm-ocsp", "us-east", responder.handle))
+                 network.add_origin("farm-ocsp", "us-east", ocsp_service(responder)))
 
     def site(name, server_class, stapling=True, must_staple=False):
         leaf = ca.issue_leaf(name, generate_keypair(512, rng=hash(name) & 0xFFFF),

@@ -6,7 +6,7 @@ import pytest
 from repro.ca import CertificateAuthority, OCSPResponder, ResponderProfile
 from repro.crypto import generate_keypair
 from repro.ocsp import OCSPResponse, ResponseStatus
-from repro.simnet import DAY, HOUR, FailureKind, Network, OutageWindow
+from repro.simnet import DAY, HOUR, FailureKind, Network, OutageWindow, ocsp_service
 from repro.tls import ClientHello
 from repro.webserver import (
     ApacheServer,
@@ -35,7 +35,7 @@ def rig():
         epoch_start=NOW - 7 * DAY,
     )
     network = Network()
-    origin = network.add_origin("ws-ocsp", "us-east", responder.handle)
+    origin = network.add_origin("ws-ocsp", "us-east", ocsp_service(responder))
     network.bind("ocsp.ws.test", origin)
 
     class Rig:

@@ -96,21 +96,19 @@ class TestPopulationMixtures:
 
     def test_cpc_serves_four_certificates(self, world):
         from repro.ocsp import OCSPRequest, OCSPResponse
-        from repro.simnet import ocsp_post
         site = world.sites_by_family("cpc-gov-ae")[0]
         request = OCSPRequest.for_single(site.cert_ids[0])
-        response = site.responder.handle(
-            ocsp_post(site.url + "/", request.encode()), world.config.start)
+        response = site.responder.handle(request.encode(),
+                                         world.config.start)
         parsed = OCSPResponse.from_der(response.body)
         assert len(parsed.basic.certificates) == 4
 
     def test_cpc_responses_still_verify(self, world):
         from repro.ocsp import OCSPRequest, verify_response
-        from repro.simnet import ocsp_post
         site = world.sites_by_family("cpc-gov-ae")[0]
         request = OCSPRequest.for_single(site.cert_ids[0])
-        response = site.responder.handle(
-            ocsp_post(site.url + "/", request.encode()), world.config.start)
+        response = site.responder.handle(request.encode(),
+                                         world.config.start)
         check = verify_response(response.body, site.cert_ids[0],
                                 site.authority.certificate, world.config.start)
         assert check.ok and check.delegated

@@ -1,26 +1,31 @@
 #!/usr/bin/env python3
-"""Recorded perf trajectory for the two headline campaigns.
+"""Recorded perf trajectory for the headline campaigns.
 
-Runs ``fig3`` (the availability scan) and ``hostile-corpus`` (the
-mutation survival matrix) through :func:`repro.runtime.run_experiment`
-twice each — cold (fresh cache, every shard executes) and warm (same
-cache, every shard restores) — and emits one JSON artifact per
-campaign:
+Runs ``fig3`` (the availability scan), ``hostile-corpus`` (the
+mutation survival matrix), and ``serve-loadtest`` (the responder
+daemon's byte-identity + warm-cache load test) through
+:func:`repro.runtime.run_experiment` twice each — cold (fresh cache,
+every shard executes) and warm (same cache, every shard restores) —
+and emits one JSON artifact per campaign:
 
 * ``BENCH_fig3_availability.json``
 * ``BENCH_hostile_corpus.json``
+* ``BENCH_serve_loadtest.json``
 
 Each artifact records wall time (cold and warm), shard count, and the
-warm-run cache hit rate.  With committed baselines under
-``benchmarks/baselines/`` the tool doubles as a regression gate: shard
-count and cache hit rate must not regress at all (both are
-deterministic), and cold wall time must stay within
+warm-run cache hit rate; ``serve-loadtest`` additionally records its
+summary throughput (req/s, p50/p99 latency) and identity verdict.
+With committed baselines under ``benchmarks/baselines/`` the tool
+doubles as a regression gate: shard count and cache hit rate must not
+regress at all (both are deterministic), byte-identity must hold,
+and cold wall time / serving throughput must stay within
 ``REPRO_BENCH_TOLERANCE`` (default 0.25 — the >25%% CI gate) of the
 baseline.
 
 Usage::
 
     python tools/bench_trajectory.py [--out-dir DIR] [--workers N]
+    python tools/bench_trajectory.py --campaign serve-loadtest
     python tools/bench_trajectory.py --write-baseline   # refresh baselines
 
 Exit code 0 when clean (or no baseline committed yet), 1 on
@@ -48,7 +53,12 @@ BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline
 CAMPAIGNS = {
     "fig3": "BENCH_fig3_availability",
     "hostile-corpus": "BENCH_hostile_corpus",
+    "serve-loadtest": "BENCH_serve_loadtest",
 }
+
+#: Summary fields copied into the artifact when the experiment's
+#: summary carries them (the serve-loadtest throughput headline).
+SUMMARY_FIELDS = ("req_per_s", "p50_ms", "p99_ms", "byte_identical")
 
 
 def _tolerance() -> float:
@@ -75,7 +85,7 @@ def bench_campaign(experiment_id: str, workers: int) -> Dict[str, object]:
 
     shards = len(warm.provenance.shards)
     hit_rate = (warm.provenance.cached_shards / shards) if shards else 0.0
-    return {
+    record = {
         "schema": SCHEMA,
         "experiment": experiment_id,
         "workers": workers,
@@ -87,6 +97,12 @@ def bench_campaign(experiment_id: str, workers: int) -> Dict[str, object]:
         "warm_cache": warm.cache_status,
         "code_version": warm.provenance.code_version,
     }
+    # Timing summaries come from the COLD run: the warm run restores
+    # cached shard rows, whose timings are the cold run's anyway.
+    for field in SUMMARY_FIELDS:
+        if field in cold.summary:
+            record[field] = cold.summary[field]
+    return record
 
 
 def compare(current: Dict[str, object], baseline: Dict[str, object],
@@ -107,6 +123,16 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
             f"cold wall time regressed >{tolerance * 100:.0f}%: "
             f"{baseline['cold_wall_s']}s -> {current['cold_wall_s']}s "
             f"(limit {limit:.3f}s)")
+    if current.get("byte_identical") is False:
+        problems.append("daemon path is no longer byte-identical to the "
+                        "in-process responder core")
+    if "req_per_s" in current and "req_per_s" in baseline:
+        floor = float(baseline["req_per_s"]) * (1.0 - tolerance)
+        if float(current["req_per_s"]) < floor:
+            problems.append(
+                f"serving throughput regressed >{tolerance * 100:.0f}%: "
+                f"{baseline['req_per_s']} -> {current['req_per_s']} req/s "
+                f"(floor {floor:.0f})")
     return problems
 
 
@@ -118,6 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="refresh benchmarks/baselines/ instead of "
                              "comparing against it")
+    parser.add_argument("--campaign", action="append", default=None,
+                        choices=sorted(CAMPAIGNS),
+                        help="run only this campaign (repeatable; "
+                             "default: all)")
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out_dir)
@@ -125,7 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     tolerance = _tolerance()
     failures: List[str] = []
 
-    for experiment_id, stem in CAMPAIGNS.items():
+    selected = {name: stem for name, stem in CAMPAIGNS.items()
+                if args.campaign is None or name in args.campaign}
+    for experiment_id, stem in selected.items():
         record = bench_campaign(experiment_id, args.workers)
         artifact = out_dir / f"{stem}.json"
         artifact.write_text(json.dumps(record, indent=2, sort_keys=True)
