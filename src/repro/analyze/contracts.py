@@ -13,7 +13,10 @@ it is written — there is no opt-in list to forget to update:
 * **merge** — every public ``merge_*`` function;
 * **injector** — every public function and class of ``*.injectors``
   modules (a class contracts all its methods);
-* **classify** — every public ``classify_*`` function.
+* **classify** — every public ``classify_*`` function;
+* **reducer** — every public function and class of ``*.reducers``
+  modules: the mergeable ``init``/``step``/``merge``/``finalize``
+  contract only converges byte-identically if those methods are pure.
 
 A discovered ref that does not resolve to a program function is an
 error: the grammar shared with :mod:`repro.refs` guarantees anything
@@ -206,6 +209,17 @@ def collect_contracts(program: Program, graph: CallGraph,
                 if info.module == module.name and \
                         not info.name.startswith("_"):
                     add(f"{module.name}:{info.name}", "injector")
+        if module.name.endswith(".reducers"):
+            # The mergeable-reducer contract: init/step/merge/finalize
+            # must be pure so any event-stream partitioning merges to
+            # byte-identical aggregates (the monitor's whole premise).
+            for qualname in _public_functions(graph, module.name):
+                add(f"{module.name}:{qualname.rpartition(':')[2]}",
+                    "reducer")
+            for class_qual, info in sorted(graph.classes.items()):
+                if info.module == module.name and \
+                        not info.name.startswith("_"):
+                    add(f"{module.name}:{info.name}", "reducer")
 
     for ref in extra:
         add(ref, "extra")

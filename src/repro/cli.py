@@ -17,6 +17,7 @@ Commands:
 * ``cache``       — artifact-cache maintenance (stats / verify / gc)
 * ``serve``       — asyncio OCSP-over-HTTP responder daemon
 * ``loadgen``     — deterministic load generator against a daemon
+* ``monitor``     — replay/tail/summarize a monitor event log
 
 Experiment-running commands share the runtime flags ``--workers``,
 ``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
@@ -126,6 +127,13 @@ def _cmd_scan(args: argparse.Namespace) -> int:
               f"(cache: {result.cache_status})", file=sys.stderr)
     else:
         dump_dataset(dataset, sys.stdout)
+    if args.events:
+        from .monitor import dataset_to_events, write_events
+        with open(args.events, "w", encoding="ascii") as stream:
+            count = write_events(stream, dataset_to_events(dataset),
+                                 meta={"source": "repro scan",
+                                       "seed": _seed(args)})
+        print(f"wrote {count} events to {args.events}", file=sys.stderr)
     return 0
 
 
@@ -579,6 +587,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     app = ServeApp.for_world(world, now=now,
                              cache_capacity=args.cache_capacity,
                              max_batch=args.max_batch)
+    access_log = None
+    if args.access_log:
+        from .monitor import EventLogWriter
+        access_log = open(args.access_log, "w", encoding="ascii")
+        writer = EventLogWriter(access_log, meta={
+            "source": "repro serve", "seed": _seed(args), "now": now,
+            "responders": args.responders, "certs": args.certs})
+        app.access_sink = writer.emit
     daemon = ServeDaemon(app, host=args.host, port=args.port)
 
     async def serve() -> None:
@@ -593,6 +609,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("serve: shutting down", file=sys.stderr)
+    finally:
+        if access_log is not None:
+            print(f"serve: {app.access_events} access events in "
+                  f"{args.access_log}", file=sys.stderr)
+            access_log.close()
     return 0
 
 
@@ -602,6 +623,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ServeApp,
         direct_responses,
         expected_digest,
+        loadgen_gate,
         replay_inprocess,
         replay_tcp,
         synthesize_traffic,
@@ -632,16 +654,111 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print("status counts: " + ", ".join(
         f"{code}={count}" for code, count in summary["status_counts"].items()))
     print(f"body digest: {report.body_digest}")
-    if args.no_verify:
+    expected = None
+    if not args.no_verify:
+        expected = expected_digest(direct_responses(world, traffic, now))
+    problems = loadgen_gate(report, expected=expected)
+    if not problems:
+        if expected is not None:
+            print("byte-identity vs in-process responder core: OK")
         return 0
-    expected = expected_digest(direct_responses(world, traffic, now))
-    if report.body_digest == expected:
-        print("byte-identity vs in-process responder core: OK")
-        return 0
-    print(f"byte-identity vs in-process responder core: MISMATCH "
-          f"(expected {expected}) — is the daemon serving the same "
-          f"--seed/--responders/--certs/--now?", file=sys.stderr)
+    for problem in problems:
+        print(f"loadgen: GATE FAILED: {problem}", file=sys.stderr)
+    if expected is not None and report.body_digest != expected:
+        print("loadgen: is the daemon serving the same "
+              "--seed/--responders/--certs/--now?", file=sys.stderr)
     return 1
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Replay, tail, or summarize a monitor event log."""
+    import json
+
+    from .canon import canonical, stable_digest
+    from .monitor import (
+        WindowedAggregate,
+        convergence,
+        default_reducers,
+        iter_events,
+        read_header,
+    )
+
+    try:
+        with open(args.log, "r", encoding="ascii") as stream:
+            header = read_header(stream)
+            events = list(iter_events(stream))
+    except (OSError, ValueError) as exc:
+        print(f"monitor: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    meta = header.get("meta", {})
+
+    if args.action == "summarize":
+        by_kind: dict = {}
+        for event in events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        print(f"{args.log}: {len(events)} events")
+        if meta:
+            print("meta: " + ", ".join(
+                f"{name}={value}" for name, value in sorted(meta.items())))
+        if events:
+            print(f"event-time span: {min(e.ts for e in events)} .. "
+                  f"{max(e.ts for e in events)}")
+        for kind, count in sorted(by_kind.items()):
+            print(f"  {kind}: {count}")
+        return 0
+
+    reducers = default_reducers()
+
+    if args.action == "tail":
+        reducer = reducers[args.reducer]
+        window = WindowedAggregate(reducer, width=args.window,
+                                   allowed_lateness=args.lateness)
+
+        def render(closed) -> None:
+            print(f"[{closed.start} .. {closed.end}) {closed.events:>6} "
+                  f"events  {stable_digest(closed.result)}")
+            if args.json:
+                print(json.dumps(canonical(closed.result), sort_keys=True))
+
+        for event in events:
+            for closed in window.observe(event):
+                render(closed)
+        for closed in window.flush():
+            render(closed)
+        counters = window.counters()
+        print(", ".join(f"{name}={counters[name]}"
+                        for name in ("events", "late_events",
+                                     "closed_windows", "watermark")))
+        return 0
+
+    # replay: every reducer over the whole log, plus (optionally) the
+    # partitioned-merge convergence gate.
+    document = {"log": args.log, "events": len(events), "aggregates": {}}
+    diverged = []
+    for name in sorted(reducers):
+        reducer = reducers[name]
+        final = reducer.finalize(reducer.reduce(events))
+        document["aggregates"][name] = canonical(final)
+        line = f"{name}: {stable_digest(final)}"
+        if args.partitions > 1:
+            check = convergence(events, reducer,
+                                partitions=args.partitions,
+                                scheme="round-robin")
+            if check.converged:
+                line += f"  (converges over {args.partitions} partitions)"
+            else:
+                diverged.append(name)
+                line += (f"  DIVERGED: merged {check.merged_digest} != "
+                         f"single {check.single_digest}")
+        print(line)
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    if diverged:
+        print(f"monitor: partitioned replay diverged from the "
+              f"single-partition answer for: {', '.join(diverged)}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -715,6 +832,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--days", type=int, default=7)
     scan.add_argument("--interval", type=int, default=6, help="hours between scans")
     scan.add_argument("--out", help="write JSON-lines here (default: stdout)")
+    scan.add_argument("--events", default=None, metavar="PATH",
+                      help="also write the campaign as a monitor event "
+                           "log ('repro monitor' reads this)")
     scan.set_defaults(func=_cmd_scan)
 
     analyze = commands.add_parser(
@@ -855,6 +975,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pre-signed cache entries per responder")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="signing micro-batch bound")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="write one MonitorEvent JSONL line per served "
+                            "request ('repro monitor' reads this)")
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = commands.add_parser(
@@ -884,6 +1007,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the byte-identity check against the "
                               "in-process responder core")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="replay/tail/summarize a monitor event log through the "
+             "mergeable reducers")
+    monitor.add_argument("action",
+                         choices=["replay", "tail", "summarize"],
+                         help="replay: all reducers over the whole log "
+                              "(with a partitioned-merge convergence "
+                              "gate); tail: stream through tumbling "
+                              "event-time windows; summarize: header "
+                              "and per-kind counts")
+    monitor.add_argument("log", help="event log path (JSONL, written by "
+                                     "'repro scan --events', 'repro serve "
+                                     "--access-log', or write_events())")
+    monitor.add_argument("--partitions", type=int, default=1,
+                         help="replay: also reduce the log in N "
+                              "round-robin partitions, merge, and exit "
+                              "non-zero unless the result is "
+                              "byte-identical")
+    monitor.add_argument("--reducer", default="response-stats",
+                         choices=["adoption", "availability", "freshness",
+                                  "response-stats"],
+                         help="tail: the reducer to window (default "
+                              "response-stats)")
+    monitor.add_argument("--window", type=int, default=43200,
+                         help="tail: tumbling window width in simulated "
+                              "seconds (default 12h)")
+    monitor.add_argument("--lateness", type=int, default=0,
+                         help="tail: allowed lateness before a window "
+                              "closes, in simulated seconds")
+    monitor.add_argument("--json", action="store_true",
+                         help="also print full aggregates as JSON")
+    monitor.set_defaults(func=_cmd_monitor)
 
     selftest = commands.add_parser(
         "selftest", parents=[seed_flags],

@@ -13,7 +13,6 @@ from typing import Dict, List, Optional, Tuple
 from ..datasets.alexa import AlexaModel
 from ..datasets.corpus import CertificateCorpus
 from ..datasets.history import AdoptionSnapshot, adoption_history
-from .stats import binned_fraction
 
 #: The paper bins Alexa ranks into groups of 10,000.
 RANK_BIN = 10_000
@@ -96,29 +95,36 @@ class RankedAdoption:
         return 0
 
 
+def _adoption_curves(alexa: AlexaModel, bin_width: int) -> Dict[str, List[Tuple[int, float]]]:
+    """All three rank-binned curves, via the streaming reducer.
+
+    Batch = replay the domain-event log in one partition; the
+    ``monitor-convergence`` harness asserts any other partitioning
+    finalizes to the same curve bytes.
+    """
+    from ..monitor.reducers import AdoptionReducer
+    from ..monitor.replay import domain_events
+    reducer = AdoptionReducer(bin_width=bin_width)
+    return reducer.finalize(reducer.reduce(domain_events(alexa.records)))
+
+
 def figure2_adoption(alexa: AlexaModel, bin_width: int = RANK_BIN) -> RankedAdoption:
     """Figure 2: % of domains with HTTPS, and % of those with OCSP."""
-    https_curve = binned_fraction(
-        ((record.rank, record.https) for record in alexa.records), bin_width
-    )
-    ocsp_curve = binned_fraction(
-        ((record.rank, record.has_ocsp) for record in alexa.records if record.https),
-        bin_width,
-    )
+    from ..monitor.reducers import AdoptionReducer
+    curves = _adoption_curves(alexa, bin_width)
     return RankedAdoption(curves={
-        "Domains with certificate": https_curve,
-        "Certificates with OCSP responder": ocsp_curve,
+        "Domains with certificate": curves[AdoptionReducer.HTTPS],
+        "Certificates with OCSP responder": curves[AdoptionReducer.OCSP],
     })
 
 
 def figure11_adoption(alexa: AlexaModel, bin_width: int = RANK_BIN) -> RankedAdoption:
     """Figure 11: % of OCSP-supporting domains that staple."""
-    stapling_curve = binned_fraction(
-        ((record.rank, record.stapling) for record in alexa.records if record.has_ocsp),
-        bin_width,
-    )
+    from ..monitor.reducers import AdoptionReducer
+    curves = _adoption_curves(alexa, bin_width)
     return RankedAdoption(curves={
-        "OCSP domains that support OCSP Stapling": stapling_curve,
+        "OCSP domains that support OCSP Stapling":
+            curves[AdoptionReducer.STAPLING],
     })
 
 

@@ -9,10 +9,10 @@ per-vantage always-fail counts, and the transient-outage census
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
-from ..scanner import ProbeOutcome, ProbeRecord, ScanDataset
+from ..scanner import ProbeOutcome, ScanDataset
 from .stats import mean
 
 
@@ -49,72 +49,21 @@ class AvailabilityReport:
 
 
 def analyze_availability(dataset: ScanDataset) -> AvailabilityReport:
-    """Compute the availability report from scan records."""
-    # Index: (vantage, time) -> [ok...]; (url, vantage) -> {time: ok}.
-    # Per-responder series bucket by timestamp (a responder may serve
-    # several scanned certificates per tick; one scan tick is one
-    # observation for outage purposes).
-    series_acc: Dict[str, Dict[int, List[bool]]] = {}
-    per_responder_times: Dict[Tuple[str, str], Dict[int, bool]] = {}
-    urls: Dict[str, None] = {}
+    """Compute the availability report from scan records.
 
-    for record in dataset.records:
-        ok = record.transport_ok
-        series_acc.setdefault(record.vantage, {}).setdefault(record.timestamp, []).append(ok)
-        bucket = per_responder_times.setdefault(
-            (record.responder_url, record.vantage), {})
-        bucket[record.timestamp] = bucket.get(record.timestamp, False) or ok
-        urls.setdefault(record.responder_url)
-
-    per_responder: Dict[Tuple[str, str], List[bool]] = {
-        key: [ok for _, ok in sorted(bucket.items())]
-        for key, bucket in per_responder_times.items()
-    }
-
-    success_series = {
-        vantage: [
-            (timestamp, 100.0 * sum(oks) / len(oks))
-            for timestamp, oks in sorted(buckets.items())
-        ]
-        for vantage, buckets in series_acc.items()
-    }
-    failure_rate = {
-        vantage: 100.0 - mean([pct for _, pct in points])
-        for vantage, points in success_series.items()
-    }
-
-    vantages = list(success_series)
-    never_anywhere = []
-    never_somewhere = []
-    always_fail_by_vantage = {vantage: 0 for vantage in vantages}
-    with_outage: List[str] = []
-
-    for url in urls:
-        ever_by_vantage = {}
-        for vantage in vantages:
-            oks = per_responder.get((url, vantage), [])
-            ever_by_vantage[vantage] = any(oks)
-            if oks and not any(oks):
-                always_fail_by_vantage[vantage] += 1
-        if not any(ever_by_vantage.values()):
-            never_anywhere.append(url)
-        elif not all(ever_by_vantage.values()):
-            never_somewhere.append(url)
-
-        # Transient outage: a failure run bounded by successes on a
-        # vantage that otherwise works.
-        if _had_transient_outage(url, vantages, per_responder):
-            with_outage.append(url)
-
-    return AvailabilityReport(
-        success_series=success_series,
-        failure_rate=failure_rate,
-        never_successful_anywhere=never_anywhere,
-        never_successful_somewhere=never_somewhere,
-        always_fail_by_vantage=always_fail_by_vantage,
-        responders_with_outage=with_outage,
-        responder_count=len(urls),
-    )
+    Batch analysis is the streaming monitor's degenerate case: replay
+    the dataset's event log through the mergeable
+    :class:`~repro.monitor.reducers.AvailabilityReducer` in a single
+    partition.  Partitioned replays (the ``monitor-convergence``
+    experiment, ``repro monitor replay --partitions``) finalize to the
+    byte-identical report — that algebra, not this wrapper, is where
+    the per-vantage series, failure rates, never-successful census,
+    and transient-outage detection now live.
+    """
+    from ..monitor.reducers import AvailabilityReducer
+    from ..monitor.replay import dataset_to_events
+    reducer = AvailabilityReducer()
+    return reducer.finalize(reducer.reduce(dataset_to_events(dataset)))
 
 
 def _had_transient_outage(url: str, vantages: Sequence[str],
@@ -142,9 +91,16 @@ def _had_transient_outage(url: str, vantages: Sequence[str],
 
 
 def failures_by_kind(dataset: ScanDataset) -> Dict[ProbeOutcome, int]:
-    """Count transport failures by kind (the Section-5.2 breakdown)."""
-    counts: Dict[ProbeOutcome, int] = {}
-    for record in dataset.records:
-        if not record.transport_ok:
-            counts[record.outcome] = counts.get(record.outcome, 0) + 1
-    return counts
+    """Count transport failures by kind (the Section-5.2 breakdown).
+
+    Also reducer-backed: :class:`~repro.monitor.reducers
+    .ResponseStatsReducer` tracks failure counts plus first-seen
+    ordinals, so the dict comes back in the batch loop's first-seen
+    insertion order from any partitioning.
+    """
+    from ..monitor.reducers import ResponseStatsReducer
+    from ..monitor.replay import dataset_to_events
+    reducer = ResponseStatsReducer()
+    final = reducer.finalize(reducer.reduce(dataset_to_events(dataset)))
+    return {ProbeOutcome[name]: count
+            for name, count in final["failures_by_kind"].items()}

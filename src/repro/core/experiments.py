@@ -265,6 +265,15 @@ _EXPERIMENTS: List[Experiment] = [
         "seeded traffic x {daemon path, in-process core} identity + warm-cache load",
         runner="repro.runtime.runners:run_serve_loadtest",
     ),
+    Experiment(
+        "monitor-convergence", "Streaming reducer merges vs batch pipeline",
+        "Section 5.2 availability (streaming-monitor extension)",
+        ("repro.monitor.events", "repro.monitor.reducers",
+         "repro.monitor.replay", "repro.core.availability"),
+        "benchmarks/test_monitor_replay.py",
+        "event-log partitions x {forward, backward} merge folds vs batch digests",
+        runner="repro.runtime.runners:run_monitor_convergence",
+    ),
 ]
 
 #: Every entry must carry a literal, well-formed runner ref — checked

@@ -69,6 +69,44 @@ def bin_by(pairs: Iterable[Tuple[int, float]], bin_width: int
     return bins
 
 
+def binned_counts(items: Iterable[Tuple[int, bool]], bin_width: int
+                  ) -> Dict[int, List[int]]:
+    """Per-bin ``[true_count, total]`` pairs — the mergeable form.
+
+    Counts merge associatively (see :func:`merge_binned_counts`), so
+    partitions of the input reduce independently; the percentage is
+    taken once, by :func:`fraction_points`, which is what lets the
+    streaming monitor reproduce the batch curves byte-identically.
+    """
+    bins: Dict[int, List[int]] = {}
+    for key, flag in items:
+        bucket = bins.setdefault((key // bin_width) * bin_width, [0, 0])
+        bucket[0] += bool(flag)
+        bucket[1] += 1
+    return bins
+
+
+def merge_binned_counts(left: Dict[int, Sequence[int]],
+                        right: Dict[int, Sequence[int]]
+                        ) -> Dict[int, List[int]]:
+    """Key-wise sum of two bin-count mappings, into a fresh dict."""
+    merged = {start: list(counts) for start, counts in left.items()}
+    for start, (true_count, total) in right.items():
+        bucket = merged.setdefault(start, [0, 0])
+        bucket[0] += true_count
+        bucket[1] += total
+    return merged
+
+
+def fraction_points(bins: Dict[int, Sequence[int]]
+                    ) -> List[Tuple[int, float]]:
+    """Bin counts as sorted (bin_start, percentage) curve points."""
+    return [
+        (start, 100.0 * true_count / total)
+        for start, (true_count, total) in sorted(bins.items())
+    ]
+
+
 def binned_fraction(items: Iterable[Tuple[int, bool]], bin_width: int
                     ) -> List[Tuple[int, float]]:
     """Per-bin fraction of True values, as sorted (bin_start, pct) points.
@@ -76,10 +114,4 @@ def binned_fraction(items: Iterable[Tuple[int, bool]], bin_width: int
     This is the Figure-2/11 primitive: bucket domains by rank into
     10,000-rank bins and compute the percentage satisfying a predicate.
     """
-    bins: Dict[int, List[bool]] = {}
-    for key, flag in items:
-        bins.setdefault((key // bin_width) * bin_width, []).append(flag)
-    return [
-        (start, 100.0 * sum(flags) / len(flags))
-        for start, flags in sorted(bins.items())
-    ]
+    return fraction_points(binned_counts(items, bin_width))

@@ -1,0 +1,91 @@
+"""repro.monitor — the streaming passive monitor.
+
+The batch pipeline (generate → scan → analyze) answers the paper's
+questions once per campaign; this package answers them *continuously*,
+the Zeek ``ssl.log`` way: every producer — simnet scans, TLS
+handshakes, the Alexa snapshot, the serve daemon's access log — emits
+the same typed :class:`MonitorEvent` records into an append-only JSONL
+log, and a library of one-pass **mergeable reducers**
+(``init``/``step``/``merge``/``finalize``) folds any partitioning of
+that log into aggregates that are *byte-identical* to the batch
+answers.  ``repro.core.availability`` / ``repro.core.adoption`` are
+now the degenerate case: batch = replay the log in one partition.
+
+:mod:`~repro.monitor.windows` adds tumbling event-time windows with
+watermark-based closing for live counters; :mod:`~repro.monitor
+.replay` holds the producers and the convergence harness; the
+``monitor-convergence`` runtime experiment proves shard-level reducer
+merges against the batch pipeline; ``repro monitor`` tails, replays,
+and summarizes logs from the CLI.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EventLogWriter,
+    MonitorEvent,
+    dumps_events,
+    iter_events,
+    loads_events,
+    read_events,
+    read_header,
+    write_events,
+)
+from .reducers import (
+    AdoptionReducer,
+    AvailabilityReducer,
+    FreshnessReducer,
+    Reducer,
+    ResponseStatsReducer,
+    TRANSPORT_FAILURES,
+    default_reducers,
+)
+from .replay import (
+    ConvergenceCheck,
+    Fig3Convergence,
+    convergence,
+    dataset_to_events,
+    domain_events,
+    event_to_record,
+    fig3_convergence,
+    handshake_events,
+    merge_states,
+    partition_events,
+    probe_events,
+    reduce_log,
+    rows_to_events,
+)
+from .windows import ClosedWindow, WindowedAggregate
+
+__all__ = [
+    "AdoptionReducer",
+    "AvailabilityReducer",
+    "ClosedWindow",
+    "ConvergenceCheck",
+    "EVENT_KINDS",
+    "EventLogWriter",
+    "Fig3Convergence",
+    "FreshnessReducer",
+    "MonitorEvent",
+    "Reducer",
+    "ResponseStatsReducer",
+    "TRANSPORT_FAILURES",
+    "WindowedAggregate",
+    "convergence",
+    "dataset_to_events",
+    "default_reducers",
+    "domain_events",
+    "dumps_events",
+    "event_to_record",
+    "fig3_convergence",
+    "handshake_events",
+    "iter_events",
+    "loads_events",
+    "merge_states",
+    "partition_events",
+    "probe_events",
+    "read_events",
+    "read_header",
+    "reduce_log",
+    "rows_to_events",
+    "write_events",
+]

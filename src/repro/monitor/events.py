@@ -1,0 +1,170 @@
+"""The monitor's append-only event log: schema and wire format.
+
+A :class:`MonitorEvent` is one typed observation — a scan probe, an
+Alexa-style domain snapshot, a TLS handshake, or one request served by
+the daemon — in the ``ssl.log`` idiom: every producer (simnet
+scanners, the Alexa generator, :class:`~repro.serve.app.ServeApp`)
+emits the *same* record shape, and every consumer (the reducers, the
+windowed aggregates, the CLI) reads the same JSONL stream.
+
+The wire format mirrors :mod:`repro.scanner.io`: a header line naming
+the format and version, then one JSON object per event.  Events carry
+three envelope fields plus a payload dict:
+
+``kind``
+    One of :data:`EVENT_KINDS`; selects which reducers consume it.
+``ts``
+    Simulated event time (POSIX seconds).  Never wall clock — the
+    monitor observes the simulated world, so logs replay bit-for-bit.
+``seq``
+    An opaque *ordinal*: any tuple of ints that sorts consistently
+    with the emitting log's append order.  Producers are free to use a
+    running counter ``(i,)`` or structured coordinates like
+    ``(ts, target, vantage)`` — reducers only ever compare ordinals,
+    so any total order consistent with the log order converges to the
+    same finalized bytes (see :mod:`repro.monitor.reducers`).
+``data``
+    The kind-specific payload (probe rows reuse the scan-file dict
+    from :func:`repro.scanner.io.record_to_dict` verbatim).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple
+
+FORMAT = "repro-monitor-events"
+FORMAT_VERSION = 1
+
+#: Event kinds and the payload keys every instance must carry.
+EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
+    # One OCSP probe from one vantage (the scan-record wire dict).
+    "probe": ("vantage", "url", "ts", "outcome"),
+    # One domain of the Alexa-style corpus snapshot.
+    "domain": ("rank", "domain", "https", "has_ocsp", "stapling"),
+    # One TLS handshake against a web-server profile.
+    "handshake": ("hostname", "stapled", "must_staple"),
+    # One request served by the daemon / in-process app.
+    "access": ("host", "method", "status", "size", "source"),
+}
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One typed, JSONL-serializable observation."""
+
+    kind: str
+    ts: int
+    seq: Tuple[int, ...]
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> "MonitorEvent":
+        """Raise ``ValueError`` unless the event matches its schema."""
+        required = EVENT_KINDS.get(self.kind)
+        if required is None:
+            raise ValueError(f"unknown event kind: {self.kind!r}")
+        missing = [key for key in required if key not in self.data]
+        if missing:
+            raise ValueError(
+                f"{self.kind} event missing keys: {', '.join(missing)}")
+        if not self.seq:
+            raise ValueError("event seq must be a non-empty ordinal")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable wire mapping (one JSONL line)."""
+        return {"kind": self.kind, "ts": self.ts,
+                "seq": list(self.seq), "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MonitorEvent":
+        """Rebuild (and validate) from :meth:`to_dict` output."""
+        return cls(kind=payload["kind"], ts=payload["ts"],
+                   seq=tuple(payload["seq"]),
+                   data=dict(payload.get("data", {}))).validate()
+
+
+class EventLogWriter:
+    """Append-only JSONL writer; assigns running ``seq`` ordinals.
+
+    The header is written on construction so a log is recognizable
+    from its first line even when the producer dies mid-stream; each
+    event line is flushed immediately so tails see it (the daemon's
+    access log is consumed live by ``repro monitor``).
+    """
+
+    def __init__(self, stream: IO[str],
+                 meta: Optional[Dict[str, object]] = None) -> None:
+        self.stream = stream
+        self.events = 0
+        header = {"format": FORMAT, "version": FORMAT_VERSION}
+        if meta:
+            header["meta"] = dict(meta)
+        stream.write(json.dumps(header, sort_keys=True) + "\n")
+        stream.flush()
+
+    def emit(self, event: MonitorEvent) -> MonitorEvent:
+        """Validate and append one pre-built event."""
+        event.validate()
+        self.stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.stream.flush()
+        self.events += 1
+        return event
+
+    def append(self, kind: str, ts: int,
+               data: Dict[str, object]) -> MonitorEvent:
+        """Build an event with the next running ordinal and emit it."""
+        return self.emit(MonitorEvent(kind=kind, ts=ts,
+                                      seq=(self.events,), data=data))
+
+
+def write_events(stream: IO[str], events: Iterable[MonitorEvent],
+                 meta: Optional[Dict[str, object]] = None) -> int:
+    """Write a whole log; returns the event count."""
+    writer = EventLogWriter(stream, meta=meta)
+    for event in events:
+        writer.emit(event)
+    return writer.events
+
+
+def read_header(stream: IO[str]) -> Dict[str, object]:
+    """Consume and validate the header line."""
+    header_line = stream.readline()
+    if not header_line:
+        raise ValueError("empty monitor event log")
+    header = json.loads(header_line)
+    if header.get("format") != FORMAT:
+        raise ValueError("not a repro monitor event log")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported event log version: {header.get('version')}")
+    return header
+
+
+def iter_events(stream: IO[str]) -> Iterator[MonitorEvent]:
+    """Stream events after :func:`read_header` has been called."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield MonitorEvent.from_dict(json.loads(line))
+
+
+def read_events(stream: IO[str]) -> List[MonitorEvent]:
+    """Read one whole log (header validated)."""
+    read_header(stream)
+    return list(iter_events(stream))
+
+
+def dumps_events(events: Iterable[MonitorEvent],
+                 meta: Optional[Dict[str, object]] = None) -> str:
+    """String-returning convenience wrapper for :func:`write_events`."""
+    buffer = io.StringIO()
+    write_events(buffer, events, meta=meta)
+    return buffer.getvalue()
+
+
+def loads_events(text: str) -> List[MonitorEvent]:
+    """String-accepting convenience wrapper for :func:`read_events`."""
+    return read_events(io.StringIO(text))

@@ -1,0 +1,581 @@
+"""One-pass, mergeable reducers over the monitor event stream.
+
+Every reducer implements the same four-method contract::
+
+    state = reducer.init()
+    state = reducer.step(state, event)      # one event at a time
+    state = reducer.merge(left, right)      # combine partition states
+    answer = reducer.finalize(state)        # the batch-pipeline answer
+
+with the algebraic guarantee the convergence harness (and the
+property tests) assert: ``merge`` is **associative and commutative**
+and ``step`` commutes with it, so *any* partitioning of an event log —
+round-robin, contiguous, per-shard in the runtime — finalizes to the
+same bytes as a single-partition replay.  The batch pipeline is the
+degenerate case: :func:`repro.core.availability.analyze_availability`
+and :func:`repro.core.adoption.figure2_adoption` are now literally
+"replay the log in one partition".
+
+Rules that make the guarantee hold:
+
+* **States are JSON trees** (string keys, ints, ``None``, lists) so
+  they travel through the runtime's shard cache unchanged.
+* **No floats are accumulated.**  Counts, sums of ints, ORs, mins and
+  maxes merge exactly; every percentage/mean is computed once, in
+  ``finalize``, with the *same expression* the batch code used — which
+  is what makes the convergence byte-identical rather than merely
+  close.  (Latency sums are held in integer microseconds for this
+  reason.)
+* **Order is reconstructed, not assumed.**  Batch answers expose
+  first-seen insertion order (responder URL lists, vantage order);
+  reducers track the *minimum event ordinal* per key — an associative,
+  commutative statistic — and re-derive that order in ``finalize``.
+
+``merge`` never mutates its arguments; partition states can be folded
+in any tree shape.  All public callables in this module carry purity
+contracts in ``repro analyze --strict`` (the ``reducer`` convention
+group).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .events import MonitorEvent
+
+#: Probe outcomes that count as transport failures — must mirror
+#: :attr:`repro.scanner.results.ProbeRecord.transport_ok` (asserted by
+#: a test; spelled out here so the hot step path needs no imports).
+TRANSPORT_FAILURES = frozenset(
+    {"DNS_FAILURE", "TCP_FAILURE", "TLS_FAILURE", "HTTP_ERROR"})
+
+#: The paper bins Alexa ranks into groups of 10,000 (Figures 2/11).
+DEFAULT_RANK_BIN = 10_000
+
+
+class Reducer:
+    """The ``init/step/merge/finalize`` contract (abstract base)."""
+
+    #: Registry name (CLI ``--reducer`` values, experiment row labels).
+    name = "reducer"
+    #: Event kinds this reducer consumes; ``step`` ignores the rest.
+    kinds: Tuple[str, ...] = ()
+
+    def init(self) -> Dict[str, object]:
+        """A fresh empty state (the ``merge`` identity)."""
+        raise NotImplementedError
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        """Fold one event into *state* (returned; may mutate in place)."""
+        raise NotImplementedError
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        """Combine two partition states into a new one.
+
+        Must be associative and commutative and must not mutate either
+        argument — partition trees reuse intermediate states.
+        """
+        raise NotImplementedError
+
+    def finalize(self, state: Dict[str, object]):
+        """The batch-pipeline answer for the events folded so far."""
+        raise NotImplementedError
+
+    def reduce(self, events: Iterable[MonitorEvent]) -> Dict[str, object]:
+        """Single-partition replay: ``init`` + ``step`` over *events*."""
+        state = self.init()
+        for event in events:
+            if event.kind in self.kinds:
+                state = self.step(state, event)
+        return state
+
+
+def default_reducers() -> Dict[str, Reducer]:
+    """The monitor's stock reducer set, keyed by registry name."""
+    reducers = (AvailabilityReducer(), AdoptionReducer(),
+                FreshnessReducer(), ResponseStatsReducer())
+    return {reducer.name: reducer for reducer in reducers}
+
+
+# ---------------------------------------------------------------------------
+# shared state helpers (all pure, all JSON-tree in / JSON-tree out)
+# ---------------------------------------------------------------------------
+
+def _min_ordinal(firsts: Dict[str, List[int]], key: str,
+                 seq: List[int]) -> None:
+    """Track the smallest event ordinal seen for *key* (in place)."""
+    known = firsts.get(key)
+    if known is None or seq < known:
+        firsts[key] = seq
+
+
+def _merge_counts(left: Dict[str, int],
+                  right: Dict[str, int]) -> Dict[str, int]:
+    """Key-wise integer sum, into a fresh dict."""
+    merged = dict(left)
+    for key, count in right.items():
+        merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def _merge_firsts(left: Dict[str, List[int]],
+                  right: Dict[str, List[int]]) -> Dict[str, List[int]]:
+    """Key-wise minimum ordinal, into a fresh dict."""
+    merged = dict(left)
+    for key, seq in right.items():
+        known = merged.get(key)
+        if known is None or seq < known:
+            merged[key] = seq
+    return merged
+
+
+def _merge_moments(left: Dict[str, object],
+                   right: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``{count, sum, min, max}`` accumulators exactly."""
+    def _pick(op, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return op(a, b)
+    return {
+        "count": left["count"] + right["count"],
+        "sum": left["sum"] + right["sum"],
+        "min": _pick(min, left["min"], right["min"]),
+        "max": _pick(max, left["max"], right["max"]),
+    }
+
+
+def _step_moments(moments: Dict[str, object], value) -> None:
+    """Fold one value into a ``{count, sum, min, max}`` accumulator."""
+    moments["count"] += 1
+    moments["sum"] += value
+    moments["min"] = value if moments["min"] is None \
+        else min(moments["min"], value)
+    moments["max"] = value if moments["max"] is None \
+        else max(moments["max"], value)
+
+
+def _sorted_int_items(mapping: Dict[str, object]) -> List[Tuple[int, object]]:
+    """Items of a str(int)-keyed dict, sorted by the integer key."""
+    return sorted((int(key), value) for key, value in mapping.items())
+
+
+# ---------------------------------------------------------------------------
+# availability (Figure 3, paper §5.2)
+# ---------------------------------------------------------------------------
+
+class AvailabilityReducer(Reducer):
+    """Streaming form of :func:`repro.core.availability
+    .analyze_availability` — finalizes to the identical
+    :class:`~repro.core.availability.AvailabilityReport` bytes.
+
+    The batch algorithm's insertion orders (vantage order of the
+    success series, responder URL order) are reconstructed from
+    min-ordinal statistics; the per-tick success fractions are held as
+    ``[ok_count, total]`` integer pairs and divided with the batch
+    expression ``100.0 * ok / total`` only in ``finalize``.
+    """
+
+    name = "availability"
+    kinds = ("probe",)
+
+    def init(self) -> Dict[str, object]:
+        return {
+            # vantage -> str(ts) -> [ok_count, total]
+            "series": {},
+            # url -> vantage -> str(ts) -> 0|1 (OR over the tick)
+            "responder": {},
+            # first-seen event ordinals (insertion-order witnesses)
+            "url_first": {},
+            "vantage_first": {},
+        }
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        data = event.data
+        ok = int(data["outcome"] not in TRANSPORT_FAILURES)
+        vantage, url = data["vantage"], data["url"]
+        ts_key = str(event.ts)
+        bucket = state["series"].setdefault(vantage, {}) \
+                                .setdefault(ts_key, [0, 0])
+        bucket[0] += ok
+        bucket[1] += 1
+        cells = state["responder"].setdefault(url, {}) \
+                                  .setdefault(vantage, {})
+        cells[ts_key] = cells.get(ts_key, 0) | ok
+        seq = list(event.seq)
+        _min_ordinal(state["url_first"], url, seq)
+        _min_ordinal(state["vantage_first"], vantage, seq)
+        return state
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        series: Dict[str, Dict[str, List[int]]] = {}
+        for state in (left, right):
+            for vantage, buckets in state["series"].items():
+                out = series.setdefault(vantage, {})
+                for ts_key, (ok, total) in buckets.items():
+                    cell = out.setdefault(ts_key, [0, 0])
+                    cell[0] += ok
+                    cell[1] += total
+        responder: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for state in (left, right):
+            for url, by_vantage in state["responder"].items():
+                url_out = responder.setdefault(url, {})
+                for vantage, cells in by_vantage.items():
+                    out = url_out.setdefault(vantage, {})
+                    for ts_key, ok in cells.items():
+                        out[ts_key] = out.get(ts_key, 0) | ok
+        return {
+            "series": series,
+            "responder": responder,
+            "url_first": _merge_firsts(left["url_first"],
+                                       right["url_first"]),
+            "vantage_first": _merge_firsts(left["vantage_first"],
+                                           right["vantage_first"]),
+        }
+
+    def finalize(self, state: Dict[str, object]):
+        # Lazy: core.availability imports this module at load time
+        # (batch = one-partition replay), so the report type resolves
+        # here, at call time.
+        from ..core.availability import (AvailabilityReport,
+                                         _had_transient_outage)
+        from ..core.stats import mean
+
+        vantages = [vantage for vantage, _ in
+                    sorted(state["vantage_first"].items(),
+                           key=lambda item: item[1])]
+        urls = [url for url, _ in sorted(state["url_first"].items(),
+                                         key=lambda item: item[1])]
+        success_series = {
+            vantage: [(ts, 100.0 * ok / total) for ts, (ok, total)
+                      in _sorted_int_items(state["series"][vantage])]
+            for vantage in vantages
+        }
+        failure_rate = {
+            vantage: 100.0 - mean([pct for _, pct in points])
+            for vantage, points in success_series.items()
+        }
+        per_responder: Dict[Tuple[str, str], List[bool]] = {}
+        for url, by_vantage in state["responder"].items():
+            for vantage, cells in by_vantage.items():
+                per_responder[(url, vantage)] = [
+                    bool(ok) for _, ok in _sorted_int_items(cells)]
+
+        never_anywhere = []
+        never_somewhere = []
+        always_fail_by_vantage = {vantage: 0 for vantage in vantages}
+        with_outage: List[str] = []
+        for url in urls:
+            ever_by_vantage = {}
+            for vantage in vantages:
+                oks = per_responder.get((url, vantage), [])
+                ever_by_vantage[vantage] = any(oks)
+                if oks and not any(oks):
+                    always_fail_by_vantage[vantage] += 1
+            if not any(ever_by_vantage.values()):
+                never_anywhere.append(url)
+            elif not all(ever_by_vantage.values()):
+                never_somewhere.append(url)
+            if _had_transient_outage(url, vantages, per_responder):
+                with_outage.append(url)
+
+        return AvailabilityReport(
+            success_series=success_series,
+            failure_rate=failure_rate,
+            never_successful_anywhere=never_anywhere,
+            never_successful_somewhere=never_somewhere,
+            always_fail_by_vantage=always_fail_by_vantage,
+            responders_with_outage=with_outage,
+            responder_count=len(urls),
+        )
+
+
+# ---------------------------------------------------------------------------
+# adoption (Figures 2 and 11, paper §4)
+# ---------------------------------------------------------------------------
+
+class AdoptionReducer(Reducer):
+    """Streaming form of the Figure-2/11 rank-binned adoption curves.
+
+    Bins hold ``[true_count, total]`` integer pairs per rank bucket;
+    ``finalize`` divides with the exact :func:`repro.core.stats
+    .binned_fraction` expression, so the curves match the batch
+    pipeline byte-for-byte.
+    """
+
+    name = "adoption"
+    kinds = ("domain",)
+
+    #: Curve names, matching the batch figures.
+    HTTPS = "Domains with certificate"
+    OCSP = "Certificates with OCSP responder"
+    STAPLING = "OCSP domains that support OCSP Stapling"
+
+    def __init__(self, bin_width: int = DEFAULT_RANK_BIN) -> None:
+        self.bin_width = bin_width
+
+    def init(self) -> Dict[str, object]:
+        return {"bins": {self.HTTPS: {}, self.OCSP: {},
+                         self.STAPLING: {}}}
+
+    def _tally(self, bins: Dict[str, List[int]], rank: int,
+               flag: bool) -> None:
+        key = str((rank // self.bin_width) * self.bin_width)
+        bucket = bins.setdefault(key, [0, 0])
+        bucket[0] += bool(flag)
+        bucket[1] += 1
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        data = event.data
+        rank = data["rank"]
+        bins = state["bins"]
+        self._tally(bins[self.HTTPS], rank, data["https"])
+        if data["https"]:
+            self._tally(bins[self.OCSP], rank, data["has_ocsp"])
+        if data["has_ocsp"]:
+            self._tally(bins[self.STAPLING], rank, data["stapling"])
+        return state
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        bins: Dict[str, Dict[str, List[int]]] = {}
+        for state in (left, right):
+            for curve, buckets in state["bins"].items():
+                out = bins.setdefault(curve, {})
+                for key, (true_count, total) in buckets.items():
+                    bucket = out.setdefault(key, [0, 0])
+                    bucket[0] += true_count
+                    bucket[1] += total
+        return {"bins": bins}
+
+    def finalize(self, state: Dict[str, object]
+                 ) -> Dict[str, List[Tuple[int, float]]]:
+        from ..core.stats import fraction_points
+        return {
+            curve: fraction_points(
+                {start: tuple(counts) for start, counts
+                 in _sorted_int_items(buckets)})
+            for curve, buckets in state["bins"].items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# staple freshness (paper §6 stapling behaviour)
+# ---------------------------------------------------------------------------
+
+class FreshnessReducer(Reducer):
+    """Staple and response freshness over handshake + probe events.
+
+    Handshake events feed the stapling census (how many servers
+    staple, how many staples are fresh, Must-Staple incidence,
+    per-software behaviour); probe events feed the validity-window
+    view (was the response inside ``[thisUpdate, nextUpdate)`` at
+    observation time, and with how much margin).
+    """
+
+    name = "freshness"
+    kinds = ("handshake", "probe")
+
+    def init(self) -> Dict[str, object]:
+        return {
+            "handshakes": 0, "stapled": 0, "fresh_staples": 0,
+            "must_staple": 0,
+            # software -> [stapled_count, total]
+            "by_software": {},
+            "probes": 0, "windowed": 0, "fresh_probes": 0,
+            "blank_next_update": 0,
+            # seconds of validity remaining at observation time
+            "margin": {"count": 0, "sum": 0, "min": None, "max": None},
+        }
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        data = event.data
+        if event.kind == "handshake":
+            state["handshakes"] += 1
+            stapled = bool(data["stapled"])
+            state["stapled"] += stapled
+            state["fresh_staples"] += bool(data.get("staple_fresh"))
+            state["must_staple"] += bool(data["must_staple"])
+            software = data.get("software") or "unknown"
+            bucket = state["by_software"].setdefault(software, [0, 0])
+            bucket[0] += stapled
+            bucket[1] += 1
+            return state
+        state["probes"] += 1
+        this_update = data.get("this_update")
+        next_update = data.get("next_update")
+        if this_update is None:
+            return state
+        if next_update is None:
+            state["blank_next_update"] += 1
+            return state
+        state["windowed"] += 1
+        if this_update <= event.ts < next_update:
+            state["fresh_probes"] += 1
+        _step_moments(state["margin"], next_update - event.ts)
+        return state
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        merged = {
+            key: left[key] + right[key]
+            for key in ("handshakes", "stapled", "fresh_staples",
+                        "must_staple", "probes", "windowed",
+                        "fresh_probes", "blank_next_update")
+        }
+        by_software: Dict[str, List[int]] = {}
+        for state in (left, right):
+            for software, (stapled, total) in state["by_software"].items():
+                bucket = by_software.setdefault(software, [0, 0])
+                bucket[0] += stapled
+                bucket[1] += total
+        merged["by_software"] = by_software
+        merged["margin"] = _merge_moments(left["margin"], right["margin"])
+        return merged
+
+    def finalize(self, state: Dict[str, object]) -> Dict[str, object]:
+        def _rate(part: int, whole: int) -> float:
+            return 100.0 * part / whole if whole else 0.0
+        margin = state["margin"]
+        return {
+            "handshakes": state["handshakes"],
+            "stapling_pct": _rate(state["stapled"], state["handshakes"]),
+            "fresh_staple_pct": _rate(state["fresh_staples"],
+                                      state["stapled"]),
+            "must_staple_pct": _rate(state["must_staple"],
+                                     state["handshakes"]),
+            "stapling_by_software": {
+                software: _rate(stapled, total)
+                for software, (stapled, total)
+                in sorted(state["by_software"].items())
+            },
+            "probes": state["probes"],
+            "windowed": state["windowed"],
+            "fresh_probe_pct": _rate(state["fresh_probes"],
+                                     state["windowed"]),
+            "blank_next_update": state["blank_next_update"],
+            "margin_mean_s": (margin["sum"] / margin["count"]
+                              if margin["count"] else 0.0),
+            "margin_min_s": margin["min"],
+            "margin_max_s": margin["max"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# response size / latency / status stats (probes + daemon access log)
+# ---------------------------------------------------------------------------
+
+class ResponseStatsReducer(Reducer):
+    """Size, latency, status and outcome statistics.
+
+    Consumes both probe events (scanner side: outcomes, elapsed time,
+    response sizes) and access events (serving side: statuses, body
+    bytes, cache/signed provenance).  Latency is accumulated in
+    **integer microseconds** — scan records round ``elapsed_ms`` to
+    three decimals, so the conversion is exact and the sum merges
+    associatively; the mean goes back to milliseconds in ``finalize``.
+    """
+
+    name = "response-stats"
+    kinds = ("probe", "access")
+
+    def init(self) -> Dict[str, object]:
+        return {
+            "events": 0,
+            "by_kind": {},
+            # HTTP statuses, probes and access rows alike
+            "status": {},
+            # probe outcome counts + first-seen ordinals of failures
+            "outcomes": {},
+            "failure_first": {},
+            "size": {"count": 0, "sum": 0, "min": None, "max": None},
+            "latency_us": {"count": 0, "sum": 0, "min": None,
+                           "max": None},
+            # access-side provenance and per-host traffic
+            "sources": {},
+            "hosts": {},
+        }
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        data = event.data
+        state["events"] += 1
+        state["by_kind"][event.kind] = \
+            state["by_kind"].get(event.kind, 0) + 1
+        if event.kind == "probe":
+            status = data.get("http_status")
+            outcome = data["outcome"]
+            state["outcomes"][outcome] = \
+                state["outcomes"].get(outcome, 0) + 1
+            if outcome in TRANSPORT_FAILURES:
+                _min_ordinal(state["failure_first"], outcome,
+                             list(event.seq))
+            size = data.get("size")
+            elapsed_ms = data.get("elapsed_ms")
+            if elapsed_ms is not None:
+                _step_moments(state["latency_us"],
+                              int(round(elapsed_ms * 1000)))
+        else:
+            status = data["status"]
+            size = data["size"]
+            state["sources"][data["source"]] = \
+                state["sources"].get(data["source"], 0) + 1
+            state["hosts"][data["host"]] = \
+                state["hosts"].get(data["host"], 0) + 1
+        if status is not None:
+            state["status"][str(status)] = \
+                state["status"].get(str(status), 0) + 1
+        if size is not None:
+            _step_moments(state["size"], size)
+        return state
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "events": left["events"] + right["events"],
+            "by_kind": _merge_counts(left["by_kind"], right["by_kind"]),
+            "status": _merge_counts(left["status"], right["status"]),
+            "outcomes": _merge_counts(left["outcomes"],
+                                      right["outcomes"]),
+            "failure_first": _merge_firsts(left["failure_first"],
+                                           right["failure_first"]),
+            "size": _merge_moments(left["size"], right["size"]),
+            "latency_us": _merge_moments(left["latency_us"],
+                                         right["latency_us"]),
+            "sources": _merge_counts(left["sources"], right["sources"]),
+            "hosts": _merge_counts(left["hosts"], right["hosts"]),
+        }
+
+    def finalize(self, state: Dict[str, object]) -> Dict[str, object]:
+        size, latency = state["size"], state["latency_us"]
+        failures = {
+            outcome: state["outcomes"][outcome]
+            for outcome, _ in sorted(state["failure_first"].items(),
+                                     key=lambda item: item[1])
+        }
+        return {
+            "events": state["events"],
+            "by_kind": dict(sorted(state["by_kind"].items())),
+            "status_counts": dict(sorted(state["status"].items())),
+            "failures_by_kind": failures,
+            "size_mean_bytes": (size["sum"] / size["count"]
+                                if size["count"] else 0.0),
+            "size_min_bytes": size["min"],
+            "size_max_bytes": size["max"],
+            "latency_mean_ms": (latency["sum"] / latency["count"] / 1000.0
+                                if latency["count"] else 0.0),
+            "latency_min_ms": (latency["min"] / 1000.0
+                               if latency["min"] is not None else None),
+            "latency_max_ms": (latency["max"] / 1000.0
+                               if latency["max"] is not None else None),
+            "sources": dict(sorted(state["sources"].items())),
+            "hosts": len(state["hosts"]),
+            "total_bytes": size["sum"],
+        }

@@ -1,0 +1,117 @@
+"""Tumbling event-time windows with watermark-based closing.
+
+The monitor's live view: events are assigned to fixed-width,
+non-overlapping windows of **simulated** event time (``ts // width``),
+each window folding through a reducer's ``init``/``step``.  A
+*watermark* — the maximum event time observed so far — decides when a
+window's answer is final: once the watermark passes a window's end
+plus the allowed lateness, the window closes, its state is finalized,
+and later events for it are counted as *late* rather than applied
+(the classic tradeoff: bounded state and prompt answers in exchange
+for an explicit late-drop counter).
+
+There is no wall clock anywhere: ``repro monitor tail`` streams a log
+through this class and windows close purely because event time
+advances, so a replayed log produces bit-identical window results
+every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .events import MonitorEvent
+from .reducers import Reducer
+
+
+@dataclass
+class ClosedWindow:
+    """One finalized tumbling window."""
+
+    start: int
+    end: int
+    events: int
+    result: object
+
+
+class WindowedAggregate:
+    """Feed events in; collect closed windows and live counters out."""
+
+    def __init__(self, reducer: Reducer, width: int,
+                 allowed_lateness: int = 0) -> None:
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if allowed_lateness < 0:
+            raise ValueError("allowed lateness cannot be negative")
+        self.reducer = reducer
+        self.width = width
+        self.allowed_lateness = allowed_lateness
+        self.watermark: Optional[int] = None
+        self.events = 0
+        self.late_events = 0
+        self.closed_windows = 0
+        self._open: Dict[int, Dict[str, object]] = {}
+        self._open_counts: Dict[int, int] = {}
+        self._closed_below: Optional[int] = None
+
+    def observe(self, event: MonitorEvent) -> List[ClosedWindow]:
+        """Fold one event; returns windows the new watermark closed."""
+        self.events += 1
+        index = event.ts // self.width
+        if self._closed_below is not None and index < self._closed_below:
+            self.late_events += 1
+        elif event.kind in self.reducer.kinds:
+            state = self._open.get(index)
+            if state is None:
+                state = self.reducer.init()
+                self._open[index] = state
+                self._open_counts[index] = 0
+            self._open[index] = self.reducer.step(state, event)
+            self._open_counts[index] += 1
+        elif index not in self._open:
+            # Unconsumed kinds still open (and count toward) their
+            # window so the stream's shape is visible in the output.
+            self._open[index] = self.reducer.init()
+            self._open_counts[index] = 0
+        if self.watermark is None or event.ts > self.watermark:
+            self.watermark = event.ts
+        return self._close_ripe()
+
+    def _close_ripe(self) -> List[ClosedWindow]:
+        """Close every open window the watermark has passed."""
+        if self.watermark is None:
+            return []
+        ripe = sorted(
+            index for index in self._open
+            if (index + 1) * self.width + self.allowed_lateness
+            <= self.watermark)
+        closed = [self._close(index) for index in ripe]
+        if ripe:
+            boundary = ripe[-1] + 1
+            if self._closed_below is None or boundary > self._closed_below:
+                self._closed_below = boundary
+        return closed
+
+    def _close(self, index: int) -> ClosedWindow:
+        state = self._open.pop(index)
+        count = self._open_counts.pop(index)
+        self.closed_windows += 1
+        return ClosedWindow(start=index * self.width,
+                            end=(index + 1) * self.width,
+                            events=count,
+                            result=self.reducer.finalize(state))
+
+    def flush(self) -> List[ClosedWindow]:
+        """End of stream: close every remaining window, in time order."""
+        return [self._close(index) for index in sorted(self._open)]
+
+    def counters(self) -> Dict[str, object]:
+        """The live-counter view a tail renders between closings."""
+        return {
+            "events": self.events,
+            "late_events": self.late_events,
+            "open_windows": len(self._open),
+            "closed_windows": self.closed_windows,
+            "watermark": self.watermark,
+        }

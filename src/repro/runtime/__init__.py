@@ -36,6 +36,7 @@ from .configs import (
     CorpusRunConfig,
     HostileCorpusConfig,
     LatencyConfig,
+    MonitorConvergenceConfig,
     OutageImpactConfig,
     ReadinessConfig,
     ScanCampaignConfig,
@@ -67,6 +68,7 @@ __all__ = [
     "ExperimentResult",
     "HostileCorpusConfig",
     "LatencyConfig",
+    "MonitorConvergenceConfig",
     "OutageImpactConfig",
     "Provenance",
     "ReadinessConfig",

@@ -399,6 +399,37 @@ class ServeLoadTestConfig(_Config):
                    chunks=data.get("chunks", 8))
 
 
+@dataclass
+class MonitorConvergenceConfig(_Config):
+    """Monitor convergence: shard-level reducer merges over one scan
+    campaign's event log vs. the batch pipeline (:mod:`repro.monitor`).
+
+    ``partitions`` is deliberately independent of the campaign's
+    ``target_chunks``: the stream side slices the log differently than
+    the batch side shards the scan, so convergence is evidence about
+    the reducer algebra, not about sharing a partitioning.
+    """
+
+    campaign: ScanCampaignConfig = field(
+        default_factory=ScanCampaignConfig)
+    #: Event-log partition count (one reduce shard each).
+    partitions: int = 5
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping."""
+        return {
+            "campaign": self.campaign.to_dict(),
+            "partitions": self.partitions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MonitorConvergenceConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            campaign=ScanCampaignConfig.from_dict(data["campaign"]),
+            partitions=data.get("partitions", 5))
+
+
 def default_config(experiment_id: str, scale: Optional[object] = None):
     """The config an experiment runs with absent an explicit one.
 
@@ -496,6 +527,11 @@ def default_config(experiment_id: str, scale: Optional[object] = None):
         return ServeLoadTestConfig(
             world=WorldConfig(n_responders=min(20, scale.n_responders),
                               certs_per_responder=2, seed=scale.seed))
+    if experiment_id == "monitor-convergence":
+        # The same campaign as fig3 at this scale, so the batch side's
+        # scan shards come straight from the shared artifact cache;
+        # the stream side re-reduces the log in 5 partitions.
+        return MonitorConvergenceConfig(campaign=campaign)
     if experiment_id in ("tbl2", "tbl3", "fig12", "ext-multistaple",
                          "ext-alternatives", "abl-apache-patch",
                          "abl-parser", "abl-keysize"):

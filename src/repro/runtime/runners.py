@@ -854,3 +854,9 @@ def run_serve_loadtest(ctx, config) -> Dict[str, Any]:
     """Daemon byte-identity + warm-cache load (impl in repro.serve)."""
     from ..serve.experiments import run_serve_loadtest as impl
     return impl(ctx, config)
+
+
+def run_monitor_convergence(ctx, config) -> Dict[str, Any]:
+    """Stream-vs-batch reducer convergence (impl in repro.monitor)."""
+    from ..monitor.experiments import run_monitor_convergence as impl
+    return impl(ctx, config)

@@ -19,6 +19,7 @@ from .loadgen import (
     LoadReport,
     direct_responses,
     expected_digest,
+    loadgen_gate,
     replay_inprocess,
     replay_tcp,
     synthesize_traffic,
@@ -38,6 +39,7 @@ __all__ = [
     "SignQueue",
     "direct_responses",
     "expected_digest",
+    "loadgen_gate",
     "replay_inprocess",
     "replay_tcp",
     "synthesize_traffic",

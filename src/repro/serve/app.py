@@ -26,10 +26,11 @@ fencepost).  Responders whose bodies vary with time outside that key
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..asn1.errors import ASN1Error
 from ..ca.responder import OCSPResponder
+from ..monitor.events import MonitorEvent
 from ..ocsp import OCSPRequest, ResponseArtifact
 from ..simnet.http import HTTPRequest, HTTPResponse, decode_ocsp_get_path
 from .batcher import SignQueue
@@ -116,6 +117,12 @@ class ServeApp:
         self.runtimes: Dict[str, ResponderRuntime] = {}
         self.requests = 0
         self.cache_capacity = cache_capacity
+        #: When set, every served request emits one ``access``
+        #: :class:`~repro.monitor.events.MonitorEvent` here (the
+        #: daemon's ``--access-log`` plugs a JSONL writer in; tests
+        #: plug lists in).  ``None`` keeps serving zero-overhead.
+        self.access_sink: Optional[Callable[[MonitorEvent], None]] = None
+        self.access_events = 0
 
     @classmethod
     def for_world(cls, world, now: Optional[int] = None,
@@ -172,23 +179,56 @@ class ServeApp:
         """Synchronous end-to-end answer (the in-process transport)."""
         outcome = self.dispatch(request, now)
         if isinstance(outcome, HTTPResponse):
-            return outcome
-        job = self.queue.submit(outcome.queue_key(), outcome.signer())
-        self.queue.drain()
-        assert job.artifact is not None
-        return job.artifact.to_http()
+            response = outcome
+            source = "cache" if outcome.status_code == 200 else "error"
+        else:
+            job = self.queue.submit(outcome.queue_key(), outcome.signer())
+            self.queue.drain()
+            assert job.artifact is not None
+            response = job.artifact.to_http()
+            source = "signed"
+        self.log_access(request.host, request.method,
+                        response.status_code, len(response.body), source)
+        return response
+
+    def log_access(self, host: str, method: str, status: int,
+                   size: int, source: str) -> None:
+        """Emit one ``access`` event to the sink, if one is attached.
+
+        ``source`` tags the serving path — ``cache`` (pre-signed fast
+        path), ``signed`` (went through the SignQueue), ``error``
+        (404/405 before any responder), ``control`` (the daemon's
+        ``/-/`` endpoints) — not OCSP semantics: a signed OCSP error
+        envelope is still ``signed``.  ``ts`` is the app's simulated
+        clock, so an access log replays deterministically.
+        """
+        if self.access_sink is None:
+            return
+        event = MonitorEvent(kind="access", ts=self.now,
+                             seq=(self.access_events,),
+                             data={"host": host, "method": method,
+                                   "status": status, "size": size,
+                                   "source": source})
+        self.access_events += 1
+        self.access_sink(event)
 
     def stats(self) -> Dict[str, object]:
         """JSON-ready aggregate counters across every runtime."""
         cache_totals = {"entries": 0, "hits": 0, "misses": 0,
                         "expirations": 0, "evictions": 0}
-        for runtime in self.runtimes.values():
-            for field_name, value in runtime.cache.stats().items():
+        cache_by_host = {}
+        for host, runtime in sorted(self.runtimes.items()):
+            host_stats = runtime.cache.stats()
+            cache_by_host[host] = host_stats
+            for field_name, value in host_stats.items():
                 cache_totals[field_name] += value
         return {
             "now": self.now,
             "hosts": len(self.runtimes),
             "requests": self.requests,
             "cache": cache_totals,
+            "cache_by_host": cache_by_host,
             "batcher": self.queue.stats(),
+            "access": {"events": self.access_events,
+                       "enabled": self.access_sink is not None},
         }

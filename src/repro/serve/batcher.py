@@ -55,6 +55,8 @@ class SignQueue:
     signed: int = 0
     batches: int = 0
     largest_batch: int = 0
+    #: batch size -> number of drain batches of exactly that size.
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
     _pending: Dict[Tuple, SignJob] = field(default_factory=dict)
     _order: List[SignJob] = field(default_factory=list)
 
@@ -88,6 +90,8 @@ class SignQueue:
             del self._order[:len(batch)]
             self.batches += 1
             self.largest_batch = max(self.largest_batch, len(batch))
+            self.batch_sizes[len(batch)] = \
+                self.batch_sizes.get(len(batch), 0) + 1
             for job in batch:
                 del self._pending[job.key]
                 job.resolve()
@@ -95,13 +99,15 @@ class SignQueue:
         self.signed += resolved
         return resolved
 
-    def stats(self) -> Dict[str, int]:
-        """JSON-ready counters."""
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counters (plus the batch-size histogram)."""
         return {
             "submitted": self.submitted,
             "coalesced": self.coalesced,
             "signed": self.signed,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "batch_sizes": {str(size): count for size, count
+                            in sorted(self.batch_sizes.items())},
             "pending": self.pending,
         }

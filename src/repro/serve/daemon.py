@@ -180,14 +180,25 @@ class ServeDaemon:
     async def _respond(self, method: str, path: str, host: str,
                        body: bytes) -> HTTPResponse:
         if path.startswith(CONTROL_PREFIX):
-            return self._control(method, path)
+            response = self._control(method, path)
+            self.app.log_access(host or "unknown.invalid", method,
+                                response.status_code,
+                                len(response.body), "control")
+            return response
         request = HTTPRequest(method=method,
                               url=f"http://{host or 'unknown.invalid'}{path}",
                               body=body)
         outcome = self.app.dispatch(request)
         if isinstance(outcome, HTTPResponse):
-            return outcome
-        return await self._sign(outcome)
+            response = outcome
+            source = "cache" if outcome.status_code == 200 else "error"
+        else:
+            response = await self._sign(outcome)
+            source = "signed"
+        self.app.log_access(request.host, method,
+                            response.status_code, len(response.body),
+                            source)
+        return response
 
     async def _sign(self, pending: PendingSign) -> HTTPResponse:
         """Park on the signing queue; one drain per event-loop tick."""

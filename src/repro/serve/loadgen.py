@@ -71,6 +71,11 @@ class LoadReport:
     #: SHA-256 over every response body, in request order — equal
     #: digests mean byte-identical response streams.
     body_digest: str = ""
+    #: Requests that never got a complete response (dropped
+    #: connections mid-replay); their bodies digest as empty, so any
+    #: incomplete replay also breaks the identity digest — but this
+    #: counter names the cause instead of leaving a bare mismatch.
+    incomplete: int = 0
 
     @property
     def req_per_s(self) -> float:
@@ -95,6 +100,7 @@ class LoadReport:
             "status_counts": {str(code): count for code, count
                               in sorted(self.status_counts.items())},
             "body_digest": self.body_digest,
+            "incomplete": self.incomplete,
         }
 
 
@@ -204,10 +210,41 @@ def replay_tcp(host: str, port: int, requests: Sequence[HTTPRequest],
     latencies: List[float] = []
     duration = asyncio.run(main())
     report = LoadReport(requests=len(requests), duration_s=duration,
-                        latencies_ms=latencies)
+                        latencies_ms=latencies,
+                        incomplete=sum(1 for body in bodies
+                                       if body is None))
     for status_code in statuses:
         report.status_counts[status_code] = \
             report.status_counts.get(status_code, 0) + 1
     report.body_digest = expected_digest(
         [body if body is not None else b"" for body in bodies])
     return report
+
+
+def loadgen_gate(report: LoadReport,
+                 expected: Optional[str] = None) -> List[str]:
+    """The hard CI gate: every reason this replay is not trustworthy.
+
+    Empty list = clean replay.  Checks are structural (every request
+    answered, every status 200) plus — when *expected* is given — the
+    stream-digest identity against the in-process ground truth.  The
+    CLI turns a non-empty list into a non-zero exit, so CI can rely on
+    ``repro loadgen`` as a byte-identity check, not just a report.
+    """
+    problems = []
+    if report.incomplete:
+        problems.append(
+            f"{report.incomplete} request(s) never got a complete "
+            f"response (dropped connections)")
+    bad_statuses = {code: count for code, count
+                    in sorted(report.status_counts.items())
+                    if code != 200}
+    if bad_statuses:
+        problems.append(
+            "non-200 responses: " + ", ".join(
+                f"{count}x {code}" for code, count in bad_statuses.items()))
+    if expected is not None and report.body_digest != expected:
+        problems.append(
+            f"response stream digest mismatch: got "
+            f"{report.body_digest}, expected {expected}")
+    return problems

@@ -433,7 +433,19 @@ class TestRepoCertification:
     def test_contract_groups_are_populated(self, repo_analysis):
         groups = {r.contract.group for r in repo_analysis.contracts}
         assert {"runner", "worker", "plan", "merge",
-                "injector", "classify"} <= groups
+                "injector", "classify", "reducer"} <= groups
+
+    def test_reducers_are_certified_pure(self, repo_analysis):
+        """The mergeable-reducer algebra only converges byte-identically
+        if init/step/merge/finalize are pure — the ``*.reducers``
+        convention puts every public reducer under contract."""
+        for name in ("AvailabilityReducer", "AdoptionReducer",
+                     "FreshnessReducer", "ResponseStatsReducer",
+                     "default_reducers"):
+            result = contract_for(repo_analysis,
+                                  f"repro.monitor.reducers:{name}")
+            assert result.contract.group == "reducer"
+            assert result.ok
 
     def test_contract_table_renders(self, repo_analysis):
         table = contract_table(repo_analysis)

@@ -2,8 +2,10 @@
 """Recorded perf trajectory for the headline campaigns.
 
 Runs ``fig3`` (the availability scan), ``hostile-corpus`` (the
-mutation survival matrix), and ``serve-loadtest`` (the responder
-daemon's byte-identity + warm-cache load test) through
+mutation survival matrix), ``serve-loadtest`` (the responder
+daemon's byte-identity + warm-cache load test), and
+``monitor-convergence`` (streaming reducer merges vs the batch
+pipeline, plus the event replay rate) through
 :func:`repro.runtime.run_experiment` twice each — cold (fresh cache,
 every shard executes) and warm (same cache, every shard restores) —
 and emits one JSON artifact per campaign:
@@ -11,6 +13,7 @@ and emits one JSON artifact per campaign:
 * ``BENCH_fig3_availability.json``
 * ``BENCH_hostile_corpus.json``
 * ``BENCH_serve_loadtest.json``
+* ``BENCH_monitor_replay.json``
 
 Each artifact records wall time (cold and warm), shard count, and the
 warm-run cache hit rate; ``serve-loadtest`` additionally records its
@@ -54,11 +57,17 @@ CAMPAIGNS = {
     "fig3": "BENCH_fig3_availability",
     "hostile-corpus": "BENCH_hostile_corpus",
     "serve-loadtest": "BENCH_serve_loadtest",
+    "monitor-convergence": "BENCH_monitor_replay",
 }
 
+#: Short spellings accepted by ``--campaign``.
+CAMPAIGN_ALIASES = {"monitor": "monitor-convergence"}
+
 #: Summary fields copied into the artifact when the experiment's
-#: summary carries them (the serve-loadtest throughput headline).
-SUMMARY_FIELDS = ("req_per_s", "p50_ms", "p99_ms", "byte_identical")
+#: summary carries them (the serve-loadtest throughput headline, the
+#: monitor's replay rate and convergence verdict).
+SUMMARY_FIELDS = ("req_per_s", "p50_ms", "p99_ms", "byte_identical",
+                  "events", "events_per_s", "converged", "merge_commutes")
 
 
 def _tolerance() -> float:
@@ -126,6 +135,10 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
     if current.get("byte_identical") is False:
         problems.append("daemon path is no longer byte-identical to the "
                         "in-process responder core")
+    if current.get("converged") is False or \
+            current.get("merge_commutes") is False:
+        problems.append("streaming reducer merges no longer converge "
+                        "byte-identically to the batch pipeline")
     if "req_per_s" in current and "req_per_s" in baseline:
         floor = float(baseline["req_per_s"]) * (1.0 - tolerance)
         if float(current["req_per_s"]) < floor:
@@ -133,6 +146,13 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
                 f"serving throughput regressed >{tolerance * 100:.0f}%: "
                 f"{baseline['req_per_s']} -> {current['req_per_s']} req/s "
                 f"(floor {floor:.0f})")
+    if "events_per_s" in current and "events_per_s" in baseline:
+        floor = float(baseline["events_per_s"]) * (1.0 - tolerance)
+        if float(current["events_per_s"]) < floor:
+            problems.append(
+                f"event replay rate regressed >{tolerance * 100:.0f}%: "
+                f"{baseline['events_per_s']} -> "
+                f"{current['events_per_s']} events/s (floor {floor:.0f})")
     return problems
 
 
@@ -145,10 +165,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="refresh benchmarks/baselines/ instead of "
                              "comparing against it")
     parser.add_argument("--campaign", action="append", default=None,
-                        choices=sorted(CAMPAIGNS),
+                        choices=sorted(CAMPAIGNS) + sorted(CAMPAIGN_ALIASES),
                         help="run only this campaign (repeatable; "
                              "default: all)")
     args = parser.parse_args(argv)
+    if args.campaign is not None:
+        args.campaign = [CAMPAIGN_ALIASES.get(name, name)
+                         for name in args.campaign]
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

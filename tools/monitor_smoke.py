@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Monitor smoke test: daemon access log -> reducers -> batch identity.
+
+The end-to-end streaming contract, exercised the way CI can trust it:
+a *separate process* runs ``python -m repro serve --access-log`` (real
+sockets, real JSONL appends), a loadgen burst generates traffic whose
+byte-identity gate must pass, and then ``repro monitor`` replays the
+access log through the mergeable reducers — whose aggregates must
+match an in-process replay of the very same traffic, and must converge
+across partitioned merges.
+
+Steps:
+
+1. bind port 0 to find a free port, then start ``repro serve --port P
+   --access-log LOG`` with pinned --seed/--responders/--certs;
+2. poll ``GET /-/healthz`` until the daemon answers;
+3. run a ``repro loadgen`` burst — its exit code is the hard
+   byte-identity + structural gate;
+4. SIGINT the daemon (flushes and reports the access log), require
+   exit 0;
+5. ``repro monitor replay LOG --partitions 5`` — non-zero exit means
+   partitioned reducer merges diverged from the single-partition
+   answer;
+6. independently rebuild the same traffic in-process, reduce the
+   in-process access events, and require the access-side aggregates
+   (statuses, sources, sizes, hosts) to match the daemon log's
+   reduction exactly — the stream-vs-batch identity over real TCP.
+
+Usage: ``python tools/monitor_smoke.py [requests]`` (default 1500).
+Exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SEED = 6961
+RESPONDERS = 16
+CERTS = 2
+READY_WAIT_S = 120.0
+SHUTDOWN_WAIT_S = 15.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _healthz(port: int) -> bool:
+    try:
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as conn:
+            conn.sendall(b"GET /-/healthz HTTP/1.1\r\nHost: c\r\n\r\n")
+            conn.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        reply = b"".join(chunks)
+    except OSError:
+        return False
+    return b" 200 " in reply.split(b"\r\n", 1)[0] and reply.endswith(b"ok")
+
+
+def main() -> int:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    port = _free_port()
+    log_path = REPO_ROOT / f"monitor_smoke_access_{port}.jsonl"
+    common = ["--seed", str(SEED), "--responders", str(RESPONDERS),
+              "--certs", str(CERTS)]
+
+    # 1-2. Boot the daemon with an access log; wait for /-/healthz.
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--access-log", str(log_path)] + common,
+        env=_env(), stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        text=True)
+    try:
+        deadline = time.time() + READY_WAIT_S
+        while time.time() < deadline and daemon.poll() is None:
+            if _healthz(port):
+                break
+            time.sleep(0.2)
+        else:
+            stderr = daemon.stderr.read() if daemon.poll() is not None else ""
+            print(f"daemon never became healthy on port {port}\n{stderr}")
+            return 1
+        print(f"daemon healthy on port {port}, access log {log_path.name}")
+
+        # 3. The burst.  loadgen's exit code is the hard gate: digest
+        # mismatch, dropped responses, or non-200 statuses all fail.
+        # One connection serializes the daemon's cache-vs-sign
+        # decisions, so the access log's provenance tags are
+        # reproducible in-process (step 6); byte-identity itself holds
+        # at any concurrency.
+        burst = subprocess.run(
+            [sys.executable, "-m", "repro", "loadgen", "--port", str(port),
+             "--requests", str(requests), "--concurrency", "1",
+             "--nonce-fraction", "0.02"] + common,
+            env=_env(), capture_output=True, text=True)
+        sys.stdout.write(burst.stdout)
+        if burst.returncode != 0:
+            print(f"loadgen burst failed (exit {burst.returncode}):\n"
+                  f"{burst.stderr}")
+            return 1
+
+        # 4. Clean shutdown flushes the log.
+        daemon.send_signal(signal.SIGINT)
+        daemon.wait(timeout=SHUTDOWN_WAIT_S)
+        if daemon.returncode != 0:
+            print(f"daemon exited {daemon.returncode} on SIGINT\n"
+                  f"{daemon.stderr.read()}")
+            return 1
+        print("daemon exited cleanly on SIGINT")
+
+        # 5. The CLI convergence gate over the daemon's own log.
+        replay = subprocess.run(
+            [sys.executable, "-m", "repro", "monitor", "replay",
+             str(log_path), "--partitions", "5"],
+            env=_env(), capture_output=True, text=True)
+        sys.stdout.write(replay.stdout)
+        if replay.returncode != 0:
+            print(f"monitor replay gate failed (exit {replay.returncode}):"
+                  f"\n{replay.stderr}")
+            return 1
+
+        # 6. Stream-vs-batch identity: the daemon's access log must
+        # reduce to the same access-side aggregates as an in-process
+        # replay of the identical seeded traffic.
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.datasets import MeasurementWorld, WorldConfig
+        from repro.monitor import read_events, reduce_log, default_reducers
+        from repro.serve import ServeApp, replay_inprocess, synthesize_traffic
+        from repro.simnet import HOUR
+
+        with open(log_path, "r", encoding="ascii") as stream:
+            logged = read_events(stream)
+        # Only the burst's OCSP traffic: the daemon also logs the
+        # healthz polls ("control" rows) the in-process app never sees.
+        ocsp_rows = [e for e in logged if e.data["source"] != "control"]
+
+        world = MeasurementWorld(WorldConfig(
+            n_responders=RESPONDERS, certs_per_responder=CERTS, seed=SEED))
+        app = ServeApp.for_world(world, now=world.config.start + HOUR)
+        inprocess = []
+        app.access_sink = inprocess.append
+        traffic = synthesize_traffic(world, requests, seed=SEED,
+                                     nonce_fraction=0.02)
+        replay_inprocess(app, traffic, record_latency=False)
+
+        reducer = default_reducers()["response-stats"]
+        stream_final = reducer.finalize(
+            reduce_log(ocsp_rows)["response-stats"])
+        batch_final = reducer.finalize(
+            reduce_log(inprocess)["response-stats"])
+        if stream_final != batch_final:
+            print("access-log aggregates diverge from the in-process "
+                  "replay:")
+            print(f"  stream: {json.dumps(stream_final, sort_keys=True)}")
+            print(f"  batch:  {json.dumps(batch_final, sort_keys=True)}")
+            return 1
+        print(f"stream == batch over {stream_final['events']} access "
+              f"events: statuses {stream_final['status_counts']}, "
+              f"sources {stream_final['sources']}, "
+              f"{stream_final['total_bytes']} bytes")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        log_path.unlink(missing_ok=True)
+
+    print("monitor smoke clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
