@@ -18,12 +18,15 @@ Commands:
 * ``serve``       — asyncio OCSP-over-HTTP responder daemon
 * ``loadgen``     — deterministic load generator against a daemon
 * ``monitor``     — replay/tail/summarize a monitor event log
+* ``worker``      — claim and execute shards from a job-queue directory
 
 Experiment-running commands share the runtime flags ``--workers``,
 ``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
 through :func:`repro.runtime.run_experiment`.  ``run`` additionally
 takes ``--supervise`` (plus ``--allow-partial``, ``--shard-timeout``,
-``--retries``) for the crash-tolerant executor.
+``--retries``) for the crash-tolerant executor, and ``--transport
+jobqueue --queue-dir DIR`` to dispatch shards through a filesystem
+job queue that independent ``repro worker`` processes drain.
 """
 
 from __future__ import annotations
@@ -273,10 +276,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
     scale.seed = _seed(args)
     kwargs = _runtime_kwargs(args)
-    if args.supervise:
+    if args.supervise or args.transport == "jobqueue":
         kwargs.update(supervise=True, allow_partial=args.allow_partial,
                       shard_timeout=args.shard_timeout,
                       max_retries=args.retries)
+    if args.transport == "jobqueue":
+        from .runtime import QueueTuning
+        if not args.queue_dir:
+            print("run: --transport jobqueue needs --queue-dir",
+                  file=sys.stderr)
+            return 2
+        kwargs.update(transport="jobqueue", queue_dir=args.queue_dir,
+                      queue_tuning=QueueTuning(lease_s=args.lease),
+                      spawn_workers=not args.no_spawn)
     try:
         result = run_experiment(args.experiment_id, scale=scale, **kwargs)
     except KeyError:
@@ -545,9 +557,50 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  corrupt (quarantined): {key}")
         return 0 if report.clean else 1
     # gc
-    removed, freed = cache.gc(everything=args.all)
+    now = None
+    if args.max_age is not None:
+        from .runtime.dist import now_s
+        now = now_s()
+    removed, freed = cache.gc(everything=args.all, max_age_s=args.max_age,
+                              dry_run=args.dry_run, now=now)
     scope = "all entries" if args.all else "quarantined entries"
-    print(f"gc ({scope}): removed {removed} files, freed {freed} bytes")
+    if args.max_age is not None:
+        scope += f" older than {args.max_age:g}s"
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc ({scope}): {verb} {removed} files, "
+          f"{'freeing' if args.dry_run else 'freed'} {freed} bytes")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Claim and execute shards from a job-queue directory until the
+    coordinator posts the stop marker (or the idle/job limits hit)."""
+    from .runtime import ArtifactCache
+    from .runtime.dist import QueueWorker
+
+    cache = None
+    if not args.no_cache:
+        cache = ArtifactCache(root=args.cache_dir)
+    events = None
+    stream = None
+    if args.events:
+        from .monitor import EventLogWriter
+        stream = open(args.events, "w", encoding="ascii")
+        events = EventLogWriter(stream, meta={"source": "repro worker",
+                                              "worker": args.id})
+    worker = QueueWorker(args.queue_dir, args.id, cache=cache,
+                         poll_s=args.poll, events=events)
+    try:
+        executed = worker.run(max_jobs=args.max_jobs,
+                              idle_exit_s=args.idle_exit)
+    except KeyboardInterrupt:
+        print(f"worker {args.id}: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if stream is not None:
+            stream.close()
+    print(f"worker {args.id}: executed {executed} shard(s)",
+          file=sys.stderr)
     return 0
 
 
@@ -811,6 +864,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=2,
                      help="with --supervise: extra attempts per shard "
                           "beyond the first (default 2)")
+    run.add_argument("--transport", choices=["pipe", "jobqueue"],
+                     default="pipe",
+                     help="shard transport: pipe (in-process worker "
+                          "pool, default) or jobqueue (filesystem job "
+                          "queue drained by 'repro worker' processes; "
+                          "implies --supervise)")
+    run.add_argument("--queue-dir", default=None, metavar="DIR",
+                     help="with --transport jobqueue: the shared queue "
+                          "directory")
+    run.add_argument("--no-spawn", action="store_true",
+                     help="with --transport jobqueue: do not spawn a "
+                          "local worker fleet; externally started "
+                          "'repro worker' processes drain the queue")
+    run.add_argument("--lease", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="with --transport jobqueue: lease duration; "
+                          "a dead worker is detected within about one "
+                          "lease (default 2.0)")
     run.set_defaults(func=_cmd_run)
 
     readiness = commands.add_parser("readiness", parents=[runtime_flags],
@@ -940,7 +1011,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "~/.cache/repro-experiments)")
     cache.add_argument("--all", action="store_true",
                        help="gc: also delete every live entry")
+    cache.add_argument("--max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="gc: only remove quarantined entries older "
+                            "than this (default: all of them)")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="gc: report what would be removed without "
+                            "deleting anything")
     cache.set_defaults(func=_cmd_cache)
+
+    worker = commands.add_parser(
+        "worker",
+        help="claim and execute shards from a job-queue directory "
+             "(see 'repro run --transport jobqueue')")
+    worker.add_argument("--queue-dir", required=True, metavar="DIR",
+                        help="the shared queue directory")
+    worker.add_argument("--id", default="worker", metavar="NAME",
+                        help="worker id recorded in leases and result "
+                             "envelopes (default: worker)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: "
+                             "$REPRO_CACHE_DIR or "
+                             "~/.cache/repro-experiments)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache")
+    worker.add_argument("--poll", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="idle poll cadence (default 0.05)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after executing this many shards")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing "
+                             "claimable (default: wait for the stop "
+                             "marker)")
+    worker.add_argument("--events", default=None, metavar="PATH",
+                        help="write worker lifecycle events as a "
+                             "monitor event log ('repro monitor' "
+                             "reads this)")
+    worker.set_defaults(func=_cmd_worker)
 
     inspect = commands.add_parser("inspect",
                                   help="asn1parse-style dump of a PEM/DER file")
@@ -1029,7 +1138,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "byte-identical")
     monitor.add_argument("--reducer", default="response-stats",
                          choices=["adoption", "availability", "freshness",
-                                  "response-stats"],
+                                  "response-stats", "worker-lifecycle"],
                          help="tail: the reducer to window (default "
                               "response-stats)")
     monitor.add_argument("--window", type=int, default=43200,

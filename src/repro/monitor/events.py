@@ -48,6 +48,11 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     "handshake": ("hostname", "stapled", "must_staple"),
     # One request served by the daemon / in-process app.
     "access": ("host", "method", "status", "size", "source"),
+    # One shard-attempt lifecycle transition in the distributed
+    # runtime (claim/done on the worker side; dispatched/computed/
+    # retried/quarantined on the coordinator side).  Telemetry about
+    # the runtime, never experiment content.
+    "worker": ("worker", "state", "shard"),
 }
 
 

@@ -95,7 +95,8 @@ class Reducer:
 def default_reducers() -> Dict[str, Reducer]:
     """The monitor's stock reducer set, keyed by registry name."""
     reducers = (AvailabilityReducer(), AdoptionReducer(),
-                FreshnessReducer(), ResponseStatsReducer())
+                FreshnessReducer(), ResponseStatsReducer(),
+                WorkerLifecycleReducer())
     return {reducer.name: reducer for reducer in reducers}
 
 
@@ -578,4 +579,92 @@ class ResponseStatsReducer(Reducer):
             "sources": dict(sorted(state["sources"].items())),
             "hosts": len(state["hosts"]),
             "total_bytes": size["sum"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# worker lifecycle (distributed-runtime telemetry)
+# ---------------------------------------------------------------------------
+
+class WorkerLifecycleReducer(Reducer):
+    """Shard-attempt lifecycle census over ``worker`` events.
+
+    Counts transitions per state (``claim``/``done`` worker-side;
+    ``dispatched``/``computed``/``retried``/``quarantined``
+    coordinator-side) and per worker id, and tracks how many distinct
+    shards each worker touched.  Worker order in ``finalize`` is
+    first-seen (min event ordinal), so a merged multi-log census lists
+    workers in the order they first appeared anywhere in the fleet —
+    the same order a single concatenated replay would produce.
+    """
+
+    name = "worker-lifecycle"
+    kinds = ("worker",)
+
+    def init(self) -> Dict[str, object]:
+        return {
+            "events": 0,
+            # lifecycle state -> count
+            "states": {},
+            # worker id -> state -> count
+            "by_worker": {},
+            # worker id -> shard label -> 1 (set as a JSON tree)
+            "shards": {},
+            # first-seen event ordinals per worker id
+            "worker_first": {},
+        }
+
+    def step(self, state: Dict[str, object],
+             event: MonitorEvent) -> Dict[str, object]:
+        data = event.data
+        worker = str(data["worker"]) or "unknown"
+        lifecycle = str(data["state"])
+        state["events"] += 1
+        state["states"][lifecycle] = \
+            state["states"].get(lifecycle, 0) + 1
+        per_worker = state["by_worker"].setdefault(worker, {})
+        per_worker[lifecycle] = per_worker.get(lifecycle, 0) + 1
+        state["shards"].setdefault(worker, {})[str(data["shard"])] = 1
+        _min_ordinal(state["worker_first"], worker, list(event.seq))
+        return state
+
+    def merge(self, left: Dict[str, object],
+              right: Dict[str, object]) -> Dict[str, object]:
+        by_worker: Dict[str, Dict[str, int]] = {}
+        for state in (left, right):
+            for worker, counts in state["by_worker"].items():
+                out = by_worker.setdefault(worker, {})
+                for lifecycle, count in counts.items():
+                    out[lifecycle] = out.get(lifecycle, 0) + count
+        shards: Dict[str, Dict[str, int]] = {}
+        for state in (left, right):
+            for worker, seen in state["shards"].items():
+                out = shards.setdefault(worker, {})
+                for label in seen:
+                    out[label] = 1
+        return {
+            "events": left["events"] + right["events"],
+            "states": _merge_counts(left["states"], right["states"]),
+            "by_worker": by_worker,
+            "shards": shards,
+            "worker_first": _merge_firsts(left["worker_first"],
+                                          right["worker_first"]),
+        }
+
+    def finalize(self, state: Dict[str, object]) -> Dict[str, object]:
+        workers = [worker for worker, _ in
+                   sorted(state["worker_first"].items(),
+                          key=lambda item: item[1])]
+        return {
+            "events": state["events"],
+            "states": dict(sorted(state["states"].items())),
+            "workers": {
+                worker: {
+                    "states": dict(sorted(
+                        state["by_worker"][worker].items())),
+                    "shards": len(state["shards"].get(worker, {})),
+                }
+                for worker in workers
+            },
+            "worker_count": len(workers),
         }

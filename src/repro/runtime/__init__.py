@@ -38,11 +38,21 @@ from .configs import (
     LatencyConfig,
     MonitorConvergenceConfig,
     OutageImpactConfig,
+    QueueTuning,
     ReadinessConfig,
     ScanCampaignConfig,
     SeedConfig,
     WhatIfRunConfig,
     default_config,
+)
+from .dist import (
+    JobQueueTransport,
+    QueueWorker,
+    job_document,
+    merge_job_results,
+    queue_shards,
+    spawn_local_workers,
+    stop_workers,
 )
 from .executor import ShardExecutor, ShardSpec, resolve_worker
 from .result import (
@@ -54,11 +64,13 @@ from .result import (
     ShardState,
 )
 from .supervisor import ShardQuarantinedError, SupervisedExecutor
+from .transport import AttemptOutcome, PipePoolTransport, ShardTransport
 
 __all__ = [
     "AlexaRunConfig",
     "ArtifactCache",
     "AttackWindowConfig",
+    "AttemptOutcome",
     "CODE_VERSION",
     "CacheStats",
     "ChaosAvailabilityConfig",
@@ -67,10 +79,14 @@ __all__ = [
     "CorpusRunConfig",
     "ExperimentResult",
     "HostileCorpusConfig",
+    "JobQueueTransport",
     "LatencyConfig",
     "MonitorConvergenceConfig",
     "OutageImpactConfig",
+    "PipePoolTransport",
     "Provenance",
+    "QueueTuning",
+    "QueueWorker",
     "ReadinessConfig",
     "RunContext",
     "RunManifest",
@@ -83,12 +99,18 @@ __all__ = [
     "ShardRecord",
     "ShardSpec",
     "ShardState",
+    "ShardTransport",
     "SupervisedExecutor",
     "VerifyReport",
     "WhatIfRunConfig",
     "default_cache_dir",
     "default_config",
+    "job_document",
+    "merge_job_results",
+    "queue_shards",
     "resolve_worker",
     "run_experiment",
     "shard_key",
+    "spawn_local_workers",
+    "stop_workers",
 ]

@@ -14,13 +14,14 @@ carrying rows, series, summary scalars, provenance, and timings.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from .cache import CODE_VERSION, ArtifactCache
-from .configs import default_config
+from .configs import QueueTuning, default_config
 from .executor import ShardExecutor, ShardSpec
 from .result import ExperimentResult, Provenance, RunManifest, ShardRecord
 from .supervisor import SupervisedExecutor
+from .transport import ShardTransport
 
 
 class RunContext:
@@ -56,7 +57,14 @@ def run_experiment(experiment_id: str,
                    supervise: bool = False,
                    allow_partial: bool = False,
                    shard_timeout: Optional[float] = None,
-                   max_retries: int = 2) -> ExperimentResult:
+                   max_retries: int = 2,
+                   transport: Union[None, str, ShardTransport] = None,
+                   queue_dir: Optional[str] = None,
+                   queue_tuning: Optional[QueueTuning] = None,
+                   spawn_workers: Optional[bool] = None,
+                   lifecycle: Optional[Callable[[str, Dict[str, Any]],
+                                                None]] = None
+                   ) -> ExperimentResult:
     """Run one registered experiment end to end.
 
     Parameters
@@ -93,6 +101,28 @@ def run_experiment(experiment_id: str,
         worker is declared hung, killed, and the shard retried.
     max_retries:
         With *supervise*: extra attempts per shard beyond the first.
+    transport:
+        How supervised shard attempts reach compute.  ``None``/
+        ``"pipe"`` is the per-host pipe pool; ``"jobqueue"`` publishes
+        the plan into *queue_dir* as claimable job files for
+        independent ``repro worker`` processes (implies *supervise*);
+        a :class:`~repro.runtime.transport.ShardTransport` instance is
+        used as-is (caller owns and closes it).  Every transport
+        yields byte-identical merges — topology changes scheduling,
+        never content.
+    queue_dir:
+        The shared queue directory for ``transport="jobqueue"``.
+    queue_tuning:
+        Lease/poll tunables for the job queue (a
+        :class:`~repro.runtime.configs.QueueTuning`; deliberately NOT
+        cache-key material).
+    spawn_workers:
+        With ``transport="jobqueue"``: start *workers* local ``repro
+        worker`` subprocesses for the duration of the run (default
+        True).  Pass False when an external fleet polls the queue.
+    lifecycle:
+        Optional telemetry callback ``(state, info)`` — wired to the
+        monitor's ``worker`` event kind by the CLI.
     """
     from ..core.experiments import experiment as lookup
     entry = lookup(experiment_id)          # raises KeyError on unknown id
@@ -101,17 +131,51 @@ def run_experiment(experiment_id: str,
         config = default_config(experiment_id, scale=scale)
 
     artifact_cache = ArtifactCache(root=cache_dir, enabled=cache)
+    tuning = queue_tuning or QueueTuning()
+    transport_obj: Optional[ShardTransport] = None
+    owns_transport = False
+    worker_procs: List[Any] = []
+    if transport == "jobqueue" or (transport is None
+                                   and queue_dir is not None):
+        from .dist import JobQueueTransport, spawn_local_workers
+        if queue_dir is None:
+            raise ValueError("transport='jobqueue' needs a queue_dir")
+        supervise = True
+        transport_obj = JobQueueTransport(
+            queue_dir, lease_s=tuning.lease_s,
+            shard_timeout=shard_timeout, poll_s=tuning.poll_s,
+            reclaim_grace_s=tuning.reclaim_grace_s)
+        owns_transport = True
+        if spawn_workers is None or spawn_workers:
+            worker_procs = spawn_local_workers(
+                queue_dir, workers, cache_dir=artifact_cache.root,
+                cache_enabled=cache, poll_s=tuning.poll_s)
+    elif isinstance(transport, ShardTransport):
+        supervise = True
+        transport_obj = transport
+    elif transport not in (None, "pipe"):
+        raise ValueError(f"unknown transport: {transport!r}")
+
     if supervise:
         executor: Any = SupervisedExecutor(
             workers=workers, cache=artifact_cache,
             shard_timeout=shard_timeout, max_retries=max_retries,
-            allow_partial=allow_partial)
+            allow_partial=allow_partial, transport=transport_obj,
+            lifecycle=lifecycle)
     else:
         executor = ShardExecutor(workers=workers, cache=artifact_cache)
     ctx = RunContext(experiment_id, executor)
 
     started = time.perf_counter()
-    payload = runner(ctx, config)
+    try:
+        payload = runner(ctx, config)
+    finally:
+        if worker_procs:
+            from .dist import join_workers, stop_workers
+            stop_workers(queue_dir)
+            join_workers(worker_procs)
+        if owns_transport and transport_obj is not None:
+            transport_obj.close()
     total_s = time.perf_counter() - started
 
     provenance = Provenance(

@@ -279,17 +279,36 @@ class ArtifactCache:
                 report.ok += 1
         return report
 
-    def gc(self, everything: bool = False) -> Tuple[int, int]:
-        """Delete quarantined entries (and, with *everything*, all live
-        entries too); returns ``(files removed, bytes freed)``."""
+    def gc(self, everything: bool = False,
+           max_age_s: Optional[float] = None,
+           dry_run: bool = False,
+           now: Optional[float] = None) -> Tuple[int, int]:
+        """Collect the ``corrupt/`` quarantine (and, with *everything*,
+        all live entries too); returns ``(files removed, bytes freed)``.
+
+        By default every quarantined entry goes; with *max_age_s* only
+        quarantined entries older than that many seconds (by mtime,
+        against *now*) are removed, so fresh evidence survives routine
+        collections while the quarantine can no longer grow without
+        bound.  *now* must accompany *max_age_s* — this module never
+        reads the wall clock itself (pass
+        :func:`repro.runtime.dist.now_s`, as the CLI does).  With
+        *dry_run* nothing is deleted; the returned totals are what a
+        real collection would have removed.
+        """
+        if max_age_s is not None and now is None:
+            raise ValueError("gc(max_age_s=...) needs an explicit 'now' "
+                             "(this module never reads the wall clock)")
         removed = 0
         freed = 0
 
         def _unlink(path: str) -> None:
             nonlocal removed, freed
             try:
-                freed += os.path.getsize(path)
-                os.unlink(path)
+                size = os.path.getsize(path)
+                if not dry_run:
+                    os.unlink(path)
+                freed += size
                 removed += 1
             except OSError:
                 pass
@@ -297,7 +316,15 @@ class ArtifactCache:
         corrupt_dir = self._corrupt_dir()
         if os.path.isdir(corrupt_dir):
             for name in sorted(os.listdir(corrupt_dir)):
-                _unlink(os.path.join(corrupt_dir, name))
+                path = os.path.join(corrupt_dir, name)
+                if max_age_s is not None:
+                    try:
+                        age = now - os.path.getmtime(path)
+                    except OSError:
+                        continue
+                    if age < max_age_s:
+                        continue
+                _unlink(path)
         if everything:
             for _key, path in list(self.entries()):
                 _unlink(path)

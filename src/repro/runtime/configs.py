@@ -36,6 +36,40 @@ class _Config:
 
 
 @dataclass
+class QueueTuning:
+    """Job-queue transport tunables (``repro run --transport jobqueue``).
+
+    Deliberately **not** a :class:`_Config`: these knobs govern lease
+    renewal and polling cadence — pure scheduling, shared between the
+    coordinator and its worker fleet — and must never reach shard
+    payloads or cache keys, or changing a heartbeat interval would
+    invalidate every cached shard.  (The no-workers-in-cache-keys rule,
+    applied to the transport layer.)
+    """
+
+    #: Lease duration; a dead worker is detected within about one
+    #: lease of its last heartbeat.
+    lease_s: float = 2.0
+    #: Idle-poll cadence for workers and the coordinator.
+    poll_s: float = 0.05
+    #: How long a claim may sit without a visible lease before it
+    #: counts as a dead claimant (None = derived from ``lease_s``).
+    reclaim_grace_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable field mapping (CLI/debug display only)."""
+        return {"lease_s": self.lease_s, "poll_s": self.poll_s,
+                "reclaim_grace_s": self.reclaim_grace_s}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueueTuning":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(lease_s=data.get("lease_s", 2.0),
+                   poll_s=data.get("poll_s", 0.05),
+                   reclaim_grace_s=data.get("reclaim_grace_s"))
+
+
+@dataclass
 class ScanCampaignConfig(_Config):
     """One hourly-scan campaign (Figures 3, 5-9, §5.4, response size)."""
 

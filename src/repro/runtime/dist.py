@@ -1,0 +1,677 @@
+"""Filesystem job-queue transport: the supervised runtime, multi-node.
+
+The coordinator (:class:`JobQueueTransport`, driven by
+:class:`~repro.runtime.supervisor.SupervisedExecutor`) publishes the
+shard plan as claimable job files in a shared queue directory;
+independent ``repro worker`` processes (:class:`QueueWorker`) —
+potentially on many hosts sharing the queue and artifact-cache
+directories — claim jobs, compute them, and publish result envelopes.
+Everything is plain files and atomic renames, so the only
+infrastructure a fleet needs is a shared filesystem.
+
+Queue directory layout::
+
+    todo/<job>.json      claimable job documents, one per attempt
+    claimed/<job>.json   the same document, after a worker won it
+    leases/<job>.json    {owner, claimed_at, expires_at}, heartbeat-renewed
+    results/<job>.json   result envelopes (rows inline, digest-checked)
+    stop                 marker file: workers drain and exit
+
+The protocol, state by state:
+
+* **claim** — a worker atomically renames ``todo/J.json`` to
+  ``claimed/J.json``.  :func:`os.replace` admits exactly one winner;
+  the loser gets ``FileNotFoundError`` and simply tries the next job,
+  which is also the whole work-stealing story: a fast host finishes
+  early, polls again, and takes whatever is unleased — no scheduler
+  needs to model host speeds.
+* **lease** — the winner writes a lease with a deadline and renews it
+  from a heartbeat thread.  The heartbeat stops renewing once the
+  job's wall-clock budget (the supervisor's ``shard_timeout``) is
+  exhausted, so a *hung* worker's lease expires just like a *dead*
+  worker's does.
+* **reclaim** — the coordinator treats an expired (or never-written)
+  lease as a failed attempt: it retracts the claim, reports ``crash``
+  or ``hang`` to the supervisor, and the supervisor's existing
+  ``classify_exception`` retry/quarantine policy decides whether a
+  fresh job (a new ticket) is published or the shard is quarantined.
+* **result** — rows ride inline in a digest-checked envelope *and*
+  land in the content-addressed cache under exactly the same key the
+  single-host runtime uses, so a campaign SIGKILLed at any point —
+  coordinator or workers — resumes to the same bytes.
+
+Stale attempts are harmless by construction: every dispatch gets a
+fresh ticket and job id, a zombie's late envelope matches no
+outstanding ticket and is swept, and because workers are pure
+functions of their payloads a duplicated computation produces
+identical rows anyway.  Topology changes scheduling, never content.
+
+This module is the runtime's one home for wall-clock reads and
+sleeps (`now_s`): leases are real-time contracts between real
+processes, unlike everything the shards compute.  The determinism
+lint allowlists exactly this file for ``time.time()``/``time.sleep()``
+the same way it does the chaos harness's injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..canon import stable_digest
+from .cache import ArtifactCache
+from .executor import ShardSpec, resolve_worker
+from .transport import AttemptOutcome, ShardTransport
+
+QUEUE_FORMAT = "repro-job"
+QUEUE_VERSION = 1
+
+#: Queue-directory substructure.
+TODO_DIR = "todo"
+CLAIMED_DIR = "claimed"
+LEASE_DIR = "leases"
+RESULT_DIR = "results"
+STOP_MARKER = "stop"
+
+#: Default lease duration; a dead worker is detected within about one
+#: lease of its last heartbeat.
+DEFAULT_LEASE_S = 2.0
+#: Default poll cadence for idle workers and the coordinator.
+DEFAULT_POLL_S = 0.05
+
+
+def now_s() -> float:
+    """The runtime's single blessed wall-clock read.
+
+    Leases are deadlines shared between independent processes on a
+    real filesystem — unlike shard content, they genuinely live on the
+    wall clock.  Confining the read here keeps the determinism lint's
+    allowlist to one file.
+    """
+    return time.time()
+
+
+# ---------------------------------------------------------------------------
+# pure protocol functions (plan + merge contracts in `repro analyze`)
+# ---------------------------------------------------------------------------
+
+def job_name(ticket: int, key: str = "") -> str:
+    """The job id for dispatch *ticket*: unique per attempt, sorts in
+    ticket order so idle workers drain the plan front to back."""
+    return f"{ticket:08d}-{key[:12] if key else 'nokey'}"
+
+
+def job_document(ticket: int, worker: str, payload: Dict[str, Any],
+                 key: str = "", label: str = "",
+                 timeout: Optional[float] = None,
+                 lease_s: float = DEFAULT_LEASE_S) -> Dict[str, Any]:
+    """One claimable job file's content (pure; JSON-able).
+
+    ``digest`` binds the job to its work content — a result envelope
+    must echo it, so an envelope can never be credited to a job whose
+    payload it did not compute.
+    """
+    return {
+        "format": QUEUE_FORMAT,
+        "version": QUEUE_VERSION,
+        "job": job_name(ticket, key),
+        "ticket": ticket,
+        "worker": worker,
+        "payload": payload,
+        "key": key,
+        "label": label,
+        "timeout": timeout,
+        "lease_s": lease_s,
+        "digest": stable_digest({"worker": worker, "payload": payload},
+                                length=16),
+    }
+
+
+def queue_shards(specs: List[ShardSpec],
+                 timeout: Optional[float] = None,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 first_ticket: int = 0) -> List[Dict[str, Any]]:
+    """The job-queue plan for *specs*: one job document per shard.
+
+    Pure (a ``plan`` contract in ``repro analyze``): the documents
+    depend only on the specs and the scheduling parameters, never on
+    worker count or topology — which is exactly why cache keys, and
+    therefore merged bytes, are identical at any fleet size.
+    """
+    return [
+        job_document(first_ticket + index, spec.worker, spec.payload,
+                     spec.key(), spec.label, timeout, lease_s)
+        for index, spec in enumerate(specs)
+    ]
+
+
+def merge_job_results(envelopes: List[Dict[str, Any]],
+                      expected: Dict[str, Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+    """The authoritative envelope per outstanding ticket (pure).
+
+    *expected* maps ``str(ticket)`` to the job document it was
+    dispatched as.  Envelopes that are malformed, name no outstanding
+    ticket, or fail the job/digest echo are dropped — that is what
+    makes a reclaimed zombie's late result inert.  If duplicates
+    survive (two attempts raced to completion before a reclaim), the
+    smallest ``(outcome, owner)`` wins; the choice is deterministic
+    and content-neutral because workers are pure functions of the
+    payload, so rival ``ok`` envelopes carry identical rows.
+    """
+    chosen: Dict[int, Dict[str, Any]] = {}
+    valid = []
+    for envelope in envelopes:
+        if not isinstance(envelope, dict):
+            continue
+        ticket = envelope.get("ticket")
+        document = expected.get(str(ticket))
+        if document is None:
+            continue
+        if envelope.get("job") != document.get("job"):
+            continue
+        if envelope.get("digest") != document.get("digest"):
+            continue
+        outcome = envelope.get("outcome")
+        if outcome not in ("ok", "error"):
+            continue
+        if outcome == "ok" and not isinstance(envelope.get("rows"), list):
+            continue
+        valid.append(envelope)
+    valid.sort(key=lambda env: (env["ticket"],
+                                0 if env["outcome"] == "ok" else 1,
+                                str(env.get("owner", ""))))
+    for envelope in valid:
+        chosen.setdefault(envelope["ticket"], envelope)
+    return [chosen[ticket] for ticket in sorted(chosen)]
+
+
+# ---------------------------------------------------------------------------
+# filesystem plumbing
+# ---------------------------------------------------------------------------
+
+def _write_atomic(path: str, document: Dict[str, Any]) -> None:
+    """Publish *document* at *path* via temp-file + rename, so readers
+    only ever see whole documents."""
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as stream:
+            stream.write(json.dumps(document, sort_keys=True))
+        os.replace(tmp, path)
+    except BaseException:  # repro: allow-broad-except -- tmp-file cleanup must run even on KeyboardInterrupt; the exception is re-raised
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: str) -> Optional[Dict[str, Any]]:
+    """Parse a JSON document, or None if missing/partial/foreign."""
+    try:
+        with open(path) as stream:
+            document = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class QueuePaths:
+    """Path arithmetic for one queue directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.todo = os.path.join(root, TODO_DIR)
+        self.claimed = os.path.join(root, CLAIMED_DIR)
+        self.leases = os.path.join(root, LEASE_DIR)
+        self.results = os.path.join(root, RESULT_DIR)
+        self.stop_marker = os.path.join(root, STOP_MARKER)
+
+    def ensure(self) -> None:
+        for directory in (self.todo, self.claimed, self.leases,
+                          self.results):
+            os.makedirs(directory, exist_ok=True)
+
+    def todo_path(self, job: str) -> str:
+        return os.path.join(self.todo, f"{job}.json")
+
+    def claimed_path(self, job: str) -> str:
+        return os.path.join(self.claimed, f"{job}.json")
+
+    def lease_path(self, job: str) -> str:
+        return os.path.join(self.leases, f"{job}.json")
+
+    def result_path(self, job: str) -> str:
+        return os.path.join(self.results, f"{job}.json")
+
+    def stop_requested(self) -> bool:
+        return os.path.exists(self.stop_marker)
+
+
+# ---------------------------------------------------------------------------
+# the worker side (`repro worker`)
+# ---------------------------------------------------------------------------
+
+class QueueWorker:
+    """One claim → compute → publish loop over a shared queue.
+
+    Workers are interchangeable and stateless between jobs: everything
+    durable lives in the queue directory and the artifact cache, so
+    any number can join or die at any time.  A worker never decides a
+    shard's fate — it reports, the coordinator disposes.
+    """
+
+    def __init__(self, queue_dir: str, worker_id: str,
+                 cache: Optional[ArtifactCache] = None,
+                 poll_s: float = DEFAULT_POLL_S,
+                 events: Optional[Any] = None) -> None:
+        self.paths = QueuePaths(queue_dir)
+        self.worker_id = worker_id
+        self.cache = cache if cache is not None \
+            else ArtifactCache(enabled=False)
+        self.poll_s = poll_s
+        #: Optional :class:`repro.monitor.events.EventLogWriter`;
+        #: receives ``worker`` lifecycle events (telemetry, not content).
+        self.events = events
+
+    # -- lifecycle ----------------------------------------------------
+
+    def run(self, max_jobs: Optional[int] = None,
+            idle_exit_s: Optional[float] = None) -> int:
+        """Poll until stopped; returns the number of jobs executed.
+
+        Exits on the queue's ``stop`` marker, after *max_jobs*
+        executions, or after *idle_exit_s* seconds without finding
+        anything claimable.
+        """
+        self.paths.ensure()
+        done = 0
+        idle_since: Optional[float] = None
+        while not self.paths.stop_requested():
+            if max_jobs is not None and done >= max_jobs:
+                break
+            job = self.claim_next()
+            if job is None:
+                now = now_s()
+                if idle_exit_s is not None:
+                    if idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= idle_exit_s:
+                        break
+                time.sleep(self.poll_s)
+                continue
+            idle_since = None
+            self.execute(job)
+            done += 1
+        return done
+
+    def claim_next(self) -> Optional[Dict[str, Any]]:
+        """Claim the first available job, or None if nothing is there.
+
+        The atomic rename is the whole mutual-exclusion story: exactly
+        one claimant's ``os.replace`` succeeds; losers skip to the next
+        candidate (work stealing between heterogeneous-speed hosts
+        falls out of this loop for free).
+        """
+        try:
+            names = sorted(os.listdir(self.paths.todo))
+        except OSError:
+            return None
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            job_id = name[:-len(".json")]
+            claimed = self.paths.claimed_path(job_id)
+            try:
+                os.replace(self.paths.todo_path(job_id), claimed)
+            except FileNotFoundError:
+                continue  # lost the claim race; back off to the next job
+            except OSError:
+                continue
+            job = _read_json(claimed)
+            if job is None or job.get("format") != QUEUE_FORMAT:
+                _unlink_quiet(claimed)
+                continue
+            self._write_lease(job, claimed_at=now_s(), renewals=0)
+            return job
+        return None
+
+    def execute(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one claimed job and publish its result envelope.
+
+        The heartbeat thread renews the lease while compute is in
+        flight; the envelope is published atomically *before* the
+        claim and lease are released, so there is no instant at which
+        the job looks both unowned and unfinished.
+        """
+        claimed_at = now_s()
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat, args=(job, claimed_at, stop),
+            daemon=True)
+        heartbeat.start()
+        self._emit("claim", job)
+        envelope: Dict[str, Any] = {
+            "job": job["job"], "ticket": job["ticket"],
+            "digest": job.get("digest"), "owner": self.worker_id,
+        }
+        key = job.get("key") or ""
+        started = time.perf_counter()
+        try:
+            rows = self.cache.load(key) if key else None
+            cached = rows is not None
+            if rows is None:
+                rows = resolve_worker(job["worker"])(job["payload"])
+            envelope.update(outcome="ok", rows=rows, cached=cached)
+        except BaseException as exc:  # repro: allow-broad-except -- worker-fleet firewall; the coordinator classifies the failure by exception name
+            envelope.update(outcome="error", type=type(exc).__name__,
+                            message=str(exc))
+        finally:
+            stop.set()
+        envelope["elapsed_ms"] = (time.perf_counter() - started) * 1000.0
+        if envelope["outcome"] == "ok" and key:
+            # Same key, same bytes as the single-host runtime: this is
+            # what lets a killed campaign resume on any topology.
+            self.cache.store(key, job["worker"], envelope["rows"])
+        self.paths.ensure()
+        _write_atomic(self.paths.result_path(job["job"]), envelope)
+        _unlink_quiet(self.paths.claimed_path(job["job"]))
+        _unlink_quiet(self.paths.lease_path(job["job"]))
+        heartbeat.join(timeout=1.0)
+        self._emit("done" if envelope["outcome"] == "ok" else "error", job)
+        return envelope
+
+    # -- leases -------------------------------------------------------
+
+    def _write_lease(self, job: Dict[str, Any], claimed_at: float,
+                     renewals: int) -> None:
+        _write_atomic(self.paths.lease_path(job["job"]), {
+            "job": job["job"],
+            "owner": self.worker_id,
+            "claimed_at": claimed_at,
+            "expires_at": now_s() + float(job.get("lease_s")
+                                          or DEFAULT_LEASE_S),
+            "renewals": renewals,
+        })
+
+    def _heartbeat(self, job: Dict[str, Any], claimed_at: float,
+                   stop: threading.Event) -> None:
+        """Renew the lease until compute finishes — or stop renewing.
+
+        Two deliberate silences: once the job's wall-clock budget is
+        exhausted we let the lease lapse so the coordinator reclaims a
+        *hang* exactly as it reclaims a death; and once the claim file
+        disappears (the coordinator already reclaimed us) renewing
+        would only fight the reclaim, so the attempt is forfeit.
+        """
+        lease_s = float(job.get("lease_s") or DEFAULT_LEASE_S)
+        interval = max(0.05, lease_s / 3.0)
+        timeout = job.get("timeout")
+        renewals = 0
+        while not stop.wait(interval):
+            if timeout is not None \
+                    and now_s() - claimed_at > float(timeout):
+                return
+            if not os.path.exists(self.paths.claimed_path(job["job"])):
+                return
+            renewals += 1
+            self._write_lease(job, claimed_at, renewals)
+
+    # -- telemetry ----------------------------------------------------
+
+    def _emit(self, state: str, job: Dict[str, Any]) -> None:
+        if self.events is None:
+            return
+        self.events.append("worker", ts=int(now_s()), data={
+            "worker": self.worker_id, "state": state,
+            "shard": job.get("label") or job["job"]})
+
+
+# ---------------------------------------------------------------------------
+# the coordinator side (a ShardTransport)
+# ---------------------------------------------------------------------------
+
+class JobQueueTransport(ShardTransport):
+    """The coordinator's view of the queue, as a shard transport.
+
+    One coordinator owns one queue directory: construction resets the
+    queue (a fresh coordinator inherits whatever a dead predecessor
+    left mid-flight; completed shards come back from the artifact
+    cache, so coordinator death costs at most the shards that were in
+    flight).  The supervisor keeps all retry/quarantine policy; this
+    class only moves attempts and detects their deaths.
+    """
+
+    def __init__(self, queue_dir: str,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 shard_timeout: Optional[float] = None,
+                 poll_s: float = DEFAULT_POLL_S,
+                 reclaim_grace_s: Optional[float] = None) -> None:
+        self.paths = QueuePaths(queue_dir)
+        self.lease_s = float(lease_s)
+        self.shard_timeout = shard_timeout
+        self.poll_s = poll_s
+        #: How long a claim may sit without a visible lease before it
+        #: counts as dead — covers the claim-to-first-lease write
+        #: window of a worker killed at the worst possible instant.
+        self.reclaim_grace_s = reclaim_grace_s \
+            if reclaim_grace_s is not None else max(2.0 * self.lease_s, 1.0)
+        #: ticket -> dispatched job document.
+        self.outstanding: Dict[int, Dict[str, Any]] = {}
+        #: job id -> when we first saw it claimed-but-unleased.
+        self._unleased_since: Dict[str, float] = {}
+        self._reset()
+
+    def _reset(self) -> None:
+        self.paths.ensure()
+        _unlink_quiet(self.paths.stop_marker)
+        for directory in (self.paths.todo, self.paths.claimed,
+                          self.paths.leases, self.paths.results):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                _unlink_quiet(os.path.join(directory, name))
+
+    # -- interface ----------------------------------------------------
+
+    def slots(self) -> int:
+        # The queue itself is the buffer: publish the whole plan and
+        # let however many workers exist steal from it.
+        return 1_000_000_000
+
+    def dispatch(self, ticket: int, worker: str,
+                 payload: Dict[str, Any], key: str = "",
+                 label: str = "") -> None:
+        job = job_document(ticket, worker, payload, key, label,
+                           self.shard_timeout, self.lease_s)
+        self.paths.ensure()
+        _write_atomic(self.paths.todo_path(job["job"]), job)
+        self.outstanding[ticket] = job
+
+    def poll(self, timeout_s: float) -> List[AttemptOutcome]:
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            outcomes = self._collect_results()
+            outcomes.extend(self._reclaim_expired())
+            remaining = deadline - time.perf_counter()
+            if outcomes or remaining <= 0:
+                return outcomes
+            time.sleep(min(self.poll_s, remaining))
+
+    def close(self) -> None:
+        # Workers are not ours to kill — `stop_workers` is the explicit
+        # fleet-shutdown signal, sent by whoever spawned the fleet.
+        pass
+
+    # -- results ------------------------------------------------------
+
+    def _collect_results(self) -> List[AttemptOutcome]:
+        try:
+            names = sorted(os.listdir(self.paths.results))
+        except OSError:
+            return []
+        envelopes: List[Dict[str, Any]] = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            envelope = _read_json(os.path.join(self.paths.results, name))
+            if envelope is not None:
+                envelopes.append(envelope)
+        expected = {str(ticket): job
+                    for ticket, job in self.outstanding.items()}
+        outcomes: List[AttemptOutcome] = []
+        for envelope in merge_job_results(envelopes, expected):
+            job = self.outstanding.pop(envelope["ticket"])
+            self._release(job["job"])
+            if envelope["outcome"] == "ok":
+                outcomes.append(AttemptOutcome(
+                    ticket=envelope["ticket"], outcome="ok",
+                    rows=envelope["rows"],
+                    elapsed_ms=float(envelope.get("elapsed_ms", 0.0)),
+                    owner=str(envelope.get("owner", ""))))
+            else:
+                outcomes.append(AttemptOutcome(
+                    ticket=envelope["ticket"], outcome="error",
+                    type_name=str(envelope.get("type", "")),
+                    message=str(envelope.get("message", "")),
+                    elapsed_ms=float(envelope.get("elapsed_ms", 0.0)),
+                    owner=str(envelope.get("owner", ""))))
+        # Sweep stale envelopes: anything naming a job no longer
+        # outstanding is a reclaimed zombie's late echo.
+        live = {job["job"] for job in self.outstanding.values()}
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            if name[:-len(".json")] not in live:
+                _unlink_quiet(os.path.join(self.paths.results, name))
+        return outcomes
+
+    def _release(self, job_id: str) -> None:
+        self._unleased_since.pop(job_id, None)
+        _unlink_quiet(self.paths.claimed_path(job_id))
+        _unlink_quiet(self.paths.lease_path(job_id))
+
+    # -- lease reclaim ------------------------------------------------
+
+    def _reclaim_expired(self) -> List[AttemptOutcome]:
+        """Expired leases become ``crash``/``hang`` attempt outcomes.
+
+        Retracting the claim file is what defuses the racing zombie:
+        its heartbeat checks the claim before renewing, so deleting it
+        wins any renewal race within one heartbeat interval — and even
+        a renewal that lands after our lease read only delays the next
+        reclaim, never resurrects the ticket we already retired.
+        """
+        outcomes: List[AttemptOutcome] = []
+        now = now_s()
+        for ticket, job in sorted(self.outstanding.items()):
+            job_id = job["job"]
+            if not os.path.exists(self.paths.claimed_path(job_id)):
+                # Still in todo/ (or mid-claim): nothing to time out.
+                self._unleased_since.pop(job_id, None)
+                continue
+            lease = _read_json(self.paths.lease_path(job_id))
+            owner = ""
+            if lease is None:
+                first = self._unleased_since.setdefault(job_id, now)
+                if now - first < self.reclaim_grace_s:
+                    continue
+                elapsed_s = now - first
+                outcome = "crash"
+                detail = "claimed but never leased"
+            else:
+                self._unleased_since.pop(job_id, None)
+                if float(lease.get("expires_at", 0.0)) > now:
+                    continue
+                owner = str(lease.get("owner", ""))
+                elapsed_s = now - float(lease.get("claimed_at", now))
+                timeout = job.get("timeout")
+                outcome = "hang" if timeout is not None \
+                    and elapsed_s >= float(timeout) else "crash"
+                detail = f"lease expired (owner {owner or 'unknown'})"
+            del self.outstanding[ticket]
+            self._release(job_id)
+            outcomes.append(AttemptOutcome(
+                ticket=ticket, outcome=outcome,
+                message=f"{detail} after {elapsed_s:.2f}s",
+                elapsed_ms=elapsed_s * 1000.0, owner=owner))
+        return outcomes
+
+
+# ---------------------------------------------------------------------------
+# local fleet helpers (`repro run --transport jobqueue` sits on these)
+# ---------------------------------------------------------------------------
+
+def spawn_local_workers(queue_dir: str, count: int,
+                        cache_dir: Optional[str] = None,
+                        cache_enabled: bool = True,
+                        poll_s: float = DEFAULT_POLL_S,
+                        events_dir: Optional[str] = None
+                        ) -> List["subprocess.Popen"]:
+    """Start *count* ``repro worker`` subprocesses against *queue_dir*.
+
+    The children inherit this interpreter and get ``src`` on their
+    ``PYTHONPATH``, so the helper works from a source checkout exactly
+    like the CI smokes do.  Callers own the processes: send
+    :func:`stop_workers` and then :func:`join_workers` to wind down.
+    """
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    processes = []
+    for index in range(count):
+        worker_id = f"local-{index}"
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--queue-dir", queue_dir, "--id", worker_id,
+                   "--poll", str(poll_s)]
+        if not cache_enabled:
+            command.append("--no-cache")
+        elif cache_dir:
+            command.extend(["--cache-dir", cache_dir])
+        if events_dir:
+            command.extend(["--events",
+                            os.path.join(events_dir,
+                                         f"{worker_id}.events.jsonl")])
+        processes.append(subprocess.Popen(command, env=env))
+    return processes
+
+
+def stop_workers(queue_dir: str) -> None:
+    """Write the ``stop`` marker: workers drain their current job and
+    exit their poll loop."""
+    paths = QueuePaths(queue_dir)
+    os.makedirs(queue_dir, exist_ok=True)
+    with open(paths.stop_marker, "w") as stream:
+        stream.write("stop\n")
+
+
+def join_workers(processes: List["subprocess.Popen"],
+                 timeout_s: float = 5.0) -> None:
+    """Wait for a local fleet to exit; escalate to kill on stragglers
+    (a worker wedged inside a hung shard cannot drain politely)."""
+    for process in processes:
+        try:
+            process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            try:
+                process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                pass

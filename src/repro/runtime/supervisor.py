@@ -8,21 +8,20 @@ pool returns.  Fine for tests; fatal for a four-month campaign.
 
 :class:`SupervisedExecutor` is the drop-in replacement that survives:
 
-* **streaming persistence** — shards are dispatched to a pool of
-  supervised worker processes and each result is written to the
-  :class:`~repro.runtime.cache.ArtifactCache` the moment it arrives,
-  so a run interrupted by anything (SIGKILL included) resumes for
-  free from the cache;
-* **per-shard wall-clock timeouts** — a hung worker is killed,
-  restarted, and the shard retried;
+* **streaming persistence** — shards are dispatched over a
+  :class:`~repro.runtime.transport.ShardTransport` and each result is
+  written to the :class:`~repro.runtime.cache.ArtifactCache` the
+  moment it arrives, so a run interrupted by anything (SIGKILL
+  included) resumes for free from the cache;
+* **per-shard wall-clock timeouts** — a hung worker is killed (pipe
+  pool) or its lease reclaimed (job queue), and the shard retried;
 * **bounded retries with deterministic classification** — a failed
   attempt is classified via :mod:`repro.faults.classify`:
   ``transient`` faults (and worker crashes/hangs) retry with capped
   exponential backoff, ``permanent``/``poison`` faults quarantine
   immediately;
-* **worker restarts** — a crashed worker process (``os._exit``,
-  OOM-kill, segfault) is detected through its pipe's EOF and replaced;
-  the run keeps going;
+* **worker loss** — a crashed worker process is detected (pipe EOF or
+  an expired lease) and the attempt requeued; the run keeps going;
 * **degraded-mode completion** — with ``allow_partial=True`` the run
   finishes with whatever rows survived, and the
   :class:`~repro.runtime.result.RunManifest` records every attempt
@@ -31,27 +30,35 @@ pool returns.  Fine for tests; fatal for a four-month campaign.
   shards completed and persisted — the next invocation recomputes
   only the quarantined/missing ones.
 
+The split with the transport layer: this class owns **policy** (retry
+budgets, backoff, quarantine, cache persistence, the manifest), the
+transport owns **mechanism** (executing attempts and detecting their
+deaths).  By default attempts ride the per-host
+:class:`~repro.runtime.transport.PipePoolTransport`; pass a
+:class:`~repro.runtime.dist.JobQueueTransport` and the identical
+policy supervises a multi-host fleet.
+
 Determinism contract: supervision changes scheduling, never content.
 Workers stay pure functions of their payloads, results are reordered
 back into spec order, and a run that needed three attempts for one
-shard is byte-identical to an undisturbed serial run.
+shard — on any transport, at any topology — is byte-identical to an
+undisturbed serial run.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.connection
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..faults.classify import FaultClass, classify_exception
 from .cache import ArtifactCache
-from .executor import ShardSpec, resolve_worker
+from .executor import ShardSpec
 from .result import RunManifest, ShardAttempt, ShardRecord, ShardState
+from .transport import AttemptOutcome, PipePoolTransport, ShardTransport
 
-#: How long :func:`multiprocessing.connection.wait` blocks per
-#: supervision tick; bounds hang-detection latency.
+#: How long one transport poll blocks per supervision tick; bounds
+#: hang-detection latency.
 _TICK_S = 0.05
 
 
@@ -74,38 +81,11 @@ class ShardQuarantinedError(RuntimeError):
             f"allow_partial=True for a degraded result")
 
 
-def _worker_loop(conn) -> None:
-    """Body of one supervised worker process.
-
-    Receives ``(index, worker, payload)`` tasks over *conn*, answers
-    with ``("ok", index, rows, ms)`` or ``("error", index, type_name,
-    message, ms)``.  Exits on the ``None`` sentinel — or on EOF, which
-    is what a dead parent looks like, so orphaned workers die instead
-    of spinning.
-    """
-    while True:
-        try:
-            task = conn.recv()
-        except (EOFError, OSError):
-            return
-        if task is None:
-            return
-        index, worker, payload = task
-        started = time.perf_counter()
-        try:
-            rows = resolve_worker(worker)(payload)
-        except BaseException as exc:  # repro: allow-broad-except -- worker-process firewall; the parent classifies the failure by exception name
-            conn.send(("error", index, type(exc).__name__, str(exc),
-                       (time.perf_counter() - started) * 1000.0))
-        else:
-            conn.send(("ok", index, rows,
-                       (time.perf_counter() - started) * 1000.0))
-
-
 class _Task:
     """One shard's supervision state inside a single run."""
 
-    __slots__ = ("index", "spec", "key", "attempts", "not_before")
+    __slots__ = ("index", "spec", "key", "attempts", "not_before",
+                 "backoff_spent")
 
     def __init__(self, index: int, spec: ShardSpec, key: str) -> None:
         self.index = index
@@ -115,48 +95,14 @@ class _Task:
         #: Earliest wall-clock (perf_counter) instant the next attempt
         #: may start — how backoff is enforced without sleeping.
         self.not_before = 0.0
-
-
-class _Worker:
-    """One supervised worker process plus its command pipe."""
-
-    def __init__(self, context) -> None:
-        self.conn, child_conn = multiprocessing.Pipe()
-        self.process = context.Process(target=_worker_loop,
-                                       args=(child_conn,), daemon=True)
-        self.process.start()
-        # The parent must not hold the child's pipe end open, or EOF
-        # (our crash detector) would never be delivered.
-        child_conn.close()
-        self.task: Optional[_Task] = None
-        self.started = 0.0
-
-    def assign(self, task: _Task) -> None:
-        self.task = task
-        self.started = time.perf_counter()
-        self.conn.send((task.index, task.spec.worker, task.spec.payload))
-
-    def shutdown(self) -> None:
-        """Best-effort graceful stop, then force-kill."""
-        try:
-            self.conn.send(None)
-        except (OSError, ValueError):
-            pass
-        self.process.join(timeout=1.0)
-        if self.process.is_alive():
-            self.process.kill()
-            self.process.join(timeout=1.0)
-        self.conn.close()
-
-    def kill(self) -> None:
-        self.process.kill()
-        self.process.join(timeout=5.0)
-        self.conn.close()
+        #: Total backoff already charged against this shard's
+        #: wall-clock budget (the shard-timeout cap).
+        self.backoff_spent = 0.0
 
 
 class SupervisedExecutor:
     """Run shard specs under supervision: stream results into the
-    cache, retry transient failures, restart dead workers, quarantine
+    cache, retry transient failures, survive worker loss, quarantine
     the rest.  Interface-compatible with
     :class:`~repro.runtime.executor.ShardExecutor.run`."""
 
@@ -166,7 +112,10 @@ class SupervisedExecutor:
                  max_retries: int = 2,
                  backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 1.0,
-                 allow_partial: bool = False) -> None:
+                 allow_partial: bool = False,
+                 transport: Optional[ShardTransport] = None,
+                 lifecycle: Optional[Callable[[str, Dict[str, Any]],
+                                              None]] = None) -> None:
         self.workers = max(1, workers)
         self.cache = cache if cache is not None else ArtifactCache(enabled=False)
         self.shard_timeout = shard_timeout
@@ -174,18 +123,37 @@ class SupervisedExecutor:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.allow_partial = allow_partial
+        #: An injected transport is shared across run() calls and owned
+        #: (closed) by its creator; None means a per-run pipe pool.
+        self.transport = transport
+        #: Optional telemetry hook: called with (state, info) at every
+        #: dispatch/settle.  Observation only — never content.
+        self.lifecycle = lifecycle
         #: Accumulated across run() calls — one entry per spec, in
         #: global spec order; the api layer wraps them in a RunManifest.
         self.manifest_shards: List[ShardState] = []
+        #: Dispatch tickets are unique across the executor's lifetime,
+        #: so a late outcome from a superseded attempt can never be
+        #: credited to a newer one.
+        self._next_ticket = 0
 
     # -- retry policy --------------------------------------------------
 
-    def _backoff_s(self, attempt: int) -> float:
+    def _backoff_s(self, attempt: int, spent_s: float = 0.0) -> float:
         """Deterministic capped exponential backoff before retry
         *attempt* (the schedule is a pure function of the attempt
-        number; only the wall clock feels it)."""
-        return min(self.backoff_cap_s,
-                   self.backoff_base_s * (2 ** max(0, attempt - 1)))
+        number; only the wall clock feels it).
+
+        With a shard timeout configured, the delay is additionally
+        capped at the remaining shard-timeout budget (*spent_s* is the
+        backoff already charged), so a transient-retry loop can never
+        outlive the shard deadline it is nominally racing.
+        """
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** max(0, attempt - 1)))
+        if self.shard_timeout is not None:
+            delay = min(delay, max(0.0, self.shard_timeout - spent_s))
+        return delay
 
     def _dispose(self, task: _Task, attempt: ShardAttempt,
                  fault_class: FaultClass) -> Tuple[bool, str]:
@@ -208,6 +176,19 @@ class SupervisedExecutor:
                            f"{len(task.attempts)} attempts "
                            f"({attempt.error})")
         return False, f"{fault_class.value}: {attempt.error}"
+
+    # -- telemetry -----------------------------------------------------
+
+    def _emit(self, state: str, task: _Task, owner: str = "",
+              detail: str = "") -> None:
+        if self.lifecycle is None:
+            return
+        self.lifecycle(state, {
+            "shard": task.spec.label or str(task.index),
+            "worker": owner,
+            "attempt": len(task.attempts),
+            "detail": detail,
+        })
 
     # -- the supervision loop ------------------------------------------
 
@@ -257,21 +238,21 @@ class SupervisedExecutor:
                    records: List[Optional[ShardRecord]],
                    states: List[Optional[ShardState]],
                    offset: int) -> None:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = multiprocessing.get_context()
+        transport = self.transport
+        owns_transport = transport is None
+        if transport is None:
+            transport = PipePoolTransport(self.workers,
+                                          self.shard_timeout)
 
         ready: Deque[_Task] = deque(pending)
         #: Tasks sitting out a backoff window, ordered by eligibility.
         waiting: List[_Task] = []
+        #: ticket -> task, for every attempt the transport carries.
+        inflight: Dict[int, _Task] = {}
         live = len(pending)  # tasks not yet succeeded or quarantined
-        workers: List[_Worker] = [
-            _Worker(context)
-            for _ in range(min(self.workers, len(pending)))]
 
         def settle_success(task: _Task, rows: List[Dict[str, Any]],
-                           elapsed_ms: float) -> None:
+                           elapsed_ms: float, owner: str) -> None:
             task.attempts.append(ShardAttempt(
                 attempt=len(task.attempts) + 1, outcome="ok",
                 elapsed_ms=elapsed_ms))
@@ -288,9 +269,11 @@ class SupervisedExecutor:
                 index=offset + task.index, label=task.spec.label,
                 key=task.key, outcome="computed", rows=len(rows),
                 attempts=task.attempts)
+            self._emit("computed", task, owner)
 
         def settle_failure(task: _Task, outcome: str, type_name: str,
-                           message: str, elapsed_ms: float) -> None:
+                           message: str, elapsed_ms: float,
+                           owner: str) -> None:
             nonlocal live
             if outcome == "error":
                 fault_class = classify_exception(type_name)
@@ -304,9 +287,12 @@ class SupervisedExecutor:
                 elapsed_ms=elapsed_ms)
             retry, reason = self._dispose(task, attempt, fault_class)
             if retry:
-                task.not_before = (time.perf_counter()
-                                   + self._backoff_s(len(task.attempts)))
+                delay = self._backoff_s(len(task.attempts),
+                                        task.backoff_spent)
+                task.backoff_spent += delay
+                task.not_before = time.perf_counter() + delay
                 waiting.append(task)
+                self._emit("retried", task, owner, detail=error)
             else:
                 records[task.index] = ShardRecord(
                     index=task.index, label=task.spec.label, key=task.key,
@@ -318,6 +304,7 @@ class SupervisedExecutor:
                     key=task.key, outcome="quarantined",
                     attempts=task.attempts, quarantine_reason=reason)
                 live -= 1
+                self._emit("quarantined", task, owner, detail=reason)
 
         try:
             while live > 0:
@@ -329,76 +316,39 @@ class SupervisedExecutor:
                         ready.append(task)
                 waiting[:] = still_waiting
 
-                for position, worker in enumerate(workers):
-                    if worker.task is None and ready:
-                        task = ready.popleft()
-                        try:
-                            worker.assign(task)
-                        except (OSError, ValueError):
-                            # The idle worker died between shards:
-                            # replace it and keep the task queued.
-                            worker.kill()
-                            workers[position] = _Worker(context)
-                            ready.appendleft(task)
+                while ready and transport.slots() > 0:
+                    task = ready.popleft()
+                    ticket = self._next_ticket
+                    self._next_ticket += 1
+                    inflight[ticket] = task
+                    transport.dispatch(ticket, task.spec.worker,
+                                       task.spec.payload, task.key,
+                                       task.spec.label)
+                    self._emit("dispatched", task)
 
-                busy = [w for w in workers if w.task is not None]
-                if not busy:
-                    if ready:  # assignment failed (dead worker); retry
-                        continue
-                    if not waiting:  # nothing running, queued, or due
-                        break
-                    # Idle tick: block briefly while backoffs drain
-                    # (idle pipes are never readable, so this is a
-                    # bounded wait, not a spin).
-                    multiprocessing.connection.wait(
-                        [w.conn for w in workers], timeout=_TICK_S)
-                    continue
+                if not inflight and not ready and not waiting:
+                    break
 
-                for conn in multiprocessing.connection.wait(
-                        [w.conn for w in busy], timeout=_TICK_S):
-                    worker = next(w for w in busy if w.conn is conn)
-                    task = worker.task
+                # One bounded tick: collect whatever completed.  With
+                # nothing in flight this is the backoff-drain idle wait
+                # (both transports block rather than spin).
+                for outcome in transport.poll(_TICK_S):
+                    task = inflight.pop(outcome.ticket, None)
                     if task is None:
-                        continue
-                    try:
-                        message = worker.conn.recv()
-                    except (EOFError, OSError):
-                        # Worker process died mid-shard: restart it and
-                        # treat the attempt as a crash.
-                        elapsed = (time.perf_counter() - worker.started) * 1000.0
-                        exitcode = worker.process.exitcode
-                        worker.kill()
-                        workers[workers.index(worker)] = _Worker(context)
-                        settle_failure(task, "crash", "",
-                                       f"worker exited (code {exitcode})",
-                                       elapsed)
-                        continue
-                    worker.task = None
-                    if message[0] == "ok":
-                        _tag, _index, rows, elapsed_ms = message
-                        settle_success(task, rows, elapsed_ms)
+                        continue  # superseded attempt; content-inert
+                    if outcome.outcome == "ok":
+                        settle_success(task, outcome.rows or [],
+                                       outcome.elapsed_ms, outcome.owner)
                         live -= 1
                     else:
-                        _tag, _index, type_name, text, elapsed_ms = message
-                        settle_failure(task, "error", type_name, text,
-                                       elapsed_ms)
-
-                if self.shard_timeout is not None:
-                    now = time.perf_counter()
-                    for position, worker in enumerate(workers):
-                        task = worker.task
-                        if task is None:
-                            continue
-                        if now - worker.started <= self.shard_timeout:
-                            continue
-                        # Hung shard: kill the worker, restart, retry.
-                        elapsed = (now - worker.started) * 1000.0
-                        worker.kill()
-                        workers[position] = _Worker(context)
-                        settle_failure(
-                            task, "hang", "",
-                            f"exceeded shard timeout "
-                            f"({self.shard_timeout:g}s)", elapsed)
+                        settle_failure(task, outcome.outcome,
+                                       outcome.type_name, outcome.message,
+                                       outcome.elapsed_ms, outcome.owner)
         finally:
-            for worker in workers:
-                worker.shutdown()
+            if owns_transport:
+                transport.close()
+
+
+#: Re-exported so existing imports keep working; the implementation
+#: moved to :mod:`repro.runtime.transport` with the pipe pool.
+__all__ = ["ShardQuarantinedError", "SupervisedExecutor"]

@@ -1,0 +1,273 @@
+"""Worker transports: how shard attempts reach compute and come back.
+
+:class:`~repro.runtime.supervisor.SupervisedExecutor` owns *policy* —
+retry budgets, backoff, quarantine, cache persistence, the manifest —
+and delegates *mechanism* to a :class:`ShardTransport`: something that
+can take dispatched attempts and eventually report, for each, one
+:class:`AttemptOutcome` (``ok`` / ``error`` / ``crash`` / ``hang``).
+
+Two implementations exist:
+
+* :class:`PipePoolTransport` (here) — the original per-host pool of
+  supervised worker processes talking over pipes, with EOF crash
+  detection, per-shard wall-clock timeouts, and lazy worker spawning;
+* :class:`~repro.runtime.dist.JobQueueTransport` — a filesystem-backed
+  job queue where independent ``repro worker`` processes (potentially
+  on many hosts sharing the queue and artifact-cache directories)
+  claim shards via atomic-rename leases.
+
+The contract that keeps every topology byte-identical: transports move
+*attempts*, never *content*.  A transport may reorder, retry-signal,
+or duplicate work, but rows are pure functions of their payloads and
+the supervisor reorders results into spec order, so the merged bytes
+cannot depend on which transport (or how many machines) carried them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .executor import resolve_worker
+
+#: Outcome tags a transport may report (mirrors ShardAttempt.outcome).
+ATTEMPT_OUTCOMES = ("ok", "error", "crash", "hang")
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """What one dispatched attempt came back with.
+
+    ``ticket`` echoes the dispatch ticket, ``outcome`` is one of
+    :data:`ATTEMPT_OUTCOMES`; ``rows`` is set for ``ok``, ``type_name``
+    / ``message`` for the rest.  ``owner`` names the worker that
+    carried the attempt (pool slot or queue worker id) — provenance
+    for the monitor's lifecycle events, never content.
+    """
+
+    ticket: int
+    outcome: str
+    rows: Optional[List[Dict[str, Any]]] = None
+    type_name: str = ""
+    message: str = ""
+    elapsed_ms: float = 0.0
+    owner: str = ""
+
+
+class ShardTransport:
+    """The interface a supervised run drives (abstract).
+
+    The supervisor calls :meth:`slots` to learn how many attempts it
+    may dispatch right now, :meth:`dispatch` to hand one over,
+    :meth:`poll` to collect finished outcomes (blocking at most
+    ``timeout_s``), and :meth:`close` exactly once at the end.  A
+    dispatched ticket is owed exactly one outcome; hang detection is
+    the transport's job (it owns the clocks), retry policy is not.
+    """
+
+    def slots(self) -> int:
+        """How many more attempts may be dispatched right now."""
+        raise NotImplementedError
+
+    def dispatch(self, ticket: int, worker: str,
+                 payload: Dict[str, Any], key: str = "",
+                 label: str = "") -> None:
+        """Hand one attempt to the transport (must not block on work)."""
+        raise NotImplementedError
+
+    def poll(self, timeout_s: float) -> List[AttemptOutcome]:
+        """Outcomes that completed since the last poll (may be empty)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers/files; outstanding attempts are abandoned."""
+        raise NotImplementedError
+
+
+def _worker_loop(conn) -> None:
+    """Body of one pooled worker process.
+
+    Receives ``(ticket, worker, payload)`` tasks over *conn*, answers
+    with ``("ok", ticket, rows, ms)`` or ``("error", ticket,
+    type_name, message, ms)``.  Exits on the ``None`` sentinel — or on
+    EOF, which is what a dead parent looks like, so orphaned workers
+    die instead of spinning.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        ticket, worker, payload = task
+        started = time.perf_counter()
+        try:
+            rows = resolve_worker(worker)(payload)
+        except BaseException as exc:  # repro: allow-broad-except -- worker-process firewall; the parent classifies the failure by exception name
+            conn.send(("error", ticket, type(exc).__name__, str(exc),
+                       (time.perf_counter() - started) * 1000.0))
+        else:
+            conn.send(("ok", ticket, rows,
+                       (time.perf_counter() - started) * 1000.0))
+
+
+class _Worker:
+    """One pooled worker process plus its command pipe."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.process = context.Process(target=_worker_loop,
+                                       args=(child_conn,), daemon=True)
+        self.process.start()
+        # The parent must not hold the child's pipe end open, or EOF
+        # (our crash detector) would never be delivered.
+        child_conn.close()
+        self.ticket: Optional[int] = None
+        self.started = 0.0
+
+    @property
+    def owner(self) -> str:
+        return f"pool:pid{self.process.pid}"
+
+    def assign(self, ticket: int, worker: str,
+               payload: Dict[str, Any]) -> None:
+        self.ticket = ticket
+        self.started = time.perf_counter()
+        self.conn.send((ticket, worker, payload))
+
+    def shutdown(self) -> None:
+        """Best-effort graceful stop, then force-kill."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+    def kill(self) -> None:
+        self.process.kill()
+        self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class PipePoolTransport(ShardTransport):
+    """The per-host pipe pool, factored out of the PR-4 supervisor.
+
+    Workers are spawned lazily up to *workers*, so a 2-shard run under
+    an 8-worker budget starts 2 processes, exactly as before.  A
+    worker that dies mid-shard (EOF on its pipe) is replaced and the
+    attempt reported as ``crash``; one that outlives *shard_timeout*
+    is killed, replaced, and reported as ``hang``.
+    """
+
+    def __init__(self, workers: int = 1,
+                 shard_timeout: Optional[float] = None) -> None:
+        self.max_workers = max(1, workers)
+        self.shard_timeout = shard_timeout
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:
+            self._context = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+
+    # -- interface -----------------------------------------------------
+
+    def slots(self) -> int:
+        idle = sum(1 for w in self._workers if w.ticket is None)
+        return idle + (self.max_workers - len(self._workers))
+
+    def dispatch(self, ticket: int, worker: str,
+                 payload: Dict[str, Any], key: str = "",
+                 label: str = "") -> None:
+        while True:
+            slot = self._idle_worker()
+            try:
+                slot.assign(ticket, worker, payload)
+            except (OSError, ValueError):
+                # The idle worker died between shards: replace it and
+                # assign again — dispatch must not lose the attempt.
+                self._replace(slot)
+                continue
+            return
+
+    def poll(self, timeout_s: float) -> List[AttemptOutcome]:
+        outcomes: List[AttemptOutcome] = []
+        busy = [w for w in self._workers if w.ticket is not None]
+        # Idle pipes are never readable, so waiting on them when
+        # nothing is busy is a bounded idle tick, not a spin.
+        conns = [w.conn for w in (busy or self._workers)]
+        if not conns:
+            return outcomes
+        for conn in multiprocessing.connection.wait(conns,
+                                                    timeout=timeout_s):
+            slot = next(w for w in self._workers if w.conn is conn)
+            ticket = slot.ticket
+            if ticket is None:
+                continue
+            owner = slot.owner
+            try:
+                message = slot.conn.recv()
+            except (EOFError, OSError):
+                # Worker process died mid-shard: restart it and report
+                # the attempt as a crash.
+                elapsed = (time.perf_counter() - slot.started) * 1000.0
+                exitcode = slot.process.exitcode
+                self._replace(slot)
+                outcomes.append(AttemptOutcome(
+                    ticket=ticket, outcome="crash",
+                    message=f"worker exited (code {exitcode})",
+                    elapsed_ms=elapsed, owner=owner))
+                continue
+            slot.ticket = None
+            if message[0] == "ok":
+                _tag, _ticket, rows, elapsed_ms = message
+                outcomes.append(AttemptOutcome(
+                    ticket=ticket, outcome="ok", rows=rows,
+                    elapsed_ms=elapsed_ms, owner=owner))
+            else:
+                _tag, _ticket, type_name, text, elapsed_ms = message
+                outcomes.append(AttemptOutcome(
+                    ticket=ticket, outcome="error", type_name=type_name,
+                    message=text, elapsed_ms=elapsed_ms, owner=owner))
+        if self.shard_timeout is not None:
+            now = time.perf_counter()
+            for slot in list(self._workers):
+                ticket = slot.ticket
+                if ticket is None or now - slot.started <= self.shard_timeout:
+                    continue
+                # Hung shard: kill the worker, restart, report.
+                elapsed = (now - slot.started) * 1000.0
+                owner = slot.owner
+                self._replace(slot)
+                outcomes.append(AttemptOutcome(
+                    ticket=ticket, outcome="hang",
+                    message=(f"exceeded shard timeout "
+                             f"({self.shard_timeout:g}s)"),
+                    elapsed_ms=elapsed, owner=owner))
+        return outcomes
+
+    def close(self) -> None:
+        for slot in self._workers:
+            slot.shutdown()
+        self._workers = []
+
+    # -- pool plumbing -------------------------------------------------
+
+    def _idle_worker(self) -> _Worker:
+        for slot in self._workers:
+            if slot.ticket is None:
+                return slot
+        slot = _Worker(self._context)
+        self._workers.append(slot)
+        return slot
+
+    def _replace(self, slot: _Worker) -> None:
+        slot.kill()
+        self._workers[self._workers.index(slot)] = _Worker(self._context)

@@ -210,13 +210,19 @@ def _random_events(rng: random.Random, count: int):
                     "stapled": stapled,
                     "staple_fresh": stapled and rng.random() < 0.8,
                     "must_staple": rng.random() < 0.1}
-        else:
+        elif kind == "access":
             data = {"host": f"ocsp{rng.randrange(6)}.test",
                     "method": rng.choice(["GET", "POST"]),
                     "status": rng.choice([200, 404, 405]),
                     "size": rng.randrange(0, 3_000),
                     "source": rng.choice(["cache", "signed", "error",
                                           "control"])}
+        else:
+            data = {"worker": f"w{rng.randrange(4)}",
+                    "state": rng.choice(["dispatched", "claim",
+                                         "computed", "done", "retried",
+                                         "quarantined"]),
+                    "shard": f"shard-{rng.randrange(8)}"}
         events.append(MonitorEvent(kind=kind, ts=ts, seq=(index,),
                                    data=data).validate())
     return events
@@ -384,6 +390,60 @@ class TestBatchConvergence:
             100.0 * stapled / len(observations))
         assert set(final["stapling_by_software"]) \
             == {o.software for o in observations}
+
+
+# ---------------------------------------------------------------------------
+# worker lifecycle reducer (distributed-runtime telemetry)
+# ---------------------------------------------------------------------------
+
+class TestWorkerLifecycleReducer:
+    @staticmethod
+    def _event(seq, worker, state, shard="s0", ts=1_524_614_400):
+        return MonitorEvent(kind="worker", ts=ts, seq=seq,
+                            data={"worker": worker, "state": state,
+                                  "shard": shard}).validate()
+
+    def test_worker_kind_validates(self):
+        self._event((0,), "w0", "claim")
+        with pytest.raises(ValueError, match="missing keys"):
+            MonitorEvent(kind="worker", ts=0, seq=(0,),
+                         data={"worker": "w0"}).validate()
+
+    def test_census_counts_states_and_shards(self):
+        reducer = default_reducers()["worker-lifecycle"]
+        events = [
+            self._event((0,), "w0", "claim", "s0"),
+            self._event((1,), "w1", "claim", "s1"),
+            self._event((2,), "w0", "done", "s0"),
+            self._event((3,), "w0", "claim", "s2"),
+            self._event((4,), "w1", "error", "s1"),
+            self._event((5,), "w0", "done", "s2"),
+        ]
+        final = reducer.finalize(reducer.reduce(events))
+        assert final["events"] == 6
+        assert final["states"] == {"claim": 3, "done": 2, "error": 1}
+        assert final["worker_count"] == 2
+        assert list(final["workers"]) == ["w0", "w1"]  # first-seen order
+        assert final["workers"]["w0"] == {
+            "states": {"claim": 2, "done": 2}, "shards": 2}
+        assert final["workers"]["w1"] == {
+            "states": {"claim": 1, "error": 1}, "shards": 1}
+
+    def test_first_seen_order_survives_merge(self):
+        """Per-worker log files merge to the order a single
+        concatenated replay would produce, whatever the merge order."""
+        reducer = default_reducers()["worker-lifecycle"]
+        log_a = [self._event((3,), "late", "claim"),
+                 self._event((4,), "late", "done")]
+        log_b = [self._event((0,), "early", "claim"),
+                 self._event((1,), "early", "done")]
+        merged = reducer.merge(reducer.reduce(log_a),
+                               reducer.reduce(log_b))
+        flipped = reducer.merge(reducer.reduce(log_b),
+                                reducer.reduce(log_a))
+        assert list(reducer.finalize(merged)["workers"]) \
+            == list(reducer.finalize(flipped)["workers"]) \
+            == ["early", "late"]
 
 
 # ---------------------------------------------------------------------------

@@ -286,6 +286,36 @@ class TestCacheIntegrity:
         cache.store(key, "m:f", [{"a": 1}, {"b": 2}, {"c": 3}])
         assert cache.load(key) == [{"a": 1}, {"b": 2}, {"c": 3}]
 
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        cache, key = self.store_one(tmp_path)
+        with open(cache._path(key), "w") as stream:
+            stream.write("garbage\n")
+        assert cache.load(key) is None  # quarantined
+        removed, freed = cache.gc(dry_run=True)
+        assert removed == 1 and freed > 0
+        assert cache.stats().corrupt_entries == 1  # still there
+        assert cache.gc() == (removed, freed)
+        assert cache.stats().corrupt_entries == 0
+
+    def test_gc_max_age_keeps_fresh_evidence(self, tmp_path):
+        cache, key = self.store_one(tmp_path)
+        with open(cache._path(key), "w") as stream:
+            stream.write("garbage\n")
+        assert cache.load(key) is None
+        corrupt = os.path.join(cache.root, "corrupt",
+                               os.path.basename(cache._path(key)))
+        now = os.path.getmtime(corrupt) + 100.0
+        assert cache.gc(max_age_s=500.0, now=now) == (0, 0)
+        assert cache.stats().corrupt_entries == 1
+        removed, _freed = cache.gc(max_age_s=50.0, now=now)
+        assert removed == 1
+        assert cache.stats().corrupt_entries == 0
+
+    def test_gc_max_age_requires_explicit_now(self, tmp_path):
+        cache = ArtifactCache(root=str(tmp_path / "c"))
+        with pytest.raises(ValueError, match="wall clock"):
+            cache.gc(max_age_s=10.0)
+
     def test_stats_verify_gc(self, tmp_path):
         cache = ArtifactCache(root=str(tmp_path / "c"))
         keys = [shard_key("m:f", {"i": i}) for i in range(3)]
@@ -310,6 +340,32 @@ class TestCacheIntegrity:
         removed, _freed = cache.gc(everything=True)
         assert removed == 2
         assert cache.stats().entries == 0
+
+
+class TestBackoffBudget:
+    """Satellite: retry backoff never outlives the shard's own
+    wall-clock budget — a shard with 0.3s of timeout left is not put
+    to sleep for 1s first."""
+
+    def test_exponential_ramp_with_cap(self):
+        executor = SupervisedExecutor(backoff_base_s=0.1, backoff_cap_s=0.4)
+        assert [executor._backoff_s(n) for n in (1, 2, 3, 4, 5)] \
+            == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_capped_by_remaining_timeout_budget(self):
+        executor = SupervisedExecutor(shard_timeout=1.0,
+                                      backoff_base_s=0.4,
+                                      backoff_cap_s=10.0)
+        # Attempt 3 wants 1.6s, but only 0.1s of budget remains.
+        assert executor._backoff_s(3, spent_s=0.9) == pytest.approx(0.1)
+        # Budget exhausted: retry immediately rather than sleep at all.
+        assert executor._backoff_s(3, spent_s=1.0) == 0.0
+        assert executor._backoff_s(3, spent_s=5.0) == 0.0
+
+    def test_uncapped_without_timeout(self):
+        executor = SupervisedExecutor(backoff_base_s=0.4,
+                                      backoff_cap_s=10.0)
+        assert executor._backoff_s(3, spent_s=100.0) == pytest.approx(1.6)
 
 
 class TestResolveWorker:

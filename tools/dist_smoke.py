@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Distributed-runtime smoke test: a 3-worker job-queue campaign with
+one worker SIGKILLed and another SIGSTOPped mid-run must complete and
+merge byte-identical to an undisturbed serial run.
+
+This is the lease-reclaim contract of
+``repro.runtime.dist.JobQueueTransport`` exercised end to end, the way
+a real fleet degrades: one host dies outright (SIGKILL — no signal
+handlers, no cleanup, the claim and lease just stop being renewed) and
+one host wedges (SIGSTOP — the process is alive but its heartbeat
+thread is frozen, so the lease expires exactly as a dead host's does).
+The coordinator reclaims both leases, requeues the attempts, and the
+surviving worker steals the work; the merged result must not bear a
+single byte of evidence that topology changed mid-campaign.
+
+Steps:
+
+1. start three ``repro worker`` processes against a fresh queue and
+   cache directory;
+2. start ``repro run fig3 --transport jobqueue --no-spawn`` against
+   the same queue;
+3. once shards start landing in the cache, SIGKILL one worker and
+   SIGSTOP another;
+4. require the run to complete successfully on the surviving worker;
+5. run the undisturbed serial baseline with the cache disabled and
+   compare ``rows`` / ``series`` / ``summary`` exactly;
+6. verify the shared cache's integrity, then stop and reap the fleet
+   (SIGCONT first — a stopped process ignores everything else).
+
+Usage: ``python tools/dist_smoke.py [scratch_dir]`` (default:
+``.dist-smoke``; the directory is wiped first).  Exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FAULT_WAIT_S = 180.0
+RUN_WAIT_S = 300.0
+ENTRIES_BEFORE_FAULTS = 1
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _cache_entries(cache_dir: str) -> int:
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return 0
+    return sum(1 for path in root.glob("*/*.jsonl")
+               if path.parent.name != "corrupt")
+
+
+def _result_doc(stdout: str) -> dict:
+    document = json.loads(stdout)
+    return {"rows": document["rows"], "series": document["series"],
+            "summary": document["summary"]}
+
+
+def main() -> int:
+    scratch = sys.argv[1] if len(sys.argv) > 1 else ".dist-smoke"
+    shutil.rmtree(scratch, ignore_errors=True)
+    queue_dir = os.path.join(scratch, "queue")
+    cache_dir = os.path.join(scratch, "cache")
+    os.makedirs(queue_dir, exist_ok=True)
+
+    # 1. The fleet: three external workers sharing queue + cache.
+    workers = []
+    for index in range(3):
+        workers.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--queue-dir", queue_dir, "--id", f"smoke-{index}",
+             "--cache-dir", cache_dir, "--poll", "0.05"],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL))
+    stopped: list = []
+
+    try:
+        # 2. The coordinator (no fleet of its own: --no-spawn).
+        coordinator = subprocess.Popen(
+            [sys.executable, "-m", "repro", "run", "fig3",
+             "--transport", "jobqueue", "--queue-dir", queue_dir,
+             "--no-spawn", "--cache-dir", cache_dir,
+             "--lease", "0.5", "--shard-timeout", "60",
+             "--retries", "4", "--json"],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+
+        # 3. Fault injection once real work is landing.
+        deadline = time.time() + FAULT_WAIT_S
+        while (time.time() < deadline and coordinator.poll() is None
+               and _cache_entries(cache_dir) < ENTRIES_BEFORE_FAULTS):
+            time.sleep(0.05)
+        if coordinator.poll() is None:
+            workers[0].send_signal(signal.SIGKILL)
+            workers[1].send_signal(signal.SIGSTOP)
+            stopped.append(workers[1])
+            print("faults injected: worker smoke-0 SIGKILLed, "
+                  "smoke-1 SIGSTOPped; smoke-2 must finish the campaign")
+        else:
+            # Machine too fast: the campaign drained before the fault
+            # window.  The byte-identity leg below still proves the
+            # 3-worker queue merge; the reclaim paths are covered by
+            # tests/test_dist.py.
+            print("run finished before the fault window; "
+                  "checking byte-identity only")
+
+        # 4. The campaign must still complete.
+        try:
+            stdout, stderr = coordinator.communicate(timeout=RUN_WAIT_S)
+        except subprocess.TimeoutExpired:
+            coordinator.kill()
+            print("coordinator did not finish after the faults")
+            return 1
+        if coordinator.returncode != 0:
+            print(f"coordinator failed (exit {coordinator.returncode}):\n"
+                  f"{stderr}")
+            return 1
+        manifest = json.loads(stdout)["manifest"]
+        print(f"campaign complete: {manifest['computed']} computed, "
+              f"{manifest['cached']} cached, {manifest['retried']} retried")
+
+        # 5. Byte-identity against the undisturbed serial baseline.
+        serial = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "fig3",
+             "--workers", "1", "--no-cache", "--json"],
+            env=_env(), capture_output=True, text=True)
+        if serial.returncode != 0:
+            print(f"serial baseline failed:\n{serial.stderr}")
+            return 1
+        if _result_doc(stdout) != _result_doc(serial.stdout):
+            print("MISMATCH: job-queue output differs from serial run")
+            return 1
+        print("job-queue output identical to undisturbed serial run")
+
+        # 6. The shared cache survived the carnage intact.
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "cache", "verify",
+             "--cache-dir", cache_dir],
+            env=_env(), capture_output=True, text=True)
+        print(verify.stdout.strip())
+        if verify.returncode != 0:
+            print("cache verify failed after the faults")
+            return 1
+        return 0
+    finally:
+        # Wind the fleet down: stop marker for the living, SIGCONT for
+        # the frozen (a stopped process cannot see the marker), and a
+        # kill escalation for anything still wedged.
+        with open(os.path.join(queue_dir, "stop"), "w") as stream:
+            stream.write("stop\n")
+        for process in stopped:
+            try:
+                process.send_signal(signal.SIGCONT)
+            except OSError:
+                pass
+        for process in workers:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            except OSError:
+                pass
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
