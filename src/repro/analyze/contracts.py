@@ -16,7 +16,13 @@ it is written — there is no opt-in list to forget to update:
 * **classify** — every public ``classify_*`` function;
 * **reducer** — every public function and class of ``*.reducers``
   modules: the mergeable ``init``/``step``/``merge``/``finalize``
-  contract only converges byte-identically if those methods are pure.
+  contract only converges byte-identically if those methods are pure;
+* **netchaos** — every public function of ``*.netchaos`` modules plus
+  every public class with a ``decide`` method: wire-fault decisions
+  and the frame-mangle engine must be pure functions of their seed and
+  frame coordinates, or a chaos run would not be reproducible.  (The
+  TCP proxy shell defines no ``decide`` and is the deliberately impure
+  boundary.)
 
 A discovered ref that does not resolve to a program function is an
 error: the grammar shared with :mod:`repro.refs` guarantees anything
@@ -220,6 +226,18 @@ def collect_contracts(program: Program, graph: CallGraph,
                 if info.module == module.name and \
                         not info.name.startswith("_"):
                     add(f"{module.name}:{info.name}", "reducer")
+        if module.name.endswith(".netchaos"):
+            # Wire-fault chaos: the decision dataclasses and the
+            # mangle engine carry the reproducibility burden; the
+            # proxy shell (no ``decide``) is the impure boundary.
+            for qualname in _public_functions(graph, module.name):
+                add(f"{module.name}:{qualname.rpartition(':')[2]}",
+                    "netchaos")
+            for class_qual, info in sorted(graph.classes.items()):
+                if info.module == module.name and \
+                        not info.name.startswith("_") and \
+                        "decide" in info.methods:
+                    add(f"{module.name}:{info.name}", "netchaos")
 
     for ref in extra:
         add(ref, "extra")

@@ -18,22 +18,25 @@ Commands:
 * ``serve``       — asyncio OCSP-over-HTTP responder daemon
 * ``loadgen``     — deterministic load generator against a daemon
 * ``monitor``     — replay/tail/summarize a monitor event log
-* ``worker``      — claim and execute shards from a job-queue directory
+* ``worker``      — execute shards from a job queue (``--queue-dir``)
+  or a TCP coordinator (``--connect host:port``)
 
 Experiment-running commands share the runtime flags ``--workers``,
 ``--cache-dir``, ``--no-cache``, and ``--seed``; everything funnels
 through :func:`repro.runtime.run_experiment`.  ``run`` additionally
 takes ``--supervise`` (plus ``--allow-partial``, ``--shard-timeout``,
-``--retries``) for the crash-tolerant executor, and ``--transport
+``--retries``) for the crash-tolerant executor, ``--transport
 jobqueue --queue-dir DIR`` to dispatch shards through a filesystem
-job queue that independent ``repro worker`` processes drain.
+job queue that independent ``repro worker`` processes drain, and
+``--transport socket [--listen HOST:PORT]`` to coordinate a fleet
+over TCP with no shared filesystem at all.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from .simnet import DAY, HOUR, MEASUREMENT_START
 
@@ -276,7 +279,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = FigureScale.full() if args.scale == "full" else FigureScale.small()
     scale.seed = _seed(args)
     kwargs = _runtime_kwargs(args)
-    if args.supervise or args.transport == "jobqueue":
+    if args.supervise or args.transport in ("jobqueue", "socket"):
         kwargs.update(supervise=True, allow_partial=args.allow_partial,
                       shard_timeout=args.shard_timeout,
                       max_retries=args.retries)
@@ -287,6 +290,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         kwargs.update(transport="jobqueue", queue_dir=args.queue_dir,
+                      queue_tuning=QueueTuning(lease_s=args.lease),
+                      spawn_workers=not args.no_spawn)
+    elif args.transport == "socket":
+        from .runtime import QueueTuning, parse_address
+        try:
+            parse_address(args.listen)
+        except ValueError as exc:
+            print(f"run: --listen {exc}", file=sys.stderr)
+            return 2
+        kwargs.update(transport="socket", listen=args.listen,
                       queue_tuning=QueueTuning(lease_s=args.lease),
                       spawn_workers=not args.no_spawn)
     try:
@@ -573,11 +586,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    """Claim and execute shards from a job-queue directory until the
-    coordinator posts the stop marker (or the idle/job limits hit)."""
+    """Execute shards from a job-queue directory (``--queue-dir``) or
+    a TCP coordinator (``--connect``) until the coordinator stops the
+    fleet (or the idle/job limits hit)."""
     from .runtime import ArtifactCache
     from .runtime.dist import QueueWorker
 
+    if bool(args.queue_dir) == bool(args.connect):
+        print("worker: exactly one of --queue-dir or --connect is "
+              "required", file=sys.stderr)
+        return 2
     cache = None
     if not args.no_cache:
         cache = ArtifactCache(root=args.cache_dir)
@@ -588,8 +606,21 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         stream = open(args.events, "w", encoding="ascii")
         events = EventLogWriter(stream, meta={"source": "repro worker",
                                               "worker": args.id})
-    worker = QueueWorker(args.queue_dir, args.id, cache=cache,
-                         poll_s=args.poll, events=events)
+    if args.connect:
+        from .runtime.sock import SocketWorker, parse_address
+        try:
+            host, port = parse_address(args.connect)
+        except ValueError as exc:
+            print(f"worker: {exc}", file=sys.stderr)
+            if stream is not None:
+                stream.close()
+            return 2
+        worker: Any = SocketWorker(host, port, args.id, cache=cache,
+                                   events=events,
+                                   reconnect_limit=args.reconnect)
+    else:
+        worker = QueueWorker(args.queue_dir, args.id, cache=cache,
+                             poll_s=args.poll, events=events)
     try:
         executed = worker.run(max_jobs=args.max_jobs,
                               idle_exit_s=args.idle_exit)
@@ -864,24 +895,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=2,
                      help="with --supervise: extra attempts per shard "
                           "beyond the first (default 2)")
-    run.add_argument("--transport", choices=["pipe", "jobqueue"],
+    run.add_argument("--transport", choices=["pipe", "jobqueue",
+                                             "socket"],
                      default="pipe",
                      help="shard transport: pipe (in-process worker "
-                          "pool, default) or jobqueue (filesystem job "
-                          "queue drained by 'repro worker' processes; "
-                          "implies --supervise)")
+                          "pool, default), jobqueue (filesystem job "
+                          "queue drained by 'repro worker' processes), "
+                          "or socket (TCP coordinator that 'repro "
+                          "worker --connect' workers dial; no shared "
+                          "filesystem needed); jobqueue/socket imply "
+                          "--supervise")
     run.add_argument("--queue-dir", default=None, metavar="DIR",
                      help="with --transport jobqueue: the shared queue "
                           "directory")
+    run.add_argument("--listen", default="127.0.0.1:0",
+                     metavar="HOST:PORT",
+                     help="with --transport socket: the address to "
+                          "bind (default 127.0.0.1:0 — an ephemeral "
+                          "port the spawned fleet is pointed at)")
     run.add_argument("--no-spawn", action="store_true",
-                     help="with --transport jobqueue: do not spawn a "
-                          "local worker fleet; externally started "
-                          "'repro worker' processes drain the queue")
+                     help="with --transport jobqueue/socket: do not "
+                          "spawn a local worker fleet; externally "
+                          "started 'repro worker' processes do the "
+                          "work")
     run.add_argument("--lease", type=float, default=2.0,
                      metavar="SECONDS",
-                     help="with --transport jobqueue: lease duration; "
-                          "a dead worker is detected within about one "
-                          "lease (default 2.0)")
+                     help="with --transport jobqueue/socket: lease "
+                          "duration; a dead worker is detected within "
+                          "about one lease (default 2.0)")
     run.set_defaults(func=_cmd_run)
 
     readiness = commands.add_parser("readiness", parents=[runtime_flags],
@@ -1022,10 +1063,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = commands.add_parser(
         "worker",
-        help="claim and execute shards from a job-queue directory "
-             "(see 'repro run --transport jobqueue')")
-    worker.add_argument("--queue-dir", required=True, metavar="DIR",
-                        help="the shared queue directory")
+        help="execute shards from a job-queue directory or a TCP "
+             "coordinator (see 'repro run --transport "
+             "jobqueue/socket')")
+    worker.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="the shared queue directory (filesystem "
+                             "transport; exactly one of --queue-dir / "
+                             "--connect)")
+    worker.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="dial a socket coordinator instead of "
+                             "polling a queue directory")
+    worker.add_argument("--reconnect", type=int, default=8,
+                        metavar="N",
+                        help="with --connect: consecutive failed "
+                             "dials before giving the coordinator up "
+                             "for dead (default 8, capped exponential "
+                             "backoff between dials)")
     worker.add_argument("--id", default="worker", metavar="NAME",
                         help="worker id recorded in leases and result "
                              "envelopes (default: worker)")

@@ -50,8 +50,9 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     "access": ("host", "method", "status", "size", "source"),
     # One shard-attempt lifecycle transition in the distributed
     # runtime (claim/done on the worker side; dispatched/computed/
-    # retried/quarantined on the coordinator side).  Telemetry about
-    # the runtime, never experiment content.
+    # retried/quarantined on the coordinator side; connect/disconnect/
+    # reconnect from socket-fleet workers, which carry an empty shard
+    # label).  Telemetry about the runtime, never experiment content.
     "worker": ("worker", "state", "shard"),
 }
 

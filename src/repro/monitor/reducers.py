@@ -591,11 +591,15 @@ class WorkerLifecycleReducer(Reducer):
 
     Counts transitions per state (``claim``/``done`` worker-side;
     ``dispatched``/``computed``/``retried``/``quarantined``
-    coordinator-side) and per worker id, and tracks how many distinct
-    shards each worker touched.  Worker order in ``finalize`` is
-    first-seen (min event ordinal), so a merged multi-log census lists
-    workers in the order they first appeared anywhere in the fleet —
-    the same order a single concatenated replay would produce.
+    coordinator-side; ``connect``/``disconnect``/``reconnect`` from
+    socket-fleet workers) and per worker id, and tracks how many
+    distinct shards each worker touched.  Connection events carry no
+    shard (an empty label) and are deliberately excluded from the
+    shard census — a flapping link must not inflate a worker's
+    apparent workload.  Worker order in ``finalize`` is first-seen
+    (min event ordinal), so a merged multi-log census lists workers in
+    the order they first appeared anywhere in the fleet — the same
+    order a single concatenated replay would produce.
     """
 
     name = "worker-lifecycle"
@@ -624,7 +628,9 @@ class WorkerLifecycleReducer(Reducer):
             state["states"].get(lifecycle, 0) + 1
         per_worker = state["by_worker"].setdefault(worker, {})
         per_worker[lifecycle] = per_worker.get(lifecycle, 0) + 1
-        state["shards"].setdefault(worker, {})[str(data["shard"])] = 1
+        shard = str(data["shard"])
+        if shard:
+            state["shards"].setdefault(worker, {})[shard] = 1
         _min_ordinal(state["worker_first"], worker, list(event.seq))
         return state
 
@@ -667,4 +673,7 @@ class WorkerLifecycleReducer(Reducer):
                 for worker in workers
             },
             "worker_count": len(workers),
+            # Fleet-connectivity headline (socket transports): how
+            # many times any worker had to redial mid-campaign.
+            "reconnects": state["states"].get("reconnect", 0),
         }

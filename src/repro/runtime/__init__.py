@@ -55,6 +55,14 @@ from .dist import (
     stop_workers,
 )
 from .executor import ShardExecutor, ShardSpec, resolve_worker
+from .sock import (
+    FrameBuffer,
+    SocketTransport,
+    SocketWorker,
+    connect_backoff,
+    parse_address,
+    spawn_socket_workers,
+)
 from .result import (
     ExperimentResult,
     Provenance,
@@ -78,6 +86,7 @@ __all__ = [
     "ConsistencyRunConfig",
     "CorpusRunConfig",
     "ExperimentResult",
+    "FrameBuffer",
     "HostileCorpusConfig",
     "JobQueueTransport",
     "LatencyConfig",
@@ -100,17 +109,22 @@ __all__ = [
     "ShardSpec",
     "ShardState",
     "ShardTransport",
+    "SocketTransport",
+    "SocketWorker",
     "SupervisedExecutor",
     "VerifyReport",
     "WhatIfRunConfig",
+    "connect_backoff",
     "default_cache_dir",
     "default_config",
     "job_document",
     "merge_job_results",
+    "parse_address",
     "queue_shards",
     "resolve_worker",
     "run_experiment",
     "shard_key",
     "spawn_local_workers",
+    "spawn_socket_workers",
     "stop_workers",
 ]

@@ -60,6 +60,7 @@ def run_experiment(experiment_id: str,
                    max_retries: int = 2,
                    transport: Union[None, str, ShardTransport] = None,
                    queue_dir: Optional[str] = None,
+                   listen: Optional[str] = None,
                    queue_tuning: Optional[QueueTuning] = None,
                    spawn_workers: Optional[bool] = None,
                    lifecycle: Optional[Callable[[str, Dict[str, Any]],
@@ -106,20 +107,28 @@ def run_experiment(experiment_id: str,
         ``"pipe"`` is the per-host pipe pool; ``"jobqueue"`` publishes
         the plan into *queue_dir* as claimable job files for
         independent ``repro worker`` processes (implies *supervise*);
-        a :class:`~repro.runtime.transport.ShardTransport` instance is
+        ``"socket"`` listens on *listen* for ``repro worker
+        --connect`` workers dialing in over TCP — no shared
+        filesystem needed (implies *supervise*); a
+        :class:`~repro.runtime.transport.ShardTransport` instance is
         used as-is (caller owns and closes it).  Every transport
         yields byte-identical merges — topology changes scheduling,
         never content.
     queue_dir:
         The shared queue directory for ``transport="jobqueue"``.
+    listen:
+        ``host:port`` to bind for ``transport="socket"`` (default
+        ``127.0.0.1:0`` — an ephemeral port the spawned fleet is
+        pointed at automatically).
     queue_tuning:
-        Lease/poll tunables for the job queue (a
-        :class:`~repro.runtime.configs.QueueTuning`; deliberately NOT
-        cache-key material).
+        Lease/poll tunables shared by the jobqueue and socket
+        transports (a :class:`~repro.runtime.configs.QueueTuning`;
+        deliberately NOT cache-key material).
     spawn_workers:
-        With ``transport="jobqueue"``: start *workers* local ``repro
-        worker`` subprocesses for the duration of the run (default
-        True).  Pass False when an external fleet polls the queue.
+        With ``transport="jobqueue"``/``"socket"``: start *workers*
+        local ``repro worker`` subprocesses for the duration of the
+        run (default True).  Pass False when an external fleet drains
+        the queue or dials the coordinator.
     lifecycle:
         Optional telemetry callback ``(state, info)`` — wired to the
         monitor's ``worker`` event kind by the CLI.
@@ -150,6 +159,20 @@ def run_experiment(experiment_id: str,
             worker_procs = spawn_local_workers(
                 queue_dir, workers, cache_dir=artifact_cache.root,
                 cache_enabled=cache, poll_s=tuning.poll_s)
+    elif transport == "socket":
+        from .sock import SocketTransport, parse_address, \
+            spawn_socket_workers
+        host, port = parse_address(listen or "127.0.0.1:0")
+        supervise = True
+        transport_obj = SocketTransport(
+            host=host, port=port, lease_s=tuning.lease_s,
+            shard_timeout=shard_timeout, poll_s=tuning.poll_s,
+            reclaim_grace_s=tuning.reclaim_grace_s)
+        owns_transport = True
+        if spawn_workers is None or spawn_workers:
+            worker_procs = spawn_socket_workers(
+                transport_obj.host, transport_obj.port, workers,
+                cache_dir=artifact_cache.root, cache_enabled=cache)
     elif isinstance(transport, ShardTransport):
         supervise = True
         transport_obj = transport
@@ -170,12 +193,21 @@ def run_experiment(experiment_id: str,
     try:
         payload = runner(ctx, config)
     finally:
-        if worker_procs:
-            from .dist import join_workers, stop_workers
-            stop_workers(queue_dir)
-            join_workers(worker_procs)
-        if owns_transport and transport_obj is not None:
-            transport_obj.close()
+        if transport == "socket":
+            # Close first: the stop broadcast is what tells dialed-in
+            # workers to exit instead of redialing a dead port.
+            if owns_transport and transport_obj is not None:
+                transport_obj.close()
+            if worker_procs:
+                from .dist import join_workers
+                join_workers(worker_procs)
+        else:
+            if worker_procs:
+                from .dist import join_workers, stop_workers
+                stop_workers(queue_dir)
+                join_workers(worker_procs)
+            if owns_transport and transport_obj is not None:
+                transport_obj.close()
     total_s = time.perf_counter() - started
 
     provenance = Provenance(

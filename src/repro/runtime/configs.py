@@ -37,7 +37,8 @@ class _Config:
 
 @dataclass
 class QueueTuning:
-    """Job-queue transport tunables (``repro run --transport jobqueue``).
+    """Lease/poll tunables for the multi-node transports
+    (``repro run --transport jobqueue`` and ``--transport socket``).
 
     Deliberately **not** a :class:`_Config`: these knobs govern lease
     renewal and polling cadence — pure scheduling, shared between the

@@ -151,6 +151,21 @@ def queue_shards(specs: List[ShardSpec],
     ]
 
 
+def classify_expiry(elapsed_s: float,
+                    timeout: Optional[float]) -> str:
+    """What an expired lease means (pure; shared by every lease-based
+    transport — the filesystem queue and the socket coordinator).
+
+    An attempt that outlived its wall-clock budget before its lease
+    lapsed stopped heartbeating *on purpose* — that is a ``hang``;
+    anything else went silent early, which is what death (or a network
+    partition) looks like — a ``crash``.  Either way the supervisor's
+    ``classify_exception`` policy decides retry vs. quarantine.
+    """
+    return "hang" if timeout is not None \
+        and elapsed_s >= float(timeout) else "crash"
+
+
 def merge_job_results(envelopes: List[Dict[str, Any]],
                       expected: Dict[str, Dict[str, Any]]
                       ) -> List[Dict[str, Any]]:
@@ -601,9 +616,7 @@ class JobQueueTransport(ShardTransport):
                     continue
                 owner = str(lease.get("owner", ""))
                 elapsed_s = now - float(lease.get("claimed_at", now))
-                timeout = job.get("timeout")
-                outcome = "hang" if timeout is not None \
-                    and elapsed_s >= float(timeout) else "crash"
+                outcome = classify_expiry(elapsed_s, job.get("timeout"))
                 detail = f"lease expired (owner {owner or 'unknown'})"
             del self.outstanding[ticket]
             self._release(job_id)

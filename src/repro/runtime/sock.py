@@ -1,0 +1,894 @@
+"""Socket shard transport: the supervised runtime over plain TCP.
+
+The job queue (PR 9, :mod:`repro.runtime.dist`) took the runtime
+multi-node but still assumed a shared filesystem.  This module drops
+that last requirement: the coordinator (:class:`SocketTransport`)
+listens on a TCP port, ``repro worker --connect host:port`` workers
+(:class:`SocketWorker`) dial in, and a length-prefixed framed protocol
+carries *exactly the same documents* the queue moves as files —
+:func:`~repro.runtime.dist.job_document` out,
+digest-checked result envelopes back, arbitrated by
+:func:`~repro.runtime.dist.merge_job_results` verbatim.  Supervisor
+policy (retries, backoff, quarantine, manifests, cache-first
+planning) is untouched; only the wire changed.
+
+Frame grammar (DESIGN.md §10)::
+
+    frame   := length payload
+    length  := 4-byte big-endian byte count of payload
+    payload := JSON {"frame": KIND, "v": 1, "body": {...},
+                     "digest": stable_digest(body)}
+    KIND    := HELLO | JOB | HEARTBEAT | RESULT | RETRACT
+
+Every frame carries its body's digest, so a flipped or truncated
+payload is detected at the frame layer — a torn stream degrades to a
+*typed* protocol error (:class:`OversizedFrameError`,
+:class:`TruncatedFrameError`, :class:`JunkFrameError`) that drops the
+connection, never the campaign.
+
+The protocol, state by state:
+
+* **connect** — a worker dials in (with capped deterministic backoff
+  while the coordinator is still booting) and sends ``HELLO`` naming
+  itself and any claim it still holds from a previous connection.
+* **assign** — the coordinator sends ``JOB`` (a verbatim
+  ``job_document``) to an idle worker and starts a lease on its own
+  clock; the worker's heartbeat thread renews it with ``HEARTBEAT``
+  frames, and — exactly like the queue — stops renewing once the
+  shard's wall-clock budget is spent, so a *hang* expires like a
+  *death*.
+* **reclaim** — an expired lease becomes a ``crash``/``hang``
+  attempt outcome (:func:`~repro.runtime.dist.classify_expiry`), the
+  worker gets ``RETRACT``, and the supervisor's existing
+  ``classify_exception`` policy decides retry vs. quarantine.
+* **resume** — a worker that lost its connection mid-compute finishes
+  the shard, redials, re-``HELLO``\\ s with the claim, and resends the
+  result.  If the lease survived, the attempt is credited; if the job
+  was already reclaimed and recomputed, the duplicate envelope is
+  dropped by ``merge_job_results`` — and because workers are pure
+  functions of their payloads, rival results carried identical rows
+  anyway.  Rows also land in the content-addressed artifact cache
+  under the single-host keys, so a dead coordinator's successor
+  resumes from cache exactly as the queue does.
+
+Leases here live on :func:`time.perf_counter`: unlike the filesystem
+queue, deadlines are never compared across machines — the coordinator
+stamps them when frames *arrive* — so no wall clock is needed.  The
+worker-side dial/backoff sleeps are this module's one determinism-lint
+allowance; like the queue's, they are operational pacing that never
+reaches content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..canon import stable_digest
+from .cache import ArtifactCache
+from .dist import (
+    DEFAULT_LEASE_S,
+    DEFAULT_POLL_S,
+    classify_expiry,
+    job_document,
+    merge_job_results,
+    now_s,
+)
+from .executor import resolve_worker
+from .transport import AttemptOutcome, ShardTransport
+
+#: Frame kinds, in protocol order.
+FRAME_KINDS = ("HELLO", "JOB", "HEARTBEAT", "RESULT", "RETRACT")
+FRAME_VERSION = 1
+#: Length-prefix size: 4-byte big-endian payload byte count.
+LENGTH_BYTES = 4
+#: Hard payload cap — far above any real shard result, low enough that
+#: a corrupted length prefix cannot make the coordinator buffer junk.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Reconnect backoff bounds (worker dial loop and smoke-tool dials).
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+#: Dial attempts before a worker gives the fleet up for dead.
+DEFAULT_RECONNECT_LIMIT = 8
+
+
+class ProtocolError(Exception):
+    """A peer violated the frame protocol: the connection is dropped,
+    the campaign continues."""
+
+
+class OversizedFrameError(ProtocolError):
+    """A length prefix promised more than :data:`MAX_FRAME_BYTES`."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """The stream ended inside a frame (a torn write or a mid-frame
+    connection cut)."""
+
+
+class JunkFrameError(ProtocolError):
+    """A complete frame that is not protocol: bad JSON, a digest
+    mismatch, an unknown kind, or a kind illegal in this direction."""
+
+
+# ---------------------------------------------------------------------------
+# frame codec (pure)
+# ---------------------------------------------------------------------------
+
+def frame_digest(body: Dict[str, Any]) -> str:
+    """The integrity digest a frame must carry for *body*."""
+    return stable_digest(body, length=16)
+
+
+def encode_frame(kind: str, body: Dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + digest-stamped JSON payload."""
+    if kind not in FRAME_KINDS:
+        raise JunkFrameError(f"unknown frame kind {kind!r}")
+    payload = json.dumps(
+        {"frame": kind, "v": FRAME_VERSION, "body": body,
+         "digest": frame_digest(body)},
+        sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise OversizedFrameError(
+            f"{kind} payload is {len(payload)} bytes "
+            f"(cap {MAX_FRAME_BYTES})")
+    return len(payload).to_bytes(LENGTH_BYTES, "big") + payload
+
+
+def decode_payload(payload: bytes) -> Tuple[str, Dict[str, Any]]:
+    """Parse one frame payload into ``(kind, body)``.
+
+    Anything that is not a digest-correct protocol frame raises
+    :class:`JunkFrameError` — corruption and malice are handled by the
+    same door.
+    """
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise JunkFrameError("payload is not JSON")
+    if not isinstance(document, dict):
+        raise JunkFrameError("payload is not an object")
+    kind = document.get("frame")
+    body = document.get("body")
+    if kind not in FRAME_KINDS:
+        raise JunkFrameError(f"unknown frame kind {kind!r}")
+    if not isinstance(body, dict):
+        raise JunkFrameError(f"{kind} body is not an object")
+    if document.get("digest") != frame_digest(body):
+        raise JunkFrameError(f"{kind} digest mismatch")
+    return kind, body
+
+
+class FrameBuffer:
+    """Incremental frame decoder over an arbitrary byte stream.
+
+    Feed whatever ``recv`` returned — half a frame, three frames and a
+    prefix, one byte — and get back every *complete* frame.  The
+    buffer raises the typed protocol errors; the caller's only duty is
+    to drop the connection when it does.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Tuple[str, Dict[str, Any]]]:
+        """Absorb *data*; return the frames it completed."""
+        self._buffer.extend(data)
+        frames: List[Tuple[str, Dict[str, Any]]] = []
+        while len(self._buffer) >= LENGTH_BYTES:
+            length = int.from_bytes(self._buffer[:LENGTH_BYTES], "big")
+            if length == 0:
+                raise JunkFrameError("zero-length frame")
+            if length > self.max_frame:
+                raise OversizedFrameError(
+                    f"length prefix promises {length} bytes "
+                    f"(cap {self.max_frame})")
+            if len(self._buffer) < LENGTH_BYTES + length:
+                break
+            payload = bytes(self._buffer[LENGTH_BYTES:
+                                         LENGTH_BYTES + length])
+            del self._buffer[:LENGTH_BYTES + length]
+            frames.append(decode_payload(payload))
+        return frames
+
+    def eof(self) -> None:
+        """The stream ended: a non-empty remainder is a torn frame."""
+        if self._buffer:
+            raise TruncatedFrameError(
+                f"stream ended {len(self._buffer)} byte(s) into a frame")
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# dialing (shared by workers, the loadgen, and the smoke tools)
+# ---------------------------------------------------------------------------
+
+def connect_backoff(attempt: int, base_s: float = BACKOFF_BASE_S,
+                    cap_s: float = BACKOFF_CAP_S) -> float:
+    """Seconds to wait before dial *attempt* (0-based): capped binary
+    exponential, a pure function of the attempt number so every retry
+    schedule is reproducible."""
+    return min(float(cap_s), float(base_s) * (2.0 ** max(0, attempt)))
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)`` (pure; raises ValueError)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} is not host:port")
+    return host, int(port)
+
+
+def dial(host: str, port: int, attempts: int = 40,
+         base_s: float = BACKOFF_BASE_S, cap_s: float = BACKOFF_CAP_S,
+         timeout_s: float = 10.0) -> socket.socket:
+    """Connect to ``(host, port)``, retrying refusals with
+    :func:`connect_backoff`.
+
+    This is the startup-flake fix in one place: a dial that races a
+    daemon or coordinator still binding its port gets
+    ``ConnectionRefusedError`` on the first try and nothing on the
+    second — failing a campaign (or a CI smoke) on that race is a
+    flake, not a finding.
+    """
+    last: Optional[OSError] = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return socket.create_connection((host, port),
+                                            timeout=timeout_s)
+        except (ConnectionRefusedError, ConnectionAbortedError,
+                ConnectionResetError) as exc:
+            last = exc
+            time.sleep(connect_backoff(attempt, base_s, cap_s))
+    raise last if last is not None else ConnectionRefusedError(
+        f"could not reach {host}:{port}")
+
+
+# ---------------------------------------------------------------------------
+# the coordinator side (a ShardTransport)
+# ---------------------------------------------------------------------------
+
+class _Peer:
+    """One accepted worker connection and its frame buffer."""
+
+    def __init__(self, sock: socket.socket, address: Any) -> None:
+        self.sock = sock
+        self.address = address
+        self.buffer = FrameBuffer()
+        self.worker_id = ""          # set by HELLO
+        self.job_id: Optional[str] = None  # job this peer is computing
+
+    @property
+    def idle(self) -> bool:
+        return bool(self.worker_id) and self.job_id is None
+
+
+class SocketTransport(ShardTransport):
+    """The coordinator's listening end, as a shard transport.
+
+    Construction binds (``port=0`` picks an ephemeral port; read
+    :attr:`port` before spawning the fleet).  Like the job queue, the
+    transport itself is the buffer: the supervisor may dispatch the
+    whole plan and however many workers dial in steal from the pending
+    deque — work stealing is the assignment loop.  All lease deadlines
+    live on the coordinator's own monotonic clock, stamped when frames
+    arrive, so nothing is ever compared across machines.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 shard_timeout: Optional[float] = None,
+                 poll_s: float = DEFAULT_POLL_S,
+                 reclaim_grace_s: Optional[float] = None) -> None:
+        self.lease_s = float(lease_s)
+        self.shard_timeout = shard_timeout
+        self.poll_s = poll_s
+        #: Initial lease slack: covers the JOB-send to first-HEARTBEAT
+        #: window of a worker killed at the worst possible instant.
+        self.reclaim_grace_s = reclaim_grace_s \
+            if reclaim_grace_s is not None else max(2.0 * self.lease_s, 1.0)
+        #: ticket -> dispatched job document.
+        self.outstanding: Dict[int, Dict[str, Any]] = {}
+        self._pending: Deque[Dict[str, Any]] = deque()
+        self._tickets: Dict[str, int] = {}         # job id -> ticket
+        self._leases: Dict[str, Dict[str, Any]] = {}
+        self._carrier: Dict[str, Optional[_Peer]] = {}
+        self._peers: List[_Peer] = []
+        self._completed: List[AttemptOutcome] = []
+        self._seen_workers: set = set()
+        self._stats: Dict[str, int] = {
+            "frames_sent": 0, "frames_received": 0, "connects": 0,
+            "reconnects": 0, "disconnects": 0, "protocol_errors": 0,
+            "jobs_reclaimed": 0, "stale_results": 0}
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                None)
+
+    # -- interface ----------------------------------------------------
+
+    def slots(self) -> int:
+        # Like the queue: publish the whole plan, let the fleet steal.
+        return 1_000_000_000
+
+    def dispatch(self, ticket: int, worker: str,
+                 payload: Dict[str, Any], key: str = "",
+                 label: str = "") -> None:
+        job = job_document(ticket, worker, payload, key, label,
+                          self.shard_timeout, self.lease_s)
+        self.outstanding[ticket] = job
+        self._tickets[job["job"]] = ticket
+        self._pending.append(job)
+
+    def poll(self, timeout_s: float) -> List[AttemptOutcome]:
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            remaining = deadline - time.perf_counter()
+            self._pump(max(0.0, min(self.poll_s, remaining)))
+            self._assign_pending()
+            outcomes = self._take_completed()
+            outcomes.extend(self._reclaim_expired())
+            if outcomes or deadline - time.perf_counter() <= 0:
+                return outcomes
+
+    def close(self) -> None:
+        """Broadcast stop to the dialed-in fleet and release the port.
+
+        Idempotent: a supervisor ``finally`` and an outer CLI cleanup
+        may both call it.  The stop ``RETRACT`` is what keeps workers
+        from burning their reconnect budget against a dead port.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for peer in list(self._peers):
+            try:
+                self._send(peer, "RETRACT", {"job": "*", "stop": True})
+            except OSError:
+                pass
+            self._drop_peer(peer)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Wire counters (telemetry, never content): frames each way,
+        connects/reconnects/disconnects, protocol errors, reclaims."""
+        return dict(self._stats)
+
+    # -- socket pump --------------------------------------------------
+
+    def _pump(self, wait_s: float) -> None:
+        if self._closed:
+            return
+        for key, _mask in self._selector.select(wait_s):
+            if key.data is None:
+                self._accept()
+            else:
+                self._service(key.data)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                conn, address = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            conn.setblocking(False)
+            peer = _Peer(conn, address)
+            self._peers.append(peer)
+            self._selector.register(conn, selectors.EVENT_READ, peer)
+
+    def _service(self, peer: _Peer) -> None:
+        try:
+            data = peer.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_peer(peer)
+            return
+        if not data:
+            try:
+                peer.buffer.eof()
+            except TruncatedFrameError:
+                self._stats["protocol_errors"] += 1
+            self._drop_peer(peer)
+            return
+        try:
+            frames = peer.buffer.feed(data)
+            for kind, body in frames:
+                self._stats["frames_received"] += 1
+                self._handle(peer, kind, body)
+        except ProtocolError:
+            # A typed wire violation costs the sender its connection,
+            # nothing else: leases keep ticking, the plan stays owed.
+            self._stats["protocol_errors"] += 1
+            self._drop_peer(peer)
+
+    def _drop_peer(self, peer: _Peer) -> None:
+        if peer not in self._peers:
+            return
+        self._peers.remove(peer)
+        if peer.worker_id:
+            self._stats["disconnects"] += 1
+        try:
+            self._selector.unregister(peer.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            peer.sock.close()
+        except OSError:
+            pass
+        if peer.job_id and self._carrier.get(peer.job_id) is peer:
+            # The lease keeps running: a quick reconnect resumes the
+            # claim; no reconnect lets the lease expire into reclaim.
+            self._carrier[peer.job_id] = None
+
+    def _send(self, peer: _Peer, kind: str, body: Dict[str, Any]) -> None:
+        data = encode_frame(kind, body)
+        peer.sock.settimeout(5.0)
+        try:
+            peer.sock.sendall(data)
+        finally:
+            peer.sock.setblocking(False)
+        self._stats["frames_sent"] += 1
+
+    # -- frame handlers -----------------------------------------------
+
+    def _handle(self, peer: _Peer, kind: str,
+                body: Dict[str, Any]) -> None:
+        if not peer.worker_id and kind != "HELLO":
+            raise JunkFrameError(f"{kind} before HELLO")
+        if kind == "HELLO":
+            self._handle_hello(peer, body)
+        elif kind == "HEARTBEAT":
+            self._handle_heartbeat(peer, body)
+        elif kind == "RESULT":
+            self._handle_result(peer, body)
+        else:
+            raise JunkFrameError(f"unexpected {kind} from a worker")
+
+    def _handle_hello(self, peer: _Peer, body: Dict[str, Any]) -> None:
+        worker = str(body.get("worker") or "")
+        if not worker:
+            raise JunkFrameError("HELLO names no worker")
+        peer.worker_id = worker
+        if worker in self._seen_workers:
+            self._stats["reconnects"] += 1
+        else:
+            self._seen_workers.add(worker)
+            self._stats["connects"] += 1
+        claims = body.get("claims") or []
+        if not isinstance(claims, list):
+            raise JunkFrameError("HELLO claims is not a list")
+        for job_id in claims:
+            job_id = str(job_id)
+            if job_id in self._leases:
+                # Reconnect-and-resume: rebind the claim and renew the
+                # lease; the RESULT is expected on this connection.
+                old = self._carrier.get(job_id)
+                if old is not None and old is not peer:
+                    old.job_id = None
+                self._carrier[job_id] = peer
+                peer.job_id = job_id
+                self._renew(job_id, worker)
+            else:
+                # Already reclaimed (or never ours): tell the worker
+                # so it can discard the zombie attempt.
+                self._send(peer, "RETRACT", {"job": job_id})
+
+    def _handle_heartbeat(self, peer: _Peer,
+                          body: Dict[str, Any]) -> None:
+        job_id = str(body.get("job") or "")
+        if job_id in self._leases \
+                and self._carrier.get(job_id) is peer:
+            self._renew(job_id, peer.worker_id)
+        # Anything else is a zombie's heartbeat: ignored, not an error
+        # — the worker may not have processed its RETRACT yet.
+
+    def _handle_result(self, peer: _Peer,
+                       envelope: Dict[str, Any]) -> None:
+        job_id = envelope.get("job")
+        if peer.job_id is not None and peer.job_id == job_id:
+            peer.job_id = None       # the peer is idle either way
+        expected = {str(ticket): job
+                    for ticket, job in self.outstanding.items()}
+        merged = merge_job_results([envelope], expected)
+        if not merged:
+            self._stats["stale_results"] += 1
+            return
+        envelope = merged[0]
+        ticket = envelope["ticket"]
+        job = self.outstanding.pop(ticket)
+        self._retire(job["job"])
+        if envelope["outcome"] == "ok":
+            self._completed.append(AttemptOutcome(
+                ticket=ticket, outcome="ok", rows=envelope["rows"],
+                elapsed_ms=float(envelope.get("elapsed_ms", 0.0)),
+                owner=str(envelope.get("owner", ""))))
+        else:
+            self._completed.append(AttemptOutcome(
+                ticket=ticket, outcome="error",
+                type_name=str(envelope.get("type", "")),
+                message=str(envelope.get("message", "")),
+                elapsed_ms=float(envelope.get("elapsed_ms", 0.0)),
+                owner=str(envelope.get("owner", ""))))
+
+    # -- leases -------------------------------------------------------
+
+    def _renew(self, job_id: str, owner: str) -> None:
+        now = time.perf_counter()
+        lease = self._leases.get(job_id)
+        if lease is None:
+            return
+        lease["owner"] = owner
+        lease["expires_at"] = now + self.lease_s
+        lease["renewals"] += 1
+
+    def _assign_pending(self) -> None:
+        if not self._pending:
+            return
+        for peer in list(self._peers):
+            if not self._pending:
+                return
+            if not peer.idle:
+                continue
+            job = self._pending.popleft()
+            try:
+                self._send(peer, "JOB", job)
+            except OSError:
+                self._pending.appendleft(job)
+                self._drop_peer(peer)
+                continue
+            job_id = job["job"]
+            now = time.perf_counter()
+            peer.job_id = job_id
+            self._carrier[job_id] = peer
+            self._leases[job_id] = {
+                "owner": peer.worker_id, "claimed_at": now,
+                "expires_at": now + max(self.lease_s,
+                                        self.reclaim_grace_s),
+                "renewals": 0}
+
+    def _retire(self, job_id: str) -> None:
+        self._tickets.pop(job_id, None)
+        self._leases.pop(job_id, None)
+        self._carrier.pop(job_id, None)
+
+    def _reclaim_expired(self) -> List[AttemptOutcome]:
+        """Expired leases become ``crash``/``hang`` attempt outcomes.
+
+        The carrying peer — if still connected — keeps its busy mark:
+        it is wedged inside (or still grinding on) the retracted
+        attempt, and handing it new work would queue frames behind a
+        possibly-hung compute.  It becomes assignable again when its
+        late RESULT arrives (and is dropped as stale) or when it
+        disconnects.
+        """
+        outcomes: List[AttemptOutcome] = []
+        now = time.perf_counter()
+        for job_id in sorted(self._leases):
+            lease = self._leases[job_id]
+            if lease["expires_at"] > now:
+                continue
+            ticket = self._tickets.get(job_id)
+            if ticket is None or ticket not in self.outstanding:
+                self._retire(job_id)
+                continue
+            job = self.outstanding.pop(ticket)
+            elapsed_s = now - lease["claimed_at"]
+            outcome = classify_expiry(elapsed_s, job.get("timeout"))
+            owner = str(lease.get("owner", ""))
+            peer = self._carrier.get(job_id)
+            self._retire(job_id)
+            if peer is not None and peer in self._peers:
+                try:
+                    self._send(peer, "RETRACT", {"job": job_id})
+                except OSError:
+                    self._drop_peer(peer)
+            self._stats["jobs_reclaimed"] += 1
+            outcomes.append(AttemptOutcome(
+                ticket=ticket, outcome=outcome,
+                message=(f"lease expired (owner {owner or 'unknown'}) "
+                         f"after {elapsed_s:.2f}s"),
+                elapsed_ms=elapsed_s * 1000.0, owner=owner))
+        return outcomes
+
+    def _take_completed(self) -> List[AttemptOutcome]:
+        outcomes = self._completed
+        self._completed = []
+        return outcomes
+
+
+# ---------------------------------------------------------------------------
+# the worker side (`repro worker --connect`)
+# ---------------------------------------------------------------------------
+
+class SocketWorker:
+    """One dial → HELLO → compute → RESULT loop against a coordinator.
+
+    The compute path is the queue worker's, verbatim in spirit:
+    cache-first by shard key, a heartbeat thread that goes silent once
+    the shard's budget is spent, a broad-except firewall whose
+    exception *name* the coordinator classifies.  What is new is
+    survival of the wire: a connection lost mid-compute does not lose
+    the attempt — the worker finishes, redials with capped
+    deterministic backoff, re-``HELLO``\\ s with its claim, and resends
+    the result (a duplicate is dropped coordinator-side by
+    ``merge_job_results``).
+    """
+
+    def __init__(self, host: str, port: int, worker_id: str,
+                 cache: Optional[ArtifactCache] = None,
+                 events: Optional[Any] = None,
+                 reconnect_limit: int = DEFAULT_RECONNECT_LIMIT,
+                 dial_timeout_s: float = 10.0,
+                 backoff_base_s: float = BACKOFF_BASE_S,
+                 backoff_cap_s: float = BACKOFF_CAP_S,
+                 recv_timeout_s: float = 0.5) -> None:
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self.cache = cache if cache is not None \
+            else ArtifactCache(enabled=False)
+        #: Optional :class:`repro.monitor.events.EventLogWriter`;
+        #: receives ``worker`` lifecycle events, including the socket
+        #: states ``connect``/``disconnect``/``reconnect``.
+        self.events = events
+        self.reconnect_limit = max(0, reconnect_limit)
+        self.dial_timeout_s = dial_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.recv_timeout_s = recv_timeout_s
+        self._stop = False
+        self._pending_result: Optional[Dict[str, Any]] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def run(self, max_jobs: Optional[int] = None,
+            idle_exit_s: Optional[float] = None) -> int:
+        """Dial, serve, redial; returns the number of jobs executed.
+
+        Exits on the coordinator's stop broadcast, after *max_jobs*
+        executions, after *idle_exit_s* idle seconds, or once
+        ``reconnect_limit`` consecutive dials fail.
+        """
+        done = 0
+        failures = 0
+        connected_before = False
+        while not self._stop:
+            if max_jobs is not None and done >= max_jobs:
+                break
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.dial_timeout_s)
+            except OSError:
+                failures += 1
+                if failures > self.reconnect_limit:
+                    break
+                time.sleep(connect_backoff(
+                    failures - 1, self.backoff_base_s,
+                    self.backoff_cap_s))
+                continue
+            failures = 0
+            self._emit("reconnect" if connected_before else "connect",
+                       "")
+            connected_before = True
+            try:
+                budget = None if max_jobs is None else max_jobs - done
+                done += self._session(sock, budget, idle_exit_s)
+            except ProtocolError:
+                pass                  # drop the connection, redial
+            finally:
+                self._emit("disconnect", "")
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        return done
+
+    def _session(self, sock: socket.socket, budget: Optional[int],
+                 idle_exit_s: Optional[float]) -> int:
+        sock.settimeout(self.recv_timeout_s)
+        lock = threading.Lock()
+        buffer = FrameBuffer()
+        claims = [self._pending_result["job"]] \
+            if self._pending_result else []
+        try:
+            self._send(sock, lock, "HELLO",
+                       {"worker": self.worker_id, "claims": claims})
+            if self._pending_result is not None:
+                # The result computed while disconnected: deliver it
+                # first.  A racing reclaim makes it stale, not wrong.
+                self._send(sock, lock, "RESULT", self._pending_result)
+                self._pending_result = None
+        except OSError:
+            return 0
+        done = 0
+        idle_since: Optional[float] = None
+        while True:
+            if budget is not None and done >= budget:
+                return done
+            try:
+                data = sock.recv(65536)
+            except socket.timeout:
+                if idle_exit_s is not None:
+                    now = time.perf_counter()
+                    if idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= idle_exit_s:
+                        self._stop = True
+                        return done
+                continue
+            except OSError:
+                return done          # connection lost; run() redials
+            if not data:
+                buffer.eof()         # raises on a torn frame
+                return done
+            for kind, body in buffer.feed(data):
+                if kind == "JOB":
+                    idle_since = None
+                    delivered = self._execute(sock, lock, body)
+                    done += 1
+                    if not delivered:
+                        return done  # result stashed; redial to send
+                elif kind == "RETRACT":
+                    if body.get("stop"):
+                        self._stop = True
+                        return done
+                    # A claim we re-HELLOed was already reclaimed and
+                    # retired; nothing to discard — results for it
+                    # are dropped coordinator-side.
+                else:
+                    raise JunkFrameError(
+                        f"unexpected {kind} from the coordinator")
+
+    # -- compute ------------------------------------------------------
+
+    def _execute(self, sock: socket.socket, lock: threading.Lock,
+                 job: Dict[str, Any]) -> bool:
+        """Run one job; returns False when the RESULT could not be
+        sent (it is stashed for delivery after the next HELLO)."""
+        label = job.get("label") or job.get("job") or ""
+        self._emit("claim", label)
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat, args=(sock, lock, job, stop),
+            daemon=True)
+        heartbeat.start()
+        envelope: Dict[str, Any] = {
+            "job": job.get("job"), "ticket": job.get("ticket"),
+            "digest": job.get("digest"), "owner": self.worker_id,
+        }
+        key = job.get("key") or ""
+        started = time.perf_counter()
+        try:
+            rows = self.cache.load(key) if key else None
+            cached = rows is not None
+            if rows is None:
+                rows = resolve_worker(job["worker"])(job["payload"])
+            envelope.update(outcome="ok", rows=rows, cached=cached)
+        except BaseException as exc:  # repro: allow-broad-except -- worker-fleet firewall; the coordinator classifies the failure by exception name
+            envelope.update(outcome="error", type=type(exc).__name__,
+                            message=str(exc))
+        finally:
+            stop.set()
+        envelope["elapsed_ms"] = \
+            (time.perf_counter() - started) * 1000.0
+        if envelope["outcome"] == "ok" and key:
+            # Same key, same bytes as every other topology: this is
+            # what lets a killed campaign resume anywhere.
+            self.cache.store(key, job["worker"], envelope["rows"])
+        heartbeat.join(timeout=1.0)
+        self._emit("done" if envelope["outcome"] == "ok" else "error",
+                   label)
+        try:
+            self._send(sock, lock, "RESULT", envelope)
+        except OSError:
+            self._pending_result = envelope
+            return False
+        return True
+
+    def _heartbeat(self, sock: socket.socket, lock: threading.Lock,
+                   job: Dict[str, Any], stop: threading.Event) -> None:
+        """Renew the lease until compute finishes — or fall silent.
+
+        The same two deliberate silences as the queue worker: a spent
+        wall-clock budget (so a hang is reclaimed like a death), and a
+        dead connection (the session loop notices on its own)."""
+        lease_s = float(job.get("lease_s") or DEFAULT_LEASE_S)
+        interval = max(0.05, lease_s / 3.0)
+        timeout = job.get("timeout")
+        started = time.perf_counter()
+        while not stop.wait(interval):
+            if timeout is not None and \
+                    time.perf_counter() - started > float(timeout):
+                return
+            try:
+                self._send(sock, lock, "HEARTBEAT",
+                           {"worker": self.worker_id,
+                            "job": job.get("job")})
+            except OSError:
+                return
+
+    # -- plumbing -----------------------------------------------------
+
+    def _send(self, sock: socket.socket, lock: threading.Lock,
+              kind: str, body: Dict[str, Any]) -> None:
+        data = encode_frame(kind, body)
+        with lock:
+            sock.settimeout(self.dial_timeout_s)
+            try:
+                sock.sendall(data)
+            finally:
+                sock.settimeout(self.recv_timeout_s)
+
+    def _emit(self, state: str, shard: str) -> None:
+        if self.events is None:
+            return
+        self.events.append("worker", ts=int(now_s()), data={
+            "worker": self.worker_id, "state": state, "shard": shard})
+
+
+# ---------------------------------------------------------------------------
+# local fleet helpers (`repro run --transport socket` sits on these)
+# ---------------------------------------------------------------------------
+
+def spawn_socket_workers(host: str, port: int, count: int,
+                         cache_dir: Optional[str] = None,
+                         cache_enabled: bool = True,
+                         events_dir: Optional[str] = None,
+                         reconnect_limit: int = DEFAULT_RECONNECT_LIMIT
+                         ) -> List["subprocess.Popen"]:
+    """Start *count* ``repro worker --connect`` subprocesses.
+
+    The mirror of :func:`~repro.runtime.dist.spawn_local_workers` for
+    fleets without a shared filesystem; wind down with the
+    coordinator's :meth:`SocketTransport.close` stop broadcast and
+    :func:`~repro.runtime.dist.join_workers`.
+    """
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    processes = []
+    for index in range(count):
+        worker_id = f"sock-{index}"
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--connect", f"{host}:{port}", "--id", worker_id,
+                   "--reconnect", str(reconnect_limit)]
+        if not cache_enabled:
+            command.append("--no-cache")
+        elif cache_dir:
+            command.extend(["--cache-dir", cache_dir])
+        if events_dir:
+            command.extend(["--events",
+                            os.path.join(events_dir,
+                                         f"{worker_id}.events.jsonl")])
+        processes.append(subprocess.Popen(command, env=env))
+    return processes

@@ -6,7 +6,7 @@ and delegates *mechanism* to a :class:`ShardTransport`: something that
 can take dispatched attempts and eventually report, for each, one
 :class:`AttemptOutcome` (``ok`` / ``error`` / ``crash`` / ``hang``).
 
-Two implementations exist:
+Three implementations exist:
 
 * :class:`PipePoolTransport` (here) — the original per-host pool of
   supervised worker processes talking over pipes, with EOF crash
@@ -14,7 +14,12 @@ Two implementations exist:
 * :class:`~repro.runtime.dist.JobQueueTransport` — a filesystem-backed
   job queue where independent ``repro worker`` processes (potentially
   on many hosts sharing the queue and artifact-cache directories)
-  claim shards via atomic-rename leases.
+  claim shards via atomic-rename leases;
+* :class:`~repro.runtime.sock.SocketTransport` — the same job/lease/
+  envelope documents over framed TCP for fleets without a shared
+  filesystem: workers dial in with ``repro worker --connect``, leases
+  are heartbeat frames, and a hostile wire degrades to typed protocol
+  errors, never divergent bytes.
 
 The contract that keeps every topology byte-identical: transports move
 *attempts*, never *content*.  A transport may reorder, retry-signal,

@@ -170,10 +170,32 @@ async def _read_response(reader: asyncio.StreamReader):
     return status_code, body
 
 
+async def _dial(host: str, port: int, attempts: int = 40):
+    """Open a connection, retrying refusals with deterministic backoff.
+
+    A daemon that was *just* spawned may not be listening yet; racing
+    its bind with a bare ``open_connection`` makes every load replay a
+    coin flip.  The backoff schedule is the socket transport's
+    (:func:`repro.runtime.sock.connect_backoff`) — pure in the attempt
+    ordinal, so retry pacing never adds nondeterminism.
+    """
+    from ..runtime.sock import connect_backoff
+
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionRefusedError, ConnectionAbortedError,
+                ConnectionResetError):
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(connect_backoff(attempt))
+    raise ConnectionRefusedError(f"{host}:{port} never accepted")
+
+
 async def _worker(host: str, port: int, requests: Sequence[HTTPRequest],  # repro: allow-effect[WALL_CLOCK] -- load replay measures serving latency over TCP
                   statuses: List[int], bodies: List[Optional[bytes]],
                   latencies: List[float], indices: Sequence[int]) -> None:
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _dial(host, port)
     try:
         for index in indices:
             t0 = time.perf_counter()

@@ -445,6 +445,40 @@ class TestWorkerLifecycleReducer:
             == list(reducer.finalize(flipped)["workers"]) \
             == ["early", "late"]
 
+    def test_connection_states_count_but_skip_the_shard_census(self):
+        """Socket-fleet connect/disconnect/reconnect events carry an
+        empty shard label: they count as states but must not inflate
+        the per-worker shard census — a flapping link is not work."""
+        reducer = default_reducers()["worker-lifecycle"]
+        events = [
+            self._event((0,), "w0", "connect", ""),
+            self._event((1,), "w0", "claim", "s0"),
+            self._event((2,), "w0", "disconnect", ""),
+            self._event((3,), "w0", "reconnect", ""),
+            self._event((4,), "w0", "done", "s0"),
+            self._event((5,), "w0", "disconnect", ""),
+        ]
+        final = reducer.finalize(reducer.reduce(events))
+        assert final["states"] == {"claim": 1, "connect": 1,
+                                   "disconnect": 2, "done": 1,
+                                   "reconnect": 1}
+        assert final["workers"]["w0"]["shards"] == 1  # s0 only
+        assert final["reconnects"] == 1
+
+    def test_reconnects_sum_across_merged_logs(self):
+        reducer = default_reducers()["worker-lifecycle"]
+        log_a = [self._event((0,), "w0", "connect", ""),
+                 self._event((1,), "w0", "reconnect", "")]
+        log_b = [self._event((2,), "w1", "connect", ""),
+                 self._event((3,), "w1", "reconnect", ""),
+                 self._event((4,), "w1", "reconnect", "")]
+        merged = reducer.merge(reducer.reduce(log_a),
+                               reducer.reduce(log_b))
+        assert reducer.finalize(merged)["reconnects"] == 3
+        assert reducer.finalize(reducer.merge(
+            reducer.reduce(log_b), reducer.reduce(log_a)))["reconnects"] \
+            == 3
+
 
 # ---------------------------------------------------------------------------
 # tumbling windows and watermarks

@@ -1,0 +1,745 @@
+"""Tests for the TCP socket shard transport (repro.runtime.sock) and
+its deterministic network-fault chaos (repro.runtime.netchaos).
+
+Four layers, in increasing realism:
+
+* the pure frame codec — round trips, byte-at-a-time reassembly, and
+  the typed protocol errors (junk, torn, oversized) that make a
+  hostile byte stream a *connection* problem, never a campaign
+  problem;
+* the pure chaos engine — seeded injector decisions and the
+  mangle-step state machine, reproducible to the frame;
+* the coordinator's protocol state machine driven by hand-crafted
+  peer sockets: claims rebinding across reconnects, duplicate results
+  merging to one outcome, junk costing exactly one connection, and
+  expired leases classifying as crash vs hang;
+* end-to-end campaigns — the acceptance contract: serial == pipe ==
+  job queue == socket, byte-identical, including fleets behind a
+  resetting/reordering/truncating chaos proxy and a SIGKILLed real
+  ``repro worker --connect`` subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.datasets import CorpusConfig
+from repro.runtime import (
+    ArtifactCache,
+    CorpusRunConfig,
+    FrameBuffer,
+    ShardExecutor,
+    SocketTransport,
+    SocketWorker,
+    SupervisedExecutor,
+    connect_backoff,
+    parse_address,
+    run_experiment,
+    spawn_socket_workers,
+)
+from repro.runtime.chaos import chaos_wrap
+from repro.runtime.dist import classify_expiry, join_workers
+from repro.runtime.netchaos import (
+    PASS,
+    ChaosPlan,
+    ChaosProxy,
+    FrameDelay,
+    FrameDrop,
+    FrameDuplicate,
+    FrameTruncate,
+    Partition,
+    flush_held,
+    mangle_step,
+    mangle_stream,
+    netchaos_plan,
+    netchaos_plan_names,
+)
+from repro.runtime.sharding import corpus_shards
+from repro.runtime.sock import (
+    JunkFrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+    decode_payload,
+    encode_frame,
+    frame_digest,
+)
+
+#: Small but multi-shard: 6 shards of 8 corpus records each.
+CORPUS_CONFIG = CorpusRunConfig(corpus=CorpusConfig(size=48, seed=11),
+                                shards=6)
+
+#: Fast-turnaround tuning for in-process protocol tests.
+LEASE_S = 0.25
+POLL_S = 0.02
+
+
+def plain_specs():
+    return corpus_shards(CORPUS_CONFIG)
+
+
+def output_bytes(outputs) -> str:
+    return json.dumps(outputs, sort_keys=True)
+
+
+@pytest.fixture
+def baseline():
+    executor = ShardExecutor(workers=1, cache=ArtifactCache(enabled=False))
+    outputs, _records = executor.run(plain_specs())
+    return output_bytes(outputs)
+
+
+def make_transport(**kwargs):
+    kwargs.setdefault("lease_s", LEASE_S)
+    kwargs.setdefault("poll_s", POLL_S)
+    kwargs.setdefault("reclaim_grace_s", LEASE_S)
+    return SocketTransport("127.0.0.1", 0, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# pure frame codec
+# ---------------------------------------------------------------------------
+
+class TestFrameCodec:
+    def test_round_trip_every_kind(self):
+        for kind in ("HELLO", "JOB", "HEARTBEAT", "RESULT", "RETRACT"):
+            body = {"kind": kind, "n": 7}
+            wire = encode_frame(kind, body)
+            assert int.from_bytes(wire[:4], "big") == len(wire) - 4
+            assert decode_payload(wire[4:]) == (kind, body)
+
+    def test_encode_rejects_unknown_kind(self):
+        with pytest.raises(JunkFrameError):
+            encode_frame("GOSSIP", {})
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(JunkFrameError):
+            decode_payload(b"\xff\xfenot json")
+        with pytest.raises(JunkFrameError):
+            decode_payload(b"[1, 2]")
+        bad_kind = json.dumps({"frame": "GOSSIP", "v": 1, "body": {},
+                               "digest": frame_digest({})})
+        with pytest.raises(JunkFrameError):
+            decode_payload(bad_kind.encode())
+        bad_digest = json.dumps({"frame": "HELLO", "v": 1,
+                                 "body": {"worker": "w"},
+                                 "digest": "0" * 16})
+        with pytest.raises(JunkFrameError):
+            decode_payload(bad_digest.encode())
+
+    def test_digest_covers_the_body(self):
+        wire = encode_frame("HEARTBEAT", {"worker": "w", "job": "j"})
+        # Flip one byte inside the JSON body: the digest check trips.
+        torn = bytearray(wire)
+        torn[wire.index(b'"j"')] = ord("k")
+        with pytest.raises(JunkFrameError):
+            decode_payload(bytes(torn[4:]))
+
+    def test_buffer_reassembles_byte_at_a_time(self):
+        frames = [("HELLO", {"worker": "w", "claims": []}),
+                  ("JOB", {"job": "00000001", "ticket": 1}),
+                  ("RETRACT", {"job": "*", "stop": True})]
+        wire = b"".join(encode_frame(kind, body)
+                        for kind, body in frames)
+        buffer = FrameBuffer()
+        decoded = []
+        for i in range(len(wire)):
+            decoded.extend(buffer.feed(wire[i:i + 1]))
+        assert decoded == frames
+        assert buffer.pending_bytes == 0
+        buffer.eof()  # clean end of stream
+
+    def test_torn_stream_is_a_truncated_frame(self):
+        wire = encode_frame("RESULT", {"job": "x", "rows": [1, 2, 3]})
+        buffer = FrameBuffer()
+        assert buffer.feed(wire[:len(wire) // 2]) == []
+        assert buffer.pending_bytes > 0
+        with pytest.raises(TruncatedFrameError):
+            buffer.eof()
+
+    def test_zero_and_oversized_prefixes_are_typed_errors(self):
+        with pytest.raises(JunkFrameError):
+            FrameBuffer().feed(b"\x00\x00\x00\x00")
+        with pytest.raises(OversizedFrameError):
+            FrameBuffer(max_frame=64).feed(b"\x00\x00\x01\x00")
+        with pytest.raises(OversizedFrameError):
+            FrameBuffer().feed(b"\xff\xff\xff\xff")
+
+
+class TestDialHelpers:
+    def test_backoff_schedule_is_capped_binary_exponential(self):
+        schedule = [connect_backoff(attempt) for attempt in range(8)]
+        assert schedule == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+        assert connect_backoff(100) == 2.0
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address("host.example:1") == ("host.example", 1)
+        for bad in ("nohost", ":9000", "host:", "host:not-a-port"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+# ---------------------------------------------------------------------------
+# pure chaos engine
+# ---------------------------------------------------------------------------
+
+def heartbeat_frames(count: int):
+    return [encode_frame("HEARTBEAT", {"worker": "w", "job": str(i)})
+            for i in range(count)]
+
+
+class TestNetchaosDecisions:
+    def test_decisions_are_pure_in_their_coordinates(self):
+        plan = netchaos_plan("hostile", seed=7)
+        first = [plan.decide("c2s/0", i) for i in range(200)]
+        again = [plan.decide("c2s/0", i) for i in range(200)]
+        assert first == again
+        other_stream = [plan.decide("c2s/1", i) for i in range(200)]
+        assert first != other_stream  # reconnects re-roll their fates
+
+    def test_seed_changes_the_fates(self):
+        a = [netchaos_plan("drop", seed=1).decide("s", i)
+             for i in range(200)]
+        b = [netchaos_plan("drop", seed=2).decide("s", i)
+             for i in range(200)]
+        assert a != b
+
+    def test_plan_digest_is_content_addressed(self):
+        assert netchaos_plan("hostile", 7).plan_digest() == \
+            netchaos_plan("hostile", 7).plan_digest()
+        assert netchaos_plan("hostile", 7).plan_digest() != \
+            netchaos_plan("hostile", 8).plan_digest()
+        assert netchaos_plan("drop", 7).plan_digest() != \
+            netchaos_plan("reset", 7).plan_digest()
+
+    def test_catalogue_names_and_unknown_plan(self):
+        for name in netchaos_plan_names():
+            assert netchaos_plan(name).name == name
+        with pytest.raises(KeyError):
+            netchaos_plan("gremlins")
+
+    def test_first_injector_with_an_opinion_wins(self):
+        plan = ChaosPlan(name="x", seed=0,
+                         injectors=(FrameDrop(rate=1.0),
+                                    FrameDuplicate(rate=1.0)))
+        assert plan.decide("s", 0).drop is True
+        assert plan.decide("s", 0).duplicate is False
+
+
+class TestMangleEngine:
+    def test_passthrough_is_identity(self):
+        frames = heartbeat_frames(20)
+        actions = mangle_stream(netchaos_plan("passthrough"), "s", frames)
+        assert actions == [("send", frame) for frame in frames]
+
+    def test_mangle_stream_is_deterministic(self):
+        frames = heartbeat_frames(120)
+        plan = netchaos_plan("hostile", seed=11)
+        assert mangle_stream(plan, "c2s/0", frames) == \
+            mangle_stream(plan, "c2s/0", frames)
+
+    def test_drop_eats_frames_without_resetting(self):
+        frames = heartbeat_frames(200)
+        actions = mangle_stream(netchaos_plan("drop", seed=3), "s", frames)
+        sends = [data for verb, data in actions if verb == "send"]
+        assert 0 < len(sends) < len(frames)
+        assert all(verb == "send" for verb, _data in actions)
+        assert set(sends) <= set(frames)
+
+    def test_partition_window_black_holes_frames(self):
+        frames = heartbeat_frames(16)
+        plan = ChaosPlan(name="p", seed=0,
+                         injectors=(Partition(start=4, length=6),))
+        sends = [data for verb, data in
+                 mangle_stream(plan, "s", frames) if verb == "send"]
+        assert sends == frames[:4] + frames[10:]
+
+    def test_duplicate_delivers_twice_in_place(self):
+        frames = heartbeat_frames(3)
+        plan = ChaosPlan(name="d", seed=0,
+                         injectors=(FrameDuplicate(rate=1.0),))
+        actions = mangle_stream(plan, "s", frames)
+        assert actions == [("send", frames[0]), ("send", frames[0]),
+                           ("send", frames[1]), ("send", frames[1]),
+                           ("send", frames[2]), ("send", frames[2])]
+
+    def test_reorder_holds_then_releases_everything(self):
+        frames = heartbeat_frames(60)
+        plan = netchaos_plan("reorder", seed=5)
+        actions = mangle_stream(plan, "s", frames)
+        sends = [data for verb, data in actions if verb == "send"]
+        assert sorted(sends) == sorted(frames)  # nothing lost
+        assert sends != frames                  # something moved
+
+    def test_truncate_sends_a_prefix_then_resets(self):
+        frame = heartbeat_frames(1)[0]
+        plan = ChaosPlan(name="t", seed=0,
+                         injectors=(FrameTruncate(rate=1.0, keep=0.5),))
+        actions, held, closed = mangle_step(plan, "s", 0, frame, ())
+        assert closed is True and held == ()
+        assert actions == [("send", frame[:len(frame) // 2]),
+                           ("reset", b"")]
+
+    def test_hold_threads_between_steps(self):
+        frames = heartbeat_frames(2)
+        plan = ChaosPlan(name="h", seed=0,
+                         injectors=(FrameDelay(rate=1.0, depth=1),))
+        actions0, held, closed = mangle_step(plan, "s", 0, frames[0], ())
+        assert actions0 == [] and not closed and len(held) == 1
+        actions1, held, _closed = mangle_step(plan, "s", 1, frames[1],
+                                              held)
+        # Frame 1 is itself held; frame 0 comes due at index 1.
+        assert actions1 == [("send", frames[0])]
+        assert flush_held(held) == [("send", frames[1])]
+
+    def test_pass_fate_is_the_shared_default(self):
+        assert netchaos_plan("passthrough").decide("s", 0) is PASS
+
+
+# ---------------------------------------------------------------------------
+# the coordinator's protocol state machine (hand-crafted peers)
+# ---------------------------------------------------------------------------
+
+class FakePeer:
+    """A hand-driven worker connection for protocol tests."""
+
+    def __init__(self, transport: SocketTransport):
+        self.transport = transport
+        self.sock = socket.create_connection(
+            (transport.host, transport.port), timeout=5.0)
+        self.sock.settimeout(0.05)
+        self.buffer = FrameBuffer()
+
+    def send(self, kind, body):
+        self.sock.sendall(encode_frame(kind, body))
+
+    def send_raw(self, data: bytes):
+        self.sock.sendall(data)
+
+    def hello(self, worker="fake", claims=()):
+        self.send("HELLO", {"worker": worker, "claims": list(claims)})
+
+    def recv_frames(self, want=1, timeout_s=5.0):
+        """Pump the coordinator until *want* frames arrive here."""
+        frames = []
+        deadline = time.perf_counter() + timeout_s
+        while len(frames) < want and time.perf_counter() < deadline:
+            self.transport.poll(POLL_S)
+            try:
+                data = self.sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            frames.extend(self.buffer.feed(data))
+        return frames
+
+    def result_for(self, job, owner="fake", rows=None, **extra):
+        envelope = {"job": job["job"], "ticket": job["ticket"],
+                    "digest": job["digest"], "owner": owner,
+                    "outcome": "ok",
+                    "rows": rows if rows is not None else [{"r": 1}],
+                    "elapsed_ms": 1.0}
+        envelope.update(extra)
+        return envelope
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def poll_until(transport, want: int, timeout_s: float = 10.0):
+    outcomes = []
+    deadline = time.perf_counter() + timeout_s
+    while len(outcomes) < want:
+        assert time.perf_counter() < deadline, \
+            f"only {len(outcomes)}/{want} outcomes before timeout"
+        outcomes.extend(transport.poll(0.1))
+    return outcomes
+
+
+class TestCoordinatorProtocol:
+    def test_hello_job_result_round_trip(self):
+        transport = make_transport()
+        try:
+            transport.dispatch(0, "m:f", {"x": 1}, key="", label="s0")
+            peer = FakePeer(transport)
+            peer.hello()
+            (kind, job), = peer.recv_frames(1)
+            assert kind == "JOB"
+            assert job["ticket"] == 0 and job["worker"] == "m:f"
+            peer.send("RESULT", peer.result_for(job))
+            outcome, = poll_until(transport, 1)
+            assert outcome.ticket == 0 and outcome.outcome == "ok"
+            assert outcome.rows == [{"r": 1}]
+            assert outcome.owner == "fake"
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_junk_costs_the_connection_not_the_campaign(self):
+        transport = make_transport()
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            vandal = FakePeer(transport)
+            vandal.send_raw(b"\x00\x00\x00\x05hello")
+            assert vandal.recv_frames(1, timeout_s=1.0) == []  # dropped
+            assert transport.stats()["protocol_errors"] == 1
+            honest = FakePeer(transport)
+            honest.hello(worker="honest")
+            (kind, job), = honest.recv_frames(1)
+            assert kind == "JOB"
+            honest.send("RESULT", honest.result_for(job, owner="honest"))
+            outcome, = poll_until(transport, 1)
+            assert outcome.outcome == "ok" and outcome.owner == "honest"
+            vandal.close()
+            honest.close()
+        finally:
+            transport.close()
+
+    def test_frame_before_hello_is_junk(self):
+        transport = make_transport()
+        try:
+            peer = FakePeer(transport)
+            peer.send("HEARTBEAT", {"worker": "w", "job": "j"})
+            assert peer.recv_frames(1, timeout_s=1.0) == []
+            assert transport.stats()["protocol_errors"] == 1
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_duplicate_result_merges_to_one_outcome(self):
+        transport = make_transport()
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            peer = FakePeer(transport)
+            peer.hello()
+            (_kind, job), = peer.recv_frames(1)
+            peer.send("RESULT", peer.result_for(job))
+            peer.send("RESULT", peer.result_for(job))
+            outcomes = poll_until(transport, 1)
+            time.sleep(0.1)
+            outcomes.extend(transport.poll(0.2))
+            assert len(outcomes) == 1
+            assert transport.stats()["stale_results"] == 1
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_unknown_claim_is_retracted(self):
+        transport = make_transport()
+        try:
+            peer = FakePeer(transport)
+            peer.hello(claims=["00000009-deadbeef"])
+            (kind, body), = peer.recv_frames(1)
+            assert kind == "RETRACT"
+            assert body["job"] == "00000009-deadbeef"
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_abandoned_lease_is_reclaimed_as_crash(self):
+        transport = make_transport(lease_s=0.2, reclaim_grace_s=0.2)
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            peer = FakePeer(transport)
+            peer.hello(worker="doomed")
+            (kind, _job), = peer.recv_frames(1)
+            assert kind == "JOB"
+            # Never heartbeat: the lease expires and the attempt comes
+            # back as a crash naming the silent owner.
+            outcome, = poll_until(transport, 1)
+            assert outcome.outcome == "crash"
+            assert "lease expired" in outcome.message
+            assert outcome.owner == "doomed"
+            assert transport.stats()["jobs_reclaimed"] == 1
+            # The still-connected holder was told.
+            frames = peer.recv_frames(1)
+            assert frames and frames[0][0] == "RETRACT"
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_expiry_past_budget_is_a_hang(self):
+        transport = make_transport(lease_s=0.2, reclaim_grace_s=0.2,
+                                   shard_timeout=0.01)
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            peer = FakePeer(transport)
+            peer.hello()
+            peer.recv_frames(1)
+            outcome, = poll_until(transport, 1)
+            assert outcome.outcome == "hang"
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_reconnect_rebinds_the_claim(self):
+        transport = make_transport(lease_s=5.0, reclaim_grace_s=5.0)
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            first = FakePeer(transport)
+            first.hello(worker="mobile")
+            (_kind, job), = first.recv_frames(1)
+            first.close()            # the wire dies; the claim lives
+            transport.poll(0.1)      # notice the disconnect
+            second = FakePeer(transport)
+            second.hello(worker="mobile", claims=[job["job"]])
+            second.send("RESULT", second.result_for(job, owner="mobile"))
+            outcome, = poll_until(transport, 1)
+            assert outcome.outcome == "ok" and outcome.owner == "mobile"
+            stats = transport.stats()
+            assert stats["reconnects"] == 1
+            assert stats["jobs_reclaimed"] == 0
+            second.close()
+        finally:
+            transport.close()
+
+    def test_stale_result_for_reclaimed_job_is_dropped(self):
+        transport = make_transport(lease_s=0.2, reclaim_grace_s=0.2)
+        try:
+            transport.dispatch(0, "m:f", {"x": 1})
+            peer = FakePeer(transport)
+            peer.hello()
+            (_kind, job), = peer.recv_frames(1)
+            outcome, = poll_until(transport, 1)   # reclaimed
+            assert outcome.outcome == "crash"
+            peer.send("RESULT", peer.result_for(job))  # zombie delivery
+            assert transport.poll(0.3) == []
+            assert transport.stats()["stale_results"] == 1
+            peer.close()
+        finally:
+            transport.close()
+
+    def test_classify_expiry_is_the_shared_rule(self):
+        assert classify_expiry(0.5, None) == "crash"
+        assert classify_expiry(0.5, 1.0) == "crash"
+        assert classify_expiry(1.5, 1.0) == "hang"
+
+    def test_close_is_idempotent_and_broadcasts_stop(self):
+        transport = make_transport()
+        peer = FakePeer(transport)
+        peer.hello()
+        transport.poll(0.1)
+        transport.close()
+        transport.close()
+        deadline = time.perf_counter() + 5.0
+        stop = None
+        while stop is None and time.perf_counter() < deadline:
+            try:
+                data = peer.sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            for kind, body in peer.buffer.feed(data):
+                if kind == "RETRACT" and body.get("stop"):
+                    stop = body
+        assert stop == {"job": "*", "stop": True}
+        peer.close()
+
+
+# ---------------------------------------------------------------------------
+# supervised campaigns, in-process (optionally through a chaos proxy)
+# ---------------------------------------------------------------------------
+
+class TestSupervisedSocket:
+    def run_supervised(self, tmp_path, specs, plan=None, fleet=2,
+                       lease_s=0.4, max_retries=6, shard_timeout=None):
+        transport = SocketTransport("127.0.0.1", 0, lease_s=lease_s,
+                                    poll_s=POLL_S,
+                                    shard_timeout=shard_timeout)
+        proxy = None
+        host, port = transport.host, transport.port
+        if plan is not None:
+            proxy = ChaosProxy(transport.host, transport.port,
+                               plan).start()
+            host, port = proxy.host, proxy.port
+        cache = ArtifactCache(root=str(tmp_path / "cache"))
+        workers = [SocketWorker(host, port, f"w{i}", cache=cache,
+                                reconnect_limit=30, recv_timeout_s=0.05,
+                                backoff_base_s=0.01, backoff_cap_s=0.1)
+                   for i in range(fleet)]
+        threads = [threading.Thread(target=worker.run, daemon=True)
+                   for worker in workers]
+        for thread in threads:
+            thread.start()
+        try:
+            executor = SupervisedExecutor(
+                cache=cache, transport=transport,
+                max_retries=max_retries, shard_timeout=shard_timeout)
+            return executor.run(specs), executor, transport
+        finally:
+            transport.close()        # stop broadcast first
+            if proxy is not None:
+                proxy.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+    def test_supervisor_over_socket_matches_serial(self, tmp_path,
+                                                   baseline):
+        (outputs, _records), executor, _t = self.run_supervised(
+            tmp_path, plain_specs())
+        assert output_bytes(outputs) == baseline
+        assert all(state.outcome == "computed"
+                   for state in executor.manifest_shards)
+
+    @pytest.mark.parametrize("plan_name", ["drop", "reorder",
+                                           "truncate", "reset"])
+    def test_campaign_through_hostile_wire_matches_serial(
+            self, tmp_path, baseline, plan_name):
+        """The tentpole acceptance: merged bytes are invariant under
+        seeded frame drops, reorders, mid-frame truncations, and
+        connection resets on every stream."""
+        plan = netchaos_plan(plan_name, seed=23)
+        (outputs, _records), _executor, transport = self.run_supervised(
+            tmp_path, plain_specs(), plan=plan, fleet=3,
+            shard_timeout=60.0)
+        assert output_bytes(outputs) == baseline
+        stats = transport.stats()
+        assert stats["protocol_errors"] == 0 or plan_name == "truncate"
+
+    def test_worker_emits_connection_lifecycle_events(self):
+        """Socket workers feed the monitor's ``worker`` event kind:
+        connect/disconnect land in the log (with an empty shard label)
+        and the worker-lifecycle reducer censuses them without
+        counting a phantom shard."""
+        import io
+
+        from repro.monitor import (EventLogWriter, default_reducers,
+                                   read_events)
+        transport = make_transport()
+        stream = io.StringIO()
+        worker = SocketWorker(transport.host, transport.port, "ev0",
+                              events=EventLogWriter(stream),
+                              recv_timeout_s=0.05)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            deadline = time.perf_counter() + 10.0
+            while transport.stats()["connects"] < 1:
+                assert time.perf_counter() < deadline
+                transport.poll(0.05)
+        finally:
+            transport.close()
+            thread.join(timeout=10.0)
+        events = read_events(io.StringIO(stream.getvalue()))
+        assert [e.data["state"] for e in events] == \
+            ["connect", "disconnect"]
+        assert all(e.data["shard"] == "" for e in events)
+        reducer = default_reducers()["worker-lifecycle"]
+        final = reducer.finalize(reducer.reduce(events))
+        assert final["workers"]["ev0"] == {
+            "states": {"connect": 1, "disconnect": 1}, "shards": 0}
+        assert final["reconnects"] == 0
+
+    def test_mid_compute_disconnect_resumes_with_the_result(
+            self, tmp_path, baseline):
+        """A reset-heavy wire forces reconnect-and-resume: results
+        computed while disconnected are re-HELLOed and credited (or
+        dropped as stale duplicates), never lost and never doubled."""
+        plan = ChaosPlan(name="reset-heavy", seed=3,
+                         injectors=(FrameTruncate(rate=0.02, keep=0.5),
+                                    FrameDrop(rate=0.05)))
+        (outputs, _records), executor, _t = self.run_supervised(
+            tmp_path, plain_specs(), plan=plan, fleet=3,
+            shard_timeout=60.0)
+        assert output_bytes(outputs) == baseline
+        assert len(executor.manifest_shards) == len(plain_specs())
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: real `repro worker --connect` subprocesses
+# ---------------------------------------------------------------------------
+
+def result_doc(result):
+    return {"rows": result.rows, "summary": result.summary}
+
+
+class TestEndToEndSocketFleet:
+    def test_serial_pipe_jobqueue_socket_byte_identity(self, tmp_path):
+        """The acceptance contract, now four ways: the same experiment
+        through serial, the pipe pool, the filesystem job queue, and
+        the TCP socket fleet merges to identical bytes."""
+        serial = run_experiment("sec4-deployment", config=CORPUS_CONFIG,
+                                cache=False)
+        pipe = run_experiment("sec4-deployment", config=CORPUS_CONFIG,
+                              workers=3, supervise=True,
+                              cache_dir=str(tmp_path / "pipe-cache"))
+        queue = run_experiment("sec4-deployment", config=CORPUS_CONFIG,
+                               workers=3, transport="jobqueue",
+                               queue_dir=str(tmp_path / "queue"),
+                               cache_dir=str(tmp_path / "queue-cache"))
+        sock = run_experiment("sec4-deployment", config=CORPUS_CONFIG,
+                              workers=3, transport="socket",
+                              listen="127.0.0.1:0",
+                              cache_dir=str(tmp_path / "sock-cache"))
+        assert result_doc(serial) == result_doc(pipe) \
+            == result_doc(queue) == result_doc(sock)
+        assert sock.manifest is not None and sock.manifest.complete
+        assert sock.manifest.computed == 6
+        assert sock.provenance.workers == 3
+
+    def test_sigkilled_worker_mid_shard_recovers(self, tmp_path,
+                                                 baseline):
+        """Chaos crash = os._exit inside a real `repro worker
+        --connect` process: the connection dies with it, the lease
+        expires on the coordinator's clock, and a surviving worker
+        steals the retry."""
+        specs = plain_specs()
+        specs[1] = chaos_wrap(specs[1], "crash", 1,
+                              str(tmp_path / "scratch"))
+        cache = ArtifactCache(root=str(tmp_path / "cache"))
+        transport = SocketTransport("127.0.0.1", 0, lease_s=LEASE_S,
+                                    poll_s=POLL_S,
+                                    reclaim_grace_s=2.0)
+        workers = spawn_socket_workers(transport.host, transport.port,
+                                       3, cache_dir=cache.root)
+        try:
+            executor = SupervisedExecutor(cache=cache,
+                                          transport=transport,
+                                          max_retries=2)
+            outputs, _records = executor.run(specs)
+        finally:
+            transport.close()
+            join_workers(workers)
+        assert output_bytes(outputs) == baseline
+        state = executor.manifest_shards[1]
+        assert [a.outcome for a in state.attempts] == ["crash", "ok"]
+        assert "lease expired" in state.attempts[0].error
+
+    def test_run_cli_socket_end_to_end(self, tmp_path, capsys):
+        """`repro run --transport socket` end to end through main()."""
+        from repro.cli import main
+        code = main(["run", "sec4-deployment", "--transport", "socket",
+                     "--listen", "127.0.0.1:0", "--workers", "2",
+                     "--lease", "0.5",
+                     "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "manifest: 0 cached, 4 computed" in out
+
+    def test_bad_listen_address_is_an_error(self, capsys):
+        from repro.cli import main
+        assert main(["run", "tbl2", "--transport", "socket",
+                     "--listen", "nocolon"]) == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_worker_cli_requires_exactly_one_transport(self, capsys):
+        from repro.cli import main
+        assert main(["worker"]) == 2
+        err = capsys.readouterr().err
+        assert "--queue-dir" in err and "--connect" in err
+        assert main(["worker", "--queue-dir", "q",
+                     "--connect", "h:1"]) == 2

@@ -14,6 +14,8 @@ and emits one JSON artifact per campaign:
 * ``BENCH_hostile_corpus.json``
 * ``BENCH_serve_loadtest.json``
 * ``BENCH_monitor_replay.json``
+* ``BENCH_dist_socket.json`` (``fig3`` over the TCP socket transport:
+  wall time plus wire telemetry — frames, reconnects, reclaims)
 
 Each artifact records wall time (cold and warm), shard count, and the
 warm-run cache hit rate; ``serve-loadtest`` additionally records its
@@ -58,6 +60,7 @@ CAMPAIGNS = {
     "hostile-corpus": "BENCH_hostile_corpus",
     "serve-loadtest": "BENCH_serve_loadtest",
     "monitor-convergence": "BENCH_monitor_replay",
+    "dist-socket": "BENCH_dist_socket",
 }
 
 #: Short spellings accepted by ``--campaign``.
@@ -114,6 +117,72 @@ def bench_campaign(experiment_id: str, workers: int) -> Dict[str, object]:
     return record
 
 
+def bench_dist_socket(workers: int) -> Dict[str, object]:
+    """Cold+warm ``fig3`` over the TCP socket transport.
+
+    The cold leg runs against an explicitly constructed
+    :class:`~repro.runtime.sock.SocketTransport` so the artifact can
+    record the wire telemetry (frames each way, reconnects, reclaims)
+    alongside wall time; the warm leg exercises the string-transport
+    path (``transport="socket"``) end to end, spawn and reap included.
+    """
+    from repro.runtime import (QueueTuning, SocketTransport,
+                               run_experiment, spawn_socket_workers)
+    from repro.runtime.dist import join_workers
+
+    fleet = max(2, min(workers, 4))
+    cache_dir = tempfile.mkdtemp(prefix="bench-dist-socket-")
+    transport = SocketTransport("127.0.0.1", 0)
+    try:
+        processes = spawn_socket_workers(
+            transport.host, transport.port, fleet, cache_dir=cache_dir)
+        started = time.perf_counter()
+        cold = run_experiment("fig3", workers=fleet, cache=True,
+                              cache_dir=cache_dir, transport=transport,
+                              shard_timeout=120.0)
+        cold_wall = time.perf_counter() - started
+        stats = transport.stats()
+    finally:
+        transport.close()
+    join_workers(processes)
+
+    try:
+        started = time.perf_counter()
+        warm = run_experiment("fig3", workers=fleet, cache=True,
+                              cache_dir=cache_dir, transport="socket",
+                              listen="127.0.0.1:0",
+                              queue_tuning=QueueTuning(),
+                              shard_timeout=120.0)
+        warm_wall = time.perf_counter() - started
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    shards = len(warm.provenance.shards)
+    hit_rate = (warm.provenance.cached_shards / shards) if shards else 0.0
+    return {
+        "schema": SCHEMA,
+        "experiment": "fig3",
+        "transport": "socket",
+        "workers": fleet,
+        "shards": shards,
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+        "cache_hit_rate": round(hit_rate, 4),
+        "cold_cache": cold.cache_status,
+        "warm_cache": warm.cache_status,
+        "code_version": warm.provenance.code_version,
+        # Wire telemetry from the cold leg.  frames_sent varies with
+        # heartbeat timing, so the gate only bounds the failure
+        # counters (see compare()).
+        "frames_sent": stats["frames_sent"],
+        "frames_received": stats["frames_received"],
+        "connects": stats["connects"],
+        "reconnects": stats["reconnects"],
+        "jobs_reclaimed": stats["jobs_reclaimed"],
+        "protocol_errors": stats["protocol_errors"],
+    }
+
+
 def compare(current: Dict[str, object], baseline: Dict[str, object],
             tolerance: float) -> List[str]:
     """Regressions of *current* vs *baseline* (empty when clean)."""
@@ -153,6 +222,17 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
                 f"event replay rate regressed >{tolerance * 100:.0f}%: "
                 f"{baseline['events_per_s']} -> "
                 f"{current['events_per_s']} events/s (floor {floor:.0f})")
+    # Socket-transport health: an undisturbed localhost campaign has
+    # no business reclaiming leases or hitting protocol errors.  These
+    # gate at the baseline's level, not zero, so a deliberately noisy
+    # future baseline stays expressible; frames_sent is telemetry only
+    # (heartbeat counts vary with scheduling).
+    for counter in ("jobs_reclaimed", "protocol_errors"):
+        if counter in current and counter in baseline:
+            if int(current[counter]) > int(baseline[counter]):
+                problems.append(
+                    f"{counter} regressed: {baseline[counter]} -> "
+                    f"{current[counter]} on an undisturbed campaign")
     return problems
 
 
@@ -181,7 +261,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     selected = {name: stem for name, stem in CAMPAIGNS.items()
                 if args.campaign is None or name in args.campaign}
     for experiment_id, stem in selected.items():
-        record = bench_campaign(experiment_id, args.workers)
+        if experiment_id == "dist-socket":
+            record = bench_dist_socket(args.workers)
+        else:
+            record = bench_campaign(experiment_id, args.workers)
         artifact = out_dir / f"{stem}.json"
         artifact.write_text(json.dumps(record, indent=2, sort_keys=True)
                             + "\n")

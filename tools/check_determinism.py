@@ -69,6 +69,11 @@ ALLOWLIST: Tuple[Tuple[str, str], ...] = (
     # content — results merge by ticket into cache-keyed artifacts.
     ("runtime/dist.py", "time.time()"),
     ("runtime/dist.py", "time.sleep()"),
+    # The socket transport's worker-side dial/backoff sleeps are the
+    # same operational pacing: lease deadlines themselves live on the
+    # coordinator's perf_counter (never compared across machines), and
+    # timing never reaches content.
+    ("runtime/sock.py", "time.sleep()"),
 )
 
 #: Banned (object, attribute) call pairs and why — derived from the

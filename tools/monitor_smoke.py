@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 SEED = 6961
 RESPONDERS = 16
 CERTS = 2
@@ -64,9 +65,12 @@ def _free_port() -> int:
 
 
 def _healthz(port: int) -> bool:
+    from repro.runtime.sock import dial
+
     try:
-        with socket.create_connection(("127.0.0.1", port),
-                                      timeout=10) as conn:
+        # dial() retries refusals with bounded deterministic backoff,
+        # so one probe racing the daemon's bind isn't a false negative.
+        with dial("127.0.0.1", port, attempts=5, timeout_s=10.0) as conn:
             conn.sendall(b"GET /-/healthz HTTP/1.1\r\nHost: c\r\n\r\n")
             conn.shutdown(socket.SHUT_WR)
             chunks = []
@@ -146,7 +150,6 @@ def main() -> int:
         # 6. Stream-vs-batch identity: the daemon's access log must
         # reduce to the same access-side aggregates as an in-process
         # replay of the identical seeded traffic.
-        sys.path.insert(0, str(REPO_ROOT / "src"))
         from repro.datasets import MeasurementWorld, WorldConfig
         from repro.monitor import read_events, reduce_log, default_reducers
         from repro.serve import ServeApp, replay_inprocess, synthesize_traffic

@@ -41,6 +41,7 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 SEED = 6960
 RESPONDERS = 16
 CERTS = 2
@@ -63,8 +64,14 @@ def _free_port() -> int:
 
 
 def _raw_exchange(port: int, payload: bytes, recv: bool = True) -> bytes:
-    """One TCP round trip of raw bytes (empty reply when recv=False)."""
-    with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+    """One TCP round trip of raw bytes (empty reply when recv=False).
+
+    Dials via :func:`repro.runtime.sock.dial` so a probe racing the
+    daemon's bind retries with bounded backoff instead of flaking.
+    """
+    from repro.runtime.sock import dial
+
+    with dial("127.0.0.1", port, timeout_s=10.0) as conn:
         conn.sendall(payload)
         if not recv:
             return b""  # abrupt close: the mid-request drop probe
